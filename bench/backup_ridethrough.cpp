@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Backup ride-through bench: the classic UPS role the HEB
+ * architecture keeps serving (paper §1: "an additional layer of
+ * safety in the event of unexpected power mismatches"; related work
+ * [33] dual-purposes storage for backup + demand response).
+ *
+ * Injects utility outages of growing length during a busy period and
+ * reports, per scheme, the downtime and unserved energy — showing
+ * how long each buffer configuration can carry the whole cluster.
+ */
+
+#include <cstdio>
+
+#include "sim/experiment.h"
+#include "util/table_printer.h"
+#include "workload/workload_profiles.h"
+
+using namespace heb;
+
+int
+main()
+{
+    std::printf("=== Backup ride-through: outage duration vs scheme "
+                "===\n(WC workload, outage injected at t=1h)\n\n");
+
+    HebSchemeConfig scheme_cfg;
+    SimConfig base;
+    base.durationSeconds = 4.0 * 3600.0;
+    PowerAllocationTable pat = buildSeededPat(base, scheme_cfg);
+
+    TablePrinter table({"outage(s)", "scheme", "downtime(s)",
+                        "unserved(Wh)", "buffer->load(Wh)",
+                        "reboots"});
+    for (double outage_s : {30.0, 120.0, 480.0, 1800.0}) {
+        for (SchemeKind kind : {SchemeKind::BaOnly,
+                                SchemeKind::ScFirst,
+                                SchemeKind::HebD}) {
+            SimConfig cfg = base;
+            cfg.outages = {{3600.0, outage_s}};
+            SimResult r =
+                runOne(cfg, "WC", kind, scheme_cfg, &pat);
+            table.addRow(
+                {TablePrinter::num(outage_s, 0), r.schemeName,
+                 TablePrinter::num(r.downtimeSeconds, 0),
+                 TablePrinter::num(r.ledger.unservedWh, 2),
+                 TablePrinter::num(r.ledger.bufferToLoadWh(), 1),
+                 std::to_string(r.serverOnOffCycles)});
+        }
+    }
+    table.print();
+
+    std::printf("\nReading: short outages are invisible behind the "
+                "hybrid bank; the homogeneous battery browns out "
+                "first because the full cluster load exceeds its "
+                "discharge rating.\n");
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Demand-charge management bench: billed-peak reduction vs the
+ * shaving target, and the annualized tariff savings each point
+ * earns (the operational mechanism behind Fig. 15c's revenue).
+ *
+ * The physical feed is generous (400 W); the soft cap rides below
+ * it. Targets below the sustainable mean stop paying off because
+ * the buffers can no longer recharge between peaks — the knee this
+ * bench exposes is exactly the sizing question §7.5 asks.
+ */
+
+#include <cstdio>
+
+#include "sim/experiment.h"
+#include "util/table_printer.h"
+#include "workload/workload_profiles.h"
+
+using namespace heb;
+
+int
+main()
+{
+    std::printf("=== Demand-charge management: billed peak vs "
+                "shaving target (WC workload, 400 W feed) ===\n\n");
+
+    HebSchemeConfig scheme_cfg;
+    SimConfig base;
+    base.budgetW = 400.0;
+    PowerAllocationTable pat = buildSeededPat(base, scheme_cfg);
+
+    SimResult uncapped =
+        runOne(base, "WC", SchemeKind::HebD, scheme_cfg, &pat);
+
+    TablePrinter table({"target(W)", "billed peak(W)", "shaved(W)",
+                        "downtime(s)", "buffer->load(Wh)",
+                        "annual saving($, 12$/kW-mo)"});
+    table.addRow({"none",
+                  TablePrinter::num(uncapped.peakUtilityDrawW, 1),
+                  "0.0", TablePrinter::num(
+                             uncapped.downtimeSeconds, 0),
+                  TablePrinter::num(
+                      uncapped.ledger.bufferToLoadWh(), 1),
+                  "0"});
+
+    for (double target : {275.0, 265.0, 255.0, 245.0}) {
+        SimConfig cfg = base;
+        cfg.peakShavingTargetW = target;
+        SimResult r =
+            runOne(cfg, "WC", SchemeKind::HebD, scheme_cfg, &pat);
+        double shaved =
+            uncapped.peakUtilityDrawW - r.peakUtilityDrawW;
+        double annual = shaved / 1000.0 * 12.0 * 12.0;
+        table.addRow({TablePrinter::num(target, 0),
+                      TablePrinter::num(r.peakUtilityDrawW, 1),
+                      TablePrinter::num(shaved, 1),
+                      TablePrinter::num(r.downtimeSeconds, 0),
+                      TablePrinter::num(
+                          r.ledger.bufferToLoadWh(), 1),
+                      TablePrinter::num(annual, 0)});
+    }
+    table.print();
+
+    std::printf("\nReading: the billed peak tracks the target until "
+                "the target dips under the workload's sustainable "
+                "mean; past that knee the buffers cannot refill and "
+                "the draw escapes back toward the feed.\n");
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reproduces paper Figure 1(a): maximum-provisioning-power-
+ * utilization (MPPU) and capital cost across provisioning levels
+ * P1..P4 on a Google-cluster-style power trace.
+ *
+ * P1 over-provisions at 100 % of nameplate (covers every peak, low
+ * utilization); P4 aggressively under-provisions at 40 % (high MPPU,
+ * low CAP-EX, frequent mismatches). Capital cost uses the paper's
+ * $10-20/W estimate ($15/W midpoint).
+ */
+
+#include <cstdio>
+
+#include "util/table_printer.h"
+#include "workload/google_trace.h"
+
+using namespace heb;
+
+int
+main()
+{
+    std::printf("=== Figure 1(a): provisioning level vs MPPU and "
+                "CAP-EX (synthetic Google-style trace) ===\n\n");
+
+    const double days = 14.0;
+    const double nameplate_kw = 1000.0; // a 1 MW cluster
+    const double capex_per_watt = 15.0;
+
+    TimeSeries trace = generateGoogleTrace(days, 60.0, 2024);
+
+    struct Level
+    {
+        const char *name;
+        double fraction;
+    };
+    const Level levels[] = {
+        {"P1", 1.0}, {"P2", 0.8}, {"P3", 0.6}, {"P4", 0.4}};
+
+    TablePrinter table({"level", "provision(%)", "MPPU",
+                        "capex($M)", "mismatch time(%)",
+                        "worst gap(% nameplate)"});
+    for (const Level &lv : levels) {
+        double m = mppu(trace, lv.fraction);
+        double capex =
+            lv.fraction * nameplate_kw * 1000.0 * capex_per_watt / 1e6;
+        double worst_gap = 0.0;
+        for (std::size_t i = 0; i < trace.size(); ++i) {
+            worst_gap =
+                std::max(worst_gap, trace[i] - lv.fraction);
+        }
+        table.addRow({lv.name,
+                      TablePrinter::num(lv.fraction * 100.0, 0),
+                      TablePrinter::num(m, 4),
+                      TablePrinter::num(capex, 2),
+                      TablePrinter::num(m * 100.0, 2),
+                      TablePrinter::num(worst_gap * 100.0, 1)});
+    }
+    table.print();
+
+    std::printf("\nTrace: %.0f days, mean %.2f, p99 %.2f of "
+                "nameplate.\n",
+                days, trace.mean(), trace.percentile(99.0));
+    std::printf("Paper shape: aggressive under-provisioning raises "
+                "MPPU and cuts CAP-EX but leaves power mismatches "
+                "that must be buffered.\n");
+    return 0;
+}

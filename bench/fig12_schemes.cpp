@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Reproduces paper Figure 12: the four headline metrics of all six
+ * power-management schemes over the eight workloads.
+ *
+ *  (a) energy efficiency          — HEB-D +39.7 % vs BaOnly in the
+ *                                   paper (+52.5 % small peaks,
+ *                                   +27.1 % large peaks)
+ *  (b) server downtime            — HEB-D −41 %
+ *  (c) battery lifetime           — HEB-D 4.7x
+ *  (d) renewable energy utilization — SC schemes +81.2 %
+ *
+ * (a)-(c) run the under-provisioned utility configuration; (d) swaps
+ * the utility feed for the synthetic solar array. All schemes share
+ * equal total buffer capacity (SC:BA = 3:7 for hybrids), as in §6.
+ */
+
+#include <cstdio>
+
+#include "sim/experiment.h"
+#include "util/table_printer.h"
+#include "workload/workload_profiles.h"
+
+using namespace heb;
+
+namespace {
+
+void
+printComparison(const char *title,
+                const std::vector<SchemeSummary> &rows, bool solar)
+{
+    std::printf("\n%s\n", title);
+    TablePrinter table(
+        solar ? std::vector<std::string>{"scheme", "REU",
+                                         "REU vs BaOnly"}
+              : std::vector<std::string>{
+                    "scheme", "eff", "eff(small)", "eff(large)",
+                    "downtime(s)", "bat life(y)", "eff vs BaOnly",
+                    "downtime vs BaOnly", "life vs BaOnly"});
+
+    const SchemeSummary &base = rows.front();
+    for (const SchemeSummary &row : rows) {
+        if (solar) {
+            table.addRow({row.scheme, TablePrinter::num(row.reu, 3),
+                          TablePrinter::num(
+                              base.reu > 0.0
+                                  ? (row.reu / base.reu - 1.0) * 100.0
+                                  : 0.0,
+                              1) +
+                              "%"});
+        } else {
+            double eff_gain =
+                (row.energyEfficiency / base.energyEfficiency - 1.0) *
+                100.0;
+            double dt_gain =
+                base.downtimeSeconds > 0.0
+                    ? (1.0 -
+                       row.downtimeSeconds / base.downtimeSeconds) *
+                          100.0
+                    : 0.0;
+            double life_gain = row.batteryLifetimeYears /
+                               base.batteryLifetimeYears;
+            table.addRow(
+                {row.scheme,
+                 TablePrinter::num(row.energyEfficiency, 3),
+                 TablePrinter::num(row.energyEfficiencySmall, 3),
+                 TablePrinter::num(row.energyEfficiencyLarge, 3),
+                 TablePrinter::num(row.downtimeSeconds, 0),
+                 TablePrinter::num(row.batteryLifetimeYears, 2),
+                 TablePrinter::num(eff_gain, 1) + "%",
+                 TablePrinter::num(dt_gain, 1) + "%",
+                 TablePrinter::num(life_gain, 2) + "x"});
+        }
+    }
+    table.print();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Figure 12: scheme comparison, 8 workloads, "
+                "equal-capacity buffers (SC:BA = 3:7) ===\n");
+
+    HebSchemeConfig scheme_cfg;
+
+    // (a)-(c): under-provisioned utility feed.
+    SimConfig grid_cfg;
+    auto grid_rows = compareSchemes(grid_cfg, allWorkloadNames(),
+                                    allSchemeKinds(), scheme_cfg);
+    printComparison("Fig. 12(a)-(c): utility feed (budget 260 W)",
+                    grid_rows, /*solar=*/false);
+
+    // (d): solar-powered REU. The array is sized so generation
+    // oscillates around demand and the Markov cloud process flips the
+    // mismatch sign every few minutes — the regime where the battery
+    // charge-current ceiling actually strands renewable energy.
+    SimConfig solar_cfg;
+    solar_cfg.solarPowered = true;
+    solar_cfg.solarParams.ratedPowerW = 450.0;
+    solar_cfg.solarParams.pLeaveClear = 0.15;
+    solar_cfg.solarParams.pLeavePartly = 0.15;
+    solar_cfg.solarParams.pLeaveOvercast = 0.12;
+    solar_cfg.solarParams.partlyCloudyFactor = 0.50;
+    solar_cfg.solarParams.overcastFactor = 0.08;
+    auto solar_rows = compareSchemes(solar_cfg, allWorkloadNames(),
+                                     allSchemeKinds(), scheme_cfg);
+    printComparison("Fig. 12(d): solar feed, renewable energy "
+                    "utilization",
+                    solar_rows, /*solar=*/true);
+
+    std::printf("\nPaper reference: HEB-D vs BaOnly: efficiency "
+                "+39.7%% (small +52.5%%, large +27.1%%), downtime "
+                "-41%%, battery lifetime 4.7x, REU +81.2%%.\n");
+    return 0;
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Hot-path microbenchmarks (google-benchmark): battery/SC step,
+ * dispatch, predictor update, PAT lookup, and a full simulator day.
+ * These guard the simulator's throughput — a day of 1 s ticks must
+ * stay well under a second so the evaluation sweeps remain cheap.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/load_assignment.h"
+#include "core/pat.h"
+#include "core/predictor.h"
+#include "core/schemes.h"
+#include "esd/battery.h"
+#include "esd/supercapacitor.h"
+#include "sim/experiment.h"
+#include "workload/workload_profiles.h"
+
+namespace heb {
+namespace {
+
+void
+BM_BatteryDischargeStep(benchmark::State &state)
+{
+    Battery b(BatteryParams::prototypeLeadAcid());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(b.discharge(40.0, 1.0));
+        if (b.soc() < 0.4)
+            b.setSoc(1.0);
+    }
+}
+BENCHMARK(BM_BatteryDischargeStep);
+
+void
+BM_SupercapDischargeStep(benchmark::State &state)
+{
+    Supercapacitor sc(ScParams::maxwellSeriesBank());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sc.discharge(100.0, 1.0));
+        if (sc.soc() < 0.2)
+            sc.setSoc(1.0);
+    }
+}
+BENCHMARK(BM_SupercapDischargeStep);
+
+void
+BM_DispatchMismatch(benchmark::State &state)
+{
+    Supercapacitor sc(ScParams::maxwellSeriesBank());
+    Battery ba(BatteryParams::prototypeLeadAcid());
+    for (auto _ : state) {
+        DispatchResult res =
+            dispatchMismatch(sc, ba, 140.0, 0.6, 1.0, 140.0);
+        benchmark::DoNotOptimize(res);
+        if (sc.soc() < 0.2) {
+            sc.setSoc(1.0);
+            ba.setSoc(1.0);
+        }
+    }
+}
+BENCHMARK(BM_DispatchMismatch);
+
+void
+BM_HoltWintersObserve(benchmark::State &state)
+{
+    HoltWintersPredictor p;
+    double v = 0.0;
+    for (auto _ : state) {
+        p.observe(200.0 + v);
+        v = v > 100.0 ? 0.0 : v + 1.0;
+        benchmark::DoNotOptimize(p.predict());
+    }
+}
+BENCHMARK(BM_HoltWintersObserve);
+
+void
+BM_PatLookupSimilar(benchmark::State &state)
+{
+    PowerAllocationTable pat;
+    for (double sc = 0.0; sc <= 30.0; sc += 5.0) {
+        for (double ba = 0.0; ba <= 60.0; ba += 10.0) {
+            for (double pm = 60.0; pm <= 200.0; pm += 20.0)
+                pat.seed(sc, ba, pm, 0.5);
+        }
+    }
+    state.counters["entries"] =
+        static_cast<double>(pat.size());
+    double key = 0.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            pat.lookupSimilar(13.0 + key, 37.0, 143.0));
+        key = key > 10.0 ? 0.0 : key + 0.1;
+    }
+}
+BENCHMARK(BM_PatLookupSimilar);
+
+void
+BM_WorkloadUtilization(benchmark::State &state)
+{
+    auto w = makeWorkload("TS");
+    double t = 0.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(w->utilization(3, t));
+        t += 1.0;
+    }
+}
+BENCHMARK(BM_WorkloadUtilization);
+
+void
+BM_SimulatorDay(benchmark::State &state)
+{
+    SimConfig cfg;
+    cfg.durationSeconds = 24.0 * 3600.0;
+    for (auto _ : state) {
+        auto workload = makeWorkload("WC");
+        auto scheme = makeScheme(SchemeKind::HebD);
+        SimResult r = Simulator(cfg).run(*workload, *scheme);
+        benchmark::DoNotOptimize(r.energyEfficiency);
+    }
+    state.SetItemsProcessed(state.iterations() * 86400);
+}
+BENCHMARK(BM_SimulatorDay)->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace heb
+
+BENCHMARK_MAIN();

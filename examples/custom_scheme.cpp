@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Example: extending the library with a custom management scheme.
+ *
+ * Downstream research on top of HEB means writing new policies. This
+ * example implements ReserveScheme — "always keep the battery above
+ * a reserve SoC for outage backup; shave peaks with whatever is left"
+ * (the dual-purposing question of the paper's related work [33]) —
+ * entirely against the public ManagementScheme interface, then races
+ * it against HEB-D with and without an injected outage.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/ride_through.h"
+#include "esd/bank_builder.h"
+#include "sim/experiment.h"
+#include "util/table_printer.h"
+#include "workload/workload_profiles.h"
+
+using namespace heb;
+
+namespace {
+
+/**
+ * Keep a battery reserve for backup; peak-shave with the SC branch
+ * plus only the battery capacity above the reserve.
+ */
+class ReserveScheme : public ManagementScheme
+{
+  public:
+    explicit ReserveScheme(double reserve_soc_wh)
+        : reserveWh_(reserve_soc_wh)
+    {
+    }
+
+    const std::string &
+    name() const override
+    {
+        return name_;
+    }
+
+    SlotPlan
+    planSlot(const SlotSensors &sensors) override
+    {
+        SlotPlan plan;
+        plan.chargeScFirst = true;
+        double pm = std::max(
+            0.0, sensors.lastSlotPeakW - sensors.lastSlotValleyW);
+        plan.predictedMismatchW = pm;
+        plan.predictedClass =
+            pm <= 80.0 ? PeakClass::Small : PeakClass::Large;
+
+        // Battery participation only with energy above the reserve.
+        double spare_ba =
+            std::max(0.0, sensors.baUsableWh - reserveWh_);
+        if (plan.predictedClass == PeakClass::Small ||
+            spare_ba <= 0.0) {
+            plan.rLambda = 1.0; // SC only
+        } else {
+            // Let the battery carry what its spare energy sustains
+            // over the slot, capped by its power rating.
+            double slot_h = sensors.slotSeconds / 3600.0;
+            double ba_power = std::min(sensors.baMaxPowerW,
+                                       spare_ba / slot_h);
+            plan.rLambda = pm > 0.0
+                               ? std::clamp(1.0 - ba_power / pm,
+                                            0.0, 1.0)
+                               : 1.0;
+            plan.batteryBasePlanW = pm;
+        }
+        return plan;
+    }
+
+    void
+    finishSlot(const SlotOutcome &) override
+    {
+    }
+
+  private:
+    std::string name_ = "Reserve";
+    double reserveWh_;
+};
+
+void
+race(const SimConfig &cfg, const char *label)
+{
+    std::printf("--- %s ---\n", label);
+    TablePrinter table({"scheme", "downtime(s)", "eff",
+                        "bat life(y)", "buffer->load(Wh)",
+                        "unserved(Wh)"});
+
+    HebSchemeConfig scheme_cfg;
+    PowerAllocationTable pat = buildSeededPat(cfg, scheme_cfg);
+    auto workload = makeWorkload("TS", cfg.seed);
+
+    auto heb = makeScheme(SchemeKind::HebD, scheme_cfg, &pat);
+    ReserveScheme reserve(30.0); // keep ~30 Wh for backup
+
+    for (ManagementScheme *scheme :
+         {heb.get(), static_cast<ManagementScheme *>(&reserve)}) {
+        Simulator sim(cfg);
+        SimResult r = sim.run(*workload, *scheme);
+        table.addRow({r.schemeName,
+                      TablePrinter::num(r.downtimeSeconds, 0),
+                      TablePrinter::num(r.energyEfficiency, 3),
+                      TablePrinter::num(r.batteryLifetimeYears, 2),
+                      TablePrinter::num(
+                          r.ledger.bufferToLoadWh(), 1),
+                      TablePrinter::num(r.ledger.unservedWh, 2)});
+    }
+    table.print();
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Custom scheme example: battery-reserve policy "
+                "vs HEB-D ===\n\n");
+
+    SimConfig normal;
+    race(normal, "normal operation (TS workload, 2 days)");
+
+    SimConfig outage = normal;
+    outage.outages = {{30.0 * 3600.0, 900.0}};
+    race(outage, "with a 15-minute outage injected at t=30h");
+
+    std::printf(
+        "Reading: the reserve policy sacrifices some peak-shaving "
+        "(battery sits idle above its floor) to guarantee backup "
+        "energy for outages — the dual-purposing tradeoff of the "
+        "paper's related work [33].\n");
+    return 0;
+}

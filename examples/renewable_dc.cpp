@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Example: a solar-powered datacenter (the paper's §2.2/§7.4
+ * scenario).
+ *
+ * The rig runs entirely from the synthetic rooftop array. The
+ * example compares all six management schemes on renewable energy
+ * utilization (REU), spilled generation, and uptime — showing why
+ * the SC branch's unlimited charge acceptance matters when clouds
+ * whip the supply around.
+ *
+ * Usage: renewable_dc [rated_watts] [seed]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/experiment.h"
+#include "util/table_printer.h"
+#include "workload/workload_profiles.h"
+
+using namespace heb;
+
+int
+main(int argc, char **argv)
+{
+    double rated = argc > 1 ? std::atof(argv[1]) : 450.0;
+    std::uint64_t seed = argc > 2 ? std::atoll(argv[2]) : 42;
+
+    std::printf("=== Solar-powered datacenter (array %.0f W, seed "
+                "%llu) ===\n\n",
+                rated, static_cast<unsigned long long>(seed));
+
+    SimConfig cfg;
+    cfg.solarPowered = true;
+    cfg.seed = seed;
+    cfg.solarParams.ratedPowerW = rated;
+    cfg.solarParams.pLeaveClear = 0.15;
+    cfg.solarParams.pLeavePartly = 0.15;
+    cfg.solarParams.pLeaveOvercast = 0.12;
+    cfg.solarParams.overcastFactor = 0.08;
+
+    HebSchemeConfig scheme_cfg;
+    PowerAllocationTable pat = buildSeededPat(cfg, scheme_cfg);
+
+    auto workload = makeWorkload("WS", seed);
+
+    TablePrinter table({"scheme", "REU", "spilled(Wh)",
+                        "stored from solar(Wh)", "downtime(s)",
+                        "served(Wh)"});
+    for (SchemeKind kind : allSchemeKinds()) {
+        auto scheme = makeScheme(kind, scheme_cfg, &pat);
+        Simulator sim(cfg);
+        SimResult r = sim.run(*workload, *scheme);
+        table.addRow({r.schemeName, TablePrinter::num(r.reu, 3),
+                      TablePrinter::num(r.ledger.spilledSourceWh, 0),
+                      TablePrinter::num(
+                          r.ledger.sourceToBuffersWh(), 1),
+                      TablePrinter::num(r.downtimeSeconds, 0),
+                      TablePrinter::num(r.ledger.servedWh(), 0)});
+    }
+    table.print();
+
+    std::printf("\nReading: schemes that absorb valleys through the "
+                "SC waste far less generation; the battery's charge "
+                "ceiling is the bottleneck for BaOnly.\n");
+    return 0;
+}

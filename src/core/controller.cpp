@@ -1,0 +1,89 @@
+#include "core/controller.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace heb {
+
+HebController::HebController(ManagementScheme &scheme,
+                             EnergyStorageDevice &sc,
+                             EnergyStorageDevice &battery,
+                             double slot_seconds)
+    : scheme_(scheme), sc_(sc), battery_(battery),
+      slotSeconds_(slot_seconds)
+{
+    if (slot_seconds <= 0.0)
+        fatal("HebController slot length must be positive");
+}
+
+void
+HebController::setSensorNoise(double sigma, std::uint64_t seed)
+{
+    if (sigma < 0.0)
+        fatal("Sensor noise sigma must be non-negative");
+    noiseSigma_ = sigma;
+    noiseRng_ = sigma > 0.0 ? std::make_unique<Rng>(seed) : nullptr;
+}
+
+double
+HebController::noisy(double value)
+{
+    if (!noiseRng_ || noiseSigma_ <= 0.0)
+        return value;
+    return std::max(0.0,
+                    value * noiseRng_->normal(1.0, noiseSigma_));
+}
+
+void
+HebController::rolloverSlot(double now_seconds, double budget_w)
+{
+    if (started_) {
+        SlotOutcome outcome;
+        outcome.scStartWh = scStartWh_;
+        outcome.baStartWh = baStartWh_;
+        outcome.scEndWh = sc_.usableEnergyWh();
+        outcome.baEndWh = battery_.usableEnergyWh();
+        outcome.actualPeakW = slotPeakW_;
+        outcome.actualValleyW = slotValleyW_;
+        outcome.rLambdaUsed = plan_.rLambda;
+        scheme_.finishSlot(outcome);
+        lastPeakW_ = slotPeakW_;
+        lastValleyW_ = slotValleyW_;
+        ++completedSlots_;
+    }
+
+    SlotSensors sensors;
+    sensors.timeSeconds = now_seconds;
+    sensors.scUsableWh = noisy(sc_.usableEnergyWh());
+    sensors.baUsableWh = noisy(battery_.usableEnergyWh());
+    sensors.scMaxPowerW = noisy(sc_.maxDischargePowerW(slotSeconds_));
+    sensors.baMaxPowerW =
+        noisy(battery_.maxDischargePowerW(slotSeconds_));
+    sensors.lastSlotPeakW = lastPeakW_;
+    sensors.lastSlotValleyW = lastValleyW_;
+    sensors.budgetW = budget_w;
+    sensors.slotSeconds = slotSeconds_;
+    plan_ = scheme_.planSlot(sensors);
+
+    slotStart_ = now_seconds;
+    slotPeakW_ = 0.0;
+    slotValleyW_ = std::numeric_limits<double>::max();
+    scStartWh_ = sensors.scUsableWh;
+    baStartWh_ = sensors.baUsableWh;
+    started_ = true;
+}
+
+const SlotPlan &
+HebController::tick(double now_seconds, double demand_w,
+                    double budget_w)
+{
+    if (!started_ || now_seconds - slotStart_ >= slotSeconds_)
+        rolloverSlot(now_seconds, budget_w);
+    slotPeakW_ = std::max(slotPeakW_, demand_w);
+    slotValleyW_ = std::min(slotValleyW_, demand_w);
+    return plan_;
+}
+
+} // namespace heb

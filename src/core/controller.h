@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The hControl decision loop (paper §4.2 / Fig. 9).
+ *
+ * HebController is the glue between tick-level telemetry and the
+ * slot-level scheme: it accumulates each slot's demand peak/valley,
+ * snapshots buffer state at slot boundaries, asks the scheme for the
+ * next plan, and reports the finished slot back for learning. The
+ * simulator (or a real deployment shim) calls tick() once per sample.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "core/scheme.h"
+#include "esd/energy_storage.h"
+#include "util/rng.h"
+
+namespace heb {
+
+/** Slot-boundary driver around a ManagementScheme. */
+class HebController
+{
+  public:
+    /**
+     * @param scheme        Decision policy (not owned).
+     * @param sc            SC branch (not owned).
+     * @param battery       Battery branch (not owned).
+     * @param slot_seconds  Control-slot length (paper default 10 min).
+     */
+    HebController(ManagementScheme &scheme, EnergyStorageDevice &sc,
+                  EnergyStorageDevice &battery,
+                  double slot_seconds = 600.0);
+
+    /**
+     * Model imperfect telemetry: multiplicative Gaussian noise of
+     * the given sigma applied to the buffer energy/power readings
+     * the scheme sees at each slot boundary (real SoC estimation is
+     * voltage/coulomb-counting based and far from exact).
+     */
+    void setSensorNoise(double sigma, std::uint64_t seed);
+
+    /**
+     * Feed one telemetry sample; returns the plan in force.
+     *
+     * @param now_seconds  Absolute sample time.
+     * @param demand_w     Total server demand this tick (W).
+     * @param budget_w     Supply available this tick (W).
+     */
+    const SlotPlan &tick(double now_seconds, double demand_w,
+                         double budget_w);
+
+    /** The plan currently in force. */
+    const SlotPlan &currentPlan() const { return plan_; }
+
+    /** Number of completed slots. */
+    std::size_t completedSlots() const { return completedSlots_; }
+
+    /** Slot length (s). */
+    double slotSeconds() const { return slotSeconds_; }
+
+  private:
+    /** Close the current slot and open the next one. */
+    void rolloverSlot(double now_seconds, double budget_w);
+
+    /** Apply sensor noise to a non-negative reading. */
+    double noisy(double value);
+
+    ManagementScheme &scheme_;
+    EnergyStorageDevice &sc_;
+    EnergyStorageDevice &battery_;
+    double slotSeconds_;
+
+    bool started_ = false;
+    double slotStart_ = 0.0;
+    double slotPeakW_ = 0.0;
+    double slotValleyW_ = 0.0;
+    double lastPeakW_ = 0.0;
+    double lastValleyW_ = 0.0;
+    double scStartWh_ = 0.0;
+    double baStartWh_ = 0.0;
+    std::size_t completedSlots_ = 0;
+    SlotPlan plan_{};
+    double noiseSigma_ = 0.0;
+    std::unique_ptr<Rng> noiseRng_;
+};
+
+} // namespace heb

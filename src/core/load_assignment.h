@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Mismatch dispatch between the SC and battery branches.
+ *
+ * Given the slot plan's R_λ, each tick's mismatch power is split
+ * across the two branches with two-way spillover: if the branch
+ * assigned a share cannot deliver it (depleted, rate-limited), the
+ * other branch picks up the remainder. The priority schemes fall out
+ * naturally: BaFirst is R_λ = 0 with spillover to SC, SCFirst is
+ * R_λ = 1 with spillover to the battery.
+ */
+
+#pragma once
+
+#include <cstddef>
+
+#include "esd/energy_storage.h"
+
+namespace heb {
+
+/** Result of one tick's dispatch. */
+struct DispatchResult
+{
+    /** Power actually delivered by the SC branch (W). */
+    double scPowerW = 0.0;
+
+    /** Power actually delivered by the battery branch (W). */
+    double baPowerW = 0.0;
+
+    /** Demand that no branch could cover (W). */
+    double unservedW = 0.0;
+
+    /** Total delivered (convenience). */
+    double
+    totalW() const
+    {
+        return scPowerW + baPowerW;
+    }
+};
+
+/**
+ * Serve @p mismatch_w for @p dt_seconds according to the slot plan.
+ *
+ * The battery branch acts as *base* supply — it carries up to its
+ * planned share (1 - r_lambda) of the slot's expected mismatch
+ * @p planned_pm_w — and the SC branch peaks above it (paper §4.1:
+ * "batteries will offer bulk energy ... the SC pool will handle the
+ * transient peak power"). During ramps, when the instantaneous
+ * mismatch is below the battery's base share, the SC stays idle and
+ * keeps its energy for the crest. Shortfalls spill both ways. When
+ * @p planned_pm_w <= 0 the instantaneous mismatch is split
+ * proportionally by r_lambda instead.
+ *
+ * Devices that end up with no request are rested for the tick, so
+ * battery recovery continues while SCs carry the load.
+ */
+DispatchResult dispatchMismatch(EnergyStorageDevice &sc,
+                                EnergyStorageDevice &battery,
+                                double mismatch_w, double r_lambda,
+                                double dt_seconds,
+                                double planned_pm_w = -1.0);
+
+/** Result of one tick's charge dispatch. */
+struct ChargeResult
+{
+    /** Power absorbed by the SC branch (W). */
+    double scPowerW = 0.0;
+
+    /** Power absorbed by the battery branch (W). */
+    double baPowerW = 0.0;
+
+    /** Total absorbed (convenience). */
+    double
+    totalW() const
+    {
+        return scPowerW + baPowerW;
+    }
+};
+
+/**
+ * Charge the branches with @p surplus_w of spare supply, filling
+ * @p sc_first ? the SC : the battery first and spilling the rest.
+ */
+ChargeResult dispatchCharge(EnergyStorageDevice &sc,
+                            EnergyStorageDevice &battery,
+                            double surplus_w, bool sc_first,
+                            double dt_seconds);
+
+/**
+ * Quantize a continuous R_λ to whole-server granularity: the number
+ * of servers (out of @p total_servers) placed on the SC branch.
+ */
+std::size_t serversOnSc(double r_lambda, std::size_t total_servers);
+
+} // namespace heb

@@ -1,0 +1,204 @@
+#include "core/pat.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/csv.h"
+#include "util/logging.h"
+
+namespace heb {
+
+PowerAllocationTable::PowerAllocationTable(PatGrid grid, double delta_r)
+    : grid_(grid), deltaR_(delta_r)
+{
+    if (grid_.scStepWh <= 0.0 || grid_.baStepWh <= 0.0 ||
+        grid_.pmStepW <= 0.0) {
+        fatal("PAT grid steps must be positive");
+    }
+    if (delta_r <= 0.0 || delta_r > 0.5)
+        fatal("PAT delta_r must be in (0, 0.5], got ", delta_r);
+}
+
+double
+PowerAllocationTable::quantize(double value, double step) const
+{
+    return std::round(value / step) * step;
+}
+
+std::optional<std::size_t>
+PowerAllocationTable::findExact(double sc_q, double ba_q,
+                                double pm_q) const
+{
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        const PatEntry &e = entries_[i];
+        if (e.scWh == sc_q && e.baWh == ba_q && e.mismatchW == pm_q)
+            return i;
+    }
+    return std::nullopt;
+}
+
+std::optional<double>
+PowerAllocationTable::lookupExact(double sc_wh, double ba_wh,
+                                  double mismatch_w) const
+{
+    auto idx = findExact(quantize(sc_wh, grid_.scStepWh),
+                         quantize(ba_wh, grid_.baStepWh),
+                         quantize(mismatch_w, grid_.pmStepW));
+    if (!idx)
+        return std::nullopt;
+    return entries_[*idx].rLambda;
+}
+
+std::optional<double>
+PowerAllocationTable::lookupSimilar(double sc_wh, double ba_wh,
+                                    double mismatch_w) const
+{
+    if (entries_.empty())
+        return std::nullopt;
+    // Normalize each key axis by its grid step so the distance is
+    // measured in grid cells on every axis.
+    double best = std::numeric_limits<double>::max();
+    double best_r = 0.5;
+    for (const PatEntry &e : entries_) {
+        double dsc = (e.scWh - sc_wh) / grid_.scStepWh;
+        double dba = (e.baWh - ba_wh) / grid_.baStepWh;
+        double dpm = (e.mismatchW - mismatch_w) / grid_.pmStepW;
+        double dist = dsc * dsc + dba * dba + dpm * dpm;
+        if (dist < best) {
+            best = dist;
+            best_r = e.rLambda;
+        }
+    }
+    return best_r;
+}
+
+std::optional<double>
+PowerAllocationTable::lookup(double sc_wh, double ba_wh,
+                             double mismatch_w) const
+{
+    auto exact = lookupExact(sc_wh, ba_wh, mismatch_w);
+    if (exact)
+        return exact;
+    return lookupSimilar(sc_wh, ba_wh, mismatch_w);
+}
+
+void
+PowerAllocationTable::seed(double sc_wh, double ba_wh,
+                           double mismatch_w, double r_lambda)
+{
+    double sc_q = quantize(sc_wh, grid_.scStepWh);
+    double ba_q = quantize(ba_wh, grid_.baStepWh);
+    double pm_q = quantize(mismatch_w, grid_.pmStepW);
+    auto idx = findExact(sc_q, ba_q, pm_q);
+    double r = std::clamp(r_lambda, 0.0, 1.0);
+    if (idx) {
+        entries_[*idx].rLambda = r;
+        return;
+    }
+    entries_.push_back(PatEntry{sc_q, ba_q, pm_q, r, 0});
+}
+
+void
+PowerAllocationTable::saveCsv(const std::string &path) const
+{
+    CsvWriter w(path);
+    w.header({"sc_wh", "ba_wh", "mismatch_w", "r_lambda", "updates"});
+    for (const PatEntry &e : entries_) {
+        w.row({e.scWh, e.baWh, e.mismatchW, e.rLambda,
+               static_cast<double>(e.updates)});
+    }
+}
+
+PowerAllocationTable
+PowerAllocationTable::loadCsv(const std::string &path, PatGrid grid,
+                              double delta_r)
+{
+    PowerAllocationTable table(grid, delta_r);
+    CsvTable csv = readCsv(path);
+    std::size_t i_sc = csv.columnIndex("sc_wh");
+    std::size_t i_ba = csv.columnIndex("ba_wh");
+    std::size_t i_pm = csv.columnIndex("mismatch_w");
+    std::size_t i_r = csv.columnIndex("r_lambda");
+    std::size_t i_u = csv.columnIndex("updates");
+    for (const auto &row : csv.rows) {
+        table.seed(row[i_sc], row[i_ba], row[i_pm], row[i_r]);
+        auto idx = table.findExact(
+            table.quantize(row[i_sc], grid.scStepWh),
+            table.quantize(row[i_ba], grid.baStepWh),
+            table.quantize(row[i_pm], grid.pmStepW));
+        if (idx) {
+            table.entries_[*idx].updates =
+                static_cast<unsigned long>(row[i_u]);
+        }
+    }
+    return table;
+}
+
+PowerAllocationTable
+PowerAllocationTable::requantized(PatGrid coarser_grid) const
+{
+    PowerAllocationTable out(coarser_grid, deltaR_);
+    // Average the R_lambda of all source entries mapping to each
+    // coarse cell.
+    std::vector<double> weight(0);
+    for (const PatEntry &e : entries_) {
+        double sc_q = out.quantize(e.scWh, coarser_grid.scStepWh);
+        double ba_q = out.quantize(e.baWh, coarser_grid.baStepWh);
+        double pm_q = out.quantize(e.mismatchW, coarser_grid.pmStepW);
+        auto idx = out.findExact(sc_q, ba_q, pm_q);
+        if (!idx) {
+            out.entries_.push_back(
+                PatEntry{sc_q, ba_q, pm_q, e.rLambda, 1});
+        } else {
+            PatEntry &cell = out.entries_[*idx];
+            double n = static_cast<double>(cell.updates);
+            cell.rLambda = (cell.rLambda * n + e.rLambda) / (n + 1.0);
+            ++cell.updates;
+        }
+    }
+    for (PatEntry &e : out.entries_)
+        e.updates = 0;
+    return out;
+}
+
+void
+PowerAllocationTable::recordOutcome(double sc_initial_wh,
+                                    double ba_initial_wh,
+                                    double actual_pm_w, double r_lambda,
+                                    double sc_end_wh, double ba_end_wh)
+{
+    double sc_q = quantize(sc_initial_wh, grid_.scStepWh);
+    double ba_q = quantize(ba_initial_wh, grid_.baStepWh);
+    double pm_q = quantize(actual_pm_w, grid_.pmStepW);
+
+    auto idx = findExact(sc_q, ba_q, pm_q);
+    if (!idx) {
+        // Lines 13-15: format (round) and add the new entry.
+        entries_.push_back(PatEntry{
+            sc_q, ba_q, pm_q, std::clamp(r_lambda, 0.0, 1.0), 0});
+        return;
+    }
+
+    // Lines 16-22: nudge the entry by comparing the relative decline
+    // of the two pools over the slot.
+    PatEntry &e = entries_[*idx];
+    if (ba_initial_wh <= 0.0 || ba_end_wh <= 0.0) {
+        // Battery fully drained: lean harder on SCs next time.
+        e.rLambda = std::clamp(e.rLambda + deltaR_, 0.0, 1.0);
+        ++e.updates;
+        return;
+    }
+    double ratio_initial = sc_initial_wh / ba_initial_wh;
+    double ratio_end = sc_end_wh / ba_end_wh;
+    if (ratio_end > ratio_initial) {
+        // Battery declined faster than the SC: give the SC more load.
+        e.rLambda = std::clamp(e.rLambda + deltaR_, 0.0, 1.0);
+    } else if (ratio_end < ratio_initial) {
+        // SC declined faster: give the battery more load.
+        e.rLambda = std::clamp(e.rLambda - deltaR_, 0.0, 1.0);
+    }
+    ++e.updates;
+}
+
+} // namespace heb

@@ -1,0 +1,158 @@
+#include "core/profiler.h"
+
+#include <algorithm>
+
+#include "core/load_assignment.h"
+#include "util/logging.h"
+
+namespace heb {
+
+BufferProfiler::BufferProfiler(EsdFactory sc_factory,
+                               EsdFactory ba_factory,
+                               ProfilerConfig config)
+    : scFactory_(std::move(sc_factory)),
+      baFactory_(std::move(ba_factory)), config_(config)
+{
+    if (!scFactory_ || !baFactory_)
+        fatal("BufferProfiler needs both factories");
+    if (config_.ratioSteps < 2)
+        fatal("BufferProfiler needs at least two candidate ratios");
+}
+
+double
+BufferProfiler::dischargeRuntime(double sc_soc, double ba_soc,
+                                 double mismatch_w,
+                                 double r_lambda) const
+{
+    auto sc = scFactory_();
+    auto ba = baFactory_();
+    sc->setSoc(sc_soc);
+    ba->setSoc(ba_soc);
+
+    // The paper's Fig. 6 protocol: each branch carries exactly its
+    // assigned share; only when one device is *depleted* does the
+    // other take over the entire load. (No per-tick rate spillover —
+    // that is the deployed dispatch, not the characterization rig.)
+    double dt = config_.tickSeconds;
+    double t = 0.0;
+    while (t < config_.horizonSeconds) {
+        bool sc_dead = sc->depleted(dt);
+        bool ba_dead = ba->depleted(dt);
+        double sc_target, ba_target;
+        if (sc_dead && !ba_dead) {
+            sc_target = 0.0;
+            ba_target = mismatch_w;
+        } else if (ba_dead && !sc_dead) {
+            sc_target = mismatch_w;
+            ba_target = 0.0;
+        } else {
+            sc_target = mismatch_w * r_lambda;
+            ba_target = mismatch_w - sc_target;
+        }
+        double got = 0.0;
+        got += sc_target > 0.0 ? sc->discharge(sc_target, dt) : 0.0;
+        if (sc_target <= 0.0)
+            sc->rest(dt);
+        got += ba_target > 0.0 ? ba->discharge(ba_target, dt) : 0.0;
+        if (ba_target <= 0.0)
+            ba->rest(dt);
+        if (mismatch_w - got > config_.unservedToleranceW)
+            return t;
+        t += dt;
+    }
+    return config_.horizonSeconds;
+}
+
+RuntimeProfile
+BufferProfiler::profileScenario(double sc_soc, double ba_soc,
+                                double mismatch_w) const
+{
+    RuntimeProfile profile;
+    for (std::size_t i = 0; i < config_.ratioSteps; ++i) {
+        double r = static_cast<double>(i) /
+                   static_cast<double>(config_.ratioSteps - 1);
+        profile.ratios.push_back(r);
+        profile.runtimeSeconds.push_back(
+            dischargeRuntime(sc_soc, ba_soc, mismatch_w, r));
+    }
+    profile.bestIndex = static_cast<std::size_t>(
+        std::max_element(profile.runtimeSeconds.begin(),
+                         profile.runtimeSeconds.end()) -
+        profile.runtimeSeconds.begin());
+    return profile;
+}
+
+double
+BufferProfiler::cyclicUnservedWh(double sc_soc, double ba_soc,
+                                 double mismatch_w,
+                                 double r_lambda) const
+{
+    auto sc = scFactory_();
+    auto ba = baFactory_();
+    sc->setSoc(sc_soc);
+    ba->setSoc(ba_soc);
+
+    double unserved_wh = 0.0;
+    double dt = config_.tickSeconds;
+    for (std::size_t c = 0; c < config_.cycles; ++c) {
+        for (double t = 0.0; t < config_.peakDurationS; t += dt) {
+            DispatchResult res =
+                dispatchMismatch(*sc, *ba, mismatch_w, r_lambda, dt);
+            unserved_wh += res.unservedW * dt / 3600.0;
+        }
+        for (double t = 0.0; t < config_.valleyDurationS; t += dt) {
+            dispatchCharge(*sc, *ba, config_.valleyChargeW,
+                           /*sc_first=*/true, dt);
+        }
+    }
+    return unserved_wh;
+}
+
+double
+BufferProfiler::bestCyclicRatio(double sc_soc, double ba_soc,
+                                double mismatch_w) const
+{
+    double best_r = 1.0;
+    double best_score = -1.0;
+    for (std::size_t i = 0; i < config_.ratioSteps; ++i) {
+        // Sweep from the SC side down so ties keep the SC-heavier
+        // (cheaper-wear) candidate.
+        double r = 1.0 - static_cast<double>(i) /
+                             static_cast<double>(config_.ratioSteps - 1);
+        double score =
+            cyclicUnservedWh(sc_soc, ba_soc, mismatch_w, r);
+        if (best_score < 0.0 || score < best_score - 1e-9) {
+            best_score = score;
+            best_r = r;
+        }
+    }
+    return best_r;
+}
+
+void
+BufferProfiler::seedTable(PowerAllocationTable &table,
+                          const std::vector<double> &sc_socs,
+                          const std::vector<double> &ba_socs,
+                          const std::vector<double> &mismatch_watts) const
+{
+    for (double s : sc_socs) {
+        for (double b : ba_socs) {
+            for (double w : mismatch_watts) {
+                double r;
+                if (config_.cyclicSeeding) {
+                    r = bestCyclicRatio(s, b, w);
+                } else {
+                    r = profileScenario(s, b, w).bestRatio();
+                }
+                auto sc = scFactory_();
+                auto ba = baFactory_();
+                sc->setSoc(s);
+                ba->setSoc(b);
+                table.seed(sc->usableEnergyWh(), ba->usableEnergyWh(),
+                           w, r);
+            }
+        }
+    }
+}
+
+} // namespace heb

@@ -1,0 +1,42 @@
+#include "core/ride_through.h"
+
+#include <functional>
+#include <memory>
+
+#include "core/load_assignment.h"
+#include "util/logging.h"
+
+namespace heb {
+
+double
+estimateRideThroughSeconds(
+    const std::function<std::unique_ptr<EnergyStorageDevice>()>
+        &sc_factory,
+    const std::function<std::unique_ptr<EnergyStorageDevice>()>
+        &ba_factory,
+    double sc_soc, double ba_soc, double load_w,
+    RideThroughParams params)
+{
+    if (!sc_factory || !ba_factory)
+        fatal("estimateRideThroughSeconds: factories required");
+    if (load_w <= 0.0)
+        return params.horizonSeconds;
+
+    auto sc = sc_factory();
+    auto ba = ba_factory();
+    sc->setSoc(sc_soc);
+    ba->setSoc(ba_soc);
+
+    double t = 0.0;
+    while (t < params.horizonSeconds) {
+        DispatchResult res =
+            dispatchMismatch(*sc, *ba, load_w, params.rLambda,
+                             params.tickSeconds, load_w);
+        if (res.unservedW > params.shortfallToleranceW)
+            return t;
+        t += params.tickSeconds;
+    }
+    return params.horizonSeconds;
+}
+
+} // namespace heb

@@ -1,0 +1,136 @@
+#include "dc/cluster.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace heb {
+
+Cluster::Cluster(std::size_t count, ServerParams params)
+{
+    if (count == 0)
+        fatal("Cluster needs at least one server");
+    servers_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        ServerParams p = params;
+        p.name = params.name + "-" + std::to_string(i);
+        servers_.emplace_back(std::move(p), i);
+    }
+}
+
+Server &
+Cluster::server(std::size_t index)
+{
+    if (index >= servers_.size())
+        panic("Cluster server index out of range");
+    return servers_[index];
+}
+
+const Server &
+Cluster::server(std::size_t index) const
+{
+    if (index >= servers_.size())
+        panic("Cluster server index out of range");
+    return servers_[index];
+}
+
+std::size_t
+Cluster::onlineCount() const
+{
+    std::size_t n = 0;
+    for (const auto &s : servers_) {
+        if (s.isOn())
+            ++n;
+    }
+    return n;
+}
+
+double
+Cluster::totalPowerW(const std::vector<double> &utilization,
+                     double now_seconds) const
+{
+    if (utilization.size() != servers_.size())
+        fatal("Cluster::totalPowerW utilization size mismatch");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < servers_.size(); ++i)
+        acc += servers_[i].powerAt(utilization[i], now_seconds);
+    return acc;
+}
+
+double
+Cluster::nameplatePeakW() const
+{
+    double acc = 0.0;
+    for (const auto &s : servers_)
+        acc += s.params().peakPowerW;
+    return acc;
+}
+
+double
+Cluster::idleFloorW() const
+{
+    double acc = 0.0;
+    for (const auto &s : servers_)
+        acc += s.params().idlePowerW;
+    return acc;
+}
+
+std::vector<std::size_t>
+Cluster::shutdownLru(std::size_t count, double now_seconds)
+{
+    std::vector<std::size_t> online;
+    for (std::size_t i = 0; i < servers_.size(); ++i) {
+        if (servers_[i].isOn())
+            online.push_back(i);
+    }
+    std::sort(online.begin(), online.end(),
+              [this](std::size_t a, std::size_t b) {
+                  return servers_[a].lastActiveTime() <
+                         servers_[b].lastActiveTime();
+              });
+    std::vector<std::size_t> victims;
+    for (std::size_t i = 0; i < online.size() && i < count; ++i) {
+        servers_[online[i]].powerOff(now_seconds);
+        victims.push_back(online[i]);
+    }
+    return victims;
+}
+
+void
+Cluster::powerOnAll(double now_seconds)
+{
+    for (auto &s : servers_) {
+        if (!s.isOn())
+            s.powerOn(now_seconds);
+    }
+}
+
+double
+Cluster::totalDowntimeSeconds() const
+{
+    double acc = 0.0;
+    for (const auto &s : servers_)
+        acc += s.downtimeSeconds();
+    return acc;
+}
+
+unsigned long
+Cluster::totalOnOffCycles() const
+{
+    unsigned long acc = 0;
+    for (const auto &s : servers_)
+        acc += s.onOffCycles();
+    return acc;
+}
+
+double
+Cluster::totalBootEnergyWh() const
+{
+    double acc = 0.0;
+    for (const auto &s : servers_)
+        acc += s.bootEnergyWh();
+    return acc;
+}
+
+} // namespace heb

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Server cluster: the prototype's rack of six low-power nodes.
+ *
+ * The cluster owns its servers, applies the DVFS grouping the paper
+ * uses to construct small/large peak shapes, and offers the
+ * least-recently-used shutdown order the evaluation uses when buffers
+ * cannot cover a shortfall.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dc/server.h"
+
+namespace heb {
+
+/** A rack of servers managed as one power domain. */
+class Cluster
+{
+  public:
+    /**
+     * Build @p count identical servers from @p params.
+     */
+    Cluster(std::size_t count, ServerParams params = {});
+
+    /** Number of servers (on or off). */
+    std::size_t size() const { return servers_.size(); }
+
+    /** Access one server. */
+    Server &server(std::size_t index);
+    const Server &server(std::size_t index) const;
+
+    /** Number of servers currently powered on. */
+    std::size_t onlineCount() const;
+
+    /**
+     * Total wall power at the given per-server utilizations
+     * (vector sized like the cluster).
+     */
+    double totalPowerW(const std::vector<double> &utilization,
+                       double now_seconds) const;
+
+    /**
+     * Aggregate nameplate peak (all servers at 100 %, high freq).
+     */
+    double nameplatePeakW() const;
+
+    /** Aggregate idle floor with every server online. */
+    double idleFloorW() const;
+
+    /**
+     * Power off the @p count least-recently-active online servers at
+     * @p now_seconds; returns the indices actually shut down.
+     */
+    std::vector<std::size_t> shutdownLru(std::size_t count,
+                                         double now_seconds);
+
+    /** Power on every offline server. */
+    void powerOnAll(double now_seconds);
+
+    /** Aggregate downtime across servers (s). */
+    double totalDowntimeSeconds() const;
+
+    /** Aggregate on/off cycles across servers. */
+    unsigned long totalOnOffCycles() const;
+
+    /** Aggregate boot-energy waste (Wh). */
+    double totalBootEnergyWh() const;
+
+  private:
+    std::vector<Server> servers_;
+};
+
+} // namespace heb

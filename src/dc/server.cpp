@@ -1,0 +1,85 @@
+#include "dc/server.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/units.h"
+
+namespace heb {
+
+Server::Server(ServerParams params, std::size_t index)
+    : params_(std::move(params)), index_(index)
+{
+    if (params_.idlePowerW < 0.0 ||
+        params_.peakPowerW <= params_.idlePowerW) {
+        fatal("Server power envelope invalid: idle ", params_.idlePowerW,
+              " peak ", params_.peakPowerW);
+    }
+    if (params_.lowFreqGhz <= 0.0 ||
+        params_.highFreqGhz < params_.lowFreqGhz) {
+        fatal("Server frequency levels invalid");
+    }
+}
+
+double
+Server::freqFactor() const
+{
+    double f = freq_ == Frequency::High ? params_.highFreqGhz
+                                        : params_.lowFreqGhz;
+    return std::pow(f / params_.highFreqGhz, params_.freqPowerExponent);
+}
+
+double
+Server::powerAt(double utilization, double now_seconds) const
+{
+    if (!on_)
+        return 0.0;
+    if (now_seconds < bootDoneTime_)
+        return params_.bootPowerW;
+    double u = std::clamp(utilization, 0.0, 1.0);
+    double dynamic = (params_.peakPowerW - params_.idlePowerW) * u *
+                     freqFactor();
+    return params_.idlePowerW + dynamic;
+}
+
+bool
+Server::isUp(double now_seconds) const
+{
+    return on_ && now_seconds >= bootDoneTime_;
+}
+
+void
+Server::powerOff(double now_seconds)
+{
+    if (!on_)
+        return;
+    on_ = false;
+    lastActive_ = std::min(lastActive_, now_seconds);
+}
+
+void
+Server::powerOn(double now_seconds)
+{
+    if (on_)
+        return;
+    on_ = true;
+    bootDoneTime_ = now_seconds + params_.bootTimeS;
+    ++cycles_;
+}
+
+void
+Server::touch(double now_seconds, double utilization)
+{
+    if (utilization > 0.05 && isUp(now_seconds))
+        lastActive_ = now_seconds;
+}
+
+double
+Server::bootEnergyWh() const
+{
+    return static_cast<double>(cycles_) *
+           energyWh(params_.bootPowerW, params_.bootTimeS);
+}
+
+} // namespace heb

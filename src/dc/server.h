@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Server power model.
+ *
+ * Matches the prototype's computing nodes: Intel i7-2720QM boxes with
+ * 30 W idle / 70 W peak, dual-corded supplies, and an on-demand
+ * frequency governor pinned to 1.3 GHz (low) or 1.8 GHz (high). The
+ * model maps (utilization, frequency) to wall power and accounts the
+ * energy wasted by on/off cycles — the paper notes boot waste eats
+ * nearly half of any battery "recovery" savings.
+ */
+
+#pragma once
+
+#include <string>
+
+namespace heb {
+
+/** Static server parameters. */
+struct ServerParams
+{
+    /** Label. */
+    std::string name = "node";
+
+    /** Wall power when idle at full frequency (W). */
+    double idlePowerW = 30.0;
+
+    /** Wall power at 100 % utilization and full frequency (W). */
+    double peakPowerW = 70.0;
+
+    /** Low DVFS frequency (GHz). */
+    double lowFreqGhz = 1.3;
+
+    /** High DVFS frequency (GHz). */
+    double highFreqGhz = 1.8;
+
+    /** Exponent of dynamic-power scaling with frequency. */
+    double freqPowerExponent = 2.0;
+
+    /** Time to boot after power-on (s). */
+    double bootTimeS = 60.0;
+
+    /** Average wall power while booting (W). */
+    double bootPowerW = 50.0;
+};
+
+/** One dual-corded server. */
+class Server
+{
+  public:
+    /** DVFS setting. */
+    enum class Frequency { Low, High };
+
+    /** Construct an online server at high frequency. */
+    explicit Server(ServerParams params, std::size_t index);
+
+    /** Stable index within the cluster. */
+    std::size_t index() const { return index_; }
+
+    /** Parameters. */
+    const ServerParams &params() const { return params_; }
+
+    /** Set the DVFS level. */
+    void setFrequency(Frequency freq) { freq_ = freq; }
+
+    /** Current DVFS level. */
+    Frequency frequency() const { return freq_; }
+
+    /**
+     * Wall power (W) at @p utilization in [0,1] given the present
+     * power state: 0 when off, boot power while booting, and the
+     * idle + dynamic model when up.
+     */
+    double powerAt(double utilization, double now_seconds) const;
+
+    /** True when powered and past its boot window. */
+    bool isUp(double now_seconds) const;
+
+    /** True when powered at all (booting counts). */
+    bool isOn() const { return on_; }
+
+    /** Power the server off at @p now_seconds. */
+    void powerOff(double now_seconds);
+
+    /** Power the server on at @p now_seconds (begins boot). */
+    void powerOn(double now_seconds);
+
+    /** Record one tick of activity for LRU bookkeeping. */
+    void touch(double now_seconds, double utilization);
+
+    /** Last time the server did meaningful work (for LRU shutdown). */
+    double lastActiveTime() const { return lastActive_; }
+
+    /** Total accumulated off time (s). */
+    double downtimeSeconds() const { return downtime_; }
+
+    /** Account elapsed off-time; called once per tick while off. */
+    void accrueDowntime(double dt_seconds) { downtime_ += dt_seconds; }
+
+    /** Number of on/off cycles. */
+    unsigned long onOffCycles() const { return cycles_; }
+
+    /** Energy burned in boots so far (Wh). */
+    double bootEnergyWh() const;
+
+  private:
+    /** Frequency scale factor on the dynamic power term. */
+    double freqFactor() const;
+
+    ServerParams params_;
+    std::size_t index_;
+    Frequency freq_ = Frequency::High;
+    bool on_ = true;
+    double bootDoneTime_ = 0.0;
+    double lastActive_ = 0.0;
+    double downtime_ = 0.0;
+    unsigned long cycles_ = 0;
+};
+
+} // namespace heb

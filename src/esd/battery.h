@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Kinetic-battery-model (KiBaM) lead-acid battery.
+ *
+ * The KiBaM two-well formulation (Manwell & McGowan) captures the two
+ * battery phenomena the HEB paper's characterization leans on:
+ *
+ *  - the *rate-capacity* (Peukert) effect: at high discharge current
+ *    the available well drains before the bound well can refill it,
+ *    so usable capacity shrinks;
+ *  - the *recovery* effect: during rest, bound charge migrates back
+ *    into the available well and previously "lost" energy returns.
+ *
+ * Terminal behaviour adds an OCV(SoC) + internal-resistance model so
+ * that heavy loads sag the terminal voltage (paper Fig. 5) and ohmic
+ * plus coulombic losses produce the <80 % round-trip efficiency the
+ * paper measures (Fig. 3).
+ */
+
+#pragma once
+
+#include <string>
+
+#include "esd/battery_params.h"
+#include "esd/energy_storage.h"
+
+namespace heb {
+
+/** A lead-acid battery simulated with KiBaM dynamics. */
+class Battery : public EnergyStorageDevice
+{
+  public:
+    /** Construct a fully-charged battery. */
+    explicit Battery(BatteryParams params);
+
+    const std::string &name() const override { return params_.name; }
+
+    double discharge(double watts, double dt_seconds) override;
+    double charge(double watts, double dt_seconds) override;
+    void rest(double dt_seconds) override;
+
+    double usableEnergyWh() const override;
+    double capacityWh() const override { return params_.capacityWh(); }
+    double soc() const override;
+    double terminalVoltage(double load_watts) const override;
+    double maxDischargePowerW(double dt_seconds) const override;
+    double maxChargePowerW(double dt_seconds) const override;
+    bool depleted(double dt_seconds) const override;
+    double lifetimeFractionUsed() const override;
+    const EsdCounters &counters() const override { return counters_; }
+    void reset() override;
+    void setSoc(double soc) override;
+
+    /** Parameter set in use. */
+    const BatteryParams &params() const { return params_; }
+
+    /** Charge in the KiBaM available well (Ah). */
+    double availableChargeAh() const { return y1_; }
+
+    /** Charge in the KiBaM bound well (Ah). */
+    double boundChargeAh() const { return y2_; }
+
+    /** Open-circuit voltage at the present state of charge. */
+    double openCircuitVoltage() const;
+
+    /** Effective internal resistance at the present SoC (ohm). */
+    double effectiveResistance() const;
+
+    /** Lifetime-weighted discharge throughput so far (Ah). */
+    double weightedThroughputAh() const { return weightedAh_; }
+
+    /**
+     * Effective capacity (Ah) after aging fade; equals the rated
+     * capacity when aging is disabled or the battery is fresh.
+     */
+    double effectiveCapacityAh() const;
+
+    /** Cell temperature (C); ambient when the thermal model is off. */
+    double temperatureC() const { return tempC_; }
+
+    /**
+     * Thermal charge-derating factor in [0, 1]: 1 below the derate
+     * knee, 0 at the cutoff temperature.
+     */
+    double thermalChargeDerate() const;
+
+    /**
+     * Largest sustained discharge current (A) over the next
+     * @p dt_seconds permitted by the KiBaM available well.
+     */
+    double kibamMaxDischargeCurrent(double dt_seconds) const;
+
+    /**
+     * Largest sustained charge current (A) over the next dt before
+     * the available well hits its ceiling.
+     */
+    double kibamMaxChargeCurrent(double dt_seconds) const;
+
+  private:
+    /** Advance both wells under constant current for dt (closed form). */
+    void stepWells(double current_a, double dt_seconds);
+
+    /** First-order thermal update given this tick's loss power. */
+    void stepThermal(double loss_w, double dt_seconds);
+
+    /** Current (A) that draws @p watts at the terminals, or -1. */
+    double dischargeCurrentFor(double watts) const;
+
+    /** Current (A) that absorbs @p watts at the terminals. */
+    double chargeCurrentFor(double watts) const;
+
+    /** Largest discharge current the voltage model allows (A). */
+    double voltageLimitedCurrent() const;
+
+    /** Wear weight applied to discharge throughput right now. */
+    double wearWeight(double current_a) const;
+
+    BatteryParams params_;
+    double y1_; //!< available charge (Ah)
+    double y2_; //!< bound charge (Ah)
+    double weightedAh_ = 0.0;
+    double tempC_;
+    int lastDirection_ = 0; //!< +1 discharging, -1 charging, 0 fresh
+    EsdCounters counters_;
+};
+
+} // namespace heb

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Lead-acid battery parameter set and presets.
+ *
+ * The defaults model the prototype's 24 V lead-acid string (two 12 V,
+ * 4 Ah blocks in series) using the kinetic battery model (KiBaM) for
+ * capacity dynamics plus an OCV + internal-resistance voltage model.
+ */
+
+#pragma once
+
+#include <string>
+
+namespace heb {
+
+/** Full parameterization of a Battery instance. */
+struct BatteryParams
+{
+    /** Device label used in logs and tables. */
+    std::string name = "lead-acid-24v";
+
+    /** Nominal capacity at the reference rate (Ah). */
+    double capacityAh = 4.0;
+
+    /** Nominal system voltage (V). */
+    double nominalVoltage = 24.0;
+
+    /** Open-circuit voltage at full charge (V). */
+    double vFull = 25.8;
+
+    /** Open-circuit voltage at empty (V). */
+    double vEmpty = 22.0;
+
+    /** Discharge cutoff voltage (V); below this, delivery stops. */
+    double vCutoff = 21.0;
+
+    /** Maximum permissible charging terminal voltage (V). */
+    double vChargeMax = 28.8;
+
+    /** Internal series resistance at full charge (ohm). */
+    double internalResistanceOhm = 0.18;
+
+    /**
+     * Quadratic growth of internal resistance toward empty:
+     * R_eff = R * (1 + growth * (1 - soc)^2). Produces the sharp
+     * voltage sag under heavy load near depletion (paper Fig. 5).
+     */
+    double resistanceGrowthAtLowSoc = 2.0;
+
+    /** KiBaM available-charge fraction c in (0, 1). */
+    double kibamC = 0.32;
+
+    /** KiBaM rate constant k (1/hour). */
+    double kibamK = 1.1;
+
+    /**
+     * Coulombic efficiency applied to charge throughput. Together
+     * with ohmic losses this lands lead-acid round-trip efficiency
+     * in the 75-80 % band the paper measures (Fig. 3).
+     */
+    double coulombicEfficiency = 0.85;
+
+    /** Charging current ceiling as a C-rate multiple (I <= rate*C). */
+    double maxChargeCRate = 0.25;
+
+    /**
+     * Discharge current ceiling as a C-rate multiple. Small sealed
+     * lead-acid blocks sustain roughly 1 C continuous; beyond that
+     * the voltage sags below cutoff almost immediately (Fig. 5).
+     */
+    double maxDischargeCRate = 1.0;
+
+    /** Maximum usable depth of discharge in (0, 1]. */
+    double dodLimit = 0.8;
+
+    /** Cycle life at the rated DoD (full equivalent cycles). */
+    double ratedCycleLife = 2500.0;
+
+    /** DoD at which ratedCycleLife is specified. */
+    double ratedCycleDod = 0.8;
+
+    /**
+     * Wear weighting: discharging at low state-of-charge consumes
+     * lifetime throughput faster. weight = 1 + factor * (1 - soc).
+     */
+    double wearSocFactor = 1.0;
+
+    /**
+     * Wear weighting for high current: discharge above the reference
+     * C-rate (0.25 C) adds weight = 1 + factor * excess C multiples.
+     */
+    double wearCurrentFactor = 0.5;
+
+    /** Self-discharge fraction per hour while resting. */
+    double selfDischargePerHour = 2.0e-5;
+
+    // --- Aging (paper §5.3: "with the battery and SC aging, their
+    // ability of handling power mismatching will decline") ---------
+
+    /**
+     * Enable capacity fade: effective capacity shrinks linearly with
+     * consumed lifetime down to endOfLifeCapacityFraction at 100 %
+     * lifetime throughput (the industry 80 %-of-rated EoL criterion).
+     */
+    bool agingEnabled = false;
+
+    /** Remaining capacity fraction at end of life. */
+    double endOfLifeCapacityFraction = 0.8;
+
+    /**
+     * Internal-resistance growth at end of life (resistance rises as
+     * plates sulfate): R_eol = R * (1 + growth).
+     */
+    double endOfLifeResistanceGrowth = 0.5;
+
+    // --- Thermal charge derating (paper §1: "to avoid battery
+    // overheating during charging, batteries cannot be re-charged
+    // very fast with large charging current") ----------------------
+
+    /** Enable the thermal model. */
+    bool thermalEnabled = false;
+
+    /** Ambient temperature (C). */
+    double ambientC = 25.0;
+
+    /** Temperature above which charging derates (C). */
+    double chargeDerateStartC = 40.0;
+
+    /** Temperature at which charging stops entirely (C). */
+    double chargeCutoffC = 55.0;
+
+    /** Thermal resistance: steady-state rise per watt of loss (C/W). */
+    double thermalResistanceCPerW = 4.0;
+
+    /** Thermal time constant (s). */
+    double thermalTimeConstantS = 1800.0;
+
+    /**
+     * Rated lifetime Ah throughput (Risoe Ah-throughput model):
+     * cycles * DoD * capacity.
+     */
+    double
+    ratedThroughputAh() const
+    {
+        return ratedCycleLife * ratedCycleDod * capacityAh;
+    }
+
+    /** Nominal energy capacity in Wh. */
+    double
+    capacityWh() const
+    {
+        return capacityAh * nominalVoltage;
+    }
+
+    /**
+     * The prototype's 24 V / 4 Ah lead-acid string.
+     */
+    static BatteryParams
+    prototypeLeadAcid()
+    {
+        return BatteryParams{};
+    }
+
+    /**
+     * A lead-acid string scaled to @p capacity_ah at 24 V; resistance
+     * scales inversely with capacity (more parallel plates).
+     */
+    static BatteryParams
+    leadAcid24V(double capacity_ah)
+    {
+        BatteryParams p;
+        p.capacityAh = capacity_ah;
+        p.internalResistanceOhm = 0.18 * (4.0 / capacity_ah);
+        return p;
+    }
+
+    /**
+     * A 24 V Li-ion pack of @p capacity_ah: near-unity coulombic
+     * efficiency, flat OCV, 1 C charging, deeper usable DoD, faster
+     * kinetics (small rate-capacity effect) — the Fig. 4 technology
+     * as a usable device for what-if studies.
+     */
+    static BatteryParams
+    liIon24V(double capacity_ah)
+    {
+        BatteryParams p;
+        p.name = "li-ion-24v";
+        p.capacityAh = capacity_ah;
+        p.vFull = 27.6;  // 6s pack, 4.1 V/cell region
+        p.vEmpty = 21.0; // flat-ish plateau handled by small span
+        p.vCutoff = 19.8;
+        p.vChargeMax = 28.2;
+        p.internalResistanceOhm = 0.06 * (4.0 / capacity_ah);
+        p.resistanceGrowthAtLowSoc = 0.8;
+        p.kibamC = 0.85; // most charge immediately available
+        p.kibamK = 6.0;  // fast diffusion
+        p.coulombicEfficiency = 0.99;
+        p.maxChargeCRate = 1.0;
+        p.maxDischargeCRate = 2.0;
+        p.dodLimit = 0.9;
+        p.ratedCycleLife = 2500.0;
+        p.ratedCycleDod = 0.9;
+        p.wearSocFactor = 0.6;
+        p.wearCurrentFactor = 0.3;
+        p.selfDischargePerHour = 4.0e-6;
+        return p;
+    }
+};
+
+} // namespace heb

@@ -1,0 +1,61 @@
+#include "esd/efficiency_meter.h"
+
+#include <algorithm>
+
+namespace heb {
+
+EfficiencyMeter::EfficiencyMeter(const EnergyStorageDevice &device)
+    : device_(device)
+{
+    restart();
+}
+
+void
+EfficiencyMeter::restart()
+{
+    start_ = device_.counters();
+    startStoredWh_ = device_.usableEnergyWh();
+}
+
+double
+EfficiencyMeter::chargedWh() const
+{
+    return device_.counters().chargeEnergyWh - start_.chargeEnergyWh;
+}
+
+double
+EfficiencyMeter::dischargedWh() const
+{
+    return device_.counters().dischargeEnergyWh -
+           start_.dischargeEnergyWh;
+}
+
+double
+EfficiencyMeter::lossWh() const
+{
+    return device_.counters().lossEnergyWh - start_.lossEnergyWh;
+}
+
+double
+EfficiencyMeter::roundTripEfficiency() const
+{
+    double in = chargedWh();
+    double out = dischargedWh();
+    double delta_stored = device_.usableEnergyWh() - startStoredWh_;
+    double denom = in - delta_stored;
+    if (denom <= 0.0 || out <= 0.0)
+        return out <= 0.0 && in <= 0.0 ? 1.0 : 0.0;
+    return std::clamp(out / denom, 0.0, 1.0);
+}
+
+double
+EfficiencyMeter::dischargeEfficiency() const
+{
+    double out = dischargedWh();
+    double loss = lossWh();
+    if (out <= 0.0)
+        return 1.0;
+    return out / (out + loss);
+}
+
+} // namespace heb

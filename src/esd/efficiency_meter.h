@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Round-trip efficiency measurement over a device's counters.
+ *
+ * Mirrors the paper's characterization methodology: efficiency is
+ * computed "based on detailed charging/discharging logs". The meter
+ * snapshots an ESD's counters at window start and reports the ratio
+ * of terminal energy out to terminal energy in over the window,
+ * corrected for the net change in stored energy.
+ */
+
+#pragma once
+
+#include "esd/energy_storage.h"
+
+namespace heb {
+
+/** Windowed round-trip efficiency meter for one ESD. */
+class EfficiencyMeter
+{
+  public:
+    /** Start a measurement window on @p device now. */
+    explicit EfficiencyMeter(const EnergyStorageDevice &device);
+
+    /** Restart the window at the device's present state. */
+    void restart();
+
+    /** Terminal energy charged into the device this window (Wh). */
+    double chargedWh() const;
+
+    /** Terminal energy discharged from the device this window (Wh). */
+    double dischargedWh() const;
+
+    /** Internal losses accumulated this window (Wh). */
+    double lossWh() const;
+
+    /**
+     * Round-trip efficiency over the window.
+     *
+     * For a closed cycle (stored energy back to its start) this is
+     * simply out/in. For open windows the net stored-energy delta is
+     * credited: eff = out / (in - delta_stored) clamped to [0, 1].
+     * Returns 1.0 when no energy moved.
+     */
+    double roundTripEfficiency() const;
+
+    /**
+     * One-way discharge efficiency: terminal energy delivered over
+     * (delivered + losses) this window.
+     */
+    double dischargeEfficiency() const;
+
+  private:
+    const EnergyStorageDevice &device_;
+    EsdCounters start_;
+    double startStoredWh_;
+};
+
+} // namespace heb

@@ -1,0 +1,227 @@
+#include "esd/esd_pool.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace heb {
+
+EsdPool::EsdPool(std::string name) : name_(std::move(name)) {}
+
+void
+EsdPool::add(std::unique_ptr<EnergyStorageDevice> device)
+{
+    if (!device)
+        fatal("EsdPool::add null device");
+    devices_.push_back(std::move(device));
+}
+
+EnergyStorageDevice &
+EsdPool::device(std::size_t index)
+{
+    if (index >= devices_.size())
+        panic("EsdPool device index out of range");
+    return *devices_[index];
+}
+
+const EnergyStorageDevice &
+EsdPool::device(std::size_t index) const
+{
+    if (index >= devices_.size())
+        panic("EsdPool device index out of range");
+    return *devices_[index];
+}
+
+double
+EsdPool::discharge(double watts, double dt_seconds)
+{
+    if (devices_.empty())
+        return 0.0;
+    // Proportional-to-capability split: each member can always honour
+    // its share because share_i <= max_i.
+    std::vector<double> caps(devices_.size());
+    double total_cap = 0.0;
+    for (std::size_t i = 0; i < devices_.size(); ++i) {
+        caps[i] = devices_[i]->maxDischargePowerW(dt_seconds);
+        total_cap += caps[i];
+    }
+    double delivered = 0.0;
+    if (total_cap <= 0.0 || watts <= 0.0) {
+        for (auto &d : devices_)
+            d->rest(dt_seconds);
+        return 0.0;
+    }
+    double target = std::min(watts, total_cap);
+    for (std::size_t i = 0; i < devices_.size(); ++i) {
+        double share = target * caps[i] / total_cap;
+        if (share > 0.0)
+            delivered += devices_[i]->discharge(share, dt_seconds);
+        else
+            devices_[i]->rest(dt_seconds);
+    }
+    return delivered;
+}
+
+double
+EsdPool::charge(double watts, double dt_seconds)
+{
+    if (devices_.empty())
+        return 0.0;
+    std::vector<double> caps(devices_.size());
+    double total_cap = 0.0;
+    for (std::size_t i = 0; i < devices_.size(); ++i) {
+        caps[i] = devices_[i]->maxChargePowerW(dt_seconds);
+        total_cap += caps[i];
+    }
+    double absorbed = 0.0;
+    if (total_cap <= 0.0 || watts <= 0.0) {
+        for (auto &d : devices_)
+            d->rest(dt_seconds);
+        return 0.0;
+    }
+    double target = std::min(watts, total_cap);
+    for (std::size_t i = 0; i < devices_.size(); ++i) {
+        double share = target * caps[i] / total_cap;
+        if (share > 0.0)
+            absorbed += devices_[i]->charge(share, dt_seconds);
+        else
+            devices_[i]->rest(dt_seconds);
+    }
+    return absorbed;
+}
+
+void
+EsdPool::rest(double dt_seconds)
+{
+    for (auto &d : devices_)
+        d->rest(dt_seconds);
+}
+
+double
+EsdPool::usableEnergyWh() const
+{
+    double acc = 0.0;
+    for (const auto &d : devices_)
+        acc += d->usableEnergyWh();
+    return acc;
+}
+
+double
+EsdPool::capacityWh() const
+{
+    double acc = 0.0;
+    for (const auto &d : devices_)
+        acc += d->capacityWh();
+    return acc;
+}
+
+double
+EsdPool::soc() const
+{
+    double cap = capacityWh();
+    if (cap <= 0.0)
+        return 0.0;
+    double acc = 0.0;
+    for (const auto &d : devices_)
+        acc += d->soc() * d->capacityWh();
+    return acc / cap;
+}
+
+double
+EsdPool::terminalVoltage(double load_watts) const
+{
+    if (devices_.empty())
+        return 0.0;
+    // Report the weakest member's terminal voltage under its share of
+    // the load: the first point the system would brown out.
+    double total_cap = 0.0;
+    std::vector<double> caps(devices_.size());
+    for (std::size_t i = 0; i < devices_.size(); ++i) {
+        caps[i] = devices_[i]->maxDischargePowerW(1.0);
+        total_cap += caps[i];
+    }
+    double v_min = devices_.front()->terminalVoltage(0.0);
+    for (std::size_t i = 0; i < devices_.size(); ++i) {
+        double share = total_cap > 0.0
+                           ? load_watts * caps[i] / total_cap
+                           : 0.0;
+        v_min = std::min(v_min, devices_[i]->terminalVoltage(share));
+    }
+    return v_min;
+}
+
+double
+EsdPool::maxDischargePowerW(double dt_seconds) const
+{
+    double acc = 0.0;
+    for (const auto &d : devices_)
+        acc += d->maxDischargePowerW(dt_seconds);
+    return acc;
+}
+
+double
+EsdPool::maxChargePowerW(double dt_seconds) const
+{
+    double acc = 0.0;
+    for (const auto &d : devices_)
+        acc += d->maxChargePowerW(dt_seconds);
+    return acc;
+}
+
+bool
+EsdPool::depleted(double dt_seconds) const
+{
+    for (const auto &d : devices_) {
+        if (!d->depleted(dt_seconds))
+            return false;
+    }
+    return true;
+}
+
+double
+EsdPool::lifetimeFractionUsed() const
+{
+    // The pool wears out when its most-worn member does.
+    double worst = 0.0;
+    for (const auto &d : devices_)
+        worst = std::max(worst, d->lifetimeFractionUsed());
+    return worst;
+}
+
+void
+EsdPool::refreshCounters() const
+{
+    aggregate_ = EsdCounters{};
+    for (const auto &d : devices_) {
+        const EsdCounters &c = d->counters();
+        aggregate_.chargeEnergyWh += c.chargeEnergyWh;
+        aggregate_.dischargeEnergyWh += c.dischargeEnergyWh;
+        aggregate_.lossEnergyWh += c.lossEnergyWh;
+        aggregate_.dischargeAh += c.dischargeAh;
+        aggregate_.chargeAh += c.chargeAh;
+        aggregate_.directionChanges += c.directionChanges;
+    }
+}
+
+const EsdCounters &
+EsdPool::counters() const
+{
+    refreshCounters();
+    return aggregate_;
+}
+
+void
+EsdPool::reset()
+{
+    for (auto &d : devices_)
+        d->reset();
+}
+
+void
+EsdPool::setSoc(double soc)
+{
+    for (auto &d : devices_)
+        d->setSoc(soc);
+}
+
+} // namespace heb

@@ -1,0 +1,53 @@
+#include "esd/lifetime_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/units.h"
+
+namespace heb {
+
+AhThroughputLifetimeModel::AhThroughputLifetimeModel(
+    LifetimeModelParams params)
+    : params_(params)
+{
+    if (params_.ratedThroughputAh <= 0.0)
+        fatal("Lifetime model rated throughput must be positive");
+    if (params_.floatLifeYears <= 0.0)
+        fatal("Lifetime model float life must be positive");
+}
+
+double
+AhThroughputLifetimeModel::cyclesToFailure(double dod) const
+{
+    if (dod <= 0.0 || dod > 1.0)
+        fatal("cyclesToFailure: DoD must be in (0,1], got ", dod);
+    return params_.cfA * std::pow(dod, -params_.cfB);
+}
+
+double
+AhThroughputLifetimeModel::estimateLifetimeYears(
+    double weighted_ah, double window_seconds) const
+{
+    if (window_seconds <= 0.0)
+        fatal("estimateLifetimeYears: window must be positive");
+    if (weighted_ah <= 0.0)
+        return params_.floatLifeYears;
+    double window_years =
+        window_seconds / (kSecondsPerDay * kDaysPerYear);
+    double rate_ah_per_year = weighted_ah / window_years;
+    double cycling_years = params_.ratedThroughputAh / rate_ah_per_year;
+    return std::min(cycling_years, params_.floatLifeYears);
+}
+
+double
+AhThroughputLifetimeModel::improvementFactor(double lifetime_a_years,
+                                             double lifetime_b_years)
+{
+    if (lifetime_a_years <= 0.0)
+        fatal("improvementFactor: baseline lifetime must be positive");
+    return lifetime_b_years / lifetime_a_years;
+}
+
+} // namespace heb

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Ah-throughput battery lifetime estimation (Risoe model, paper
+ * ref [49]).
+ *
+ * The model assumes a battery fails after a rated total discharge
+ * throughput, with throughput drawn at low state-of-charge and high
+ * current "costing" more (the weighting is applied by Battery when it
+ * logs weightedThroughputAh). Given the weighted throughput consumed
+ * over an observed window, the model extrapolates calendar lifetime,
+ * capped by a float-life ceiling.
+ */
+
+#pragma once
+
+namespace heb {
+
+/** Inputs/knobs of the Ah-throughput lifetime extrapolation. */
+struct LifetimeModelParams
+{
+    /** Rated lifetime throughput (Ah) at reference conditions. */
+    double ratedThroughputAh = 8000.0;
+
+    /** Shelf/float life ceiling in years (lead-acid grid float). */
+    double floatLifeYears = 8.0;
+
+    /** Cycles-to-failure curve: CF(dod) = cfA * dod^-cfB. */
+    double cfA = 2078.0;
+    double cfB = 0.15;
+};
+
+/** Ah-throughput lifetime estimator. */
+class AhThroughputLifetimeModel
+{
+  public:
+    /** Construct with the given knobs. */
+    explicit AhThroughputLifetimeModel(LifetimeModelParams params = {});
+
+    /**
+     * Cycles to failure at a given depth of discharge (0, 1].
+     * Deeper cycles cost more life, so CF falls as DoD rises.
+     */
+    double cyclesToFailure(double dod) const;
+
+    /**
+     * Expected calendar lifetime (years) when @p weighted_ah of
+     * throughput was consumed over @p window_seconds of operation.
+     * Returns the float-life cap when usage is negligible.
+     */
+    double estimateLifetimeYears(double weighted_ah,
+                                 double window_seconds) const;
+
+    /**
+     * Lifetime *improvement factor* of usage profile B over A:
+     * lifetimeYears(B) / lifetimeYears(A) for equal windows.
+     */
+    static double improvementFactor(double lifetime_a_years,
+                                    double lifetime_b_years);
+
+    /** Knobs in use. */
+    const LifetimeModelParams &params() const { return params_; }
+
+  private:
+    LifetimeModelParams params_;
+};
+
+} // namespace heb

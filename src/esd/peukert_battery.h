@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Peukert-law-only battery: the ablation counterpart to KiBaM.
+ *
+ * This model keeps Peukert's rate-capacity effect (high current drains
+ * effective capacity super-linearly) but has *no* recovery effect:
+ * charge consumed at high rate never comes back during rest.
+ * DESIGN.md calls this ablation out for the Fig. 3 bench — it shows
+ * that the recovery effect, not just rate-capacity, is load-bearing
+ * for the paper's efficiency characterization.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "esd/battery_params.h"
+#include "esd/energy_storage.h"
+
+namespace heb {
+
+/** A lead-acid battery with Peukert scaling and no recovery. */
+class PeukertBattery : public EnergyStorageDevice
+{
+  public:
+    /**
+     * Construct fully charged.
+     *
+     * @param params   Shared lead-acid parameter set.
+     * @param exponent Peukert exponent (1.0 = ideal, lead-acid
+     *                 typically 1.1-1.3).
+     */
+    PeukertBattery(BatteryParams params, double exponent = 1.2);
+
+    const std::string &name() const override { return params_.name; }
+
+    double discharge(double watts, double dt_seconds) override;
+    double charge(double watts, double dt_seconds) override;
+    void rest(double dt_seconds) override;
+
+    double usableEnergyWh() const override;
+    double capacityWh() const override { return params_.capacityWh(); }
+    double soc() const override;
+    double terminalVoltage(double load_watts) const override;
+    double maxDischargePowerW(double dt_seconds) const override;
+    double maxChargePowerW(double dt_seconds) const override;
+    bool depleted(double dt_seconds) const override;
+    double lifetimeFractionUsed() const override;
+    const EsdCounters &counters() const override { return counters_; }
+    void reset() override;
+    void setSoc(double soc) override;
+
+    /** Peukert exponent in use. */
+    double exponent() const { return exponent_; }
+
+    /** Parameter set in use. */
+    const BatteryParams &params() const { return params_; }
+
+    /** Reference discharge current (the C/20 rate), amps. */
+    double referenceCurrent() const;
+
+  private:
+    double openCircuitVoltage() const;
+    double effectiveResistance() const;
+    double dischargeCurrentFor(double watts) const;
+
+    BatteryParams params_;
+    double exponent_;
+    double chargeAh_; //!< remaining charge at reference rate
+    double weightedAh_ = 0.0;
+    int lastDirection_ = 0;
+    EsdCounters counters_;
+};
+
+} // namespace heb

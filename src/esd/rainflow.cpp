@@ -1,0 +1,103 @@
+#include "esd/rainflow.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/units.h"
+
+namespace heb {
+
+namespace {
+
+/** Reduce a trail to its turning points (local extrema). */
+std::vector<double>
+turningPoints(const std::vector<double> &trail)
+{
+    std::vector<double> tp;
+    for (double v : trail) {
+        if (tp.size() < 2) {
+            if (tp.empty() || tp.back() != v)
+                tp.push_back(v);
+            continue;
+        }
+        double a = tp[tp.size() - 2];
+        double b = tp.back();
+        // Extend a monotone run instead of adding a point.
+        if ((b - a) * (v - b) >= 0.0)
+            tp.back() = v;
+        else if (v != b)
+            tp.push_back(v);
+    }
+    return tp;
+}
+
+} // namespace
+
+std::vector<RainflowCycle>
+rainflowCount(const std::vector<double> &soc_trail)
+{
+    std::vector<RainflowCycle> cycles;
+    std::vector<double> stack;
+    std::vector<double> tp = turningPoints(soc_trail);
+
+    for (double point : tp) {
+        stack.push_back(point);
+        while (stack.size() >= 3) {
+            double x = std::abs(stack[stack.size() - 1] -
+                                stack[stack.size() - 2]);
+            double y = std::abs(stack[stack.size() - 2] -
+                                stack[stack.size() - 3]);
+            if (x < y)
+                break;
+            // The middle pair forms a closed full cycle.
+            double hi = std::max(stack[stack.size() - 2],
+                                 stack[stack.size() - 3]);
+            double lo = std::min(stack[stack.size() - 2],
+                                 stack[stack.size() - 3]);
+            cycles.push_back(
+                RainflowCycle{hi - lo, (hi + lo) / 2.0, 1.0});
+            stack.erase(stack.end() - 3, stack.end() - 1);
+        }
+    }
+
+    // Residuals count as half cycles.
+    for (std::size_t i = 0; i + 1 < stack.size(); ++i) {
+        double hi = std::max(stack[i], stack[i + 1]);
+        double lo = std::min(stack[i], stack[i + 1]);
+        cycles.push_back(
+            RainflowCycle{hi - lo, (hi + lo) / 2.0, 0.5});
+    }
+    return cycles;
+}
+
+double
+rainflowDamage(const std::vector<double> &soc_trail,
+               const RainflowLifetimeParams &params)
+{
+    double damage = 0.0;
+    for (const RainflowCycle &c : rainflowCount(soc_trail)) {
+        if (c.depth < params.minDepth)
+            continue;
+        double cf = params.cfA * std::pow(c.depth, -params.cfB);
+        damage += c.weight / cf;
+    }
+    return damage;
+}
+
+double
+rainflowLifetimeYears(const std::vector<double> &soc_trail,
+                      double window_seconds,
+                      const RainflowLifetimeParams &params)
+{
+    if (window_seconds <= 0.0)
+        fatal("rainflowLifetimeYears: window must be positive");
+    double damage = rainflowDamage(soc_trail, params);
+    if (damage <= 0.0)
+        return params.floatLifeYears;
+    double window_years =
+        window_seconds / (kSecondsPerDay * kDaysPerYear);
+    return std::min(window_years / damage, params.floatLifeYears);
+}
+
+} // namespace heb

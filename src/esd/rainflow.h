@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Rainflow cycle counting for battery lifetime estimation.
+ *
+ * The Risoe lifetime report (paper ref [49]) discusses two families
+ * of lead-acid lifetime models: Ah-throughput (implemented in
+ * lifetime_model.h) and cycle counting, where the SoC trail is
+ * decomposed into closed cycles via the rainflow algorithm and each
+ * cycle consumes 1/CF(depth) of life. This module provides the
+ * cycle-counting alternative so the two can be compared (an ablation
+ * DESIGN.md calls out).
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace heb {
+
+/** One closed charge/discharge cycle extracted by rainflow. */
+struct RainflowCycle
+{
+    /** Cycle depth as a SoC fraction (0..1). */
+    double depth = 0.0;
+
+    /** Mean SoC of the cycle. */
+    double meanSoc = 0.0;
+
+    /** 1.0 for a full cycle, 0.5 for a residual half cycle. */
+    double weight = 1.0;
+};
+
+/**
+ * Decompose an SoC trail into closed cycles (ASTM E1049-85 rainflow,
+ * three-point method) plus residual half cycles.
+ */
+std::vector<RainflowCycle>
+rainflowCount(const std::vector<double> &soc_trail);
+
+/** Knobs for the cycle-counting lifetime estimate. */
+struct RainflowLifetimeParams
+{
+    /** Cycles-to-failure curve CF(depth) = cfA * depth^-cfB. */
+    double cfA = 2078.0;
+    double cfB = 0.15;
+
+    /** Float life ceiling (years). */
+    double floatLifeYears = 8.0;
+
+    /** Ignore cycles shallower than this depth. */
+    double minDepth = 0.005;
+};
+
+/**
+ * Fraction of battery life consumed by the cycles in @p soc_trail
+ * (Miner's rule: sum of weight / CF(depth)).
+ */
+double rainflowDamage(const std::vector<double> &soc_trail,
+                      const RainflowLifetimeParams &params = {});
+
+/**
+ * Calendar-lifetime estimate (years) when @p soc_trail was recorded
+ * over @p window_seconds, capped at the float life.
+ */
+double rainflowLifetimeYears(const std::vector<double> &soc_trail,
+                             double window_seconds,
+                             const RainflowLifetimeParams &params = {});
+
+} // namespace heb

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Super-capacitor parameter set and presets.
+ *
+ * Defaults model the prototype's Maxwell 16 V / 600 F modules
+ * (two in series for a 32 V bank is also provided as a preset).
+ */
+
+#pragma once
+
+#include <string>
+
+namespace heb {
+
+/** Full parameterization of a Supercapacitor instance. */
+struct ScParams
+{
+    /** Device label used in logs and tables. */
+    std::string name = "maxwell-16v-600f";
+
+    /** Module capacitance (farad). */
+    double capacitanceF = 600.0;
+
+    /** Maximum (full) terminal voltage (V). */
+    double vMax = 16.0;
+
+    /**
+     * Usable voltage floor (V). Below half of vMax, downstream
+     * converters can no longer regulate, so the energy is stranded;
+     * this matches common sizing practice.
+     */
+    double vMin = 8.0;
+
+    /** Equivalent series resistance (ohm). */
+    double esrOhm = 0.0021;
+
+    /** Absolute current ceiling (A); very high by construction. */
+    double maxCurrentA = 500.0;
+
+    /** Self-discharge fraction per hour while resting. */
+    double selfDischargePerHour = 2.0e-3;
+
+    /** Rated deep-cycle life (cycles). */
+    double ratedCycleLife = 500000.0;
+
+    /** Nominal usable energy in Wh: half C (vMax^2 - vMin^2). */
+    double
+    capacityWh() const
+    {
+        return 0.5 * capacitanceF * (vMax * vMax - vMin * vMin) / 3600.0;
+    }
+
+    /** Charge (Ah) moved by one full vMax -> vMin cycle. */
+    double
+    fullCycleAh() const
+    {
+        return capacitanceF * (vMax - vMin) / 3600.0;
+    }
+
+    /** The prototype's Maxwell 16 V / 600 F module. */
+    static ScParams
+    maxwell16V600F()
+    {
+        return ScParams{};
+    }
+
+    /**
+     * Two Maxwell modules in series: 32 V bank, halved capacitance,
+     * doubled ESR. Matches the 24 V DC system's SC branch.
+     */
+    static ScParams
+    maxwellSeriesBank()
+    {
+        ScParams p;
+        p.name = "maxwell-32v-300f";
+        p.capacitanceF = 300.0;
+        p.vMax = 32.0;
+        p.vMin = 16.0;
+        p.esrOhm = 0.0042;
+        return p;
+    }
+
+    /**
+     * A bank scaled so that its usable energy equals @p energy_wh
+     * while keeping the series voltage window of the prototype bank.
+     */
+    static ScParams
+    scaledToEnergyWh(double energy_wh)
+    {
+        ScParams p = maxwellSeriesBank();
+        double base = p.capacityWh();
+        double scale = energy_wh / base;
+        p.capacitanceF *= scale;
+        p.esrOhm /= scale;
+        p.maxCurrentA *= scale;
+        return p;
+    }
+};
+
+} // namespace heb

@@ -1,0 +1,235 @@
+#include "esd/supercapacitor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/units.h"
+
+namespace heb {
+
+namespace {
+
+constexpr double kMinMeaningfulPowerW = 1e-9;
+constexpr double kDepletedPowerW = 1.0;
+
+/** Integration sub-step (seconds) for voltage dynamics. */
+constexpr double kSubStepSeconds = 1.0;
+
+} // namespace
+
+Supercapacitor::Supercapacitor(ScParams params) : params_(std::move(params))
+{
+    if (params_.capacitanceF <= 0.0)
+        fatal("Supercapacitor capacitance must be positive");
+    if (params_.vMin < 0.0 || params_.vMin >= params_.vMax)
+        fatal("Supercapacitor voltage window invalid: [", params_.vMin,
+              ", ", params_.vMax, "]");
+    if (params_.esrOhm <= 0.0)
+        fatal("Supercapacitor ESR must be positive");
+    voltage_ = params_.vMax;
+}
+
+void
+Supercapacitor::reset()
+{
+    voltage_ = params_.vMax;
+    lastDirection_ = 0;
+    counters_ = EsdCounters{};
+}
+
+void
+Supercapacitor::setSoc(double soc)
+{
+    if (soc < 0.0 || soc > 1.0)
+        fatal("Supercapacitor::setSoc out of range: ", soc);
+    double v2 = params_.vMin * params_.vMin +
+                soc * (params_.vMax * params_.vMax -
+                       params_.vMin * params_.vMin);
+    voltage_ = std::sqrt(v2);
+}
+
+double
+Supercapacitor::soc() const
+{
+    double num = voltage_ * voltage_ - params_.vMin * params_.vMin;
+    double den = params_.vMax * params_.vMax - params_.vMin * params_.vMin;
+    return std::clamp(num / den, 0.0, 1.0);
+}
+
+double
+Supercapacitor::usableEnergyWh() const
+{
+    double v2 = std::max(voltage_ * voltage_ -
+                             params_.vMin * params_.vMin,
+                         0.0);
+    return 0.5 * params_.capacitanceF * v2 / kSecondsPerHour;
+}
+
+double
+Supercapacitor::dischargeCurrentFor(double watts) const
+{
+    double disc = voltage_ * voltage_ - 4.0 * params_.esrOhm * watts;
+    if (disc < 0.0)
+        return -1.0;
+    return (voltage_ - std::sqrt(disc)) / (2.0 * params_.esrOhm);
+}
+
+double
+Supercapacitor::chargeCurrentFor(double watts) const
+{
+    double v = voltage_;
+    double r = params_.esrOhm;
+    return (-v + std::sqrt(v * v + 4.0 * r * watts)) / (2.0 * r);
+}
+
+double
+Supercapacitor::terminalVoltage(double load_watts) const
+{
+    if (load_watts <= 0.0)
+        return voltage_;
+    double i = dischargeCurrentFor(load_watts);
+    if (i < 0.0)
+        i = voltage_ / (2.0 * params_.esrOhm);
+    return voltage_ - i * params_.esrOhm;
+}
+
+double
+Supercapacitor::maxDischargePowerW(double dt_seconds) const
+{
+    if (voltage_ <= params_.vMin)
+        return 0.0;
+    // Current bound from the energy left before hitting the floor,
+    // spread across the requested horizon.
+    double energy_bound_a =
+        dt_seconds > 0.0
+            ? (voltage_ - params_.vMin) * params_.capacitanceF / dt_seconds
+            : params_.maxCurrentA;
+    // Never operate past the power peak of the ESR divider.
+    double peak_a = voltage_ / (2.0 * params_.esrOhm);
+    double i = std::min({params_.maxCurrentA, energy_bound_a, peak_a});
+    if (i <= 0.0)
+        return 0.0;
+    return (voltage_ - i * params_.esrOhm) * i;
+}
+
+double
+Supercapacitor::maxChargePowerW(double dt_seconds) const
+{
+    if (voltage_ >= params_.vMax)
+        return 0.0;
+    double headroom_a =
+        dt_seconds > 0.0
+            ? (params_.vMax - voltage_) * params_.capacitanceF / dt_seconds
+            : params_.maxCurrentA;
+    double i = std::min(params_.maxCurrentA, headroom_a);
+    if (i <= 0.0)
+        return 0.0;
+    return (voltage_ + i * params_.esrOhm) * i;
+}
+
+bool
+Supercapacitor::depleted(double dt_seconds) const
+{
+    return maxDischargePowerW(dt_seconds) < kDepletedPowerW;
+}
+
+double
+Supercapacitor::lifetimeFractionUsed() const
+{
+    double cycles = counters_.dischargeAh / params_.fullCycleAh();
+    return cycles / params_.ratedCycleLife;
+}
+
+double
+Supercapacitor::discharge(double watts, double dt_seconds)
+{
+    if (watts <= kMinMeaningfulPowerW || dt_seconds <= 0.0) {
+        rest(dt_seconds);
+        return 0.0;
+    }
+
+    double delivered_wh = 0.0;
+    double remaining = dt_seconds;
+    bool moved = false;
+    while (remaining > 0.0) {
+        double step = std::min(remaining, kSubStepSeconds);
+        remaining -= step;
+        if (voltage_ <= params_.vMin)
+            continue;
+        double i = dischargeCurrentFor(watts);
+        if (i < 0.0)
+            i = voltage_ / (2.0 * params_.esrOhm);
+        double floor_a =
+            (voltage_ - params_.vMin) * params_.capacitanceF / step;
+        i = std::min({i, params_.maxCurrentA, floor_a});
+        if (i <= 0.0)
+            continue;
+        double p = (voltage_ - i * params_.esrOhm) * i;
+        double dt_h = secondsToHours(step);
+        delivered_wh += p * dt_h;
+        counters_.lossEnergyWh += i * i * params_.esrOhm * dt_h;
+        counters_.dischargeAh += i * dt_h;
+        voltage_ -= i * step / params_.capacitanceF;
+        moved = true;
+    }
+    counters_.dischargeEnergyWh += delivered_wh;
+    if (moved) {
+        if (lastDirection_ == -1)
+            ++counters_.directionChanges;
+        lastDirection_ = 1;
+    }
+    // Report the average power actually delivered over the step.
+    return delivered_wh / secondsToHours(dt_seconds);
+}
+
+double
+Supercapacitor::charge(double watts, double dt_seconds)
+{
+    if (watts <= kMinMeaningfulPowerW || dt_seconds <= 0.0) {
+        rest(dt_seconds);
+        return 0.0;
+    }
+
+    double absorbed_wh = 0.0;
+    double remaining = dt_seconds;
+    bool moved = false;
+    while (remaining > 0.0) {
+        double step = std::min(remaining, kSubStepSeconds);
+        remaining -= step;
+        if (voltage_ >= params_.vMax)
+            continue;
+        double i = chargeCurrentFor(watts);
+        double ceil_a =
+            (params_.vMax - voltage_) * params_.capacitanceF / step;
+        i = std::min({i, params_.maxCurrentA, ceil_a});
+        if (i <= 0.0)
+            continue;
+        double p = (voltage_ + i * params_.esrOhm) * i;
+        double dt_h = secondsToHours(step);
+        absorbed_wh += p * dt_h;
+        counters_.lossEnergyWh += i * i * params_.esrOhm * dt_h;
+        counters_.chargeAh += i * dt_h;
+        voltage_ += i * step / params_.capacitanceF;
+        moved = true;
+    }
+    counters_.chargeEnergyWh += absorbed_wh;
+    if (moved) {
+        if (lastDirection_ == 1)
+            ++counters_.directionChanges;
+        lastDirection_ = -1;
+    }
+    return absorbed_wh / secondsToHours(dt_seconds);
+}
+
+void
+Supercapacitor::rest(double dt_seconds)
+{
+    if (dt_seconds <= 0.0)
+        return;
+    double keep = std::exp(-params_.selfDischargePerHour *
+                           secondsToHours(dt_seconds));
+    voltage_ *= keep;
+}
+
+} // namespace heb

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ideal-capacitor-plus-ESR super-capacitor model.
+ *
+ * Stored energy is purely electrostatic, so the model has none of the
+ * battery's kinetic limits: voltage declines linearly with charge
+ * (paper Fig. 5), round-trip losses are only the small I^2 * ESR term
+ * (90-95 %, paper Fig. 3), and there is no charge-current ceiling
+ * beyond the bank's conservative absolute rating.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "esd/energy_storage.h"
+#include "esd/sc_params.h"
+
+namespace heb {
+
+/** A super-capacitor bank. */
+class Supercapacitor : public EnergyStorageDevice
+{
+  public:
+    /** Construct a fully-charged bank. */
+    explicit Supercapacitor(ScParams params);
+
+    const std::string &name() const override { return params_.name; }
+
+    double discharge(double watts, double dt_seconds) override;
+    double charge(double watts, double dt_seconds) override;
+    void rest(double dt_seconds) override;
+
+    double usableEnergyWh() const override;
+    double capacityWh() const override { return params_.capacityWh(); }
+    double soc() const override;
+    double terminalVoltage(double load_watts) const override;
+    double maxDischargePowerW(double dt_seconds) const override;
+    double maxChargePowerW(double dt_seconds) const override;
+    bool depleted(double dt_seconds) const override;
+    double lifetimeFractionUsed() const override;
+    const EsdCounters &counters() const override { return counters_; }
+    void reset() override;
+    void setSoc(double soc) override;
+
+    /** Parameter set in use. */
+    const ScParams &params() const { return params_; }
+
+    /** Present open-circuit bank voltage (V). */
+    double voltage() const { return voltage_; }
+
+  private:
+    /** Discharge current (A) that delivers @p watts, or -1. */
+    double dischargeCurrentFor(double watts) const;
+
+    /** Charge current (A) that absorbs @p watts at the terminals. */
+    double chargeCurrentFor(double watts) const;
+
+    ScParams params_;
+    double voltage_;
+    int lastDirection_ = 0;
+    EsdCounters counters_;
+};
+
+} // namespace heb

@@ -1,0 +1,51 @@
+#include "power/ats.h"
+
+#include "util/logging.h"
+
+namespace heb {
+
+Ats::Ats(PowerSource *primary, PowerSource *alternate,
+         double transfer_time)
+    : primary_(primary), alternate_(alternate),
+      transferTime_(transfer_time)
+{
+    if (!primary_)
+        fatal("Ats requires a primary source");
+}
+
+void
+Ats::transferTo(Input input, double now_seconds)
+{
+    if (input == target_)
+        return;
+    if (input == Input::Alternate && !alternate_)
+        fatal("Ats: no alternate source configured");
+    target_ = input;
+    settleTime_ = now_seconds + transferTime_;
+    ++transfers_;
+}
+
+Ats::Input
+Ats::connectedAt(double now_seconds) const
+{
+    if (now_seconds < settleTime_)
+        return Input::None;
+    return target_;
+}
+
+double
+Ats::availablePowerW(double now_seconds) const
+{
+    switch (connectedAt(now_seconds)) {
+      case Input::Primary:
+        return primary_->availablePowerW(now_seconds);
+      case Input::Alternate:
+        return alternate_ ? alternate_->availablePowerW(now_seconds)
+                          : 0.0;
+      case Input::None:
+        return 0.0;
+    }
+    return 0.0;
+}
+
+} // namespace heb

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Automatic transfer switch: selects the active upstream source.
+ *
+ * In the paper's architecture the ATS sits upstream of the PDUs and
+ * fails over between the utility feed and the alternate (renewable or
+ * backup) feed. The model adds a transfer latency during which no
+ * source is connected, which is exactly the gap UPS buffers exist to
+ * ride through.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "power/power_source.h"
+
+namespace heb {
+
+/** A two-input automatic transfer switch. */
+class Ats
+{
+  public:
+    /** Which input is selected. */
+    enum class Input { Primary, Alternate, None };
+
+    /**
+     * Construct connected to primary.
+     *
+     * @param primary        Usually the utility feed.
+     * @param alternate      Usually the renewable feed (may be null).
+     * @param transfer_time  Break-before-make gap (s).
+     */
+    Ats(PowerSource *primary, PowerSource *alternate,
+        double transfer_time = 0.05);
+
+    /** Command a transfer at @p now_seconds. */
+    void transferTo(Input input, double now_seconds);
+
+    /** The input actually connected at @p now_seconds. */
+    Input connectedAt(double now_seconds) const;
+
+    /** Power available through the ATS at @p now_seconds. */
+    double availablePowerW(double now_seconds) const;
+
+    /** The currently-commanded input. */
+    Input commanded() const { return target_; }
+
+    /** Number of transfers commanded. */
+    unsigned long transferCount() const { return transfers_; }
+
+  private:
+    PowerSource *primary_;
+    PowerSource *alternate_;
+    double transferTime_;
+    Input target_ = Input::Primary;
+    double settleTime_ = 0.0;
+    unsigned long transfers_ = 0;
+};
+
+} // namespace heb

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Power converter with a load-dependent efficiency curve.
+ *
+ * Models AC/DC rectifiers, DC/AC inverters and the double-converting
+ * online UPS path (paper §4.1: 4-10 % loss). Efficiency rises with
+ * load fraction — converters are poor at light load — using the
+ * standard fixed-plus-proportional loss form:
+ *
+ *   loss(P) = p0 * Prated + alpha * P
+ *
+ * which yields eff(P) = P / (P + loss(P)).
+ */
+
+#pragma once
+
+#include <string>
+
+namespace heb {
+
+/** Knobs of one conversion stage. */
+struct ConverterParams
+{
+    /** Label for logs. */
+    std::string name = "converter";
+
+    /** Rated throughput (W). */
+    double ratedPowerW = 1000.0;
+
+    /** No-load loss as a fraction of rated power. */
+    double fixedLossFraction = 0.01;
+
+    /** Proportional loss per delivered watt. */
+    double proportionalLoss = 0.03;
+};
+
+/** One conversion stage (AC/DC, DC/AC, or DC/DC). */
+class Converter
+{
+  public:
+    /** Construct from knobs. */
+    explicit Converter(ConverterParams params);
+
+    /** Label. */
+    const std::string &name() const { return params_.name; }
+
+    /** Rated throughput (W). */
+    double ratedPowerW() const { return params_.ratedPowerW; }
+
+    /**
+     * Output power delivered when drawing @p input_watts at the
+     * converter's input.
+     */
+    double outputFor(double input_watts) const;
+
+    /**
+     * Input power that must be drawn to deliver @p output_watts.
+     */
+    double inputFor(double output_watts) const;
+
+    /** Efficiency when delivering @p output_watts. */
+    double efficiencyAt(double output_watts) const;
+
+    /** Record a transfer for loss accounting. */
+    void recordTransfer(double output_watts, double dt_seconds);
+
+    /** Cumulative conversion losses (Wh). */
+    double lossWh() const { return lossWh_; }
+
+    /** Cumulative delivered energy (Wh). */
+    double deliveredWh() const { return deliveredWh_; }
+
+    /**
+     * The double-conversion (AC-DC-AC) path of a centralized online
+     * UPS: two cascaded stages, 6-8 % total loss at typical load.
+     */
+    static Converter doubleConversionUps(double rated_w);
+
+    /** A rack-level DC/AC inverter (the prototype's 1000 W units). */
+    static Converter rackInverter(double rated_w = 1000.0);
+
+    /** A high-efficiency DC/DC stage for rack-level DC delivery. */
+    static Converter dcDcStage(double rated_w);
+
+  private:
+    ConverterParams params_;
+    double lossWh_ = 0.0;
+    double deliveredWh_ = 0.0;
+};
+
+} // namespace heb

@@ -1,0 +1,80 @@
+#include "power/ipdu.h"
+
+#include "util/logging.h"
+
+namespace heb {
+
+Ipdu::Ipdu(std::size_t outlets, double sample_step_seconds)
+{
+    if (outlets == 0)
+        fatal("Ipdu needs at least one outlet");
+    logs_.reserve(outlets);
+    for (std::size_t i = 0; i < outlets; ++i)
+        logs_.emplace_back(sample_step_seconds);
+    on_.assign(outlets, true);
+    switchCounts_.assign(outlets, 0);
+}
+
+void
+Ipdu::checkOutlet(std::size_t outlet) const
+{
+    if (outlet >= logs_.size())
+        panic("Ipdu outlet ", outlet, " out of range");
+}
+
+void
+Ipdu::recordSample(std::size_t outlet, double watts)
+{
+    checkOutlet(outlet);
+    logs_[outlet].append(watts);
+}
+
+const TimeSeries &
+Ipdu::outletLog(std::size_t outlet) const
+{
+    checkOutlet(outlet);
+    return logs_[outlet];
+}
+
+double
+Ipdu::lastSample(std::size_t outlet) const
+{
+    checkOutlet(outlet);
+    if (logs_[outlet].empty())
+        return 0.0;
+    return logs_[outlet][logs_[outlet].size() - 1];
+}
+
+double
+Ipdu::totalPowerW() const
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i < logs_.size(); ++i)
+        acc += lastSample(i);
+    return acc;
+}
+
+void
+Ipdu::setOutletOn(std::size_t outlet, bool on)
+{
+    checkOutlet(outlet);
+    if (on_[outlet] && !on)
+        ++switchCounts_[outlet];
+    on_[outlet] = on;
+}
+
+bool
+Ipdu::outletOn(std::size_t outlet) const
+{
+    checkOutlet(outlet);
+    return on_[outlet];
+}
+
+unsigned long
+Ipdu::outletSwitchCount(std::size_t outlet) const
+{
+    checkOutlet(outlet);
+    return switchCounts_[outlet];
+}
+
+} // namespace heb

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Intelligent power distribution unit (IPDU).
+ *
+ * The prototype's IPDU reports each server's power draw once per
+ * second over SNMP and can switch outlets on and off. The model keeps
+ * per-outlet sample logs (TimeSeries) plus outlet state, and serves
+ * the controller's two needs: demand telemetry and forced shutdowns.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/time_series.h"
+
+namespace heb {
+
+/** Per-outlet metering and switching. */
+class Ipdu
+{
+  public:
+    /**
+     * Construct with @p outlets outlets sampling at
+     * @p sample_step_seconds (the paper's IPDU samples at 1 s).
+     */
+    Ipdu(std::size_t outlets, double sample_step_seconds = 1.0);
+
+    /** Number of outlets. */
+    std::size_t outletCount() const { return logs_.size(); }
+
+    /** Record one power sample for an outlet. */
+    void recordSample(std::size_t outlet, double watts);
+
+    /** Per-outlet power log. */
+    const TimeSeries &outletLog(std::size_t outlet) const;
+
+    /** Most recent sample for an outlet (0 when none yet). */
+    double lastSample(std::size_t outlet) const;
+
+    /** Sum of the most recent samples across outlets. */
+    double totalPowerW() const;
+
+    /** Switch an outlet on/off. */
+    void setOutletOn(std::size_t outlet, bool on);
+
+    /** True when the outlet is energized. */
+    bool outletOn(std::size_t outlet) const;
+
+    /** Number of on->off transitions per outlet (wear / audit). */
+    unsigned long outletSwitchCount(std::size_t outlet) const;
+
+  private:
+    void checkOutlet(std::size_t outlet) const;
+
+    std::vector<TimeSeries> logs_;
+    std::vector<bool> on_;
+    std::vector<unsigned long> switchCounts_;
+};
+
+} // namespace heb

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Abstract upstream power source.
+ *
+ * A source answers one question per tick: how many watts can the
+ * datacenter draw from you right now? The utility grid answers with
+ * its (possibly under-provisioned) budget; a solar array answers with
+ * whatever the sky allows.
+ */
+
+#pragma once
+
+#include <string>
+
+namespace heb {
+
+/** An upstream power feed. */
+class PowerSource
+{
+  public:
+    virtual ~PowerSource() = default;
+
+    /** Human-readable source name. */
+    virtual const std::string &name() const = 0;
+
+    /** Power (W) available at absolute time @p time_seconds. */
+    virtual double availablePowerW(double time_seconds) const = 0;
+
+    /**
+     * Record an actual draw of @p watts at @p time_seconds for
+     * @p dt_seconds (for tariff metering / utilization accounting).
+     */
+    virtual void recordDraw(double time_seconds, double watts,
+                            double dt_seconds) = 0;
+};
+
+} // namespace heb

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Two-way relay connecting one server to an energy-buffer branch.
+ *
+ * The prototype (paper Fig. 11) wires each server through a two-way
+ * relay that selects between the battery branch and the SC branch;
+ * an off position exists for forced shutdowns. Relays have finite
+ * switching latency and a mechanical actuation life, both tracked
+ * here so the controller can reason about switching cost.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace heb {
+
+/** The branch a power switch currently feeds from. */
+enum class SwitchFeed { Utility, Battery, Supercap, Off };
+
+/** Render a feed for logs/tables. */
+const char *switchFeedName(SwitchFeed feed);
+
+/** Knobs of a relay. */
+struct PowerSwitchParams
+{
+    /** Time for contacts to settle after a command (s). */
+    double switchingLatencyS = 0.02;
+    /** Rated mechanical actuations. */
+    std::uint64_t ratedActuations = 1000000;
+};
+
+/** One two-way (plus off) relay. */
+class PowerSwitch
+{
+  public:
+    /** Construct closed on the utility feed. */
+    explicit PowerSwitch(std::string name,
+                         PowerSwitchParams params = PowerSwitchParams());
+
+    /** Relay label. */
+    const std::string &name() const { return name_; }
+
+    /**
+     * Command the relay to @p feed at time @p now_seconds. A no-op
+     * when already on that feed (no actuation counted).
+     */
+    void command(SwitchFeed feed, double now_seconds);
+
+    /**
+     * The feed actually connected at @p now_seconds: during the
+     * switching latency window the relay floats (Off).
+     */
+    SwitchFeed feedAt(double now_seconds) const;
+
+    /** The commanded (target) feed. */
+    SwitchFeed commandedFeed() const { return target_; }
+
+    /** Total actuations so far. */
+    std::uint64_t actuations() const { return actuations_; }
+
+    /** Fraction of rated actuation life consumed. */
+    double wearFraction() const;
+
+  private:
+    std::string name_;
+    PowerSwitchParams params_;
+    SwitchFeed target_ = SwitchFeed::Utility;
+    double settleTime_ = 0.0; //!< when the last command completes
+    std::uint64_t actuations_ = 0;
+};
+
+} // namespace heb

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Synthetic solar generation model.
+ *
+ * Substitutes for the paper's rooftop PV installation (§7.4). The
+ * model composes (1) a clear-sky diurnal envelope from solar
+ * elevation and (2) a three-state Markov cloud process (clear /
+ * partly cloudy / overcast) whose transients create the deep valleys
+ * and steep ramps that make renewable-energy utilization (REU)
+ * interesting. Generation is pre-sampled into a deterministic trace
+ * at construction so that repeated queries are cheap and repeatable.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "power/power_source.h"
+#include "util/time_series.h"
+
+namespace heb {
+
+/** Knobs of the synthetic PV model. */
+struct SolarParams
+{
+    /** Nameplate array rating (W) at full irradiance. */
+    double ratedPowerW = 400.0;
+
+    /** Local sunrise hour (0-24). */
+    double sunriseHour = 6.0;
+
+    /** Local sunset hour (0-24). */
+    double sunsetHour = 18.0;
+
+    /** Mean attenuation while partly cloudy (fraction of clear sky). */
+    double partlyCloudyFactor = 0.55;
+
+    /** Mean attenuation while overcast. */
+    double overcastFactor = 0.15;
+
+    /** Per-minute probability of leaving the clear state. */
+    double pLeaveClear = 0.02;
+
+    /** Per-minute probability of leaving the partly-cloudy state. */
+    double pLeavePartly = 0.10;
+
+    /** Per-minute probability of leaving the overcast state. */
+    double pLeaveOvercast = 0.04;
+
+    /** Multiplicative high-frequency noise sigma. */
+    double noiseSigma = 0.04;
+};
+
+/** A solar array serving a pre-generated deterministic trace. */
+class SolarArray : public PowerSource
+{
+  public:
+    /**
+     * Generate @p duration_seconds of output at @p step_seconds.
+     *
+     * @param params  Model knobs.
+     * @param seed    RNG seed for the cloud process.
+     */
+    SolarArray(SolarParams params, double duration_seconds,
+               double step_seconds, std::uint64_t seed);
+
+    const std::string &name() const override { return name_; }
+
+    double availablePowerW(double time_seconds) const override;
+
+    void recordDraw(double time_seconds, double watts,
+                    double dt_seconds) override;
+
+    /** Total energy the array generates over the trace (Wh). */
+    double totalGenerationWh() const;
+
+    /** Energy actually harvested by loads/buffers so far (Wh). */
+    double harvestedWh() const { return harvestedWh_; }
+
+    /** The underlying generation trace. */
+    const TimeSeries &trace() const { return trace_; }
+
+    /** Knobs in use. */
+    const SolarParams &params() const { return params_; }
+
+  private:
+    std::string name_ = "solar";
+    SolarParams params_;
+    TimeSeries trace_;
+    double harvestedWh_ = 0.0;
+};
+
+} // namespace heb

@@ -1,0 +1,81 @@
+#include "power/utility_grid.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/units.h"
+
+namespace heb {
+
+UtilityGrid::UtilityGrid(double budget_w, double billing_period_s)
+    : budget_(budget_w), billingPeriod_(billing_period_s)
+{
+    if (budget_w < 0.0)
+        fatal("UtilityGrid budget must be non-negative");
+    if (billing_period_s <= 0.0)
+        fatal("UtilityGrid billing period must be positive");
+}
+
+double
+UtilityGrid::availablePowerW(double time_seconds) const
+{
+    if (inOutage(time_seconds))
+        return 0.0;
+    return budget_;
+}
+
+void
+UtilityGrid::addOutage(double start_seconds, double duration_seconds)
+{
+    if (duration_seconds <= 0.0)
+        fatal("UtilityGrid::addOutage duration must be positive");
+    outages_.push_back(
+        Outage{start_seconds, start_seconds + duration_seconds});
+}
+
+bool
+UtilityGrid::inOutage(double time_seconds) const
+{
+    for (const Outage &o : outages_) {
+        if (time_seconds >= o.start && time_seconds < o.end)
+            return true;
+    }
+    return false;
+}
+
+void
+UtilityGrid::setBudgetW(double watts)
+{
+    if (watts < 0.0)
+        fatal("UtilityGrid budget must be non-negative");
+    budget_ = watts;
+}
+
+void
+UtilityGrid::recordDraw(double time_seconds, double watts,
+                        double dt_seconds)
+{
+    if (!sawDraw_) {
+        periodStart_ = time_seconds;
+        sawDraw_ = true;
+    }
+    while (time_seconds - periodStart_ >= billingPeriod_) {
+        peaks_.push_back(currentPeak_);
+        currentPeak_ = 0.0;
+        periodStart_ += billingPeriod_;
+    }
+    currentPeak_ = std::max(currentPeak_, watts);
+    energyWh_ += energyWh(watts, dt_seconds);
+}
+
+void
+UtilityGrid::closeBillingPeriod()
+{
+    if (!sawDraw_)
+        return;
+    peaks_.push_back(currentPeak_);
+    currentPeak_ = 0.0;
+    sawDraw_ = false;
+}
+
+} // namespace heb

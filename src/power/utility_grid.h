@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Budgeted utility feed with peak-demand tariff metering.
+ *
+ * Under-provisioned datacenters subscribe a power budget below the
+ * nameplate peak (paper Fig. 1a). The grid model exposes the budget
+ * as available power and meters the billing-period peak draw so the
+ * TCO library can price peak-shaving (paper Fig. 15c, 12 $/kW).
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "power/power_source.h"
+
+namespace heb {
+
+/** The (possibly under-provisioned) utility feed. */
+class UtilityGrid : public PowerSource
+{
+  public:
+    /**
+     * Construct with a constant power budget.
+     *
+     * @param budget_w            Subscribed power budget (W).
+     * @param billing_period_s    Peak-metering window (default one
+     *                            month of seconds).
+     */
+    explicit UtilityGrid(double budget_w,
+                         double billing_period_s = 30.0 * 24.0 * 3600.0);
+
+    const std::string &name() const override { return name_; }
+
+    double availablePowerW(double time_seconds) const override;
+
+    void recordDraw(double time_seconds, double watts,
+                    double dt_seconds) override;
+
+    /** Subscribed budget (W). */
+    double budgetW() const { return budget_; }
+
+    /** Change the subscribed budget (capacity planning sweeps). */
+    void setBudgetW(double watts);
+
+    /** Total energy drawn so far (Wh). */
+    double energyDrawnWh() const { return energyWh_; }
+
+    /** Highest draw metered in each completed billing period (W). */
+    const std::vector<double> &billedPeaksW() const { return peaks_; }
+
+    /** Peak draw within the current (incomplete) period (W). */
+    double currentPeriodPeakW() const { return currentPeak_; }
+
+    /** Close out the current billing period explicitly. */
+    void closeBillingPeriod();
+
+    /**
+     * Schedule a utility outage: availablePowerW reports zero in
+     * [start, start + duration). Buffers must ride through (the
+     * classic UPS role the paper's architecture keeps serving).
+     */
+    void addOutage(double start_seconds, double duration_seconds);
+
+    /** True when @p time_seconds falls inside a scheduled outage. */
+    bool inOutage(double time_seconds) const;
+
+  private:
+    struct Outage
+    {
+        double start;
+        double end;
+    };
+
+    std::string name_ = "utility";
+    double budget_;
+    double billingPeriod_;
+    double energyWh_ = 0.0;
+    double currentPeak_ = 0.0;
+    double periodStart_ = 0.0;
+    bool sawDraw_ = false;
+    std::vector<double> peaks_;
+    std::vector<Outage> outages_;
+};
+
+} // namespace heb

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Energy-flow ledger: where every watt-hour went.
+ *
+ * The simulator books each tick's flows here; the metrics layer then
+ * derives EE, REU and peak-shaving figures from a single consistent
+ * account instead of scraping device counters ad hoc.
+ */
+
+#pragma once
+
+namespace heb {
+
+/** Cumulative energy accounts (all Wh). */
+struct EnergyLedger
+{
+    /** Source energy consumed directly by servers. */
+    double sourceToLoadWh = 0.0;
+
+    /** Source energy pushed into the SC branch (at terminals). */
+    double sourceToScWh = 0.0;
+
+    /** Source energy pushed into the battery branch (at terminals). */
+    double sourceToBatteryWh = 0.0;
+
+    /** SC energy delivered to servers (at the wall, post-conversion). */
+    double scToLoadWh = 0.0;
+
+    /** Battery energy delivered to servers (at the wall). */
+    double batteryToLoadWh = 0.0;
+
+    /** Conversion losses on the charge path. */
+    double chargeConversionLossWh = 0.0;
+
+    /** Conversion losses on the buffer->load path. */
+    double dischargeConversionLossWh = 0.0;
+
+    /** Demand that went unserved (shed / browned out). */
+    double unservedWh = 0.0;
+
+    /** Source energy left unharvested (renewable spilled). */
+    double spilledSourceWh = 0.0;
+
+    /** Energy burned by server reboot cycles. */
+    double bootWasteWh = 0.0;
+
+    /** Total buffered energy reaching servers. */
+    double
+    bufferToLoadWh() const
+    {
+        return scToLoadWh + batteryToLoadWh;
+    }
+
+    /** Total source energy invested into buffers. */
+    double
+    sourceToBuffersWh() const
+    {
+        return sourceToScWh + sourceToBatteryWh;
+    }
+
+    /** Everything servers actually received. */
+    double
+    servedWh() const
+    {
+        return sourceToLoadWh + bufferToLoadWh();
+    }
+};
+
+} // namespace heb

@@ -1,0 +1,149 @@
+#include "sim/experiment.h"
+
+#include <algorithm>
+#include <future>
+
+#include "core/profiler.h"
+#include "esd/bank_builder.h"
+#include "util/logging.h"
+#include "workload/workload_profiles.h"
+
+namespace heb {
+
+PowerAllocationTable
+buildSeededPat(const SimConfig &config,
+               const HebSchemeConfig &scheme_cfg)
+{
+    PowerAllocationTable table(scheme_cfg.patGrid, scheme_cfg.deltaR);
+
+    BufferProfiler profiler(
+        [&config]() {
+            return makeScBank(config.scEnergyWh, config.scDod);
+        },
+        [&config]() {
+            return makeBatteryBank(config.baEnergyWh, config.baDod);
+        });
+
+    // A modest pilot grid, like the paper's limited profiling run.
+    std::vector<double> socs = {0.4, 0.7, 1.0};
+    std::vector<double> powers;
+    double step = std::max(scheme_cfg.patGrid.pmStepW, 20.0);
+    for (double w = scheme_cfg.smallPeakThresholdW; w <= 200.0;
+         w += step) {
+        powers.push_back(w);
+    }
+    profiler.seedTable(table, socs, socs, powers);
+    return table;
+}
+
+SimResult
+runOne(const SimConfig &config, const std::string &workload_name,
+       SchemeKind kind, const HebSchemeConfig &scheme_cfg,
+       const PowerAllocationTable *seeded_pat)
+{
+    auto workload = makeWorkload(workload_name, config.seed);
+    auto scheme = makeScheme(kind, scheme_cfg, seeded_pat);
+    Simulator sim(config);
+    return sim.run(*workload, *scheme);
+}
+
+std::vector<SchemeSummary>
+compareSchemes(const SimConfig &config,
+               const std::vector<std::string> &workloads,
+               const std::vector<SchemeKind> &schemes,
+               const HebSchemeConfig &scheme_cfg)
+{
+    if (workloads.empty() || schemes.empty())
+        fatal("compareSchemes: need workloads and schemes");
+
+    // Seed once; each HEB scheme instance receives its own copy.
+    PowerAllocationTable seeded = buildSeededPat(config, scheme_cfg);
+
+    std::vector<SchemeSummary> rows;
+    for (SchemeKind kind : schemes) {
+        SchemeSummary row;
+        row.scheme = schemeKindName(kind);
+        double small_acc = 0.0, large_acc = 0.0;
+        std::size_t small_n = 0, large_n = 0;
+        // The (workload, scheme) runs are independent; fan the
+        // workloads of this scheme out across cores.
+        std::vector<std::future<SimResult>> futures;
+        futures.reserve(workloads.size());
+        for (const std::string &w : workloads) {
+            futures.push_back(std::async(
+                std::launch::async, [&config, &scheme_cfg, &seeded,
+                                     kind, w]() {
+                    return runOne(config, w, kind, scheme_cfg,
+                                  &seeded);
+                }));
+        }
+        for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+            SimResult r = futures[wi].get();
+            const std::string &w = workloads[wi];
+            row.energyEfficiency += r.energyEfficiency;
+            row.downtimeSeconds += r.downtimeSeconds;
+            row.batteryLifetimeYears += r.batteryLifetimeYears;
+            row.reu += r.reu;
+            auto wl = makeWorkload(w, config.seed);
+            if (wl->peakClass() == PeakClass::Small) {
+                small_acc += r.energyEfficiency;
+                ++small_n;
+            } else {
+                large_acc += r.energyEfficiency;
+                ++large_n;
+            }
+            row.perWorkload.push_back(std::move(r));
+        }
+        auto n = static_cast<double>(workloads.size());
+        row.energyEfficiency /= n;
+        row.batteryLifetimeYears /= n;
+        row.reu /= n;
+        row.energyEfficiencySmall =
+            small_n ? small_acc / static_cast<double>(small_n) : 0.0;
+        row.energyEfficiencyLarge =
+            large_n ? large_acc / static_cast<double>(large_n) : 0.0;
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+std::vector<RatioPoint>
+ratioSweep(const SimConfig &base,
+           const std::vector<std::pair<double, double>> &ratios,
+           const HebSchemeConfig &scheme_cfg)
+{
+    std::vector<RatioPoint> points;
+    for (auto [m, n] : ratios) {
+        SimConfig cfg = base;
+        cfg.setCapacityRatio(m, n);
+        auto rows = compareSchemes(cfg, allWorkloadNames(),
+                                   {SchemeKind::HebD}, scheme_cfg);
+        RatioPoint p;
+        p.scParts = m;
+        p.baParts = n;
+        p.summary = std::move(rows.front());
+        points.push_back(std::move(p));
+    }
+    return points;
+}
+
+std::vector<CapacityPoint>
+capacitySweep(const SimConfig &base, const std::vector<double> &dods,
+              const HebSchemeConfig &scheme_cfg)
+{
+    std::vector<CapacityPoint> points;
+    for (double dod : dods) {
+        SimConfig cfg = base;
+        cfg.scDod = dod;
+        cfg.baDod = dod;
+        auto rows = compareSchemes(cfg, allWorkloadNames(),
+                                   {SchemeKind::HebD}, scheme_cfg);
+        CapacityPoint p;
+        p.dod = dod;
+        p.summary = std::move(rows.front());
+        points.push_back(std::move(p));
+    }
+    return points;
+}
+
+} // namespace heb

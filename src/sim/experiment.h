@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Experiment orchestration: the paper's evaluation sweeps as
+ * reusable functions shared by the bench binaries and examples.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pat.h"
+#include "core/scheme.h"
+#include "core/schemes.h"
+#include "sim/sim_config.h"
+#include "sim/sim_result.h"
+#include "sim/simulator.h"
+
+namespace heb {
+
+/** Metrics of one scheme averaged across a workload set. */
+struct SchemeSummary
+{
+    std::string scheme;
+
+    /** Mean buffer energy efficiency. */
+    double energyEfficiency = 0.0;
+
+    /** Mean efficiency on the small-peak workloads only. */
+    double energyEfficiencySmall = 0.0;
+
+    /** Mean efficiency on the large-peak workloads only. */
+    double energyEfficiencyLarge = 0.0;
+
+    /** Total downtime across workloads (s). */
+    double downtimeSeconds = 0.0;
+
+    /** Mean estimated battery lifetime (years). */
+    double batteryLifetimeYears = 0.0;
+
+    /** Mean renewable utilization (solar runs). */
+    double reu = 0.0;
+
+    /** Per-workload raw results. */
+    std::vector<SimResult> perWorkload;
+};
+
+/**
+ * Build the profiled PAT the HEB-S / HEB-D schemes start from, by
+ * racing the config's banks across a grid of scenarios (paper §5.2).
+ */
+PowerAllocationTable buildSeededPat(const SimConfig &config,
+                                    const HebSchemeConfig &scheme_cfg);
+
+/**
+ * Run one (workload, scheme) pair under @p config.
+ *
+ * @param seeded_pat  Optional profiled table for the HEB variants.
+ */
+SimResult runOne(const SimConfig &config,
+                 const std::string &workload_name, SchemeKind kind,
+                 const HebSchemeConfig &scheme_cfg = {},
+                 const PowerAllocationTable *seeded_pat = nullptr);
+
+/**
+ * The paper's main comparison (Fig. 12): every scheme over every
+ * workload, one summary row per scheme.
+ */
+std::vector<SchemeSummary>
+compareSchemes(const SimConfig &config,
+               const std::vector<std::string> &workloads,
+               const std::vector<SchemeKind> &schemes,
+               const HebSchemeConfig &scheme_cfg = {});
+
+/** One point of the Fig. 13 capacity-ratio sweep. */
+struct RatioPoint
+{
+    double scParts = 0.0;
+    double baParts = 0.0;
+    SchemeSummary summary;
+};
+
+/**
+ * Fig. 13: constant total capacity, varying SC:BA split, HEB-D over
+ * the full workload set.
+ */
+std::vector<RatioPoint>
+ratioSweep(const SimConfig &base,
+           const std::vector<std::pair<double, double>> &ratios,
+           const HebSchemeConfig &scheme_cfg = {});
+
+/** One point of the Fig. 14 capacity-growth sweep. */
+struct CapacityPoint
+{
+    double dod = 0.0;
+    SchemeSummary summary;
+};
+
+/**
+ * Fig. 14: constant 3:7 split, usable capacity grown by sweeping the
+ * DoD throttle (lower DoD = less usable = smaller effective bank).
+ */
+std::vector<CapacityPoint>
+capacitySweep(const SimConfig &base, const std::vector<double> &dods,
+              const HebSchemeConfig &scheme_cfg = {});
+
+} // namespace heb

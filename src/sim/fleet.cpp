@@ -1,0 +1,111 @@
+#include "sim/fleet.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace heb {
+
+const char *
+budgetPolicyName(BudgetPolicy policy)
+{
+    switch (policy) {
+      case BudgetPolicy::Static: return "static";
+      case BudgetPolicy::Proportional: return "proportional";
+    }
+    return "?";
+}
+
+FleetSimulator::FleetSimulator(SimConfig rack_config,
+                               double facility_budget,
+                               BudgetPolicy policy)
+    : config_(std::move(rack_config)),
+      facilityBudgetW_(facility_budget), policy_(policy)
+{
+    if (facility_budget <= 0.0)
+        fatal("FleetSimulator: facility budget must be positive");
+}
+
+FleetResult
+FleetSimulator::run(const std::vector<RackSpec> &racks)
+{
+    if (racks.empty())
+        fatal("FleetSimulator: need at least one rack");
+    for (const RackSpec &spec : racks) {
+        if (!spec.workload || !spec.scheme)
+            fatal("FleetSimulator: rack '", spec.name,
+                  "' missing workload or scheme");
+    }
+
+    std::vector<std::unique_ptr<RackDomain>> domains;
+    domains.reserve(racks.size());
+    for (const RackSpec &spec : racks) {
+        domains.push_back(std::make_unique<RackDomain>(
+            config_, *spec.workload, *spec.scheme, spec.name));
+    }
+
+    const double dt = config_.tickSeconds;
+    auto n = racks.size();
+    auto ticks =
+        static_cast<std::size_t>(config_.durationSeconds / dt);
+
+    FleetResult result;
+    std::vector<double> demand(n, 0.0);
+    std::vector<double> alloc(n, 0.0);
+
+    for (std::size_t tick_i = 0; tick_i < ticks; ++tick_i) {
+        double now = static_cast<double>(tick_i) * dt;
+
+        double total_need = 0.0;
+        for (std::size_t r = 0; r < n; ++r) {
+            demand[r] = domains[r]->computeDemand(now);
+            // Weight by *need*, not just instantaneous demand: a
+            // rack whose servers were shed must receive enough
+            // headroom to restart them, or a brown-out becomes a
+            // permanent allocation death spiral.
+            demand[r] +=
+                static_cast<double>(domains[r]->offlineServers()) *
+                domains[r]->serverPeakPowerW() * 1.2;
+            total_need += demand[r];
+        }
+
+        // Arbitrate the facility budget.
+        double equal_share =
+            facilityBudgetW_ / static_cast<double>(n);
+        if (policy_ == BudgetPolicy::Static || total_need <= 0.0) {
+            std::fill(alloc.begin(), alloc.end(), equal_share);
+        } else {
+            // Proportional-to-need with a 25 % floor of the equal
+            // share so an idle rack can still charge its buffers.
+            double floor = 0.25 * equal_share;
+            double flexible =
+                facilityBudgetW_ - floor * static_cast<double>(n);
+            for (std::size_t r = 0; r < n; ++r)
+                alloc[r] = floor + flexible * demand[r] / total_need;
+        }
+
+        double facility_draw = 0.0;
+        for (std::size_t r = 0; r < n; ++r) {
+            RackDomain::TickOutcome out =
+                domains[r]->tick(now, alloc[r]);
+            facility_draw += out.sourceDrawW;
+        }
+        result.facilityPeakDrawW =
+            std::max(result.facilityPeakDrawW, facility_draw);
+    }
+
+    for (std::size_t r = 0; r < n; ++r) {
+        SimResult rr;
+        rr.schemeName = racks[r].scheme->name();
+        rr.workloadName = racks[r].workload->name();
+        domains[r]->finalize(rr);
+        result.totalDowntimeSeconds += rr.downtimeSeconds;
+        result.totalUnservedWh += rr.ledger.unservedWh;
+        result.meanEfficiency += rr.energyEfficiency;
+        result.racks.push_back(std::move(rr));
+    }
+    result.meanEfficiency /= static_cast<double>(n);
+    return result;
+}
+
+} // namespace heb

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Multi-rack fleet simulation (the paper's scale-out story, Fig. 8c).
+ *
+ * Each rack is an independent HEB power domain — its own servers,
+ * hybrid banks, relays and hControl — while the facility feed is
+ * shared. Two budget-arbitration policies are provided:
+ *
+ *  - Static: every rack gets total/N, period. Simple, but a busy
+ *    rack browns out while its neighbour idles.
+ *  - Proportional: each tick, racks receive budget proportional to
+ *    their instantaneous demand (with a floor), so spare headroom
+ *    flows to whoever needs it — what a facility-level hControl can
+ *    do that per-rack silos cannot.
+ */
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/scheme.h"
+#include "sim/rack_domain.h"
+#include "sim/sim_config.h"
+#include "sim/sim_result.h"
+#include "workload/workload.h"
+
+namespace heb {
+
+/** How the shared facility budget is split across racks. */
+enum class BudgetPolicy { Static, Proportional };
+
+/** Render a budget policy for logs. */
+const char *budgetPolicyName(BudgetPolicy policy);
+
+/** Description of one rack in the fleet. */
+struct RackSpec
+{
+    /** Rack label. */
+    std::string name;
+
+    /** Demand generator (not owned; must outlive the simulation). */
+    const Workload *workload = nullptr;
+
+    /** Management policy (not owned). */
+    ManagementScheme *scheme = nullptr;
+};
+
+/** Aggregate + per-rack results of a fleet run. */
+struct FleetResult
+{
+    /** Per-rack results in spec order. */
+    std::vector<SimResult> racks;
+
+    /** Total downtime across racks (s). */
+    double totalDowntimeSeconds = 0.0;
+
+    /** Total unserved energy (Wh). */
+    double totalUnservedWh = 0.0;
+
+    /** Facility peak draw (W). */
+    double facilityPeakDrawW = 0.0;
+
+    /** Mean buffer efficiency across racks. */
+    double meanEfficiency = 0.0;
+};
+
+/** A shared-budget multi-rack simulation. */
+class FleetSimulator
+{
+  public:
+    /**
+     * @param rack_config      Per-rack rig parameters (applied to
+     *                         every rack; budgetW is ignored).
+     * @param facility_budget  Shared feed (W).
+     * @param policy           Arbitration policy.
+     */
+    FleetSimulator(SimConfig rack_config, double facility_budget,
+                   BudgetPolicy policy);
+
+    /** Run the fleet for the configured duration. */
+    FleetResult run(const std::vector<RackSpec> &racks);
+
+  private:
+    SimConfig config_;
+    double facilityBudgetW_;
+    BudgetPolicy policy_;
+};
+
+} // namespace heb

@@ -1,0 +1,314 @@
+#include "sim/rack_domain.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/load_assignment.h"
+#include "esd/bank_builder.h"
+#include "esd/battery.h"
+#include "esd/lifetime_model.h"
+#include "util/logging.h"
+#include "util/units.h"
+
+namespace heb {
+
+namespace {
+
+std::unique_ptr<EsdPool>
+buildScBank(const SimConfig &config, bool hybrid)
+{
+    return makeScBank(hybrid ? config.scEnergyWh : 1e-3,
+                      config.scDod);
+}
+
+std::unique_ptr<EsdPool>
+buildBaBank(const SimConfig &config, bool hybrid)
+{
+    double wh =
+        hybrid ? config.baEnergyWh : config.totalBufferWh();
+    return makeBatteryBank(wh, config.baDod, 2,
+                           config.batteryAging);
+}
+
+} // namespace
+
+RackDomain::RackDomain(const SimConfig &config,
+                       const Workload &workload,
+                       ManagementScheme &scheme, std::string name)
+    : config_(config), workload_(workload), name_(std::move(name)),
+      hybrid_(scheme.usesHybridBuffers()),
+      scBank_(buildScBank(config, hybrid_)),
+      baBank_(buildBaBank(config, hybrid_)),
+      cluster_(config.numServers, config.serverParams),
+      topology_(config.topology, config.deployment,
+                std::max(1000.0, cluster_.nameplatePeakW())),
+      controller_(scheme, *scBank_, *baBank_, config.slotSeconds),
+      ipdu_(config.numServers, config.tickSeconds),
+      util_(config.numServers, 0.0),
+      demandSeries_(config.tickSeconds),
+      supplySeries_(config.tickSeconds),
+      unservedSeries_(config.tickSeconds),
+      scSocSeries_(config.slotSeconds),
+      baSocSeries_(config.slotSeconds),
+      rLambdaSeries_(config.slotSeconds)
+{
+    for (std::size_t s = 0; s < config_.numServers; ++s) {
+        cluster_.server(s).setFrequency(
+            workload_.peakClass() == PeakClass::Small
+                ? Server::Frequency::Low
+                : Server::Frequency::High);
+        switches_.emplace_back(name_ + "-relay-" +
+                               std::to_string(s));
+    }
+    if (config_.sensorNoiseSigma > 0.0) {
+        controller_.setSensorNoise(config_.sensorNoiseSigma,
+                                   config_.seed ^ 0x5eb5eb5eULL);
+    }
+    scStartWh_ = scBank_->usableEnergyWh();
+    baStartWh_ = baBank_->usableEnergyWh();
+}
+
+std::size_t
+RackDomain::offlineServers() const
+{
+    return config_.numServers - cluster_.onlineCount();
+}
+
+double
+RackDomain::computeDemand(double now_seconds)
+{
+    for (std::size_t s = 0; s < config_.numServers; ++s) {
+        util_[s] = workload_.utilization(s, now_seconds);
+        cluster_.server(s).touch(now_seconds, util_[s]);
+    }
+    cachedDemand_ = cluster_.totalPowerW(util_, now_seconds);
+    return cachedDemand_;
+}
+
+RackDomain::TickOutcome
+RackDomain::tick(double now_seconds, double supply_w)
+{
+    const double dt = config_.tickSeconds;
+    const double dt_h = secondsToHours(dt);
+    const double now = now_seconds;
+    double demand = cachedDemand_;
+
+    // Optional DVFS capping before touching buffers (paper §1).
+    if (config_.dvfsCapping) {
+        Server::Frequency nominal =
+            workload_.peakClass() == PeakClass::Small
+                ? Server::Frequency::Low
+                : Server::Frequency::High;
+        bool throttled =
+            demand > supply_w && nominal == Server::Frequency::High;
+        for (std::size_t s = 0; s < config_.numServers; ++s) {
+            cluster_.server(s).setFrequency(
+                throttled ? Server::Frequency::Low : nominal);
+        }
+        if (throttled) {
+            demand = cluster_.totalPowerW(util_, now);
+            perfDegradation_ +=
+                static_cast<double>(cluster_.onlineCount()) * dt;
+        }
+    }
+
+    const SlotPlan &plan = controller_.tick(now, demand, supply_w);
+
+    // Relay actuation + IPDU metering.
+    bool in_mismatch = demand > supply_w;
+    std::size_t on_sc =
+        serversOnSc(plan.rLambda, config_.numServers);
+    for (std::size_t s = 0; s < config_.numServers; ++s) {
+        SwitchFeed feed = SwitchFeed::Utility;
+        if (in_mismatch)
+            feed = s < on_sc ? SwitchFeed::Supercap
+                             : SwitchFeed::Battery;
+        switches_[s].command(feed, now);
+        ipdu_.recordSample(s,
+                           cluster_.server(s).powerAt(util_[s], now));
+    }
+
+    TickOutcome outcome;
+    outcome.demandW = demand;
+    double unserved = 0.0;
+    double source_draw = 0.0;
+
+    // Demand-charge management: an *economic* soft cap below the
+    // physical budget. The buffers shave draw above it; anything
+    // they cannot cover backfills from the real budget instead of
+    // shedding servers (availability beats tariff savings).
+    double soft_cap = supply_w;
+    if (config_.peakShavingTargetW > 0.0)
+        soft_cap = std::min(supply_w, config_.peakShavingTargetW);
+
+    if (demand > soft_cap) {
+        double mismatch = demand - soft_cap;
+        double eff_d = topology_.bufferPathEfficiency(mismatch);
+        double needed = mismatch / eff_d;
+
+        DispatchResult res;
+        if (hybrid_) {
+            res = dispatchMismatch(*scBank_, *baBank_, needed,
+                                   plan.rLambda, dt,
+                                   plan.batteryBasePlanW);
+        } else {
+            res.baPowerW = baBank_->discharge(needed, dt);
+            scBank_->rest(dt);
+            res.unservedW = std::max(0.0, needed - res.baPowerW);
+        }
+        double delivered_wall = res.totalW() * eff_d;
+        unserved = std::max(0.0, mismatch - delivered_wall);
+
+        // Backfill a shortfall from the headroom between the soft
+        // cap and the physical budget before counting it unserved.
+        double backfill =
+            std::min(unserved, std::max(0.0, supply_w - soft_cap));
+        unserved -= backfill;
+
+        ledger_.scToLoadWh += res.scPowerW * eff_d * dt_h;
+        ledger_.batteryToLoadWh += res.baPowerW * eff_d * dt_h;
+        ledger_.dischargeConversionLossWh +=
+            res.totalW() * (1.0 - eff_d) * dt_h;
+        ledger_.sourceToLoadWh +=
+            (std::min(soft_cap, demand) + backfill) * dt_h;
+        source_draw = std::min(soft_cap, demand) + backfill;
+
+        if (unserved > config_.shedToleranceW &&
+            cluster_.onlineCount() > 0) {
+            double per_server = std::max(
+                1.0,
+                demand / static_cast<double>(std::max<std::size_t>(
+                             1, cluster_.onlineCount())));
+            auto shed = static_cast<std::size_t>(
+                std::ceil(unserved / per_server));
+            cluster_.shutdownLru(shed, now);
+        }
+    } else {
+        ledger_.sourceToLoadWh += demand * dt_h;
+        source_draw = demand;
+
+        // Charging may use headroom up to the soft cap only, so the
+        // recharge itself does not set a new billed peak.
+        double surplus = soft_cap - demand;
+        double eff_c = topology_.chargePathEfficiency(surplus);
+        ChargeResult charged;
+        if (hybrid_) {
+            charged = dispatchCharge(*scBank_, *baBank_,
+                                     surplus * eff_c,
+                                     plan.chargeScFirst, dt);
+        } else {
+            charged.baPowerW =
+                baBank_->charge(surplus * eff_c, dt);
+            scBank_->rest(dt);
+        }
+        ledger_.sourceToScWh += charged.scPowerW * dt_h;
+        ledger_.sourceToBatteryWh += charged.baPowerW * dt_h;
+        double charge_draw =
+            eff_c > 0.0 ? charged.totalW() / eff_c : 0.0;
+        ledger_.chargeConversionLossWh +=
+            charge_draw * (1.0 - eff_c) * dt_h;
+        source_draw += charge_draw;
+
+        if (config_.restartOnRecovery &&
+            cluster_.onlineCount() < config_.numServers &&
+            now - lastRestart_ > 300.0 &&
+            surplus > config_.serverParams.peakPowerW) {
+            for (std::size_t s = 0; s < config_.numServers; ++s) {
+                if (!cluster_.server(s).isOn()) {
+                    cluster_.server(s).powerOn(now);
+                    lastRestart_ = now;
+                    break;
+                }
+            }
+        }
+    }
+
+    for (std::size_t s = 0; s < config_.numServers; ++s) {
+        if (!cluster_.server(s).isOn())
+            cluster_.server(s).accrueDowntime(dt);
+    }
+
+    ledger_.unservedWh += unserved * dt_h;
+    peakDrawW_ = std::max(peakDrawW_, source_draw);
+    demandSeries_.append(demand);
+    supplySeries_.append(supply_w);
+    unservedSeries_.append(unserved);
+    if (now >= nextSocSample_) {
+        scSocSeries_.append(scBank_->soc());
+        baSocSeries_.append(baBank_->soc());
+        rLambdaSeries_.append(plan.rLambda);
+        nextSocSample_ += config_.slotSeconds;
+    }
+
+    outcome.sourceDrawW = source_draw;
+    outcome.unservedW = unserved;
+    return outcome;
+}
+
+void
+RackDomain::finalize(SimResult &result) const
+{
+    result.durationSeconds = demandSeries_.duration();
+    result.ledger = ledger_;
+    result.ledger.bootWasteWh = cluster_.totalBootEnergyWh();
+    result.downtimeSeconds = cluster_.totalDowntimeSeconds();
+    result.serverOnOffCycles = cluster_.totalOnOffCycles();
+    result.completedSlots = controller_.completedSlots();
+    result.perfDegradationServerSeconds = perfDegradation_;
+    result.peakUtilityDrawW = peakDrawW_;
+    result.demandW = demandSeries_;
+    result.supplyW = supplySeries_;
+    result.unservedW = unservedSeries_;
+    result.scSoc = scSocSeries_;
+    result.baSoc = baSocSeries_;
+    result.rLambdaPerSlot = rLambdaSeries_;
+
+    for (const PowerSwitch &sw : switches_) {
+        result.switchActuations += sw.actuations();
+        result.switchWearFraction =
+            std::max(result.switchWearFraction, sw.wearFraction());
+    }
+
+    const EsdCounters &scc = scBank_->counters();
+    const EsdCounters &bac = baBank_->counters();
+    double out_wh = scc.dischargeEnergyWh + bac.dischargeEnergyWh;
+    double in_wh = scc.chargeEnergyWh + bac.chargeEnergyWh;
+    double delta_stored =
+        (scBank_->usableEnergyWh() + baBank_->usableEnergyWh()) -
+        (scStartWh_ + baStartWh_);
+    double denom = in_wh - delta_stored;
+    result.energyEfficiency =
+        (denom > 1e-9 && out_wh > 0.0)
+            ? std::clamp(out_wh / denom, 0.0, 1.0)
+            : 1.0;
+
+    double invested = result.ledger.sourceToBuffersWh() +
+                      result.ledger.chargeConversionLossWh +
+                      result.ledger.bootWasteWh - delta_stored;
+    result.effectiveEfficiency =
+        (invested > 1e-9 && result.ledger.bufferToLoadWh() > 0.0)
+            ? std::clamp(result.ledger.bufferToLoadWh() / invested,
+                         0.0, 1.0)
+            : 1.0;
+
+    result.batteryWeightedAh = 0.0;
+    double rated_ah = 0.0;
+    for (std::size_t i = 0; i < baBank_->deviceCount(); ++i) {
+        const auto *b =
+            dynamic_cast<const Battery *>(&baBank_->device(i));
+        if (b) {
+            result.batteryWeightedAh += b->weightedThroughputAh();
+            rated_ah += b->params().ratedThroughputAh();
+        }
+    }
+    result.batteryDischargeAh = bac.dischargeAh;
+    result.scDischargeAh = scc.dischargeAh;
+
+    LifetimeModelParams lp;
+    lp.ratedThroughputAh = rated_ah;
+    AhThroughputLifetimeModel lifetime(lp);
+    result.batteryLifetimeYears = lifetime.estimateLifetimeYears(
+        result.batteryWeightedAh, result.durationSeconds);
+}
+
+} // namespace heb

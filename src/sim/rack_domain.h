@@ -1,0 +1,121 @@
+/**
+ * @file
+ * One self-contained HEB power domain: servers + hybrid banks +
+ * relays + hControl, advanced tick by tick against an externally
+ * supplied power budget.
+ *
+ * Extracted from the single-rack Simulator so the FleetSimulator can
+ * run many domains side by side (the paper's rack-level scale-out,
+ * Fig. 8c) with budget arbitration between them.
+ */
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/controller.h"
+#include "core/scheme.h"
+#include "dc/cluster.h"
+#include "esd/esd_pool.h"
+#include "power/ipdu.h"
+#include "power/power_switch.h"
+#include "power/topology.h"
+#include "sim/sim_config.h"
+#include "sim/sim_result.h"
+#include "workload/workload.h"
+
+namespace heb {
+
+/** A rack-level power domain. */
+class RackDomain
+{
+  public:
+    /** Per-tick accounting returned to the caller. */
+    struct TickOutcome
+    {
+        /** Wall demand this tick (W). */
+        double demandW = 0.0;
+
+        /** Power drawn from the upstream source (W). */
+        double sourceDrawW = 0.0;
+
+        /** Demand left unserved (W). */
+        double unservedW = 0.0;
+    };
+
+    /**
+     * @param config    Rig parameters (banks, servers, slot length).
+     * @param workload  Demand generator (not owned).
+     * @param scheme    Management policy (not owned).
+     * @param name      Domain label for logs/results.
+     */
+    RackDomain(const SimConfig &config, const Workload &workload,
+               ManagementScheme &scheme, std::string name);
+
+    /**
+     * Compute (and cache) this tick's wall demand. Must be called
+     * before tick() for the same timestamp; lets an arbitrator see
+     * every domain's need before allocating supply.
+     */
+    double computeDemand(double now_seconds);
+
+    /** Advance one tick with @p supply_w of budget available. */
+    TickOutcome tick(double now_seconds, double supply_w);
+
+    /** Fill @p result with this domain's final metrics. */
+    void finalize(SimResult &result) const;
+
+    /** Domain label. */
+    const std::string &name() const { return name_; }
+
+    /** Usable SC energy right now (Wh). */
+    double scUsableWh() const { return scBank_->usableEnergyWh(); }
+
+    /** Usable battery energy right now (Wh). */
+    double baUsableWh() const { return baBank_->usableEnergyWh(); }
+
+    /** Servers currently shed (powered off). */
+    std::size_t offlineServers() const;
+
+    /** Per-server peak power (for restart headroom planning). */
+    double serverPeakPowerW() const
+    {
+        return config_.serverParams.peakPowerW;
+    }
+
+  private:
+    SimConfig config_;
+    const Workload &workload_;
+    std::string name_;
+    bool hybrid_;
+
+    std::unique_ptr<EsdPool> scBank_;
+    std::unique_ptr<EsdPool> baBank_;
+    Cluster cluster_;
+    Topology topology_;
+    HebController controller_;
+    std::vector<PowerSwitch> switches_;
+    Ipdu ipdu_;
+
+    std::vector<double> util_;
+    double cachedDemand_ = 0.0;
+    double lastRestart_ = -1e9;
+    double nextSocSample_ = 0.0;
+    double scStartWh_ = 0.0;
+    double baStartWh_ = 0.0;
+    double perfDegradation_ = 0.0;
+
+    // Accumulating series/ledger mirrored into finalize().
+    EnergyLedger ledger_;
+    TimeSeries demandSeries_;
+    TimeSeries supplySeries_;
+    TimeSeries unservedSeries_;
+    TimeSeries scSocSeries_;
+    TimeSeries baSocSeries_;
+    TimeSeries rLambdaSeries_;
+    double peakDrawW_ = 0.0;
+};
+
+} // namespace heb

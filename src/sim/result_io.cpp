@@ -1,0 +1,86 @@
+#include "sim/result_io.h"
+
+#include "util/csv.h"
+#include "util/units.h"
+
+namespace heb {
+
+void
+writeResultSeries(const SimResult &result, const std::string &prefix)
+{
+    {
+        CsvWriter w(prefix + "_ticks.csv");
+        w.header({"seconds", "demand_w", "supply_w", "unserved_w"});
+        for (std::size_t i = 0; i < result.demandW.size(); ++i) {
+            w.row({result.demandW.timeAt(i), result.demandW[i],
+                   result.supplyW[i], result.unservedW[i]});
+        }
+    }
+    {
+        CsvWriter w(prefix + "_slots.csv");
+        w.header({"seconds", "sc_soc", "ba_soc", "r_lambda"});
+        for (std::size_t i = 0; i < result.scSoc.size(); ++i) {
+            w.row({result.scSoc.timeAt(i), result.scSoc[i],
+                   result.baSoc[i], result.rLambdaPerSlot[i]});
+        }
+    }
+}
+
+void
+writeResultMetrics(const std::vector<SimResult> &results,
+                   const std::string &path)
+{
+    CsvWriter w(path);
+    w.header({"scheme", "workload", "duration_s", "efficiency",
+              "effective_efficiency", "downtime_s",
+              "battery_life_years", "reu", "buffer_to_load_wh",
+              "unserved_wh", "switch_actuations"});
+    for (const SimResult &r : results) {
+        w.rowStrings(
+            {r.schemeName, r.workloadName,
+             std::to_string(r.durationSeconds),
+             std::to_string(r.energyEfficiency),
+             std::to_string(r.effectiveEfficiency),
+             std::to_string(r.downtimeSeconds),
+             std::to_string(r.batteryLifetimeYears),
+             std::to_string(r.reu),
+             std::to_string(r.ledger.bufferToLoadWh()),
+             std::to_string(r.ledger.unservedWh),
+             std::to_string(r.switchActuations)});
+    }
+}
+
+SimConfig
+simConfigFromConfig(const Config &config)
+{
+    SimConfig cfg;
+    cfg.numServers = static_cast<std::size_t>(
+        config.getInt("servers", static_cast<long>(cfg.numServers)));
+    cfg.tickSeconds =
+        config.getDouble("tick_seconds", cfg.tickSeconds);
+    cfg.slotSeconds =
+        config.getDouble("slot_seconds", cfg.slotSeconds);
+    cfg.durationSeconds =
+        config.getDouble("duration_hours",
+                         cfg.durationSeconds / kSecondsPerHour) *
+        kSecondsPerHour;
+    cfg.budgetW = config.getDouble("budget_w", cfg.budgetW);
+    cfg.solarPowered = config.getBool("solar", cfg.solarPowered);
+    cfg.solarParams.ratedPowerW = config.getDouble(
+        "solar_rated_w", cfg.solarParams.ratedPowerW);
+    cfg.seed = static_cast<std::uint64_t>(
+        config.getInt("seed", static_cast<long>(cfg.seed)));
+    cfg.scEnergyWh = config.getDouble("sc_wh", cfg.scEnergyWh);
+    cfg.baEnergyWh = config.getDouble("ba_wh", cfg.baEnergyWh);
+    cfg.scDod = config.getDouble("sc_dod", cfg.scDod);
+    cfg.baDod = config.getDouble("ba_dod", cfg.baDod);
+    cfg.batteryAging =
+        config.getBool("battery_aging", cfg.batteryAging);
+    cfg.dvfsCapping =
+        config.getBool("dvfs_capping", cfg.dvfsCapping);
+    cfg.sensorNoiseSigma =
+        config.getDouble("sensor_noise_sigma", cfg.sensorNoiseSigma);
+    return cfg;
+}
+
+} // namespace heb

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Simulation outputs: the four paper metrics plus raw series.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "sim/energy_ledger.h"
+#include "util/time_series.h"
+
+namespace heb {
+
+/** Everything a simulation run produces. */
+struct SimResult
+{
+    /** Scheme under test. */
+    std::string schemeName;
+
+    /** Workload under test. */
+    std::string workloadName;
+
+    /** Simulated duration (s). */
+    double durationSeconds = 0.0;
+
+    // --- The four headline metrics -------------------------------
+
+    /**
+     * Buffer energy efficiency: terminal energy delivered by the
+     * buffers over the terminal energy invested in them (net of the
+     * stored-energy delta).
+     */
+    double energyEfficiency = 0.0;
+
+    /**
+     * System-level effective efficiency: also charges conversion
+     * losses and reboot waste against the buffers.
+     */
+    double effectiveEfficiency = 0.0;
+
+    /** Aggregated server downtime (s). */
+    double downtimeSeconds = 0.0;
+
+    /** Estimated battery lifetime under this usage (years). */
+    double batteryLifetimeYears = 0.0;
+
+    /** Renewable energy utilization (solar runs only; else 0). */
+    double reu = 0.0;
+
+    // --- Supporting detail ----------------------------------------
+
+    /** Energy accounts. */
+    EnergyLedger ledger;
+
+    /** Battery lifetime-weighted throughput (Ah). */
+    double batteryWeightedAh = 0.0;
+
+    /** Battery raw discharge throughput (Ah). */
+    double batteryDischargeAh = 0.0;
+
+    /** SC discharge throughput (Ah). */
+    double scDischargeAh = 0.0;
+
+    /** Server on/off cycles incurred. */
+    unsigned long serverOnOffCycles = 0;
+
+    /**
+     * Performance degradation from DVFS capping: server-seconds
+     * spent throttled below the workload's nominal frequency.
+     */
+    double perfDegradationServerSeconds = 0.0;
+
+    /** Total relay actuations commanded by the controller. */
+    unsigned long switchActuations = 0;
+
+    /** Worst per-relay wear fraction (actuations / rated life). */
+    double switchWearFraction = 0.0;
+
+    /** Completed control slots. */
+    unsigned long completedSlots = 0;
+
+    /** Peak utility draw (W). */
+    double peakUtilityDrawW = 0.0;
+
+    /** Wall demand series (per tick, W). */
+    TimeSeries demandW{1.0};
+
+    /** Supply budget series (per tick, W). */
+    TimeSeries supplyW{1.0};
+
+    /** Unserved power series (per tick, W). */
+    TimeSeries unservedW{1.0};
+
+    /** SC state-of-charge series (per slot). */
+    TimeSeries scSoc{600.0};
+
+    /** Battery state-of-charge series (per slot). */
+    TimeSeries baSoc{600.0};
+
+    /** R_lambda in force (per slot). */
+    TimeSeries rLambdaPerSlot{600.0};
+};
+
+} // namespace heb

@@ -1,0 +1,78 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "power/solar_array.h"
+#include "power/utility_grid.h"
+#include "sim/rack_domain.h"
+#include "util/logging.h"
+
+namespace heb {
+
+Simulator::Simulator(SimConfig config) : config_(std::move(config))
+{
+    if (config_.tickSeconds <= 0.0 || config_.slotSeconds <= 0.0)
+        fatal("Simulator: tick and slot must be positive");
+    if (config_.durationSeconds < config_.slotSeconds)
+        fatal("Simulator: duration shorter than one slot");
+    if (config_.numServers == 0)
+        fatal("Simulator: need at least one server");
+}
+
+SimResult
+Simulator::run(const Workload &workload, ManagementScheme &scheme)
+{
+    const double dt = config_.tickSeconds;
+
+    std::unique_ptr<UtilityGrid> grid;
+    std::unique_ptr<SolarArray> solar;
+    if (config_.solarPowered) {
+        solar = std::make_unique<SolarArray>(
+            config_.solarParams, config_.durationSeconds, dt,
+            config_.seed);
+    } else {
+        grid = std::make_unique<UtilityGrid>(config_.budgetW);
+        for (auto [start, duration] : config_.outages)
+            grid->addOutage(start, duration);
+    }
+
+    RackDomain domain(config_, workload, scheme, "rack0");
+
+    auto ticks =
+        static_cast<std::size_t>(config_.durationSeconds / dt);
+    for (std::size_t tick_i = 0; tick_i < ticks; ++tick_i) {
+        double now = static_cast<double>(tick_i) * dt;
+        double supply = config_.solarPowered
+                            ? solar->availablePowerW(now)
+                            : grid->availablePowerW(now);
+        domain.computeDemand(now);
+        RackDomain::TickOutcome outcome = domain.tick(now, supply);
+        if (config_.solarPowered)
+            solar->recordDraw(now, outcome.sourceDrawW, dt);
+        else
+            grid->recordDraw(now, outcome.sourceDrawW, dt);
+    }
+
+    SimResult result;
+    result.schemeName = scheme.name();
+    result.workloadName = workload.name();
+    domain.finalize(result);
+
+    if (config_.solarPowered) {
+        double gen = solar->totalGenerationWh();
+        if (gen > 0.0) {
+            // Spilled generation = generated - everything drawn.
+            result.ledger.spilledSourceWh = std::max(
+                0.0, gen - solar->harvestedWh());
+            result.reu = std::clamp(
+                (result.ledger.sourceToLoadWh +
+                 result.ledger.sourceToBuffersWh()) /
+                    gen,
+                0.0, 1.0);
+        }
+    }
+    return result;
+}
+
+} // namespace heb

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Fixed-step full-system simulator.
+ *
+ * Plays the role of the physical prototype (paper Fig. 11): servers
+ * draw power according to a workload, the upstream source offers a
+ * budget (utility) or a solar trace, the HebController decides the
+ * per-slot buffer split, and the dispatch layer moves energy through
+ * the SC and battery banks. A tick is one IPDU sample (1 s); a slot
+ * is one control interval (10 min).
+ */
+
+#pragma once
+
+#include <memory>
+
+#include "core/scheme.h"
+#include "esd/esd_pool.h"
+#include "sim/sim_config.h"
+#include "sim/sim_result.h"
+#include "workload/workload.h"
+
+namespace heb {
+
+/** One full-system simulation run. */
+class Simulator
+{
+  public:
+    /** Construct with a configuration (copied). */
+    explicit Simulator(SimConfig config);
+
+    /**
+     * Run @p workload under @p scheme for the configured duration.
+     * Fresh banks and servers are built per run, so a Simulator can
+     * execute many runs independently.
+     */
+    SimResult run(const Workload &workload, ManagementScheme &scheme);
+
+    /** Configuration in use. */
+    const SimConfig &config() const { return config_; }
+
+  private:
+    SimConfig config_;
+};
+
+} // namespace heb

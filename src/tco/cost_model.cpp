@@ -1,0 +1,68 @@
+#include "tco/cost_model.h"
+
+#include "util/logging.h"
+
+namespace heb {
+
+const std::vector<StorageTechnology> &
+storageTechnologies()
+{
+    static const std::vector<StorageTechnology> techs = {
+        // name, $/kWh, cycles, round-trip eff, calendar years
+        {"lead-acid", 200.0, 2500.0, 0.78, 4.0},
+        {"nicd", 800.0, 2000.0, 0.72, 8.0},
+        {"li-ion", 900.0, 2500.0, 0.90, 8.0},
+        {"supercap", 20000.0, 500000.0, 0.93, 12.0},
+        {"flywheel", 2000.0, 100000.0, 0.85, 15.0},
+    };
+    return techs;
+}
+
+const StorageTechnology &
+findTechnology(const std::string &name)
+{
+    for (const auto &t : storageTechnologies()) {
+        if (t.name == name)
+            return t;
+    }
+    fatal("Unknown storage technology '", name, "'");
+}
+
+double
+CostBreakdown::total() const
+{
+    double acc = 0.0;
+    for (const auto &i : items)
+        acc += i.dollars;
+    return acc;
+}
+
+double
+CostBreakdown::fraction(const std::string &component) const
+{
+    double t = total();
+    if (t <= 0.0)
+        return 0.0;
+    for (const auto &i : items) {
+        if (i.component == component)
+            return i.dollars / t;
+    }
+    return 0.0;
+}
+
+CostBreakdown
+prototypeCostBreakdown()
+{
+    CostBreakdown b;
+    b.items = {
+        {"energy-storage-devices", 424.0},
+        {"inverters", 110.0},
+        {"relays-and-switches", 58.0},
+        {"control-node", 82.0},
+        {"sensors", 44.0},
+        {"cabinet-and-wiring", 53.0},
+    };
+    return b;
+}
+
+} // namespace heb

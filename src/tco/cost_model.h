@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Storage-technology cost table and prototype cost breakdown
+ * (paper Fig. 4 and Fig. 15a).
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace heb {
+
+/** One energy-storage technology's economics. */
+struct StorageTechnology
+{
+    /** Technology name. */
+    std::string name;
+
+    /** Initial cost ($ per kWh installed). */
+    double initialCostPerKwh = 0.0;
+
+    /** Deep-cycle life (cycles). */
+    double cycleLife = 0.0;
+
+    /** Round-trip efficiency (0..1). */
+    double roundTripEfficiency = 0.0;
+
+    /** Calendar life (years). */
+    double calendarLifeYears = 0.0;
+
+    /**
+     * Amortized cost per kWh per cycle ($/kWh/cycle) — the paper's
+     * Fig. 4 comparison metric.
+     */
+    double
+    amortizedCostPerKwhCycle() const
+    {
+        return cycleLife > 0.0 ? initialCostPerKwh / cycleLife : 0.0;
+    }
+};
+
+/**
+ * The Fig. 4 technology set: lead-acid, NiCd, Li-ion batteries,
+ * super-capacitors and (for context) flywheels, with costs in the
+ * ranges the paper cites ([34, 37, 38]).
+ */
+const std::vector<StorageTechnology> &storageTechnologies();
+
+/** Find a technology by name; fatal() when missing. */
+const StorageTechnology &findTechnology(const std::string &name);
+
+/** One line item of the prototype cost breakdown. */
+struct CostItem
+{
+    std::string component;
+    double dollars = 0.0;
+};
+
+/** Prototype bill of materials (paper Fig. 15a). */
+struct CostBreakdown
+{
+    std::vector<CostItem> items;
+
+    /** Total cost ($). */
+    double total() const;
+
+    /** Fraction of the total represented by @p component. */
+    double fraction(const std::string &component) const;
+};
+
+/**
+ * The HEB-node bill of materials. Energy storage devices dominate at
+ * ~55 % of the total, and the whole node lands under 16 % of the
+ * ~$4,850 cost of the six servers it powers.
+ */
+CostBreakdown prototypeCostBreakdown();
+
+/** The prototype's six-server cost the paper compares against ($). */
+inline constexpr double kSixServerCostDollars = 4850.0;
+
+} // namespace heb

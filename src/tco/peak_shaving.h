@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Eight-year peak-shaving economics (paper §7.6, Fig. 15c).
+ *
+ * A 100 kW datacenter with a 20 kWh buffer (SC:BA = 3:7 for the
+ * hybrid schemes) shaves its monthly billed peak; the utility charges
+ * 12 $/kW. Revenue accrues with the scheme's shaving effectiveness
+ * (how much of the buffer's energy actually lands on peaks — HEB's
+ * efficiency and downtime gains translate directly); costs are the
+ * initial buffer CAP-EX plus battery replacements at the scheme's
+ * achieved battery lifetime. The output is the cumulative net-profit
+ * curve, its break-even year, and per-scheme revenue ratios.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace heb {
+
+/** Economic inputs of the Fig. 15c experiment. */
+struct PeakShavingParams
+{
+    /** Facility size (kW). */
+    double datacenterKw = 100.0;
+
+    /** Installed buffer energy (kWh). */
+    double bufferKwh = 20.0;
+
+    /** Peak-demand tariff ($/kW-month). */
+    double tariffPerKwMonth = 12.0;
+
+    /** Typical daily peak duration (hours). */
+    double peakDurationHours = 0.5;
+
+    /** Battery cost ($/kWh). */
+    double batteryCostPerKwh = 300.0;
+
+    /**
+     * SC cost ($/kWh). The paper's headline 10 k$/kWh figure makes a
+     * 30 %-SC 20 kWh buffer unrecoverable within 8 years at any
+     * plausible tariff; its own Fig. 15c therefore implies the
+     * forward-looking module pricing it cites from [41]. We default
+     * to that (1.5 k$/kWh) and document the substitution; the ROI
+     * model (Fig. 15b) keeps the conservative 10 k$/kWh.
+     */
+    double scCostPerKwh = 1500.0;
+
+    /** SC share of buffer energy in the hybrid schemes. */
+    double scFraction = 0.3;
+
+    /** Horizon (years). */
+    double horizonYears = 8.0;
+};
+
+/** Scheme-dependent operational characteristics feeding the model. */
+struct SchemeEconomics
+{
+    /** Table 2 name. */
+    std::string name;
+
+    /** True for the hybrid (battery + SC) buffers. */
+    bool hybrid = true;
+
+    /**
+     * Fraction of buffer capacity that effectively shaves billed
+     * peaks (combines round-trip efficiency and availability).
+     */
+    double shavingEffectiveness = 0.5;
+
+    /** Achieved battery lifetime under this scheme (years). */
+    double batteryLifetimeYears = 4.0;
+};
+
+/** One scheme's economics over the horizon. */
+struct PeakShavingResult
+{
+    std::string scheme;
+
+    /** Cumulative net profit at the end of each year ($). */
+    std::vector<double> cumulativeNetByYear;
+
+    /** Year at which cumulative net profit crosses zero (or <0). */
+    double breakEvenYears = -1.0;
+
+    /** Net profit at the horizon ($). */
+    double netAtHorizon = 0.0;
+
+    /** Initial CAP-EX ($). */
+    double capex = 0.0;
+
+    /** Annual gross shaving revenue ($). */
+    double annualRevenue = 0.0;
+};
+
+/** The Fig. 15c model. */
+class PeakShavingModel
+{
+  public:
+    explicit PeakShavingModel(PeakShavingParams params = {});
+
+    /** Evaluate one scheme. */
+    PeakShavingResult evaluate(const SchemeEconomics &scheme) const;
+
+    /** Evaluate a set and return results in the same order. */
+    std::vector<PeakShavingResult>
+    evaluateAll(const std::vector<SchemeEconomics> &schemes) const;
+
+    /**
+     * Revenue ratio of @p scheme to @p baseline at the horizon
+     * (the paper's ">1.9x" headline compares HEB to BaOnly).
+     */
+    static double revenueRatio(const PeakShavingResult &scheme,
+                               const PeakShavingResult &baseline);
+
+    /** The paper's default scheme set with Fig. 12-derived inputs. */
+    static std::vector<SchemeEconomics> paperDefaults();
+
+    /** Knobs in use. */
+    const PeakShavingParams &params() const { return params_; }
+
+  private:
+    PeakShavingParams params_;
+};
+
+} // namespace heb

@@ -1,0 +1,58 @@
+#include "tco/roi.h"
+
+#include "util/logging.h"
+#include "util/units.h"
+
+namespace heb {
+
+RoiModel::RoiModel(RoiParams params) : params_(params)
+{
+    if (params_.batteryFraction < 0.0 || params_.scFraction < 0.0)
+        fatal("RoiModel fractions must be non-negative");
+    double sum = params_.batteryFraction + params_.scFraction;
+    if (sum <= 0.0)
+        fatal("RoiModel fractions must sum to a positive value");
+    if (params_.batteryLifeYears <= 0.0 || params_.scLifeYears <= 0.0 ||
+        params_.infraLifeYears <= 0.0) {
+        fatal("RoiModel lifetimes must be positive");
+    }
+}
+
+double
+RoiModel::hybridCostPerKwh()const
+{
+    return params_.batteryCostPerKwh * params_.batteryFraction +
+           params_.scCostPerKwh * params_.scFraction;
+}
+
+double
+RoiModel::annualizedBufferCostPerW(double peak_hours) const
+{
+    if (peak_hours <= 0.0)
+        fatal("annualizedBufferCostPerW: peak hours must be positive");
+    // e hours of sustain at 1 W needs e Wh = e/1000 kWh of buffer,
+    // split by the energy fractions and amortized per component.
+    double kwh_per_w = peak_hours / kWattsPerKilowatt;
+    double bat_cost = kwh_per_w * params_.batteryFraction *
+                      params_.batteryCostPerKwh /
+                      params_.batteryLifeYears;
+    double sc_cost = kwh_per_w * params_.scFraction *
+                     params_.scCostPerKwh / params_.scLifeYears;
+    return bat_cost + sc_cost;
+}
+
+double
+RoiModel::annualizedInfraCostPerW(double c_cap) const
+{
+    return c_cap / params_.infraLifeYears;
+}
+
+double
+RoiModel::roi(double c_cap, double peak_hours) const
+{
+    double buffer = annualizedBufferCostPerW(peak_hours);
+    double infra = annualizedInfraCostPerW(c_cap);
+    return (infra - buffer) / buffer;
+}
+
+} // namespace heb

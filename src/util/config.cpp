@@ -1,0 +1,152 @@
+#include "util/config.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace heb {
+
+namespace {
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+} // namespace
+
+Config
+Config::fromFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("Config: cannot open ", path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return fromString(buffer.str());
+}
+
+Config
+Config::fromString(const std::string &text)
+{
+    Config cfg;
+    std::stringstream ss(text);
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(ss, line)) {
+        ++lineno;
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        auto eq = line.find('=');
+        if (eq == std::string::npos)
+            fatal("Config: line ", lineno, " has no '=': ", line);
+        std::string key = trim(line.substr(0, eq));
+        std::string value = trim(line.substr(eq + 1));
+        if (key.empty())
+            fatal("Config: empty key on line ", lineno);
+        cfg.values_[key] = value;
+    }
+    return cfg;
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return values_.count(key) > 0;
+}
+
+const std::string &
+Config::getString(const std::string &key) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        fatal("Config: missing key '", key, "'");
+    return it->second;
+}
+
+std::string
+Config::getString(const std::string &key,
+                  const std::string &fallback) const
+{
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+}
+
+double
+Config::getDouble(const std::string &key) const
+{
+    const std::string &v = getString(key);
+    try {
+        std::size_t used = 0;
+        double d = std::stod(v, &used);
+        if (used != v.size())
+            fatal("Config: key '", key, "' not numeric: ", v);
+        return d;
+    } catch (const std::exception &) {
+        fatal("Config: key '", key, "' not numeric: ", v);
+    }
+}
+
+double
+Config::getDouble(const std::string &key, double fallback) const
+{
+    return has(key) ? getDouble(key) : fallback;
+}
+
+long
+Config::getInt(const std::string &key) const
+{
+    const std::string &v = getString(key);
+    try {
+        std::size_t used = 0;
+        long i = std::stol(v, &used);
+        if (used != v.size())
+            fatal("Config: key '", key, "' not integral: ", v);
+        return i;
+    } catch (const std::exception &) {
+        fatal("Config: key '", key, "' not integral: ", v);
+    }
+}
+
+long
+Config::getInt(const std::string &key, long fallback) const
+{
+    return has(key) ? getInt(key) : fallback;
+}
+
+bool
+Config::getBool(const std::string &key) const
+{
+    const std::string &v = getString(key);
+    if (v == "true" || v == "1" || v == "yes")
+        return true;
+    if (v == "false" || v == "0" || v == "no")
+        return false;
+    fatal("Config: key '", key, "' is not a boolean: ", v);
+}
+
+bool
+Config::getBool(const std::string &key, bool fallback) const
+{
+    return has(key) ? getBool(key) : fallback;
+}
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    values_[key] = value;
+}
+
+} // namespace heb

@@ -1,0 +1,115 @@
+#include "util/csv.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace heb {
+
+CsvWriter::CsvWriter(const std::string &path) : out_(path)
+{
+    if (!out_)
+        fatal("CsvWriter: cannot open ", path);
+    // Full round-trip precision: files feed plotting *and* tests.
+    out_.precision(std::numeric_limits<double>::max_digits10);
+}
+
+void
+CsvWriter::header(const std::vector<std::string> &columns)
+{
+    rowStrings(columns);
+}
+
+void
+CsvWriter::row(const std::vector<double> &values)
+{
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i)
+            out_ << ',';
+        out_ << values[i];
+    }
+    out_ << '\n';
+}
+
+void
+CsvWriter::rowStrings(const std::vector<std::string> &values)
+{
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i)
+            out_ << ',';
+        out_ << values[i];
+    }
+    out_ << '\n';
+}
+
+std::size_t
+CsvTable::columnIndex(const std::string &name) const
+{
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+        if (columns[i] == name)
+            return i;
+    }
+    fatal("CsvTable: no column named '", name, "'");
+}
+
+std::vector<double>
+CsvTable::column(const std::string &name) const
+{
+    std::size_t idx = columnIndex(name);
+    std::vector<double> out;
+    out.reserve(rows.size());
+    for (const auto &r : rows)
+        out.push_back(r.at(idx));
+    return out;
+}
+
+CsvTable
+readCsv(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("readCsv: cannot open ", path);
+
+    CsvTable table;
+    std::string line;
+    bool first = true;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::stringstream ss(line);
+        std::string cell;
+        if (first) {
+            while (std::getline(ss, cell, ','))
+                table.columns.push_back(cell);
+            first = false;
+            continue;
+        }
+        std::vector<double> row;
+        std::vector<std::string> raw;
+        while (std::getline(ss, cell, ',')) {
+            raw.push_back(cell);
+            // Non-numeric cells (labels) parse as NaN; callers that
+            // need the text use rawRows.
+            try {
+                std::size_t used = 0;
+                double v = std::stod(cell, &used);
+                row.push_back(used == cell.size()
+                                  ? v
+                                  : std::numeric_limits<
+                                        double>::quiet_NaN());
+            } catch (const std::exception &) {
+                row.push_back(
+                    std::numeric_limits<double>::quiet_NaN());
+            }
+        }
+        if (row.size() != table.columns.size())
+            fatal("readCsv: ragged row in ", path);
+        table.rows.push_back(std::move(row));
+        table.rawRows.push_back(std::move(raw));
+    }
+    return table;
+}
+
+} // namespace heb

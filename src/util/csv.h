@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Tiny CSV writer/reader for bench outputs and trace persistence.
+ */
+
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace heb {
+
+/** Streaming CSV writer. */
+class CsvWriter
+{
+  public:
+    /** Open @p path for writing; fatal() on failure. */
+    explicit CsvWriter(const std::string &path);
+
+    /** Write the header row. */
+    void header(const std::vector<std::string> &columns);
+
+    /** Write one data row of doubles. */
+    void row(const std::vector<double> &values);
+
+    /** Write one data row of preformatted strings. */
+    void rowStrings(const std::vector<std::string> &values);
+
+  private:
+    std::ofstream out_;
+};
+
+/** Fully-parsed CSV table. */
+struct CsvTable
+{
+    std::vector<std::string> columns;
+
+    /** Numeric view: non-numeric cells read as NaN. */
+    std::vector<std::vector<double>> rows;
+
+    /** Raw text cells (for label columns). */
+    std::vector<std::vector<std::string>> rawRows;
+
+    /** Index of a named column; fatal() when missing. */
+    std::size_t columnIndex(const std::string &name) const;
+
+    /** All values of a named column. */
+    std::vector<double> column(const std::string &name) const;
+};
+
+/** Parse a CSV file with a header row of names and numeric cells. */
+CsvTable readCsv(const std::string &path);
+
+} // namespace heb

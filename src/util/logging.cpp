@@ -1,0 +1,70 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace heb {
+
+namespace {
+
+LogLevel &
+thresholdStorage()
+{
+    static LogLevel threshold = LogLevel::Inform;
+    return threshold;
+}
+
+const char *
+levelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Panic: return "panic";
+      case LogLevel::Fatal: return "fatal";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Inform: return "info";
+      case LogLevel::Debug: return "debug";
+    }
+    return "?";
+}
+
+} // namespace
+
+LogLevel
+logThreshold()
+{
+    return thresholdStorage();
+}
+
+void
+setLogThreshold(LogLevel level)
+{
+    thresholdStorage() = level;
+}
+
+namespace detail {
+
+void
+emitLog(LogLevel level, const std::string &message)
+{
+    if (static_cast<int>(level) > static_cast<int>(thresholdStorage()))
+        return;
+    std::fprintf(stderr, "[%s] %s\n", levelTag(level), message.c_str());
+}
+
+void
+emitFatal(const std::string &message)
+{
+    std::fprintf(stderr, "[fatal] %s\n", message.c_str());
+    std::exit(1);
+}
+
+void
+emitPanic(const std::string &message)
+{
+    std::fprintf(stderr, "[panic] %s\n", message.c_str());
+    std::abort();
+}
+
+} // namespace detail
+
+} // namespace heb

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Minimal gem5-flavoured status/error reporting.
+ *
+ * fatal() is for user errors (bad configuration); panic() is for
+ * internal invariant violations. Both terminate. warn()/inform() are
+ * advisory and never stop the run.
+ */
+
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace heb {
+
+/** Log verbosity levels, most severe first. */
+enum class LogLevel { Panic, Fatal, Warn, Inform, Debug };
+
+/**
+ * Process-wide minimum level that is actually printed. Messages less
+ * severe than this are dropped (fatal/panic still terminate).
+ */
+LogLevel logThreshold();
+
+/** Set the process-wide log threshold. */
+void setLogThreshold(LogLevel level);
+
+namespace detail {
+
+/** Emit one formatted log line to stderr honouring the threshold. */
+void emitLog(LogLevel level, const std::string &message);
+
+/** Emit and terminate with exit(1): user-caused error. */
+[[noreturn]] void emitFatal(const std::string &message);
+
+/** Emit and abort(): internal bug. */
+[[noreturn]] void emitPanic(const std::string &message);
+
+/** Fold a pack of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Report an unrecoverable user/configuration error and exit(1). */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::emitFatal(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report an internal invariant violation and abort(). */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::emitPanic(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report a suspicious-but-survivable condition. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emitLog(LogLevel::Warn, detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::emitLog(LogLevel::Inform,
+                    detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report developer-facing detail. */
+template <typename... Args>
+void
+debugLog(Args &&...args)
+{
+    detail::emitLog(LogLevel::Debug,
+                    detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace heb

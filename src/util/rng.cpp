@@ -1,0 +1,61 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace heb {
+
+double
+Rng::uniform(double lo, double hi)
+{
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+}
+
+int
+Rng::uniformInt(int lo, int hi)
+{
+    std::uniform_int_distribution<int> dist(lo, hi);
+    return dist(engine_);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    std::normal_distribution<double> dist(mean, stddev);
+    return dist(engine_);
+}
+
+double
+Rng::exponential(double rate)
+{
+    if (rate <= 0.0)
+        fatal("Rng::exponential rate must be positive");
+    std::exponential_distribution<double> dist(rate);
+    return dist(engine_);
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+}
+
+double
+Rng::logNormalWithMean(double mean, double sigma)
+{
+    if (mean <= 0.0)
+        fatal("Rng::logNormalWithMean requires positive mean");
+    // E[lognormal(mu, sigma)] = exp(mu + sigma^2/2); solve for mu.
+    double mu = std::log(mean) - 0.5 * sigma * sigma;
+    std::lognormal_distribution<double> dist(mu, sigma);
+    return dist(engine_);
+}
+
+} // namespace heb

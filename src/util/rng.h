@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Deterministic random-number helper.
+ *
+ * Every stochastic model in the library (cloud transients, workload
+ * jitter) draws from an explicitly-seeded Rng so that tests and bench
+ * tables are reproducible run to run.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace heb {
+
+/** Seedable wrapper around a Mersenne Twister with typed draws. */
+class Rng
+{
+  public:
+    /** Construct with an explicit seed. */
+    explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int uniformInt(int lo, int hi);
+
+    /** Normal draw with the given mean/stddev. */
+    double normal(double mean, double stddev);
+
+    /** Exponential draw with the given rate (lambda). */
+    double exponential(double rate);
+
+    /** Bernoulli trial with success probability @p p. */
+    bool chance(double p);
+
+    /**
+     * Log-normal draw parameterized by the *resulting* mean and
+     * sigma of the underlying normal; handy for heavy-tail power
+     * bursts.
+     */
+    double logNormalWithMean(double mean, double sigma);
+
+    /** Underlying engine, for std distributions not wrapped here. */
+    std::mt19937_64 &engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace heb

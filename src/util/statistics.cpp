@@ -1,0 +1,160 @@
+#include "util/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace heb {
+
+void
+RunningStats::add(double value)
+{
+    if (count_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    ++count_;
+    sum_ += value;
+    double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
+}
+
+double
+RunningStats::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStats::min() const
+{
+    if (count_ == 0)
+        panic("RunningStats::min on empty accumulator");
+    return min_;
+}
+
+double
+RunningStats::max() const
+{
+    if (count_ == 0)
+        panic("RunningStats::max on empty accumulator");
+    return max_;
+}
+
+void
+RunningStats::reset()
+{
+    *this = RunningStats();
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    if (bins == 0)
+        fatal("Histogram needs at least one bin");
+    if (hi <= lo)
+        fatal("Histogram range must have hi > lo");
+}
+
+void
+Histogram::add(double value)
+{
+    double pos = (value - lo_) / (hi_ - lo_) *
+                 static_cast<double>(counts_.size());
+    long bin = static_cast<long>(std::floor(pos));
+    bin = std::clamp<long>(bin, 0, static_cast<long>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(bin)];
+    ++total_;
+}
+
+std::size_t
+Histogram::binCount(std::size_t index) const
+{
+    if (index >= counts_.size())
+        panic("Histogram bin ", index, " out of range");
+    return counts_[index];
+}
+
+double
+Histogram::binCenter(std::size_t index) const
+{
+    double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + (static_cast<double>(index) + 0.5) * width;
+}
+
+double
+Histogram::binFraction(std::size_t index) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(binCount(index)) /
+           static_cast<double>(total_);
+}
+
+Ewma::Ewma(double alpha) : alpha_(alpha)
+{
+    if (alpha <= 0.0 || alpha > 1.0)
+        fatal("Ewma alpha must be in (0,1], got ", alpha);
+}
+
+double
+Ewma::add(double value)
+{
+    if (!primed_) {
+        value_ = value;
+        primed_ = true;
+    } else {
+        value_ = alpha_ * value + (1.0 - alpha_) * value_;
+    }
+    return value_;
+}
+
+double
+meanAbsolutePercentageError(const std::vector<double> &actual,
+                            const std::vector<double> &predicted)
+{
+    if (actual.size() != predicted.size())
+        fatal("MAPE input size mismatch");
+    if (actual.empty())
+        return 0.0;
+    double acc = 0.0;
+    std::size_t used = 0;
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+        if (actual[i] == 0.0)
+            continue;
+        acc += std::abs((actual[i] - predicted[i]) / actual[i]);
+        ++used;
+    }
+    return used == 0 ? 0.0 : 100.0 * acc / static_cast<double>(used);
+}
+
+double
+rootMeanSquareError(const std::vector<double> &actual,
+                    const std::vector<double> &predicted)
+{
+    if (actual.size() != predicted.size())
+        fatal("RMSE input size mismatch");
+    if (actual.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+        double d = actual[i] - predicted[i];
+        acc += d * d;
+    }
+    return std::sqrt(acc / static_cast<double>(actual.size()));
+}
+
+} // namespace heb

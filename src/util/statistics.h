@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Streaming statistics helpers.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace heb {
+
+/**
+ * Online accumulator for count/mean/variance/min/max using Welford's
+ * algorithm; O(1) per sample, numerically stable.
+ */
+class RunningStats
+{
+  public:
+    /** Fold one sample in. */
+    void add(double value);
+
+    /** Number of samples folded in so far. */
+    std::size_t count() const { return count_; }
+
+    /** Arithmetic mean (0 when empty). */
+    double mean() const { return mean_; }
+
+    /** Unbiased sample variance (0 with fewer than two samples). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample seen (panics when empty). */
+    double min() const;
+
+    /** Largest sample seen (panics when empty). */
+    double max() const;
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+    /** Drop all state. */
+    void reset();
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Fixed-bin histogram over [lo, hi); samples outside the range land in
+ * saturating edge bins.
+ */
+class Histogram
+{
+  public:
+    /** Build with @p bins bins covering [lo, hi). */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Fold one sample in. */
+    void add(double value);
+
+    /** Count in bin @p index. */
+    std::size_t binCount(std::size_t index) const;
+
+    /** Center value of bin @p index. */
+    double binCenter(std::size_t index) const;
+
+    /** Number of bins. */
+    std::size_t bins() const { return counts_.size(); }
+
+    /** Total samples folded in. */
+    std::size_t total() const { return total_; }
+
+    /** Fraction of samples in bin @p index (0 when empty). */
+    double binFraction(std::size_t index) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+/**
+ * Exponentially-weighted moving average with smoothing factor alpha
+ * in (0, 1]; the first sample initializes the average.
+ */
+class Ewma
+{
+  public:
+    /** Construct with smoothing factor @p alpha. */
+    explicit Ewma(double alpha);
+
+    /** Fold one sample in and return the updated average. */
+    double add(double value);
+
+    /** Current average (0 before any sample). */
+    double value() const { return value_; }
+
+    /** True once at least one sample arrived. */
+    bool primed() const { return primed_; }
+
+  private:
+    double alpha_;
+    double value_ = 0.0;
+    bool primed_ = false;
+};
+
+/** Mean absolute percentage error between two equal-length vectors. */
+double meanAbsolutePercentageError(const std::vector<double> &actual,
+                                   const std::vector<double> &predicted);
+
+/** Root mean square error between two equal-length vectors. */
+double rootMeanSquareError(const std::vector<double> &actual,
+                           const std::vector<double> &predicted);
+
+} // namespace heb

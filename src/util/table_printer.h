@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Aligned console tables for bench binaries.
+ *
+ * Each figure-reproduction bench prints paper-style rows through this
+ * printer so outputs stay uniform and diffable.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace heb {
+
+/** Column-aligned plain-text table builder. */
+class TablePrinter
+{
+  public:
+    /** Construct with column headers. */
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Add one row of preformatted cells (padded/truncated to fit). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Add a row beginning with a label followed by numeric cells. */
+    void addRow(const std::string &label, const std::vector<double> &values,
+                int precision = 3);
+
+    /** Render the whole table to a string. */
+    std::string toString() const;
+
+    /** Render to stdout. */
+    void print() const;
+
+    /** Format one double with fixed precision. */
+    static std::string num(double value, int precision = 3);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace heb

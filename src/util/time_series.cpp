@@ -1,0 +1,182 @@
+#include "util/time_series.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/units.h"
+
+namespace heb {
+
+TimeSeries::TimeSeries(double step_seconds, double start_time)
+    : step_(step_seconds), start_(start_time)
+{
+    if (step_seconds <= 0.0)
+        fatal("TimeSeries step must be positive, got ", step_seconds);
+}
+
+TimeSeries::TimeSeries(std::vector<double> samples, double step_seconds,
+                       double start_time)
+    : samples_(std::move(samples)), step_(step_seconds), start_(start_time)
+{
+    if (step_seconds <= 0.0)
+        fatal("TimeSeries step must be positive, got ", step_seconds);
+}
+
+void
+TimeSeries::append(double value)
+{
+    samples_.push_back(value);
+}
+
+void
+TimeSeries::appendSeries(const TimeSeries &other)
+{
+    if (other.step_ != step_)
+        fatal("TimeSeries::appendSeries step mismatch: ", step_, " vs ",
+              other.step_);
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+}
+
+double
+TimeSeries::at(std::size_t index) const
+{
+    if (index >= samples_.size())
+        panic("TimeSeries index ", index, " out of range (size ",
+              samples_.size(), ")");
+    return samples_[index];
+}
+
+double
+TimeSeries::valueAt(double time_seconds) const
+{
+    if (samples_.empty())
+        panic("TimeSeries::valueAt on empty series");
+    double pos = (time_seconds - start_) / step_;
+    if (pos <= 0.0)
+        return samples_.front();
+    if (pos >= static_cast<double>(samples_.size() - 1))
+        return samples_.back();
+    auto lo = static_cast<std::size_t>(std::floor(pos));
+    double frac = pos - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+double
+TimeSeries::min() const
+{
+    if (samples_.empty())
+        panic("TimeSeries::min on empty series");
+    return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double
+TimeSeries::max() const
+{
+    if (samples_.empty())
+        panic("TimeSeries::max on empty series");
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double
+TimeSeries::mean() const
+{
+    if (samples_.empty())
+        panic("TimeSeries::mean on empty series");
+    return sum() / static_cast<double>(samples_.size());
+}
+
+double
+TimeSeries::sum() const
+{
+    return std::accumulate(samples_.begin(), samples_.end(), 0.0);
+}
+
+double
+TimeSeries::percentile(double p) const
+{
+    if (samples_.empty())
+        panic("TimeSeries::percentile on empty series");
+    if (p < 0.0 || p > 100.0)
+        fatal("percentile must be in [0,100], got ", p);
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    auto rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+    if (rank > 0)
+        --rank;
+    return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+double
+TimeSeries::integralWattHours() const
+{
+    return sum() * secondsToHours(step_);
+}
+
+double
+TimeSeries::fractionWhere(const std::function<bool(double)> &pred) const
+{
+    if (samples_.empty())
+        return 0.0;
+    std::size_t hits = 0;
+    for (double v : samples_) {
+        if (pred(v))
+            ++hits;
+    }
+    return static_cast<double>(hits) / static_cast<double>(samples_.size());
+}
+
+TimeSeries
+TimeSeries::map(const std::function<double(double)> &fn) const
+{
+    TimeSeries out(step_, start_);
+    out.samples_.reserve(samples_.size());
+    for (double v : samples_)
+        out.samples_.push_back(fn(v));
+    return out;
+}
+
+TimeSeries
+TimeSeries::add(const TimeSeries &a, const TimeSeries &b)
+{
+    if (a.size() != b.size() || a.step_ != b.step_)
+        fatal("TimeSeries::add shape mismatch");
+    TimeSeries out(a.step_, a.start_);
+    out.samples_.reserve(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out.samples_.push_back(a.samples_[i] + b.samples_[i]);
+    return out;
+}
+
+TimeSeries
+TimeSeries::downsample(std::size_t factor) const
+{
+    if (factor == 0)
+        fatal("TimeSeries::downsample factor must be > 0");
+    TimeSeries out(step_ * static_cast<double>(factor), start_);
+    for (std::size_t i = 0; i < samples_.size(); i += factor) {
+        std::size_t end = std::min(i + factor, samples_.size());
+        double acc = 0.0;
+        for (std::size_t j = i; j < end; ++j)
+            acc += samples_[j];
+        out.append(acc / static_cast<double>(end - i));
+    }
+    return out;
+}
+
+TimeSeries
+TimeSeries::slice(std::size_t first, std::size_t count) const
+{
+    if (first > samples_.size())
+        fatal("TimeSeries::slice start out of range");
+    std::size_t end = std::min(first + count, samples_.size());
+    TimeSeries out(step_, start_ + first * step_);
+    out.samples_.assign(samples_.begin() + static_cast<long>(first),
+                        samples_.begin() + static_cast<long>(end));
+    return out;
+}
+
+} // namespace heb

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Uniformly-sampled time series container.
+ *
+ * Every sensor log, power trace and metric trail in the simulator is a
+ * TimeSeries: samples at a fixed step starting from a start time.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace heb {
+
+/**
+ * A uniformly-sampled sequence of doubles.
+ *
+ * The series is defined by a start time (seconds), a sample step
+ * (seconds) and the sample values. Index i corresponds to time
+ * startTime() + i * stepSeconds().
+ */
+class TimeSeries
+{
+  public:
+    /** Construct an empty series with the given step (seconds). */
+    explicit TimeSeries(double step_seconds = 1.0, double start_time = 0.0);
+
+    /** Construct from existing samples. */
+    TimeSeries(std::vector<double> samples, double step_seconds,
+               double start_time = 0.0);
+
+    /** Append one sample at the next slot. */
+    void append(double value);
+
+    /** Append all samples of @p other (steps must match). */
+    void appendSeries(const TimeSeries &other);
+
+    /** Number of samples. */
+    std::size_t size() const { return samples_.size(); }
+
+    /** True when the series holds no samples. */
+    bool empty() const { return samples_.empty(); }
+
+    /** Sample step in seconds. */
+    double stepSeconds() const { return step_; }
+
+    /** Time of the first sample in seconds. */
+    double startTime() const { return start_; }
+
+    /** Time of sample @p index in seconds. */
+    double timeAt(std::size_t index) const { return start_ + index * step_; }
+
+    /** Total covered duration in seconds (size * step). */
+    double duration() const { return size() * step_; }
+
+    /** Value of sample @p index (bounds-checked; panics when out of range). */
+    double at(std::size_t index) const;
+
+    /** Unchecked sample access. */
+    double operator[](std::size_t index) const { return samples_[index]; }
+
+    /** Mutable unchecked sample access. */
+    double &operator[](std::size_t index) { return samples_[index]; }
+
+    /**
+     * Value at an arbitrary time, linearly interpolated between
+     * samples and clamped to the first/last value outside the range.
+     */
+    double valueAt(double time_seconds) const;
+
+    /** Underlying sample vector. */
+    const std::vector<double> &samples() const { return samples_; }
+
+    /** Minimum sample value; panics when empty. */
+    double min() const;
+
+    /** Maximum sample value; panics when empty. */
+    double max() const;
+
+    /** Arithmetic mean; panics when empty. */
+    double mean() const;
+
+    /** Sum of all samples. */
+    double sum() const;
+
+    /**
+     * p-th percentile (0..100) using nearest-rank on the sorted
+     * samples; panics when empty.
+     */
+    double percentile(double p) const;
+
+    /**
+     * Integrate the series as power (W) over time, returning energy
+     * in watt-hours.
+     */
+    double integralWattHours() const;
+
+    /** Fraction of samples for which @p pred holds. */
+    double fractionWhere(const std::function<bool(double)> &pred) const;
+
+    /** Element-wise map into a new series. */
+    TimeSeries map(const std::function<double(double)> &fn) const;
+
+    /** Element-wise sum of two equally-shaped series. */
+    static TimeSeries add(const TimeSeries &a, const TimeSeries &b);
+
+    /**
+     * Down-sample by averaging consecutive groups of @p factor
+     * samples (the final partial group is averaged over its actual
+     * length).
+     */
+    TimeSeries downsample(std::size_t factor) const;
+
+    /** Contiguous sub-series [first, first+count). */
+    TimeSeries slice(std::size_t first, std::size_t count) const;
+
+  private:
+    std::vector<double> samples_;
+    double step_;
+    double start_;
+};
+
+} // namespace heb

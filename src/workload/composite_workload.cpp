@@ -1,0 +1,64 @@
+#include "workload/composite_workload.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace heb {
+
+CompositeWorkload::CompositeWorkload(std::string name,
+                                     std::vector<Member> members,
+                                     std::size_t num_servers)
+    : name_(std::move(name)), members_(std::move(members))
+{
+    if (members_.empty())
+        fatal("CompositeWorkload '", name_, "' needs members");
+    if (num_servers == 0)
+        fatal("CompositeWorkload '", name_, "' needs servers");
+
+    double total_share = 0.0;
+    for (const Member &m : members_) {
+        if (!m.workload)
+            fatal("CompositeWorkload '", name_, "': null member");
+        if (m.share <= 0.0)
+            fatal("CompositeWorkload '", name_,
+                  "': shares must be positive");
+        total_share += m.share;
+        if (m.workload->peakClass() == PeakClass::Large)
+            peakClass_ = PeakClass::Large;
+    }
+
+    // Largest-remainder assignment of servers to members.
+    assignment_.assign(num_servers, 0);
+    std::size_t assigned = 0;
+    for (std::size_t m = 0; m + 1 < members_.size(); ++m) {
+        auto count = static_cast<std::size_t>(std::round(
+            members_[m].share / total_share *
+            static_cast<double>(num_servers)));
+        count = std::min(count, num_servers - assigned);
+        for (std::size_t s = 0; s < count; ++s)
+            assignment_[assigned + s] = m;
+        assigned += count;
+    }
+    for (std::size_t s = assigned; s < num_servers; ++s)
+        assignment_[s] = members_.size() - 1;
+}
+
+double
+CompositeWorkload::utilization(std::size_t server_index,
+                               double time_seconds) const
+{
+    return memberFor(server_index)
+        .utilization(server_index, time_seconds);
+}
+
+const Workload &
+CompositeWorkload::memberFor(std::size_t server_index) const
+{
+    std::size_t m = server_index < assignment_.size()
+                        ? assignment_[server_index]
+                        : assignment_.back();
+    return *members_[m].workload;
+}
+
+} // namespace heb

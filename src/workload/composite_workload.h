@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Composite workload: a weighted mix of member workloads.
+ *
+ * Real racks rarely run one application; a front half serving web
+ * search while the back half sorts is the norm. The composite
+ * assigns each server to one member (by share) and reports the
+ * larger peak class of its members so the DVFS grouping stays
+ * conservative.
+ */
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/workload.h"
+
+namespace heb {
+
+/** A server-partitioned mix of workloads. */
+class CompositeWorkload : public Workload
+{
+  public:
+    /** One member and the share of servers it drives. */
+    struct Member
+    {
+        /** The member workload (not owned; must outlive this). */
+        const Workload *workload = nullptr;
+
+        /** Relative share of the cluster's servers. */
+        double share = 1.0;
+    };
+
+    /**
+     * @param name         Label.
+     * @param members      Mix (shares normalized internally).
+     * @param num_servers  Cluster size used to partition servers.
+     */
+    CompositeWorkload(std::string name, std::vector<Member> members,
+                      std::size_t num_servers);
+
+    const std::string &name() const override { return name_; }
+    PeakClass peakClass() const override { return peakClass_; }
+    double utilization(std::size_t server_index,
+                       double time_seconds) const override;
+
+    /** The member driving a given server. */
+    const Workload &memberFor(std::size_t server_index) const;
+
+  private:
+    std::string name_;
+    std::vector<Member> members_;
+    std::vector<std::size_t> assignment_; //!< server -> member index
+    PeakClass peakClass_ = PeakClass::Small;
+};
+
+} // namespace heb

@@ -1,0 +1,75 @@
+#include "workload/google_trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace heb {
+
+TimeSeries
+generateGoogleTrace(double days, double step_seconds, std::uint64_t seed,
+                    GoogleTraceParams params)
+{
+    if (days <= 0.0 || step_seconds <= 0.0)
+        fatal("generateGoogleTrace: days and step must be positive");
+
+    Rng rng(seed);
+    auto samples = static_cast<std::size_t>(days * kSecondsPerDay /
+                                            step_seconds);
+    TimeSeries trace(step_seconds);
+
+    double wander = 0.0;
+    double burst_left_s = 0.0;
+    double burst_height = 0.0;
+    double p_burst_per_step =
+        params.burstsPerDay * step_seconds / kSecondsPerDay;
+
+    for (std::size_t i = 0; i < samples; ++i) {
+        double t = static_cast<double>(i) * step_seconds;
+        double hour = std::fmod(t / kSecondsPerHour, kHoursPerDay);
+
+        double diurnal =
+            params.diurnalAmplitude *
+            (0.5 + 0.5 * std::sin(2.0 * std::numbers::pi *
+                                  (hour - 9.0) / kHoursPerDay));
+
+        wander = params.arCoefficient * wander +
+                 rng.normal(0.0, params.arSigma);
+
+        if (burst_left_s <= 0.0 && rng.chance(p_burst_per_step)) {
+            burst_left_s = std::max(
+                step_seconds,
+                rng.exponential(1.0 / params.burstDurationS));
+            burst_height = rng.logNormalWithMean(params.burstHeight,
+                                                 params.burstSigma);
+        }
+        double burst = 0.0;
+        if (burst_left_s > 0.0) {
+            burst = burst_height;
+            burst_left_s -= step_seconds;
+        }
+
+        double demand =
+            params.floorFraction + diurnal + wander + burst;
+        trace.append(std::clamp(demand, 0.0, 1.0));
+    }
+    return trace;
+}
+
+double
+mppu(const TimeSeries &normalized_demand, double provision_fraction)
+{
+    if (provision_fraction <= 0.0 || provision_fraction > 1.0)
+        fatal("mppu: provision fraction must be in (0,1]");
+    // MPPU = (time at or above budget) / (total load running time).
+    return normalized_demand.fractionWhere(
+        [provision_fraction](double v) {
+            return v >= provision_fraction;
+        });
+}
+
+} // namespace heb

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Synthetic Google-cluster-style aggregate power trace.
+ *
+ * Stands in for the Google cluster workload trace behind the paper's
+ * Fig. 1(a) provisioning analysis. The generator composes a diurnal
+ * baseline, an AR(1) medium-term wander, and log-normal request
+ * bursts, then normalizes to [floor, 1] so the result reads as
+ * "fraction of nameplate cluster power".
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "util/time_series.h"
+
+namespace heb {
+
+/** Knobs of the cluster-trace generator. */
+struct GoogleTraceParams
+{
+    /** Demand floor as a fraction of nameplate. */
+    double floorFraction = 0.35;
+
+    /** Diurnal swing amplitude (fraction of nameplate). */
+    double diurnalAmplitude = 0.20;
+
+    /** AR(1) coefficient of the wander term. */
+    double arCoefficient = 0.995;
+
+    /** AR(1) innovation sigma. */
+    double arSigma = 0.01;
+
+    /** Expected bursts per day. */
+    double burstsPerDay = 10.0;
+
+    /** Mean burst height (fraction of nameplate). */
+    double burstHeight = 0.25;
+
+    /** Log-normal sigma of burst heights (heavy tail). */
+    double burstSigma = 0.6;
+
+    /** Mean burst duration (s). */
+    double burstDurationS = 600.0;
+};
+
+/**
+ * Generate @p days days of normalized demand at @p step_seconds.
+ * Values lie in [0, 1] (fraction of nameplate power).
+ */
+TimeSeries generateGoogleTrace(double days, double step_seconds,
+                               std::uint64_t seed,
+                               GoogleTraceParams params = {});
+
+/**
+ * Maximum-provisioning-power-utilization (paper §2.1): fraction of
+ * time the demand is at or above the provisioned budget fraction.
+ */
+double mppu(const TimeSeries &normalized_demand,
+            double provision_fraction);
+
+} // namespace heb

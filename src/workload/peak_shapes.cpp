@@ -1,0 +1,59 @@
+#include "workload/peak_shapes.h"
+
+#include "util/logging.h"
+
+namespace heb {
+
+TimeSeries
+constantDemand(double watts, double duration_seconds,
+               double step_seconds)
+{
+    if (duration_seconds <= 0.0)
+        fatal("constantDemand: duration must be positive");
+    TimeSeries out(step_seconds);
+    auto n = static_cast<std::size_t>(duration_seconds / step_seconds);
+    for (std::size_t i = 0; i < n; ++i)
+        out.append(watts);
+    return out;
+}
+
+TimeSeries
+squarePeakTrain(double peak_watts, double peak_s, double valley_watts,
+                double valley_s, std::size_t cycles,
+                double step_seconds)
+{
+    if (cycles == 0)
+        fatal("squarePeakTrain: need at least one cycle");
+    TimeSeries out(step_seconds);
+    auto np = static_cast<std::size_t>(peak_s / step_seconds);
+    auto nv = static_cast<std::size_t>(valley_s / step_seconds);
+    for (std::size_t c = 0; c < cycles; ++c) {
+        for (std::size_t i = 0; i < np; ++i)
+            out.append(peak_watts);
+        for (std::size_t i = 0; i < nv; ++i)
+            out.append(valley_watts);
+    }
+    return out;
+}
+
+TimeSeries
+trianglePeak(double base_watts, double peak_watts, double ramp_s,
+             double step_seconds)
+{
+    if (ramp_s <= 0.0)
+        fatal("trianglePeak: ramp must be positive");
+    TimeSeries out(step_seconds);
+    auto n = static_cast<std::size_t>(ramp_s / step_seconds);
+    for (std::size_t i = 0; i < n; ++i) {
+        double frac = static_cast<double>(i) / static_cast<double>(n);
+        out.append(base_watts + (peak_watts - base_watts) * frac);
+    }
+    for (std::size_t i = 0; i <= n; ++i) {
+        double frac = 1.0 - static_cast<double>(i) /
+                                static_cast<double>(n);
+        out.append(base_watts + (peak_watts - base_watts) * frac);
+    }
+    return out;
+}
+
+} // namespace heb

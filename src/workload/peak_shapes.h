@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Synthetic peak-train builders for the characterization benches.
+ *
+ * The Fig. 3/5/6 experiments discharge buffers against controlled
+ * constant or square-wave power demands rather than live workloads;
+ * these helpers build those shapes.
+ */
+
+#pragma once
+
+#include <cstddef>
+
+#include "util/time_series.h"
+
+namespace heb {
+
+/** A constant demand of @p watts for @p duration_seconds. */
+TimeSeries constantDemand(double watts, double duration_seconds,
+                          double step_seconds = 1.0);
+
+/**
+ * A square peak train: @p peak_watts for @p peak_s, then
+ * @p valley_watts for @p valley_s, repeated @p cycles times.
+ */
+TimeSeries squarePeakTrain(double peak_watts, double peak_s,
+                           double valley_watts, double valley_s,
+                           std::size_t cycles,
+                           double step_seconds = 1.0);
+
+/**
+ * A triangular peak of height @p peak_watts over a base of
+ * @p base_watts, rising and falling over @p ramp_s each way.
+ */
+TimeSeries trianglePeak(double base_watts, double peak_watts,
+                        double ramp_s, double step_seconds = 1.0);
+
+} // namespace heb

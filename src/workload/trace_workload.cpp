@@ -1,0 +1,36 @@
+#include "workload/trace_workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace heb {
+
+TraceWorkload::TraceWorkload(std::string name, TimeSeries trace,
+                             PeakClass peak_class,
+                             double stagger_seconds, bool wrap)
+    : name_(std::move(name)), trace_(std::move(trace)),
+      peakClass_(peak_class), stagger_(stagger_seconds), wrap_(wrap)
+{
+    if (trace_.empty())
+        fatal("TraceWorkload '", name_, "' needs a non-empty trace");
+}
+
+double
+TraceWorkload::utilization(std::size_t server_index,
+                           double time_seconds) const
+{
+    double t = time_seconds +
+               stagger_ * static_cast<double>(server_index);
+    if (wrap_) {
+        double span = trace_.duration();
+        t = std::fmod(t - trace_.startTime(), span);
+        if (t < 0.0)
+            t += span;
+        t += trace_.startTime();
+    }
+    return std::clamp(trace_.valueAt(t), 0.0, 1.0);
+}
+
+} // namespace heb

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Workload adapter around a recorded/synthetic utilization trace.
+ *
+ * Lets a normalized aggregate trace (e.g. the Google-cluster-style
+ * generator, or a CSV recorded from production) drive the simulator:
+ * every server follows the trace value, optionally staggered so the
+ * cluster is not perfectly synchronized.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "util/time_series.h"
+#include "workload/workload.h"
+
+namespace heb {
+
+/** A workload that replays a utilization time series. */
+class TraceWorkload : public Workload
+{
+  public:
+    /**
+     * @param name            Label.
+     * @param trace           Utilization in [0,1] over time.
+     * @param peak_class      Small/large classification for DVFS
+     *                        grouping.
+     * @param stagger_seconds Per-server time offset (server i is
+     *                        shifted by i * stagger).
+     * @param wrap            Replay the trace cyclically when the
+     *                        simulation outlives it.
+     */
+    TraceWorkload(std::string name, TimeSeries trace,
+                  PeakClass peak_class = PeakClass::Large,
+                  double stagger_seconds = 0.0, bool wrap = true);
+
+    const std::string &name() const override { return name_; }
+    PeakClass peakClass() const override { return peakClass_; }
+    double utilization(std::size_t server_index,
+                       double time_seconds) const override;
+
+    /** The underlying trace. */
+    const TimeSeries &trace() const { return trace_; }
+
+  private:
+    std::string name_;
+    TimeSeries trace_;
+    PeakClass peakClass_;
+    double stagger_;
+    bool wrap_;
+};
+
+} // namespace heb

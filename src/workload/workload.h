@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Workload abstraction: per-server utilization over time.
+ *
+ * The HEB controller never sees jobs or requests — only the power
+ * demand they induce. A Workload therefore answers exactly one
+ * question: how busy is server s at time t? (in [0, 1]).
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace heb {
+
+/** The paper's Table 1 taxonomy of peak shapes. */
+enum class PeakClass { Small, Large };
+
+/** Render a peak class for logs/tables. */
+const char *peakClassName(PeakClass peak_class);
+
+/** A utilization generator. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Workload name (paper abbreviation, e.g. "PR"). */
+    virtual const std::string &name() const = 0;
+
+    /** Small-peaks or large-peaks family (Table 1). */
+    virtual PeakClass peakClass() const = 0;
+
+    /**
+     * Utilization of server @p server_index at absolute time
+     * @p time_seconds, in [0, 1]. Must be deterministic.
+     */
+    virtual double utilization(std::size_t server_index,
+                               double time_seconds) const = 0;
+};
+
+} // namespace heb

@@ -1,0 +1,184 @@
+#include "workload/workload_profiles.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/logging.h"
+#include "util/units.h"
+
+namespace heb {
+
+const char *
+peakClassName(PeakClass peak_class)
+{
+    return peak_class == PeakClass::Small ? "small" : "large";
+}
+
+namespace {
+
+/** Cheap deterministic hash -> [0,1) used for stagger and jitter. */
+double
+hash01(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return static_cast<double>(x >> 11) / 9007199254740992.0;
+}
+
+} // namespace
+
+SyntheticWorkload::SyntheticWorkload(ProfileParams params,
+                                     std::uint64_t seed)
+    : params_(std::move(params)), seed_(seed)
+{
+    if (params_.highUtil < params_.lowUtil)
+        fatal("Workload ", params_.name, ": highUtil below lowUtil");
+    if (params_.highPhaseS <= 0.0 || params_.lowPhaseS <= 0.0)
+        fatal("Workload ", params_.name, ": phases must be positive");
+}
+
+double
+SyntheticWorkload::utilization(std::size_t server_index,
+                               double time_seconds) const
+{
+    double period = params_.highPhaseS + params_.lowPhaseS;
+    double stagger = params_.serverStagger * period *
+                     hash01(seed_ * 1315423911ULL +
+                            server_index * 2654435761ULL);
+    double phase = std::fmod(time_seconds + stagger, period);
+    if (phase < 0.0)
+        phase += period;
+
+    double base = phase < params_.highPhaseS ? params_.highUtil
+                                             : params_.lowUtil;
+
+    // Deterministic jitter: a hash of the (server, tick) pair.
+    auto tick = static_cast<std::uint64_t>(time_seconds / 5.0);
+    double j = (hash01(seed_ ^ (server_index * 7919ULL) ^
+                       (tick * 15485863ULL)) -
+                0.5) *
+               2.0 * params_.jitter;
+
+    // Optional diurnal envelope (web search / streaming).
+    double diurnal = 0.0;
+    if (params_.diurnalDepth > 0.0) {
+        double hour = std::fmod(time_seconds / kSecondsPerHour,
+                                kHoursPerDay);
+        diurnal = params_.diurnalDepth *
+                  std::sin(2.0 * std::numbers::pi * (hour - 9.0) /
+                           kHoursPerDay);
+    }
+
+    return std::clamp(base + j + diurnal, 0.0, 1.0);
+}
+
+std::unique_ptr<SyntheticWorkload>
+makeWorkload(const std::string &abbreviation, std::uint64_t seed)
+{
+    ProfileParams p;
+    p.name = abbreviation;
+
+    if (abbreviation == "PR") {
+        // PageRank: short iterative supersteps with sync gaps.
+        p.peakClass = PeakClass::Small;
+        p.highUtil = 0.80;
+        p.lowUtil = 0.25;
+        p.highPhaseS = 90.0;
+        p.lowPhaseS = 60.0;
+        p.jitter = 0.06;
+    } else if (abbreviation == "WC") {
+        // WordCount: map plateau, short reduce/shuffle dip.
+        p.peakClass = PeakClass::Small;
+        p.highUtil = 0.75;
+        p.lowUtil = 0.30;
+        p.highPhaseS = 150.0;
+        p.lowPhaseS = 90.0;
+        p.jitter = 0.05;
+    } else if (abbreviation == "DA") {
+        // CloudSuite data analysis: moderate oscillation.
+        p.peakClass = PeakClass::Small;
+        p.highUtil = 0.80;
+        p.lowUtil = 0.32;
+        p.highPhaseS = 120.0;
+        p.lowPhaseS = 120.0;
+        p.jitter = 0.07;
+    } else if (abbreviation == "WS") {
+        // Web search: request-noise around a diurnal baseline.
+        p.peakClass = PeakClass::Small;
+        p.highUtil = 0.72;
+        p.lowUtil = 0.36;
+        p.highPhaseS = 60.0;
+        p.lowPhaseS = 60.0;
+        p.jitter = 0.10;
+        p.diurnalDepth = 0.12;
+    } else if (abbreviation == "MS") {
+        // Media streaming: smooth plateaus, session ramps.
+        p.peakClass = PeakClass::Small;
+        p.highUtil = 0.76;
+        p.lowUtil = 0.36;
+        p.highPhaseS = 300.0;
+        p.lowPhaseS = 180.0;
+        p.jitter = 0.03;
+        p.diurnalDepth = 0.10;
+    } else if (abbreviation == "DFS") {
+        // Dfsioe: long HDFS I/O bursts -> large, wide peaks. The
+        // large-peak group's duty cycle keeps *average* demand under
+        // the prototype budget so scheme quality, not structural
+        // under-supply, decides the metrics.
+        p.peakClass = PeakClass::Large;
+        p.highUtil = 0.95;
+        p.lowUtil = 0.15;
+        p.highPhaseS = 900.0;
+        p.lowPhaseS = 3900.0; // 4800 s period divides the day
+        p.jitter = 0.04;
+    } else if (abbreviation == "HB") {
+        // Hivebench: long high query phases with quiet stretches.
+        p.peakClass = PeakClass::Large;
+        p.highUtil = 0.90;
+        p.lowUtil = 0.15;
+        p.highPhaseS = 1080.0;
+        p.lowPhaseS = 4320.0;
+        p.jitter = 0.05;
+    } else if (abbreviation == "TS") {
+        // Terasort: sustained sort/shuffle at near-full load.
+        p.peakClass = PeakClass::Large;
+        p.highUtil = 0.97;
+        p.lowUtil = 0.15;
+        p.highPhaseS = 900.0;
+        p.lowPhaseS = 4500.0;
+        p.jitter = 0.03;
+    } else {
+        fatal("Unknown workload abbreviation '", abbreviation, "'");
+    }
+
+    return std::make_unique<SyntheticWorkload>(std::move(p), seed);
+}
+
+const std::vector<std::string> &
+allWorkloadNames()
+{
+    static const std::vector<std::string> names = {
+        "PR", "WC", "DA", "WS", "MS", "DFS", "HB", "TS"};
+    return names;
+}
+
+const std::vector<std::string> &
+smallPeakWorkloadNames()
+{
+    static const std::vector<std::string> names = {"PR", "WC", "DA",
+                                                   "WS", "MS"};
+    return names;
+}
+
+const std::vector<std::string> &
+largePeakWorkloadNames()
+{
+    static const std::vector<std::string> names = {"DFS", "HB", "TS"};
+    return names;
+}
+
+} // namespace heb

@@ -1,0 +1,90 @@
+/** @file hControl slot loop. */
+
+#include <gtest/gtest.h>
+
+#include "core/controller.h"
+#include "core/schemes.h"
+#include "esd/bank_builder.h"
+
+namespace heb {
+namespace {
+
+class ControllerTest : public testing::Test
+{
+  protected:
+    ControllerTest()
+        : sc_(makeScBank(28.8)), ba_(makeBatteryBank(67.2)),
+          scheme_(makeScheme(SchemeKind::HebD)),
+          ctrl_(*scheme_, *sc_, *ba_, 600.0)
+    {
+    }
+
+    std::unique_ptr<EsdPool> sc_;
+    std::unique_ptr<EsdPool> ba_;
+    std::unique_ptr<ManagementScheme> scheme_;
+    HebController ctrl_;
+};
+
+TEST_F(ControllerTest, FirstTickOpensSlot)
+{
+    const SlotPlan &plan = ctrl_.tick(0.0, 250.0, 260.0);
+    EXPECT_EQ(ctrl_.completedSlots(), 0u);
+    EXPECT_GE(plan.rLambda, 0.0);
+}
+
+TEST_F(ControllerTest, SlotRollsOverAtBoundary)
+{
+    ctrl_.tick(0.0, 250.0, 260.0);
+    for (double t = 1.0; t < 600.0; t += 1.0)
+        ctrl_.tick(t, 250.0, 260.0);
+    EXPECT_EQ(ctrl_.completedSlots(), 0u);
+    ctrl_.tick(600.0, 250.0, 260.0);
+    EXPECT_EQ(ctrl_.completedSlots(), 1u);
+}
+
+TEST_F(ControllerTest, PeakValleyFeedTheScheme)
+{
+    // Slot 1 sees a 180 W swing; slot 2's plan must classify Large.
+    for (double t = 0.0; t < 600.0; t += 1.0) {
+        double demand = t < 300.0 ? 400.0 : 220.0;
+        ctrl_.tick(t, demand, 260.0);
+    }
+    const SlotPlan &plan = ctrl_.tick(600.0, 220.0, 260.0);
+    EXPECT_EQ(plan.predictedClass, PeakClass::Large);
+    EXPECT_NEAR(plan.predictedMismatchW, 180.0, 5.0);
+}
+
+TEST_F(ControllerTest, QuietSlotClassifiesSmall)
+{
+    for (double t = 0.0; t <= 600.0; t += 1.0)
+        ctrl_.tick(t, 250.0, 260.0);
+    EXPECT_EQ(ctrl_.currentPlan().predictedClass, PeakClass::Small);
+}
+
+TEST_F(ControllerTest, SlotSecondsExposed)
+{
+    EXPECT_DOUBLE_EQ(ctrl_.slotSeconds(), 600.0);
+}
+
+TEST(Controller, InvalidSlotLengthRejected)
+{
+    auto sc = makeScBank(10.0);
+    auto ba = makeBatteryBank(10.0);
+    auto scheme = makeScheme(SchemeKind::BaOnly);
+    EXPECT_EXIT(HebController(*scheme, *sc, *ba, 0.0),
+                testing::ExitedWithCode(1), "slot");
+}
+
+TEST(Controller, ManySlotAccounting)
+{
+    auto sc = makeScBank(28.8);
+    auto ba = makeBatteryBank(67.2);
+    auto scheme = makeScheme(SchemeKind::ScFirst);
+    HebController ctrl(*scheme, *sc, *ba, 60.0);
+    for (double t = 0.0; t < 600.0; t += 1.0)
+        ctrl.tick(t, 250.0, 260.0);
+    EXPECT_EQ(ctrl.completedSlots(), 9u);
+}
+
+} // namespace
+} // namespace heb

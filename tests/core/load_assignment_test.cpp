@@ -1,0 +1,189 @@
+/** @file Mismatch/charge dispatch between branches. */
+
+#include <gtest/gtest.h>
+
+#include "core/load_assignment.h"
+#include "esd/battery.h"
+#include "esd/supercapacitor.h"
+
+namespace heb {
+namespace {
+
+struct Rig
+{
+    Supercapacitor sc{ScParams::maxwellSeriesBank()};
+    Battery ba{BatteryParams::prototypeLeadAcid()};
+};
+
+TEST(Dispatch, ZeroMismatchRestsBoth)
+{
+    Rig rig;
+    rig.ba.discharge(80.0, 300.0); // tire the battery
+    double y1 = rig.ba.availableChargeAh();
+    DispatchResult res = dispatchMismatch(rig.sc, rig.ba, 0.0, 0.5,
+                                          60.0);
+    EXPECT_DOUBLE_EQ(res.totalW(), 0.0);
+    EXPECT_GT(rig.ba.availableChargeAh(), y1); // recovered
+}
+
+TEST(Dispatch, FullScRatio)
+{
+    Rig rig;
+    DispatchResult res = dispatchMismatch(rig.sc, rig.ba, 100.0, 1.0,
+                                          1.0);
+    EXPECT_NEAR(res.scPowerW, 100.0, 1e-6);
+    EXPECT_NEAR(res.baPowerW, 0.0, 1e-9);
+    EXPECT_NEAR(res.unservedW, 0.0, 1e-6);
+}
+
+TEST(Dispatch, FullBatteryRatioWithinCapability)
+{
+    Rig rig;
+    DispatchResult res = dispatchMismatch(rig.sc, rig.ba, 30.0, 0.0,
+                                          1.0);
+    EXPECT_NEAR(res.baPowerW, 30.0, 1e-6);
+    EXPECT_NEAR(res.scPowerW, 0.0, 1e-9);
+}
+
+TEST(Dispatch, SpilloverToScWhenBatteryCapped)
+{
+    Rig rig;
+    // Far beyond the battery's 1 C capability.
+    DispatchResult res = dispatchMismatch(rig.sc, rig.ba, 300.0, 0.0,
+                                          1.0);
+    EXPECT_GT(res.scPowerW, 150.0);
+    EXPECT_GT(res.baPowerW, 10.0);
+    EXPECT_NEAR(res.totalW(), 300.0, 1.0);
+}
+
+TEST(Dispatch, SpilloverToBatteryWhenScEmpty)
+{
+    Rig rig;
+    rig.sc.setSoc(0.0);
+    DispatchResult res = dispatchMismatch(rig.sc, rig.ba, 50.0, 1.0,
+                                          1.0);
+    EXPECT_NEAR(res.scPowerW, 0.0, 1e-6);
+    EXPECT_NEAR(res.baPowerW, 50.0, 1e-6);
+}
+
+TEST(Dispatch, UnservedWhenBothExhausted)
+{
+    Rig rig;
+    rig.sc.setSoc(0.0);
+    rig.ba.setSoc(0.2); // at the DoD floor
+    DispatchResult res = dispatchMismatch(rig.sc, rig.ba, 100.0, 0.5,
+                                          1.0);
+    EXPECT_GT(res.unservedW, 90.0);
+}
+
+TEST(Dispatch, BatteryAsBaseIdlesScDuringRamp)
+{
+    Rig rig;
+    // Planned PM 140, r = 0.6 -> battery base 56 W. A 40 W ramp
+    // tick must ride entirely on the battery.
+    DispatchResult res = dispatchMismatch(rig.sc, rig.ba, 40.0, 0.6,
+                                          1.0, 140.0);
+    EXPECT_NEAR(res.baPowerW, 40.0, 1e-6);
+    EXPECT_NEAR(res.scPowerW, 0.0, 1e-9);
+}
+
+TEST(Dispatch, BatteryAsBaseSplitsAtCrest)
+{
+    Rig rig;
+    DispatchResult res = dispatchMismatch(rig.sc, rig.ba, 140.0, 0.6,
+                                          1.0, 140.0);
+    EXPECT_NEAR(res.baPowerW, 56.0, 1.0);
+    EXPECT_NEAR(res.scPowerW, 84.0, 1.0);
+}
+
+TEST(Dispatch, ProportionalWhenNoPlan)
+{
+    Rig rig;
+    DispatchResult res = dispatchMismatch(rig.sc, rig.ba, 40.0, 0.6,
+                                          1.0);
+    EXPECT_NEAR(res.scPowerW, 24.0, 0.5);
+    EXPECT_NEAR(res.baPowerW, 16.0, 0.5);
+}
+
+TEST(Dispatch, RatioClamped)
+{
+    Rig rig;
+    DispatchResult res = dispatchMismatch(rig.sc, rig.ba, 50.0, 7.0,
+                                          1.0);
+    EXPECT_NEAR(res.scPowerW, 50.0, 1e-6);
+}
+
+TEST(Charge, ParallelFillUsesBatteryWindowAndScBulk)
+{
+    Rig rig;
+    rig.sc.setSoc(0.3);
+    rig.ba.setSoc(0.3);
+    ChargeResult res = dispatchCharge(rig.sc, rig.ba, 200.0, true,
+                                      1.0);
+    // Battery trickles at its small ceiling; SC takes the bulk.
+    EXPECT_GT(res.baPowerW, 1.0);
+    EXPECT_GT(res.scPowerW, res.baPowerW);
+    EXPECT_NEAR(res.totalW(), 200.0, 1.0);
+}
+
+TEST(Charge, BatteryPriorityFill)
+{
+    Rig rig;
+    rig.sc.setSoc(0.3);
+    rig.ba.setSoc(0.3);
+    ChargeResult res = dispatchCharge(rig.sc, rig.ba, 10.0, false,
+                                      1.0);
+    // Small surplus goes to the battery alone.
+    EXPECT_NEAR(res.baPowerW, 10.0, 0.5);
+    EXPECT_NEAR(res.scPowerW, 0.0, 0.5);
+}
+
+TEST(Charge, FullDevicesAbsorbNothing)
+{
+    Rig rig;
+    ChargeResult res = dispatchCharge(rig.sc, rig.ba, 100.0, true,
+                                      1.0);
+    EXPECT_NEAR(res.totalW(), 0.0, 1e-3);
+}
+
+TEST(Charge, ZeroSurplusRests)
+{
+    Rig rig;
+    ChargeResult res = dispatchCharge(rig.sc, rig.ba, 0.0, true, 1.0);
+    EXPECT_DOUBLE_EQ(res.totalW(), 0.0);
+}
+
+TEST(ServersOnSc, QuantizesToWholeServers)
+{
+    EXPECT_EQ(serversOnSc(0.0, 6), 0u);
+    EXPECT_EQ(serversOnSc(1.0, 6), 6u);
+    EXPECT_EQ(serversOnSc(0.5, 6), 3u);
+    EXPECT_EQ(serversOnSc(0.24, 6), 1u);
+    EXPECT_EQ(serversOnSc(0.26, 6), 2u);
+    EXPECT_EQ(serversOnSc(1.7, 6), 6u); // clamped
+}
+
+// --- Property sweep: dispatch never over-serves and conserves ----
+
+class DispatchRatioSweep : public testing::TestWithParam<double>
+{
+};
+
+TEST_P(DispatchRatioSweep, ServedNeverExceedsMismatch)
+{
+    Rig rig;
+    double r = GetParam();
+    for (int i = 0; i < 300; ++i) {
+        DispatchResult res =
+            dispatchMismatch(rig.sc, rig.ba, 120.0, r, 1.0);
+        EXPECT_LE(res.totalW(), 120.0 + 1e-6);
+        EXPECT_GE(res.unservedW, 0.0);
+        EXPECT_NEAR(res.totalW() + res.unservedW, 120.0, 1e-6);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, DispatchRatioSweep,
+                         testing::Values(0.0, 0.25, 0.5, 0.75, 1.0));
+
+} // namespace
+} // namespace heb

@@ -1,0 +1,173 @@
+/** @file Power allocation table (Fig. 10 semantics). */
+
+#include <gtest/gtest.h>
+
+#include "core/pat.h"
+
+namespace heb {
+namespace {
+
+PowerAllocationTable
+seededTable()
+{
+    PowerAllocationTable t;
+    t.seed(30.0, 50.0, 140.0, 0.7);
+    t.seed(10.0, 50.0, 140.0, 0.4);
+    t.seed(30.0, 20.0, 80.0, 0.9);
+    return t;
+}
+
+TEST(Pat, ExactLookupAfterSeed)
+{
+    PowerAllocationTable t = seededTable();
+    auto r = t.lookupExact(30.0, 50.0, 140.0);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_DOUBLE_EQ(*r, 0.7);
+}
+
+TEST(Pat, ExactLookupQuantizes)
+{
+    PowerAllocationTable t = seededTable();
+    // Keys round to the grid (5 / 10 / 20 steps by default).
+    auto r = t.lookupExact(31.9, 47.0, 145.0);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_DOUBLE_EQ(*r, 0.7);
+}
+
+TEST(Pat, ExactMissReturnsEmpty)
+{
+    PowerAllocationTable t = seededTable();
+    EXPECT_FALSE(t.lookupExact(100.0, 100.0, 500.0).has_value());
+}
+
+TEST(Pat, SimilarFindsNearestNeighbour)
+{
+    PowerAllocationTable t = seededTable();
+    // Slightly off every key: nearest is the (30, 50, 140) entry.
+    auto r = t.lookupSimilar(27.0, 55.0, 150.0);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_DOUBLE_EQ(*r, 0.7);
+}
+
+TEST(Pat, SimilarOnEmptyTableIsEmpty)
+{
+    PowerAllocationTable t;
+    EXPECT_FALSE(t.lookupSimilar(1.0, 1.0, 1.0).has_value());
+    EXPECT_FALSE(t.lookup(1.0, 1.0, 1.0).has_value());
+}
+
+TEST(Pat, LookupPrefersExact)
+{
+    PowerAllocationTable t = seededTable();
+    auto r = t.lookup(10.0, 50.0, 140.0);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_DOUBLE_EQ(*r, 0.4);
+}
+
+TEST(Pat, SeedOverwritesExistingCell)
+{
+    PowerAllocationTable t = seededTable();
+    t.seed(30.0, 50.0, 140.0, 0.55);
+    EXPECT_EQ(t.size(), 3u);
+    EXPECT_DOUBLE_EQ(*t.lookupExact(30.0, 50.0, 140.0), 0.55);
+}
+
+TEST(Pat, RecordOutcomeAddsNewEntry)
+{
+    PowerAllocationTable t;
+    t.recordOutcome(30.0, 50.0, 140.0, 0.66, 20.0, 45.0);
+    EXPECT_EQ(t.size(), 1u);
+    EXPECT_DOUBLE_EQ(*t.lookupExact(30.0, 50.0, 140.0), 0.66);
+}
+
+TEST(Pat, BatteryDeclinedFasterRaisesR)
+{
+    // SC/BA ratio grew over the slot -> battery drained relatively
+    // faster -> shift load toward SCs (Fig. 10 line 17-18).
+    PowerAllocationTable t = seededTable();
+    t.recordOutcome(30.0, 50.0, 140.0, 0.7, 25.0, 20.0);
+    EXPECT_NEAR(*t.lookupExact(30.0, 50.0, 140.0), 0.71, 1e-9);
+}
+
+TEST(Pat, ScDeclinedFasterLowersR)
+{
+    PowerAllocationTable t = seededTable();
+    t.recordOutcome(30.0, 50.0, 140.0, 0.7, 5.0, 48.0);
+    EXPECT_NEAR(*t.lookupExact(30.0, 50.0, 140.0), 0.69, 1e-9);
+}
+
+TEST(Pat, BalancedDeclineLeavesR)
+{
+    PowerAllocationTable t = seededTable();
+    // Equal relative decline: ratio preserved.
+    t.recordOutcome(30.0, 50.0, 140.0, 0.7, 15.0, 25.0);
+    EXPECT_NEAR(*t.lookupExact(30.0, 50.0, 140.0), 0.7, 1e-9);
+}
+
+TEST(Pat, DrainedBatteryForcesRUp)
+{
+    PowerAllocationTable t = seededTable();
+    t.recordOutcome(30.0, 50.0, 140.0, 0.7, 10.0, 0.0);
+    EXPECT_NEAR(*t.lookupExact(30.0, 50.0, 140.0), 0.71, 1e-9);
+}
+
+TEST(Pat, RClampedToUnitInterval)
+{
+    PowerAllocationTable t;
+    t.seed(30.0, 50.0, 140.0, 1.0);
+    for (int i = 0; i < 10; ++i)
+        t.recordOutcome(30.0, 50.0, 140.0, 1.0, 25.0, 20.0);
+    EXPECT_LE(*t.lookupExact(30.0, 50.0, 140.0), 1.0);
+}
+
+TEST(Pat, UpdatesCounted)
+{
+    PowerAllocationTable t = seededTable();
+    t.recordOutcome(30.0, 50.0, 140.0, 0.7, 25.0, 20.0);
+    t.recordOutcome(30.0, 50.0, 140.0, 0.7, 25.0, 20.0);
+    for (const auto &e : t.entries()) {
+        if (e.scWh == 30.0 && e.baWh == 50.0 &&
+            e.mismatchW == 140.0) {
+            EXPECT_EQ(e.updates, 2u);
+        }
+    }
+}
+
+TEST(Pat, RequantizeAveragesCells)
+{
+    PowerAllocationTable t;
+    t.seed(10.0, 50.0, 100.0, 0.4);
+    t.seed(15.0, 50.0, 100.0, 0.8);
+    PatGrid coarse;
+    coarse.scStepWh = 40.0;
+    coarse.baStepWh = 40.0;
+    coarse.pmStepW = 80.0;
+    PowerAllocationTable c = t.requantized(coarse);
+    EXPECT_EQ(c.size(), 1u);
+    EXPECT_NEAR(c.entries()[0].rLambda, 0.6, 1e-9);
+}
+
+TEST(Pat, RequantizeKeepsDistinctCells)
+{
+    PowerAllocationTable t;
+    t.seed(10.0, 50.0, 100.0, 0.4);
+    t.seed(200.0, 50.0, 100.0, 0.8);
+    PatGrid coarse;
+    coarse.scStepWh = 40.0;
+    coarse.baStepWh = 40.0;
+    coarse.pmStepW = 80.0;
+    EXPECT_EQ(t.requantized(coarse).size(), 2u);
+}
+
+TEST(Pat, InvalidGridRejected)
+{
+    PatGrid g;
+    g.pmStepW = 0.0;
+    EXPECT_EXIT(PowerAllocationTable(g, 0.01),
+                testing::ExitedWithCode(1), "grid");
+    EXPECT_EXIT(PowerAllocationTable(PatGrid{}, 0.0),
+                testing::ExitedWithCode(1), "delta_r");
+}
+
+} // namespace
+} // namespace heb

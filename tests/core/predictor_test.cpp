@@ -1,0 +1,163 @@
+/** @file Holt-Winters and naive predictors. */
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "core/predictor.h"
+
+namespace heb {
+namespace {
+
+TEST(LastValue, RepeatsLastObservation)
+{
+    LastValuePredictor p;
+    EXPECT_DOUBLE_EQ(p.predict(), 0.0);
+    p.observe(42.0);
+    EXPECT_DOUBLE_EQ(p.predict(), 42.0);
+    p.observe(7.0);
+    EXPECT_DOUBLE_EQ(p.predict(), 7.0);
+    p.reset();
+    EXPECT_DOUBLE_EQ(p.predict(), 0.0);
+}
+
+TEST(HoltWinters, ConstantSeriesConverges)
+{
+    HoltWintersPredictor p(HoltWintersParams{.seasonLength = 0});
+    for (int i = 0; i < 50; ++i)
+        p.observe(100.0);
+    EXPECT_NEAR(p.predict(), 100.0, 1e-6);
+    EXPECT_NEAR(p.trend(), 0.0, 1e-6);
+}
+
+TEST(HoltWinters, TracksLinearTrend)
+{
+    HoltWintersPredictor p(HoltWintersParams{.seasonLength = 0});
+    for (int i = 0; i < 200; ++i)
+        p.observe(10.0 + 2.0 * i);
+    // Forecast should be near the next value (damped trend lags a
+    // touch).
+    EXPECT_NEAR(p.predict(), 10.0 + 2.0 * 200, 5.0);
+    EXPECT_GT(p.trend(), 1.0);
+}
+
+TEST(HoltWinters, SeasonalActivatesAfterOneSeason)
+{
+    HoltWintersParams hp;
+    hp.seasonLength = 12;
+    HoltWintersPredictor p(hp);
+    for (int i = 0; i < 11; ++i)
+        p.observe(static_cast<double>(i % 12));
+    EXPECT_FALSE(p.seasonalActive());
+    p.observe(11.0);
+    EXPECT_TRUE(p.seasonalActive());
+}
+
+TEST(HoltWinters, LearnsSeasonalPattern)
+{
+    // A pure square seasonal series: after a few seasons, the
+    // forecast must anticipate the highs before they happen.
+    HoltWintersParams hp;
+    hp.seasonLength = 8;
+    HoltWintersPredictor p(hp);
+    auto value = [](int i) { return (i % 8) < 2 ? 100.0 : 20.0; };
+    int i = 0;
+    for (; i < 8 * 6; ++i)
+        p.observe(value(i));
+    // i is now at a season boundary: the next slot is a high slot.
+    double forecast_high = p.predict();
+    p.observe(value(i++));
+    p.observe(value(i++));
+    // Next two slots are lows.
+    double forecast_low = p.predict();
+    EXPECT_GT(forecast_high, forecast_low + 30.0);
+}
+
+TEST(HoltWinters, SeasonalBeatsNaiveOnPeriodicSeries)
+{
+    HoltWintersParams hp;
+    hp.seasonLength = 10;
+    HoltWintersPredictor hw(hp);
+    LastValuePredictor naive;
+    auto value = [](int i) { return (i % 10) == 0 ? 200.0 : 50.0; };
+    double hw_err = 0.0, naive_err = 0.0;
+    for (int i = 0; i < 200; ++i) {
+        double v = value(i);
+        if (i > 100) { // after warm-up
+            hw_err += std::abs(hw.predict() - v);
+            naive_err += std::abs(naive.predict() - v);
+        }
+        hw.observe(v);
+        naive.observe(v);
+    }
+    EXPECT_LT(hw_err, naive_err);
+}
+
+TEST(HoltWinters, ResetClearsState)
+{
+    HoltWintersPredictor p;
+    for (int i = 0; i < 300; ++i)
+        p.observe(50.0);
+    p.reset();
+    EXPECT_DOUBLE_EQ(p.predict(), 0.0);
+    EXPECT_FALSE(p.seasonalActive());
+}
+
+TEST(HoltWinters, InvalidSmoothingRejected)
+{
+    HoltWintersParams hp;
+    hp.alpha = 1.5;
+    EXPECT_EXIT(HoltWintersPredictor{hp}, testing::ExitedWithCode(1),
+                "alpha");
+}
+
+TEST(MismatchPredictor, PeakMinusValleyFloored)
+{
+    MismatchPredictor mp = MismatchPredictor::lastValue();
+    mp.observeSlot(300.0, 200.0);
+    EXPECT_DOUBLE_EQ(mp.predictedPeakW(), 300.0);
+    EXPECT_DOUBLE_EQ(mp.predictedValleyW(), 200.0);
+    EXPECT_DOUBLE_EQ(mp.predictedMismatchW(), 100.0);
+    // Inverted inputs floor at zero.
+    mp.observeSlot(100.0, 150.0);
+    EXPECT_DOUBLE_EQ(mp.predictedMismatchW(), 0.0);
+}
+
+TEST(MismatchPredictor, HoltWintersFactory)
+{
+    MismatchPredictor mp = MismatchPredictor::holtWinters();
+    for (int i = 0; i < 20; ++i)
+        mp.observeSlot(400.0, 220.0);
+    EXPECT_NEAR(mp.predictedMismatchW(), 180.0, 20.0);
+}
+
+// --- Property sweep: forecast stays within the series envelope ----
+
+class HwEnvelopeSweep : public testing::TestWithParam<double>
+{
+};
+
+TEST_P(HwEnvelopeSweep, ForecastBounded)
+{
+    double amplitude = GetParam();
+    HoltWintersParams hp;
+    hp.seasonLength = 16;
+    HoltWintersPredictor p(hp);
+    for (int i = 0; i < 400; ++i) {
+        double v = 100.0 +
+                   amplitude *
+                       std::sin(2.0 * std::numbers::pi * i / 16.0);
+        p.observe(v);
+        if (i > 32) {
+            EXPECT_GT(p.predict(), 100.0 - 2.0 * amplitude - 10.0);
+            EXPECT_LT(p.predict(), 100.0 + 2.0 * amplitude + 10.0);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Amplitudes, HwEnvelopeSweep,
+                         testing::Values(0.0, 10.0, 40.0, 80.0));
+
+} // namespace
+} // namespace heb

@@ -1,0 +1,122 @@
+/** @file Pilot profiling (Fig. 6 races and PAT seeding). */
+
+#include <gtest/gtest.h>
+
+#include "core/profiler.h"
+#include "esd/bank_builder.h"
+
+namespace heb {
+namespace {
+
+BufferProfiler
+prototypeProfiler(ProfilerConfig cfg = {})
+{
+    return BufferProfiler(
+        []() { return makeScBank(28.8); },
+        []() { return makeBatteryBank(67.2); }, cfg);
+}
+
+TEST(Profiler, EnduranceRaceRunsOut)
+{
+    BufferProfiler p = prototypeProfiler();
+    double t = p.dischargeRuntime(1.0, 1.0, 140.0, 0.5);
+    EXPECT_GT(t, 60.0);
+    EXPECT_LT(t, 4.0 * 3600.0);
+}
+
+TEST(Profiler, MoreMismatchDiesSooner)
+{
+    BufferProfiler p = prototypeProfiler();
+    EXPECT_GT(p.dischargeRuntime(1.0, 1.0, 100.0, 0.6),
+              p.dischargeRuntime(1.0, 1.0, 200.0, 0.6));
+}
+
+TEST(Profiler, LowerSocDiesSooner)
+{
+    BufferProfiler p = prototypeProfiler();
+    EXPECT_GT(p.dischargeRuntime(1.0, 1.0, 140.0, 0.6),
+              p.dischargeRuntime(0.4, 0.4, 140.0, 0.6));
+}
+
+TEST(Profiler, Fig6InteriorOptimum)
+{
+    // The paper's Fig. 6 headline: for a mismatch the battery cannot
+    // carry alone and the SC cannot sustain alone, the best split is
+    // interior.
+    BufferProfiler p = prototypeProfiler();
+    RuntimeProfile prof = p.profileScenario(1.0, 1.0, 150.0);
+    ASSERT_EQ(prof.ratios.size(), 11u);
+    double best = prof.bestRatio();
+    EXPECT_GT(best, 0.0);
+    EXPECT_LT(best, 1.0);
+    // Interior beats both extremes.
+    EXPECT_GT(prof.bestRuntime(), prof.runtimeSeconds.front());
+    EXPECT_GT(prof.bestRuntime(), prof.runtimeSeconds.back());
+}
+
+TEST(Profiler, HeavyScAssignmentCutsRuntime)
+{
+    // Paper: assigning heavy load on SCs decreases uptime ~25 %.
+    BufferProfiler p = prototypeProfiler();
+    RuntimeProfile prof = p.profileScenario(1.0, 1.0, 150.0);
+    EXPECT_LT(prof.runtimeSeconds.back(),
+              prof.bestRuntime() * 0.9);
+}
+
+TEST(Profiler, CyclicUnservedZeroWhenFeasible)
+{
+    ProfilerConfig cfg;
+    cfg.peakDurationS = 600.0;
+    cfg.valleyDurationS = 3000.0;
+    cfg.valleyChargeW = 45.0;
+    BufferProfiler p = prototypeProfiler(cfg);
+    // Small mismatch: trivially feasible at r = 1.
+    EXPECT_NEAR(p.cyclicUnservedWh(1.0, 1.0, 40.0, 1.0), 0.0, 1e-9);
+}
+
+TEST(Profiler, CyclicPenalizesInfeasibleRatio)
+{
+    ProfilerConfig cfg;
+    cfg.peakDurationS = 900.0;
+    BufferProfiler p = prototypeProfiler(cfg);
+    // r = 1: SC alone cannot hold 140 W for 900 s (28.8 Wh < 35 Wh).
+    EXPECT_GT(p.cyclicUnservedWh(1.0, 1.0, 140.0, 1.0), 1.0);
+    // The cyclic optimum must do better.
+    double best = p.bestCyclicRatio(1.0, 1.0, 140.0);
+    EXPECT_LT(p.cyclicUnservedWh(1.0, 1.0, 140.0, best), 1.0);
+}
+
+TEST(Profiler, BestCyclicRatioPrefersScOnTies)
+{
+    BufferProfiler p = prototypeProfiler();
+    // Tiny mismatch: every ratio serves fully; tie-break goes SC.
+    EXPECT_DOUBLE_EQ(p.bestCyclicRatio(1.0, 1.0, 20.0), 1.0);
+}
+
+TEST(Profiler, SeedTablePopulatesGrid)
+{
+    PowerAllocationTable table;
+    ProfilerConfig cfg;
+    cfg.ratioSteps = 5;
+    cfg.cycles = 1;
+    BufferProfiler p = prototypeProfiler(cfg);
+    p.seedTable(table, {0.5, 1.0}, {1.0}, {80.0, 160.0});
+    EXPECT_EQ(table.size(), 4u);
+    for (const auto &e : table.entries()) {
+        EXPECT_GE(e.rLambda, 0.0);
+        EXPECT_LE(e.rLambda, 1.0);
+    }
+}
+
+TEST(Profiler, InvalidConfigRejected)
+{
+    ProfilerConfig cfg;
+    cfg.ratioSteps = 1;
+    EXPECT_EXIT(prototypeProfiler(cfg), testing::ExitedWithCode(1),
+                "ratio");
+    EXPECT_EXIT(BufferProfiler(nullptr, nullptr),
+                testing::ExitedWithCode(1), "factories");
+}
+
+} // namespace
+} // namespace heb

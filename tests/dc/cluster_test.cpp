@@ -1,0 +1,100 @@
+/** @file Cluster aggregation and LRU shutdown. */
+
+#include <gtest/gtest.h>
+
+#include "dc/cluster.h"
+
+namespace heb {
+namespace {
+
+TEST(Cluster, AggregatePower)
+{
+    Cluster c(6);
+    std::vector<double> util(6, 0.0);
+    EXPECT_DOUBLE_EQ(c.totalPowerW(util, 100.0), 180.0); // 6 x idle
+    std::vector<double> busy(6, 1.0);
+    EXPECT_DOUBLE_EQ(c.totalPowerW(busy, 100.0), 420.0); // 6 x peak
+}
+
+TEST(Cluster, NameplateAndIdleFloor)
+{
+    Cluster c(6);
+    EXPECT_DOUBLE_EQ(c.nameplatePeakW(), 420.0);
+    EXPECT_DOUBLE_EQ(c.idleFloorW(), 180.0);
+}
+
+TEST(Cluster, LruShutdownPicksLeastRecentlyActive)
+{
+    Cluster c(3);
+    c.server(0).touch(100.0, 0.9);
+    c.server(1).touch(50.0, 0.9);
+    c.server(2).touch(200.0, 0.9);
+    auto victims = c.shutdownLru(1, 300.0);
+    ASSERT_EQ(victims.size(), 1u);
+    EXPECT_EQ(victims[0], 1u); // oldest activity
+    EXPECT_FALSE(c.server(1).isOn());
+    EXPECT_EQ(c.onlineCount(), 2u);
+}
+
+TEST(Cluster, LruShutdownMultiple)
+{
+    Cluster c(4);
+    for (std::size_t i = 0; i < 4; ++i)
+        c.server(i).touch(10.0 * static_cast<double>(i) + 1.0, 0.9);
+    auto victims = c.shutdownLru(2, 100.0);
+    ASSERT_EQ(victims.size(), 2u);
+    EXPECT_EQ(victims[0], 0u);
+    EXPECT_EQ(victims[1], 1u);
+}
+
+TEST(Cluster, ShutdownMoreThanOnline)
+{
+    Cluster c(2);
+    auto victims = c.shutdownLru(10, 1.0);
+    EXPECT_EQ(victims.size(), 2u);
+    EXPECT_EQ(c.onlineCount(), 0u);
+}
+
+TEST(Cluster, OffServersDrawNothing)
+{
+    Cluster c(2);
+    c.shutdownLru(1, 0.0);
+    std::vector<double> busy(2, 1.0);
+    EXPECT_DOUBLE_EQ(c.totalPowerW(busy, 10.0), 70.0);
+}
+
+TEST(Cluster, PowerOnAllReboots)
+{
+    Cluster c(3);
+    c.shutdownLru(2, 0.0);
+    c.powerOnAll(100.0);
+    EXPECT_EQ(c.onlineCount(), 3u);
+    EXPECT_EQ(c.totalOnOffCycles(), 2u);
+    EXPECT_GT(c.totalBootEnergyWh(), 0.0);
+}
+
+TEST(Cluster, DowntimeAggregates)
+{
+    Cluster c(2);
+    c.server(0).powerOff(0.0);
+    c.server(0).accrueDowntime(5.0);
+    c.server(1).powerOff(0.0);
+    c.server(1).accrueDowntime(7.0);
+    EXPECT_DOUBLE_EQ(c.totalDowntimeSeconds(), 12.0);
+}
+
+TEST(Cluster, UtilSizeMismatchFatal)
+{
+    Cluster c(3);
+    std::vector<double> wrong(2, 0.5);
+    EXPECT_EXIT((void)c.totalPowerW(wrong, 0.0),
+                testing::ExitedWithCode(1), "mismatch");
+}
+
+TEST(Cluster, ZeroServersRejected)
+{
+    EXPECT_EXIT(Cluster(0), testing::ExitedWithCode(1), "at least");
+}
+
+} // namespace
+} // namespace heb

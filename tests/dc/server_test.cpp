@@ -1,0 +1,129 @@
+/** @file Server power model, DVFS and on/off cycling. */
+
+#include <gtest/gtest.h>
+
+#include "dc/server.h"
+
+namespace heb {
+namespace {
+
+Server
+node()
+{
+    return Server(ServerParams{}, 0);
+}
+
+TEST(Server, IdleAndPeakEnvelope)
+{
+    Server s = node();
+    EXPECT_DOUBLE_EQ(s.powerAt(0.0, 100.0), 30.0);
+    EXPECT_DOUBLE_EQ(s.powerAt(1.0, 100.0), 70.0);
+}
+
+TEST(Server, PowerScalesLinearlyWithUtil)
+{
+    Server s = node();
+    EXPECT_DOUBLE_EQ(s.powerAt(0.5, 100.0), 50.0);
+}
+
+TEST(Server, UtilizationClamped)
+{
+    Server s = node();
+    EXPECT_DOUBLE_EQ(s.powerAt(2.0, 100.0), 70.0);
+    EXPECT_DOUBLE_EQ(s.powerAt(-1.0, 100.0), 30.0);
+}
+
+TEST(Server, LowFrequencyCutsDynamicPower)
+{
+    Server s = node();
+    s.setFrequency(Server::Frequency::Low);
+    double p_low = s.powerAt(1.0, 100.0);
+    // (1.3/1.8)^2 ~ 0.52 of the 40 W dynamic range.
+    EXPECT_NEAR(p_low, 30.0 + 40.0 * 0.522, 0.5);
+    EXPECT_LT(p_low, 70.0);
+    // Idle power unaffected by frequency.
+    EXPECT_DOUBLE_EQ(s.powerAt(0.0, 100.0), 30.0);
+}
+
+TEST(Server, OffDrawsNothing)
+{
+    Server s = node();
+    s.powerOff(10.0);
+    EXPECT_DOUBLE_EQ(s.powerAt(0.9, 11.0), 0.0);
+    EXPECT_FALSE(s.isOn());
+    EXPECT_FALSE(s.isUp(11.0));
+}
+
+TEST(Server, BootWindowDrawsBootPower)
+{
+    Server s = node();
+    s.powerOff(10.0);
+    s.powerOn(20.0);
+    EXPECT_TRUE(s.isOn());
+    EXPECT_FALSE(s.isUp(30.0)); // still booting
+    EXPECT_DOUBLE_EQ(s.powerAt(0.9, 30.0), s.params().bootPowerW);
+    EXPECT_TRUE(s.isUp(20.0 + s.params().bootTimeS));
+}
+
+TEST(Server, OnOffCyclesCounted)
+{
+    Server s = node();
+    s.powerOff(1.0);
+    s.powerOn(2.0);
+    s.powerOff(3.0);
+    s.powerOn(4.0);
+    EXPECT_EQ(s.onOffCycles(), 2u);
+    EXPECT_GT(s.bootEnergyWh(), 0.0);
+}
+
+TEST(Server, RedundantPowerCommandsIgnored)
+{
+    Server s = node();
+    s.powerOn(1.0); // already on
+    EXPECT_EQ(s.onOffCycles(), 0u);
+    s.powerOff(2.0);
+    s.powerOff(3.0);
+    EXPECT_EQ(s.onOffCycles(), 0u); // cycles count power-ONs
+}
+
+TEST(Server, DowntimeAccrual)
+{
+    Server s = node();
+    s.powerOff(0.0);
+    s.accrueDowntime(10.0);
+    s.accrueDowntime(5.0);
+    EXPECT_DOUBLE_EQ(s.downtimeSeconds(), 15.0);
+}
+
+TEST(Server, TouchUpdatesLruOnlyWhenBusyAndUp)
+{
+    Server s = node();
+    s.touch(100.0, 0.5);
+    EXPECT_DOUBLE_EQ(s.lastActiveTime(), 100.0);
+    s.touch(200.0, 0.01); // idle: not an activity
+    EXPECT_DOUBLE_EQ(s.lastActiveTime(), 100.0);
+    s.powerOff(300.0);
+    s.touch(400.0, 0.9); // off: not an activity
+    EXPECT_DOUBLE_EQ(s.lastActiveTime(), 100.0);
+}
+
+TEST(Server, BootEnergyMatchesCycles)
+{
+    Server s = node();
+    s.powerOff(0.0);
+    s.powerOn(1.0);
+    double expected =
+        s.params().bootPowerW * s.params().bootTimeS / 3600.0;
+    EXPECT_NEAR(s.bootEnergyWh(), expected, 1e-9);
+}
+
+TEST(Server, InvalidEnvelopeRejected)
+{
+    ServerParams p;
+    p.peakPowerW = p.idlePowerW;
+    EXPECT_EXIT(Server(p, 0), testing::ExitedWithCode(1),
+                "envelope");
+}
+
+} // namespace
+} // namespace heb

@@ -1,0 +1,59 @@
+/** @file Bank sizing helpers. */
+
+#include <gtest/gtest.h>
+
+#include "esd/bank_builder.h"
+
+namespace heb {
+namespace {
+
+TEST(BankBuilder, ScBankHitsEnergyTarget)
+{
+    auto bank = makeScBank(28.8);
+    EXPECT_NEAR(bank->usableEnergyWh(), 28.8, 0.05);
+    EXPECT_EQ(bank->deviceCount(), 2u);
+}
+
+TEST(BankBuilder, ScBankDodThrottlesUsableWindow)
+{
+    auto full = makeScBank(30.0, 1.0);
+    auto half = makeScBank(30.0, 0.5);
+    EXPECT_NEAR(half->usableEnergyWh(), 0.5 * full->usableEnergyWh(),
+                0.2);
+}
+
+TEST(BankBuilder, BatteryBankNominalEnergy)
+{
+    auto bank = makeBatteryBank(67.2, 0.8);
+    EXPECT_NEAR(bank->capacityWh(), 67.2, 0.05);
+    // Usable limited by DoD.
+    EXPECT_NEAR(bank->usableEnergyWh(), 67.2 * 0.8, 0.1);
+}
+
+TEST(BankBuilder, BatteryBankStrings)
+{
+    auto bank = makeBatteryBank(96.0, 0.8, 4);
+    EXPECT_EQ(bank->deviceCount(), 4u);
+    EXPECT_NEAR(bank->capacityWh(), 96.0, 0.05);
+}
+
+TEST(BankBuilder, InvalidArgsRejected)
+{
+    EXPECT_EXIT(makeScBank(-1.0), testing::ExitedWithCode(1),
+                "energy");
+    EXPECT_EXIT(makeScBank(10.0, 1.5), testing::ExitedWithCode(1),
+                "dod");
+    EXPECT_EXIT(makeBatteryBank(10.0, 0.8, 0),
+                testing::ExitedWithCode(1), "string");
+}
+
+TEST(BankBuilder, SmallerBankLessPower)
+{
+    auto small = makeBatteryBank(30.0);
+    auto large = makeBatteryBank(120.0);
+    EXPECT_LT(small->maxDischargePowerW(1.0),
+              large->maxDischargePowerW(1.0));
+}
+
+} // namespace
+} // namespace heb

@@ -1,0 +1,174 @@
+/** @file Battery aging (capacity fade) and thermal charge derating. */
+
+#include <gtest/gtest.h>
+
+#include "esd/battery.h"
+#include "util/units.h"
+
+namespace heb {
+namespace {
+
+BatteryParams
+agingParams()
+{
+    BatteryParams p = BatteryParams::prototypeLeadAcid();
+    p.agingEnabled = true;
+    return p;
+}
+
+BatteryParams
+thermalParams()
+{
+    BatteryParams p = BatteryParams::prototypeLeadAcid();
+    p.thermalEnabled = true;
+    return p;
+}
+
+TEST(BatteryAging, FreshBatteryHasRatedCapacity)
+{
+    Battery b(agingParams());
+    EXPECT_DOUBLE_EQ(b.effectiveCapacityAh(),
+                     b.params().capacityAh);
+}
+
+TEST(BatteryAging, CapacityFadesWithThroughput)
+{
+    Battery b(agingParams());
+    double cap0 = b.effectiveCapacityAh();
+    // Burn lifetime: cycle hard many times.
+    for (int cycle = 0; cycle < 50; ++cycle) {
+        while (!b.depleted(1.0))
+            b.discharge(80.0, 30.0);
+        b.setSoc(1.0); // instant refill to isolate discharge wear
+    }
+    EXPECT_GT(b.lifetimeFractionUsed(), 0.01);
+    EXPECT_LT(b.effectiveCapacityAh(), cap0);
+}
+
+TEST(BatteryAging, FadeBoundedAtEndOfLife)
+{
+    BatteryParams p = agingParams();
+    p.ratedCycleLife = 2.0; // dies almost immediately
+    Battery b(p);
+    for (int cycle = 0; cycle < 40; ++cycle) {
+        while (!b.depleted(1.0))
+            b.discharge(80.0, 30.0);
+        b.setSoc(1.0);
+    }
+    EXPECT_GE(b.lifetimeFractionUsed(), 1.0);
+    EXPECT_NEAR(b.effectiveCapacityAh(),
+                p.capacityAh * p.endOfLifeCapacityFraction, 1e-9);
+}
+
+TEST(BatteryAging, ResistanceGrowsWithAge)
+{
+    BatteryParams p = agingParams();
+    p.ratedCycleLife = 5.0;
+    Battery b(p);
+    double r0 = b.effectiveResistance();
+    for (int cycle = 0; cycle < 30; ++cycle) {
+        while (!b.depleted(1.0))
+            b.discharge(80.0, 30.0);
+        b.setSoc(1.0);
+    }
+    b.setSoc(1.0);
+    EXPECT_GT(b.effectiveResistance(), r0 * 1.1);
+}
+
+TEST(BatteryAging, AgedBatteryDeliversLessPower)
+{
+    BatteryParams p = agingParams();
+    p.ratedCycleLife = 5.0;
+    Battery fresh(p);
+    Battery aged(p);
+    for (int cycle = 0; cycle < 30; ++cycle) {
+        while (!aged.depleted(1.0))
+            aged.discharge(80.0, 30.0);
+        aged.setSoc(1.0);
+    }
+    aged.setSoc(1.0);
+    EXPECT_LT(aged.maxDischargePowerW(600.0),
+              fresh.maxDischargePowerW(600.0));
+    EXPECT_LT(aged.usableEnergyWh(), fresh.usableEnergyWh());
+}
+
+TEST(BatteryAging, DisabledByDefault)
+{
+    Battery b(BatteryParams::prototypeLeadAcid());
+    for (int cycle = 0; cycle < 20; ++cycle) {
+        while (!b.depleted(1.0))
+            b.discharge(80.0, 30.0);
+        b.setSoc(1.0);
+    }
+    EXPECT_DOUBLE_EQ(b.effectiveCapacityAh(), b.params().capacityAh);
+}
+
+TEST(BatteryThermal, StartsAtAmbient)
+{
+    Battery b(thermalParams());
+    EXPECT_DOUBLE_EQ(b.temperatureC(), b.params().ambientC);
+    EXPECT_DOUBLE_EQ(b.thermalChargeDerate(), 1.0);
+}
+
+TEST(BatteryThermal, HeatsUnderLoad)
+{
+    Battery b(thermalParams());
+    for (int i = 0; i < 1800; ++i)
+        b.discharge(90.0, 1.0);
+    EXPECT_GT(b.temperatureC(), b.params().ambientC + 0.5);
+}
+
+TEST(BatteryThermal, CoolsAtRest)
+{
+    Battery b(thermalParams());
+    for (int i = 0; i < 1800; ++i)
+        b.discharge(90.0, 1.0);
+    double hot = b.temperatureC();
+    b.rest(2.0 * b.params().thermalTimeConstantS);
+    EXPECT_LT(b.temperatureC(), hot);
+}
+
+TEST(BatteryThermal, HotBatteryChargesSlower)
+{
+    BatteryParams p = thermalParams();
+    p.chargeDerateStartC = 26.0; // derate almost immediately
+    p.chargeCutoffC = 30.0;
+    p.thermalResistanceCPerW = 40.0;
+    Battery b(p);
+    b.setSoc(0.4);
+    double cold_cap = b.maxChargePowerW(60.0);
+    // Heat it up with sustained discharge.
+    for (int i = 0; i < 3600; ++i)
+        b.discharge(60.0, 1.0);
+    b.setSoc(0.4);
+    EXPECT_GT(b.temperatureC(), p.chargeDerateStartC);
+    EXPECT_LT(b.maxChargePowerW(60.0), cold_cap);
+}
+
+TEST(BatteryThermal, CutoffStopsCharging)
+{
+    BatteryParams p = thermalParams();
+    p.chargeDerateStartC = 26.0;
+    p.chargeCutoffC = 27.0;
+    p.thermalResistanceCPerW = 100.0;
+    p.thermalTimeConstantS = 10.0;
+    Battery b(p);
+    for (int i = 0; i < 600; ++i)
+        b.discharge(80.0, 1.0);
+    ASSERT_GE(b.temperatureC(), p.chargeCutoffC);
+    b.setSoc(0.4);
+    EXPECT_DOUBLE_EQ(b.thermalChargeDerate(), 0.0);
+    EXPECT_NEAR(b.charge(100.0, 1.0), 0.0, 1e-9);
+}
+
+TEST(BatteryThermal, ResetRestoresAmbient)
+{
+    Battery b(thermalParams());
+    for (int i = 0; i < 1800; ++i)
+        b.discharge(90.0, 1.0);
+    b.reset();
+    EXPECT_DOUBLE_EQ(b.temperatureC(), b.params().ambientC);
+}
+
+} // namespace
+} // namespace heb

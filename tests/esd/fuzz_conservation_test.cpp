@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Fuzz-style property tests: random charge/discharge/rest sequences
+ * against every device type must preserve the energy-accounting
+ * invariants regardless of the operation pattern.
+ *
+ * Invariants checked after every operation:
+ *  - SoC stays in [0, 1 + eps]
+ *  - usable energy stays non-negative and bounded by capacity
+ *  - counters are monotone non-decreasing
+ *  - terminal energy out never exceeds (energy in + initial stored)
+ */
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/load_assignment.h"
+#include "esd/bank_builder.h"
+#include "esd/battery.h"
+#include "esd/peukert_battery.h"
+#include "esd/supercapacitor.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace heb {
+namespace {
+
+/** Build a device by registry index (fixture parameter). */
+std::unique_ptr<EnergyStorageDevice>
+makeDevice(int kind)
+{
+    switch (kind) {
+      case 0:
+        return std::make_unique<Battery>(
+            BatteryParams::prototypeLeadAcid());
+      case 1:
+        return std::make_unique<Supercapacitor>(
+            ScParams::maxwellSeriesBank());
+      case 2:
+        return std::make_unique<PeukertBattery>(
+            BatteryParams::prototypeLeadAcid());
+      case 3: {
+        auto pool = std::make_unique<EsdPool>("fuzz-pool");
+        pool->add(std::make_unique<Battery>(
+            BatteryParams::prototypeLeadAcid()));
+        pool->add(std::make_unique<Supercapacitor>(
+            ScParams::maxwellSeriesBank()));
+        return pool;
+      }
+      default:
+        return nullptr;
+    }
+}
+
+class EsdFuzz
+    : public testing::TestWithParam<std::tuple<int, std::uint64_t>>
+{
+};
+
+TEST_P(EsdFuzz, RandomSequencePreservesInvariants)
+{
+    auto [kind, seed] = GetParam();
+    auto dev = makeDevice(kind);
+    ASSERT_NE(dev, nullptr);
+    Rng rng(seed);
+
+    double initial_stored = dev->usableEnergyWh();
+    double capacity = dev->capacityWh();
+    EsdCounters prev = dev->counters();
+
+    for (int step = 0; step < 2000; ++step) {
+        double dt = rng.uniform(0.5, 30.0);
+        int op = rng.uniformInt(0, 2);
+        double watts = rng.uniform(0.0, 400.0);
+
+        if (op == 0)
+            dev->discharge(watts, dt);
+        else if (op == 1)
+            dev->charge(watts, dt);
+        else
+            dev->rest(dt);
+
+        // SoC and energy bounds.
+        ASSERT_GE(dev->soc(), -1e-9) << "step " << step;
+        ASSERT_LE(dev->soc(), 1.0 + 1e-6) << "step " << step;
+        ASSERT_GE(dev->usableEnergyWh(), -1e-9);
+        ASSERT_LE(dev->usableEnergyWh(), capacity * 1.001);
+
+        // Counter monotonicity.
+        const EsdCounters &c = dev->counters();
+        ASSERT_GE(c.chargeEnergyWh, prev.chargeEnergyWh - 1e-12);
+        ASSERT_GE(c.dischargeEnergyWh,
+                  prev.dischargeEnergyWh - 1e-12);
+        ASSERT_GE(c.lossEnergyWh, prev.lossEnergyWh - 1e-12);
+        ASSERT_GE(c.dischargeAh, prev.dischargeAh - 1e-12);
+        prev = c;
+
+        // First-law bound: you cannot extract more terminal energy
+        // than you put in plus what was initially stored.
+        ASSERT_LE(c.dischargeEnergyWh,
+                  c.chargeEnergyWh + initial_stored + 1.0)
+            << "over-unity at step " << step;
+    }
+}
+
+std::string
+fuzzCaseName(const testing::TestParamInfo<EsdFuzz::ParamType> &info)
+{
+    static const char *const names[] = {"kibam", "supercap",
+                                        "peukert", "mixedpool"};
+    return std::string(names[std::get<0>(info.param)]) + "_s" +
+           std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DevicesAndSeeds, EsdFuzz,
+    testing::Combine(testing::Values(0, 1, 2, 3),
+                     testing::Values(1u, 7u, 42u, 1234u)),
+    fuzzCaseName);
+
+TEST(DispatchFuzz, RandomMismatchSequencesBalance)
+{
+    // Random mismatch/charge ticks through the dispatch layer: the
+    // served + unserved split must always equal the request.
+    Rng rng(99);
+    auto sc = makeScBank(28.8);
+    auto ba = makeBatteryBank(67.2);
+    for (int step = 0; step < 5000; ++step) {
+        double dt = 1.0;
+        if (rng.chance(0.6)) {
+            double pm = rng.uniform(0.0, 300.0);
+            double r = rng.uniform(0.0, 1.0);
+            double planned = rng.chance(0.5) ? pm : -1.0;
+            DispatchResult res =
+                dispatchMismatch(*sc, *ba, pm, r, dt, planned);
+            ASSERT_NEAR(res.totalW() + res.unservedW, pm, 1e-6);
+            ASSERT_GE(res.scPowerW, -1e-9);
+            ASSERT_GE(res.baPowerW, -1e-9);
+        } else {
+            double surplus = rng.uniform(0.0, 120.0);
+            ChargeResult res = dispatchCharge(*sc, *ba, surplus,
+                                              rng.chance(0.8), dt);
+            ASSERT_LE(res.totalW(), surplus + 1e-6);
+        }
+    }
+}
+
+} // namespace
+} // namespace heb

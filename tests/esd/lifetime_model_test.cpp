@@ -1,0 +1,92 @@
+/** @file Ah-throughput lifetime extrapolation. */
+
+#include <gtest/gtest.h>
+
+#include "esd/lifetime_model.h"
+#include "util/units.h"
+
+namespace heb {
+namespace {
+
+TEST(LifetimeModel, CyclesToFailureDecreasesWithDod)
+{
+    AhThroughputLifetimeModel m;
+    EXPECT_GT(m.cyclesToFailure(0.2), m.cyclesToFailure(0.5));
+    EXPECT_GT(m.cyclesToFailure(0.5), m.cyclesToFailure(1.0));
+}
+
+TEST(LifetimeModel, CyclesToFailureDomain)
+{
+    AhThroughputLifetimeModel m;
+    EXPECT_EXIT((void)m.cyclesToFailure(0.0),
+                testing::ExitedWithCode(1), "DoD");
+    EXPECT_EXIT((void)m.cyclesToFailure(1.5),
+                testing::ExitedWithCode(1), "DoD");
+}
+
+TEST(LifetimeModel, ZeroUsageGivesFloatLife)
+{
+    LifetimeModelParams p;
+    p.floatLifeYears = 6.0;
+    AhThroughputLifetimeModel m(p);
+    EXPECT_DOUBLE_EQ(m.estimateLifetimeYears(0.0, kSecondsPerDay),
+                     6.0);
+}
+
+TEST(LifetimeModel, HeavyUsageShortensLife)
+{
+    LifetimeModelParams p;
+    p.ratedThroughputAh = 1000.0;
+    p.floatLifeYears = 10.0;
+    AhThroughputLifetimeModel m(p);
+    // Consume 10 Ah per day -> 3652.5 Ah/yr -> ~0.27 years.
+    double life = m.estimateLifetimeYears(10.0, kSecondsPerDay);
+    EXPECT_NEAR(life, 1000.0 / (10.0 * kDaysPerYear), 1e-9);
+}
+
+TEST(LifetimeModel, FloatLifeCaps)
+{
+    LifetimeModelParams p;
+    p.ratedThroughputAh = 1e9;
+    p.floatLifeYears = 5.0;
+    AhThroughputLifetimeModel m(p);
+    EXPECT_DOUBLE_EQ(m.estimateLifetimeYears(0.001, kSecondsPerDay),
+                     5.0);
+}
+
+TEST(LifetimeModel, LifetimeScalesInverselyWithRate)
+{
+    AhThroughputLifetimeModel m;
+    double slow = m.estimateLifetimeYears(1.0, kSecondsPerDay);
+    double fast = m.estimateLifetimeYears(4.0, kSecondsPerDay);
+    if (slow < m.params().floatLifeYears)
+        EXPECT_NEAR(slow / fast, 4.0, 1e-9);
+    else
+        EXPECT_GE(slow, fast);
+}
+
+TEST(LifetimeModel, ImprovementFactor)
+{
+    EXPECT_DOUBLE_EQ(
+        AhThroughputLifetimeModel::improvementFactor(1.0, 4.7), 4.7);
+    EXPECT_EXIT(AhThroughputLifetimeModel::improvementFactor(0.0, 1.0),
+                testing::ExitedWithCode(1), "baseline");
+}
+
+TEST(LifetimeModel, InvalidParams)
+{
+    LifetimeModelParams p;
+    p.ratedThroughputAh = 0.0;
+    EXPECT_EXIT(AhThroughputLifetimeModel{p},
+                testing::ExitedWithCode(1), "throughput");
+}
+
+TEST(LifetimeModel, InvalidWindow)
+{
+    AhThroughputLifetimeModel m;
+    EXPECT_EXIT((void)m.estimateLifetimeYears(1.0, 0.0),
+                testing::ExitedWithCode(1), "window");
+}
+
+} // namespace
+} // namespace heb

@@ -1,0 +1,77 @@
+/** @file Li-ion preset: the Fig. 4 technology as a usable device. */
+
+#include <gtest/gtest.h>
+
+#include "esd/battery.h"
+#include "util/units.h"
+
+namespace heb {
+namespace {
+
+TEST(LiIon, HigherRoundTripThanLeadAcid)
+{
+    auto round_trip = [](BatteryParams p) {
+        Battery b(p);
+        b.setSoc(0.5);
+        double in = 0.0, out = 0.0;
+        for (int i = 0; i < 3600; ++i)
+            in += energyWh(b.charge(20.0, 1.0), 1.0);
+        while (b.soc() > 0.5 + 1e-3) {
+            double got = b.discharge(20.0, 1.0);
+            if (got <= 0.0)
+                break;
+            out += energyWh(got, 1.0);
+        }
+        return out / in;
+    };
+    double li = round_trip(BatteryParams::liIon24V(4.0));
+    double la = round_trip(BatteryParams::leadAcid24V(4.0));
+    EXPECT_GT(li, 0.88); // paper Fig. 4: ~0.90
+    EXPECT_GT(li, la + 0.05);
+}
+
+TEST(LiIon, FasterChargingThanLeadAcid)
+{
+    Battery li(BatteryParams::liIon24V(4.0));
+    Battery la(BatteryParams::leadAcid24V(4.0));
+    li.setSoc(0.3);
+    la.setSoc(0.3);
+    EXPECT_GT(li.maxChargePowerW(60.0),
+              2.0 * la.maxChargePowerW(60.0));
+}
+
+TEST(LiIon, SmallerRateCapacityPenalty)
+{
+    // Li-ion's fast kinetics (high kibamK, high c) deliver nearly
+    // the same energy at high rate as at low rate.
+    auto delivered = [](BatteryParams p, double watts) {
+        Battery b(p);
+        double wh = 0.0;
+        for (int i = 0; i < 3600 * 6; ++i) {
+            double got = b.discharge(watts, 1.0);
+            wh += energyWh(got, 1.0);
+            if (got < watts * 0.5)
+                break;
+        }
+        return wh;
+    };
+    BatteryParams li = BatteryParams::liIon24V(4.0);
+    double ratio_li =
+        delivered(li, 80.0) / delivered(li, 20.0);
+    BatteryParams la = BatteryParams::leadAcid24V(4.0);
+    double ratio_la =
+        delivered(la, 80.0) / delivered(la, 20.0);
+    EXPECT_GT(ratio_li, ratio_la);
+    EXPECT_GT(ratio_li, 0.9);
+}
+
+TEST(LiIon, DeeperUsableDod)
+{
+    Battery li(BatteryParams::liIon24V(4.0));
+    Battery la(BatteryParams::leadAcid24V(4.0));
+    EXPECT_GT(li.usableEnergyWh() / li.capacityWh(),
+              la.usableEnergyWh() / la.capacityWh());
+}
+
+} // namespace
+} // namespace heb

@@ -1,0 +1,98 @@
+/** @file Peukert-only ablation battery. */
+
+#include <gtest/gtest.h>
+
+#include "esd/peukert_battery.h"
+#include "util/units.h"
+
+namespace heb {
+namespace {
+
+TEST(PeukertBattery, NoRecoveryEffect)
+{
+    // Unlike KiBaM, resting must NOT restore deliverable energy.
+    PeukertBattery b(BatteryParams::prototypeLeadAcid(), 1.25);
+    for (int i = 0; i < 1200; ++i)
+        b.discharge(80.0, 1.0);
+    double usable = b.usableEnergyWh();
+    b.rest(3600.0);
+    EXPECT_LE(b.usableEnergyWh(), usable + 1e-9);
+}
+
+TEST(PeukertBattery, RateCapacityEffect)
+{
+    auto drained_ah = [](double watts) {
+        PeukertBattery b(BatteryParams::prototypeLeadAcid(), 1.25);
+        double soc0 = b.soc();
+        for (int i = 0; i < 600; ++i)
+            b.discharge(watts, 1.0);
+        return soc0 - b.soc();
+    };
+    // Twice the power must drain MORE than twice the charge.
+    double d20 = drained_ah(20.0);
+    double d40 = drained_ah(40.0);
+    EXPECT_GT(d40, 2.0 * d20 * 1.02);
+}
+
+TEST(PeukertBattery, ExponentOneIsIdeal)
+{
+    PeukertBattery b(BatteryParams::prototypeLeadAcid(), 1.0);
+    double soc0 = b.soc();
+    b.discharge(48.0, 3600.0); // ~2 A for 1 h on 4 Ah
+    double drained = (soc0 - b.soc()) * b.params().capacityAh;
+    double i = 48.0 / b.terminalVoltage(0.0);
+    EXPECT_NEAR(drained, i, 0.35);
+}
+
+TEST(PeukertBattery, ChargeDischargeRoundTrip)
+{
+    PeukertBattery b(BatteryParams::prototypeLeadAcid());
+    b.setSoc(0.5);
+    double in = 0.0, out = 0.0;
+    for (int i = 0; i < 1800; ++i)
+        in += energyWh(b.charge(20.0, 1.0), 1.0);
+    while (b.soc() > 0.5 + 1e-3) {
+        double got = b.discharge(20.0, 1.0);
+        if (got <= 0.0)
+            break;
+        out += energyWh(got, 1.0);
+    }
+    EXPECT_GT(out / in, 0.6);
+    EXPECT_LT(out / in, 0.9);
+}
+
+TEST(PeukertBattery, DodFloorRespected)
+{
+    BatteryParams p = BatteryParams::prototypeLeadAcid();
+    p.dodLimit = 0.6;
+    PeukertBattery b(p);
+    for (int i = 0; i < 36000 && !b.depleted(1.0); ++i)
+        b.discharge(60.0, 1.0);
+    EXPECT_GT(b.soc(), 0.35);
+}
+
+TEST(PeukertBattery, NameMarksAblation)
+{
+    PeukertBattery b(BatteryParams::prototypeLeadAcid());
+    EXPECT_NE(b.name().find("peukert"), std::string::npos);
+}
+
+TEST(PeukertBattery, InvalidExponentRejected)
+{
+    EXPECT_EXIT(
+        PeukertBattery(BatteryParams::prototypeLeadAcid(), 0.9),
+        testing::ExitedWithCode(1), "exponent");
+}
+
+TEST(PeukertBattery, SetSocAndReset)
+{
+    PeukertBattery b(BatteryParams::prototypeLeadAcid());
+    b.setSoc(0.4);
+    EXPECT_NEAR(b.soc(), 0.4, 1e-12);
+    b.discharge(30.0, 60.0);
+    b.reset();
+    EXPECT_NEAR(b.soc(), 1.0, 1e-12);
+}
+
+} // namespace
+} // namespace heb

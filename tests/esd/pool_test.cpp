@@ -1,0 +1,168 @@
+/** @file EsdPool aggregation semantics. */
+
+#include <gtest/gtest.h>
+
+#include "esd/battery.h"
+#include "esd/esd_pool.h"
+#include "esd/supercapacitor.h"
+
+namespace heb {
+namespace {
+
+std::unique_ptr<EsdPool>
+twoBatteryPool()
+{
+    auto pool = std::make_unique<EsdPool>("test-pool");
+    pool->add(std::make_unique<Battery>(
+        BatteryParams::prototypeLeadAcid()));
+    pool->add(std::make_unique<Battery>(
+        BatteryParams::prototypeLeadAcid()));
+    return pool;
+}
+
+TEST(EsdPool, AggregatesCapacity)
+{
+    auto pool = twoBatteryPool();
+    Battery single(BatteryParams::prototypeLeadAcid());
+    EXPECT_NEAR(pool->capacityWh(), 2.0 * single.capacityWh(), 1e-9);
+    EXPECT_NEAR(pool->usableEnergyWh(), 2.0 * single.usableEnergyWh(),
+                1e-9);
+}
+
+TEST(EsdPool, AggregatesMaxPower)
+{
+    auto pool = twoBatteryPool();
+    Battery single(BatteryParams::prototypeLeadAcid());
+    EXPECT_NEAR(pool->maxDischargePowerW(1.0),
+                2.0 * single.maxDischargePowerW(1.0), 1e-6);
+}
+
+TEST(EsdPool, SplitsLoadAcrossMembers)
+{
+    auto pool = twoBatteryPool();
+    double got = pool->discharge(60.0, 60.0);
+    EXPECT_NEAR(got, 60.0, 1e-6);
+    // Both members carried roughly half.
+    EXPECT_NEAR(pool->device(0).counters().dischargeEnergyWh,
+                pool->device(1).counters().dischargeEnergyWh, 1e-6);
+}
+
+TEST(EsdPool, UnequalMembersShareByCapability)
+{
+    auto pool = std::make_unique<EsdPool>("mixed");
+    pool->add(std::make_unique<Battery>(BatteryParams::leadAcid24V(2.0)));
+    pool->add(std::make_unique<Battery>(BatteryParams::leadAcid24V(6.0)));
+    pool->discharge(60.0, 60.0);
+    // The larger battery must have delivered more.
+    EXPECT_GT(pool->device(1).counters().dischargeEnergyWh,
+              pool->device(0).counters().dischargeEnergyWh);
+}
+
+TEST(EsdPool, ChargeSplit)
+{
+    auto pool = twoBatteryPool();
+    pool->setSoc(0.5);
+    double absorbed = pool->charge(40.0, 60.0);
+    EXPECT_GT(absorbed, 0.0);
+    EXPECT_GT(pool->device(0).counters().chargeEnergyWh, 0.0);
+    EXPECT_GT(pool->device(1).counters().chargeEnergyWh, 0.0);
+}
+
+TEST(EsdPool, SocIsCapacityWeighted)
+{
+    auto pool = std::make_unique<EsdPool>("mixed");
+    pool->add(std::make_unique<Battery>(BatteryParams::leadAcid24V(2.0)));
+    pool->add(std::make_unique<Battery>(BatteryParams::leadAcid24V(6.0)));
+    pool->device(0).setSoc(0.0);
+    pool->device(1).setSoc(1.0);
+    EXPECT_NEAR(pool->soc(), 0.75, 1e-9);
+}
+
+TEST(EsdPool, DepletedOnlyWhenAllMembersAre)
+{
+    auto pool = twoBatteryPool();
+    pool->device(0).setSoc(0.2); // at the DoD floor
+    EXPECT_FALSE(pool->depleted(1.0));
+    pool->device(1).setSoc(0.2);
+    EXPECT_TRUE(pool->depleted(1.0));
+}
+
+TEST(EsdPool, CountersSumMembers)
+{
+    auto pool = twoBatteryPool();
+    pool->discharge(60.0, 120.0);
+    const EsdCounters &c = pool->counters();
+    double member_sum = pool->device(0).counters().dischargeEnergyWh +
+                        pool->device(1).counters().dischargeEnergyWh;
+    EXPECT_NEAR(c.dischargeEnergyWh, member_sum, 1e-9);
+}
+
+TEST(EsdPool, LifetimeIsWorstMember)
+{
+    auto pool = twoBatteryPool();
+    // Stress only one member directly.
+    pool->device(0).discharge(80.0, 1200.0);
+    EXPECT_NEAR(pool->lifetimeFractionUsed(),
+                pool->device(0).lifetimeFractionUsed(), 1e-12);
+}
+
+TEST(EsdPool, RestPropagates)
+{
+    auto pool = twoBatteryPool();
+    pool->discharge(90.0, 600.0);
+    double y1 = dynamic_cast<const Battery &>(pool->device(0))
+                    .availableChargeAh();
+    pool->rest(1800.0);
+    double y1_rested = dynamic_cast<const Battery &>(pool->device(0))
+                           .availableChargeAh();
+    EXPECT_GT(y1_rested, y1);
+}
+
+TEST(EsdPool, ResetAndSetSocPropagate)
+{
+    auto pool = twoBatteryPool();
+    pool->discharge(60.0, 600.0);
+    pool->setSoc(0.3);
+    EXPECT_NEAR(pool->soc(), 0.3, 1e-9);
+    pool->reset();
+    EXPECT_NEAR(pool->soc(), 1.0, 1e-9);
+    EXPECT_DOUBLE_EQ(pool->counters().dischargeEnergyWh, 0.0);
+}
+
+TEST(EsdPool, MixedChemistryPool)
+{
+    auto pool = std::make_unique<EsdPool>("hybrid");
+    pool->add(std::make_unique<Supercapacitor>(
+        ScParams::maxwellSeriesBank()));
+    pool->add(std::make_unique<Battery>(
+        BatteryParams::prototypeLeadAcid()));
+    double got = pool->discharge(150.0, 10.0);
+    EXPECT_GT(got, 100.0);
+    // The SC (much higher max power) carries most of it.
+    EXPECT_GT(pool->device(0).counters().dischargeEnergyWh,
+              pool->device(1).counters().dischargeEnergyWh);
+}
+
+TEST(EsdPool, EmptyPoolIsInert)
+{
+    EsdPool pool("empty");
+    EXPECT_DOUBLE_EQ(pool.discharge(100.0, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(pool.charge(100.0, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(pool.capacityWh(), 0.0);
+    EXPECT_TRUE(pool.depleted(1.0));
+}
+
+TEST(EsdPoolDeath, NullDeviceRejected)
+{
+    EsdPool pool("p");
+    EXPECT_EXIT(pool.add(nullptr), testing::ExitedWithCode(1), "null");
+}
+
+TEST(EsdPoolDeath, IndexOutOfRange)
+{
+    EsdPool pool("p");
+    EXPECT_DEATH((void)pool.device(0), "out of range");
+}
+
+} // namespace
+} // namespace heb

@@ -1,0 +1,201 @@
+/** @file Super-capacitor model: linear voltage, high efficiency. */
+
+#include <gtest/gtest.h>
+
+#include "esd/supercapacitor.h"
+#include "util/units.h"
+
+namespace heb {
+namespace {
+
+Supercapacitor
+freshSc()
+{
+    return Supercapacitor(ScParams::maxwellSeriesBank());
+}
+
+TEST(Supercap, StartsFullAtVmax)
+{
+    Supercapacitor sc = freshSc();
+    EXPECT_DOUBLE_EQ(sc.voltage(), sc.params().vMax);
+    EXPECT_NEAR(sc.soc(), 1.0, 1e-12);
+    EXPECT_NEAR(sc.usableEnergyWh(), sc.capacityWh(), 1e-9);
+}
+
+TEST(Supercap, VoltageDeclinesLinearlyWithCharge)
+{
+    // dV/dt is constant under constant current (not constant power),
+    // but under constant power the V(q) relation stays the ideal
+    // linear capacitor law: V = q / C. Verify V^2 tracks energy.
+    Supercapacitor sc = freshSc();
+    double e0 = sc.usableEnergyWh();
+    sc.discharge(100.0, 60.0);
+    double v = sc.voltage();
+    double expected_e =
+        0.5 * sc.params().capacitanceF *
+        (v * v - sc.params().vMin * sc.params().vMin) / 3600.0;
+    EXPECT_NEAR(sc.usableEnergyWh(), expected_e, 1e-9);
+    EXPECT_LT(sc.usableEnergyWh(), e0);
+}
+
+TEST(Supercap, HighRoundTripEfficiency)
+{
+    Supercapacitor sc = freshSc();
+    sc.setSoc(0.5);
+    double in_wh = 0.0;
+    for (int i = 0; i < 600; ++i)
+        in_wh += energyWh(sc.charge(100.0, 1.0), 1.0);
+    double out_wh = 0.0;
+    while (sc.soc() > 0.5 + 1e-4) {
+        double got = sc.discharge(100.0, 1.0);
+        if (got <= 0.0)
+            break;
+        out_wh += energyWh(got, 1.0);
+    }
+    double eff = out_wh / in_wh;
+    EXPECT_GT(eff, 0.90); // paper: 90-95 %
+    EXPECT_LE(eff, 1.0);
+}
+
+TEST(Supercap, NoChargeCurrentCeilingBeyondRating)
+{
+    // A battery of comparable energy absorbs tens of watts; the SC
+    // must absorb hundreds.
+    Supercapacitor sc = freshSc();
+    sc.setSoc(0.2);
+    double absorbed = sc.charge(500.0, 1.0);
+    EXPECT_GT(absorbed, 400.0);
+}
+
+TEST(Supercap, StopsAtVmin)
+{
+    Supercapacitor sc = freshSc();
+    for (int i = 0; i < 3600 * 4 && !sc.depleted(1.0); ++i)
+        sc.discharge(200.0, 1.0);
+    EXPECT_GE(sc.voltage(), sc.params().vMin - 1e-6);
+    EXPECT_NEAR(sc.usableEnergyWh(), 0.0, 0.5);
+}
+
+TEST(Supercap, StopsAtVmax)
+{
+    Supercapacitor sc = freshSc();
+    double absorbed = sc.charge(100.0, 600.0);
+    EXPECT_NEAR(absorbed, 0.0, 1e-9);
+    EXPECT_LE(sc.voltage(), sc.params().vMax + 1e-9);
+}
+
+TEST(Supercap, DepletedReportsCorrectly)
+{
+    Supercapacitor sc = freshSc();
+    EXPECT_FALSE(sc.depleted(1.0));
+    sc.setSoc(0.0);
+    EXPECT_TRUE(sc.depleted(1.0));
+}
+
+TEST(Supercap, TerminalVoltageDropsWithLoad)
+{
+    Supercapacitor sc = freshSc();
+    EXPECT_LT(sc.terminalVoltage(500.0), sc.terminalVoltage(0.0));
+}
+
+TEST(Supercap, SelfDischarge)
+{
+    Supercapacitor sc = freshSc();
+    double v0 = sc.voltage();
+    sc.rest(kSecondsPerDay);
+    EXPECT_LT(sc.voltage(), v0);
+    EXPECT_GT(sc.voltage(), 0.9 * v0);
+}
+
+TEST(Supercap, NegligibleLifetimeWear)
+{
+    Supercapacitor sc = freshSc();
+    for (int cycle = 0; cycle < 20; ++cycle) {
+        while (!sc.depleted(1.0))
+            sc.discharge(300.0, 10.0);
+        while (sc.soc() < 0.99)
+            sc.charge(300.0, 10.0);
+    }
+    // 20 deep cycles of a 500k-cycle device.
+    EXPECT_LT(sc.lifetimeFractionUsed(), 1e-3);
+    EXPECT_GT(sc.lifetimeFractionUsed(), 0.0);
+}
+
+TEST(Supercap, ScaledBankPreservesEnergyTarget)
+{
+    ScParams p = ScParams::scaledToEnergyWh(50.0);
+    EXPECT_NEAR(p.capacityWh(), 50.0, 1e-9);
+    Supercapacitor sc(p);
+    EXPECT_NEAR(sc.usableEnergyWh(), 50.0, 1e-9);
+}
+
+TEST(Supercap, CountersConsistent)
+{
+    Supercapacitor sc = freshSc();
+    sc.discharge(100.0, 30.0);
+    const EsdCounters &c = sc.counters();
+    EXPECT_GT(c.dischargeEnergyWh, 0.0);
+    EXPECT_GT(c.dischargeAh, 0.0);
+    EXPECT_GT(c.lossEnergyWh, 0.0);
+    // ESR losses are small relative to delivered energy.
+    EXPECT_LT(c.lossEnergyWh, 0.05 * c.dischargeEnergyWh);
+}
+
+TEST(Supercap, ResetRestores)
+{
+    Supercapacitor sc = freshSc();
+    sc.discharge(200.0, 120.0);
+    sc.reset();
+    EXPECT_DOUBLE_EQ(sc.voltage(), sc.params().vMax);
+    EXPECT_DOUBLE_EQ(sc.counters().dischargeEnergyWh, 0.0);
+}
+
+TEST(Supercap, InvalidParamsRejected)
+{
+    ScParams p;
+    p.vMin = p.vMax;
+    EXPECT_EXIT(Supercapacitor{p}, testing::ExitedWithCode(1),
+                "voltage window");
+    ScParams q;
+    q.capacitanceF = 0.0;
+    EXPECT_EXIT(Supercapacitor{q}, testing::ExitedWithCode(1),
+                "capacitance");
+}
+
+// --- Property sweep: conservation and monotonicity under power ----
+
+class ScPowerSweep : public testing::TestWithParam<double>
+{
+};
+
+TEST_P(ScPowerSweep, EnergyConservation)
+{
+    Supercapacitor sc = freshSc();
+    double watts = GetParam();
+    double e0 = sc.usableEnergyWh();
+    double out_wh = 0.0;
+    for (int i = 0; i < 300; ++i)
+        out_wh += energyWh(sc.discharge(watts, 1.0), 1.0);
+    double e1 = sc.usableEnergyWh();
+    const EsdCounters &c = sc.counters();
+    EXPECT_NEAR(e0 - e1, out_wh + c.lossEnergyWh, 0.05);
+}
+
+TEST_P(ScPowerSweep, VoltageMonotoneUnderDischarge)
+{
+    Supercapacitor sc = freshSc();
+    double watts = GetParam();
+    double prev = sc.voltage();
+    for (int i = 0; i < 300; ++i) {
+        sc.discharge(watts, 1.0);
+        EXPECT_LE(sc.voltage(), prev + 1e-12);
+        prev = sc.voltage();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Powers, ScPowerSweep,
+                         testing::Values(20.0, 50.0, 100.0, 200.0,
+                                         400.0));
+
+} // namespace
+} // namespace heb

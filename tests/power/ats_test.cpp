@@ -1,0 +1,72 @@
+/** @file Automatic transfer switch. */
+
+#include <gtest/gtest.h>
+
+#include "power/ats.h"
+#include "power/solar_array.h"
+#include "power/utility_grid.h"
+#include "util/units.h"
+
+namespace heb {
+namespace {
+
+class AtsTest : public testing::Test
+{
+  protected:
+    AtsTest()
+        : grid_(260.0),
+          solar_(SolarParams{}, kSecondsPerDay, 60.0, 1),
+          ats_(&grid_, &solar_, 0.05)
+    {
+    }
+
+    UtilityGrid grid_;
+    SolarArray solar_;
+    Ats ats_;
+};
+
+TEST_F(AtsTest, StartsOnPrimary)
+{
+    EXPECT_EQ(ats_.connectedAt(0.0), Ats::Input::Primary);
+    EXPECT_DOUBLE_EQ(ats_.availablePowerW(0.0), 260.0);
+}
+
+TEST_F(AtsTest, TransferGapThenAlternate)
+{
+    ats_.transferTo(Ats::Input::Alternate, 43200.0);
+    // Break-before-make: nothing connected during the gap.
+    EXPECT_EQ(ats_.connectedAt(43200.01), Ats::Input::None);
+    EXPECT_DOUBLE_EQ(ats_.availablePowerW(43200.01), 0.0);
+    EXPECT_EQ(ats_.connectedAt(43200.06), Ats::Input::Alternate);
+    EXPECT_GT(ats_.availablePowerW(43200.06), 0.0); // midday solar
+}
+
+TEST_F(AtsTest, RedundantTransferIgnored)
+{
+    ats_.transferTo(Ats::Input::Primary, 1.0);
+    EXPECT_EQ(ats_.transferCount(), 0u);
+}
+
+TEST_F(AtsTest, TransferCountTracks)
+{
+    ats_.transferTo(Ats::Input::Alternate, 1.0);
+    ats_.transferTo(Ats::Input::Primary, 2.0);
+    EXPECT_EQ(ats_.transferCount(), 2u);
+}
+
+TEST(Ats, MissingAlternateFatal)
+{
+    UtilityGrid grid(100.0);
+    Ats ats(&grid, nullptr);
+    EXPECT_EXIT(ats.transferTo(Ats::Input::Alternate, 0.0),
+                testing::ExitedWithCode(1), "alternate");
+}
+
+TEST(Ats, NullPrimaryFatal)
+{
+    EXPECT_EXIT(Ats(nullptr, nullptr), testing::ExitedWithCode(1),
+                "primary");
+}
+
+} // namespace
+} // namespace heb

@@ -1,0 +1,61 @@
+/** @file IPDU metering and outlet control. */
+
+#include <gtest/gtest.h>
+
+#include "power/ipdu.h"
+
+namespace heb {
+namespace {
+
+TEST(Ipdu, RecordsPerOutlet)
+{
+    Ipdu pdu(3);
+    pdu.recordSample(0, 30.0);
+    pdu.recordSample(0, 40.0);
+    pdu.recordSample(1, 70.0);
+    EXPECT_EQ(pdu.outletLog(0).size(), 2u);
+    EXPECT_DOUBLE_EQ(pdu.lastSample(0), 40.0);
+    EXPECT_DOUBLE_EQ(pdu.lastSample(1), 70.0);
+    EXPECT_DOUBLE_EQ(pdu.lastSample(2), 0.0);
+}
+
+TEST(Ipdu, TotalPower)
+{
+    Ipdu pdu(2);
+    pdu.recordSample(0, 30.0);
+    pdu.recordSample(1, 45.0);
+    EXPECT_DOUBLE_EQ(pdu.totalPowerW(), 75.0);
+}
+
+TEST(Ipdu, OutletSwitching)
+{
+    Ipdu pdu(2);
+    EXPECT_TRUE(pdu.outletOn(0));
+    pdu.setOutletOn(0, false);
+    EXPECT_FALSE(pdu.outletOn(0));
+    EXPECT_EQ(pdu.outletSwitchCount(0), 1u);
+    // Turning on again doesn't count as an off-switch.
+    pdu.setOutletOn(0, true);
+    EXPECT_EQ(pdu.outletSwitchCount(0), 1u);
+}
+
+TEST(Ipdu, SampleStepPropagates)
+{
+    Ipdu pdu(1, 2.0);
+    pdu.recordSample(0, 10.0);
+    EXPECT_DOUBLE_EQ(pdu.outletLog(0).stepSeconds(), 2.0);
+}
+
+TEST(IpduDeath, OutletRangeChecked)
+{
+    Ipdu pdu(1);
+    EXPECT_DEATH(pdu.recordSample(5, 1.0), "out of range");
+}
+
+TEST(Ipdu, ZeroOutletsRejected)
+{
+    EXPECT_EXIT(Ipdu(0), testing::ExitedWithCode(1), "outlet");
+}
+
+} // namespace
+} // namespace heb

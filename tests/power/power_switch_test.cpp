@@ -1,0 +1,65 @@
+/** @file Two-way relay semantics. */
+
+#include <gtest/gtest.h>
+
+#include "power/power_switch.h"
+
+namespace heb {
+namespace {
+
+TEST(PowerSwitch, StartsOnUtility)
+{
+    PowerSwitch sw("sw0");
+    EXPECT_EQ(sw.feedAt(0.0), SwitchFeed::Utility);
+    EXPECT_EQ(sw.actuations(), 0u);
+}
+
+TEST(PowerSwitch, CommandTakesEffectAfterLatency)
+{
+    PowerSwitchParams p;
+    p.switchingLatencyS = 0.05;
+    PowerSwitch sw("sw0", p);
+    sw.command(SwitchFeed::Supercap, 10.0);
+    EXPECT_EQ(sw.feedAt(10.01), SwitchFeed::Off); // still settling
+    EXPECT_EQ(sw.feedAt(10.06), SwitchFeed::Supercap);
+}
+
+TEST(PowerSwitch, RedundantCommandIsNoOp)
+{
+    PowerSwitch sw("sw0");
+    sw.command(SwitchFeed::Battery, 0.0);
+    sw.command(SwitchFeed::Battery, 1.0);
+    EXPECT_EQ(sw.actuations(), 1u);
+}
+
+TEST(PowerSwitch, ActuationsCounted)
+{
+    PowerSwitch sw("sw0");
+    sw.command(SwitchFeed::Battery, 0.0);
+    sw.command(SwitchFeed::Supercap, 1.0);
+    sw.command(SwitchFeed::Utility, 2.0);
+    EXPECT_EQ(sw.actuations(), 3u);
+}
+
+TEST(PowerSwitch, WearFraction)
+{
+    PowerSwitchParams p;
+    p.ratedActuations = 100;
+    PowerSwitch sw("sw0", p);
+    for (int i = 0; i < 10; ++i) {
+        sw.command(SwitchFeed::Battery, i * 2.0);
+        sw.command(SwitchFeed::Supercap, i * 2.0 + 1.0);
+    }
+    EXPECT_NEAR(sw.wearFraction(), 0.2, 1e-12);
+}
+
+TEST(PowerSwitch, FeedNames)
+{
+    EXPECT_STREQ(switchFeedName(SwitchFeed::Battery), "battery");
+    EXPECT_STREQ(switchFeedName(SwitchFeed::Supercap), "supercap");
+    EXPECT_STREQ(switchFeedName(SwitchFeed::Utility), "utility");
+    EXPECT_STREQ(switchFeedName(SwitchFeed::Off), "off");
+}
+
+} // namespace
+} // namespace heb

@@ -1,0 +1,85 @@
+/** @file Budgeted utility feed and peak metering. */
+
+#include <gtest/gtest.h>
+
+#include "power/utility_grid.h"
+
+namespace heb {
+namespace {
+
+TEST(UtilityGrid, ConstantBudget)
+{
+    UtilityGrid g(260.0);
+    EXPECT_DOUBLE_EQ(g.availablePowerW(0.0), 260.0);
+    EXPECT_DOUBLE_EQ(g.availablePowerW(1e6), 260.0);
+}
+
+TEST(UtilityGrid, BudgetMutable)
+{
+    UtilityGrid g(260.0);
+    g.setBudgetW(300.0);
+    EXPECT_DOUBLE_EQ(g.budgetW(), 300.0);
+    EXPECT_EXIT(g.setBudgetW(-1.0), testing::ExitedWithCode(1),
+                "non-negative");
+}
+
+TEST(UtilityGrid, EnergyAccumulates)
+{
+    UtilityGrid g(260.0);
+    g.recordDraw(0.0, 100.0, 3600.0);
+    g.recordDraw(3600.0, 50.0, 1800.0);
+    EXPECT_NEAR(g.energyDrawnWh(), 125.0, 1e-9);
+}
+
+TEST(UtilityGrid, PeakTrackedWithinPeriod)
+{
+    UtilityGrid g(260.0, 3600.0);
+    g.recordDraw(0.0, 100.0, 1.0);
+    g.recordDraw(10.0, 240.0, 1.0);
+    g.recordDraw(20.0, 50.0, 1.0);
+    EXPECT_DOUBLE_EQ(g.currentPeriodPeakW(), 240.0);
+    EXPECT_TRUE(g.billedPeaksW().empty());
+}
+
+TEST(UtilityGrid, PeriodRollsOver)
+{
+    UtilityGrid g(260.0, 100.0);
+    g.recordDraw(0.0, 200.0, 1.0);
+    g.recordDraw(150.0, 120.0, 1.0); // second period
+    ASSERT_EQ(g.billedPeaksW().size(), 1u);
+    EXPECT_DOUBLE_EQ(g.billedPeaksW()[0], 200.0);
+    EXPECT_DOUBLE_EQ(g.currentPeriodPeakW(), 120.0);
+}
+
+TEST(UtilityGrid, LongGapEmitsEmptyPeriods)
+{
+    UtilityGrid g(260.0, 100.0);
+    g.recordDraw(0.0, 200.0, 1.0);
+    g.recordDraw(350.0, 90.0, 1.0); // skips two full periods
+    EXPECT_EQ(g.billedPeaksW().size(), 3u);
+    EXPECT_DOUBLE_EQ(g.billedPeaksW()[0], 200.0);
+    EXPECT_DOUBLE_EQ(g.billedPeaksW()[1], 0.0);
+}
+
+TEST(UtilityGrid, CloseBillingPeriodFlushes)
+{
+    UtilityGrid g(260.0);
+    g.recordDraw(0.0, 180.0, 1.0);
+    g.closeBillingPeriod();
+    ASSERT_EQ(g.billedPeaksW().size(), 1u);
+    EXPECT_DOUBLE_EQ(g.billedPeaksW()[0], 180.0);
+    // Idempotent when nothing new was drawn.
+    g.closeBillingPeriod();
+    EXPECT_EQ(g.billedPeaksW().size(), 1u);
+}
+
+TEST(UtilityGrid, InvalidConstruction)
+{
+    EXPECT_EXIT(UtilityGrid(-5.0), testing::ExitedWithCode(1),
+                "non-negative");
+    EXPECT_EXIT(UtilityGrid(100.0, 0.0), testing::ExitedWithCode(1),
+                "period");
+}
+
+} // namespace
+} // namespace heb

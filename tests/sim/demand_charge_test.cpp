@@ -1,0 +1,85 @@
+/** @file Demand-charge management (peak-shaving soft cap, §7.6). */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+#include "tco/peak_shaving.h"
+#include "workload/workload_profiles.h"
+
+namespace heb {
+namespace {
+
+SimConfig
+cappedConfig(double target_w)
+{
+    SimConfig cfg;
+    cfg.durationSeconds = 24.0 * 3600.0;
+    cfg.budgetW = 400.0; // generous physical feed
+    cfg.peakShavingTargetW = target_w;
+    return cfg;
+}
+
+TEST(DemandCharge, SoftCapLowersBilledPeak)
+{
+    SimResult uncapped = runOne(cappedConfig(0.0), "WC",
+                                SchemeKind::HebD);
+    SimResult capped = runOne(cappedConfig(265.0), "WC",
+                              SchemeKind::HebD);
+    EXPECT_LT(capped.peakUtilityDrawW,
+              uncapped.peakUtilityDrawW - 5.0);
+    // And without sacrificing availability.
+    EXPECT_LE(capped.downtimeSeconds, uncapped.downtimeSeconds);
+}
+
+TEST(DemandCharge, BuffersCarryTheShavedEnergy)
+{
+    SimResult capped = runOne(cappedConfig(265.0), "WC",
+                              SchemeKind::HebD);
+    EXPECT_GT(capped.ledger.bufferToLoadWh(), 10.0);
+}
+
+TEST(DemandCharge, EconomicCapNeverShedsServers)
+{
+    // A hopeless target (below idle floor) must be ignored in favor
+    // of the physical budget, not answered with shutdowns.
+    SimResult r = runOne(cappedConfig(100.0), "WC",
+                         SchemeKind::HebD);
+    EXPECT_DOUBLE_EQ(r.downtimeSeconds, 0.0);
+    // Draw exceeds the hopeless target (backfilled) but stays under
+    // the physical budget.
+    EXPECT_GT(r.peakUtilityDrawW, 100.0);
+    EXPECT_LE(r.peakUtilityDrawW, 400.0 + 1e-6);
+}
+
+TEST(DemandCharge, RechargeRespectsSoftCap)
+{
+    // Charging must not itself set a new billed peak: total draw
+    // stays at or below the target whenever the buffers suffice.
+    SimResult r = runOne(cappedConfig(260.0), "WC",
+                         SchemeKind::HebD);
+    double over_target = r.supplyW.fractionWhere(
+        [](double) { return false; }); // placeholder, see below
+    (void)over_target;
+    // Count ticks where draw exceeded the target by checking the
+    // recorded peak: with WC's modest peaks the 260 W target is
+    // coverable, so the billed peak sits at the target.
+    EXPECT_LE(r.peakUtilityDrawW, 262.0);
+}
+
+TEST(DemandCharge, SavingsFeedTheTcoModel)
+{
+    SimResult uncapped = runOne(cappedConfig(0.0), "WC",
+                                SchemeKind::HebD);
+    SimResult capped = runOne(cappedConfig(265.0), "WC",
+                              SchemeKind::HebD);
+    double shaved_kw =
+        (uncapped.peakUtilityDrawW - capped.peakUtilityDrawW) /
+        1000.0;
+    ASSERT_GT(shaved_kw, 0.0);
+    // Annualized revenue at the paper's 12 $/kW-month tariff.
+    double annual = shaved_kw * 12.0 * 12.0;
+    EXPECT_GT(annual, 0.0);
+}
+
+} // namespace
+} // namespace heb

@@ -1,0 +1,85 @@
+/** @file Experiment orchestration (Fig. 12/13/14 sweeps). */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+#include "workload/workload_profiles.h"
+
+namespace heb {
+namespace {
+
+SimConfig
+tinyConfig()
+{
+    SimConfig cfg;
+    cfg.durationSeconds = 2.0 * 3600.0;
+    return cfg;
+}
+
+TEST(Experiment, SeededPatNonEmpty)
+{
+    HebSchemeConfig scheme_cfg;
+    PowerAllocationTable pat =
+        buildSeededPat(tinyConfig(), scheme_cfg);
+    EXPECT_GT(pat.size(), 10u);
+    for (const auto &e : pat.entries()) {
+        EXPECT_GE(e.rLambda, 0.0);
+        EXPECT_LE(e.rLambda, 1.0);
+    }
+}
+
+TEST(Experiment, RunOneProducesResult)
+{
+    SimResult r = runOne(tinyConfig(), "WC", SchemeKind::ScFirst);
+    EXPECT_EQ(r.workloadName, "WC");
+    EXPECT_EQ(r.schemeName, "SCFirst");
+}
+
+TEST(Experiment, CompareSchemesShapes)
+{
+    auto rows = compareSchemes(
+        tinyConfig(), {"WC", "TS"},
+        {SchemeKind::BaOnly, SchemeKind::HebD});
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0].scheme, "BaOnly");
+    EXPECT_EQ(rows[1].scheme, "HEB-D");
+    EXPECT_EQ(rows[0].perWorkload.size(), 2u);
+    // Small/large efficiency splits populated (WC small, TS large).
+    EXPECT_GT(rows[0].energyEfficiencySmall, 0.0);
+    EXPECT_GT(rows[0].energyEfficiencyLarge, 0.0);
+}
+
+TEST(Experiment, HybridBeatsHomogeneousOnEfficiency)
+{
+    auto rows = compareSchemes(
+        tinyConfig(), {"WC", "PR"},
+        {SchemeKind::BaOnly, SchemeKind::HebD});
+    EXPECT_GT(rows[1].energyEfficiency, rows[0].energyEfficiency);
+}
+
+TEST(Experiment, RatioSweepKeepsTotalCapacity)
+{
+    SimConfig base = tinyConfig();
+    auto points = ratioSweep(base, {{3.0, 7.0}, {5.0, 5.0}});
+    ASSERT_EQ(points.size(), 2u);
+    EXPECT_DOUBLE_EQ(points[0].scParts, 3.0);
+    EXPECT_EQ(points[0].summary.scheme, "HEB-D");
+}
+
+TEST(Experiment, CapacitySweepRuns)
+{
+    SimConfig base = tinyConfig();
+    auto points = capacitySweep(base, {0.5, 0.8});
+    ASSERT_EQ(points.size(), 2u);
+    EXPECT_DOUBLE_EQ(points[0].dod, 0.5);
+    EXPECT_DOUBLE_EQ(points[1].dod, 0.8);
+}
+
+TEST(Experiment, EmptyInputsFatal)
+{
+    EXPECT_EXIT(compareSchemes(tinyConfig(), {}, {SchemeKind::HebD}),
+                testing::ExitedWithCode(1), "need");
+}
+
+} // namespace
+} // namespace heb

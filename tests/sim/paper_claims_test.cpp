@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Regression gate on the paper's qualitative claims.
+ *
+ * These integration tests pin the *shape* of the reproduction: if a
+ * model change flips one of the orderings the paper reports, CI
+ * fails here rather than silently shipping a broken Fig. 12. Runs
+ * use one day and a reduced workload set to stay fast.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+#include "workload/workload_profiles.h"
+
+namespace heb {
+namespace {
+
+/** One-day comparison over a representative workload pair. */
+class PaperClaims : public testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        SimConfig cfg;
+        cfg.durationSeconds = 24.0 * 3600.0;
+        rows_ = new std::vector<SchemeSummary>(compareSchemes(
+            cfg, {"WC", "TS"}, allSchemeKinds()));
+
+        SimConfig solar = cfg;
+        solar.solarPowered = true;
+        solar.solarParams.ratedPowerW = 450.0;
+        solar.solarParams.pLeaveClear = 0.15;
+        solar.solarParams.pLeavePartly = 0.15;
+        solar.solarParams.pLeaveOvercast = 0.12;
+        solar.solarParams.overcastFactor = 0.08;
+        solar_rows_ = new std::vector<SchemeSummary>(compareSchemes(
+            solar, {"WS", "TS"}, allSchemeKinds()));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete rows_;
+        delete solar_rows_;
+        rows_ = nullptr;
+        solar_rows_ = nullptr;
+    }
+
+    static const SchemeSummary &
+    row(const char *name)
+    {
+        for (const auto &r : *rows_) {
+            if (r.scheme == name)
+                return r;
+        }
+        ADD_FAILURE() << "missing scheme " << name;
+        return rows_->front();
+    }
+
+    static const SchemeSummary &
+    solarRow(const char *name)
+    {
+        for (const auto &r : *solar_rows_) {
+            if (r.scheme == name)
+                return r;
+        }
+        ADD_FAILURE() << "missing scheme " << name;
+        return solar_rows_->front();
+    }
+
+    static std::vector<SchemeSummary> *rows_;
+    static std::vector<SchemeSummary> *solar_rows_;
+};
+
+std::vector<SchemeSummary> *PaperClaims::rows_ = nullptr;
+std::vector<SchemeSummary> *PaperClaims::solar_rows_ = nullptr;
+
+TEST_F(PaperClaims, HebBeatsBaOnlyOnEfficiency)
+{
+    EXPECT_GT(row("HEB-D").energyEfficiency,
+              row("BaOnly").energyEfficiency);
+}
+
+TEST_F(PaperClaims, HebBeatsBaOnlyOnDowntime)
+{
+    EXPECT_LT(row("HEB-D").downtimeSeconds,
+              row("BaOnly").downtimeSeconds);
+}
+
+TEST_F(PaperClaims, HebExtendsBatteryLifetime)
+{
+    EXPECT_GT(row("HEB-D").batteryLifetimeYears,
+              row("BaOnly").batteryLifetimeYears);
+}
+
+TEST_F(PaperClaims, BaFirstEfficiencyClosestToBaOnly)
+{
+    // Paper: "BaFirst is very close to a battery only design".
+    double base = row("BaOnly").energyEfficiency;
+    double ba_first_gap = row("BaFirst").energyEfficiency - base;
+    double heb_gap = row("HEB-D").energyEfficiency - base;
+    EXPECT_LT(ba_first_gap, heb_gap);
+}
+
+TEST_F(PaperClaims, BaFirstWorstBatteryLifetime)
+{
+    for (const char *other : {"SCFirst", "HEB-F", "HEB-S", "HEB-D"}) {
+        EXPECT_LT(row("BaFirst").batteryLifetimeYears,
+                  row(other).batteryLifetimeYears)
+            << other;
+    }
+}
+
+TEST_F(PaperClaims, ScFirstPaysOnLargePeaks)
+{
+    // SCFirst is not deployable: its downtime exceeds every HEB
+    // variant's (SCs die mid-peak, the battery alone cannot carry).
+    EXPECT_GT(row("SCFirst").downtimeSeconds,
+              row("HEB-D").downtimeSeconds);
+}
+
+TEST_F(PaperClaims, HebDNoWorseThanNaivePrediction)
+{
+    EXPECT_LE(row("HEB-D").downtimeSeconds,
+              row("HEB-F").downtimeSeconds * 1.05);
+}
+
+TEST_F(PaperClaims, SmallPeaksGainMoreThanLargeOnEfficiency)
+{
+    // Paper: +52.5 % small vs +27.1 % large.
+    double small_gain = row("HEB-D").energyEfficiencySmall -
+                        row("BaOnly").energyEfficiencySmall;
+    double large_gain = row("HEB-D").energyEfficiencyLarge -
+                        row("BaOnly").energyEfficiencyLarge;
+    EXPECT_GT(small_gain, large_gain);
+}
+
+TEST_F(PaperClaims, ScChargingLiftsReu)
+{
+    EXPECT_GT(solarRow("HEB-D").reu, solarRow("BaOnly").reu * 1.05);
+    EXPECT_GT(solarRow("SCFirst").reu, solarRow("BaOnly").reu * 1.05);
+}
+
+TEST_F(PaperClaims, ScFirstAndHebSimilarReu)
+{
+    // Paper: "they have very similar REU".
+    EXPECT_NEAR(solarRow("SCFirst").reu, solarRow("HEB-D").reu,
+                0.05);
+}
+
+TEST_F(PaperClaims, BaFirstReuBetweenBaOnlyAndScFirst)
+{
+    EXPECT_GT(solarRow("BaFirst").reu, solarRow("BaOnly").reu);
+    EXPECT_LT(solarRow("BaFirst").reu,
+              solarRow("SCFirst").reu + 0.02);
+}
+
+} // namespace
+} // namespace heb

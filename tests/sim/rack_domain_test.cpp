@@ -1,0 +1,102 @@
+/** @file RackDomain unit behaviour (the fleet building block). */
+
+#include <gtest/gtest.h>
+
+#include "core/schemes.h"
+#include "sim/rack_domain.h"
+#include "workload/workload_profiles.h"
+
+namespace heb {
+namespace {
+
+struct DomainRig
+{
+    DomainRig()
+        : workload(makeWorkload("WC")),
+          scheme(makeScheme(SchemeKind::HebD))
+    {
+        cfg.durationSeconds = 3600.0;
+    }
+
+    SimConfig cfg;
+    std::unique_ptr<SyntheticWorkload> workload;
+    std::unique_ptr<ManagementScheme> scheme;
+};
+
+TEST(RackDomain, DemandMatchesClusterEnvelope)
+{
+    DomainRig rig;
+    RackDomain domain(rig.cfg, *rig.workload, *rig.scheme, "r0");
+    double demand = domain.computeDemand(0.0);
+    // Six servers: between idle floor and nameplate.
+    EXPECT_GE(demand, 180.0);
+    EXPECT_LE(demand, 420.0);
+}
+
+TEST(RackDomain, TickBalancesEnergy)
+{
+    DomainRig rig;
+    RackDomain domain(rig.cfg, *rig.workload, *rig.scheme, "r0");
+    for (double t = 0.0; t < 1200.0; t += 1.0) {
+        double demand = domain.computeDemand(t);
+        RackDomain::TickOutcome out = domain.tick(t, 260.0);
+        EXPECT_DOUBLE_EQ(out.demandW, demand);
+        EXPECT_GE(out.sourceDrawW, 0.0);
+        EXPECT_LE(out.sourceDrawW, 260.0 + 1e-9);
+        EXPECT_GE(out.unservedW, 0.0);
+    }
+}
+
+TEST(RackDomain, ZeroSupplyRunsFromBuffers)
+{
+    DomainRig rig;
+    RackDomain domain(rig.cfg, *rig.workload, *rig.scheme, "r0");
+    domain.computeDemand(0.0);
+    RackDomain::TickOutcome out = domain.tick(0.0, 0.0);
+    EXPECT_DOUBLE_EQ(out.sourceDrawW, 0.0);
+    // Buffers carried (most of) the cluster.
+    EXPECT_LT(out.unservedW, out.demandW * 0.5);
+    EXPECT_LT(domain.scUsableWh() + domain.baUsableWh(),
+              28.8 + 53.8);
+}
+
+TEST(RackDomain, OfflineServersTracked)
+{
+    DomainRig rig;
+    RackDomain domain(rig.cfg, *rig.workload, *rig.scheme, "r0");
+    EXPECT_EQ(domain.offlineServers(), 0u);
+    // Starve it until servers shed.
+    for (double t = 0.0; t < 3000.0 && domain.offlineServers() == 0;
+         t += 1.0) {
+        domain.computeDemand(t);
+        domain.tick(t, 0.0);
+    }
+    EXPECT_GT(domain.offlineServers(), 0u);
+}
+
+TEST(RackDomain, FinalizeFillsResult)
+{
+    DomainRig rig;
+    RackDomain domain(rig.cfg, *rig.workload, *rig.scheme, "r0");
+    for (double t = 0.0; t < 1800.0; t += 1.0) {
+        domain.computeDemand(t);
+        domain.tick(t, 260.0);
+    }
+    SimResult r;
+    domain.finalize(r);
+    EXPECT_EQ(r.demandW.size(), 1800u);
+    EXPECT_GT(r.ledger.servedWh(), 0.0);
+    EXPECT_GE(r.energyEfficiency, 0.0);
+    EXPECT_LE(r.energyEfficiency, 1.0);
+    EXPECT_GT(r.completedSlots, 1u);
+}
+
+TEST(RackDomain, ServerPeakPowerExposed)
+{
+    DomainRig rig;
+    RackDomain domain(rig.cfg, *rig.workload, *rig.scheme, "r0");
+    EXPECT_DOUBLE_EQ(domain.serverPeakPowerW(), 70.0);
+}
+
+} // namespace
+} // namespace heb

@@ -1,0 +1,81 @@
+/** @file SimResult persistence and config-driven SimConfig. */
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+#include "sim/result_io.h"
+#include "util/csv.h"
+
+namespace heb {
+namespace {
+
+TEST(ResultIo, SeriesRoundTrip)
+{
+    SimConfig cfg;
+    cfg.durationSeconds = 2.0 * 3600.0;
+    SimResult r = runOne(cfg, "WC", SchemeKind::ScFirst);
+
+    std::string prefix = testing::TempDir() + "heb_result";
+    writeResultSeries(r, prefix);
+
+    CsvTable ticks = readCsv(prefix + "_ticks.csv");
+    EXPECT_EQ(ticks.rows.size(), r.demandW.size());
+    EXPECT_DOUBLE_EQ(ticks.rows[10][1], r.demandW[10]);
+
+    CsvTable slots = readCsv(prefix + "_slots.csv");
+    EXPECT_EQ(slots.rows.size(), r.scSoc.size());
+
+    std::remove((prefix + "_ticks.csv").c_str());
+    std::remove((prefix + "_slots.csv").c_str());
+}
+
+TEST(ResultIo, MetricsTable)
+{
+    SimConfig cfg;
+    cfg.durationSeconds = 2.0 * 3600.0;
+    std::vector<SimResult> results;
+    results.push_back(runOne(cfg, "WC", SchemeKind::BaOnly));
+    results.push_back(runOne(cfg, "WC", SchemeKind::HebD));
+
+    std::string path = testing::TempDir() + "heb_metrics.csv";
+    writeResultMetrics(results, path);
+    CsvTable t = readCsv(path);
+    EXPECT_EQ(t.rows.size(), 2u);
+    EXPECT_EQ(t.columns.front(), "scheme");
+    EXPECT_EQ(t.rawRows[0][0], "BaOnly");
+    EXPECT_EQ(t.rawRows[1][0], "HEB-D");
+    std::remove(path.c_str());
+}
+
+TEST(ResultIo, SimConfigFromConfigDefaults)
+{
+    Config empty = Config::fromString("");
+    SimConfig cfg = simConfigFromConfig(empty);
+    SimConfig defaults;
+    EXPECT_EQ(cfg.numServers, defaults.numServers);
+    EXPECT_DOUBLE_EQ(cfg.budgetW, defaults.budgetW);
+    EXPECT_DOUBLE_EQ(cfg.durationSeconds, defaults.durationSeconds);
+}
+
+TEST(ResultIo, SimConfigFromConfigOverrides)
+{
+    Config c = Config::fromString(
+        "servers = 12\nbudget_w = 520\nduration_hours = 6\n"
+        "solar = true\nsolar_rated_w = 800\nsc_wh = 60\n"
+        "battery_aging = true\ndvfs_capping = true\nseed = 7");
+    SimConfig cfg = simConfigFromConfig(c);
+    EXPECT_EQ(cfg.numServers, 12u);
+    EXPECT_DOUBLE_EQ(cfg.budgetW, 520.0);
+    EXPECT_DOUBLE_EQ(cfg.durationSeconds, 6.0 * 3600.0);
+    EXPECT_TRUE(cfg.solarPowered);
+    EXPECT_DOUBLE_EQ(cfg.solarParams.ratedPowerW, 800.0);
+    EXPECT_DOUBLE_EQ(cfg.scEnergyWh, 60.0);
+    EXPECT_TRUE(cfg.batteryAging);
+    EXPECT_TRUE(cfg.dvfsCapping);
+    EXPECT_EQ(cfg.seed, 7u);
+}
+
+} // namespace
+} // namespace heb

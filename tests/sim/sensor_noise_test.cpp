@@ -1,0 +1,64 @@
+/** @file Controller robustness to imperfect buffer telemetry. */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+#include "workload/workload_profiles.h"
+
+namespace heb {
+namespace {
+
+SimConfig
+noisyConfig(double sigma)
+{
+    SimConfig cfg;
+    cfg.durationSeconds = 24.0 * 3600.0;
+    cfg.sensorNoiseSigma = sigma;
+    return cfg;
+}
+
+TEST(SensorNoise, CleanSensorsByDefault)
+{
+    SimConfig a = noisyConfig(0.0);
+    SimResult r1 = runOne(a, "TS", SchemeKind::HebD);
+    SimResult r2 = runOne(a, "TS", SchemeKind::HebD);
+    EXPECT_DOUBLE_EQ(r1.downtimeSeconds, r2.downtimeSeconds);
+}
+
+TEST(SensorNoise, ModerateNoiseDegradesGracefully)
+{
+    HebSchemeConfig scheme_cfg;
+    SimConfig clean = noisyConfig(0.0);
+    PowerAllocationTable pat = buildSeededPat(clean, scheme_cfg);
+    SimResult base =
+        runOne(clean, "TS", SchemeKind::HebD, scheme_cfg, &pat);
+
+    SimConfig noisy = noisyConfig(0.05); // 5 % SoC estimation error
+    SimResult r =
+        runOne(noisy, "TS", SchemeKind::HebD, scheme_cfg, &pat);
+
+    // The feasibility clamps and spillover keep the system serving;
+    // 5 % telemetry error must not blow up downtime.
+    EXPECT_LE(r.downtimeSeconds, base.downtimeSeconds + 1200.0);
+    EXPECT_GT(r.energyEfficiency, base.energyEfficiency - 0.05);
+}
+
+TEST(SensorNoise, NoiseIsDeterministicPerSeed)
+{
+    SimConfig cfg = noisyConfig(0.1);
+    SimResult r1 = runOne(cfg, "WC", SchemeKind::HebD);
+    SimResult r2 = runOne(cfg, "WC", SchemeKind::HebD);
+    EXPECT_DOUBLE_EQ(r1.downtimeSeconds, r2.downtimeSeconds);
+    EXPECT_DOUBLE_EQ(r1.energyEfficiency, r2.energyEfficiency);
+}
+
+TEST(SensorNoise, HeavyNoiseStillServesMostLoad)
+{
+    SimConfig cfg = noisyConfig(0.25);
+    SimResult r = runOne(cfg, "WC", SchemeKind::HebD);
+    double demand_wh = r.demandW.integralWattHours();
+    EXPECT_GT(r.ledger.servedWh(), 0.9 * demand_wh);
+}
+
+} // namespace
+} // namespace heb

@@ -1,0 +1,180 @@
+/** @file Full-system integration tests. */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+#include "sim/simulator.h"
+#include "workload/workload_profiles.h"
+
+namespace heb {
+namespace {
+
+SimConfig
+shortConfig()
+{
+    SimConfig cfg;
+    cfg.durationSeconds = 4.0 * 3600.0; // keep unit runs fast
+    return cfg;
+}
+
+TEST(Simulator, RunsAndFillsSeries)
+{
+    SimConfig cfg = shortConfig();
+    auto workload = makeWorkload("WC");
+    auto scheme = makeScheme(SchemeKind::HebD);
+    Simulator sim(cfg);
+    SimResult r = sim.run(*workload, *scheme);
+
+    EXPECT_EQ(r.schemeName, "HEB-D");
+    EXPECT_EQ(r.workloadName, "WC");
+    EXPECT_EQ(r.demandW.size(),
+              static_cast<std::size_t>(cfg.durationSeconds));
+    EXPECT_EQ(r.supplyW.size(), r.demandW.size());
+    EXPECT_GT(r.completedSlots, 20u);
+    EXPECT_EQ(r.scSoc.size(), r.rLambdaPerSlot.size());
+}
+
+TEST(Simulator, EnergyLedgerConsistent)
+{
+    SimConfig cfg = shortConfig();
+    auto workload = makeWorkload("TS");
+    auto scheme = makeScheme(SchemeKind::HebD);
+    SimResult r = Simulator(cfg).run(*workload, *scheme);
+
+    const EnergyLedger &l = r.ledger;
+    // Demand integral equals served + unserved (what the servers
+    // wanted went somewhere).
+    double demand_wh = r.demandW.integralWattHours();
+    EXPECT_NEAR(l.servedWh() + l.unservedWh, demand_wh,
+                demand_wh * 0.01);
+    // All flows non-negative.
+    EXPECT_GE(l.sourceToLoadWh, 0.0);
+    EXPECT_GE(l.bufferToLoadWh(), 0.0);
+    EXPECT_GE(l.unservedWh, 0.0);
+    EXPECT_GE(l.chargeConversionLossWh, 0.0);
+}
+
+TEST(Simulator, BudgetNeverExceededByUtilityDraw)
+{
+    SimConfig cfg = shortConfig();
+    auto workload = makeWorkload("TS");
+    auto scheme = makeScheme(SchemeKind::ScFirst);
+    SimResult r = Simulator(cfg).run(*workload, *scheme);
+    EXPECT_LE(r.peakUtilityDrawW, cfg.budgetW + 1e-6);
+}
+
+TEST(Simulator, BaOnlyGetsEqualTotalCapacity)
+{
+    // The homogeneous baseline must see the same total buffer energy
+    // (paper §6 equal-capacity comparison).
+    SimConfig cfg = shortConfig();
+    auto workload = makeWorkload("WC");
+    auto ba_only = makeScheme(SchemeKind::BaOnly);
+    SimResult r = Simulator(cfg).run(*workload, *ba_only);
+    // All buffered energy flows through the battery.
+    EXPECT_DOUBLE_EQ(r.ledger.scToLoadWh, 0.0);
+    EXPECT_DOUBLE_EQ(r.ledger.sourceToScWh, 0.0);
+}
+
+TEST(Simulator, HybridUsesScOnSmallPeaks)
+{
+    SimConfig cfg = shortConfig();
+    auto workload = makeWorkload("WC");
+    auto heb = makeScheme(SchemeKind::HebD);
+    SimResult r = Simulator(cfg).run(*workload, *heb);
+    EXPECT_GT(r.ledger.scToLoadWh, r.ledger.batteryToLoadWh);
+}
+
+TEST(Simulator, EfficiencyMetricsInRange)
+{
+    SimConfig cfg = shortConfig();
+    for (SchemeKind kind :
+         {SchemeKind::BaOnly, SchemeKind::HebD}) {
+        auto workload = makeWorkload("DA");
+        auto scheme = makeScheme(kind);
+        SimResult r = Simulator(cfg).run(*workload, *scheme);
+        EXPECT_GE(r.energyEfficiency, 0.0);
+        EXPECT_LE(r.energyEfficiency, 1.0);
+        EXPECT_GE(r.effectiveEfficiency, 0.0);
+        EXPECT_LE(r.effectiveEfficiency, 1.0);
+    }
+}
+
+TEST(Simulator, SolarRunProducesReu)
+{
+    SimConfig cfg = shortConfig();
+    cfg.solarPowered = true;
+    cfg.durationSeconds = 24.0 * 3600.0;
+    auto workload = makeWorkload("WS");
+    auto scheme = makeScheme(SchemeKind::HebD);
+    SimResult r = Simulator(cfg).run(*workload, *scheme);
+    EXPECT_GT(r.reu, 0.0);
+    EXPECT_LE(r.reu, 1.0);
+}
+
+TEST(Simulator, UtilityRunHasZeroReu)
+{
+    SimConfig cfg = shortConfig();
+    auto workload = makeWorkload("WS");
+    auto scheme = makeScheme(SchemeKind::HebD);
+    SimResult r = Simulator(cfg).run(*workload, *scheme);
+    EXPECT_DOUBLE_EQ(r.reu, 0.0);
+}
+
+TEST(Simulator, LowBudgetForcesDowntime)
+{
+    SimConfig cfg = shortConfig();
+    cfg.budgetW = 190.0; // under the idle floor of 180 + margin
+    auto workload = makeWorkload("TS");
+    auto scheme = makeScheme(SchemeKind::BaOnly);
+    SimResult r = Simulator(cfg).run(*workload, *scheme);
+    EXPECT_GT(r.downtimeSeconds, 0.0);
+    EXPECT_GT(r.ledger.unservedWh, 0.0);
+}
+
+TEST(Simulator, DeterministicAcrossRuns)
+{
+    SimConfig cfg = shortConfig();
+    auto workload = makeWorkload("TS");
+    auto s1 = makeScheme(SchemeKind::HebD);
+    auto s2 = makeScheme(SchemeKind::HebD);
+    SimResult a = Simulator(cfg).run(*workload, *s1);
+    SimResult b = Simulator(cfg).run(*workload, *s2);
+    EXPECT_DOUBLE_EQ(a.energyEfficiency, b.energyEfficiency);
+    EXPECT_DOUBLE_EQ(a.downtimeSeconds, b.downtimeSeconds);
+    EXPECT_DOUBLE_EQ(a.batteryWeightedAh, b.batteryWeightedAh);
+}
+
+TEST(Simulator, BatteryLifetimeTracked)
+{
+    SimConfig cfg = shortConfig();
+    auto workload = makeWorkload("TS");
+    auto scheme = makeScheme(SchemeKind::BaFirst);
+    SimResult r = Simulator(cfg).run(*workload, *scheme);
+    EXPECT_GT(r.batteryWeightedAh, 0.0);
+    EXPECT_GT(r.batteryLifetimeYears, 0.0);
+    EXPECT_LE(r.batteryLifetimeYears, 8.0);
+}
+
+TEST(Simulator, InvalidConfigRejected)
+{
+    SimConfig cfg;
+    cfg.numServers = 0;
+    EXPECT_EXIT(Simulator{cfg}, testing::ExitedWithCode(1), "server");
+    SimConfig cfg2;
+    cfg2.durationSeconds = 10.0;
+    EXPECT_EXIT(Simulator{cfg2}, testing::ExitedWithCode(1),
+                "duration");
+}
+
+TEST(Simulator, CapacityRatioHelper)
+{
+    SimConfig cfg;
+    double total = cfg.totalBufferWh();
+    cfg.setCapacityRatio(5.0, 5.0);
+    EXPECT_NEAR(cfg.scEnergyWh, total / 2.0, 1e-9);
+    EXPECT_NEAR(cfg.totalBufferWh(), total, 1e-9);
+}
+
+} // namespace
+} // namespace heb

@@ -1,0 +1,84 @@
+/** @file Storage cost table and prototype breakdown (Fig. 4/15a). */
+
+#include <gtest/gtest.h>
+
+#include "tco/cost_model.h"
+
+namespace heb {
+namespace {
+
+TEST(CostModel, TechnologiesPresent)
+{
+    const auto &techs = storageTechnologies();
+    EXPECT_GE(techs.size(), 5u);
+    EXPECT_NO_FATAL_FAILURE(findTechnology("lead-acid"));
+    EXPECT_NO_FATAL_FAILURE(findTechnology("supercap"));
+}
+
+TEST(CostModel, ScInitialCostDwarfsLeadAcid)
+{
+    // Paper Fig. 4: SC 10-30 k$/kWh vs lead-acid 100-300 $/kWh.
+    const auto &sc = findTechnology("supercap");
+    const auto &la = findTechnology("lead-acid");
+    EXPECT_GT(sc.initialCostPerKwh, 30.0 * la.initialCostPerKwh);
+}
+
+TEST(CostModel, ScAmortizedCostCompetitive)
+{
+    // Paper Fig. 4: per-cycle, SC lands near NiCd/Li-ion (~0.4
+    // $/kWh/cycle) and above lead-acid.
+    const auto &sc = findTechnology("supercap");
+    const auto &la = findTechnology("lead-acid");
+    const auto &li = findTechnology("li-ion");
+    EXPECT_LT(sc.amortizedCostPerKwhCycle(),
+              li.amortizedCostPerKwhCycle());
+    EXPECT_GT(sc.amortizedCostPerKwhCycle() * 1.2,
+              la.amortizedCostPerKwhCycle() * 0.5);
+    EXPECT_LT(sc.amortizedCostPerKwhCycle(), 0.5);
+}
+
+TEST(CostModel, ScCycleLifeOrdersOfMagnitudeHigher)
+{
+    const auto &sc = findTechnology("supercap");
+    const auto &la = findTechnology("lead-acid");
+    EXPECT_GE(sc.cycleLife, 100.0 * la.cycleLife);
+}
+
+TEST(CostModel, UnknownTechnologyFatal)
+{
+    EXPECT_EXIT(findTechnology("unobtanium"),
+                testing::ExitedWithCode(1), "Unknown");
+}
+
+TEST(CostBreakdown, EsdsDominate)
+{
+    CostBreakdown b = prototypeCostBreakdown();
+    double esd_frac = b.fraction("energy-storage-devices");
+    // Paper Fig. 15a: ESDs ~55 % of the node cost.
+    EXPECT_GT(esd_frac, 0.45);
+    EXPECT_LT(esd_frac, 0.65);
+}
+
+TEST(CostBreakdown, NodeUnder16PercentOfServers)
+{
+    CostBreakdown b = prototypeCostBreakdown();
+    EXPECT_LT(b.total(), 0.16 * kSixServerCostDollars);
+}
+
+TEST(CostBreakdown, FractionsSumToOne)
+{
+    CostBreakdown b = prototypeCostBreakdown();
+    double acc = 0.0;
+    for (const auto &item : b.items)
+        acc += b.fraction(item.component);
+    EXPECT_NEAR(acc, 1.0, 1e-9);
+}
+
+TEST(CostBreakdown, MissingComponentIsZero)
+{
+    CostBreakdown b = prototypeCostBreakdown();
+    EXPECT_DOUBLE_EQ(b.fraction("flux-capacitor"), 0.0);
+}
+
+} // namespace
+} // namespace heb

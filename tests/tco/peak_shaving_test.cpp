@@ -1,0 +1,113 @@
+/** @file 8-year peak-shaving economics (Fig. 15c). */
+
+#include <gtest/gtest.h>
+
+#include "tco/peak_shaving.h"
+
+namespace heb {
+namespace {
+
+TEST(PeakShaving, PaperDefaultsShape)
+{
+    PeakShavingModel model;
+    auto results =
+        model.evaluateAll(PeakShavingModel::paperDefaults());
+    ASSERT_EQ(results.size(), 4u);
+
+    const auto &ba_only = results[0];
+    const auto &ba_first = results[1];
+    const auto &sc_first = results[2];
+    const auto &heb = results[3];
+
+    // Break-even ordering from the paper:
+    // HEB (3.7) < BaOnly (4.2) < SCFirst (4.9) < BaFirst (6.3).
+    EXPECT_LT(heb.breakEvenYears, ba_only.breakEvenYears);
+    EXPECT_LT(ba_only.breakEvenYears, sc_first.breakEvenYears);
+    EXPECT_LT(sc_first.breakEvenYears, ba_first.breakEvenYears);
+
+    // All within the 8-year horizon except possibly BaFirst.
+    EXPECT_GT(heb.breakEvenYears, 2.0);
+    EXPECT_LT(heb.breakEvenYears, 5.0);
+    EXPECT_NEAR(ba_only.breakEvenYears, 4.2, 1.0);
+}
+
+TEST(PeakShaving, HebEarnsAtLeast1_9xBaOnly)
+{
+    PeakShavingModel model;
+    auto results =
+        model.evaluateAll(PeakShavingModel::paperDefaults());
+    double ratio = PeakShavingModel::revenueRatio(results[3],
+                                                  results[0]);
+    EXPECT_GE(ratio, 1.9);
+}
+
+TEST(PeakShaving, BaFirstLessProfitableThanBaOnly)
+{
+    // Paper: "if not appropriately managed, leveraging hybrid energy
+    // buffer may be less profitable than homogeneous".
+    PeakShavingModel model;
+    auto results =
+        model.evaluateAll(PeakShavingModel::paperDefaults());
+    EXPECT_LT(results[1].netAtHorizon, results[0].netAtHorizon);
+}
+
+TEST(PeakShaving, CumulativeCurveShape)
+{
+    PeakShavingModel model;
+    PeakShavingResult r =
+        model.evaluate(PeakShavingModel::paperDefaults()[3]);
+    ASSERT_EQ(r.cumulativeNetByYear.size(), 8u);
+    // Starts below zero (CAP-EX), strictly increasing.
+    EXPECT_LT(r.cumulativeNetByYear.front(), 0.0);
+    for (std::size_t i = 1; i < r.cumulativeNetByYear.size(); ++i) {
+        EXPECT_GT(r.cumulativeNetByYear[i],
+                  r.cumulativeNetByYear[i - 1]);
+    }
+    EXPECT_DOUBLE_EQ(r.netAtHorizon, r.cumulativeNetByYear.back());
+}
+
+TEST(PeakShaving, HybridCapexHigherThanBatteryOnly)
+{
+    PeakShavingModel model;
+    auto results =
+        model.evaluateAll(PeakShavingModel::paperDefaults());
+    EXPECT_GT(results[3].capex, results[0].capex);
+}
+
+TEST(PeakShaving, NeverProfitableReportsNegative)
+{
+    PeakShavingModel model;
+    SchemeEconomics hopeless{"Hopeless", true, 0.01, 1.0};
+    PeakShavingResult r = model.evaluate(hopeless);
+    EXPECT_LT(r.breakEvenYears, 0.0);
+    EXPECT_LT(r.netAtHorizon, 0.0);
+}
+
+TEST(PeakShaving, ShavedPowerCappedByFacility)
+{
+    PeakShavingParams p;
+    p.bufferKwh = 10000.0; // absurd buffer
+    PeakShavingModel model(p);
+    PeakShavingResult r = model.evaluate(
+        SchemeEconomics{"X", true, 1.0, 10.0});
+    // Revenue bounded by the facility-share cap.
+    EXPECT_LE(r.annualRevenue,
+              p.datacenterKw * 0.4 * p.tariffPerKwMonth * 12.0 +
+                  1e-6);
+}
+
+TEST(PeakShaving, InvalidInputsFatal)
+{
+    PeakShavingParams p;
+    p.bufferKwh = 0.0;
+    EXPECT_EXIT(PeakShavingModel{p}, testing::ExitedWithCode(1),
+                "sizes");
+    PeakShavingModel model;
+    EXPECT_EXIT(model.evaluate(SchemeEconomics{"X", true, 2.0, 4.0}),
+                testing::ExitedWithCode(1), "effectiveness");
+    EXPECT_EXIT(model.evaluate(SchemeEconomics{"X", true, 0.5, 0.0}),
+                testing::ExitedWithCode(1), "lifetime");
+}
+
+} // namespace
+} // namespace heb

@@ -1,0 +1,67 @@
+/** @file ROI model (Fig. 15b). */
+
+#include <gtest/gtest.h>
+
+#include "tco/roi.h"
+
+namespace heb {
+namespace {
+
+TEST(Roi, BlendedCost)
+{
+    RoiModel m;
+    // 0.7 * 300 + 0.3 * 10000 = 3210 $/kWh.
+    EXPECT_NEAR(m.hybridCostPerKwh(), 3210.0, 1e-9);
+}
+
+TEST(Roi, PositiveInMostOperatingRegions)
+{
+    // Paper: "a positive ROI across most of the operating regions".
+    RoiModel m;
+    int positive = 0, total = 0;
+    for (double c_cap = 2.0; c_cap <= 20.0; c_cap += 2.0) {
+        for (double e : {0.25, 0.5, 1.0}) {
+            ++total;
+            if (m.roi(c_cap, e) > 0.0)
+                ++positive;
+        }
+    }
+    EXPECT_GT(positive, total / 2);
+}
+
+TEST(Roi, MonotoneInInfraCost)
+{
+    RoiModel m;
+    EXPECT_GT(m.roi(20.0, 1.0), m.roi(10.0, 1.0));
+    EXPECT_GT(m.roi(10.0, 1.0), m.roi(2.0, 1.0));
+}
+
+TEST(Roi, LongerPeaksHurt)
+{
+    RoiModel m;
+    EXPECT_GT(m.roi(10.0, 0.5), m.roi(10.0, 2.0));
+}
+
+TEST(Roi, AmortizationApplied)
+{
+    RoiModel m;
+    // Annualized infra for 12 $/W over 12 years = 1 $/W/yr.
+    EXPECT_NEAR(m.annualizedInfraCostPerW(12.0), 1.0, 1e-12);
+    // One hour of sustain: 0.7 g battery + 0.3 g SC, amortized.
+    double expected = 0.001 * (0.7 * 300.0 / 4.0 +
+                               0.3 * 10000.0 / 12.0);
+    EXPECT_NEAR(m.annualizedBufferCostPerW(1.0), expected, 1e-9);
+}
+
+TEST(Roi, InvalidParams)
+{
+    RoiParams p;
+    p.batteryLifeYears = 0.0;
+    EXPECT_EXIT(RoiModel{p}, testing::ExitedWithCode(1), "lifetime");
+    RoiModel m;
+    EXPECT_EXIT((void)m.annualizedBufferCostPerW(0.0),
+                testing::ExitedWithCode(1), "peak hours");
+}
+
+} // namespace
+} // namespace heb

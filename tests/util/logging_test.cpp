@@ -1,0 +1,45 @@
+/** @file Logging levels and termination semantics. */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace heb {
+namespace {
+
+TEST(Logging, FatalExitsWithOne)
+{
+    EXPECT_EXIT(fatal("user error ", 42), testing::ExitedWithCode(1),
+                "user error 42");
+}
+
+TEST(Logging, PanicAborts)
+{
+    EXPECT_DEATH(panic("bug ", "here"), "bug here");
+}
+
+TEST(Logging, WarnAndInformDoNotTerminate)
+{
+    warn("just a warning");
+    inform("status line");
+    SUCCEED();
+}
+
+TEST(Logging, ThresholdSuppressionRoundTrip)
+{
+    LogLevel old = logThreshold();
+    setLogThreshold(LogLevel::Fatal);
+    EXPECT_EQ(logThreshold(), LogLevel::Fatal);
+    // Suppressed but harmless.
+    debugLog("invisible");
+    setLogThreshold(old);
+    EXPECT_EQ(logThreshold(), old);
+}
+
+TEST(Logging, ConcatFormatsMixedTypes)
+{
+    EXPECT_EQ(detail::concat("a", 1, 'b', 2.5), "a1b2.5");
+}
+
+} // namespace
+} // namespace heb

@@ -1,0 +1,92 @@
+/** @file Deterministic RNG wrapper. */
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace heb {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 50; ++i) {
+        if (a.uniformInt(0, 1000000) == b.uniformInt(0, 1000000))
+            ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        double v = r.uniform(2.0, 3.0);
+        EXPECT_GE(v, 2.0);
+        EXPECT_LT(v, 3.0);
+    }
+}
+
+TEST(Rng, UniformIntInclusive)
+{
+    Rng r(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        int v = r.uniformInt(0, 3);
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == 0;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng r(11);
+    double acc = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        acc += r.normal(5.0, 2.0);
+    EXPECT_NEAR(acc / n, 5.0, 0.1);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(3);
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+    EXPECT_FALSE(r.chance(-1.0));
+    EXPECT_TRUE(r.chance(2.0));
+}
+
+TEST(Rng, ExponentialPositive)
+{
+    Rng r(5);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_GT(r.exponential(0.5), 0.0);
+    EXPECT_EXIT(r.exponential(0.0), testing::ExitedWithCode(1),
+                "rate");
+}
+
+TEST(Rng, LogNormalMeanApproximation)
+{
+    Rng r(13);
+    double acc = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        acc += r.logNormalWithMean(10.0, 0.5);
+    EXPECT_NEAR(acc / n, 10.0, 0.3);
+}
+
+} // namespace
+} // namespace heb

@@ -1,0 +1,138 @@
+/** @file RunningStats, Histogram, Ewma and error metrics. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/statistics.h"
+
+namespace heb {
+namespace {
+
+TEST(RunningStats, MeanAndVariance)
+{
+    RunningStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Unbiased sample variance of the classic dataset is 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStats, MinMaxSum)
+{
+    RunningStats s;
+    s.add(-1.0);
+    s.add(10.0);
+    s.add(3.0);
+    EXPECT_DOUBLE_EQ(s.min(), -1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 10.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 12.0);
+}
+
+TEST(RunningStats, EmptyBehaviour)
+{
+    RunningStats s;
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DEATH(s.min(), "empty");
+}
+
+TEST(RunningStats, ResetClears)
+{
+    RunningStats s;
+    s.add(5.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Histogram, BinningAndEdges)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);   // bin 0
+    h.add(9.99);  // bin 9
+    h.add(-5.0);  // clamps to bin 0
+    h.add(50.0);  // clamps to bin 9
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(9), 2u);
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_DOUBLE_EQ(h.binFraction(0), 0.5);
+}
+
+TEST(Histogram, BinCenter)
+{
+    Histogram h(0.0, 10.0, 10);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 0.5);
+    EXPECT_DOUBLE_EQ(h.binCenter(9), 9.5);
+}
+
+TEST(Histogram, InvalidConstruction)
+{
+    EXPECT_EXIT(Histogram(0.0, 0.0, 4), testing::ExitedWithCode(1),
+                "hi > lo");
+    EXPECT_EXIT(Histogram(0.0, 1.0, 0), testing::ExitedWithCode(1),
+                "bin");
+}
+
+TEST(Ewma, FirstSamplePrimes)
+{
+    Ewma e(0.5);
+    EXPECT_FALSE(e.primed());
+    e.add(10.0);
+    EXPECT_TRUE(e.primed());
+    EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(Ewma, Smooths)
+{
+    Ewma e(0.5);
+    e.add(10.0);
+    e.add(0.0);
+    EXPECT_DOUBLE_EQ(e.value(), 5.0);
+    e.add(5.0);
+    EXPECT_DOUBLE_EQ(e.value(), 5.0);
+}
+
+TEST(Ewma, AlphaValidation)
+{
+    EXPECT_EXIT(Ewma(0.0), testing::ExitedWithCode(1), "alpha");
+    EXPECT_EXIT(Ewma(1.5), testing::ExitedWithCode(1), "alpha");
+}
+
+TEST(ErrorMetrics, Mape)
+{
+    std::vector<double> actual = {100.0, 200.0};
+    std::vector<double> pred = {90.0, 220.0};
+    EXPECT_NEAR(meanAbsolutePercentageError(actual, pred), 10.0,
+                1e-12);
+}
+
+TEST(ErrorMetrics, MapeSkipsZeroActuals)
+{
+    std::vector<double> actual = {0.0, 100.0};
+    std::vector<double> pred = {5.0, 110.0};
+    EXPECT_NEAR(meanAbsolutePercentageError(actual, pred), 10.0,
+                1e-12);
+}
+
+TEST(ErrorMetrics, Rmse)
+{
+    std::vector<double> actual = {1.0, 2.0, 3.0};
+    std::vector<double> pred = {1.0, 2.0, 6.0};
+    EXPECT_NEAR(rootMeanSquareError(actual, pred),
+                std::sqrt(9.0 / 3.0), 1e-12);
+}
+
+TEST(ErrorMetrics, SizeMismatchFatal)
+{
+    std::vector<double> a = {1.0};
+    std::vector<double> b = {1.0, 2.0};
+    EXPECT_EXIT(meanAbsolutePercentageError(a, b),
+                testing::ExitedWithCode(1), "mismatch");
+}
+
+} // namespace
+} // namespace heb

@@ -1,0 +1,63 @@
+/** @file Console table formatting. */
+
+#include <gtest/gtest.h>
+
+#include "util/table_printer.h"
+
+namespace heb {
+namespace {
+
+TEST(TablePrinter, HeaderAndRows)
+{
+    TablePrinter t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    std::string s = t.toString();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(s.find("|---"), std::string::npos);
+}
+
+TEST(TablePrinter, NumericRowWithLabel)
+{
+    TablePrinter t({"scheme", "a", "b"});
+    t.addRow("HEB-D", {1.23456, 2.0}, 2);
+    std::string s = t.toString();
+    EXPECT_NE(s.find("1.23"), std::string::npos);
+    EXPECT_NE(s.find("2.00"), std::string::npos);
+}
+
+TEST(TablePrinter, ShortRowsPadded)
+{
+    TablePrinter t({"a", "b", "c"});
+    t.addRow({"only"});
+    // Must not crash and must keep three columns.
+    std::string s = t.toString();
+    size_t pipes = 0;
+    for (char ch : s.substr(s.rfind("only"))) {
+        if (ch == '|')
+            ++pipes;
+    }
+    EXPECT_GE(pipes, 3u);
+}
+
+TEST(TablePrinter, NumFormatting)
+{
+    EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TablePrinter::num(-1.0, 0), "-1");
+}
+
+TEST(TablePrinter, ColumnsWidenToFitCells)
+{
+    TablePrinter t({"x"});
+    t.addRow({"a-very-long-cell-value"});
+    std::string s = t.toString();
+    // Header row must be at least as wide as the widest cell.
+    auto first_newline = s.find('\n');
+    auto header = s.substr(0, first_newline);
+    EXPECT_GE(header.size(),
+              std::string("a-very-long-cell-value").size());
+}
+
+} // namespace
+} // namespace heb

@@ -1,0 +1,155 @@
+/** @file TimeSeries container behaviour. */
+
+#include <gtest/gtest.h>
+
+#include "util/time_series.h"
+
+namespace heb {
+namespace {
+
+TimeSeries
+makeRamp(std::size_t n, double step = 1.0)
+{
+    TimeSeries ts(step);
+    for (std::size_t i = 0; i < n; ++i)
+        ts.append(static_cast<double>(i));
+    return ts;
+}
+
+TEST(TimeSeries, AppendAndSize)
+{
+    TimeSeries ts(1.0);
+    EXPECT_TRUE(ts.empty());
+    ts.append(3.0);
+    ts.append(4.0);
+    EXPECT_EQ(ts.size(), 2u);
+    EXPECT_DOUBLE_EQ(ts[0], 3.0);
+    EXPECT_DOUBLE_EQ(ts.at(1), 4.0);
+}
+
+TEST(TimeSeries, TimeAxis)
+{
+    TimeSeries ts(2.0, 10.0);
+    ts.append(0.0);
+    ts.append(0.0);
+    ts.append(0.0);
+    EXPECT_DOUBLE_EQ(ts.timeAt(0), 10.0);
+    EXPECT_DOUBLE_EQ(ts.timeAt(2), 14.0);
+    EXPECT_DOUBLE_EQ(ts.duration(), 6.0);
+}
+
+TEST(TimeSeries, BasicStats)
+{
+    TimeSeries ts = makeRamp(5); // 0 1 2 3 4
+    EXPECT_DOUBLE_EQ(ts.min(), 0.0);
+    EXPECT_DOUBLE_EQ(ts.max(), 4.0);
+    EXPECT_DOUBLE_EQ(ts.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(ts.sum(), 10.0);
+}
+
+TEST(TimeSeries, PercentileNearestRank)
+{
+    TimeSeries ts = makeRamp(100); // 0..99
+    EXPECT_DOUBLE_EQ(ts.percentile(50.0), 49.0);
+    EXPECT_DOUBLE_EQ(ts.percentile(100.0), 99.0);
+    EXPECT_DOUBLE_EQ(ts.percentile(0.0), 0.0);
+}
+
+TEST(TimeSeries, ValueAtInterpolates)
+{
+    TimeSeries ts(10.0);
+    ts.append(0.0);
+    ts.append(10.0);
+    EXPECT_DOUBLE_EQ(ts.valueAt(5.0), 5.0);
+    // Clamped outside the range.
+    EXPECT_DOUBLE_EQ(ts.valueAt(-100.0), 0.0);
+    EXPECT_DOUBLE_EQ(ts.valueAt(1000.0), 10.0);
+}
+
+TEST(TimeSeries, IntegralWattHours)
+{
+    // 100 W for one hour at 60 s steps.
+    TimeSeries ts(60.0);
+    for (int i = 0; i < 60; ++i)
+        ts.append(100.0);
+    EXPECT_NEAR(ts.integralWattHours(), 100.0, 1e-9);
+}
+
+TEST(TimeSeries, FractionWhere)
+{
+    TimeSeries ts = makeRamp(10); // 0..9
+    EXPECT_DOUBLE_EQ(ts.fractionWhere([](double v) { return v >= 5; }),
+                     0.5);
+    TimeSeries empty(1.0);
+    EXPECT_DOUBLE_EQ(
+        empty.fractionWhere([](double) { return true; }), 0.0);
+}
+
+TEST(TimeSeries, MapTransforms)
+{
+    TimeSeries ts = makeRamp(3);
+    TimeSeries doubled = ts.map([](double v) { return 2.0 * v; });
+    EXPECT_DOUBLE_EQ(doubled[2], 4.0);
+    EXPECT_EQ(doubled.size(), 3u);
+}
+
+TEST(TimeSeries, AddElementwise)
+{
+    TimeSeries a = makeRamp(3);
+    TimeSeries b = makeRamp(3);
+    TimeSeries c = TimeSeries::add(a, b);
+    EXPECT_DOUBLE_EQ(c[2], 4.0);
+}
+
+TEST(TimeSeries, DownsampleAverages)
+{
+    TimeSeries ts = makeRamp(6); // 0..5
+    TimeSeries down = ts.downsample(2);
+    ASSERT_EQ(down.size(), 3u);
+    EXPECT_DOUBLE_EQ(down[0], 0.5);
+    EXPECT_DOUBLE_EQ(down[2], 4.5);
+    EXPECT_DOUBLE_EQ(down.stepSeconds(), 2.0);
+}
+
+TEST(TimeSeries, DownsamplePartialTail)
+{
+    TimeSeries ts = makeRamp(5); // 0..4
+    TimeSeries down = ts.downsample(2);
+    ASSERT_EQ(down.size(), 3u);
+    EXPECT_DOUBLE_EQ(down[2], 4.0); // lone tail sample
+}
+
+TEST(TimeSeries, Slice)
+{
+    TimeSeries ts = makeRamp(10);
+    TimeSeries s = ts.slice(3, 4);
+    ASSERT_EQ(s.size(), 4u);
+    EXPECT_DOUBLE_EQ(s[0], 3.0);
+    EXPECT_DOUBLE_EQ(s.startTime(), 3.0);
+    // Slice past the end truncates.
+    EXPECT_EQ(ts.slice(8, 10).size(), 2u);
+}
+
+TEST(TimeSeries, AppendSeries)
+{
+    TimeSeries a = makeRamp(3);
+    TimeSeries b = makeRamp(2);
+    a.appendSeries(b);
+    EXPECT_EQ(a.size(), 5u);
+    EXPECT_DOUBLE_EQ(a[3], 0.0);
+}
+
+TEST(TimeSeriesDeath, InvalidStepRejected)
+{
+    EXPECT_EXIT(TimeSeries(0.0), testing::ExitedWithCode(1), "step");
+}
+
+TEST(TimeSeriesDeath, OutOfRangePanics)
+{
+    TimeSeries ts(1.0);
+    ts.append(1.0);
+    EXPECT_DEATH((void)ts.at(5), "out of range");
+}
+
+} // namespace
+} // namespace heb

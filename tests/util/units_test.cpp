@@ -1,0 +1,50 @@
+/** @file Unit conversions. */
+
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+
+namespace heb {
+namespace {
+
+TEST(Units, JoulesToWattHoursRoundTrip)
+{
+    EXPECT_DOUBLE_EQ(joulesToWattHours(3600.0), 1.0);
+    EXPECT_DOUBLE_EQ(wattHoursToJoules(1.0), 3600.0);
+    EXPECT_DOUBLE_EQ(wattHoursToJoules(joulesToWattHours(1234.5)),
+                     1234.5);
+}
+
+TEST(Units, KwhConversions)
+{
+    EXPECT_DOUBLE_EQ(kwhToWh(2.5), 2500.0);
+    EXPECT_DOUBLE_EQ(whToKwh(2500.0), 2.5);
+}
+
+TEST(Units, TimeConversions)
+{
+    EXPECT_DOUBLE_EQ(hoursToSeconds(2.0), 7200.0);
+    EXPECT_DOUBLE_EQ(secondsToHours(1800.0), 0.5);
+    EXPECT_DOUBLE_EQ(minutesToSeconds(10.0), 600.0);
+}
+
+TEST(Units, EnergyFromPower)
+{
+    // 100 W for 36 s = 1 Wh.
+    EXPECT_DOUBLE_EQ(energyWh(100.0, 36.0), 1.0);
+    EXPECT_DOUBLE_EQ(powerFromEnergy(1.0, 36.0), 100.0);
+}
+
+TEST(Units, AmpHours)
+{
+    EXPECT_DOUBLE_EQ(ampHours(2.0, 1800.0), 1.0);
+}
+
+TEST(Units, DayConstantsConsistent)
+{
+    EXPECT_DOUBLE_EQ(kSecondsPerDay, 86400.0);
+    EXPECT_DOUBLE_EQ(kSecondsPerHour * kHoursPerDay, kSecondsPerDay);
+}
+
+} // namespace
+} // namespace heb

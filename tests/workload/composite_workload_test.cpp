@@ -1,0 +1,87 @@
+/** @file Composite (mixed) workload partitioning. */
+
+#include <gtest/gtest.h>
+
+#include "core/schemes.h"
+#include "sim/simulator.h"
+#include "workload/composite_workload.h"
+#include "workload/workload_profiles.h"
+
+namespace heb {
+namespace {
+
+TEST(Composite, PartitionsServersByShare)
+{
+    auto web = makeWorkload("WS");
+    auto sort = makeWorkload("TS");
+    CompositeWorkload mix(
+        "web+sort",
+        {{web.get(), 2.0}, {sort.get(), 1.0}}, 6);
+    // 4 servers on web, 2 on sort.
+    for (std::size_t s = 0; s < 4; ++s)
+        EXPECT_EQ(&mix.memberFor(s), web.get()) << s;
+    for (std::size_t s = 4; s < 6; ++s)
+        EXPECT_EQ(&mix.memberFor(s), sort.get()) << s;
+}
+
+TEST(Composite, UtilizationDelegates)
+{
+    auto web = makeWorkload("WS");
+    auto sort = makeWorkload("TS");
+    CompositeWorkload mix(
+        "m", {{web.get(), 1.0}, {sort.get(), 1.0}}, 6);
+    EXPECT_DOUBLE_EQ(mix.utilization(0, 1234.0),
+                     web->utilization(0, 1234.0));
+    EXPECT_DOUBLE_EQ(mix.utilization(5, 1234.0),
+                     sort->utilization(5, 1234.0));
+}
+
+TEST(Composite, PeakClassIsWorstCase)
+{
+    auto web = makeWorkload("WS"); // small
+    auto sort = makeWorkload("TS"); // large
+    CompositeWorkload small_only("s", {{web.get(), 1.0}}, 6);
+    CompositeWorkload mixed(
+        "m", {{web.get(), 5.0}, {sort.get(), 1.0}}, 6);
+    EXPECT_EQ(small_only.peakClass(), PeakClass::Small);
+    EXPECT_EQ(mixed.peakClass(), PeakClass::Large);
+}
+
+TEST(Composite, OutOfRangeServerUsesLastMember)
+{
+    auto web = makeWorkload("WS");
+    CompositeWorkload mix("m", {{web.get(), 1.0}}, 2);
+    EXPECT_DOUBLE_EQ(mix.utilization(10, 0.0),
+                     web->utilization(10, 0.0));
+}
+
+TEST(Composite, RunsInSimulator)
+{
+    auto web = makeWorkload("WS");
+    auto sort = makeWorkload("TS");
+    CompositeWorkload mix(
+        "web+sort", {{web.get(), 1.0}, {sort.get(), 1.0}}, 6);
+    SimConfig cfg;
+    cfg.durationSeconds = 2.0 * 3600.0;
+    auto scheme = makeScheme(SchemeKind::HebD);
+    Simulator sim(cfg);
+    SimResult r = sim.run(mix, *scheme);
+    EXPECT_GT(r.ledger.servedWh(), 0.0);
+}
+
+TEST(Composite, InvalidInputsFatal)
+{
+    auto web = makeWorkload("WS");
+    EXPECT_EXIT(CompositeWorkload("m", {}, 6),
+                testing::ExitedWithCode(1), "members");
+    EXPECT_EXIT(
+        CompositeWorkload("m", {{web.get(), -1.0}}, 6),
+        testing::ExitedWithCode(1), "positive");
+    EXPECT_EXIT(CompositeWorkload("m", {{nullptr, 1.0}}, 6),
+                testing::ExitedWithCode(1), "null");
+    EXPECT_EXIT(CompositeWorkload("m", {{web.get(), 1.0}}, 0),
+                testing::ExitedWithCode(1), "servers");
+}
+
+} // namespace
+} // namespace heb

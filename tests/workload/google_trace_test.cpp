@@ -1,0 +1,86 @@
+/** @file Google-like cluster trace generator and MPPU metric. */
+
+#include <gtest/gtest.h>
+
+#include "workload/google_trace.h"
+
+namespace heb {
+namespace {
+
+TEST(GoogleTrace, NormalizedRange)
+{
+    TimeSeries t = generateGoogleTrace(2.0, 60.0, 1);
+    EXPECT_GE(t.min(), 0.0);
+    EXPECT_LE(t.max(), 1.0);
+    EXPECT_EQ(t.size(), static_cast<std::size_t>(2.0 * 1440.0));
+}
+
+TEST(GoogleTrace, Deterministic)
+{
+    TimeSeries a = generateGoogleTrace(1.0, 60.0, 9);
+    TimeSeries b = generateGoogleTrace(1.0, 60.0, 9);
+    for (std::size_t i = 0; i < a.size(); i += 100)
+        EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(GoogleTrace, HasBurstsAboveDiurnalCeiling)
+{
+    GoogleTraceParams p;
+    TimeSeries t = generateGoogleTrace(7.0, 60.0, 3, p);
+    double smooth_ceiling = p.floorFraction + p.diurnalAmplitude;
+    // Bursts must exceed the smooth components at least some of the
+    // time.
+    EXPECT_GT(t.fractionWhere([&](double v) {
+                  return v > smooth_ceiling + 0.1;
+              }),
+              0.01);
+}
+
+TEST(GoogleTrace, MeanNearFloorPlusHalfDiurnal)
+{
+    GoogleTraceParams p;
+    p.burstsPerDay = 0.0;
+    p.arSigma = 0.0;
+    TimeSeries t = generateGoogleTrace(2.0, 60.0, 3, p);
+    EXPECT_NEAR(t.mean(), p.floorFraction + p.diurnalAmplitude / 2.0,
+                0.02);
+}
+
+TEST(Mppu, MonotoneInProvisioning)
+{
+    TimeSeries t = generateGoogleTrace(3.0, 60.0, 5);
+    double m1 = mppu(t, 1.0);
+    double m08 = mppu(t, 0.8);
+    double m06 = mppu(t, 0.6);
+    double m04 = mppu(t, 0.4);
+    // Lower provisioning -> demand hits the ceiling more often
+    // (paper Fig. 1a trend).
+    EXPECT_LE(m1, m08);
+    EXPECT_LE(m08, m06);
+    EXPECT_LE(m06, m04);
+    EXPECT_GT(m04, 0.1);
+}
+
+TEST(Mppu, FullProvisioningRarelySaturates)
+{
+    TimeSeries t = generateGoogleTrace(3.0, 60.0, 5);
+    EXPECT_LT(mppu(t, 1.0), 0.05);
+}
+
+TEST(Mppu, InvalidFractionFatal)
+{
+    TimeSeries t = generateGoogleTrace(0.1, 60.0, 5);
+    EXPECT_EXIT((void)mppu(t, 0.0), testing::ExitedWithCode(1),
+                "fraction");
+    EXPECT_EXIT((void)mppu(t, 1.5), testing::ExitedWithCode(1),
+                "fraction");
+}
+
+TEST(GoogleTrace, InvalidArgsFatal)
+{
+    EXPECT_EXIT(generateGoogleTrace(0.0, 60.0, 1),
+                testing::ExitedWithCode(1), "positive");
+}
+
+} // namespace
+} // namespace heb

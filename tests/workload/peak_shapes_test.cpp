@@ -1,0 +1,50 @@
+/** @file Characterization peak-shape builders. */
+
+#include <gtest/gtest.h>
+
+#include "workload/peak_shapes.h"
+
+namespace heb {
+namespace {
+
+TEST(PeakShapes, ConstantDemand)
+{
+    TimeSeries t = constantDemand(150.0, 60.0, 1.0);
+    EXPECT_EQ(t.size(), 60u);
+    EXPECT_DOUBLE_EQ(t.min(), 150.0);
+    EXPECT_DOUBLE_EQ(t.max(), 150.0);
+}
+
+TEST(PeakShapes, SquareTrain)
+{
+    TimeSeries t = squarePeakTrain(100.0, 10.0, 20.0, 30.0, 2, 1.0);
+    EXPECT_EQ(t.size(), 80u);
+    EXPECT_DOUBLE_EQ(t[0], 100.0);
+    EXPECT_DOUBLE_EQ(t[10], 20.0);
+    EXPECT_DOUBLE_EQ(t[40], 100.0); // second cycle
+    // Duty cycle: 10 of every 40 samples at peak.
+    EXPECT_NEAR(t.fractionWhere([](double v) { return v == 100.0; }),
+                0.25, 1e-9);
+}
+
+TEST(PeakShapes, TrianglePeak)
+{
+    TimeSeries t = trianglePeak(50.0, 150.0, 10.0, 1.0);
+    EXPECT_DOUBLE_EQ(t[0], 50.0);
+    EXPECT_NEAR(t.max(), 150.0, 10.0 + 1e-9);
+    // Ends back at the base.
+    EXPECT_NEAR(t[t.size() - 1], 50.0, 1e-9);
+}
+
+TEST(PeakShapes, InvalidArgsFatal)
+{
+    EXPECT_EXIT(constantDemand(1.0, 0.0), testing::ExitedWithCode(1),
+                "duration");
+    EXPECT_EXIT(squarePeakTrain(1.0, 1.0, 1.0, 1.0, 0),
+                testing::ExitedWithCode(1), "cycle");
+    EXPECT_EXIT(trianglePeak(1.0, 2.0, 0.0),
+                testing::ExitedWithCode(1), "ramp");
+}
+
+} // namespace
+} // namespace heb

@@ -1,0 +1,141 @@
+/** @file The eight Table 1 workload generators. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "workload/workload_profiles.h"
+
+namespace heb {
+namespace {
+
+TEST(Profiles, AllEightExist)
+{
+    EXPECT_EQ(allWorkloadNames().size(), 8u);
+    for (const auto &name : allWorkloadNames()) {
+        auto w = makeWorkload(name);
+        EXPECT_EQ(w->name(), name);
+    }
+}
+
+TEST(Profiles, PeakClassTaxonomyMatchesTable1)
+{
+    for (const auto &name : smallPeakWorkloadNames())
+        EXPECT_EQ(makeWorkload(name)->peakClass(), PeakClass::Small)
+            << name;
+    for (const auto &name : largePeakWorkloadNames())
+        EXPECT_EQ(makeWorkload(name)->peakClass(), PeakClass::Large)
+            << name;
+    EXPECT_EQ(smallPeakWorkloadNames().size() +
+                  largePeakWorkloadNames().size(),
+              allWorkloadNames().size());
+}
+
+TEST(Profiles, UnknownNameFatal)
+{
+    EXPECT_EXIT(makeWorkload("XX"), testing::ExitedWithCode(1),
+                "Unknown workload");
+}
+
+TEST(Profiles, Deterministic)
+{
+    auto a = makeWorkload("TS", 5);
+    auto b = makeWorkload("TS", 5);
+    for (double t : {0.0, 100.0, 5000.0, 50000.0})
+        EXPECT_DOUBLE_EQ(a->utilization(2, t), b->utilization(2, t));
+}
+
+TEST(Profiles, SeedChangesJitter)
+{
+    auto a = makeWorkload("WS", 1);
+    auto b = makeWorkload("WS", 2);
+    bool any_diff = false;
+    for (int t = 0; t < 1000; t += 25)
+        any_diff |= a->utilization(0, t) != b->utilization(0, t);
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Profiles, ServersAreStaggered)
+{
+    auto w = makeWorkload("TS", 1);
+    // At some instant near a phase edge, servers must disagree.
+    bool any_diff = false;
+    for (double t = 0.0; t < 6000.0; t += 60.0)
+        any_diff |= std::abs(w->utilization(0, t) -
+                             w->utilization(5, t)) > 0.2;
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Profiles, LargePeaksAreTallerAndLonger)
+{
+    auto small = makeWorkload("WC");
+    auto large = makeWorkload("TS");
+    EXPECT_GT(large->params().highUtil, small->params().highUtil);
+    EXPECT_GT(large->params().highPhaseS, small->params().highPhaseS);
+}
+
+TEST(Profiles, PeriodsDivideTheDay)
+{
+    // Required so Holt-Winters daily seasonality can lock on.
+    for (const auto &name : allWorkloadNames()) {
+        auto w = makeWorkload(name);
+        double period =
+            w->params().highPhaseS + w->params().lowPhaseS;
+        double per_day = 86400.0 / period;
+        EXPECT_NEAR(per_day, std::round(per_day), 1e-9) << name;
+    }
+}
+
+class AllProfilesBounds
+    : public testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(AllProfilesBounds, UtilizationInUnitInterval)
+{
+    auto w = makeWorkload(GetParam(), 3);
+    for (std::size_t s = 0; s < 6; ++s) {
+        for (double t = 0.0; t < 7200.0; t += 17.0) {
+            double u = w->utilization(s, t);
+            EXPECT_GE(u, 0.0);
+            EXPECT_LE(u, 1.0);
+        }
+    }
+}
+
+TEST_P(AllProfilesBounds, PhasesVisible)
+{
+    // Both the high and the low phase must actually appear.
+    auto w = makeWorkload(GetParam(), 3);
+    double lo = 1.0, hi = 0.0;
+    double period = w->params().highPhaseS + w->params().lowPhaseS;
+    for (double t = 0.0; t < 2.0 * period; t += 5.0) {
+        double u = w->utilization(0, t);
+        lo = std::min(lo, u);
+        hi = std::max(hi, u);
+    }
+    EXPECT_GT(hi - lo, 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, AllProfilesBounds,
+                         testing::Values("PR", "WC", "DA", "WS", "MS",
+                                         "DFS", "HB", "TS"));
+
+TEST(Profiles, InvalidShapeRejected)
+{
+    ProfileParams p;
+    p.name = "bad";
+    p.highUtil = 0.2;
+    p.lowUtil = 0.5;
+    EXPECT_EXIT(SyntheticWorkload(p, 1), testing::ExitedWithCode(1),
+                "highUtil");
+}
+
+TEST(Profiles, PeakClassNames)
+{
+    EXPECT_STREQ(peakClassName(PeakClass::Small), "small");
+    EXPECT_STREQ(peakClassName(PeakClass::Large), "large");
+}
+
+} // namespace
+} // namespace heb

@@ -1,0 +1,71 @@
+/** @file Trace replay workload adapter. */
+
+#include <gtest/gtest.h>
+
+#include "workload/trace_workload.h"
+
+namespace heb {
+namespace {
+
+TimeSeries
+rampTrace()
+{
+    TimeSeries t(10.0);
+    for (int i = 0; i < 10; ++i)
+        t.append(0.1 * i); // 0.0 .. 0.9 over 100 s
+    return t;
+}
+
+TEST(TraceWorkload, ReplaysTrace)
+{
+    TraceWorkload w("ramp", rampTrace());
+    EXPECT_DOUBLE_EQ(w.utilization(0, 0.0), 0.0);
+    EXPECT_NEAR(w.utilization(0, 45.0), 0.45, 1e-9);
+}
+
+TEST(TraceWorkload, WrapsCyclically)
+{
+    TraceWorkload w("ramp", rampTrace());
+    EXPECT_NEAR(w.utilization(0, 145.0), w.utilization(0, 45.0),
+                1e-9);
+}
+
+TEST(TraceWorkload, StaggerShiftsServers)
+{
+    TraceWorkload w("ramp", rampTrace(), PeakClass::Large, 10.0);
+    EXPECT_NEAR(w.utilization(1, 40.0), w.utilization(0, 50.0),
+                1e-9);
+}
+
+TEST(TraceWorkload, ClampsToUnitInterval)
+{
+    TimeSeries t(1.0);
+    t.append(-0.5);
+    t.append(1.7);
+    TraceWorkload w("wild", t);
+    EXPECT_DOUBLE_EQ(w.utilization(0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(w.utilization(0, 1.0), 1.0);
+}
+
+TEST(TraceWorkload, PeakClassCarried)
+{
+    TraceWorkload w("x", rampTrace(), PeakClass::Small);
+    EXPECT_EQ(w.peakClass(), PeakClass::Small);
+}
+
+TEST(TraceWorkload, EmptyTraceFatal)
+{
+    TimeSeries empty(1.0);
+    EXPECT_EXIT(TraceWorkload("bad", empty),
+                testing::ExitedWithCode(1), "non-empty");
+}
+
+TEST(TraceWorkload, NoWrapClampsToEnds)
+{
+    TraceWorkload w("ramp", rampTrace(), PeakClass::Large, 0.0,
+                    /*wrap=*/false);
+    EXPECT_NEAR(w.utilization(0, 1e6), 0.9, 1e-9);
+}
+
+} // namespace
+} // namespace heb

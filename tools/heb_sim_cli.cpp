@@ -1,0 +1,161 @@
+/**
+ * @file
+ * heb_sim — command-line front end for the HEB simulator.
+ *
+ * Runs one (workload, scheme) simulation described by a key=value
+ * config file, prints the headline metrics, and optionally exports
+ * the tick/slot series and metrics as CSV.
+ *
+ * Usage:
+ *   heb_sim [--config FILE] [--workload NAME] [--scheme NAME]
+ *           [--out PREFIX] [--pat FILE]
+ *
+ * Config keys: see simConfigFromConfig() in sim/result_io.h.
+ * --pat loads a persisted PowerAllocationTable (and saves the
+ * refined table back on exit), so a long-lived deployment keeps its
+ * learning across runs.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "sim/experiment.h"
+#include "sim/result_io.h"
+#include "util/logging.h"
+#include "util/table_printer.h"
+#include "workload/workload_profiles.h"
+
+using namespace heb;
+
+namespace {
+
+SchemeKind
+parseScheme(const std::string &name)
+{
+    for (SchemeKind kind : allSchemeKinds()) {
+        if (name == schemeKindName(kind))
+            return kind;
+    }
+    fatal("unknown scheme '", name,
+          "' (expected BaOnly/BaFirst/SCFirst/HEB-F/HEB-S/HEB-D)");
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage: heb_sim [--config FILE] [--workload NAME] "
+        "[--scheme NAME] [--out PREFIX] [--pat FILE]\n"
+        "  workloads: PR WC DA WS MS DFS HB TS\n"
+        "  schemes:   BaOnly BaFirst SCFirst HEB-F HEB-S HEB-D\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string config_path;
+    std::string workload_name = "TS";
+    std::string scheme_name = "HEB-D";
+    std::string out_prefix;
+    std::string pat_path;
+
+    for (int i = 1; i < argc; ++i) {
+        auto need_value = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc)
+                fatal(flag, " requires a value");
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--config"))
+            config_path = need_value("--config");
+        else if (!std::strcmp(argv[i], "--workload"))
+            workload_name = need_value("--workload");
+        else if (!std::strcmp(argv[i], "--scheme"))
+            scheme_name = need_value("--scheme");
+        else if (!std::strcmp(argv[i], "--out"))
+            out_prefix = need_value("--out");
+        else if (!std::strcmp(argv[i], "--pat"))
+            pat_path = need_value("--pat");
+        else if (!std::strcmp(argv[i], "--help") ||
+                 !std::strcmp(argv[i], "-h")) {
+            usage();
+            return 0;
+        } else {
+            usage();
+            fatal("unknown argument '", argv[i], "'");
+        }
+    }
+
+    Config file_cfg = config_path.empty()
+                          ? Config()
+                          : Config::fromFile(config_path);
+    SimConfig cfg = simConfigFromConfig(file_cfg);
+    SchemeKind kind = parseScheme(scheme_name);
+    HebSchemeConfig scheme_cfg;
+
+    // Load the persisted allocation table when one exists, else run
+    // the pilot profiling.
+    PowerAllocationTable pat(scheme_cfg.patGrid, scheme_cfg.deltaR);
+    if (!pat_path.empty() &&
+        std::filesystem::exists(pat_path)) {
+        pat = PowerAllocationTable::loadCsv(
+            pat_path, scheme_cfg.patGrid, scheme_cfg.deltaR);
+        inform("loaded ", pat.size(), " PAT entries from ",
+               pat_path);
+    }
+    if (pat.size() == 0)
+        pat = buildSeededPat(cfg, scheme_cfg);
+
+    auto workload = makeWorkload(workload_name, cfg.seed);
+    auto scheme = makeScheme(kind, scheme_cfg, &pat);
+    Simulator sim(cfg);
+    SimResult r = sim.run(*workload, *scheme);
+
+    TablePrinter table({"metric", "value"});
+    table.addRow({"scheme", r.schemeName});
+    table.addRow({"workload", r.workloadName});
+    table.addRow({"duration (h)",
+                  TablePrinter::num(r.durationSeconds / 3600.0, 1)});
+    table.addRow({"buffer efficiency",
+                  TablePrinter::num(r.energyEfficiency, 3)});
+    table.addRow({"effective efficiency",
+                  TablePrinter::num(r.effectiveEfficiency, 3)});
+    table.addRow({"downtime (s)",
+                  TablePrinter::num(r.downtimeSeconds, 0)});
+    table.addRow({"battery lifetime (y)",
+                  TablePrinter::num(r.batteryLifetimeYears, 2)});
+    table.addRow({"REU", TablePrinter::num(r.reu, 3)});
+    table.addRow({"buffer->load (Wh)",
+                  TablePrinter::num(r.ledger.bufferToLoadWh(), 1)});
+    table.addRow({"unserved (Wh)",
+                  TablePrinter::num(r.ledger.unservedWh, 2)});
+    table.addRow({"peak draw (W)",
+                  TablePrinter::num(r.peakUtilityDrawW, 1)});
+    table.addRow({"relay actuations",
+                  std::to_string(r.switchActuations)});
+    table.print();
+
+    if (!out_prefix.empty()) {
+        writeResultSeries(r, out_prefix);
+        writeResultMetrics({r}, out_prefix + "_metrics.csv");
+        std::printf("series written to %s_{ticks,slots}.csv, "
+                    "metrics to %s_metrics.csv\n",
+                    out_prefix.c_str(), out_prefix.c_str());
+    }
+
+    if (!pat_path.empty()) {
+        // Persist the refined table: the HEB schemes keep learning.
+        const auto *heb =
+            dynamic_cast<const HebScheme *>(scheme.get());
+        if (heb) {
+            heb->pat().saveCsv(pat_path);
+            std::printf("allocation table (%zu entries) saved to "
+                        "%s\n",
+                        heb->pat().size(), pat_path.c_str());
+        }
+    }
+    return 0;
+}
