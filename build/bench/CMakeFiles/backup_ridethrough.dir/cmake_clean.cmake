@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backup_ridethrough.dir/backup_ridethrough.cpp.o"
+  "CMakeFiles/backup_ridethrough.dir/backup_ridethrough.cpp.o.d"
+  "backup_ridethrough"
+  "backup_ridethrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backup_ridethrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demand_charge.dir/demand_charge.cpp.o"
+  "CMakeFiles/demand_charge.dir/demand_charge.cpp.o.d"
+  "demand_charge"
+  "demand_charge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demand_charge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_mppu.dir/fig01_mppu.cpp.o"
+  "CMakeFiles/fig01_mppu.dir/fig01_mppu.cpp.o.d"
+  "fig01_mppu"
+  "fig01_mppu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_mppu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

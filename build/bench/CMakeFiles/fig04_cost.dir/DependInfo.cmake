@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig04_cost.cpp" "bench/CMakeFiles/fig04_cost.dir/fig04_cost.cpp.o" "gcc" "bench/CMakeFiles/fig04_cost.dir/fig04_cost.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/heb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tco/CMakeFiles/heb_tco.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/heb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/esd/CMakeFiles/heb_esd.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/heb_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/dc/CMakeFiles/heb_dc.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/heb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/heb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

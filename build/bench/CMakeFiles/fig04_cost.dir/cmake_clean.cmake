@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_cost.dir/fig04_cost.cpp.o"
+  "CMakeFiles/fig04_cost.dir/fig04_cost.cpp.o.d"
+  "fig04_cost"
+  "fig04_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_discharge.dir/fig05_discharge.cpp.o"
+  "CMakeFiles/fig05_discharge.dir/fig05_discharge.cpp.o.d"
+  "fig05_discharge"
+  "fig05_discharge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_discharge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

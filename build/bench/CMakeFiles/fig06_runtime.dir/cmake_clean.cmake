@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_runtime.dir/fig06_runtime.cpp.o"
+  "CMakeFiles/fig06_runtime.dir/fig06_runtime.cpp.o.d"
+  "fig06_runtime"
+  "fig06_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

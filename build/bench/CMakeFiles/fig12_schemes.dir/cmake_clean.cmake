@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_schemes.dir/fig12_schemes.cpp.o"
+  "CMakeFiles/fig12_schemes.dir/fig12_schemes.cpp.o.d"
+  "fig12_schemes"
+  "fig12_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

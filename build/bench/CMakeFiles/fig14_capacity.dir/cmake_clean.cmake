@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_capacity.dir/fig14_capacity.cpp.o"
+  "CMakeFiles/fig14_capacity.dir/fig14_capacity.cpp.o.d"
+  "fig14_capacity"
+  "fig14_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_tco.dir/fig15_tco.cpp.o"
+  "CMakeFiles/fig15_tco.dir/fig15_tco.cpp.o.d"
+  "fig15_tco"
+  "fig15_tco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_tco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_scaleout.dir/fleet_scaleout.cpp.o"
+  "CMakeFiles/fleet_scaleout.dir/fleet_scaleout.cpp.o.d"
+  "fleet_scaleout"
+  "fleet_scaleout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

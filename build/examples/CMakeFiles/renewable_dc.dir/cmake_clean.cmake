@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/renewable_dc.dir/renewable_dc.cpp.o"
+  "CMakeFiles/renewable_dc.dir/renewable_dc.cpp.o.d"
+  "renewable_dc"
+  "renewable_dc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/renewable_dc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

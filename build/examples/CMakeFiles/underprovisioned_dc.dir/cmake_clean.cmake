@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/underprovisioned_dc.dir/underprovisioned_dc.cpp.o"
+  "CMakeFiles/underprovisioned_dc.dir/underprovisioned_dc.cpp.o.d"
+  "underprovisioned_dc"
+  "underprovisioned_dc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/underprovisioned_dc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

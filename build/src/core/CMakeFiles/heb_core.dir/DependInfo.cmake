@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/controller.cpp" "src/core/CMakeFiles/heb_core.dir/controller.cpp.o" "gcc" "src/core/CMakeFiles/heb_core.dir/controller.cpp.o.d"
+  "/root/repo/src/core/load_assignment.cpp" "src/core/CMakeFiles/heb_core.dir/load_assignment.cpp.o" "gcc" "src/core/CMakeFiles/heb_core.dir/load_assignment.cpp.o.d"
+  "/root/repo/src/core/pat.cpp" "src/core/CMakeFiles/heb_core.dir/pat.cpp.o" "gcc" "src/core/CMakeFiles/heb_core.dir/pat.cpp.o.d"
+  "/root/repo/src/core/predictor.cpp" "src/core/CMakeFiles/heb_core.dir/predictor.cpp.o" "gcc" "src/core/CMakeFiles/heb_core.dir/predictor.cpp.o.d"
+  "/root/repo/src/core/profiler.cpp" "src/core/CMakeFiles/heb_core.dir/profiler.cpp.o" "gcc" "src/core/CMakeFiles/heb_core.dir/profiler.cpp.o.d"
+  "/root/repo/src/core/ride_through.cpp" "src/core/CMakeFiles/heb_core.dir/ride_through.cpp.o" "gcc" "src/core/CMakeFiles/heb_core.dir/ride_through.cpp.o.d"
+  "/root/repo/src/core/schemes.cpp" "src/core/CMakeFiles/heb_core.dir/schemes.cpp.o" "gcc" "src/core/CMakeFiles/heb_core.dir/schemes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/heb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/esd/CMakeFiles/heb_esd.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/heb_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heb_core.dir/controller.cpp.o"
+  "CMakeFiles/heb_core.dir/controller.cpp.o.d"
+  "CMakeFiles/heb_core.dir/load_assignment.cpp.o"
+  "CMakeFiles/heb_core.dir/load_assignment.cpp.o.d"
+  "CMakeFiles/heb_core.dir/pat.cpp.o"
+  "CMakeFiles/heb_core.dir/pat.cpp.o.d"
+  "CMakeFiles/heb_core.dir/predictor.cpp.o"
+  "CMakeFiles/heb_core.dir/predictor.cpp.o.d"
+  "CMakeFiles/heb_core.dir/profiler.cpp.o"
+  "CMakeFiles/heb_core.dir/profiler.cpp.o.d"
+  "CMakeFiles/heb_core.dir/ride_through.cpp.o"
+  "CMakeFiles/heb_core.dir/ride_through.cpp.o.d"
+  "CMakeFiles/heb_core.dir/schemes.cpp.o"
+  "CMakeFiles/heb_core.dir/schemes.cpp.o.d"
+  "libheb_core.a"
+  "libheb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

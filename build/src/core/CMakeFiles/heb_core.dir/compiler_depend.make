@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for heb_core.
+# This may be replaced when dependencies are built.

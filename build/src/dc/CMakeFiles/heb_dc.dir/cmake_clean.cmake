@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heb_dc.dir/cluster.cpp.o"
+  "CMakeFiles/heb_dc.dir/cluster.cpp.o.d"
+  "CMakeFiles/heb_dc.dir/server.cpp.o"
+  "CMakeFiles/heb_dc.dir/server.cpp.o.d"
+  "libheb_dc.a"
+  "libheb_dc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heb_dc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/esd/bank_builder.cpp" "src/esd/CMakeFiles/heb_esd.dir/bank_builder.cpp.o" "gcc" "src/esd/CMakeFiles/heb_esd.dir/bank_builder.cpp.o.d"
+  "/root/repo/src/esd/battery.cpp" "src/esd/CMakeFiles/heb_esd.dir/battery.cpp.o" "gcc" "src/esd/CMakeFiles/heb_esd.dir/battery.cpp.o.d"
+  "/root/repo/src/esd/efficiency_meter.cpp" "src/esd/CMakeFiles/heb_esd.dir/efficiency_meter.cpp.o" "gcc" "src/esd/CMakeFiles/heb_esd.dir/efficiency_meter.cpp.o.d"
+  "/root/repo/src/esd/esd_pool.cpp" "src/esd/CMakeFiles/heb_esd.dir/esd_pool.cpp.o" "gcc" "src/esd/CMakeFiles/heb_esd.dir/esd_pool.cpp.o.d"
+  "/root/repo/src/esd/lifetime_model.cpp" "src/esd/CMakeFiles/heb_esd.dir/lifetime_model.cpp.o" "gcc" "src/esd/CMakeFiles/heb_esd.dir/lifetime_model.cpp.o.d"
+  "/root/repo/src/esd/peukert_battery.cpp" "src/esd/CMakeFiles/heb_esd.dir/peukert_battery.cpp.o" "gcc" "src/esd/CMakeFiles/heb_esd.dir/peukert_battery.cpp.o.d"
+  "/root/repo/src/esd/rainflow.cpp" "src/esd/CMakeFiles/heb_esd.dir/rainflow.cpp.o" "gcc" "src/esd/CMakeFiles/heb_esd.dir/rainflow.cpp.o.d"
+  "/root/repo/src/esd/supercapacitor.cpp" "src/esd/CMakeFiles/heb_esd.dir/supercapacitor.cpp.o" "gcc" "src/esd/CMakeFiles/heb_esd.dir/supercapacitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/heb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

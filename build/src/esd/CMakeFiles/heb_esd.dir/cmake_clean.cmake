@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heb_esd.dir/bank_builder.cpp.o"
+  "CMakeFiles/heb_esd.dir/bank_builder.cpp.o.d"
+  "CMakeFiles/heb_esd.dir/battery.cpp.o"
+  "CMakeFiles/heb_esd.dir/battery.cpp.o.d"
+  "CMakeFiles/heb_esd.dir/efficiency_meter.cpp.o"
+  "CMakeFiles/heb_esd.dir/efficiency_meter.cpp.o.d"
+  "CMakeFiles/heb_esd.dir/esd_pool.cpp.o"
+  "CMakeFiles/heb_esd.dir/esd_pool.cpp.o.d"
+  "CMakeFiles/heb_esd.dir/lifetime_model.cpp.o"
+  "CMakeFiles/heb_esd.dir/lifetime_model.cpp.o.d"
+  "CMakeFiles/heb_esd.dir/peukert_battery.cpp.o"
+  "CMakeFiles/heb_esd.dir/peukert_battery.cpp.o.d"
+  "CMakeFiles/heb_esd.dir/rainflow.cpp.o"
+  "CMakeFiles/heb_esd.dir/rainflow.cpp.o.d"
+  "CMakeFiles/heb_esd.dir/supercapacitor.cpp.o"
+  "CMakeFiles/heb_esd.dir/supercapacitor.cpp.o.d"
+  "libheb_esd.a"
+  "libheb_esd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heb_esd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/ats.cpp" "src/power/CMakeFiles/heb_power.dir/ats.cpp.o" "gcc" "src/power/CMakeFiles/heb_power.dir/ats.cpp.o.d"
+  "/root/repo/src/power/converter.cpp" "src/power/CMakeFiles/heb_power.dir/converter.cpp.o" "gcc" "src/power/CMakeFiles/heb_power.dir/converter.cpp.o.d"
+  "/root/repo/src/power/ipdu.cpp" "src/power/CMakeFiles/heb_power.dir/ipdu.cpp.o" "gcc" "src/power/CMakeFiles/heb_power.dir/ipdu.cpp.o.d"
+  "/root/repo/src/power/power_switch.cpp" "src/power/CMakeFiles/heb_power.dir/power_switch.cpp.o" "gcc" "src/power/CMakeFiles/heb_power.dir/power_switch.cpp.o.d"
+  "/root/repo/src/power/solar_array.cpp" "src/power/CMakeFiles/heb_power.dir/solar_array.cpp.o" "gcc" "src/power/CMakeFiles/heb_power.dir/solar_array.cpp.o.d"
+  "/root/repo/src/power/topology.cpp" "src/power/CMakeFiles/heb_power.dir/topology.cpp.o" "gcc" "src/power/CMakeFiles/heb_power.dir/topology.cpp.o.d"
+  "/root/repo/src/power/utility_grid.cpp" "src/power/CMakeFiles/heb_power.dir/utility_grid.cpp.o" "gcc" "src/power/CMakeFiles/heb_power.dir/utility_grid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/heb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heb_power.dir/ats.cpp.o"
+  "CMakeFiles/heb_power.dir/ats.cpp.o.d"
+  "CMakeFiles/heb_power.dir/converter.cpp.o"
+  "CMakeFiles/heb_power.dir/converter.cpp.o.d"
+  "CMakeFiles/heb_power.dir/ipdu.cpp.o"
+  "CMakeFiles/heb_power.dir/ipdu.cpp.o.d"
+  "CMakeFiles/heb_power.dir/power_switch.cpp.o"
+  "CMakeFiles/heb_power.dir/power_switch.cpp.o.d"
+  "CMakeFiles/heb_power.dir/solar_array.cpp.o"
+  "CMakeFiles/heb_power.dir/solar_array.cpp.o.d"
+  "CMakeFiles/heb_power.dir/topology.cpp.o"
+  "CMakeFiles/heb_power.dir/topology.cpp.o.d"
+  "CMakeFiles/heb_power.dir/utility_grid.cpp.o"
+  "CMakeFiles/heb_power.dir/utility_grid.cpp.o.d"
+  "libheb_power.a"
+  "libheb_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heb_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

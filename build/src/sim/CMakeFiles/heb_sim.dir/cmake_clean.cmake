@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heb_sim.dir/experiment.cpp.o"
+  "CMakeFiles/heb_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/heb_sim.dir/fleet.cpp.o"
+  "CMakeFiles/heb_sim.dir/fleet.cpp.o.d"
+  "CMakeFiles/heb_sim.dir/rack_domain.cpp.o"
+  "CMakeFiles/heb_sim.dir/rack_domain.cpp.o.d"
+  "CMakeFiles/heb_sim.dir/result_io.cpp.o"
+  "CMakeFiles/heb_sim.dir/result_io.cpp.o.d"
+  "CMakeFiles/heb_sim.dir/simulator.cpp.o"
+  "CMakeFiles/heb_sim.dir/simulator.cpp.o.d"
+  "libheb_sim.a"
+  "libheb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

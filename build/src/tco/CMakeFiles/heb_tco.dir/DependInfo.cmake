@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tco/cost_model.cpp" "src/tco/CMakeFiles/heb_tco.dir/cost_model.cpp.o" "gcc" "src/tco/CMakeFiles/heb_tco.dir/cost_model.cpp.o.d"
+  "/root/repo/src/tco/peak_shaving.cpp" "src/tco/CMakeFiles/heb_tco.dir/peak_shaving.cpp.o" "gcc" "src/tco/CMakeFiles/heb_tco.dir/peak_shaving.cpp.o.d"
+  "/root/repo/src/tco/roi.cpp" "src/tco/CMakeFiles/heb_tco.dir/roi.cpp.o" "gcc" "src/tco/CMakeFiles/heb_tco.dir/roi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/heb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heb_tco.dir/cost_model.cpp.o"
+  "CMakeFiles/heb_tco.dir/cost_model.cpp.o.d"
+  "CMakeFiles/heb_tco.dir/peak_shaving.cpp.o"
+  "CMakeFiles/heb_tco.dir/peak_shaving.cpp.o.d"
+  "CMakeFiles/heb_tco.dir/roi.cpp.o"
+  "CMakeFiles/heb_tco.dir/roi.cpp.o.d"
+  "libheb_tco.a"
+  "libheb_tco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heb_tco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

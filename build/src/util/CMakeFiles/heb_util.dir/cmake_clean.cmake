@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heb_util.dir/config.cpp.o"
+  "CMakeFiles/heb_util.dir/config.cpp.o.d"
+  "CMakeFiles/heb_util.dir/csv.cpp.o"
+  "CMakeFiles/heb_util.dir/csv.cpp.o.d"
+  "CMakeFiles/heb_util.dir/logging.cpp.o"
+  "CMakeFiles/heb_util.dir/logging.cpp.o.d"
+  "CMakeFiles/heb_util.dir/rng.cpp.o"
+  "CMakeFiles/heb_util.dir/rng.cpp.o.d"
+  "CMakeFiles/heb_util.dir/statistics.cpp.o"
+  "CMakeFiles/heb_util.dir/statistics.cpp.o.d"
+  "CMakeFiles/heb_util.dir/table_printer.cpp.o"
+  "CMakeFiles/heb_util.dir/table_printer.cpp.o.d"
+  "CMakeFiles/heb_util.dir/time_series.cpp.o"
+  "CMakeFiles/heb_util.dir/time_series.cpp.o.d"
+  "libheb_util.a"
+  "libheb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/composite_workload.cpp" "src/workload/CMakeFiles/heb_workload.dir/composite_workload.cpp.o" "gcc" "src/workload/CMakeFiles/heb_workload.dir/composite_workload.cpp.o.d"
+  "/root/repo/src/workload/google_trace.cpp" "src/workload/CMakeFiles/heb_workload.dir/google_trace.cpp.o" "gcc" "src/workload/CMakeFiles/heb_workload.dir/google_trace.cpp.o.d"
+  "/root/repo/src/workload/peak_shapes.cpp" "src/workload/CMakeFiles/heb_workload.dir/peak_shapes.cpp.o" "gcc" "src/workload/CMakeFiles/heb_workload.dir/peak_shapes.cpp.o.d"
+  "/root/repo/src/workload/trace_workload.cpp" "src/workload/CMakeFiles/heb_workload.dir/trace_workload.cpp.o" "gcc" "src/workload/CMakeFiles/heb_workload.dir/trace_workload.cpp.o.d"
+  "/root/repo/src/workload/workload_profiles.cpp" "src/workload/CMakeFiles/heb_workload.dir/workload_profiles.cpp.o" "gcc" "src/workload/CMakeFiles/heb_workload.dir/workload_profiles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/heb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heb_workload.dir/composite_workload.cpp.o"
+  "CMakeFiles/heb_workload.dir/composite_workload.cpp.o.d"
+  "CMakeFiles/heb_workload.dir/google_trace.cpp.o"
+  "CMakeFiles/heb_workload.dir/google_trace.cpp.o.d"
+  "CMakeFiles/heb_workload.dir/peak_shapes.cpp.o"
+  "CMakeFiles/heb_workload.dir/peak_shapes.cpp.o.d"
+  "CMakeFiles/heb_workload.dir/trace_workload.cpp.o"
+  "CMakeFiles/heb_workload.dir/trace_workload.cpp.o.d"
+  "CMakeFiles/heb_workload.dir/workload_profiles.cpp.o"
+  "CMakeFiles/heb_workload.dir/workload_profiles.cpp.o.d"
+  "libheb_workload.a"
+  "libheb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libheb_workload.a"
+)

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heb_core_tests.dir/core/controller_test.cpp.o"
+  "CMakeFiles/heb_core_tests.dir/core/controller_test.cpp.o.d"
+  "CMakeFiles/heb_core_tests.dir/core/load_assignment_test.cpp.o"
+  "CMakeFiles/heb_core_tests.dir/core/load_assignment_test.cpp.o.d"
+  "CMakeFiles/heb_core_tests.dir/core/pat_persistence_test.cpp.o"
+  "CMakeFiles/heb_core_tests.dir/core/pat_persistence_test.cpp.o.d"
+  "CMakeFiles/heb_core_tests.dir/core/pat_test.cpp.o"
+  "CMakeFiles/heb_core_tests.dir/core/pat_test.cpp.o.d"
+  "CMakeFiles/heb_core_tests.dir/core/predictor_quality_test.cpp.o"
+  "CMakeFiles/heb_core_tests.dir/core/predictor_quality_test.cpp.o.d"
+  "CMakeFiles/heb_core_tests.dir/core/predictor_test.cpp.o"
+  "CMakeFiles/heb_core_tests.dir/core/predictor_test.cpp.o.d"
+  "CMakeFiles/heb_core_tests.dir/core/profiler_test.cpp.o"
+  "CMakeFiles/heb_core_tests.dir/core/profiler_test.cpp.o.d"
+  "CMakeFiles/heb_core_tests.dir/core/ride_through_test.cpp.o"
+  "CMakeFiles/heb_core_tests.dir/core/ride_through_test.cpp.o.d"
+  "CMakeFiles/heb_core_tests.dir/core/schemes_test.cpp.o"
+  "CMakeFiles/heb_core_tests.dir/core/schemes_test.cpp.o.d"
+  "heb_core_tests"
+  "heb_core_tests.pdb"
+  "heb_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heb_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

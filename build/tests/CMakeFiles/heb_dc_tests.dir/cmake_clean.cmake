@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heb_dc_tests.dir/dc/cluster_test.cpp.o"
+  "CMakeFiles/heb_dc_tests.dir/dc/cluster_test.cpp.o.d"
+  "CMakeFiles/heb_dc_tests.dir/dc/server_test.cpp.o"
+  "CMakeFiles/heb_dc_tests.dir/dc/server_test.cpp.o.d"
+  "heb_dc_tests"
+  "heb_dc_tests.pdb"
+  "heb_dc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heb_dc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/esd/bank_builder_test.cpp" "tests/CMakeFiles/heb_esd_tests.dir/esd/bank_builder_test.cpp.o" "gcc" "tests/CMakeFiles/heb_esd_tests.dir/esd/bank_builder_test.cpp.o.d"
+  "/root/repo/tests/esd/battery_aging_test.cpp" "tests/CMakeFiles/heb_esd_tests.dir/esd/battery_aging_test.cpp.o" "gcc" "tests/CMakeFiles/heb_esd_tests.dir/esd/battery_aging_test.cpp.o.d"
+  "/root/repo/tests/esd/battery_test.cpp" "tests/CMakeFiles/heb_esd_tests.dir/esd/battery_test.cpp.o" "gcc" "tests/CMakeFiles/heb_esd_tests.dir/esd/battery_test.cpp.o.d"
+  "/root/repo/tests/esd/efficiency_meter_test.cpp" "tests/CMakeFiles/heb_esd_tests.dir/esd/efficiency_meter_test.cpp.o" "gcc" "tests/CMakeFiles/heb_esd_tests.dir/esd/efficiency_meter_test.cpp.o.d"
+  "/root/repo/tests/esd/fuzz_conservation_test.cpp" "tests/CMakeFiles/heb_esd_tests.dir/esd/fuzz_conservation_test.cpp.o" "gcc" "tests/CMakeFiles/heb_esd_tests.dir/esd/fuzz_conservation_test.cpp.o.d"
+  "/root/repo/tests/esd/kibam_analytical_test.cpp" "tests/CMakeFiles/heb_esd_tests.dir/esd/kibam_analytical_test.cpp.o" "gcc" "tests/CMakeFiles/heb_esd_tests.dir/esd/kibam_analytical_test.cpp.o.d"
+  "/root/repo/tests/esd/lifetime_model_test.cpp" "tests/CMakeFiles/heb_esd_tests.dir/esd/lifetime_model_test.cpp.o" "gcc" "tests/CMakeFiles/heb_esd_tests.dir/esd/lifetime_model_test.cpp.o.d"
+  "/root/repo/tests/esd/liion_test.cpp" "tests/CMakeFiles/heb_esd_tests.dir/esd/liion_test.cpp.o" "gcc" "tests/CMakeFiles/heb_esd_tests.dir/esd/liion_test.cpp.o.d"
+  "/root/repo/tests/esd/peukert_battery_test.cpp" "tests/CMakeFiles/heb_esd_tests.dir/esd/peukert_battery_test.cpp.o" "gcc" "tests/CMakeFiles/heb_esd_tests.dir/esd/peukert_battery_test.cpp.o.d"
+  "/root/repo/tests/esd/pool_test.cpp" "tests/CMakeFiles/heb_esd_tests.dir/esd/pool_test.cpp.o" "gcc" "tests/CMakeFiles/heb_esd_tests.dir/esd/pool_test.cpp.o.d"
+  "/root/repo/tests/esd/rainflow_test.cpp" "tests/CMakeFiles/heb_esd_tests.dir/esd/rainflow_test.cpp.o" "gcc" "tests/CMakeFiles/heb_esd_tests.dir/esd/rainflow_test.cpp.o.d"
+  "/root/repo/tests/esd/supercap_test.cpp" "tests/CMakeFiles/heb_esd_tests.dir/esd/supercap_test.cpp.o" "gcc" "tests/CMakeFiles/heb_esd_tests.dir/esd/supercap_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/heb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/heb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/esd/CMakeFiles/heb_esd.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/heb_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/dc/CMakeFiles/heb_dc.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/heb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/tco/CMakeFiles/heb_tco.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/heb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

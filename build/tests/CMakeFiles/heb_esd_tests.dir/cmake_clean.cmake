@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heb_esd_tests.dir/esd/bank_builder_test.cpp.o"
+  "CMakeFiles/heb_esd_tests.dir/esd/bank_builder_test.cpp.o.d"
+  "CMakeFiles/heb_esd_tests.dir/esd/battery_aging_test.cpp.o"
+  "CMakeFiles/heb_esd_tests.dir/esd/battery_aging_test.cpp.o.d"
+  "CMakeFiles/heb_esd_tests.dir/esd/battery_test.cpp.o"
+  "CMakeFiles/heb_esd_tests.dir/esd/battery_test.cpp.o.d"
+  "CMakeFiles/heb_esd_tests.dir/esd/efficiency_meter_test.cpp.o"
+  "CMakeFiles/heb_esd_tests.dir/esd/efficiency_meter_test.cpp.o.d"
+  "CMakeFiles/heb_esd_tests.dir/esd/fuzz_conservation_test.cpp.o"
+  "CMakeFiles/heb_esd_tests.dir/esd/fuzz_conservation_test.cpp.o.d"
+  "CMakeFiles/heb_esd_tests.dir/esd/kibam_analytical_test.cpp.o"
+  "CMakeFiles/heb_esd_tests.dir/esd/kibam_analytical_test.cpp.o.d"
+  "CMakeFiles/heb_esd_tests.dir/esd/lifetime_model_test.cpp.o"
+  "CMakeFiles/heb_esd_tests.dir/esd/lifetime_model_test.cpp.o.d"
+  "CMakeFiles/heb_esd_tests.dir/esd/liion_test.cpp.o"
+  "CMakeFiles/heb_esd_tests.dir/esd/liion_test.cpp.o.d"
+  "CMakeFiles/heb_esd_tests.dir/esd/peukert_battery_test.cpp.o"
+  "CMakeFiles/heb_esd_tests.dir/esd/peukert_battery_test.cpp.o.d"
+  "CMakeFiles/heb_esd_tests.dir/esd/pool_test.cpp.o"
+  "CMakeFiles/heb_esd_tests.dir/esd/pool_test.cpp.o.d"
+  "CMakeFiles/heb_esd_tests.dir/esd/rainflow_test.cpp.o"
+  "CMakeFiles/heb_esd_tests.dir/esd/rainflow_test.cpp.o.d"
+  "CMakeFiles/heb_esd_tests.dir/esd/supercap_test.cpp.o"
+  "CMakeFiles/heb_esd_tests.dir/esd/supercap_test.cpp.o.d"
+  "heb_esd_tests"
+  "heb_esd_tests.pdb"
+  "heb_esd_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heb_esd_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heb_power_tests.dir/power/ats_test.cpp.o"
+  "CMakeFiles/heb_power_tests.dir/power/ats_test.cpp.o.d"
+  "CMakeFiles/heb_power_tests.dir/power/converter_test.cpp.o"
+  "CMakeFiles/heb_power_tests.dir/power/converter_test.cpp.o.d"
+  "CMakeFiles/heb_power_tests.dir/power/ipdu_test.cpp.o"
+  "CMakeFiles/heb_power_tests.dir/power/ipdu_test.cpp.o.d"
+  "CMakeFiles/heb_power_tests.dir/power/power_switch_test.cpp.o"
+  "CMakeFiles/heb_power_tests.dir/power/power_switch_test.cpp.o.d"
+  "CMakeFiles/heb_power_tests.dir/power/solar_test.cpp.o"
+  "CMakeFiles/heb_power_tests.dir/power/solar_test.cpp.o.d"
+  "CMakeFiles/heb_power_tests.dir/power/topology_test.cpp.o"
+  "CMakeFiles/heb_power_tests.dir/power/topology_test.cpp.o.d"
+  "CMakeFiles/heb_power_tests.dir/power/utility_grid_test.cpp.o"
+  "CMakeFiles/heb_power_tests.dir/power/utility_grid_test.cpp.o.d"
+  "heb_power_tests"
+  "heb_power_tests.pdb"
+  "heb_power_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heb_power_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

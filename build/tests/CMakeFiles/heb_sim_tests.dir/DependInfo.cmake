@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/aging_adaptation_test.cpp" "tests/CMakeFiles/heb_sim_tests.dir/sim/aging_adaptation_test.cpp.o" "gcc" "tests/CMakeFiles/heb_sim_tests.dir/sim/aging_adaptation_test.cpp.o.d"
+  "/root/repo/tests/sim/demand_charge_test.cpp" "tests/CMakeFiles/heb_sim_tests.dir/sim/demand_charge_test.cpp.o" "gcc" "tests/CMakeFiles/heb_sim_tests.dir/sim/demand_charge_test.cpp.o.d"
+  "/root/repo/tests/sim/dvfs_capping_test.cpp" "tests/CMakeFiles/heb_sim_tests.dir/sim/dvfs_capping_test.cpp.o" "gcc" "tests/CMakeFiles/heb_sim_tests.dir/sim/dvfs_capping_test.cpp.o.d"
+  "/root/repo/tests/sim/experiment_test.cpp" "tests/CMakeFiles/heb_sim_tests.dir/sim/experiment_test.cpp.o" "gcc" "tests/CMakeFiles/heb_sim_tests.dir/sim/experiment_test.cpp.o.d"
+  "/root/repo/tests/sim/failure_injection_test.cpp" "tests/CMakeFiles/heb_sim_tests.dir/sim/failure_injection_test.cpp.o" "gcc" "tests/CMakeFiles/heb_sim_tests.dir/sim/failure_injection_test.cpp.o.d"
+  "/root/repo/tests/sim/fleet_test.cpp" "tests/CMakeFiles/heb_sim_tests.dir/sim/fleet_test.cpp.o" "gcc" "tests/CMakeFiles/heb_sim_tests.dir/sim/fleet_test.cpp.o.d"
+  "/root/repo/tests/sim/paper_claims_test.cpp" "tests/CMakeFiles/heb_sim_tests.dir/sim/paper_claims_test.cpp.o" "gcc" "tests/CMakeFiles/heb_sim_tests.dir/sim/paper_claims_test.cpp.o.d"
+  "/root/repo/tests/sim/rack_domain_test.cpp" "tests/CMakeFiles/heb_sim_tests.dir/sim/rack_domain_test.cpp.o" "gcc" "tests/CMakeFiles/heb_sim_tests.dir/sim/rack_domain_test.cpp.o.d"
+  "/root/repo/tests/sim/result_io_test.cpp" "tests/CMakeFiles/heb_sim_tests.dir/sim/result_io_test.cpp.o" "gcc" "tests/CMakeFiles/heb_sim_tests.dir/sim/result_io_test.cpp.o.d"
+  "/root/repo/tests/sim/sensor_noise_test.cpp" "tests/CMakeFiles/heb_sim_tests.dir/sim/sensor_noise_test.cpp.o" "gcc" "tests/CMakeFiles/heb_sim_tests.dir/sim/sensor_noise_test.cpp.o.d"
+  "/root/repo/tests/sim/simulator_test.cpp" "tests/CMakeFiles/heb_sim_tests.dir/sim/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/heb_sim_tests.dir/sim/simulator_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/heb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/heb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/esd/CMakeFiles/heb_esd.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/heb_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/dc/CMakeFiles/heb_dc.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/heb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/tco/CMakeFiles/heb_tco.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/heb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heb_sim_tests.dir/sim/aging_adaptation_test.cpp.o"
+  "CMakeFiles/heb_sim_tests.dir/sim/aging_adaptation_test.cpp.o.d"
+  "CMakeFiles/heb_sim_tests.dir/sim/demand_charge_test.cpp.o"
+  "CMakeFiles/heb_sim_tests.dir/sim/demand_charge_test.cpp.o.d"
+  "CMakeFiles/heb_sim_tests.dir/sim/dvfs_capping_test.cpp.o"
+  "CMakeFiles/heb_sim_tests.dir/sim/dvfs_capping_test.cpp.o.d"
+  "CMakeFiles/heb_sim_tests.dir/sim/experiment_test.cpp.o"
+  "CMakeFiles/heb_sim_tests.dir/sim/experiment_test.cpp.o.d"
+  "CMakeFiles/heb_sim_tests.dir/sim/failure_injection_test.cpp.o"
+  "CMakeFiles/heb_sim_tests.dir/sim/failure_injection_test.cpp.o.d"
+  "CMakeFiles/heb_sim_tests.dir/sim/fleet_test.cpp.o"
+  "CMakeFiles/heb_sim_tests.dir/sim/fleet_test.cpp.o.d"
+  "CMakeFiles/heb_sim_tests.dir/sim/paper_claims_test.cpp.o"
+  "CMakeFiles/heb_sim_tests.dir/sim/paper_claims_test.cpp.o.d"
+  "CMakeFiles/heb_sim_tests.dir/sim/rack_domain_test.cpp.o"
+  "CMakeFiles/heb_sim_tests.dir/sim/rack_domain_test.cpp.o.d"
+  "CMakeFiles/heb_sim_tests.dir/sim/result_io_test.cpp.o"
+  "CMakeFiles/heb_sim_tests.dir/sim/result_io_test.cpp.o.d"
+  "CMakeFiles/heb_sim_tests.dir/sim/sensor_noise_test.cpp.o"
+  "CMakeFiles/heb_sim_tests.dir/sim/sensor_noise_test.cpp.o.d"
+  "CMakeFiles/heb_sim_tests.dir/sim/simulator_test.cpp.o"
+  "CMakeFiles/heb_sim_tests.dir/sim/simulator_test.cpp.o.d"
+  "heb_sim_tests"
+  "heb_sim_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heb_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heb_tco_tests.dir/tco/cost_model_test.cpp.o"
+  "CMakeFiles/heb_tco_tests.dir/tco/cost_model_test.cpp.o.d"
+  "CMakeFiles/heb_tco_tests.dir/tco/peak_shaving_test.cpp.o"
+  "CMakeFiles/heb_tco_tests.dir/tco/peak_shaving_test.cpp.o.d"
+  "CMakeFiles/heb_tco_tests.dir/tco/roi_test.cpp.o"
+  "CMakeFiles/heb_tco_tests.dir/tco/roi_test.cpp.o.d"
+  "heb_tco_tests"
+  "heb_tco_tests.pdb"
+  "heb_tco_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heb_tco_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

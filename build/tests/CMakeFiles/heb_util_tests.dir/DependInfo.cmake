@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/config_test.cpp" "tests/CMakeFiles/heb_util_tests.dir/util/config_test.cpp.o" "gcc" "tests/CMakeFiles/heb_util_tests.dir/util/config_test.cpp.o.d"
+  "/root/repo/tests/util/csv_test.cpp" "tests/CMakeFiles/heb_util_tests.dir/util/csv_test.cpp.o" "gcc" "tests/CMakeFiles/heb_util_tests.dir/util/csv_test.cpp.o.d"
+  "/root/repo/tests/util/logging_test.cpp" "tests/CMakeFiles/heb_util_tests.dir/util/logging_test.cpp.o" "gcc" "tests/CMakeFiles/heb_util_tests.dir/util/logging_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/heb_util_tests.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/heb_util_tests.dir/util/rng_test.cpp.o.d"
+  "/root/repo/tests/util/statistics_test.cpp" "tests/CMakeFiles/heb_util_tests.dir/util/statistics_test.cpp.o" "gcc" "tests/CMakeFiles/heb_util_tests.dir/util/statistics_test.cpp.o.d"
+  "/root/repo/tests/util/table_printer_test.cpp" "tests/CMakeFiles/heb_util_tests.dir/util/table_printer_test.cpp.o" "gcc" "tests/CMakeFiles/heb_util_tests.dir/util/table_printer_test.cpp.o.d"
+  "/root/repo/tests/util/time_series_test.cpp" "tests/CMakeFiles/heb_util_tests.dir/util/time_series_test.cpp.o" "gcc" "tests/CMakeFiles/heb_util_tests.dir/util/time_series_test.cpp.o.d"
+  "/root/repo/tests/util/units_test.cpp" "tests/CMakeFiles/heb_util_tests.dir/util/units_test.cpp.o" "gcc" "tests/CMakeFiles/heb_util_tests.dir/util/units_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/heb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/heb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/esd/CMakeFiles/heb_esd.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/heb_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/dc/CMakeFiles/heb_dc.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/heb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/tco/CMakeFiles/heb_tco.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/heb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heb_util_tests.dir/util/config_test.cpp.o"
+  "CMakeFiles/heb_util_tests.dir/util/config_test.cpp.o.d"
+  "CMakeFiles/heb_util_tests.dir/util/csv_test.cpp.o"
+  "CMakeFiles/heb_util_tests.dir/util/csv_test.cpp.o.d"
+  "CMakeFiles/heb_util_tests.dir/util/logging_test.cpp.o"
+  "CMakeFiles/heb_util_tests.dir/util/logging_test.cpp.o.d"
+  "CMakeFiles/heb_util_tests.dir/util/rng_test.cpp.o"
+  "CMakeFiles/heb_util_tests.dir/util/rng_test.cpp.o.d"
+  "CMakeFiles/heb_util_tests.dir/util/statistics_test.cpp.o"
+  "CMakeFiles/heb_util_tests.dir/util/statistics_test.cpp.o.d"
+  "CMakeFiles/heb_util_tests.dir/util/table_printer_test.cpp.o"
+  "CMakeFiles/heb_util_tests.dir/util/table_printer_test.cpp.o.d"
+  "CMakeFiles/heb_util_tests.dir/util/time_series_test.cpp.o"
+  "CMakeFiles/heb_util_tests.dir/util/time_series_test.cpp.o.d"
+  "CMakeFiles/heb_util_tests.dir/util/units_test.cpp.o"
+  "CMakeFiles/heb_util_tests.dir/util/units_test.cpp.o.d"
+  "heb_util_tests"
+  "heb_util_tests.pdb"
+  "heb_util_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heb_util_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

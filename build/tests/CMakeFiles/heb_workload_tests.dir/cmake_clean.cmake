@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heb_workload_tests.dir/workload/composite_workload_test.cpp.o"
+  "CMakeFiles/heb_workload_tests.dir/workload/composite_workload_test.cpp.o.d"
+  "CMakeFiles/heb_workload_tests.dir/workload/google_trace_test.cpp.o"
+  "CMakeFiles/heb_workload_tests.dir/workload/google_trace_test.cpp.o.d"
+  "CMakeFiles/heb_workload_tests.dir/workload/peak_shapes_test.cpp.o"
+  "CMakeFiles/heb_workload_tests.dir/workload/peak_shapes_test.cpp.o.d"
+  "CMakeFiles/heb_workload_tests.dir/workload/profiles_test.cpp.o"
+  "CMakeFiles/heb_workload_tests.dir/workload/profiles_test.cpp.o.d"
+  "CMakeFiles/heb_workload_tests.dir/workload/trace_workload_test.cpp.o"
+  "CMakeFiles/heb_workload_tests.dir/workload/trace_workload_test.cpp.o.d"
+  "heb_workload_tests"
+  "heb_workload_tests.pdb"
+  "heb_workload_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heb_workload_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/heb_util_tests[1]_include.cmake")
+include("/root/repo/build/tests/heb_esd_tests[1]_include.cmake")
+include("/root/repo/build/tests/heb_power_tests[1]_include.cmake")
+include("/root/repo/build/tests/heb_dc_tests[1]_include.cmake")
+include("/root/repo/build/tests/heb_workload_tests[1]_include.cmake")
+include("/root/repo/build/tests/heb_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/heb_tco_tests[1]_include.cmake")
+add_test(heb_sim_tests "/root/repo/build/tests/heb_sim_tests")
+set_tests_properties(heb_sim_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;18;add_test;/root/repo/tests/CMakeLists.txt;30;heb_add_test_dir;/root/repo/tests/CMakeLists.txt;0;")

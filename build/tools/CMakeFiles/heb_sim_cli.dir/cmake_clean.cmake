@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heb_sim_cli.dir/heb_sim_cli.cpp.o"
+  "CMakeFiles/heb_sim_cli.dir/heb_sim_cli.cpp.o.d"
+  "heb_sim"
+  "heb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heb_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
