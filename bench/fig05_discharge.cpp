@@ -9,11 +9,16 @@
  * be shielded from large peak mismatches.
  */
 
+#include <chrono>
 #include <cstdio>
 
 #include "esd/battery.h"
 #include "esd/supercapacitor.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
 #include "util/csv.h"
+#include "util/logging.h"
 #include "util/table_printer.h"
 
 using namespace heb;
@@ -22,6 +27,17 @@ int
 main()
 {
     std::printf("=== Figure 5: discharge voltage curves ===\n\n");
+
+    obs::setTelemetryLevel(obs::TelemetryLevel::Metrics);
+    obs::setProfilingEnabled(true);
+    obs::RunManifest manifest;
+    manifest.tool = "fig05_discharge";
+    manifest.startedAtIso = isoTimestampUtc();
+    auto wall_start = std::chrono::steady_clock::now();
+    auto &ba_v_hist = obs::MetricsRegistry::global().histogram(
+        "bench.fig05.battery_v", {0.5, 2.0, 8});
+    auto &sc_v_hist = obs::MetricsRegistry::global().histogram(
+        "bench.fig05.sc_v", {0.5, 2.0, 8});
 
     CsvWriter csv("fig05_discharge.csv");
     csv.header({"seconds", "load_servers", "battery_v", "sc_v"});
@@ -35,6 +51,7 @@ main()
     // mid/end points describe that device's discharge, not a shared
     // clock.
     auto run_curve = [](auto &dev, double load) {
+        HEB_PROF_SCOPE("bench.fig05.curve");
         std::vector<double> v;
         for (int t = 0; t < 3600 * 6; ++t) {
             double got = dev.discharge(load, 1.0);
@@ -56,6 +73,10 @@ main()
 
         std::vector<double> ba_v = run_curve(ba, load);
         std::vector<double> sc_v = run_curve(sc, load);
+        for (double v : ba_v)
+            ba_v_hist.record(v);
+        for (double v : sc_v)
+            sc_v_hist.record(v);
 
         std::size_t pts = std::max(ba_v.size(), sc_v.size());
         for (std::size_t t = 0; t < pts; t += 30) {
@@ -86,7 +107,18 @@ main()
     }
     table.print();
 
-    std::printf("\nFull curves written to fig05_discharge.csv.\n");
+    manifest.wallSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
+    obs::MetricsRegistry::global().writeJson("fig05_metrics.json");
+    obs::writeRunManifest("fig05_manifest.json", manifest);
+    std::printf("\n--- phase profile ---\n%s",
+                obs::profileReport().c_str());
+
+    std::printf("\nFull curves written to fig05_discharge.csv; "
+                "metrics to fig05_metrics.json, provenance to "
+                "fig05_manifest.json.\n");
     std::printf("Paper shape: SC voltage declines ~linearly at every "
                 "load; battery voltage drops sharply as load "
                 "grows.\n");

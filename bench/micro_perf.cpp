@@ -14,6 +14,8 @@
 #include "core/schemes.h"
 #include "esd/battery.h"
 #include "esd/supercapacitor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/experiment.h"
 #include "workload/workload_profiles.h"
 
@@ -110,6 +112,7 @@ BENCHMARK(BM_WorkloadUtilization);
 void
 BM_SimulatorDay(benchmark::State &state)
 {
+    obs::setTelemetryLevel(obs::TelemetryLevel::Off);
     SimConfig cfg;
     cfg.durationSeconds = 24.0 * 3600.0;
     for (auto _ : state) {
@@ -121,6 +124,85 @@ BM_SimulatorDay(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 86400);
 }
 BENCHMARK(BM_SimulatorDay)->Unit(benchmark::kMillisecond);
+
+// Same day with metrics on, then with full per-tick tracing: the gap
+// against BM_SimulatorDay is the telemetry tax. With telemetry Off
+// the tick loop must stay within noise (<=2%) of the uninstrumented
+// baseline — the hot-path guard is one relaxed atomic load.
+void
+BM_SimulatorDayMetrics(benchmark::State &state)
+{
+    obs::setTelemetryLevel(obs::TelemetryLevel::Metrics);
+    SimConfig cfg;
+    cfg.durationSeconds = 24.0 * 3600.0;
+    for (auto _ : state) {
+        auto workload = makeWorkload("WC");
+        auto scheme = makeScheme(SchemeKind::HebD);
+        SimResult r = Simulator(cfg).run(*workload, *scheme);
+        benchmark::DoNotOptimize(r.energyEfficiency);
+    }
+    state.SetItemsProcessed(state.iterations() * 86400);
+    obs::setTelemetryLevel(obs::TelemetryLevel::Off);
+}
+BENCHMARK(BM_SimulatorDayMetrics)->Unit(benchmark::kMillisecond);
+
+void
+BM_SimulatorDayFullTrace(benchmark::State &state)
+{
+    obs::setTelemetryLevel(obs::TelemetryLevel::Full);
+    obs::TraceRecorder trace(1 << 16);
+    obs::setActiveTrace(&trace);
+    SimConfig cfg;
+    cfg.durationSeconds = 24.0 * 3600.0;
+    for (auto _ : state) {
+        auto workload = makeWorkload("WC");
+        auto scheme = makeScheme(SchemeKind::HebD);
+        SimResult r = Simulator(cfg).run(*workload, *scheme);
+        benchmark::DoNotOptimize(r.energyEfficiency);
+    }
+    state.SetItemsProcessed(state.iterations() * 86400);
+    obs::setActiveTrace(nullptr);
+    obs::setTelemetryLevel(obs::TelemetryLevel::Off);
+}
+BENCHMARK(BM_SimulatorDayFullTrace)->Unit(benchmark::kMillisecond);
+
+void
+BM_CounterAddEnabled(benchmark::State &state)
+{
+    obs::setTelemetryLevel(obs::TelemetryLevel::Metrics);
+    auto &c =
+        obs::MetricsRegistry::global().counter("bench.counter_add");
+    for (auto _ : state)
+        c.add(1.5);
+    obs::setTelemetryLevel(obs::TelemetryLevel::Off);
+}
+BENCHMARK(BM_CounterAddEnabled);
+
+void
+BM_CounterAddDisabled(benchmark::State &state)
+{
+    obs::setTelemetryLevel(obs::TelemetryLevel::Off);
+    auto &c =
+        obs::MetricsRegistry::global().counter("bench.counter_add");
+    for (auto _ : state)
+        c.add(1.5);
+}
+BENCHMARK(BM_CounterAddDisabled);
+
+void
+BM_HistogramRecordEnabled(benchmark::State &state)
+{
+    obs::setTelemetryLevel(obs::TelemetryLevel::Metrics);
+    auto &h = obs::MetricsRegistry::global().histogram(
+        "bench.hist_record");
+    double v = 0.0;
+    for (auto _ : state) {
+        h.record(v);
+        v = v > 1.0e6 ? 0.0 : v * 1.7 + 1.0;
+    }
+    obs::setTelemetryLevel(obs::TelemetryLevel::Off);
+}
+BENCHMARK(BM_HistogramRecordEnabled);
 
 } // namespace
 } // namespace heb

@@ -1,11 +1,41 @@
 #include "core/controller.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace heb {
+
+namespace {
+
+/** hControl telemetry handles, registered on first use. */
+struct ControllerMetrics
+{
+    obs::Counter &slots =
+        obs::MetricsRegistry::global().counter("core.slots_total");
+    obs::Histogram &planRLambda =
+        obs::MetricsRegistry::global().histogram(
+            "core.plan_r_lambda",
+            {/*firstBoundary=*/0.125, /*growth=*/2.0,
+             /*boundaryCount=*/4});
+    obs::Histogram &predictorAbsErrorW =
+        obs::MetricsRegistry::global().histogram(
+            "core.predictor_abs_error_w");
+
+    static ControllerMetrics &
+    get()
+    {
+        static ControllerMetrics metrics;
+        return metrics;
+    }
+};
+
+} // namespace
 
 HebController::HebController(ManagementScheme &scheme,
                              EnergyStorageDevice &sc,
@@ -39,6 +69,7 @@ HebController::noisy(double value)
 void
 HebController::rolloverSlot(double now_seconds, double budget_w)
 {
+    HEB_PROF_SCOPE("core.slot_rollover");
     if (started_) {
         SlotOutcome outcome;
         outcome.scStartWh = scStartWh_;
@@ -52,6 +83,22 @@ HebController::rolloverSlot(double now_seconds, double budget_w)
         lastPeakW_ = slotPeakW_;
         lastValleyW_ = slotValleyW_;
         ++completedSlots_;
+
+        double actual_pm =
+            std::max(0.0, slotPeakW_ - slotValleyW_);
+        double abs_err =
+            std::abs(plan_.predictedMismatchW - actual_pm);
+        if (obs::metricsOn()) {
+            ControllerMetrics &m = ControllerMetrics::get();
+            m.slots.inc();
+            m.predictorAbsErrorW.record(abs_err);
+        }
+        if (auto *tr = obs::activeTrace()) {
+            tr->record(obs::TraceEventKind::SlotClose, now_seconds,
+                       {slotPeakW_, slotValleyW_,
+                        plan_.predictedMismatchW, abs_err,
+                        plan_.rLambda});
+        }
     }
 
     SlotSensors sensors;
@@ -66,6 +113,16 @@ HebController::rolloverSlot(double now_seconds, double budget_w)
     sensors.budgetW = budget_w;
     sensors.slotSeconds = slotSeconds_;
     plan_ = scheme_.planSlot(sensors);
+
+    if (obs::metricsOn())
+        ControllerMetrics::get().planRLambda.record(plan_.rLambda);
+    if (auto *tr = obs::activeTrace()) {
+        tr->record(
+            obs::TraceEventKind::SlotPlan, now_seconds,
+            {plan_.rLambda, plan_.predictedMismatchW,
+             plan_.batteryBasePlanW, plan_.chargeScFirst ? 1.0 : 0.0,
+             plan_.predictedClass == PeakClass::Large ? 1.0 : 0.0});
+    }
 
     slotStart_ = now_seconds;
     slotPeakW_ = 0.0;

@@ -3,15 +3,39 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/profile.h"
 #include "util/logging.h"
 
 namespace heb {
+
+namespace {
+
+/** Dispatch-layer telemetry handles, registered on first use. */
+struct DispatchMetrics
+{
+    obs::Histogram &mismatchW =
+        obs::MetricsRegistry::global().histogram(
+            "core.dispatch_mismatch_w");
+    obs::Counter &spilloverW = obs::MetricsRegistry::global().counter(
+        "core.dispatch_spillover_w_ticks");
+
+    static DispatchMetrics &
+    get()
+    {
+        static DispatchMetrics metrics;
+        return metrics;
+    }
+};
+
+} // namespace
 
 DispatchResult
 dispatchMismatch(EnergyStorageDevice &sc, EnergyStorageDevice &battery,
                  double mismatch_w, double r_lambda, double dt_seconds,
                  double planned_pm_w)
 {
+    HEB_PROF_SCOPE("esd.dispatch");
     DispatchResult result;
     if (mismatch_w <= 0.0) {
         sc.rest(dt_seconds);
@@ -40,6 +64,13 @@ dispatchMismatch(EnergyStorageDevice &sc, EnergyStorageDevice &battery,
     double leftover = mismatch_w - sc_target - ba_target;
     if (leftover > 0.0)
         ba_target = std::min(ba_target + leftover, ba_cap);
+
+    if (obs::metricsOn()) {
+        DispatchMetrics &m = DispatchMetrics::get();
+        m.mismatchW.record(mismatch_w);
+        if (leftover > 0.0)
+            m.spilloverW.add(leftover);
+    }
 
     result.scPowerW =
         sc_target > 0.0 ? sc.discharge(sc_target, dt_seconds) : 0.0;

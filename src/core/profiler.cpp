@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "core/load_assignment.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
 #include "util/logging.h"
 
 namespace heb {
@@ -24,6 +26,10 @@ BufferProfiler::dischargeRuntime(double sc_soc, double ba_soc,
                                  double mismatch_w,
                                  double r_lambda) const
 {
+    HEB_PROF_SCOPE("core.profiler.race");
+    obs::MetricsRegistry::global()
+        .counter("core.profiler_races_total")
+        .inc();
     auto sc = scFactory_();
     auto ba = baFactory_();
     sc->setSoc(sc_soc);
@@ -87,6 +93,10 @@ BufferProfiler::cyclicUnservedWh(double sc_soc, double ba_soc,
                                  double mismatch_w,
                                  double r_lambda) const
 {
+    HEB_PROF_SCOPE("core.profiler.race");
+    obs::MetricsRegistry::global()
+        .counter("core.profiler_races_total")
+        .inc();
     auto sc = scFactory_();
     auto ba = baFactory_();
     sc->setSoc(sc_soc);

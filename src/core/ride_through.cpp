@@ -4,6 +4,9 @@
 #include <memory>
 
 #include "core/load_assignment.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace heb {
@@ -28,15 +31,29 @@ estimateRideThroughSeconds(
     ba->setSoc(ba_soc);
 
     double t = 0.0;
-    while (t < params.horizonSeconds) {
-        DispatchResult res =
-            dispatchMismatch(*sc, *ba, load_w, params.rLambda,
-                             params.tickSeconds, load_w);
-        if (res.unservedW > params.shortfallToleranceW)
-            return t;
-        t += params.tickSeconds;
+    double estimate = params.horizonSeconds;
+    {
+        HEB_PROF_SCOPE("core.ride_through");
+        while (t < params.horizonSeconds) {
+            DispatchResult res =
+                dispatchMismatch(*sc, *ba, load_w, params.rLambda,
+                                 params.tickSeconds, load_w);
+            if (res.unservedW > params.shortfallToleranceW) {
+                estimate = t;
+                break;
+            }
+            t += params.tickSeconds;
+        }
     }
-    return params.horizonSeconds;
+
+    obs::MetricsRegistry::global()
+        .counter("core.ridethrough_estimates_total")
+        .inc();
+    if (auto *tr = obs::activeTrace()) {
+        tr->record(obs::TraceEventKind::RideThrough, 0.0,
+                   {load_w, estimate, sc_soc, ba_soc});
+    }
+    return estimate;
 }
 
 } // namespace heb

@@ -2,9 +2,35 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace heb {
+
+namespace {
+
+/** HEB-scheme telemetry handles, registered on first use. */
+struct SchemeMetrics
+{
+    obs::Counter &patLookups = obs::MetricsRegistry::global().counter(
+        "core.pat_lookups_total");
+    obs::Counter &patHits = obs::MetricsRegistry::global().counter(
+        "core.pat_hits_total");
+    obs::Counter &patUpdates = obs::MetricsRegistry::global().counter(
+        "core.pat_updates_total");
+    obs::Counter &smallPeakSlots =
+        obs::MetricsRegistry::global().counter(
+            "core.small_peak_slots_total");
+
+    static SchemeMetrics &
+    get()
+    {
+        static SchemeMetrics metrics;
+        return metrics;
+    }
+};
+
+} // namespace
 
 const char *
 schemeKindName(SchemeKind kind)
@@ -129,10 +155,18 @@ HebScheme::planSlot(const SlotSensors &sensors)
         // spillover provides.
         plan.predictedClass = PeakClass::Small;
         plan.rLambda = 1.0;
+        if (obs::metricsOn())
+            SchemeMetrics::get().smallPeakSlots.inc();
     } else {
         // Large peaks: joint discharge at the PAT-optimal split.
         plan.predictedClass = PeakClass::Large;
         auto r = pat_.lookup(sensors.scUsableWh, sensors.baUsableWh, pm);
+        if (obs::metricsOn()) {
+            SchemeMetrics &m = SchemeMetrics::get();
+            m.patLookups.inc();
+            if (r)
+                m.patHits.inc();
+        }
         if (r) {
             plan.rLambda = *r;
         } else {
@@ -180,6 +214,8 @@ HebScheme::finishSlot(const SlotOutcome &outcome)
     pat_.recordOutcome(outcome.scStartWh, outcome.baStartWh, actual_pm,
                        outcome.rLambdaUsed, outcome.scEndWh,
                        outcome.baEndWh);
+    if (obs::metricsOn())
+        SchemeMetrics::get().patUpdates.inc();
 }
 
 std::unique_ptr<ManagementScheme>

@@ -6,7 +6,16 @@
 
 namespace heb {
 
-EsdPool::EsdPool(std::string name) : name_(std::move(name)) {}
+EsdPool::EsdPool(std::string name)
+    : name_(std::move(name)),
+      dischargeWhMetric_(obs::MetricsRegistry::global().counter(
+          "esd." + name_ + ".discharge_wh")),
+      chargeWhMetric_(obs::MetricsRegistry::global().counter(
+          "esd." + name_ + ".charge_wh")),
+      starvedTicksMetric_(obs::MetricsRegistry::global().counter(
+          "esd." + name_ + ".starved_ticks_total"))
+{
+}
 
 void
 EsdPool::add(std::unique_ptr<EnergyStorageDevice> device)
@@ -49,6 +58,8 @@ EsdPool::discharge(double watts, double dt_seconds)
     if (total_cap <= 0.0 || watts <= 0.0) {
         for (auto &d : devices_)
             d->rest(dt_seconds);
+        if (watts > 0.0)
+            starvedTicksMetric_.inc();
         return 0.0;
     }
     double target = std::min(watts, total_cap);
@@ -59,6 +70,9 @@ EsdPool::discharge(double watts, double dt_seconds)
         else
             devices_[i]->rest(dt_seconds);
     }
+    dischargeWhMetric_.add(delivered * dt_seconds / 3600.0);
+    if (delivered + 1e-9 < watts)
+        starvedTicksMetric_.inc();
     return delivered;
 }
 
@@ -87,6 +101,7 @@ EsdPool::charge(double watts, double dt_seconds)
         else
             devices_[i]->rest(dt_seconds);
     }
+    chargeWhMetric_.add(absorbed * dt_seconds / 3600.0);
     return absorbed;
 }
 

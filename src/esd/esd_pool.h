@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "esd/energy_storage.h"
+#include "obs/metrics.h"
 
 namespace heb {
 
@@ -62,6 +63,12 @@ class EsdPool : public EnergyStorageDevice
     std::string name_;
     std::vector<std::unique_ptr<EnergyStorageDevice>> devices_;
     mutable EsdCounters aggregate_;
+
+    // Telemetry handles, registered once per pool name; updates are
+    // O(1) and gated on the global telemetry level.
+    obs::Counter &dischargeWhMetric_;
+    obs::Counter &chargeWhMetric_;
+    obs::Counter &starvedTicksMetric_;
 };
 
 } // namespace heb

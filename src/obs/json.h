@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Minimal JSON emission helpers shared by the obs writers (metrics
+ * dump, trace JSONL, run manifest). Emission only — parsing stays in
+ * the tests that validate the artifacts.
+ */
+
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace heb {
+namespace obs {
+
+/** Append @p text to @p out as a quoted, escaped JSON string. */
+inline void
+appendJsonString(std::string &out, const std::string &text)
+{
+    out += '"';
+    for (char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+/**
+ * Append a double as a JSON number. JSON has no inf/nan literals, so
+ * those emit as null (the artifact stays machine-parseable).
+ */
+inline void
+appendJsonNumber(std::string &out, double value)
+{
+    if (!std::isfinite(value)) {
+        out += "null";
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.10g", value);
+    out += buf;
+}
+
+} // namespace obs
+} // namespace heb

@@ -1,0 +1,72 @@
+#include "obs/manifest.h"
+
+#include <fstream>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+#ifndef HEB_GIT_DESCRIBE
+#define HEB_GIT_DESCRIBE "unknown"
+#endif
+
+namespace heb {
+namespace obs {
+
+const char *
+gitDescribe()
+{
+    return HEB_GIT_DESCRIBE;
+}
+
+std::string
+manifestToJson(const RunManifest &manifest)
+{
+    std::string out = "{\n  \"tool\": ";
+    appendJsonString(out, manifest.tool);
+    out += ",\n  \"git\": ";
+    appendJsonString(out, gitDescribe());
+    out += ",\n  \"started_at\": ";
+    appendJsonString(out, manifest.startedAtIso);
+    out += ",\n  \"wall_seconds\": ";
+    appendJsonNumber(out, manifest.wallSeconds);
+    out += ",\n  \"seed\": ";
+    appendJsonNumber(out, static_cast<double>(manifest.seed));
+    out += ",\n  \"scheme\": ";
+    appendJsonString(out, manifest.schemeName);
+    out += ",\n  \"workload\": ";
+    appendJsonString(out, manifest.workloadName);
+    out += ",\n  \"config\": {";
+    bool first = true;
+    for (const auto &[key, value] : manifest.config) {
+        out += first ? "\n    " : ",\n    ";
+        first = false;
+        appendJsonString(out, key);
+        out += ": ";
+        appendJsonString(out, value);
+    }
+    out += "\n  }";
+    if (manifest.includeMetrics) {
+        out += ",\n  \"metrics\": ";
+        // Indentation of the nested dump is cosmetic; keep it valid
+        // and cheap by splicing the registry JSON verbatim.
+        out += MetricsRegistry::global().toJson();
+        // Trim the registry dump's trailing newline inside the object.
+        while (!out.empty() && out.back() == '\n')
+            out.pop_back();
+    }
+    out += "\n}\n";
+    return out;
+}
+
+void
+writeRunManifest(const std::string &path, const RunManifest &manifest)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open manifest output '", path, "'");
+    out << manifestToJson(manifest);
+}
+
+} // namespace obs
+} // namespace heb

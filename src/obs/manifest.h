@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Run provenance manifest.
+ *
+ * Every simulation artifact (series CSVs, trace JSONL, metric dumps)
+ * should be reproducible from the manifest written next to it: which
+ * binary, which git revision, which configuration, which seed, how
+ * long it ran, and a snapshot of the metrics registry at the end of
+ * the run. Figure regeneration then self-documents — the manifest
+ * answers "what produced this file" without consulting shell
+ * history.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace heb {
+namespace obs {
+
+/** Everything we record about one run. */
+struct RunManifest
+{
+    /** Producing binary ("heb_sim", "fig05_discharge", ...). */
+    std::string tool;
+
+    /** Scheme under test (empty when not applicable). */
+    std::string schemeName;
+
+    /** Workload under test (empty when not applicable). */
+    std::string workloadName;
+
+    /** Configuration echo as ordered key/value pairs. */
+    std::vector<std::pair<std::string, std::string>> config;
+
+    /** RNG seed in effect. */
+    std::uint64_t seed = 0;
+
+    /** Wall-clock duration of the run (s). */
+    double wallSeconds = 0.0;
+
+    /** ISO-8601 UTC start time. */
+    std::string startedAtIso;
+
+    /** Embed the global metrics registry snapshot. */
+    bool includeMetrics = true;
+};
+
+/** Git revision baked in at configure time ("unknown" outside git). */
+const char *gitDescribe();
+
+/** Render @p manifest as a JSON object string. */
+std::string manifestToJson(const RunManifest &manifest);
+
+/** Write the manifest JSON to @p path; fatal() when unwritable. */
+void writeRunManifest(const std::string &path,
+                      const RunManifest &manifest);
+
+} // namespace obs
+} // namespace heb

@@ -1,0 +1,111 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "util/table_printer.h"
+
+namespace heb {
+namespace obs {
+
+namespace {
+
+std::atomic<bool> g_profiling{false};
+
+struct SiteRegistry
+{
+    std::mutex mu;
+    std::map<std::string, std::unique_ptr<ProfileSite>> sites;
+};
+
+SiteRegistry &
+siteRegistry()
+{
+    static SiteRegistry registry;
+    return registry;
+}
+
+} // namespace
+
+bool
+profilingEnabled()
+{
+    return g_profiling.load(std::memory_order_relaxed);
+}
+
+void
+setProfilingEnabled(bool enabled)
+{
+    g_profiling.store(enabled, std::memory_order_relaxed);
+}
+
+ProfileSite &
+ProfileSite::intern(const std::string &name)
+{
+    SiteRegistry &registry = siteRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    auto &slot = registry.sites[name];
+    if (!slot)
+        slot = std::make_unique<ProfileSite>(name);
+    return *slot;
+}
+
+std::vector<ProfileEntry>
+profileSites()
+{
+    SiteRegistry &registry = siteRegistry();
+    std::vector<ProfileEntry> out;
+    {
+        std::lock_guard<std::mutex> lock(registry.mu);
+        for (const auto &[name, site] : registry.sites) {
+            if (site->calls() == 0)
+                continue;
+            out.push_back({name, site->totalNs(), site->calls()});
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const ProfileEntry &a, const ProfileEntry &b) {
+                  return a.totalNs > b.totalNs;
+              });
+    return out;
+}
+
+std::string
+profileReport()
+{
+    std::vector<ProfileEntry> entries = profileSites();
+    double grand_ns = 0.0;
+    for (const ProfileEntry &e : entries)
+        grand_ns += static_cast<double>(e.totalNs);
+
+    TablePrinter table(
+        {"phase", "calls", "total(ms)", "mean(us)", "share(%)"});
+    for (const ProfileEntry &e : entries) {
+        double total_ns = static_cast<double>(e.totalNs);
+        double calls = static_cast<double>(e.calls);
+        table.addRow(
+            {e.name, std::to_string(e.calls),
+             TablePrinter::num(total_ns / 1e6, 3),
+             TablePrinter::num(total_ns / calls / 1e3, 3),
+             TablePrinter::num(
+                 grand_ns > 0.0 ? 100.0 * total_ns / grand_ns : 0.0,
+                 1)});
+    }
+    if (entries.empty())
+        table.addRow({"(no profiled phases)", "0", "0", "0", "0"});
+    return table.toString();
+}
+
+void
+resetProfiling()
+{
+    SiteRegistry &registry = siteRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    for (auto &[_, site] : registry.sites)
+        site->zero();
+}
+
+} // namespace obs
+} // namespace heb

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Scoped phase profiling: `HEB_PROF_SCOPE("esd.dispatch")` at the
+ * top of a function (or block) attributes its wall time to a named
+ * phase; profileReport() renders the per-run phase-time table.
+ *
+ * Cost model: each macro site interns its ProfileSite once (a
+ * function-local static reference), and the ScopedTimer constructor
+ * checks a global flag before touching the clock — with profiling
+ * disabled a scope costs one branch and no timestamps, keeping the
+ * simulator tick loop clean.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace heb {
+namespace obs {
+
+/** True while scoped timers are recording. */
+bool profilingEnabled();
+
+/** Turn scoped-timer recording on or off (process-wide). */
+void setProfilingEnabled(bool enabled);
+
+/** Accumulated statistics of one named profiling scope. */
+class ProfileSite
+{
+  public:
+    explicit ProfileSite(std::string name) : name_(std::move(name)) {}
+
+    /**
+     * Find-or-create the site registered under @p name. Returned
+     * references stay valid for the process lifetime.
+     */
+    static ProfileSite &intern(const std::string &name);
+
+    /** Fold in one timed interval. */
+    void
+    add(std::uint64_t nanoseconds)
+    {
+        totalNs_.fetch_add(nanoseconds, std::memory_order_relaxed);
+        calls_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    const std::string &name() const { return name_; }
+
+    /** Total recorded time (ns). */
+    std::uint64_t
+    totalNs() const
+    {
+        return totalNs_.load(std::memory_order_relaxed);
+    }
+
+    /** Number of recorded intervals. */
+    std::uint64_t
+    calls() const
+    {
+        return calls_.load(std::memory_order_relaxed);
+    }
+
+    /** Zero the accumulators. */
+    void
+    zero()
+    {
+        totalNs_.store(0, std::memory_order_relaxed);
+        calls_.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    std::string name_;
+    std::atomic<std::uint64_t> totalNs_{0};
+    std::atomic<std::uint64_t> calls_{0};
+};
+
+/** RAII timer attributing its lifetime to a ProfileSite. */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(ProfileSite &site)
+        : site_(profilingEnabled() ? &site : nullptr)
+    {
+        if (site_)
+            start_ = std::chrono::steady_clock::now();
+    }
+
+    ~ScopedTimer()
+    {
+        if (!site_)
+            return;
+        auto ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+        site_->add(static_cast<std::uint64_t>(ns));
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    ProfileSite *site_;
+    std::chrono::steady_clock::time_point start_{};
+};
+
+/** Snapshot row of profileSites(). */
+struct ProfileEntry
+{
+    std::string name;
+    std::uint64_t totalNs = 0;
+    std::uint64_t calls = 0;
+};
+
+/** All sites with at least one recorded call, heaviest first. */
+std::vector<ProfileEntry> profileSites();
+
+/**
+ * Render the phase-time table (phase, calls, total ms, mean us,
+ * share of profiled time) as printable text.
+ */
+std::string profileReport();
+
+/** Zero every site's accumulators (sites stay registered). */
+void resetProfiling();
+
+} // namespace obs
+} // namespace heb
+
+#define HEB_PROF_CONCAT2(a, b) a##b
+#define HEB_PROF_CONCAT(a, b) HEB_PROF_CONCAT2(a, b)
+
+/**
+ * Attribute the enclosing scope's wall time to phase @p name (a
+ * string literal, conventionally "layer.action").
+ */
+#define HEB_PROF_SCOPE(name)                                          \
+    static ::heb::obs::ProfileSite &HEB_PROF_CONCAT(                  \
+        heb_prof_site_, __LINE__) =                                   \
+        ::heb::obs::ProfileSite::intern(name);                        \
+    ::heb::obs::ScopedTimer HEB_PROF_CONCAT(heb_prof_timer_,          \
+                                            __LINE__)(               \
+        HEB_PROF_CONCAT(heb_prof_site_, __LINE__))

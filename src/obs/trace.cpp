@@ -1,0 +1,195 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+
+#include "obs/json.h"
+#include "util/csv.h"
+#include "util/logging.h"
+
+namespace heb {
+namespace obs {
+
+namespace {
+
+std::atomic<TraceRecorder *> g_trace{nullptr};
+
+struct EventSchema
+{
+    const char *name;
+    std::vector<std::string> fields;
+};
+
+const EventSchema &
+schemaFor(TraceEventKind kind)
+{
+    static const std::array<EventSchema, kTraceEventKinds> schemas = {{
+        {"tick",
+         {"demand_w", "supply_w", "sc_w", "ba_w", "unserved_w",
+          "source_draw_w"}},
+        {"slot_plan",
+         {"r_lambda", "predicted_mismatch_w", "battery_base_w",
+          "charge_sc_first", "predicted_class_large"}},
+        {"slot_close",
+         {"actual_peak_w", "actual_valley_w", "predicted_mismatch_w",
+          "abs_error_w", "r_lambda_used"}},
+        {"soc_sample",
+         {"sc_soc", "ba_soc", "sc_v", "ba_v", "r_lambda"}},
+        {"ride_through",
+         {"load_w", "estimate_s", "sc_soc", "ba_soc"}},
+        {"shed", {"unserved_w", "servers_shed", "online_after"}},
+        {"restart", {"online_after"}},
+    }};
+    auto index = static_cast<std::size_t>(kind);
+    if (index >= schemas.size())
+        panic("unknown trace event kind");
+    return schemas[index];
+}
+
+} // namespace
+
+const char *
+traceEventKindName(TraceEventKind kind)
+{
+    return schemaFor(kind).name;
+}
+
+const std::vector<std::string> &
+traceEventFields(TraceEventKind kind)
+{
+    return schemaFor(kind).fields;
+}
+
+TraceRecorder::TraceRecorder(std::size_t capacity,
+                             std::size_t tick_stride)
+    : capacity_(capacity), tickStride_(std::max<std::size_t>(
+                               1, tick_stride))
+{
+    if (capacity_ == 0)
+        fatal("TraceRecorder capacity must be positive");
+    ring_.resize(capacity_);
+}
+
+void
+TraceRecorder::record(TraceEventKind kind, double time_seconds,
+                      std::initializer_list<double> values)
+{
+    TraceEvent ev;
+    ev.timeSeconds = time_seconds;
+    ev.kind = kind;
+    std::size_t i = 0;
+    for (double v : values) {
+        if (i >= ev.values.size())
+            break;
+        ev.values[i++] = v;
+    }
+
+    std::lock_guard<std::mutex> lock(mu_);
+    ring_[next_] = ev;
+    next_ = (next_ + 1) % capacity_;
+    if (count_ < capacity_)
+        ++count_;
+    else
+        ++droppedCount_;
+}
+
+std::size_t
+TraceRecorder::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+}
+
+std::uint64_t
+TraceRecorder::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return droppedCount_;
+}
+
+std::vector<TraceEvent>
+TraceRecorder::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<TraceEvent> out;
+    out.reserve(count_);
+    std::size_t start =
+        count_ < capacity_ ? 0 : next_; // oldest element
+    for (std::size_t i = 0; i < count_; ++i)
+        out.push_back(ring_[(start + i) % capacity_]);
+    return out;
+}
+
+void
+TraceRecorder::writeJsonl(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open trace output '", path, "'");
+    std::string line;
+    for (const TraceEvent &ev : snapshot()) {
+        line.clear();
+        line += "{\"t\": ";
+        appendJsonNumber(line, ev.timeSeconds);
+        line += ", \"type\": ";
+        appendJsonString(line, traceEventKindName(ev.kind));
+        const auto &fields = traceEventFields(ev.kind);
+        for (std::size_t i = 0; i < fields.size(); ++i) {
+            line += ", ";
+            appendJsonString(line, fields[i]);
+            line += ": ";
+            appendJsonNumber(line, ev.values[i]);
+        }
+        line += "}\n";
+        out << line;
+    }
+}
+
+void
+TraceRecorder::writeCsv(const std::string &path) const
+{
+    CsvWriter csv(path);
+    std::vector<std::string> header = {"seconds", "type"};
+    for (std::size_t i = 0; i < kTraceEventFieldMax; ++i)
+        header.push_back("f" + std::to_string(i));
+    csv.header(header);
+    for (const TraceEvent &ev : snapshot()) {
+        std::vector<std::string> row = {
+            std::to_string(ev.timeSeconds),
+            traceEventKindName(ev.kind)};
+        const auto &fields = traceEventFields(ev.kind);
+        for (std::size_t i = 0; i < kTraceEventFieldMax; ++i) {
+            row.push_back(i < fields.size()
+                              ? std::to_string(ev.values[i])
+                              : "");
+        }
+        csv.rowStrings(row);
+    }
+}
+
+void
+TraceRecorder::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    next_ = 0;
+    count_ = 0;
+    droppedCount_ = 0;
+}
+
+TraceRecorder *
+activeTrace()
+{
+    if (telemetryLevel() != TelemetryLevel::Full)
+        return nullptr;
+    return g_trace.load(std::memory_order_relaxed);
+}
+
+void
+setActiveTrace(TraceRecorder *recorder)
+{
+    g_trace.store(recorder, std::memory_order_relaxed);
+}
+
+} // namespace obs
+} // namespace heb

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Per-tick / per-slot event trace recorder.
+ *
+ * The recorder captures fixed-size POD events (no allocation on the
+ * record path) into a bounded ring buffer: when the buffer is full
+ * the oldest events are overwritten and counted as dropped, so a
+ * multi-day run degrades to "most recent window" instead of OOM.
+ * Tick-frequency events honour a sampling stride; slot-frequency and
+ * rare events are always recorded.
+ *
+ * Flushing renders the ring oldest-first as JSONL (one self-
+ * describing object per line) or CSV via the same schema table that
+ * names each event kind's fields.
+ *
+ * Instrumented code reaches the recorder through activeTrace(),
+ * which returns nullptr unless telemetry is Full *and* a recorder
+ * has been installed — the disabled hot path is one load + branch.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace heb {
+namespace obs {
+
+/** Event vocabulary of the simulator trace. */
+enum class TraceEventKind : std::uint8_t {
+    /** One simulator tick's energy flows (stride-sampled). */
+    Tick,
+    /** A scheme's plan for the slot beginning now. */
+    SlotPlan,
+    /** What actually happened over the slot that just closed. */
+    SlotClose,
+    /** Buffer state sample: SoCs, terminal voltages, split in force. */
+    SocSample,
+    /** A ride-through estimate was computed. */
+    RideThrough,
+    /** Servers were shed because the buffers ran dry. */
+    Shed,
+    /** A shed server was restarted on recovery. */
+    Restart,
+};
+
+/** Number of distinct event kinds. */
+constexpr std::size_t kTraceEventKinds = 7;
+
+/** Maximum payload fields an event carries. */
+constexpr std::size_t kTraceEventFieldMax = 6;
+
+/** One fixed-size trace record. */
+struct TraceEvent
+{
+    /** Simulation time (s). */
+    double timeSeconds = 0.0;
+
+    /** What happened. */
+    TraceEventKind kind = TraceEventKind::Tick;
+
+    /** Payload, named per kind by traceEventFields(). */
+    std::array<double, kTraceEventFieldMax> values{};
+};
+
+/** Stable wire name of an event kind ("tick", "slot_plan", ...). */
+const char *traceEventKindName(TraceEventKind kind);
+
+/** Ordered payload field names of an event kind. */
+const std::vector<std::string> &traceEventFields(TraceEventKind kind);
+
+/** Bounded, thread-safe ring of trace events. */
+class TraceRecorder
+{
+  public:
+    /**
+     * @param capacity     Ring size in events.
+     * @param tick_stride  Keep every Nth tick-frequency event.
+     */
+    explicit TraceRecorder(std::size_t capacity = 1 << 18,
+                           std::size_t tick_stride = 1);
+
+    /**
+     * Record one event. @p values are matched positionally against
+     * traceEventFields(kind); extras are dropped, missing fields
+     * read as 0.
+     */
+    void record(TraceEventKind kind, double time_seconds,
+                std::initializer_list<double> values);
+
+    /** Sampling stride for tick-frequency events. */
+    std::size_t tickStride() const { return tickStride_; }
+
+    /** Events currently held. */
+    std::size_t size() const;
+
+    /** Ring capacity. */
+    std::size_t capacity() const { return capacity_; }
+
+    /** Events overwritten because the ring was full. */
+    std::uint64_t dropped() const;
+
+    /** Copy of the held events, oldest first. */
+    std::vector<TraceEvent> snapshot() const;
+
+    /** Write the ring as JSON Lines; fatal() when unwritable. */
+    void writeJsonl(const std::string &path) const;
+
+    /** Write the ring as CSV; fatal() when unwritable. */
+    void writeCsv(const std::string &path) const;
+
+    /** Drop all held events and the dropped counter. */
+    void clear();
+
+  private:
+    mutable std::mutex mu_;
+    std::size_t capacity_;
+    std::size_t tickStride_;
+    std::vector<TraceEvent> ring_;
+    std::size_t next_ = 0;
+    std::size_t count_ = 0;
+    std::uint64_t droppedCount_ = 0;
+};
+
+/**
+ * The recorder instrumentation writes to, or nullptr when tracing is
+ * off (telemetry level below Full, or no recorder installed).
+ */
+TraceRecorder *activeTrace();
+
+/** Install (or, with nullptr, remove) the process trace recorder. */
+void setActiveTrace(TraceRecorder *recorder);
+
+} // namespace obs
+} // namespace heb

@@ -7,12 +7,43 @@
 #include "esd/bank_builder.h"
 #include "esd/battery.h"
 #include "esd/lifetime_model.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/units.h"
 
 namespace heb {
 
 namespace {
+
+/** Simulation-layer telemetry handles, registered on first use. */
+struct DomainMetrics
+{
+    obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+    obs::Counter &ticks = reg.counter("sim.ticks_total");
+    obs::Counter &mismatchTicks =
+        reg.counter("sim.mismatch_ticks_total");
+    obs::Counter &unservedWh = reg.counter("sim.unserved_wh");
+    obs::Counter &shedServers =
+        reg.counter("sim.servers_shed_total");
+    obs::Counter &restarts =
+        reg.counter("sim.server_restarts_total");
+    obs::Histogram &demandW = reg.histogram("sim.demand_w");
+    obs::Histogram &sourceDrawW =
+        reg.histogram("sim.source_draw_w");
+    obs::Gauge &scSoc = reg.gauge("sim.sc_soc");
+    obs::Gauge &baSoc = reg.gauge("sim.ba_soc");
+    obs::Gauge &scTerminalV = reg.gauge("sim.sc_terminal_v");
+    obs::Gauge &baTerminalV = reg.gauge("sim.ba_terminal_v");
+
+    static DomainMetrics &
+    get()
+    {
+        static DomainMetrics metrics;
+        return metrics;
+    }
+};
 
 std::unique_ptr<EsdPool>
 buildScBank(const SimConfig &config, bool hybrid)
@@ -77,6 +108,7 @@ RackDomain::offlineServers() const
 double
 RackDomain::computeDemand(double now_seconds)
 {
+    HEB_PROF_SCOPE("dc.demand");
     for (std::size_t s = 0; s < config_.numServers; ++s) {
         util_[s] = workload_.utilization(s, now_seconds);
         cluster_.server(s).touch(now_seconds, util_[s]);
@@ -88,6 +120,7 @@ RackDomain::computeDemand(double now_seconds)
 RackDomain::TickOutcome
 RackDomain::tick(double now_seconds, double supply_w)
 {
+    HEB_PROF_SCOPE("sim.tick");
     const double dt = config_.tickSeconds;
     const double dt_h = secondsToHours(dt);
     const double now = now_seconds;
@@ -133,6 +166,11 @@ RackDomain::tick(double now_seconds, double supply_w)
     double unserved = 0.0;
     double source_draw = 0.0;
 
+    // Buffer terminal power this tick, positive when discharging to
+    // the load and negative when absorbing surplus (telemetry only).
+    double sc_w = 0.0;
+    double ba_w = 0.0;
+
     // Demand-charge management: an *economic* soft cap below the
     // physical budget. The buffers shave draw above it; anything
     // they cannot cover backfills from the real budget instead of
@@ -156,6 +194,8 @@ RackDomain::tick(double now_seconds, double supply_w)
             scBank_->rest(dt);
             res.unservedW = std::max(0.0, needed - res.baPowerW);
         }
+        sc_w = res.scPowerW;
+        ba_w = res.baPowerW;
         double delivered_wall = res.totalW() * eff_d;
         unserved = std::max(0.0, mismatch - delivered_wall);
 
@@ -182,6 +222,14 @@ RackDomain::tick(double now_seconds, double supply_w)
             auto shed = static_cast<std::size_t>(
                 std::ceil(unserved / per_server));
             cluster_.shutdownLru(shed, now);
+            DomainMetrics::get().shedServers.add(
+                static_cast<double>(shed));
+            if (auto *tr = obs::activeTrace()) {
+                tr->record(
+                    obs::TraceEventKind::Shed, now,
+                    {unserved, static_cast<double>(shed),
+                     static_cast<double>(cluster_.onlineCount())});
+            }
         }
     } else {
         ledger_.sourceToLoadWh += demand * dt_h;
@@ -201,6 +249,8 @@ RackDomain::tick(double now_seconds, double supply_w)
                 baBank_->charge(surplus * eff_c, dt);
             scBank_->rest(dt);
         }
+        sc_w = -charged.scPowerW;
+        ba_w = -charged.baPowerW;
         ledger_.sourceToScWh += charged.scPowerW * dt_h;
         ledger_.sourceToBatteryWh += charged.baPowerW * dt_h;
         double charge_draw =
@@ -217,6 +267,12 @@ RackDomain::tick(double now_seconds, double supply_w)
                 if (!cluster_.server(s).isOn()) {
                     cluster_.server(s).powerOn(now);
                     lastRestart_ = now;
+                    DomainMetrics::get().restarts.inc();
+                    if (auto *tr = obs::activeTrace()) {
+                        tr->record(obs::TraceEventKind::Restart, now,
+                                   {static_cast<double>(
+                                       cluster_.onlineCount())});
+                    }
                     break;
                 }
             }
@@ -233,11 +289,52 @@ RackDomain::tick(double now_seconds, double supply_w)
     demandSeries_.append(demand);
     supplySeries_.append(supply_w);
     unservedSeries_.append(unserved);
+
+    if (obs::metricsOn()) {
+        DomainMetrics &m = DomainMetrics::get();
+        m.ticks.inc();
+        if (in_mismatch)
+            m.mismatchTicks.inc();
+        m.unservedWh.add(unserved * dt_h);
+        m.demandW.record(demand);
+        m.sourceDrawW.record(source_draw);
+    }
+    if (auto *tr = obs::activeTrace()) {
+        if (tickIndex_ % tr->tickStride() == 0) {
+            tr->record(obs::TraceEventKind::Tick, now,
+                       {demand, supply_w, sc_w, ba_w, unserved,
+                        source_draw});
+        }
+    }
+    ++tickIndex_;
+
     if (now >= nextSocSample_) {
-        scSocSeries_.append(scBank_->soc());
-        baSocSeries_.append(baBank_->soc());
+        double sc_soc = scBank_->soc();
+        double ba_soc = baBank_->soc();
+        scSocSeries_.append(sc_soc);
+        baSocSeries_.append(ba_soc);
         rLambdaSeries_.append(plan.rLambda);
         nextSocSample_ += config_.slotSeconds;
+
+        if (obs::metricsOn()) {
+            DomainMetrics &m = DomainMetrics::get();
+            m.scSoc.set(sc_soc);
+            m.baSoc.set(ba_soc);
+            // Terminal voltage under the tick's discharge load shows
+            // sag (Fig. 5); charging ticks sample at open circuit.
+            m.scTerminalV.set(
+                scBank_->terminalVoltage(std::max(0.0, sc_w)));
+            m.baTerminalV.set(
+                baBank_->terminalVoltage(std::max(0.0, ba_w)));
+        }
+        if (auto *tr = obs::activeTrace()) {
+            tr->record(
+                obs::TraceEventKind::SocSample, now,
+                {sc_soc, ba_soc,
+                 scBank_->terminalVoltage(std::max(0.0, sc_w)),
+                 baBank_->terminalVoltage(std::max(0.0, ba_w)),
+                 plan.rLambda});
+        }
     }
 
     outcome.sourceDrawW = source_draw;

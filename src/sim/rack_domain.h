@@ -11,6 +11,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -100,6 +101,7 @@ class RackDomain
     Ipdu ipdu_;
 
     std::vector<double> util_;
+    std::uint64_t tickIndex_ = 0;
     double cachedDemand_ = 0.0;
     double lastRestart_ = -1e9;
     double nextSocSample_ = 0.0;

@@ -83,4 +83,41 @@ simConfigFromConfig(const Config &config)
     return cfg;
 }
 
+std::vector<std::pair<std::string, std::string>>
+describeSimConfig(const SimConfig &config)
+{
+    auto num = [](double v) {
+        std::string s = std::to_string(v);
+        // Trim trailing zeros for readability; keep one decimal.
+        while (s.size() > 1 && s.back() == '0' &&
+               s[s.size() - 2] != '.')
+            s.pop_back();
+        return s;
+    };
+    std::vector<std::pair<std::string, std::string>> out;
+    out.emplace_back("servers", std::to_string(config.numServers));
+    out.emplace_back("tick_seconds", num(config.tickSeconds));
+    out.emplace_back("slot_seconds", num(config.slotSeconds));
+    out.emplace_back("duration_hours",
+                     num(config.durationSeconds / kSecondsPerHour));
+    out.emplace_back("budget_w", num(config.budgetW));
+    out.emplace_back("solar", config.solarPowered ? "true" : "false");
+    out.emplace_back("solar_rated_w",
+                     num(config.solarParams.ratedPowerW));
+    out.emplace_back("seed", std::to_string(config.seed));
+    out.emplace_back("sc_wh", num(config.scEnergyWh));
+    out.emplace_back("ba_wh", num(config.baEnergyWh));
+    out.emplace_back("sc_dod", num(config.scDod));
+    out.emplace_back("ba_dod", num(config.baDod));
+    out.emplace_back("battery_aging",
+                     config.batteryAging ? "true" : "false");
+    out.emplace_back("dvfs_capping",
+                     config.dvfsCapping ? "true" : "false");
+    out.emplace_back("sensor_noise_sigma",
+                     num(config.sensorNoiseSigma));
+    out.emplace_back("peak_shaving_target_w",
+                     num(config.peakShavingTargetW));
+    return out;
+}
+
 } // namespace heb

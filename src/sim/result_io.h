@@ -8,6 +8,8 @@
 #pragma once
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "sim/sim_config.h"
 #include "sim/sim_result.h"
@@ -35,5 +37,13 @@ void writeResultMetrics(const std::vector<SimResult> &results,
  *   battery_aging, dvfs_capping
  */
 SimConfig simConfigFromConfig(const Config &config);
+
+/**
+ * Echo a SimConfig as ordered key=value pairs using the same key
+ * names simConfigFromConfig() accepts — a written run manifest can
+ * be replayed as a config file.
+ */
+std::vector<std::pair<std::string, std::string>>
+describeSimConfig(const SimConfig &config);
 
 } // namespace heb

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <memory>
 
+#include "obs/metrics.h"
+#include "obs/profile.h"
 #include "power/solar_array.h"
 #include "power/utility_grid.h"
 #include "sim/rack_domain.h"
@@ -23,6 +25,7 @@ Simulator::Simulator(SimConfig config) : config_(std::move(config))
 SimResult
 Simulator::run(const Workload &workload, ManagementScheme &scheme)
 {
+    HEB_PROF_SCOPE("sim.run");
     const double dt = config_.tickSeconds;
 
     std::unique_ptr<UtilityGrid> grid;
@@ -58,6 +61,7 @@ Simulator::run(const Workload &workload, ManagementScheme &scheme)
     result.schemeName = scheme.name();
     result.workloadName = workload.name();
     domain.finalize(result);
+    obs::MetricsRegistry::global().counter("sim.runs_total").inc();
 
     if (config_.solarPowered) {
         double gen = solar->totalGenerationWh();

@@ -1,21 +1,87 @@
 #include "util/logging.h"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
+#include <mutex>
 
 namespace heb {
 
 namespace {
 
-LogLevel &
+LogLevel
+thresholdFromEnvironment()
+{
+    const char *env = std::getenv("HEB_LOG_LEVEL");
+    if (!env || !*env)
+        return LogLevel::Inform;
+    std::string name(env);
+    if (name == "panic")
+        return LogLevel::Panic;
+    if (name == "fatal")
+        return LogLevel::Fatal;
+    if (name == "warn")
+        return LogLevel::Warn;
+    if (name == "info" || name == "inform")
+        return LogLevel::Inform;
+    if (name == "debug")
+        return LogLevel::Debug;
+    // Cannot fatal() while initializing logging; be permissive.
+    std::fprintf(stderr,
+                 "[warn] ignoring unknown HEB_LOG_LEVEL '%s'\n", env);
+    return LogLevel::Inform;
+}
+
+std::atomic<int> &
 thresholdStorage()
 {
-    static LogLevel threshold = LogLevel::Inform;
+    static std::atomic<int> threshold{
+        static_cast<int>(thresholdFromEnvironment())};
     return threshold;
 }
 
+std::mutex &
+sinkMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
+
+/** Compose and emit one line as a single serialized write. */
+void
+writeLine(const char *tag, const std::string &message)
+{
+    std::string line = isoTimestampUtc();
+    line += " [";
+    line += tag;
+    line += "] ";
+    line += message;
+    line += '\n';
+    std::lock_guard<std::mutex> lock(sinkMutex());
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
+}
+
+} // namespace
+
+LogLevel
+logThreshold()
+{
+    return static_cast<LogLevel>(
+        thresholdStorage().load(std::memory_order_relaxed));
+}
+
+void
+setLogThreshold(LogLevel level)
+{
+    thresholdStorage().store(static_cast<int>(level),
+                             std::memory_order_relaxed);
+}
+
 const char *
-levelTag(LogLevel level)
+logLevelName(LogLevel level)
 {
     switch (level) {
       case LogLevel::Panic: return "panic";
@@ -27,18 +93,34 @@ levelTag(LogLevel level)
     return "?";
 }
 
-} // namespace
-
 LogLevel
-logThreshold()
+parseLogLevel(const std::string &name)
 {
-    return thresholdStorage();
+    if (name == "panic")
+        return LogLevel::Panic;
+    if (name == "fatal")
+        return LogLevel::Fatal;
+    if (name == "warn")
+        return LogLevel::Warn;
+    if (name == "info" || name == "inform")
+        return LogLevel::Inform;
+    if (name == "debug")
+        return LogLevel::Debug;
+    fatal("unknown log level '", name,
+          "' (expected panic/fatal/warn/info/debug)");
 }
 
-void
-setLogThreshold(LogLevel level)
+std::string
+isoTimestampUtc()
 {
-    thresholdStorage() = level;
+    using namespace std::chrono;
+    auto now = system_clock::now();
+    std::time_t secs = system_clock::to_time_t(now);
+    std::tm tm_utc{};
+    gmtime_r(&secs, &tm_utc);
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+    return buf;
 }
 
 namespace detail {
@@ -46,22 +128,22 @@ namespace detail {
 void
 emitLog(LogLevel level, const std::string &message)
 {
-    if (static_cast<int>(level) > static_cast<int>(thresholdStorage()))
+    if (!logEnabled(level))
         return;
-    std::fprintf(stderr, "[%s] %s\n", levelTag(level), message.c_str());
+    writeLine(logLevelName(level), message);
 }
 
 void
 emitFatal(const std::string &message)
 {
-    std::fprintf(stderr, "[fatal] %s\n", message.c_str());
+    writeLine("fatal", message);
     std::exit(1);
 }
 
 void
 emitPanic(const std::string &message)
 {
-    std::fprintf(stderr, "[panic] %s\n", message.c_str());
+    writeLine("panic", message);
     std::abort();
 }
 

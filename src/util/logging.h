@@ -5,6 +5,14 @@
  * fatal() is for user errors (bad configuration); panic() is for
  * internal invariant violations. Both terminate. warn()/inform() are
  * advisory and never stop the run.
+ *
+ * Lines are written to stderr as one serialized write (safe for the
+ * multi-threaded experiment sweeps) prefixed with an ISO-8601 UTC
+ * timestamp. The initial threshold honours the HEB_LOG_LEVEL
+ * environment variable (panic/fatal/warn/info/debug); it defaults to
+ * Inform. Message arguments are only stringified when the level
+ * would actually print, so a debugLog() below threshold costs one
+ * branch.
  */
 
 #pragma once
@@ -25,6 +33,27 @@ LogLevel logThreshold();
 
 /** Set the process-wide log threshold. */
 void setLogThreshold(LogLevel level);
+
+/** Stable lowercase tag of a level ("warn", "info", ...). */
+const char *logLevelName(LogLevel level);
+
+/**
+ * Parse a level name as accepted by HEB_LOG_LEVEL / --log-level
+ * (panic, fatal, warn, info/inform, debug); fatal() on anything
+ * else.
+ */
+LogLevel parseLogLevel(const std::string &name);
+
+/** True when a message at @p level would currently be emitted. */
+inline bool
+logEnabled(LogLevel level)
+{
+    return static_cast<int>(level) <=
+           static_cast<int>(logThreshold());
+}
+
+/** Current UTC time as ISO-8601 ("2015-06-13T08:30:00Z"). */
+std::string isoTimestampUtc();
 
 namespace detail {
 
@@ -70,7 +99,10 @@ template <typename... Args>
 void
 warn(Args &&...args)
 {
-    detail::emitLog(LogLevel::Warn, detail::concat(std::forward<Args>(args)...));
+    if (!logEnabled(LogLevel::Warn))
+        return;
+    detail::emitLog(LogLevel::Warn,
+                    detail::concat(std::forward<Args>(args)...));
 }
 
 /** Report normal operating status. */
@@ -78,6 +110,8 @@ template <typename... Args>
 void
 inform(Args &&...args)
 {
+    if (!logEnabled(LogLevel::Inform))
+        return;
     detail::emitLog(LogLevel::Inform,
                     detail::concat(std::forward<Args>(args)...));
 }
@@ -87,6 +121,8 @@ template <typename... Args>
 void
 debugLog(Args &&...args)
 {
+    if (!logEnabled(LogLevel::Debug))
+        return;
     detail::emitLog(LogLevel::Debug,
                     detail::concat(std::forward<Args>(args)...));
 }

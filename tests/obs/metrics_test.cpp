@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Metrics registry unit tests: counter/gauge gating, log-scale
+ * histogram bucketing edge cases (zero, negative, infinities, NaN,
+ * exact boundaries), registry dedupe and the JSON dump.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "obs/metrics.h"
+
+namespace heb {
+namespace obs {
+namespace {
+
+class MetricsTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        setTelemetryLevel(TelemetryLevel::Metrics);
+    }
+    void TearDown() override
+    {
+        setTelemetryLevel(TelemetryLevel::Off);
+    }
+};
+
+TEST_F(MetricsTest, CounterAccumulates)
+{
+    Counter c("test.counter");
+    c.add(2.5);
+    c.inc();
+    EXPECT_DOUBLE_EQ(c.value(), 3.5);
+    c.zero();
+    EXPECT_DOUBLE_EQ(c.value(), 0.0);
+}
+
+TEST_F(MetricsTest, GaugeKeepsLastWrite)
+{
+    Gauge g("test.gauge");
+    g.set(7.0);
+    g.set(-1.25);
+    EXPECT_DOUBLE_EQ(g.value(), -1.25);
+}
+
+TEST_F(MetricsTest, TelemetryOffSuppressesUpdates)
+{
+    setTelemetryLevel(TelemetryLevel::Off);
+    Counter c("test.gated_counter");
+    Gauge g("test.gated_gauge");
+    Histogram h("test.gated_hist", {});
+    c.add(5.0);
+    g.set(5.0);
+    h.record(5.0);
+    EXPECT_DOUBLE_EQ(c.value(), 0.0);
+    EXPECT_DOUBLE_EQ(g.value(), 0.0);
+    EXPECT_EQ(h.count(), 0u);
+}
+
+TEST_F(MetricsTest, HistogramBoundariesAreLogScale)
+{
+    Histogram h("test.bounds", {1.0, 2.0, 4});
+    ASSERT_EQ(h.boundaries().size(), 4u);
+    EXPECT_DOUBLE_EQ(h.boundaries()[0], 1.0);
+    EXPECT_DOUBLE_EQ(h.boundaries()[1], 2.0);
+    EXPECT_DOUBLE_EQ(h.boundaries()[2], 4.0);
+    EXPECT_DOUBLE_EQ(h.boundaries()[3], 8.0);
+    // underflow + 3 intervals + overflow
+    EXPECT_EQ(h.bucketTotal(), 5u);
+}
+
+TEST_F(MetricsTest, HistogramBucketEdgeCases)
+{
+    Histogram h("test.edges", {1.0, 2.0, 4});
+    const std::size_t last = h.bucketTotal() - 1;
+    const double inf = std::numeric_limits<double>::infinity();
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+
+    // Everything below the first boundary underflows, including
+    // zero, negatives and -inf.
+    EXPECT_EQ(h.bucketIndex(0.0), 0u);
+    EXPECT_EQ(h.bucketIndex(-3.0), 0u);
+    EXPECT_EQ(h.bucketIndex(-inf), 0u);
+    EXPECT_EQ(h.bucketIndex(0.999), 0u);
+
+    // Half-open intervals: boundary[i-1] <= v < boundary[i].
+    EXPECT_EQ(h.bucketIndex(1.0), 1u);
+    EXPECT_EQ(h.bucketIndex(1.999), 1u);
+    EXPECT_EQ(h.bucketIndex(2.0), 2u);
+    EXPECT_EQ(h.bucketIndex(3.999), 2u);
+    EXPECT_EQ(h.bucketIndex(4.0), 3u);
+
+    // At or above the last boundary overflows; so do +inf and NaN.
+    EXPECT_EQ(h.bucketIndex(8.0), last);
+    EXPECT_EQ(h.bucketIndex(1.0e12), last);
+    EXPECT_EQ(h.bucketIndex(inf), last);
+    EXPECT_EQ(h.bucketIndex(nan), last);
+}
+
+TEST_F(MetricsTest, HistogramCountsAndSum)
+{
+    Histogram h("test.counts", {1.0, 2.0, 4});
+    const double inf = std::numeric_limits<double>::infinity();
+    h.record(0.0);  // underflow
+    h.record(1.5);  // bucket 1
+    h.record(3.0);  // bucket 2
+    h.record(inf);  // overflow, not summed
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(2), 1u);
+    EXPECT_EQ(h.bucketCount(h.bucketTotal() - 1), 1u);
+    EXPECT_DOUBLE_EQ(h.sum(), 4.5);
+    EXPECT_DOUBLE_EQ(h.mean(), 4.5 / 4.0);
+
+    h.zero();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST_F(MetricsTest, RegistryDedupesByName)
+{
+    auto &reg = MetricsRegistry::global();
+    std::size_t before = reg.size();
+    Counter &a = reg.counter("test.dedupe_counter");
+    Counter &b = reg.counter("test.dedupe_counter");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(reg.size(), before + 1);
+
+    Histogram &ha = reg.histogram("test.dedupe_hist", {1.0, 2.0, 3});
+    // Second spec is ignored: first registration wins.
+    Histogram &hb = reg.histogram("test.dedupe_hist", {5.0, 10.0, 9});
+    EXPECT_EQ(&ha, &hb);
+    EXPECT_EQ(hb.boundaries().size(), 3u);
+}
+
+TEST_F(MetricsTest, JsonDumpNamesEveryKind)
+{
+    auto &reg = MetricsRegistry::global();
+    reg.counter("test.json_counter").add(2.0);
+    reg.gauge("test.json_gauge").set(1.0);
+    reg.histogram("test.json_hist").record(3.0);
+
+    std::string json = reg.toJson();
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+    EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(json.find("\"test.json_counter\""), std::string::npos);
+    EXPECT_NE(json.find("\"test.json_gauge\""), std::string::npos);
+    EXPECT_NE(json.find("\"test.json_hist\""), std::string::npos);
+    // Overflow bucket has no finite upper bound.
+    EXPECT_NE(json.find("{\"le\": null"), std::string::npos);
+
+    long depth = 0;
+    for (char ch : json) {
+        if (ch == '{')
+            ++depth;
+        if (ch == '}')
+            --depth;
+        ASSERT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+TEST_F(MetricsTest, ResetZeroesButKeepsRegistrations)
+{
+    auto &reg = MetricsRegistry::global();
+    Counter &c = reg.counter("test.reset_counter");
+    c.add(9.0);
+    std::size_t size_before = reg.size();
+    reg.reset();
+    EXPECT_EQ(reg.size(), size_before);
+    EXPECT_DOUBLE_EQ(c.value(), 0.0);
+    // Handle still valid and live after reset.
+    c.inc();
+    EXPECT_DOUBLE_EQ(c.value(), 1.0);
+}
+
+} // namespace
+} // namespace obs
+} // namespace heb

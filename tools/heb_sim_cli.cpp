@@ -4,23 +4,37 @@
  *
  * Runs one (workload, scheme) simulation described by a key=value
  * config file, prints the headline metrics, and optionally exports
- * the tick/slot series and metrics as CSV.
+ * the tick/slot series, a per-event trace, a metrics dump, a phase
+ * profile and a run-provenance manifest.
  *
  * Usage:
  *   heb_sim [--config FILE] [--workload NAME] [--scheme NAME]
  *           [--out PREFIX] [--pat FILE]
+ *           [--trace-out FILE] [--trace-stride N]
+ *           [--metrics-out FILE] [--manifest FILE]
+ *           [--profile] [--log-level LEVEL]
  *
  * Config keys: see simConfigFromConfig() in sim/result_io.h.
  * --pat loads a persisted PowerAllocationTable (and saves the
  * refined table back on exit), so a long-lived deployment keeps its
  * learning across runs.
+ *
+ * Telemetry is off (zero-cost) unless --trace-out, --metrics-out or
+ * --profile asks for it. A trace file ending in .csv is written as
+ * CSV; anything else is JSON Lines. A manifest is written wherever
+ * --manifest points, and next to --out as `<prefix>_manifest.json`.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <string>
 
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "sim/experiment.h"
 #include "sim/result_io.h"
 #include "util/logging.h"
@@ -48,8 +62,21 @@ usage()
     std::printf(
         "usage: heb_sim [--config FILE] [--workload NAME] "
         "[--scheme NAME] [--out PREFIX] [--pat FILE]\n"
+        "               [--trace-out FILE] [--trace-stride N] "
+        "[--metrics-out FILE] [--manifest FILE]\n"
+        "               [--profile] [--log-level LEVEL]\n"
         "  workloads: PR WC DA WS MS DFS HB TS\n"
-        "  schemes:   BaOnly BaFirst SCFirst HEB-F HEB-S HEB-D\n");
+        "  schemes:   BaOnly BaFirst SCFirst HEB-F HEB-S HEB-D\n"
+        "  log levels: panic fatal warn info debug "
+        "(HEB_LOG_LEVEL honoured)\n");
+}
+
+bool
+endsWith(const std::string &text, const std::string &suffix)
+{
+    return text.size() >= suffix.size() &&
+           text.compare(text.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
 }
 
 } // namespace
@@ -62,6 +89,11 @@ main(int argc, char **argv)
     std::string scheme_name = "HEB-D";
     std::string out_prefix;
     std::string pat_path;
+    std::string trace_path;
+    std::string metrics_path;
+    std::string manifest_path;
+    std::size_t trace_stride = 1;
+    bool profile = false;
 
     for (int i = 1; i < argc; ++i) {
         auto need_value = [&](const char *flag) -> std::string {
@@ -79,6 +111,21 @@ main(int argc, char **argv)
             out_prefix = need_value("--out");
         else if (!std::strcmp(argv[i], "--pat"))
             pat_path = need_value("--pat");
+        else if (!std::strcmp(argv[i], "--trace-out"))
+            trace_path = need_value("--trace-out");
+        else if (!std::strcmp(argv[i], "--trace-stride")) {
+            long n = std::stol(need_value("--trace-stride"));
+            if (n < 1)
+                fatal("--trace-stride must be >= 1");
+            trace_stride = static_cast<std::size_t>(n);
+        } else if (!std::strcmp(argv[i], "--metrics-out"))
+            metrics_path = need_value("--metrics-out");
+        else if (!std::strcmp(argv[i], "--manifest"))
+            manifest_path = need_value("--manifest");
+        else if (!std::strcmp(argv[i], "--profile"))
+            profile = true;
+        else if (!std::strcmp(argv[i], "--log-level"))
+            setLogThreshold(parseLogLevel(need_value("--log-level")));
         else if (!std::strcmp(argv[i], "--help") ||
                  !std::strcmp(argv[i], "-h")) {
             usage();
@@ -89,12 +136,31 @@ main(int argc, char **argv)
         }
     }
 
+    // Telemetry stays zero-cost unless an output asks for it.
+    if (!trace_path.empty())
+        obs::setTelemetryLevel(obs::TelemetryLevel::Full);
+    else if (!metrics_path.empty() || !manifest_path.empty() ||
+             !out_prefix.empty())
+        obs::setTelemetryLevel(obs::TelemetryLevel::Metrics);
+    obs::setProfilingEnabled(profile);
+
+    obs::TraceRecorder trace(1 << 18, trace_stride);
+    if (!trace_path.empty())
+        obs::setActiveTrace(&trace);
+
     Config file_cfg = config_path.empty()
                           ? Config()
                           : Config::fromFile(config_path);
     SimConfig cfg = simConfigFromConfig(file_cfg);
     SchemeKind kind = parseScheme(scheme_name);
     HebSchemeConfig scheme_cfg;
+
+    obs::RunManifest manifest;
+    manifest.tool = "heb_sim";
+    manifest.seed = cfg.seed;
+    manifest.config = describeSimConfig(cfg);
+    manifest.startedAtIso = isoTimestampUtc();
+    auto wall_start = std::chrono::steady_clock::now();
 
     // Load the persisted allocation table when one exists, else run
     // the pilot profiling.
@@ -113,6 +179,13 @@ main(int argc, char **argv)
     auto scheme = makeScheme(kind, scheme_cfg, &pat);
     Simulator sim(cfg);
     SimResult r = sim.run(*workload, *scheme);
+
+    manifest.schemeName = r.schemeName;
+    manifest.workloadName = r.workloadName;
+    manifest.wallSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
 
     TablePrinter table({"metric", "value"});
     table.addRow({"scheme", r.schemeName});
@@ -145,6 +218,37 @@ main(int argc, char **argv)
                     "metrics to %s_metrics.csv\n",
                     out_prefix.c_str(), out_prefix.c_str());
     }
+
+    if (!trace_path.empty()) {
+        obs::setActiveTrace(nullptr);
+        if (endsWith(trace_path, ".csv"))
+            trace.writeCsv(trace_path);
+        else
+            trace.writeJsonl(trace_path);
+        std::printf("trace: %zu events written to %s (%llu "
+                    "dropped, stride %zu)\n",
+                    trace.size(), trace_path.c_str(),
+                    static_cast<unsigned long long>(trace.dropped()),
+                    trace.tickStride());
+    }
+
+    if (!metrics_path.empty()) {
+        obs::MetricsRegistry::global().writeJson(metrics_path);
+        std::printf("metrics: %zu metrics written to %s\n",
+                    obs::MetricsRegistry::global().size(),
+                    metrics_path.c_str());
+    }
+
+    if (profile) {
+        std::printf("\n--- phase profile ---\n%s",
+                    obs::profileReport().c_str());
+    }
+
+    if (!manifest_path.empty())
+        obs::writeRunManifest(manifest_path, manifest);
+    if (!out_prefix.empty())
+        obs::writeRunManifest(out_prefix + "_manifest.json",
+                              manifest);
 
     if (!pat_path.empty()) {
         // Persist the refined table: the HEB schemes keep learning.
