@@ -18,6 +18,7 @@
 #include <cstdio>
 
 #include "sim/experiment.h"
+#include "util/sweep_cli.h"
 #include "util/table_printer.h"
 #include "workload/workload_profiles.h"
 
@@ -78,8 +79,9 @@ printComparison(const char *title,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    applySweepCliArgs(argc, argv);
     std::printf("=== Figure 12: scheme comparison, 8 workloads, "
                 "equal-capacity buffers (SC:BA = 3:7) ===\n");
 

@@ -11,14 +11,16 @@
 #include <cstdio>
 
 #include "sim/experiment.h"
+#include "util/sweep_cli.h"
 #include "util/table_printer.h"
 #include "workload/workload_profiles.h"
 
 using namespace heb;
 
 int
-main()
+main(int argc, char **argv)
 {
+    applySweepCliArgs(argc, argv);
     std::printf("=== Figure 13: SC:BA capacity ratio sweep "
                 "(constant total, HEB-D, normalized to 3:7) ===\n\n");
 

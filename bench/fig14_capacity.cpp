@@ -11,14 +11,16 @@
 #include <cstdio>
 
 #include "sim/experiment.h"
+#include "util/sweep_cli.h"
 #include "util/table_printer.h"
 #include "workload/workload_profiles.h"
 
 using namespace heb;
 
 int
-main()
+main(int argc, char **argv)
 {
+    applySweepCliArgs(argc, argv);
     std::printf("=== Figure 14: capacity growth via DoD sweep "
                 "(3:7 split, HEB-D) ===\n\n");
 

@@ -17,6 +17,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/experiment.h"
+#include "util/thread_pool.h"
 #include "workload/workload_profiles.h"
 
 namespace heb {
@@ -33,6 +34,24 @@ BM_BatteryDischargeStep(benchmark::State &state)
     }
 }
 BENCHMARK(BM_BatteryDischargeStep);
+
+// Same step with an alternating dt: every call misses the memoized
+// exp(-k*dt) terms. The gap against BM_BatteryDischargeStep (which
+// reuses a constant dt, the simulator's actual pattern) is the value
+// of the KiBaM step-term cache.
+void
+BM_BatteryDischargeStepVaryingDt(benchmark::State &state)
+{
+    Battery b(BatteryParams::prototypeLeadAcid());
+    double dt = 1.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(b.discharge(40.0, dt));
+        dt = dt == 1.0 ? 2.0 : 1.0;
+        if (b.soc() < 0.4)
+            b.setSoc(1.0);
+    }
+}
+BENCHMARK(BM_BatteryDischargeStepVaryingDt);
 
 void
 BM_SupercapDischargeStep(benchmark::State &state)
@@ -165,6 +184,49 @@ BM_SimulatorDayFullTrace(benchmark::State &state)
     obs::setTelemetryLevel(obs::TelemetryLevel::Off);
 }
 BENCHMARK(BM_SimulatorDayFullTrace)->Unit(benchmark::kMillisecond);
+
+// Pool dispatch overhead: an ordered map of trivial tasks measures
+// the fixed cost of the batch machinery (queue, wakeups, completion
+// wait) that every sweep cell pays on top of its simulation work.
+void
+BM_ThreadPoolMapOverhead(benchmark::State &state)
+{
+    ThreadPool pool(4);
+    std::vector<int> items(64);
+    for (int i = 0; i < 64; ++i)
+        items[static_cast<std::size_t>(i)] = i;
+    for (auto _ : state) {
+        auto out = pool.map(items, [](int v) { return v * 2; });
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ThreadPoolMapOverhead);
+
+// A pool map of real simulation work: eight two-hour runs, the shape
+// of one sweep row. Compare items_per_second against a 1-job pool to
+// read the machine's usable sweep speedup.
+void
+BM_ThreadPoolMapSimRuns(benchmark::State &state)
+{
+    obs::setTelemetryLevel(obs::TelemetryLevel::Off);
+    ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+    SimConfig cfg;
+    cfg.durationSeconds = 2.0 * 3600.0;
+    const auto &names = allWorkloadNames();
+    for (auto _ : state) {
+        auto out = pool.map(names, [&](const std::string &w) {
+            return runOne(cfg, w, SchemeKind::ScFirst);
+        });
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(names.size()));
+}
+BENCHMARK(BM_ThreadPoolMapSimRuns)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_CounterAddEnabled(benchmark::State &state)

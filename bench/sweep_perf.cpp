@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Sweep-engine throughput bench: times a Fig. 12-sized
+ * (scheme × workload) grid serially (1 job) and on the shared
+ * thread pool, verifies the parallel summaries are bit-identical to
+ * the serial ones, and writes a BENCH_sweep.json perf artifact so
+ * CI can track the sweep engine's wall-clock trajectory.
+ *
+ * Usage:
+ *   sweep_perf [--quick] [--jobs N] [--out FILE]
+ *
+ * --quick shrinks the simulated duration for CI smoke runs; --jobs
+ * sets the parallel leg's pool width (default HEB_JOBS or the
+ * machine's core count); --out overrides the JSON path (default
+ * BENCH_sweep.json in the working directory).
+ *
+ * Exit status is non-zero when the parallel results differ from the
+ * serial ones in any bit — determinism is part of the contract, not
+ * just speed. Speedup thresholds are enforced by CI, not here, so
+ * the bench stays usable on single-core boxes.
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "sim/experiment.h"
+#include "sim/pat_cache.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+#include "workload/workload_profiles.h"
+
+using namespace heb;
+
+namespace {
+
+double
+wallSeconds(const std::chrono::steady_clock::time_point &start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** Bitwise comparison of two summary rows (incl. per-workload). */
+bool
+identicalSummaries(const std::vector<SchemeSummary> &a,
+                   const std::vector<SchemeSummary> &b)
+{
+    auto same = [](double x, double y) {
+        return std::memcmp(&x, &y, sizeof(double)) == 0;
+    };
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const SchemeSummary &l = a[i];
+        const SchemeSummary &r = b[i];
+        if (l.scheme != r.scheme ||
+            !same(l.energyEfficiency, r.energyEfficiency) ||
+            !same(l.energyEfficiencySmall, r.energyEfficiencySmall) ||
+            !same(l.energyEfficiencyLarge, r.energyEfficiencyLarge) ||
+            !same(l.downtimeSeconds, r.downtimeSeconds) ||
+            !same(l.batteryLifetimeYears, r.batteryLifetimeYears) ||
+            !same(l.reu, r.reu) ||
+            l.perWorkload.size() != r.perWorkload.size())
+            return false;
+        for (std::size_t w = 0; w < l.perWorkload.size(); ++w) {
+            const SimResult &lr = l.perWorkload[w];
+            const SimResult &rr = r.perWorkload[w];
+            if (lr.workloadName != rr.workloadName ||
+                !same(lr.energyEfficiency, rr.energyEfficiency) ||
+                !same(lr.downtimeSeconds, rr.downtimeSeconds) ||
+                !same(lr.peakUtilityDrawW, rr.peakUtilityDrawW) ||
+                !same(lr.ledger.unservedWh, rr.ledger.unservedWh))
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    std::size_t jobs = 0; // 0 -> defaultJobs()
+    std::string out_path = "BENCH_sweep.json";
+
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--quick")) {
+            quick = true;
+        } else if (!std::strcmp(argv[i], "--jobs")) {
+            if (i + 1 >= argc)
+                fatal("--jobs requires a value");
+            long n = std::stol(argv[++i]);
+            if (n < 1)
+                fatal("--jobs must be >= 1");
+            jobs = static_cast<std::size_t>(n);
+        } else if (!std::strcmp(argv[i], "--out")) {
+            if (i + 1 >= argc)
+                fatal("--out requires a value");
+            out_path = argv[++i];
+        } else {
+            fatal("usage: sweep_perf [--quick] [--jobs N] "
+                  "[--out FILE]; got '",
+                  argv[i], "'");
+        }
+    }
+    if (jobs == 0)
+        jobs = ThreadPool::defaultJobs();
+
+    obs::setTelemetryLevel(obs::TelemetryLevel::Off);
+
+    // The Fig. 12 grid: every scheme over every workload. --quick
+    // shortens the simulated span (but keeps it > one predictor
+    // season) so the CI smoke run finishes in seconds.
+    SimConfig cfg;
+    cfg.durationSeconds = (quick ? 4.0 : 24.0) * 3600.0;
+    HebSchemeConfig scheme_cfg;
+    const auto &workloads = allWorkloadNames();
+    const auto &schemes = allSchemeKinds();
+    const double grid_ticks =
+        static_cast<double>(workloads.size() * schemes.size()) *
+        cfg.durationSeconds / cfg.tickSeconds;
+
+    std::printf("sweep_perf: %zu schemes x %zu workloads, %.0f h "
+                "simulated per cell\n",
+                schemes.size(), workloads.size(),
+                cfg.durationSeconds / 3600.0);
+
+    // Warm the PAT seed cache outside the timed region: both legs
+    // then pay identical (zero) seeding cost and the measurement is
+    // pure sweep-engine throughput.
+    SeededPatCache::global().get(cfg, scheme_cfg);
+
+    ThreadPool::configureGlobal(1);
+    auto t0 = std::chrono::steady_clock::now();
+    auto serial_rows =
+        compareSchemes(cfg, workloads, schemes, scheme_cfg);
+    double serial_s = wallSeconds(t0);
+    std::printf("serial   (1 job):  %7.2f s  (%.2fM ticks/s)\n",
+                serial_s, grid_ticks / serial_s / 1e6);
+
+    ThreadPool::configureGlobal(jobs);
+    t0 = std::chrono::steady_clock::now();
+    auto parallel_rows =
+        compareSchemes(cfg, workloads, schemes, scheme_cfg);
+    double parallel_s = wallSeconds(t0);
+    ThreadPool::configureGlobal(0);
+    std::printf("parallel (%zu jobs): %7.2f s  (%.2fM ticks/s)\n",
+                jobs, parallel_s, grid_ticks / parallel_s / 1e6);
+
+    bool identical = identicalSummaries(serial_rows, parallel_rows);
+    double speedup = parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
+    std::printf("speedup: %.2fx, results %s\n", speedup,
+                identical ? "bit-identical" : "DIFFER");
+
+    std::string json = "{\n";
+    auto field = [&json](const char *name, double value,
+                         bool last = false) {
+        json += "  ";
+        obs::appendJsonString(json, name);
+        json += ": ";
+        obs::appendJsonNumber(json, value);
+        json += last ? "\n" : ",\n";
+    };
+    field("schemes", static_cast<double>(schemes.size()));
+    field("workloads", static_cast<double>(workloads.size()));
+    field("sim_hours_per_cell", cfg.durationSeconds / 3600.0);
+    field("grid_ticks", grid_ticks);
+    field("jobs", static_cast<double>(jobs));
+    field("serial_seconds", serial_s);
+    field("parallel_seconds", parallel_s);
+    field("ticks_per_second_serial", grid_ticks / serial_s);
+    field("ticks_per_second_parallel", grid_ticks / parallel_s);
+    field("speedup", speedup);
+    json += "  \"quick\": ";
+    json += quick ? "true" : "false";
+    json += ",\n  \"identical\": ";
+    json += identical ? "true" : "false";
+    json += "\n}\n";
+
+    std::ofstream out(out_path);
+    if (!out)
+        fatal("cannot write ", out_path);
+    out << json;
+    std::printf("wrote %s\n", out_path.c_str());
+
+    return identical ? 0 : 1;
+}

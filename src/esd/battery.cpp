@@ -82,9 +82,12 @@ Battery::stepThermal(double loss_w, double dt_seconds)
         return;
     double target =
         params_.ambientC + loss_w * params_.thermalResistanceCPerW;
-    double alpha =
-        1.0 - std::exp(-dt_seconds / params_.thermalTimeConstantS);
-    tempC_ += (target - tempC_) * alpha;
+    if (dt_seconds != thermalDtSeconds_) {
+        thermalDtSeconds_ = dt_seconds;
+        thermalAlpha_ = 1.0 - std::exp(-dt_seconds /
+                                       params_.thermalTimeConstantS);
+    }
+    tempC_ += (target - tempC_) * thermalAlpha_;
 }
 
 double
@@ -129,6 +132,21 @@ Battery::usableEnergyWh() const
     return usable_ah * params_.nominalVoltage;
 }
 
+const Battery::KibamStepTerms &
+Battery::kibamStepTerms(double t_hours) const
+{
+    // exp/expm1 dominate the per-tick cost; at the fixed tick length
+    // every simulation uses, recompute only when dt changes.
+    if (t_hours != stepTerms_.tHours) {
+        stepTerms_.tHours = t_hours;
+        stepTerms_.kt = params_.kibamK * t_hours;
+        stepTerms_.ekt = std::exp(-stepTerms_.kt);
+        // 1 - e^{-kt} via expm1, stable for tiny kt.
+        stepTerms_.oneMinusEkt = -std::expm1(-stepTerms_.kt);
+    }
+    return stepTerms_;
+}
+
 void
 Battery::stepWells(double current_a, double dt_seconds)
 {
@@ -138,14 +156,16 @@ Battery::stepWells(double current_a, double dt_seconds)
     double k = params_.kibamK;
     double c = params_.kibamC;
     double q0 = y1_ + y2_;
-    double ekt = std::exp(-k * t);
-    double one_m_ekt = -std::expm1(-k * t); // 1 - e^{-kt}, stable
+    const KibamStepTerms &terms = kibamStepTerms(t);
+    double ekt = terms.ekt;
+    double one_m_ekt = terms.oneMinusEkt;
+    double kt = terms.kt;
     double i = current_a;
 
     double y1 = y1_ * ekt + (q0 * k * c - i) * one_m_ekt / k -
-                i * c * (k * t - one_m_ekt) / k;
+                i * c * (kt - one_m_ekt) / k;
     double y2 = y2_ * ekt + q0 * (1.0 - c) * one_m_ekt -
-                i * (1.0 - c) * (k * t - one_m_ekt) / k;
+                i * (1.0 - c) * (kt - one_m_ekt) / k;
 
     double cap = effectiveCapacityAh();
     y1_ = std::clamp(y1, 0.0, c * cap);
@@ -159,9 +179,10 @@ Battery::kibamMaxDischargeCurrent(double dt_seconds) const
     double k = params_.kibamK;
     double c = params_.kibamC;
     double q0 = y1_ + y2_;
-    double ekt = std::exp(-k * t);
-    double one_m_ekt = -std::expm1(-k * t);
-    double denom = one_m_ekt + c * (k * t - one_m_ekt);
+    const KibamStepTerms &terms = kibamStepTerms(t);
+    double ekt = terms.ekt;
+    double one_m_ekt = terms.oneMinusEkt;
+    double denom = one_m_ekt + c * (terms.kt - one_m_ekt);
     if (denom <= 0.0)
         return 0.0;
     return (k * y1_ * ekt + q0 * k * c * one_m_ekt) / denom;
@@ -175,9 +196,10 @@ Battery::kibamMaxChargeCurrent(double dt_seconds) const
     double c = params_.kibamC;
     double q0 = y1_ + y2_;
     double qmax = effectiveCapacityAh();
-    double ekt = std::exp(-k * t);
-    double one_m_ekt = -std::expm1(-k * t);
-    double denom = one_m_ekt + c * (k * t - one_m_ekt);
+    const KibamStepTerms &terms = kibamStepTerms(t);
+    double ekt = terms.ekt;
+    double one_m_ekt = terms.oneMinusEkt;
+    double denom = one_m_ekt + c * (terms.kt - one_m_ekt);
     if (denom <= 0.0)
         return 0.0;
     double well_limit =

@@ -97,6 +97,24 @@ class Battery : public EnergyStorageDevice
     double kibamMaxChargeCurrent(double dt_seconds) const;
 
   private:
+    /**
+     * The KiBaM closed-form exponential terms for a step of
+     * @p t_hours. Nearly every simulation calls the battery with one
+     * fixed tick length, so the exp/expm1 pair is memoized on the
+     * last step length (k is fixed per instance). The cache makes
+     * the object non-thread-safe for *concurrent* use, which the
+     * parallel sweep engine already guarantees: a device belongs to
+     * exactly one simulation task (see DESIGN.md §8).
+     */
+    struct KibamStepTerms
+    {
+        double tHours = -1.0; //!< step the terms were computed for
+        double kt = 0.0;      //!< k·t
+        double ekt = 1.0;     //!< e^{-k·t}
+        double oneMinusEkt = 0.0; //!< 1 - e^{-k·t} (expm1, stable)
+    };
+    const KibamStepTerms &kibamStepTerms(double t_hours) const;
+
     /** Advance both wells under constant current for dt (closed form). */
     void stepWells(double current_a, double dt_seconds);
 
@@ -122,6 +140,9 @@ class Battery : public EnergyStorageDevice
     double tempC_;
     int lastDirection_ = 0; //!< +1 discharging, -1 charging, 0 fresh
     EsdCounters counters_;
+    mutable KibamStepTerms stepTerms_;
+    mutable double thermalDtSeconds_ = -1.0; //!< cached alpha's dt
+    mutable double thermalAlpha_ = 0.0;
 };
 
 } // namespace heb

@@ -20,6 +20,8 @@ PeukertBattery::PeukertBattery(BatteryParams params, double exponent)
     if (exponent_ < 1.0)
         fatal("Peukert exponent must be >= 1, got ", exponent_);
     params_.name += "-peukert";
+    refCurrentPowTerm_ =
+        std::pow(referenceCurrent(), exponent_ - 1.0);
 }
 
 void
@@ -107,8 +109,7 @@ PeukertBattery::maxDischargePowerW(double dt_seconds) const
     // Invert the Peukert drain: consumed = i*(i/iref)^(p-1)*t <= avail.
     double i_energy = params_.maxDischargeCRate * params_.capacityAh;
     if (t > 0.0) {
-        double iref = referenceCurrent();
-        i_energy = std::pow(avail_ah / t * std::pow(iref, exponent_ - 1.0),
+        i_energy = std::pow(avail_ah / t * refCurrentPowTerm_,
                             1.0 / exponent_);
     }
     double i = std::min({v_limit, ocv / (2.0 * r),

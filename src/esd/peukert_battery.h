@@ -66,6 +66,13 @@ class PeukertBattery : public EnergyStorageDevice
 
     BatteryParams params_;
     double exponent_;
+    /**
+     * iref^(p-1), the Peukert reference-current power term. It only
+     * depends on construction-time parameters but sits inside the
+     * per-tick maxDischargePowerW inversion, so it is computed once
+     * here instead of one std::pow per tick.
+     */
+    double refCurrentPowTerm_;
     double chargeAh_; //!< remaining charge at reference rate
     double weightedAh_ = 0.0;
     int lastDirection_ = 0;

@@ -1,14 +1,27 @@
 #include "sim/experiment.h"
 
 #include <algorithm>
-#include <future>
 
 #include "core/profiler.h"
 #include "esd/bank_builder.h"
+#include "sim/pat_cache.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 #include "workload/workload_profiles.h"
 
 namespace heb {
+
+namespace {
+
+/** True for the scheme kinds that start from a profiled PAT. */
+bool
+wantsSeededPat(SchemeKind kind)
+{
+    return kind == SchemeKind::HebF || kind == SchemeKind::HebS ||
+           kind == SchemeKind::HebD;
+}
+
+} // namespace
 
 PowerAllocationTable
 buildSeededPat(const SimConfig &config,
@@ -56,36 +69,48 @@ compareSchemes(const SimConfig &config,
     if (workloads.empty() || schemes.empty())
         fatal("compareSchemes: need workloads and schemes");
 
-    // Seed once; each HEB scheme instance receives its own copy.
-    PowerAllocationTable seeded = buildSeededPat(config, scheme_cfg);
+    // One shared seed, fetched from the cache (and only when a HEB
+    // variant is in the set); each HEB instance copies it.
+    std::shared_ptr<const PowerAllocationTable> seeded;
+    if (std::any_of(schemes.begin(), schemes.end(), wantsSeededPat))
+        seeded = SeededPatCache::global().get(config, scheme_cfg);
+
+    // Every (scheme, workload) cell is independent: flatten the grid
+    // into one task set so the pool never idles at a per-scheme
+    // barrier, and let map() ordering keep results deterministic.
+    struct Cell
+    {
+        std::size_t scheme_i = 0;
+        std::size_t workload_i = 0;
+    };
+    std::vector<Cell> cells;
+    cells.reserve(schemes.size() * workloads.size());
+    for (std::size_t si = 0; si < schemes.size(); ++si) {
+        for (std::size_t wi = 0; wi < workloads.size(); ++wi)
+            cells.push_back({si, wi});
+    }
+
+    std::vector<SimResult> results = parallelMap(
+        cells, [&](const Cell &cell) {
+            return runOne(config, workloads[cell.workload_i],
+                          schemes[cell.scheme_i], scheme_cfg,
+                          seeded.get());
+        });
 
     std::vector<SchemeSummary> rows;
-    for (SchemeKind kind : schemes) {
+    rows.reserve(schemes.size());
+    for (std::size_t si = 0; si < schemes.size(); ++si) {
         SchemeSummary row;
-        row.scheme = schemeKindName(kind);
+        row.scheme = schemeKindName(schemes[si]);
         double small_acc = 0.0, large_acc = 0.0;
         std::size_t small_n = 0, large_n = 0;
-        // The (workload, scheme) runs are independent; fan the
-        // workloads of this scheme out across cores.
-        std::vector<std::future<SimResult>> futures;
-        futures.reserve(workloads.size());
-        for (const std::string &w : workloads) {
-            futures.push_back(std::async(
-                std::launch::async, [&config, &scheme_cfg, &seeded,
-                                     kind, w]() {
-                    return runOne(config, w, kind, scheme_cfg,
-                                  &seeded);
-                }));
-        }
         for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
-            SimResult r = futures[wi].get();
-            const std::string &w = workloads[wi];
+            SimResult &r = results[si * workloads.size() + wi];
             row.energyEfficiency += r.energyEfficiency;
             row.downtimeSeconds += r.downtimeSeconds;
             row.batteryLifetimeYears += r.batteryLifetimeYears;
             row.reu += r.reu;
-            auto wl = makeWorkload(w, config.seed);
-            if (wl->peakClass() == PeakClass::Small) {
+            if (r.workloadPeakClass == PeakClass::Small) {
                 small_acc += r.energyEfficiency;
                 ++small_n;
             } else {
@@ -112,27 +137,28 @@ ratioSweep(const SimConfig &base,
            const std::vector<std::pair<double, double>> &ratios,
            const HebSchemeConfig &scheme_cfg)
 {
-    std::vector<RatioPoint> points;
-    for (auto [m, n] : ratios) {
-        SimConfig cfg = base;
-        cfg.setCapacityRatio(m, n);
-        auto rows = compareSchemes(cfg, allWorkloadNames(),
-                                   {SchemeKind::HebD}, scheme_cfg);
-        RatioPoint p;
-        p.scParts = m;
-        p.baParts = n;
-        p.summary = std::move(rows.front());
-        points.push_back(std::move(p));
-    }
-    return points;
+    // Points run concurrently; the nested compareSchemes calls share
+    // the same pool (the point task helps drain its own cells), so
+    // total parallelism stays bounded by the pool width.
+    return parallelMap(
+        ratios, [&](const std::pair<double, double> &ratio) {
+            SimConfig cfg = base;
+            cfg.setCapacityRatio(ratio.first, ratio.second);
+            auto rows = compareSchemes(cfg, allWorkloadNames(),
+                                       {SchemeKind::HebD}, scheme_cfg);
+            RatioPoint p;
+            p.scParts = ratio.first;
+            p.baParts = ratio.second;
+            p.summary = std::move(rows.front());
+            return p;
+        });
 }
 
 std::vector<CapacityPoint>
 capacitySweep(const SimConfig &base, const std::vector<double> &dods,
               const HebSchemeConfig &scheme_cfg)
 {
-    std::vector<CapacityPoint> points;
-    for (double dod : dods) {
+    return parallelMap(dods, [&](double dod) {
         SimConfig cfg = base;
         cfg.scDod = dod;
         cfg.baDod = dod;
@@ -141,9 +167,8 @@ capacitySweep(const SimConfig &base, const std::vector<double> &dods,
         CapacityPoint p;
         p.dod = dod;
         p.summary = std::move(rows.front());
-        points.push_back(std::move(p));
-    }
-    return points;
+        return p;
+    });
 }
 
 } // namespace heb

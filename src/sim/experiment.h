@@ -65,6 +65,12 @@ SimResult runOne(const SimConfig &config,
 /**
  * The paper's main comparison (Fig. 12): every scheme over every
  * workload, one summary row per scheme.
+ *
+ * The (scheme × workload) grid runs on the shared ThreadPool as one
+ * flattened task set; results are deterministic and identical to a
+ * serial run for any job count. HEB variants start from a cached
+ * profiled PAT (see sim/pat_cache.h), seeded once per distinct bank
+ * layout.
  */
 std::vector<SchemeSummary>
 compareSchemes(const SimConfig &config,

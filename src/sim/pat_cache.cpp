@@ -1,0 +1,104 @@
+#include "sim/pat_cache.h"
+
+#include "obs/metrics.h"
+#include "sim/experiment.h"
+
+namespace heb {
+
+PatSeedKey
+patSeedKey(const SimConfig &config,
+           const HebSchemeConfig &scheme_cfg)
+{
+    PatSeedKey key;
+    key.scEnergyWh = config.scEnergyWh;
+    key.scDod = config.scDod;
+    key.baEnergyWh = config.baEnergyWh;
+    key.baDod = config.baDod;
+    key.scStepWh = scheme_cfg.patGrid.scStepWh;
+    key.baStepWh = scheme_cfg.patGrid.baStepWh;
+    key.pmStepW = scheme_cfg.patGrid.pmStepW;
+    key.deltaR = scheme_cfg.deltaR;
+    key.smallPeakThresholdW = scheme_cfg.smallPeakThresholdW;
+    return key;
+}
+
+SeededPatCache &
+SeededPatCache::global()
+{
+    static SeededPatCache cache;
+    return cache;
+}
+
+std::shared_ptr<const PowerAllocationTable>
+SeededPatCache::get(const SimConfig &config,
+                    const HebSchemeConfig &scheme_cfg)
+{
+    PatSeedKey key = patSeedKey(config, scheme_cfg);
+
+    std::promise<std::shared_ptr<const PowerAllocationTable>> promise;
+    Entry pending;
+    bool builder = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            ++hits_;
+            obs::MetricsRegistry::global()
+                .counter("sim.pat_cache_hits_total")
+                .inc();
+            pending = it->second;
+        } else {
+            ++misses_;
+            obs::MetricsRegistry::global()
+                .counter("sim.pat_cache_misses_total")
+                .inc();
+            pending = promise.get_future().share();
+            entries_.emplace(key, pending);
+            builder = true;
+        }
+    }
+
+    if (!builder) {
+        // Someone else is (or was) the builder; wait for the table.
+        return pending.get();
+    }
+
+    // We inserted the entry: seed outside the lock so other keys
+    // keep building in parallel, then publish.
+    auto table = std::make_shared<const PowerAllocationTable>(
+        buildSeededPat(config, scheme_cfg));
+    promise.set_value(table);
+    return table;
+}
+
+std::size_t
+SeededPatCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+}
+
+std::size_t
+SeededPatCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+}
+
+std::size_t
+SeededPatCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+}
+
+void
+SeededPatCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+    hits_ = 0;
+    misses_ = 0;
+}
+
+} // namespace heb

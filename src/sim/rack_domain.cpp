@@ -126,6 +126,16 @@ RackDomain::tick(double now_seconds, double supply_w)
     const double now = now_seconds;
     double demand = cachedDemand_;
 
+    // One telemetry lookup per tick: the metrics singleton and the
+    // trace pointer are loop-invariant for the whole run, so the
+    // atomic load + static-init guard are paid once here instead of
+    // at every instrumentation site below. `metrics` is null when
+    // telemetry is off (every update site is skipped); `tr` is null
+    // unless tracing is Full with a recorder installed.
+    DomainMetrics *metrics =
+        obs::metricsOn() ? &DomainMetrics::get() : nullptr;
+    obs::TraceRecorder *tr = obs::activeTrace();
+
     // Optional DVFS capping before touching buffers (paper §1).
     if (config_.dvfsCapping) {
         Server::Frequency nominal =
@@ -222,9 +232,9 @@ RackDomain::tick(double now_seconds, double supply_w)
             auto shed = static_cast<std::size_t>(
                 std::ceil(unserved / per_server));
             cluster_.shutdownLru(shed, now);
-            DomainMetrics::get().shedServers.add(
-                static_cast<double>(shed));
-            if (auto *tr = obs::activeTrace()) {
+            if (metrics)
+                metrics->shedServers.add(static_cast<double>(shed));
+            if (tr) {
                 tr->record(
                     obs::TraceEventKind::Shed, now,
                     {unserved, static_cast<double>(shed),
@@ -267,8 +277,9 @@ RackDomain::tick(double now_seconds, double supply_w)
                 if (!cluster_.server(s).isOn()) {
                     cluster_.server(s).powerOn(now);
                     lastRestart_ = now;
-                    DomainMetrics::get().restarts.inc();
-                    if (auto *tr = obs::activeTrace()) {
+                    if (metrics)
+                        metrics->restarts.inc();
+                    if (tr) {
                         tr->record(obs::TraceEventKind::Restart, now,
                                    {static_cast<double>(
                                        cluster_.onlineCount())});
@@ -290,21 +301,18 @@ RackDomain::tick(double now_seconds, double supply_w)
     supplySeries_.append(supply_w);
     unservedSeries_.append(unserved);
 
-    if (obs::metricsOn()) {
-        DomainMetrics &m = DomainMetrics::get();
-        m.ticks.inc();
+    if (metrics) {
+        metrics->ticks.inc();
         if (in_mismatch)
-            m.mismatchTicks.inc();
-        m.unservedWh.add(unserved * dt_h);
-        m.demandW.record(demand);
-        m.sourceDrawW.record(source_draw);
+            metrics->mismatchTicks.inc();
+        metrics->unservedWh.add(unserved * dt_h);
+        metrics->demandW.record(demand);
+        metrics->sourceDrawW.record(source_draw);
     }
-    if (auto *tr = obs::activeTrace()) {
-        if (tickIndex_ % tr->tickStride() == 0) {
-            tr->record(obs::TraceEventKind::Tick, now,
-                       {demand, supply_w, sc_w, ba_w, unserved,
-                        source_draw});
-        }
+    if (tr && tickIndex_ % tr->tickStride() == 0) {
+        tr->record(obs::TraceEventKind::Tick, now,
+                   {demand, supply_w, sc_w, ba_w, unserved,
+                    source_draw});
     }
     ++tickIndex_;
 
@@ -316,18 +324,17 @@ RackDomain::tick(double now_seconds, double supply_w)
         rLambdaSeries_.append(plan.rLambda);
         nextSocSample_ += config_.slotSeconds;
 
-        if (obs::metricsOn()) {
-            DomainMetrics &m = DomainMetrics::get();
-            m.scSoc.set(sc_soc);
-            m.baSoc.set(ba_soc);
+        if (metrics) {
+            metrics->scSoc.set(sc_soc);
+            metrics->baSoc.set(ba_soc);
             // Terminal voltage under the tick's discharge load shows
             // sag (Fig. 5); charging ticks sample at open circuit.
-            m.scTerminalV.set(
+            metrics->scTerminalV.set(
                 scBank_->terminalVoltage(std::max(0.0, sc_w)));
-            m.baTerminalV.set(
+            metrics->baTerminalV.set(
                 baBank_->terminalVoltage(std::max(0.0, ba_w)));
         }
-        if (auto *tr = obs::activeTrace()) {
+        if (tr) {
             tr->record(
                 obs::TraceEventKind::SocSample, now,
                 {sc_soc, ba_soc,

@@ -9,6 +9,7 @@
 
 #include "sim/energy_ledger.h"
 #include "util/time_series.h"
+#include "workload/workload.h"
 
 namespace heb {
 
@@ -20,6 +21,12 @@ struct SimResult
 
     /** Workload under test. */
     std::string workloadName;
+
+    /**
+     * Peak-shape family of the workload, recorded so consumers can
+     * classify results without rebuilding the workload.
+     */
+    PeakClass workloadPeakClass = PeakClass::Small;
 
     /** Simulated duration (s). */
     double durationSeconds = 0.0;

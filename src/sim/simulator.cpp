@@ -60,6 +60,7 @@ Simulator::run(const Workload &workload, ManagementScheme &scheme)
     SimResult result;
     result.schemeName = scheme.name();
     result.workloadName = workload.name();
+    result.workloadPeakClass = workload.peakClass();
     domain.finalize(result);
     obs::MetricsRegistry::global().counter("sim.runs_total").inc();
 

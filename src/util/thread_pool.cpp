@@ -1,0 +1,131 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "util/logging.h"
+
+namespace heb {
+
+namespace {
+
+/** The pool a worker thread belongs to, for inline nested submit. */
+thread_local const ThreadPool *t_worker_pool = nullptr;
+
+std::mutex &
+globalPoolMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
+
+std::unique_ptr<ThreadPool> &
+globalPoolSlot()
+{
+    static std::unique_ptr<ThreadPool> pool;
+    return pool;
+}
+
+std::size_t &
+globalJobsOverride()
+{
+    static std::size_t jobs = 0;
+    return jobs;
+}
+
+} // namespace
+
+ThreadPool::ThreadPool(std::size_t jobs)
+    : jobs_(jobs == 0 ? defaultJobs() : jobs)
+{
+    // The caller of map() is one lane; spawn the rest.
+    workers_.reserve(jobs_ - 1);
+    for (std::size_t i = 0; i + 1 < jobs_; ++i)
+        workers_.emplace_back([this]() { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::enqueue(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    t_worker_pool = this;
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [&] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty()) {
+                if (stopping_)
+                    return;
+                continue;
+            }
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+bool
+ThreadPool::onWorkerThread() const
+{
+    return t_worker_pool == this;
+}
+
+std::size_t
+ThreadPool::defaultJobs()
+{
+    if (const char *env = std::getenv("HEB_JOBS")) {
+        char *end = nullptr;
+        long n = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && n >= 1)
+            return static_cast<std::size_t>(n);
+        warn("ignoring HEB_JOBS='", env,
+             "' (want a positive integer)");
+    }
+    return std::max<std::size_t>(
+        1, std::thread::hardware_concurrency());
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    std::lock_guard<std::mutex> lock(globalPoolMutex());
+    auto &slot = globalPoolSlot();
+    if (!slot)
+        slot = std::make_unique<ThreadPool>(globalJobsOverride());
+    return *slot;
+}
+
+void
+ThreadPool::configureGlobal(std::size_t jobs)
+{
+    std::lock_guard<std::mutex> lock(globalPoolMutex());
+    globalJobsOverride() = jobs;
+    globalPoolSlot().reset();
+}
+
+} // namespace heb

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/experiment.h"
+#include "util/thread_pool.h"
 #include "workload/workload_profiles.h"
 
 namespace heb {
@@ -73,6 +74,44 @@ TEST(Experiment, CapacitySweepRuns)
     ASSERT_EQ(points.size(), 2u);
     EXPECT_DOUBLE_EQ(points[0].dod, 0.5);
     EXPECT_DOUBLE_EQ(points[1].dod, 0.8);
+}
+
+TEST(Experiment, ParallelSweepIsBitIdenticalToSerial)
+{
+    SimConfig cfg = tinyConfig();
+    std::vector<std::string> workloads = {"WC", "TS", "PR"};
+    std::vector<SchemeKind> schemes = {
+        SchemeKind::BaOnly, SchemeKind::ScFirst, SchemeKind::HebD};
+
+    ThreadPool::configureGlobal(1);
+    auto serial = compareSchemes(cfg, workloads, schemes);
+    ThreadPool::configureGlobal(4);
+    auto parallel = compareSchemes(cfg, workloads, schemes);
+    ThreadPool::configureGlobal(0); // restore default sizing
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        const SchemeSummary &a = serial[i];
+        const SchemeSummary &b = parallel[i];
+        EXPECT_EQ(a.scheme, b.scheme);
+        // Exact equality: the pool only reorders execution, never
+        // the math or the aggregation order.
+        EXPECT_EQ(a.energyEfficiency, b.energyEfficiency);
+        EXPECT_EQ(a.energyEfficiencySmall, b.energyEfficiencySmall);
+        EXPECT_EQ(a.energyEfficiencyLarge, b.energyEfficiencyLarge);
+        EXPECT_EQ(a.downtimeSeconds, b.downtimeSeconds);
+        EXPECT_EQ(a.batteryLifetimeYears, b.batteryLifetimeYears);
+        EXPECT_EQ(a.reu, b.reu);
+        ASSERT_EQ(a.perWorkload.size(), b.perWorkload.size());
+        for (std::size_t w = 0; w < a.perWorkload.size(); ++w) {
+            EXPECT_EQ(a.perWorkload[w].workloadName,
+                      b.perWorkload[w].workloadName);
+            EXPECT_EQ(a.perWorkload[w].energyEfficiency,
+                      b.perWorkload[w].energyEfficiency);
+            EXPECT_EQ(a.perWorkload[w].downtimeSeconds,
+                      b.perWorkload[w].downtimeSeconds);
+        }
+    }
 }
 
 TEST(Experiment, EmptyInputsFatal)

@@ -1,0 +1,103 @@
+/** @file Seeded-PAT cache hits, invalidation and sharing. */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+#include "sim/pat_cache.h"
+
+namespace heb {
+namespace {
+
+SimConfig
+cacheTestConfig()
+{
+    SimConfig cfg;
+    cfg.durationSeconds = 2.0 * 3600.0;
+    return cfg;
+}
+
+TEST(SeededPatCache, SecondLookupOnSameLayoutHits)
+{
+    auto &cache = SeededPatCache::global();
+    cache.clear();
+    SimConfig cfg = cacheTestConfig();
+    HebSchemeConfig scheme_cfg;
+
+    auto first = cache.get(cfg, scheme_cfg);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_GT(first->size(), 10u);
+
+    auto second = cache.get(cfg, scheme_cfg);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+    // Shared immutable table, not a rebuilt copy.
+    EXPECT_EQ(first.get(), second.get());
+}
+
+TEST(SeededPatCache, BankLayoutFieldsInvalidate)
+{
+    auto &cache = SeededPatCache::global();
+    cache.clear();
+    HebSchemeConfig scheme_cfg;
+    SimConfig base = cacheTestConfig();
+    cache.get(base, scheme_cfg);
+    ASSERT_EQ(cache.misses(), 1u);
+
+    // Each field the profiler reads must key a fresh seeding run.
+    SimConfig sc_wh = base;
+    sc_wh.scEnergyWh += 5.0;
+    cache.get(sc_wh, scheme_cfg);
+    EXPECT_EQ(cache.misses(), 2u);
+
+    SimConfig ba_wh = base;
+    ba_wh.baEnergyWh += 5.0;
+    cache.get(ba_wh, scheme_cfg);
+    EXPECT_EQ(cache.misses(), 3u);
+
+    SimConfig dod = base;
+    dod.scDod = 0.7;
+    dod.baDod = 0.6;
+    cache.get(dod, scheme_cfg);
+    EXPECT_EQ(cache.misses(), 4u);
+    EXPECT_EQ(cache.size(), 4u);
+    EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(SeededPatCache, ProfilerBlindFieldsShareOneEntry)
+{
+    auto &cache = SeededPatCache::global();
+    cache.clear();
+    HebSchemeConfig scheme_cfg;
+    SimConfig base = cacheTestConfig();
+    cache.get(base, scheme_cfg);
+
+    // The profiler races bank models only: run length, budget and
+    // seed cannot change the seeded table, so they must share it.
+    SimConfig other = base;
+    other.durationSeconds *= 4.0;
+    other.budgetW += 40.0;
+    other.seed = 7;
+    other.numServers += 2;
+    cache.get(other, scheme_cfg);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(SeededPatCache, MatchesDirectSeeding)
+{
+    auto &cache = SeededPatCache::global();
+    cache.clear();
+    SimConfig cfg = cacheTestConfig();
+    HebSchemeConfig scheme_cfg;
+    auto cached = cache.get(cfg, scheme_cfg);
+    PowerAllocationTable direct = buildSeededPat(cfg, scheme_cfg);
+    ASSERT_EQ(cached->size(), direct.size());
+    for (std::size_t i = 0; i < direct.entries().size(); ++i) {
+        EXPECT_DOUBLE_EQ(cached->entries()[i].rLambda,
+                         direct.entries()[i].rLambda);
+    }
+}
+
+} // namespace
+} // namespace heb

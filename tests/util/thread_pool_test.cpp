@@ -1,0 +1,133 @@
+/** @file Shared sweep thread pool (ordering, exceptions, nesting). */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+
+#include "util/thread_pool.h"
+
+namespace heb {
+namespace {
+
+TEST(ThreadPool, MapPreservesInputOrdering)
+{
+    ThreadPool pool(4);
+    std::vector<int> items(100);
+    std::iota(items.begin(), items.end(), 0);
+    // Uneven task latency scrambles completion order; results must
+    // still land at their input index.
+    auto out = pool.map(items, [](int v) {
+        if (v % 7 == 0) {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(200));
+        }
+        return v * 3;
+    });
+    ASSERT_EQ(out.size(), items.size());
+    for (int v : items)
+        EXPECT_EQ(out[static_cast<std::size_t>(v)], v * 3);
+}
+
+TEST(ThreadPool, SingleJobPoolRunsSeriallyInCaller)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.jobs(), 1u);
+    std::thread::id caller = std::this_thread::get_id();
+    std::vector<int> items = {1, 2, 3, 4};
+    auto out = pool.map(items, [caller](int v) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        return v + 1;
+    });
+    EXPECT_EQ(out, (std::vector<int>{2, 3, 4, 5}));
+}
+
+TEST(ThreadPool, MapOfEmptyInputReturnsEmpty)
+{
+    ThreadPool pool(2);
+    std::vector<int> none;
+    EXPECT_TRUE(pool.map(none, [](int v) { return v; }).empty());
+}
+
+TEST(ThreadPool, FirstExceptionPropagatesAfterFullDrain)
+{
+    ThreadPool pool(4);
+    std::vector<int> items(50);
+    std::iota(items.begin(), items.end(), 0);
+    std::atomic<int> attempted{0};
+    EXPECT_THROW(
+        pool.map(items,
+                 [&attempted](int v) {
+                     attempted.fetch_add(1);
+                     if (v == 13)
+                         throw std::runtime_error("boom");
+                     return v;
+                 }),
+        std::runtime_error);
+    // A failure poisons the batch result but never abandons items.
+    EXPECT_EQ(attempted.load(), 50);
+}
+
+TEST(ThreadPool, NestedMapOnSamePoolCompletes)
+{
+    ThreadPool pool(2);
+    std::vector<int> outer = {0, 1, 2, 3};
+    auto out = pool.map(outer, [&pool](int o) {
+        std::vector<int> inner = {1, 2, 3, 4, 5};
+        auto sums = pool.map(
+            inner, [o](int v) { return o * 100 + v; });
+        int total = 0;
+        for (int s : sums)
+            total += s;
+        return total;
+    });
+    // sum(inner) = 15, plus 5 * o * 100.
+    EXPECT_EQ(out, (std::vector<int>{15, 515, 1015, 1515}));
+}
+
+TEST(ThreadPool, NestedSubmitFromWorkerRunsInline)
+{
+    ThreadPool pool(2); // one worker: a queued nested task would hang
+    auto outer = pool.submit([&pool]() {
+        auto inner = pool.submit([]() { return 41; });
+        return inner.get() + 1;
+    });
+    EXPECT_EQ(outer.get(), 42);
+}
+
+TEST(ThreadPool, SubmitOnSingleJobPoolRunsInline)
+{
+    ThreadPool pool(1);
+    auto f = pool.submit([]() { return 7; });
+    EXPECT_EQ(f.get(), 7);
+}
+
+TEST(ThreadPool, DefaultJobsHonoursEnvironment)
+{
+    ::setenv("HEB_JOBS", "3", 1);
+    EXPECT_EQ(ThreadPool::defaultJobs(), 3u);
+    ::setenv("HEB_JOBS", "not-a-number", 1);
+    EXPECT_GE(ThreadPool::defaultJobs(), 1u);
+    ::setenv("HEB_JOBS", "0", 1);
+    EXPECT_GE(ThreadPool::defaultJobs(), 1u);
+    ::unsetenv("HEB_JOBS");
+    EXPECT_GE(ThreadPool::defaultJobs(), 1u);
+}
+
+TEST(ThreadPool, ConfigureGlobalResizesSharedPool)
+{
+    ThreadPool::configureGlobal(2);
+    EXPECT_EQ(ThreadPool::global().jobs(), 2u);
+    std::vector<int> items = {5, 6};
+    auto out = parallelMap(items, [](int v) { return v * v; });
+    EXPECT_EQ(out, (std::vector<int>{25, 36}));
+    ThreadPool::configureGlobal(0); // restore default sizing
+    EXPECT_GE(ThreadPool::global().jobs(), 1u);
+}
+
+} // namespace
+} // namespace heb

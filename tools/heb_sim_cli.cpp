@@ -39,6 +39,7 @@
 #include "sim/result_io.h"
 #include "util/logging.h"
 #include "util/table_printer.h"
+#include "util/thread_pool.h"
 #include "workload/workload_profiles.h"
 
 using namespace heb;
@@ -64,11 +65,14 @@ usage()
         "[--scheme NAME] [--out PREFIX] [--pat FILE]\n"
         "               [--trace-out FILE] [--trace-stride N] "
         "[--metrics-out FILE] [--manifest FILE]\n"
-        "               [--profile] [--log-level LEVEL]\n"
+        "               [--profile] [--log-level LEVEL] "
+        "[--jobs N]\n"
         "  workloads: PR WC DA WS MS DFS HB TS\n"
         "  schemes:   BaOnly BaFirst SCFirst HEB-F HEB-S HEB-D\n"
         "  log levels: panic fatal warn info debug "
-        "(HEB_LOG_LEVEL honoured)\n");
+        "(HEB_LOG_LEVEL honoured)\n"
+        "  --jobs sets the shared sweep pool width "
+        "(HEB_JOBS honoured; default: all cores)\n");
 }
 
 bool
@@ -124,7 +128,13 @@ main(int argc, char **argv)
             manifest_path = need_value("--manifest");
         else if (!std::strcmp(argv[i], "--profile"))
             profile = true;
-        else if (!std::strcmp(argv[i], "--log-level"))
+        else if (!std::strcmp(argv[i], "--jobs")) {
+            long n = std::stol(need_value("--jobs"));
+            if (n < 1)
+                fatal("--jobs must be >= 1");
+            ThreadPool::configureGlobal(
+                static_cast<std::size_t>(n));
+        } else if (!std::strcmp(argv[i], "--log-level"))
             setLogThreshold(parseLogLevel(need_value("--log-level")));
         else if (!std::strcmp(argv[i], "--help") ||
                  !std::strcmp(argv[i], "-h")) {
