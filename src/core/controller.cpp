@@ -113,6 +113,8 @@ HebController::rolloverSlot(double now_seconds, double budget_w)
     sensors.budgetW = budget_w;
     sensors.slotSeconds = slotSeconds_;
     plan_ = scheme_.planSlot(sensors);
+    if (degradation_)
+        plan_ = degradation_->adapt(plan_, sensors);
 
     if (obs::metricsOn())
         ControllerMetrics::get().planRLambda.record(plan_.rLambda);

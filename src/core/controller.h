@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "core/degradation.h"
 #include "core/scheme.h"
 #include "esd/energy_storage.h"
 #include "util/rng.h"
@@ -42,6 +43,20 @@ class HebController
      * voltage/coulomb-counting based and far from exact).
      */
     void setSensorNoise(double sigma, std::uint64_t seed);
+
+    /**
+     * Install a graceful-degradation policy (not owned; may be null
+     * to remove). When set, every scheme plan is vetted through
+     * DegradationPolicy::adapt() at the slot boundary before it takes
+     * effect.
+     */
+    void setDegradationPolicy(DegradationPolicy *policy)
+    {
+        degradation_ = policy;
+    }
+
+    /** The installed degradation policy, or null. */
+    DegradationPolicy *degradationPolicy() const { return degradation_; }
 
     /**
      * Feed one telemetry sample; returns the plan in force.
@@ -86,6 +101,7 @@ class HebController
     SlotPlan plan_{};
     double noiseSigma_ = 0.0;
     std::unique_ptr<Rng> noiseRng_;
+    DegradationPolicy *degradation_ = nullptr;
 };
 
 } // namespace heb

@@ -103,6 +103,8 @@ void
 PowerAllocationTable::saveCsv(const std::string &path) const
 {
     CsvWriter w(path);
+    if (!w.ok())
+        return;
     w.header({"sc_wh", "ba_wh", "mismatch_w", "r_lambda", "updates"});
     for (const PatEntry &e : entries_) {
         w.row({e.scWh, e.baWh, e.mismatchW, e.rLambda,

@@ -11,8 +11,8 @@
 
 namespace heb {
 
-double
-estimateRideThroughSeconds(
+RideThroughEstimate
+estimateRideThrough(
     const std::function<std::unique_ptr<EnergyStorageDevice>()>
         &sc_factory,
     const std::function<std::unique_ptr<EnergyStorageDevice>()>
@@ -21,9 +21,9 @@ estimateRideThroughSeconds(
     RideThroughParams params)
 {
     if (!sc_factory || !ba_factory)
-        fatal("estimateRideThroughSeconds: factories required");
+        fatal("estimateRideThrough: factories required");
     if (load_w <= 0.0)
-        return params.horizonSeconds;
+        return {params.horizonSeconds, true};
 
     auto sc = sc_factory();
     auto ba = ba_factory();
@@ -31,7 +31,7 @@ estimateRideThroughSeconds(
     ba->setSoc(ba_soc);
 
     double t = 0.0;
-    double estimate = params.horizonSeconds;
+    RideThroughEstimate estimate{params.horizonSeconds, true};
     {
         HEB_PROF_SCOPE("core.ride_through");
         while (t < params.horizonSeconds) {
@@ -39,7 +39,8 @@ estimateRideThroughSeconds(
                 dispatchMismatch(*sc, *ba, load_w, params.rLambda,
                                  params.tickSeconds, load_w);
             if (res.unservedW > params.shortfallToleranceW) {
-                estimate = t;
+                estimate.seconds = t;
+                estimate.survivedHorizon = false;
                 break;
             }
             t += params.tickSeconds;
@@ -51,9 +52,23 @@ estimateRideThroughSeconds(
         .inc();
     if (auto *tr = obs::activeTrace()) {
         tr->record(obs::TraceEventKind::RideThrough, 0.0,
-                   {load_w, estimate, sc_soc, ba_soc});
+                   {load_w, estimate.seconds, sc_soc, ba_soc});
     }
     return estimate;
+}
+
+double
+estimateRideThroughSeconds(
+    const std::function<std::unique_ptr<EnergyStorageDevice>()>
+        &sc_factory,
+    const std::function<std::unique_ptr<EnergyStorageDevice>()>
+        &ba_factory,
+    double sc_soc, double ba_soc, double load_w,
+    RideThroughParams params)
+{
+    return estimateRideThrough(sc_factory, ba_factory, sc_soc, ba_soc,
+                               load_w, params)
+        .seconds;
 }
 
 } // namespace heb

@@ -36,14 +36,45 @@ struct RideThroughParams
     double shortfallToleranceW = 1.0;
 };
 
+/** Result of a ride-through estimate. */
+struct RideThroughEstimate
+{
+    /**
+     * Sustained seconds. When survivedHorizon is set this is the
+     * horizon itself and the true ride-through is *at least* this —
+     * the simulation stopped looking, the bank did not fail.
+     */
+    double seconds = 0.0;
+
+    /**
+     * True when the bank carried the load for the whole horizon;
+     * false when it actually failed at @ref seconds (which may still
+     * numerically equal the horizon for a failure on the last tick).
+     */
+    bool survivedHorizon = false;
+};
+
 /**
- * Estimate how long (seconds) the pair could sustain @p load_w from
- * the given starting SoCs. Device state is reconstructed from
- * factory-fresh devices (the estimate must not mutate live banks),
- * so callers pass the *current* SoCs.
+ * Estimate how long the pair could sustain @p load_w from the given
+ * starting SoCs. Device state is reconstructed from factory-fresh
+ * devices (the estimate must not mutate live banks), so callers pass
+ * the *current* SoCs.
  *
  * @param sc_factory Fresh SC bank factory.
  * @param ba_factory Fresh battery bank factory.
+ */
+RideThroughEstimate
+estimateRideThrough(
+    const std::function<std::unique_ptr<EnergyStorageDevice>()>
+        &sc_factory,
+    const std::function<std::unique_ptr<EnergyStorageDevice>()>
+        &ba_factory,
+    double sc_soc, double ba_soc, double load_w,
+    RideThroughParams params = {});
+
+/**
+ * Legacy scalar form of estimateRideThrough(): the sustained seconds
+ * only, losing the survived-vs-measured-at-horizon distinction.
  */
 double
 estimateRideThroughSeconds(

@@ -71,6 +71,14 @@ struct SlotPlan
 
     /** Small/large classification of the predicted peak. */
     PeakClass predictedClass = PeakClass::Small;
+
+    /**
+     * Fraction of servers the degradation policy asks the domain to
+     * shed this slot, in [0, 1]. 0 means full service; schemes never
+     * set this themselves — the controller's policy fills it in when
+     * the surviving buffer capability cannot carry the load.
+     */
+    double shedFraction = 0.0;
 };
 
 /** What actually happened during the slot (for learning schemes). */

@@ -40,12 +40,32 @@ Battery::Battery(BatteryParams params) : params_(std::move(params))
 void
 Battery::reset()
 {
+    healthCapacityFactor_ = 1.0;
+    healthResistanceFactor_ = 1.0;
     y1_ = params_.kibamC * params_.capacityAh;
     y2_ = (1.0 - params_.kibamC) * params_.capacityAh;
     weightedAh_ = 0.0;
     tempC_ = params_.ambientC;
     lastDirection_ = 0;
     counters_ = EsdCounters{};
+}
+
+void
+Battery::applyHealthDerate(double capacity_factor,
+                           double resistance_factor)
+{
+    if (capacity_factor <= 0.0 || capacity_factor > 1.0)
+        fatal("Battery health capacity factor must be in (0,1], got ",
+              capacity_factor);
+    if (resistance_factor < 1.0)
+        fatal("Battery health resistance factor must be >= 1, got ",
+              resistance_factor);
+    healthCapacityFactor_ *= capacity_factor;
+    healthResistanceFactor_ *= resistance_factor;
+    // A lost cell takes its stored charge with it: scale both wells
+    // so SoC is preserved against the shrunken capacity.
+    y1_ *= capacity_factor;
+    y2_ *= capacity_factor;
 }
 
 void
@@ -63,10 +83,10 @@ double
 Battery::effectiveCapacityAh() const
 {
     if (!params_.agingEnabled)
-        return params_.capacityAh;
+        return params_.capacityAh * healthCapacityFactor_;
     double used = std::min(1.0, lifetimeFractionUsed());
     double fade = (1.0 - params_.endOfLifeCapacityFraction) * used;
-    return params_.capacityAh * (1.0 - fade);
+    return params_.capacityAh * (1.0 - fade) * healthCapacityFactor_;
 }
 
 double
@@ -121,6 +141,7 @@ Battery::effectiveResistance() const
                  std::min(1.0, lifetimeFractionUsed());
     }
     return params_.internalResistanceOhm * aging *
+           healthResistanceFactor_ *
            (1.0 + params_.resistanceGrowthAtLowSoc * depth * depth);
 }
 

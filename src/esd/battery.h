@@ -50,6 +50,8 @@ class Battery : public EnergyStorageDevice
     const EsdCounters &counters() const override { return counters_; }
     void reset() override;
     void setSoc(double soc) override;
+    void applyHealthDerate(double capacity_factor,
+                           double resistance_factor) override;
 
     /** Parameter set in use. */
     const BatteryParams &params() const { return params_; }
@@ -70,10 +72,20 @@ class Battery : public EnergyStorageDevice
     double weightedThroughputAh() const { return weightedAh_; }
 
     /**
-     * Effective capacity (Ah) after aging fade; equals the rated
-     * capacity when aging is disabled or the battery is fresh.
+     * Effective capacity (Ah) after aging fade and health derates;
+     * equals the rated capacity when aging is disabled and the
+     * battery is fresh and healthy.
      */
     double effectiveCapacityAh() const;
+
+    /** Compound capacity derate from applyHealthDerate (1 = healthy). */
+    double healthCapacityFactor() const { return healthCapacityFactor_; }
+
+    /** Compound resistance growth from applyHealthDerate (1 = healthy). */
+    double healthResistanceFactor() const
+    {
+        return healthResistanceFactor_;
+    }
 
     /** Cell temperature (C); ambient when the thermal model is off. */
     double temperatureC() const { return tempC_; }
@@ -136,6 +148,8 @@ class Battery : public EnergyStorageDevice
     BatteryParams params_;
     double y1_; //!< available charge (Ah)
     double y2_; //!< bound charge (Ah)
+    double healthCapacityFactor_ = 1.0;
+    double healthResistanceFactor_ = 1.0;
     double weightedAh_ = 0.0;
     double tempC_;
     int lastDirection_ = 0; //!< +1 discharging, -1 charging, 0 fresh

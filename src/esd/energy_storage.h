@@ -106,6 +106,20 @@ class EnergyStorageDevice
      * counters and wear are untouched).
      */
     virtual void setSoc(double soc) = 0;
+
+    /**
+     * Apply a health derate from a hardware fault: multiply the
+     * effective capacity by @p capacity_factor (<= 1) and the
+     * effective series resistance by @p resistance_factor (>= 1).
+     * Derates compound across calls and persist until reset().
+     * Devices that do not model health ignore the call.
+     */
+    virtual void applyHealthDerate(double capacity_factor,
+                                   double resistance_factor)
+    {
+        (void)capacity_factor;
+        (void)resistance_factor;
+    }
 };
 
 } // namespace heb

@@ -239,4 +239,12 @@ EsdPool::setSoc(double soc)
         d->setSoc(soc);
 }
 
+void
+EsdPool::applyHealthDerate(double capacity_factor,
+                           double resistance_factor)
+{
+    for (auto &d : devices_)
+        d->applyHealthDerate(capacity_factor, resistance_factor);
+}
+
 } // namespace heb

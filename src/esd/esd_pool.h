@@ -56,6 +56,10 @@ class EsdPool : public EnergyStorageDevice
     void reset() override;
     void setSoc(double soc) override;
 
+    /** Fan a health derate out to every member device. */
+    void applyHealthDerate(double capacity_factor,
+                           double resistance_factor) override;
+
   private:
     /** Re-sum the member counters into the cached aggregate. */
     void refreshCounters() const;

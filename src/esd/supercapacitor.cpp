@@ -33,9 +33,27 @@ Supercapacitor::Supercapacitor(ScParams params) : params_(std::move(params))
 void
 Supercapacitor::reset()
 {
+    healthCapacityFactor_ = 1.0;
+    healthResistanceFactor_ = 1.0;
     voltage_ = params_.vMax;
     lastDirection_ = 0;
     counters_ = EsdCounters{};
+}
+
+void
+Supercapacitor::applyHealthDerate(double capacity_factor,
+                                  double resistance_factor)
+{
+    if (capacity_factor <= 0.0 || capacity_factor > 1.0)
+        fatal("Supercapacitor health capacity factor must be in (0,1], "
+              "got ",
+              capacity_factor);
+    if (resistance_factor < 1.0)
+        fatal("Supercapacitor health resistance factor must be >= 1, "
+              "got ",
+              resistance_factor);
+    healthCapacityFactor_ *= capacity_factor;
+    healthResistanceFactor_ *= resistance_factor;
 }
 
 void
@@ -63,23 +81,23 @@ Supercapacitor::usableEnergyWh() const
     double v2 = std::max(voltage_ * voltage_ -
                              params_.vMin * params_.vMin,
                          0.0);
-    return 0.5 * params_.capacitanceF * v2 / kSecondsPerHour;
+    return 0.5 * effectiveCapacitanceF() * v2 / kSecondsPerHour;
 }
 
 double
 Supercapacitor::dischargeCurrentFor(double watts) const
 {
-    double disc = voltage_ * voltage_ - 4.0 * params_.esrOhm * watts;
+    double disc = voltage_ * voltage_ - 4.0 * effectiveEsrOhm() * watts;
     if (disc < 0.0)
         return -1.0;
-    return (voltage_ - std::sqrt(disc)) / (2.0 * params_.esrOhm);
+    return (voltage_ - std::sqrt(disc)) / (2.0 * effectiveEsrOhm());
 }
 
 double
 Supercapacitor::chargeCurrentFor(double watts) const
 {
     double v = voltage_;
-    double r = params_.esrOhm;
+    double r = effectiveEsrOhm();
     return (-v + std::sqrt(v * v + 4.0 * r * watts)) / (2.0 * r);
 }
 
@@ -90,8 +108,8 @@ Supercapacitor::terminalVoltage(double load_watts) const
         return voltage_;
     double i = dischargeCurrentFor(load_watts);
     if (i < 0.0)
-        i = voltage_ / (2.0 * params_.esrOhm);
-    return voltage_ - i * params_.esrOhm;
+        i = voltage_ / (2.0 * effectiveEsrOhm());
+    return voltage_ - i * effectiveEsrOhm();
 }
 
 double
@@ -103,14 +121,14 @@ Supercapacitor::maxDischargePowerW(double dt_seconds) const
     // spread across the requested horizon.
     double energy_bound_a =
         dt_seconds > 0.0
-            ? (voltage_ - params_.vMin) * params_.capacitanceF / dt_seconds
+            ? (voltage_ - params_.vMin) * effectiveCapacitanceF() / dt_seconds
             : params_.maxCurrentA;
     // Never operate past the power peak of the ESR divider.
-    double peak_a = voltage_ / (2.0 * params_.esrOhm);
+    double peak_a = voltage_ / (2.0 * effectiveEsrOhm());
     double i = std::min({params_.maxCurrentA, energy_bound_a, peak_a});
     if (i <= 0.0)
         return 0.0;
-    return (voltage_ - i * params_.esrOhm) * i;
+    return (voltage_ - i * effectiveEsrOhm()) * i;
 }
 
 double
@@ -120,12 +138,12 @@ Supercapacitor::maxChargePowerW(double dt_seconds) const
         return 0.0;
     double headroom_a =
         dt_seconds > 0.0
-            ? (params_.vMax - voltage_) * params_.capacitanceF / dt_seconds
+            ? (params_.vMax - voltage_) * effectiveCapacitanceF() / dt_seconds
             : params_.maxCurrentA;
     double i = std::min(params_.maxCurrentA, headroom_a);
     if (i <= 0.0)
         return 0.0;
-    return (voltage_ + i * params_.esrOhm) * i;
+    return (voltage_ + i * effectiveEsrOhm()) * i;
 }
 
 bool
@@ -159,18 +177,18 @@ Supercapacitor::discharge(double watts, double dt_seconds)
             continue;
         double i = dischargeCurrentFor(watts);
         if (i < 0.0)
-            i = voltage_ / (2.0 * params_.esrOhm);
+            i = voltage_ / (2.0 * effectiveEsrOhm());
         double floor_a =
-            (voltage_ - params_.vMin) * params_.capacitanceF / step;
+            (voltage_ - params_.vMin) * effectiveCapacitanceF() / step;
         i = std::min({i, params_.maxCurrentA, floor_a});
         if (i <= 0.0)
             continue;
-        double p = (voltage_ - i * params_.esrOhm) * i;
+        double p = (voltage_ - i * effectiveEsrOhm()) * i;
         double dt_h = secondsToHours(step);
         delivered_wh += p * dt_h;
-        counters_.lossEnergyWh += i * i * params_.esrOhm * dt_h;
+        counters_.lossEnergyWh += i * i * effectiveEsrOhm() * dt_h;
         counters_.dischargeAh += i * dt_h;
-        voltage_ -= i * step / params_.capacitanceF;
+        voltage_ -= i * step / effectiveCapacitanceF();
         moved = true;
     }
     counters_.dischargeEnergyWh += delivered_wh;
@@ -201,16 +219,16 @@ Supercapacitor::charge(double watts, double dt_seconds)
             continue;
         double i = chargeCurrentFor(watts);
         double ceil_a =
-            (params_.vMax - voltage_) * params_.capacitanceF / step;
+            (params_.vMax - voltage_) * effectiveCapacitanceF() / step;
         i = std::min({i, params_.maxCurrentA, ceil_a});
         if (i <= 0.0)
             continue;
-        double p = (voltage_ + i * params_.esrOhm) * i;
+        double p = (voltage_ + i * effectiveEsrOhm()) * i;
         double dt_h = secondsToHours(step);
         absorbed_wh += p * dt_h;
-        counters_.lossEnergyWh += i * i * params_.esrOhm * dt_h;
+        counters_.lossEnergyWh += i * i * effectiveEsrOhm() * dt_h;
         counters_.chargeAh += i * dt_h;
-        voltage_ += i * step / params_.capacitanceF;
+        voltage_ += i * step / effectiveCapacitanceF();
         moved = true;
     }
     counters_.chargeEnergyWh += absorbed_wh;

@@ -42,12 +42,26 @@ class Supercapacitor : public EnergyStorageDevice
     const EsdCounters &counters() const override { return counters_; }
     void reset() override;
     void setSoc(double soc) override;
+    void applyHealthDerate(double capacity_factor,
+                           double resistance_factor) override;
 
     /** Parameter set in use. */
     const ScParams &params() const { return params_; }
 
     /** Present open-circuit bank voltage (V). */
     double voltage() const { return voltage_; }
+
+    /** ESR including health growth from applyHealthDerate (ohm). */
+    double effectiveEsrOhm() const
+    {
+        return params_.esrOhm * healthResistanceFactor_;
+    }
+
+    /** Capacitance including health fade (F). */
+    double effectiveCapacitanceF() const
+    {
+        return params_.capacitanceF * healthCapacityFactor_;
+    }
 
   private:
     /** Discharge current (A) that delivers @p watts, or -1. */
@@ -58,6 +72,8 @@ class Supercapacitor : public EnergyStorageDevice
 
     ScParams params_;
     double voltage_;
+    double healthCapacityFactor_ = 1.0;
+    double healthResistanceFactor_ = 1.0;
     int lastDirection_ = 0;
     EsdCounters counters_;
 };

@@ -1,0 +1,92 @@
+#include "fault/fault_injector.h"
+
+#include <utility>
+
+namespace heb {
+namespace fault {
+
+namespace {
+
+/** True when @p ev is a windowed kind covering @p now. */
+bool
+windowCovers(const FaultEvent &ev, double now)
+{
+    return now >= ev.startSeconds &&
+           now < ev.startSeconds + ev.durationSeconds;
+}
+
+} // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
+    : plan_(std::move(plan)), jitterRng_(SplitMix64(seed).fork(0xfau))
+{
+}
+
+void
+FaultInjector::poll(double now_seconds,
+                    const std::function<void(const FaultEvent &)> &on_start)
+{
+    const std::vector<FaultEvent> &events = plan_.events();
+    while (nextIndex_ < events.size() &&
+           events[nextIndex_].startSeconds <= now_seconds) {
+        const FaultEvent &ev = events[nextIndex_];
+        applied_.push_back(ev);
+        if (on_start)
+            on_start(ev);
+        ++nextIndex_;
+    }
+}
+
+bool
+FaultInjector::sensorDropoutActive(double now_seconds) const
+{
+    for (const FaultEvent &ev : plan_.events()) {
+        if (ev.startSeconds > now_seconds)
+            break;
+        if (ev.kind == FaultKind::SensorDropout &&
+            windowCovers(ev, now_seconds))
+            return true;
+    }
+    return false;
+}
+
+double
+FaultInjector::sensorJitterMagnitude(double now_seconds) const
+{
+    double magnitude = 0.0;
+    for (const FaultEvent &ev : plan_.events()) {
+        if (ev.startSeconds > now_seconds)
+            break;
+        if (ev.kind == FaultKind::SensorJitter &&
+            windowCovers(ev, now_seconds) && ev.magnitude > magnitude)
+            magnitude = ev.magnitude;
+    }
+    return magnitude;
+}
+
+double
+FaultInjector::filterTelemetry(double now_seconds, double true_value)
+{
+    // Dropout wins over jitter: a frozen sensor reports its stale
+    // value exactly, it does not also pick up noise.
+    if (sensorDropoutActive(now_seconds)) {
+        if (haveLastGood_)
+            return lastGoodReading_;
+        return true_value;
+    }
+
+    double reading = true_value;
+    double magnitude = sensorJitterMagnitude(now_seconds);
+    if (magnitude > 0.0) {
+        // The RNG only advances inside jitter windows, so the stream
+        // a window consumes depends solely on how many jittered reads
+        // preceded it — not on wall time or thread scheduling.
+        reading *= 1.0 + magnitude * (2.0 * jitterRng_.nextDouble() - 1.0);
+    }
+    lastGoodReading_ = reading;
+    haveLastGood_ = true;
+    return reading;
+}
+
+} // namespace fault
+} // namespace heb

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Tick-level fault injection against a FaultPlan.
+ *
+ * The injector is the runtime half of the fault subsystem: the
+ * simulation polls it once per tick, receives the events whose onset
+ * just passed (to apply to banks/converters/ATS), and routes its
+ * demand telemetry through filterTelemetry() so sensor faults reach
+ * the predictor as stale or jittered readings — exactly the failure
+ * the paper's SNMP-polled IPDU risked.
+ *
+ * All jitter draws come from a SplitMix64 stream owned by the
+ * injector, advanced only inside jitter windows, so a run's telemetry
+ * stream is a pure function of (plan, seed) and Monte-Carlo runs stay
+ * bit-identical at any thread count.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "util/rng.h"
+
+namespace heb {
+namespace fault {
+
+/** Applies a FaultPlan as simulated time advances. */
+class FaultInjector
+{
+  public:
+    /**
+     * @param plan  Time-ordered schedule (copied).
+     * @param seed  Stream seed for telemetry jitter draws.
+     */
+    explicit FaultInjector(FaultPlan plan, std::uint64_t seed = 1);
+
+    /**
+     * Advance to @p now_seconds: every event whose onset lies in
+     * (previous now, now] is appended to the applied log and handed
+     * to @p on_start (may be null for log-only polling). Call with
+     * non-decreasing times.
+     */
+    void poll(double now_seconds,
+              const std::function<void(const FaultEvent &)> &on_start);
+
+    /** True while a SensorDropout window covers @p now_seconds. */
+    bool sensorDropoutActive(double now_seconds) const;
+
+    /** Jitter magnitude active at @p now_seconds (0 = none). */
+    double sensorJitterMagnitude(double now_seconds) const;
+
+    /**
+     * Route one telemetry reading through the active sensor faults:
+     * frozen at the last pre-dropout value during a dropout,
+     * multiplicatively jittered inside a jitter window, untouched
+     * otherwise.
+     */
+    double filterTelemetry(double now_seconds, double true_value);
+
+    /** Events whose onset has been reached, in application order. */
+    const std::vector<FaultEvent> &appliedEvents() const
+    {
+        return applied_;
+    }
+
+    /** The full schedule. */
+    const FaultPlan &plan() const { return plan_; }
+
+  private:
+    FaultPlan plan_;
+    std::size_t nextIndex_ = 0;
+    std::vector<FaultEvent> applied_;
+    SplitMix64 jitterRng_;
+    double lastGoodReading_ = 0.0;
+    bool haveLastGood_ = false;
+};
+
+} // namespace fault
+} // namespace heb

@@ -1,0 +1,179 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace heb {
+namespace fault {
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::BatteryWeakCell: return "battery-weak-cell";
+      case FaultKind::ScEsrAging: return "sc-esr-aging";
+      case FaultKind::ConverterTrip: return "converter-trip";
+      case FaultKind::AtsTransferFailure: return "ats-transfer-failure";
+      case FaultKind::SensorDropout: return "sensor-dropout";
+      case FaultKind::SensorJitter: return "sensor-jitter";
+    }
+    return "?";
+}
+
+std::string
+FaultEvent::describe() const
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "t=%.0fs %s dur=%.0fs mag=%.3g/%.3g target=%zu",
+                  startSeconds, faultKindName(kind), durationSeconds,
+                  magnitude, secondary, target);
+    return buf;
+}
+
+namespace {
+
+/**
+ * Draw the event start times of one kind: Poisson arrivals at
+ * @p per_day over the run, on the kind's own child stream.
+ */
+std::vector<double>
+arrivalTimes(SplitMix64 &stream, double per_day,
+             double duration_seconds)
+{
+    std::vector<double> times;
+    if (per_day <= 0.0 || duration_seconds <= 0.0)
+        return times;
+    double rate = per_day / kSecondsPerDay;
+    double t = stream.exponential(rate);
+    while (t < duration_seconds) {
+        times.push_back(t);
+        t += stream.exponential(rate);
+    }
+    return times;
+}
+
+} // namespace
+
+FaultPlan
+FaultPlan::generate(const FaultPlanParams &params,
+                    double duration_seconds, std::uint64_t seed)
+{
+    if (duration_seconds < 0.0)
+        fatal("FaultPlan::generate: negative duration");
+    SplitMix64 root(seed);
+    FaultPlan plan;
+
+    // One child stream per kind, labelled by a stable ordinal: the
+    // reproducibility contract (DESIGN.md §9) is that a kind's draws
+    // depend only on (seed, ordinal, its own rate knobs).
+    auto stream_for = [&root](std::uint64_t ordinal) {
+        return root.fork(ordinal);
+    };
+
+    {
+        SplitMix64 s = stream_for(1);
+        for (double t : arrivalTimes(s, params.weakCellsPerDay,
+                                     duration_seconds)) {
+            FaultEvent ev;
+            ev.kind = FaultKind::BatteryWeakCell;
+            ev.startSeconds = t;
+            ev.magnitude = params.weakCellCapacityFactor;
+            ev.secondary = params.weakCellResistanceFactor;
+            ev.target = static_cast<std::size_t>(s.below(1u << 16));
+            plan.add(ev);
+        }
+    }
+    {
+        SplitMix64 s = stream_for(2);
+        for (double t : arrivalTimes(s, params.scAgingEventsPerDay,
+                                     duration_seconds)) {
+            FaultEvent ev;
+            ev.kind = FaultKind::ScEsrAging;
+            ev.startSeconds = t;
+            ev.magnitude = params.scEsrGrowthFactor;
+            plan.add(ev);
+        }
+    }
+    {
+        SplitMix64 s = stream_for(3);
+        for (double t : arrivalTimes(s, params.converterTripsPerDay,
+                                     duration_seconds)) {
+            FaultEvent ev;
+            ev.kind = FaultKind::ConverterTrip;
+            ev.startSeconds = t;
+            ev.durationSeconds = params.converterRestartSeconds;
+            plan.add(ev);
+        }
+    }
+    {
+        SplitMix64 s = stream_for(4);
+        for (double t : arrivalTimes(s, params.atsFailuresPerDay,
+                                     duration_seconds)) {
+            FaultEvent ev;
+            ev.kind = FaultKind::AtsTransferFailure;
+            ev.startSeconds = t;
+            ev.durationSeconds = params.atsGapSeconds;
+            plan.add(ev);
+        }
+    }
+    {
+        SplitMix64 s = stream_for(5);
+        for (double t : arrivalTimes(s, params.sensorDropoutsPerDay,
+                                     duration_seconds)) {
+            FaultEvent ev;
+            ev.kind = FaultKind::SensorDropout;
+            ev.startSeconds = t;
+            ev.durationSeconds = params.sensorDropoutSeconds;
+            plan.add(ev);
+        }
+    }
+    {
+        SplitMix64 s = stream_for(6);
+        for (double t : arrivalTimes(s, params.sensorJitterEventsPerDay,
+                                     duration_seconds)) {
+            FaultEvent ev;
+            ev.kind = FaultKind::SensorJitter;
+            ev.startSeconds = t;
+            ev.durationSeconds = params.sensorJitterSeconds;
+            ev.magnitude = params.sensorJitterMagnitude;
+            plan.add(ev);
+        }
+    }
+    plan.sortByStart();
+    return plan;
+}
+
+void
+FaultPlan::add(FaultEvent event)
+{
+    events_.push_back(std::move(event));
+    sortByStart();
+}
+
+std::vector<FaultEvent>
+FaultPlan::ofKind(FaultKind kind) const
+{
+    std::vector<FaultEvent> out;
+    for (const FaultEvent &ev : events_) {
+        if (ev.kind == kind)
+            out.push_back(ev);
+    }
+    return out;
+}
+
+void
+FaultPlan::sortByStart()
+{
+    std::stable_sort(events_.begin(), events_.end(),
+                     [](const FaultEvent &a, const FaultEvent &b) {
+                         return a.startSeconds < b.startSeconds;
+                     });
+}
+
+} // namespace fault
+} // namespace heb

@@ -150,6 +150,8 @@ void
 TraceRecorder::writeCsv(const std::string &path) const
 {
     CsvWriter csv(path);
+    if (!csv.ok())
+        return;
     std::vector<std::string> header = {"seconds", "type"};
     for (std::size_t i = 0; i < kTraceEventFieldMax; ++i)
         header.push_back("f" + std::to_string(i));

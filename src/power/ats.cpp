@@ -1,5 +1,7 @@
 #include "power/ats.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace heb {
@@ -21,8 +23,20 @@ Ats::transferTo(Input input, double now_seconds)
     if (input == Input::Alternate && !alternate_)
         fatal("Ats: no alternate source configured");
     target_ = input;
-    settleTime_ = now_seconds + transferTime_;
+    // A fault window already holding the switch open is not shortened
+    // by a routine transfer command.
+    settleTime_ = std::max(settleTime_, now_seconds + transferTime_);
     ++transfers_;
+}
+
+void
+Ats::forceOpen(double start_seconds, double duration_seconds)
+{
+    if (duration_seconds < 0.0)
+        fatal("Ats::forceOpen: negative duration");
+    forcedWindows_.emplace_back(start_seconds,
+                                start_seconds + duration_seconds);
+    ++forcedOpens_;
 }
 
 Ats::Input
@@ -30,6 +44,10 @@ Ats::connectedAt(double now_seconds) const
 {
     if (now_seconds < settleTime_)
         return Input::None;
+    for (const auto &[start, end] : forcedWindows_) {
+        if (now_seconds >= start && now_seconds < end)
+            return Input::None;
+    }
     return target_;
 }
 

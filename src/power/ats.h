@@ -12,6 +12,8 @@
 #pragma once
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "power/power_source.h"
 
@@ -37,6 +39,15 @@ class Ats
     /** Command a transfer at @p now_seconds. */
     void transferTo(Input input, double now_seconds);
 
+    /**
+     * Fault hook: hold the switch open over the window
+     * [@p start_seconds, @p start_seconds + @p duration_seconds) — a
+     * stuck transfer mechanism. The commanded input is unchanged but
+     * connectedAt() reports None inside the window. Windows may be
+     * registered ahead of time and may overlap.
+     */
+    void forceOpen(double start_seconds, double duration_seconds);
+
     /** The input actually connected at @p now_seconds. */
     Input connectedAt(double now_seconds) const;
 
@@ -49,6 +60,9 @@ class Ats
     /** Number of transfers commanded. */
     unsigned long transferCount() const { return transfers_; }
 
+    /** Number of forceOpen fault windows applied. */
+    unsigned long forcedOpenCount() const { return forcedOpens_; }
+
   private:
     PowerSource *primary_;
     PowerSource *alternate_;
@@ -56,6 +70,8 @@ class Ats
     Input target_ = Input::Primary;
     double settleTime_ = 0.0;
     unsigned long transfers_ = 0;
+    unsigned long forcedOpens_ = 0;
+    std::vector<std::pair<double, double>> forcedWindows_;
 };
 
 } // namespace heb

@@ -55,6 +55,16 @@ Converter::recordTransfer(double output_watts, double dt_seconds)
     lossWh_ += energyWh(in - output_watts, dt_seconds);
 }
 
+void
+Converter::trip(double now_seconds, double restart_delay_seconds)
+{
+    if (restart_delay_seconds < 0.0)
+        fatal("Converter::trip: negative restart delay");
+    restoreTime_ =
+        std::max(restoreTime_, now_seconds + restart_delay_seconds);
+    ++trips_;
+}
+
 Converter
 Converter::doubleConversionUps(double rated_w)
 {

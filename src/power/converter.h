@@ -71,6 +71,22 @@ class Converter
     double deliveredWh() const { return deliveredWh_; }
 
     /**
+     * Fault hook: trip the converter offline at @p now_seconds; it
+     * restarts @p restart_delay_seconds later. Overlapping trips keep
+     * the latest restart time.
+     */
+    void trip(double now_seconds, double restart_delay_seconds);
+
+    /** True when the converter can carry power at @p now_seconds. */
+    bool availableAt(double now_seconds) const
+    {
+        return now_seconds >= restoreTime_;
+    }
+
+    /** Number of trip events recorded. */
+    unsigned long tripCount() const { return trips_; }
+
+    /**
      * The double-conversion (AC-DC-AC) path of a centralized online
      * UPS: two cascaded stages, 6-8 % total loss at typical load.
      */
@@ -86,6 +102,8 @@ class Converter
     ConverterParams params_;
     double lossWh_ = 0.0;
     double deliveredWh_ = 0.0;
+    double restoreTime_ = 0.0;
+    unsigned long trips_ = 0;
 };
 
 } // namespace heb

@@ -89,6 +89,46 @@ Topology::chargePathEfficiency(double load_w) const
     return 1.0;
 }
 
+Converter &
+Topology::bufferStage()
+{
+    switch (kind_) {
+      case TopologyKind::Centralized:
+        return upsPath_;
+      case TopologyKind::Distributed:
+        return dcdc_;
+      case TopologyKind::HebHybrid:
+        return deployment_ == HebDeployment::ClusterLevel ? inverter_
+                                                          : dcdc_;
+    }
+    return upsPath_;
+}
+
+const Converter &
+Topology::bufferStage() const
+{
+    return const_cast<Topology *>(this)->bufferStage();
+}
+
+void
+Topology::tripBufferStage(double now_seconds,
+                          double restart_delay_seconds)
+{
+    bufferStage().trip(now_seconds, restart_delay_seconds);
+}
+
+bool
+Topology::bufferStageAvailable(double now_seconds) const
+{
+    return bufferStage().availableAt(now_seconds);
+}
+
+unsigned long
+Topology::bufferStageTrips() const
+{
+    return bufferStage().tripCount();
+}
+
 bool
 Topology::supportsFineGrainedShaving() const
 {

@@ -77,7 +77,26 @@ class Topology
     /** True when the pools are shared across the whole domain. */
     bool supportsEnergySharing() const;
 
+    /**
+     * Fault hook: trip the converter stage on this architecture's
+     * buffer discharge path (UPS, inverter, or DC/DC) offline until
+     * @p restart_delay_seconds after @p now_seconds. While down the
+     * buffers can neither discharge nor charge through it.
+     */
+    void tripBufferStage(double now_seconds,
+                         double restart_delay_seconds);
+
+    /** True when the buffer-path converter is up at @p now_seconds. */
+    bool bufferStageAvailable(double now_seconds) const;
+
+    /** Number of buffer-stage trips recorded. */
+    unsigned long bufferStageTrips() const;
+
   private:
+    /** The converter carrying buffer discharge for this topology. */
+    Converter &bufferStage();
+    const Converter &bufferStage() const;
+
     TopologyKind kind_;
     HebDeployment deployment_;
     Converter upsPath_;     //!< centralized online UPS stage

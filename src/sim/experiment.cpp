@@ -1,11 +1,14 @@
 #include "sim/experiment.h"
 
 #include <algorithm>
+#include <fstream>
 
 #include "core/profiler.h"
 #include "esd/bank_builder.h"
+#include "obs/json.h"
 #include "sim/pat_cache.h"
 #include "util/logging.h"
+#include "util/rng.h"
 #include "util/thread_pool.h"
 #include "workload/workload_profiles.h"
 
@@ -152,6 +155,188 @@ ratioSweep(const SimConfig &base,
             p.summary = std::move(rows.front());
             return p;
         });
+}
+
+namespace {
+
+/** Nearest-rank percentile of an already-sorted sample. */
+double
+percentileSorted(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    double rank = q * static_cast<double>(sorted.size());
+    auto idx = static_cast<std::size_t>(std::max(0.0, std::ceil(rank) - 1.0));
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+/** Fault seed of scenario @p k: a SplitMix64 child of the base seed. */
+std::uint64_t
+scenarioFaultSeed(std::uint64_t base_seed, std::size_t k)
+{
+    SplitMix64 child =
+        SplitMix64(base_seed).fork(static_cast<std::uint64_t>(k) + 1);
+    return child.next();
+}
+
+} // namespace
+
+std::vector<AvailabilitySummary>
+availabilitySweep(const SimConfig &base, const std::string &workload,
+                  const std::vector<SchemeKind> &schemes,
+                  std::size_t scenarios,
+                  const HebSchemeConfig &scheme_cfg)
+{
+    if (schemes.empty() || scenarios == 0)
+        fatal("availabilitySweep: need schemes and scenarios");
+
+    std::shared_ptr<const PowerAllocationTable> seeded;
+    if (std::any_of(schemes.begin(), schemes.end(), wantsSeededPat))
+        seeded = SeededPatCache::global().get(base, scheme_cfg);
+
+    // Flatten the scheme x scenario grid into one task set; map()
+    // keeps input order, so aggregation below is thread-count
+    // independent.
+    struct Cell
+    {
+        std::size_t scheme_i = 0;
+        std::size_t scenario = 0;
+    };
+    std::vector<Cell> cells;
+    cells.reserve(schemes.size() * scenarios);
+    for (std::size_t si = 0; si < schemes.size(); ++si) {
+        for (std::size_t k = 0; k < scenarios; ++k)
+            cells.push_back({si, k});
+    }
+
+    std::vector<SimResult> results = parallelMap(
+        cells, [&](const Cell &cell) {
+            SimConfig cfg = base;
+            cfg.faultInjection = true;
+            cfg.faultSeed =
+                scenarioFaultSeed(base.faultSeed, cell.scenario);
+            return runOne(cfg, workload, schemes[cell.scheme_i],
+                          scheme_cfg, seeded.get());
+        });
+
+    double total_ticks =
+        base.tickSeconds > 0.0
+            ? std::floor(base.durationSeconds / base.tickSeconds)
+            : 0.0;
+
+    std::vector<AvailabilitySummary> rows;
+    rows.reserve(schemes.size());
+    for (std::size_t si = 0; si < schemes.size(); ++si) {
+        AvailabilitySummary row;
+        row.scheme = schemeKindName(schemes[si]);
+        row.scenarios = scenarios;
+        for (std::size_t k = 0; k < scenarios; ++k) {
+            const SimResult &r = results[si * scenarios + k];
+            row.ensWhPerScenario.push_back(r.energyNotServedWh);
+            row.meanEnsWh += r.energyNotServedWh;
+            row.maxEnsWh =
+                std::max(row.maxEnsWh, r.energyNotServedWh);
+            row.meanDowntimeSeconds += r.downtimeSeconds;
+            row.meanShortfallTicks +=
+                static_cast<double>(r.shortfallTicks);
+            row.meanCrashEvents +=
+                static_cast<double>(r.serverCrashEvents);
+            row.meanGracefulSheds +=
+                static_cast<double>(r.gracefulShedEvents);
+            row.meanFaultsApplied +=
+                static_cast<double>(r.faultEventsApplied);
+        }
+        auto n = static_cast<double>(scenarios);
+        row.meanEnsWh /= n;
+        row.meanDowntimeSeconds /= n;
+        row.meanShortfallTicks /= n;
+        row.meanCrashEvents /= n;
+        row.meanGracefulSheds /= n;
+        row.meanFaultsApplied /= n;
+        row.availability =
+            total_ticks > 0.0
+                ? std::clamp(1.0 - row.meanShortfallTicks / total_ticks,
+                             0.0, 1.0)
+                : 0.0;
+
+        std::vector<double> sorted = row.ensWhPerScenario;
+        std::sort(sorted.begin(), sorted.end());
+        row.p50EnsWh = percentileSorted(sorted, 0.50);
+        row.p95EnsWh = percentileSorted(sorted, 0.95);
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+std::string
+availabilityToJson(const std::vector<AvailabilitySummary> &summaries,
+                   const SimConfig &config,
+                   const std::string &workload)
+{
+    std::string out;
+    out += "{\n  \"experiment\": \"availability\",\n  \"workload\": ";
+    obs::appendJsonString(out, workload);
+    out += ",\n  \"duration_seconds\": ";
+    obs::appendJsonNumber(out, config.durationSeconds);
+    out += ",\n  \"fault_seed\": ";
+    obs::appendJsonNumber(out,
+                          static_cast<double>(config.faultSeed));
+    out += ",\n  \"degradation_policy\": ";
+    out += config.degradationPolicy ? "true" : "false";
+    out += ",\n  \"schemes\": [\n";
+    for (std::size_t i = 0; i < summaries.size(); ++i) {
+        const AvailabilitySummary &s = summaries[i];
+        out += "    {\"scheme\": ";
+        obs::appendJsonString(out, s.scheme);
+        out += ", \"scenarios\": ";
+        obs::appendJsonNumber(out, static_cast<double>(s.scenarios));
+        out += ", \"mean_ens_wh\": ";
+        obs::appendJsonNumber(out, s.meanEnsWh);
+        out += ", \"p50_ens_wh\": ";
+        obs::appendJsonNumber(out, s.p50EnsWh);
+        out += ", \"p95_ens_wh\": ";
+        obs::appendJsonNumber(out, s.p95EnsWh);
+        out += ", \"max_ens_wh\": ";
+        obs::appendJsonNumber(out, s.maxEnsWh);
+        out += ", \"mean_downtime_s\": ";
+        obs::appendJsonNumber(out, s.meanDowntimeSeconds);
+        out += ", \"mean_shortfall_ticks\": ";
+        obs::appendJsonNumber(out, s.meanShortfallTicks);
+        out += ", \"mean_crash_events\": ";
+        obs::appendJsonNumber(out, s.meanCrashEvents);
+        out += ", \"mean_graceful_sheds\": ";
+        obs::appendJsonNumber(out, s.meanGracefulSheds);
+        out += ", \"mean_faults_applied\": ";
+        obs::appendJsonNumber(out, s.meanFaultsApplied);
+        out += ", \"availability\": ";
+        obs::appendJsonNumber(out, s.availability);
+        out += ", \"ens_wh\": [";
+        for (std::size_t k = 0; k < s.ensWhPerScenario.size(); ++k) {
+            if (k)
+                out += ", ";
+            obs::appendJsonNumber(out, s.ensWhPerScenario[k]);
+        }
+        out += "]}";
+        out += i + 1 < summaries.size() ? ",\n" : "\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+}
+
+bool
+writeAvailabilityJson(
+    const std::string &path,
+    const std::vector<AvailabilitySummary> &summaries,
+    const SimConfig &config, const std::string &workload)
+{
+    std::ofstream out(path);
+    if (!out) {
+        warn("writeAvailabilityJson: cannot open ", path,
+             "; summary not written");
+        return false;
+    }
+    out << availabilityToJson(summaries, config, workload);
+    return static_cast<bool>(out);
 }
 
 std::vector<CapacityPoint>

@@ -110,4 +110,82 @@ std::vector<CapacityPoint>
 capacitySweep(const SimConfig &base, const std::vector<double> &dods,
               const HebSchemeConfig &scheme_cfg = {});
 
+/** Availability of one scheme across Monte-Carlo fault scenarios. */
+struct AvailabilitySummary
+{
+    std::string scheme;
+
+    /** Scenario count aggregated. */
+    std::size_t scenarios = 0;
+
+    /** Mean energy not served per scenario (Wh). */
+    double meanEnsWh = 0.0;
+
+    /** Median ENS (Wh). */
+    double p50EnsWh = 0.0;
+
+    /** 95th-percentile ENS (Wh). */
+    double p95EnsWh = 0.0;
+
+    /** Worst-scenario ENS (Wh). */
+    double maxEnsWh = 0.0;
+
+    /** Mean aggregated server downtime (s). */
+    double meanDowntimeSeconds = 0.0;
+
+    /** Mean ticks with unserved demand. */
+    double meanShortfallTicks = 0.0;
+
+    /** Mean voltage-sag server crashes. */
+    double meanCrashEvents = 0.0;
+
+    /** Mean policy-planned server sheds. */
+    double meanGracefulSheds = 0.0;
+
+    /** Mean fault events applied per scenario. */
+    double meanFaultsApplied = 0.0;
+
+    /** Fraction of ticks fully served, in [0, 1]. */
+    double availability = 0.0;
+
+    /** Per-scenario ENS (Wh), in scenario order. */
+    std::vector<double> ensWhPerScenario;
+};
+
+/**
+ * The Monte-Carlo availability experiment: @p scenarios seeded fault
+ * plans per scheme, each a full simulation of @p workload with fault
+ * injection on. Scenario k of every scheme uses the same fault seed
+ * (a SplitMix64 child of base.faultSeed), so schemes face identical
+ * failure histories and differ only in how they cope.
+ *
+ * The scheme x scenario grid runs flattened on the shared ThreadPool;
+ * results are bit-identical to a serial run for any job count.
+ */
+std::vector<AvailabilitySummary>
+availabilitySweep(const SimConfig &base, const std::string &workload,
+                  const std::vector<SchemeKind> &schemes,
+                  std::size_t scenarios,
+                  const HebSchemeConfig &scheme_cfg = {});
+
+/**
+ * Render availability summaries as a deterministic JSON document
+ * (stable key order, %.10g numbers) — byte-identical for identical
+ * summaries, which the determinism test and CI artifact rely on.
+ */
+std::string
+availabilityToJson(const std::vector<AvailabilitySummary> &summaries,
+                   const SimConfig &config,
+                   const std::string &workload);
+
+/**
+ * Write availabilityToJson() output to @p path. Returns false (after
+ * a warn) when the path cannot be opened — a bad --out must not kill
+ * the sweep that produced the data.
+ */
+bool writeAvailabilityJson(
+    const std::string &path,
+    const std::vector<AvailabilitySummary> &summaries,
+    const SimConfig &config, const std::string &workload);
+
 } // namespace heb

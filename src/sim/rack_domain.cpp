@@ -29,6 +29,12 @@ struct DomainMetrics
         reg.counter("sim.servers_shed_total");
     obs::Counter &restarts =
         reg.counter("sim.server_restarts_total");
+    obs::Counter &faultEvents =
+        reg.counter("sim.fault_events_total");
+    obs::Counter &gracefulSheds =
+        reg.counter("sim.graceful_sheds_total");
+    obs::Counter &shortfallTicks =
+        reg.counter("sim.shortfall_ticks_total");
     obs::Histogram &demandW = reg.histogram("sim.demand_w");
     obs::Histogram &sourceDrawW =
         reg.histogram("sim.source_draw_w");
@@ -95,8 +101,64 @@ RackDomain::RackDomain(const SimConfig &config,
         controller_.setSensorNoise(config_.sensorNoiseSigma,
                                    config_.seed ^ 0x5eb5eb5eULL);
     }
+    if (config_.faultInjection) {
+        injector_ = std::make_unique<fault::FaultInjector>(
+            fault::FaultPlan::generate(config_.faultPlan,
+                                       config_.durationSeconds,
+                                       config_.faultSeed),
+            config_.faultSeed);
+    }
+    if (config_.degradationPolicy) {
+        // The estimator's probe devices are factory-fresh copies of
+        // this domain's banks; the sensed SoCs carry the fault state.
+        SimConfig cfg = config_;
+        bool hybrid = hybrid_;
+        DegradationPolicyParams dp;
+        dp.minRideThroughSeconds = config_.slotSeconds;
+        dp.horizonSeconds = 2.0 * config_.slotSeconds;
+        degradation_ = std::make_unique<DegradationPolicy>(
+            [cfg, hybrid]() -> std::unique_ptr<EnergyStorageDevice> {
+                return buildScBank(cfg, hybrid);
+            },
+            [cfg, hybrid]() -> std::unique_ptr<EnergyStorageDevice> {
+                return buildBaBank(cfg, hybrid);
+            },
+            dp);
+        controller_.setDegradationPolicy(degradation_.get());
+    }
     scStartWh_ = scBank_->usableEnergyWh();
     baStartWh_ = baBank_->usableEnergyWh();
+}
+
+void
+RackDomain::applyFaultEvent(const fault::FaultEvent &event,
+                            double now_seconds)
+{
+    using fault::FaultKind;
+    switch (event.kind) {
+      case FaultKind::BatteryWeakCell:
+        if (baBank_->deviceCount() > 0) {
+            baBank_->device(event.target % baBank_->deviceCount())
+                .applyHealthDerate(event.magnitude, event.secondary);
+        }
+        break;
+      case FaultKind::ScEsrAging:
+        scBank_->applyHealthDerate(1.0, event.magnitude);
+        break;
+      case FaultKind::ConverterTrip:
+        topology_.tripBufferStage(now_seconds,
+                                  event.durationSeconds);
+        break;
+      case FaultKind::AtsTransferFailure:
+      case FaultKind::SensorDropout:
+      case FaultKind::SensorJitter:
+        // ATS gaps act on the upstream supply (the Simulator owns
+        // the switch); sensor faults act through filterTelemetry().
+        // Logged here so the fault log is complete in one place.
+        break;
+    }
+    ++faultsApplied_;
+    faultLog_.push_back(event.describe());
 }
 
 std::size_t
@@ -136,6 +198,17 @@ RackDomain::tick(double now_seconds, double supply_w)
         obs::metricsOn() ? &DomainMetrics::get() : nullptr;
     obs::TraceRecorder *tr = obs::activeTrace();
 
+    // Fault onset: apply every scheduled event whose time arrived.
+    if (injector_) {
+        injector_->poll(now,
+                        [this, now, metrics](
+                            const fault::FaultEvent &ev) {
+                            applyFaultEvent(ev, now);
+                            if (metrics)
+                                metrics->faultEvents.inc();
+                        });
+    }
+
     // Optional DVFS capping before touching buffers (paper §1).
     if (config_.dvfsCapping) {
         Server::Frequency nominal =
@@ -155,7 +228,34 @@ RackDomain::tick(double now_seconds, double supply_w)
         }
     }
 
-    const SlotPlan &plan = controller_.tick(now, demand, supply_w);
+    // The controller sees what the (possibly faulted) IPDU sensors
+    // report, not ground truth; physical dispatch below always uses
+    // the true demand.
+    double measured_demand =
+        injector_ ? injector_->filterTelemetry(now, demand) : demand;
+    const SlotPlan &plan =
+        controller_.tick(now, measured_demand, supply_w);
+
+    // Graceful degradation: honour the slot plan's shed request by
+    // taking servers offline *deliberately* before dispatch, so the
+    // survivors ride through instead of the whole branch browning
+    // out.
+    plannedOffline_ = std::min(
+        config_.numServers,
+        static_cast<std::size_t>(std::ceil(
+            plan.shedFraction *
+                static_cast<double>(config_.numServers) -
+            1e-9)));
+    if (plannedOffline_ > offlineServers()) {
+        std::size_t to_shed = plannedOffline_ - offlineServers();
+        cluster_.shutdownLru(to_shed, now);
+        gracefulShedEvents_ += to_shed;
+        if (metrics) {
+            metrics->gracefulSheds.add(
+                static_cast<double>(to_shed));
+        }
+        demand = cluster_.totalPowerW(util_, now);
+    }
 
     // Relay actuation + IPDU metering.
     bool in_mismatch = demand > supply_w;
@@ -189,13 +289,21 @@ RackDomain::tick(double now_seconds, double supply_w)
     if (config_.peakShavingTargetW > 0.0)
         soft_cap = std::min(supply_w, config_.peakShavingTargetW);
 
+    // A tripped buffer-path converter takes the banks out of the
+    // circuit entirely: no discharge, no charge, until it restarts.
+    bool buffer_up = topology_.bufferStageAvailable(now);
+
     if (demand > soft_cap) {
         double mismatch = demand - soft_cap;
         double eff_d = topology_.bufferPathEfficiency(mismatch);
         double needed = mismatch / eff_d;
 
         DispatchResult res;
-        if (hybrid_) {
+        if (!buffer_up) {
+            scBank_->rest(dt);
+            baBank_->rest(dt);
+            res.unservedW = needed;
+        } else if (hybrid_) {
             res = dispatchMismatch(*scBank_, *baBank_, needed,
                                    plan.rLambda, dt,
                                    plan.batteryBasePlanW);
@@ -232,6 +340,10 @@ RackDomain::tick(double now_seconds, double supply_w)
             auto shed = static_cast<std::size_t>(
                 std::ceil(unserved / per_server));
             cluster_.shutdownLru(shed, now);
+            // Uncontrolled shedding is the voltage-sag server crash
+            // of paper Fig. 5 — the availability event the graceful
+            // policy exists to avoid.
+            crashEvents_ += shed;
             if (metrics)
                 metrics->shedServers.add(static_cast<double>(shed));
             if (tr) {
@@ -250,7 +362,10 @@ RackDomain::tick(double now_seconds, double supply_w)
         double surplus = soft_cap - demand;
         double eff_c = topology_.chargePathEfficiency(surplus);
         ChargeResult charged;
-        if (hybrid_) {
+        if (!buffer_up) {
+            scBank_->rest(dt);
+            baBank_->rest(dt);
+        } else if (hybrid_) {
             charged = dispatchCharge(*scBank_, *baBank_,
                                      surplus * eff_c,
                                      plan.chargeScFirst, dt);
@@ -270,7 +385,8 @@ RackDomain::tick(double now_seconds, double supply_w)
         source_draw += charge_draw;
 
         if (config_.restartOnRecovery &&
-            cluster_.onlineCount() < config_.numServers &&
+            cluster_.onlineCount() + plannedOffline_ <
+                config_.numServers &&
             now - lastRestart_ > 300.0 &&
             surplus > config_.serverParams.peakPowerW) {
             for (std::size_t s = 0; s < config_.numServers; ++s) {
@@ -296,6 +412,11 @@ RackDomain::tick(double now_seconds, double supply_w)
     }
 
     ledger_.unservedWh += unserved * dt_h;
+    if (unserved > 1e-9) {
+        ++shortfallTicks_;
+        if (metrics)
+            metrics->shortfallTicks.inc();
+    }
     peakDrawW_ = std::max(peakDrawW_, source_draw);
     demandSeries_.append(demand);
     supplySeries_.append(supply_w);
@@ -360,6 +481,17 @@ RackDomain::finalize(SimResult &result) const
     result.completedSlots = controller_.completedSlots();
     result.perfDegradationServerSeconds = perfDegradation_;
     result.peakUtilityDrawW = peakDrawW_;
+    result.energyNotServedWh = ledger_.unservedWh;
+    result.shortfallTicks = shortfallTicks_;
+    result.serverCrashEvents = crashEvents_;
+    result.gracefulShedEvents = gracefulShedEvents_;
+    result.faultEventsApplied = faultsApplied_;
+    result.faultLog = faultLog_;
+    if (degradation_) {
+        result.degradationActions = degradation_->rebalancedSlots() +
+                                    degradation_->singleBranchSlots() +
+                                    degradation_->shedSlots();
+    }
     result.demandW = demandSeries_;
     result.supplyW = supplySeries_;
     result.unservedW = unservedSeries_;

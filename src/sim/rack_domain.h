@@ -17,9 +17,11 @@
 #include <vector>
 
 #include "core/controller.h"
+#include "core/degradation.h"
 #include "core/scheme.h"
 #include "dc/cluster.h"
 #include "esd/esd_pool.h"
+#include "fault/fault_injector.h"
 #include "power/ipdu.h"
 #include "power/power_switch.h"
 #include "power/topology.h"
@@ -86,7 +88,17 @@ class RackDomain
         return config_.serverParams.peakPowerW;
     }
 
+    /** Installed fault injector, or null (tests / introspection). */
+    const fault::FaultInjector *faultInjector() const
+    {
+        return injector_.get();
+    }
+
   private:
+    /** Apply one fault event whose onset was just reached. */
+    void applyFaultEvent(const fault::FaultEvent &event,
+                         double now_seconds);
+
     SimConfig config_;
     const Workload &workload_;
     std::string name_;
@@ -99,6 +111,8 @@ class RackDomain
     HebController controller_;
     std::vector<PowerSwitch> switches_;
     Ipdu ipdu_;
+    std::unique_ptr<fault::FaultInjector> injector_;
+    std::unique_ptr<DegradationPolicy> degradation_;
 
     std::vector<double> util_;
     std::uint64_t tickIndex_ = 0;
@@ -108,6 +122,12 @@ class RackDomain
     double scStartWh_ = 0.0;
     double baStartWh_ = 0.0;
     double perfDegradation_ = 0.0;
+    std::size_t plannedOffline_ = 0;
+    unsigned long faultsApplied_ = 0;
+    unsigned long crashEvents_ = 0;
+    unsigned long gracefulShedEvents_ = 0;
+    unsigned long shortfallTicks_ = 0;
+    std::vector<std::string> faultLog_;
 
     // Accumulating series/ledger mirrored into finalize().
     EnergyLedger ledger_;

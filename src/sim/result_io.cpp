@@ -10,6 +10,8 @@ writeResultSeries(const SimResult &result, const std::string &prefix)
 {
     {
         CsvWriter w(prefix + "_ticks.csv");
+        if (!w.ok())
+            return;
         w.header({"seconds", "demand_w", "supply_w", "unserved_w"});
         for (std::size_t i = 0; i < result.demandW.size(); ++i) {
             w.row({result.demandW.timeAt(i), result.demandW[i],
@@ -18,6 +20,8 @@ writeResultSeries(const SimResult &result, const std::string &prefix)
     }
     {
         CsvWriter w(prefix + "_slots.csv");
+        if (!w.ok())
+            return;
         w.header({"seconds", "sc_soc", "ba_soc", "r_lambda"});
         for (std::size_t i = 0; i < result.scSoc.size(); ++i) {
             w.row({result.scSoc.timeAt(i), result.scSoc[i],
@@ -31,6 +35,8 @@ writeResultMetrics(const std::vector<SimResult> &results,
                    const std::string &path)
 {
     CsvWriter w(path);
+    if (!w.ok())
+        return;
     w.header({"scheme", "workload", "duration_s", "efficiency",
               "effective_efficiency", "downtime_s",
               "battery_life_years", "reu", "buffer_to_load_wh",
@@ -80,6 +86,12 @@ simConfigFromConfig(const Config &config)
         config.getBool("dvfs_capping", cfg.dvfsCapping);
     cfg.sensorNoiseSigma =
         config.getDouble("sensor_noise_sigma", cfg.sensorNoiseSigma);
+    cfg.faultInjection =
+        config.getBool("fault_injection", cfg.faultInjection);
+    cfg.faultSeed = static_cast<std::uint64_t>(config.getInt(
+        "fault_seed", static_cast<long>(cfg.faultSeed)));
+    cfg.degradationPolicy =
+        config.getBool("degradation_policy", cfg.degradationPolicy);
     return cfg;
 }
 
@@ -117,6 +129,11 @@ describeSimConfig(const SimConfig &config)
                      num(config.sensorNoiseSigma));
     out.emplace_back("peak_shaving_target_w",
                      num(config.peakShavingTargetW));
+    out.emplace_back("fault_injection",
+                     config.faultInjection ? "true" : "false");
+    out.emplace_back("fault_seed", std::to_string(config.faultSeed));
+    out.emplace_back("degradation_policy",
+                     config.degradationPolicy ? "true" : "false");
     return out;
 }
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "dc/server.h"
+#include "fault/fault_plan.h"
 #include "power/solar_array.h"
 #include "power/topology.h"
 
@@ -117,6 +118,34 @@ struct SimConfig
 
     /** Unserved power tolerated before shedding a server (W). */
     double shedToleranceW = 2.0;
+
+    // --- Fault injection / graceful degradation -------------------
+
+    /**
+     * Generate and apply a seeded FaultPlan over the run: hardware
+     * derates, converter trips, ATS gaps and sensor faults (see
+     * fault/fault_plan.h). Off by default — the headline experiments
+     * model healthy hardware.
+     */
+    bool faultInjection = false;
+
+    /** Stochastic fault-plan knobs (rates per simulated day). */
+    fault::FaultPlanParams faultPlan{};
+
+    /**
+     * Seed of the fault plan and telemetry jitter, deliberately
+     * separate from `seed` so Monte-Carlo sweeps can vary the fault
+     * scenario while holding the workload fixed.
+     */
+    std::uint64_t faultSeed = 1;
+
+    /**
+     * Install the graceful-degradation policy (core/degradation.h):
+     * the controller vets every slot plan against a ride-through
+     * estimate of the *sensed* bank and falls back — rebalance,
+     * single branch, proportional shed — when it cannot ride through.
+     */
+    bool degradationPolicy = false;
 
     /** Total installed buffer energy (Wh). */
     double

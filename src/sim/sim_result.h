@@ -6,6 +6,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "sim/energy_ledger.h"
 #include "util/time_series.h"
@@ -54,6 +55,39 @@ struct SimResult
 
     /** Renewable energy utilization (solar runs only; else 0). */
     double reu = 0.0;
+
+    // --- Availability under faults --------------------------------
+
+    /**
+     * Energy not served (Wh): demand the source + buffers could not
+     * cover. Mirrors ledger.unservedWh, surfaced as the headline
+     * availability metric of the Monte-Carlo experiment.
+     */
+    double energyNotServedWh = 0.0;
+
+    /** Ticks with any unserved demand. */
+    unsigned long shortfallTicks = 0;
+
+    /**
+     * Servers lost to *uncontrolled* shedding — the voltage-sag
+     * crash of paper Fig. 5, where the bank browns out under load.
+     */
+    unsigned long serverCrashEvents = 0;
+
+    /**
+     * Servers shut down *deliberately* by the degradation policy
+     * (SlotPlan::shedFraction) to keep the rest riding through.
+     */
+    unsigned long gracefulShedEvents = 0;
+
+    /** Fault events whose onset was reached during the run. */
+    unsigned long faultEventsApplied = 0;
+
+    /** Slots where the degradation policy changed the plan. */
+    unsigned long degradationActions = 0;
+
+    /** Human-readable log of the applied fault events, in order. */
+    std::vector<std::string> faultLog;
 
     // --- Supporting detail ----------------------------------------
 

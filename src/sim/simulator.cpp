@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <memory>
 
+#include "fault/fault_plan.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "power/ats.h"
 #include "power/solar_array.h"
 #include "power/utility_grid.h"
 #include "sim/rack_domain.h"
@@ -30,6 +32,7 @@ Simulator::run(const Workload &workload, ManagementScheme &scheme)
 
     std::unique_ptr<UtilityGrid> grid;
     std::unique_ptr<SolarArray> solar;
+    std::unique_ptr<Ats> ats;
     if (config_.solarPowered) {
         solar = std::make_unique<SolarArray>(
             config_.solarParams, config_.durationSeconds, dt,
@@ -38,6 +41,22 @@ Simulator::run(const Workload &workload, ManagementScheme &scheme)
         grid = std::make_unique<UtilityGrid>(config_.budgetW);
         for (auto [start, duration] : config_.outages)
             grid->addOutage(start, duration);
+
+        if (config_.faultInjection) {
+            // Route the utility feed through an ATS and pre-apply the
+            // plan's transfer failures as forced-open windows. The
+            // plan generation is pure, so this regenerates exactly
+            // the schedule the domain's injector logs.
+            ats = std::make_unique<Ats>(grid.get(), nullptr);
+            fault::FaultPlan plan = fault::FaultPlan::generate(
+                config_.faultPlan, config_.durationSeconds,
+                config_.faultSeed);
+            for (const fault::FaultEvent &ev : plan.ofKind(
+                     fault::FaultKind::AtsTransferFailure)) {
+                ats->forceOpen(ev.startSeconds,
+                               ev.durationSeconds);
+            }
+        }
     }
 
     RackDomain domain(config_, workload, scheme, "rack0");
@@ -48,7 +67,8 @@ Simulator::run(const Workload &workload, ManagementScheme &scheme)
         double now = static_cast<double>(tick_i) * dt;
         double supply = config_.solarPowered
                             ? solar->availablePowerW(now)
-                            : grid->availablePowerW(now);
+                            : (ats ? ats->availablePowerW(now)
+                                   : grid->availablePowerW(now));
         domain.computeDemand(now);
         RackDomain::TickOutcome outcome = domain.tick(now, supply);
         if (config_.solarPowered)

@@ -8,10 +8,15 @@
 
 namespace heb {
 
-CsvWriter::CsvWriter(const std::string &path) : out_(path)
+CsvWriter::CsvWriter(const std::string &path)
+    : path_(path), out_(path)
 {
-    if (!out_)
-        fatal("CsvWriter: cannot open ", path);
+    if (!out_) {
+        warn("CsvWriter: cannot open ", path,
+             "; output will be dropped");
+        ok_ = false;
+        return;
+    }
     // Full round-trip precision: files feed plotting *and* tests.
     out_.precision(std::numeric_limits<double>::max_digits10);
 }
@@ -25,6 +30,8 @@ CsvWriter::header(const std::vector<std::string> &columns)
 void
 CsvWriter::row(const std::vector<double> &values)
 {
+    if (!ok_)
+        return;
     for (std::size_t i = 0; i < values.size(); ++i) {
         if (i)
             out_ << ',';
@@ -36,6 +43,8 @@ CsvWriter::row(const std::vector<double> &values)
 void
 CsvWriter::rowStrings(const std::vector<std::string> &values)
 {
+    if (!ok_)
+        return;
     for (std::size_t i = 0; i < values.size(); ++i) {
         if (i)
             out_ << ',';

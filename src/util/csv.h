@@ -15,8 +15,19 @@ namespace heb {
 class CsvWriter
 {
   public:
-    /** Open @p path for writing; fatal() on failure. */
+    /**
+     * Open @p path for writing. A path that cannot be opened (bad
+     * directory, permissions) warn()s and leaves the writer inert —
+     * ok() reports false and every write is a no-op — so one bad
+     * --trace-out path cannot kill a whole sweep.
+     */
     explicit CsvWriter(const std::string &path);
+
+    /** True when the file opened and all writes so far succeeded. */
+    bool ok() const { return ok_ && static_cast<bool>(out_); }
+
+    /** Path the writer was opened with. */
+    const std::string &path() const { return path_; }
 
     /** Write the header row. */
     void header(const std::vector<std::string> &columns);
@@ -28,7 +39,9 @@ class CsvWriter
     void rowStrings(const std::vector<std::string> &values);
 
   private:
+    std::string path_;
     std::ofstream out_;
+    bool ok_ = true;
 };
 
 /** Fully-parsed CSV table. */

@@ -7,6 +7,15 @@
 namespace heb {
 
 double
+SplitMix64::exponential(double rate)
+{
+    if (rate <= 0.0)
+        fatal("SplitMix64::exponential rate must be positive");
+    // Inverse CDF; 1 - u in (0, 1] so the log argument never hits 0.
+    return -std::log(1.0 - nextDouble()) / rate;
+}
+
+double
 Rng::uniform(double lo, double hi)
 {
     std::uniform_real_distribution<double> dist(lo, hi);

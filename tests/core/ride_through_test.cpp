@@ -80,6 +80,49 @@ TEST(RideThrough, BalancedSplitOutlastsAllSc)
     EXPECT_GE(t_bal, t_sc * 0.95);
 }
 
+TEST(RideThrough, SurvivedHorizonFlagSetWhenBankOutlastsHorizon)
+{
+    // A short horizon the full bank easily covers: the estimate is
+    // the horizon itself, flagged as a lower bound, not a failure
+    // that happens to land there.
+    RideThroughParams p;
+    p.rLambda = 0.5;
+    p.horizonSeconds = 300.0;
+    RideThroughEstimate est = estimateRideThrough(
+        scFactory, baFactory, 1.0, 1.0, 80.0, p);
+    EXPECT_TRUE(est.survivedHorizon);
+    EXPECT_DOUBLE_EQ(est.seconds, 300.0);
+}
+
+TEST(RideThrough, SurvivedHorizonFlagClearOnMeasuredFailure)
+{
+    // All-SC at 80 W dies around 1300 s, well inside the default 8 h
+    // horizon: a measured failure, not a horizon cap.
+    RideThroughEstimate est = estimateRideThrough(
+        scFactory, baFactory, 1.0, 1.0, 80.0);
+    EXPECT_FALSE(est.survivedHorizon);
+    EXPECT_GT(est.seconds, 1000.0);
+    EXPECT_LT(est.seconds, 1800.0);
+}
+
+TEST(RideThrough, ZeroLoadSurvivesHorizon)
+{
+    RideThroughEstimate est = estimateRideThrough(
+        scFactory, baFactory, 1.0, 1.0, 0.0);
+    EXPECT_TRUE(est.survivedHorizon);
+}
+
+TEST(RideThrough, LegacyScalarMatchesStructSeconds)
+{
+    RideThroughParams p;
+    p.rLambda = 0.7;
+    EXPECT_DOUBLE_EQ(
+        estimateRideThroughSeconds(scFactory, baFactory, 1.0, 1.0,
+                                   120.0, p),
+        estimateRideThrough(scFactory, baFactory, 1.0, 1.0, 120.0, p)
+            .seconds);
+}
+
 TEST(RideThrough, MissingFactoriesFatal)
 {
     EXPECT_EXIT(estimateRideThroughSeconds(nullptr, baFactory, 1.0,

@@ -49,6 +49,55 @@ TEST(Battery, CannotExceedRateLimit)
     EXPECT_GT(got, 0.0);
 }
 
+TEST(Battery, HealthDerateShrinksCapacityPreservingSoc)
+{
+    Battery b = freshBattery();
+    double soc_before = b.soc();
+    double cap_before = b.effectiveCapacityAh();
+    b.applyHealthDerate(0.7, 1.6);
+    EXPECT_NEAR(b.soc(), soc_before, 1e-9);
+    EXPECT_NEAR(b.effectiveCapacityAh(), cap_before * 0.7, 1e-9);
+    EXPECT_LT(b.usableEnergyWh(),
+              freshBattery().usableEnergyWh());
+}
+
+TEST(Battery, HealthDerateGrowsResistance)
+{
+    Battery healthy = freshBattery();
+    Battery weak = freshBattery();
+    weak.applyHealthDerate(1.0, 2.0);
+    EXPECT_NEAR(weak.effectiveResistance(),
+                2.0 * healthy.effectiveResistance(), 1e-12);
+    // More sag under the same load.
+    EXPECT_LT(weak.terminalVoltage(80.0),
+              healthy.terminalVoltage(80.0));
+}
+
+TEST(Battery, HealthDeratesCompoundAndResetRestores)
+{
+    Battery b = freshBattery();
+    b.applyHealthDerate(0.8, 1.5);
+    b.applyHealthDerate(0.5, 2.0);
+    EXPECT_NEAR(b.healthCapacityFactor(), 0.4, 1e-12);
+    EXPECT_NEAR(b.healthResistanceFactor(), 3.0, 1e-12);
+    b.reset();
+    EXPECT_DOUBLE_EQ(b.healthCapacityFactor(), 1.0);
+    EXPECT_DOUBLE_EQ(b.healthResistanceFactor(), 1.0);
+    EXPECT_NEAR(b.effectiveCapacityAh(),
+                freshBattery().effectiveCapacityAh(), 1e-12);
+}
+
+TEST(Battery, HealthDerateValidatesFactors)
+{
+    Battery b = freshBattery();
+    EXPECT_EXIT(b.applyHealthDerate(0.0, 1.0),
+                testing::ExitedWithCode(1), "capacity");
+    EXPECT_EXIT(b.applyHealthDerate(1.5, 1.0),
+                testing::ExitedWithCode(1), "capacity");
+    EXPECT_EXIT(b.applyHealthDerate(0.5, 0.9),
+                testing::ExitedWithCode(1), "resistance");
+}
+
 TEST(Battery, VoltageSagsUnderLoad)
 {
     Battery b = freshBattery();

@@ -47,6 +47,19 @@ TEST(EsdPool, SplitsLoadAcrossMembers)
                 pool->device(1).counters().dischargeEnergyWh, 1e-6);
 }
 
+TEST(EsdPool, HealthDerateFansOutToMembers)
+{
+    auto pool = twoBatteryPool();
+    double usable0 = pool->usableEnergyWh();
+    pool->applyHealthDerate(0.7, 1.6);
+    for (std::size_t i = 0; i < pool->deviceCount(); ++i) {
+        auto &b = dynamic_cast<Battery &>(pool->device(i));
+        EXPECT_NEAR(b.healthCapacityFactor(), 0.7, 1e-12);
+        EXPECT_NEAR(b.healthResistanceFactor(), 1.6, 1e-12);
+    }
+    EXPECT_LT(pool->usableEnergyWh(), usable0);
+}
+
 TEST(EsdPool, UnequalMembersShareByCapability)
 {
     auto pool = std::make_unique<EsdPool>("mixed");

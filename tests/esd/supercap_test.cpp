@@ -38,6 +38,44 @@ TEST(Supercap, VoltageDeclinesLinearlyWithCharge)
     EXPECT_LT(sc.usableEnergyWh(), e0);
 }
 
+TEST(Supercap, EsrAgingDerateLowersEfficiency)
+{
+    Supercapacitor healthy = freshSc();
+    Supercapacitor aged = freshSc();
+    aged.applyHealthDerate(1.0, 1.4);
+    EXPECT_NEAR(aged.effectiveEsrOhm(),
+                1.4 * healthy.effectiveEsrOhm(), 1e-12);
+    // Same terminal draw, more internal loss in the aged bank.
+    healthy.discharge(100.0, 60.0);
+    aged.discharge(100.0, 60.0);
+    EXPECT_GT(aged.counters().lossEnergyWh,
+              healthy.counters().lossEnergyWh);
+}
+
+TEST(Supercap, HealthDeratesCompoundAndResetRestores)
+{
+    Supercapacitor sc = freshSc();
+    double esr0 = sc.effectiveEsrOhm();
+    sc.applyHealthDerate(0.9, 1.4);
+    sc.applyHealthDerate(1.0, 1.4);
+    EXPECT_NEAR(sc.effectiveEsrOhm(), esr0 * 1.96, 1e-12);
+    EXPECT_NEAR(sc.effectiveCapacitanceF(),
+                0.9 * sc.params().capacitanceF, 1e-9);
+    sc.reset();
+    EXPECT_NEAR(sc.effectiveEsrOhm(), esr0, 1e-12);
+    EXPECT_NEAR(sc.effectiveCapacitanceF(), sc.params().capacitanceF,
+                1e-9);
+}
+
+TEST(Supercap, HealthDerateValidatesFactors)
+{
+    Supercapacitor sc = freshSc();
+    EXPECT_EXIT(sc.applyHealthDerate(2.0, 1.0),
+                testing::ExitedWithCode(1), "capacity");
+    EXPECT_EXIT(sc.applyHealthDerate(1.0, 0.5),
+                testing::ExitedWithCode(1), "resistance");
+}
+
 TEST(Supercap, HighRoundTripEfficiency)
 {
     Supercapacitor sc = freshSc();

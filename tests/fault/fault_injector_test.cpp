@@ -1,0 +1,143 @@
+/** @file Tick-level fault injection and sensor-fault telemetry. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fault/fault_injector.h"
+
+namespace heb {
+namespace fault {
+namespace {
+
+FaultEvent
+makeEvent(FaultKind kind, double start, double duration = 0.0,
+          double magnitude = 0.0)
+{
+    FaultEvent ev;
+    ev.kind = kind;
+    ev.startSeconds = start;
+    ev.durationSeconds = duration;
+    ev.magnitude = magnitude;
+    return ev;
+}
+
+TEST(FaultInjector, PollFiresEachEventExactlyOnce)
+{
+    FaultPlan plan;
+    plan.add(makeEvent(FaultKind::ConverterTrip, 10.0, 60.0));
+    plan.add(makeEvent(FaultKind::ScEsrAging, 25.0, 0.0, 1.4));
+    FaultInjector inj(plan);
+
+    std::vector<FaultKind> fired;
+    auto on_start = [&fired](const FaultEvent &ev) {
+        fired.push_back(ev.kind);
+    };
+    inj.poll(5.0, on_start);
+    EXPECT_TRUE(fired.empty());
+    inj.poll(10.0, on_start); // onset at exactly now fires
+    ASSERT_EQ(fired.size(), 1u);
+    EXPECT_EQ(fired[0], FaultKind::ConverterTrip);
+    inj.poll(11.0, on_start); // no re-fire on later polls
+    EXPECT_EQ(fired.size(), 1u);
+    inj.poll(100.0, on_start);
+    ASSERT_EQ(fired.size(), 2u);
+    EXPECT_EQ(fired[1], FaultKind::ScEsrAging);
+    EXPECT_EQ(inj.appliedEvents().size(), 2u);
+}
+
+TEST(FaultInjector, NullCallbackLogsOnly)
+{
+    FaultPlan plan;
+    plan.add(makeEvent(FaultKind::SensorDropout, 1.0, 10.0));
+    FaultInjector inj(plan);
+    inj.poll(5.0, nullptr);
+    EXPECT_EQ(inj.appliedEvents().size(), 1u);
+}
+
+TEST(FaultInjector, DropoutFreezesLastGoodReading)
+{
+    FaultPlan plan;
+    plan.add(makeEvent(FaultKind::SensorDropout, 10.0, 20.0));
+    FaultInjector inj(plan);
+
+    EXPECT_FALSE(inj.sensorDropoutActive(9.0));
+    EXPECT_TRUE(inj.sensorDropoutActive(10.0));
+    EXPECT_TRUE(inj.sensorDropoutActive(29.9));
+    EXPECT_FALSE(inj.sensorDropoutActive(30.0));
+
+    // Feed a good reading before the window, then watch it freeze.
+    EXPECT_DOUBLE_EQ(inj.filterTelemetry(5.0, 200.0), 200.0);
+    EXPECT_DOUBLE_EQ(inj.filterTelemetry(15.0, 999.0), 200.0);
+    EXPECT_DOUBLE_EQ(inj.filterTelemetry(25.0, 500.0), 200.0);
+    // Window over: live readings again.
+    EXPECT_DOUBLE_EQ(inj.filterTelemetry(31.0, 300.0), 300.0);
+}
+
+TEST(FaultInjector, DropoutWithNoPriorReadingPassesTruth)
+{
+    FaultPlan plan;
+    plan.add(makeEvent(FaultKind::SensorDropout, 0.0, 10.0));
+    FaultInjector inj(plan);
+    // Nothing to freeze at yet: the true value passes through.
+    EXPECT_DOUBLE_EQ(inj.filterTelemetry(1.0, 123.0), 123.0);
+}
+
+TEST(FaultInjector, JitterIsBoundedAndWindowed)
+{
+    FaultPlan plan;
+    plan.add(makeEvent(FaultKind::SensorJitter, 100.0, 50.0, 0.2));
+    FaultInjector inj(plan, 7);
+
+    EXPECT_DOUBLE_EQ(inj.sensorJitterMagnitude(99.0), 0.0);
+    EXPECT_DOUBLE_EQ(inj.sensorJitterMagnitude(120.0), 0.2);
+    EXPECT_DOUBLE_EQ(inj.sensorJitterMagnitude(150.0), 0.0);
+
+    EXPECT_DOUBLE_EQ(inj.filterTelemetry(50.0, 100.0), 100.0);
+    bool saw_change = false;
+    for (int i = 0; i < 20; ++i) {
+        double t = 100.0 + i;
+        double v = inj.filterTelemetry(t, 100.0);
+        EXPECT_GE(v, 80.0);
+        EXPECT_LE(v, 120.0);
+        saw_change |= v != 100.0;
+    }
+    EXPECT_TRUE(saw_change);
+    EXPECT_DOUBLE_EQ(inj.filterTelemetry(200.0, 100.0), 100.0);
+}
+
+TEST(FaultInjector, JitterStreamIsSeedDeterministic)
+{
+    FaultPlan plan;
+    plan.add(makeEvent(FaultKind::SensorJitter, 0.0, 100.0, 0.15));
+    FaultInjector a(plan, 42);
+    FaultInjector b(plan, 42);
+    FaultInjector c(plan, 43);
+    bool any_diff = false;
+    for (int i = 0; i < 32; ++i) {
+        double t = static_cast<double>(i);
+        double va = a.filterTelemetry(t, 250.0);
+        EXPECT_DOUBLE_EQ(va, b.filterTelemetry(t, 250.0));
+        any_diff |= va != c.filterTelemetry(t, 250.0);
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(FaultInjector, DropoutWinsOverJitter)
+{
+    FaultPlan plan;
+    plan.add(makeEvent(FaultKind::SensorJitter, 0.0, 100.0, 0.5));
+    plan.add(makeEvent(FaultKind::SensorDropout, 10.0, 20.0));
+    FaultInjector inj(plan, 5);
+    inj.filterTelemetry(5.0, 100.0);
+    // Inside both windows the reading freezes; the stored last-good
+    // value may itself be jittered, but it must not move tick to
+    // tick.
+    double frozen = inj.filterTelemetry(12.0, 700.0);
+    EXPECT_DOUBLE_EQ(inj.filterTelemetry(15.0, 800.0), frozen);
+    EXPECT_DOUBLE_EQ(inj.filterTelemetry(20.0, 900.0), frozen);
+}
+
+} // namespace
+} // namespace fault
+} // namespace heb

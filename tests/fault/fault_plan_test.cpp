@@ -1,0 +1,176 @@
+/** @file Seeded fault-plan generation. */
+
+#include <gtest/gtest.h>
+
+#include "fault/fault_plan.h"
+#include "util/units.h"
+
+namespace heb {
+namespace fault {
+namespace {
+
+constexpr double kTwoDays = 2.0 * kSecondsPerDay;
+
+bool
+samePlans(const FaultPlan &a, const FaultPlan &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const FaultEvent &x = a.events()[i];
+        const FaultEvent &y = b.events()[i];
+        if (x.kind != y.kind || x.startSeconds != y.startSeconds ||
+            x.durationSeconds != y.durationSeconds ||
+            x.magnitude != y.magnitude ||
+            x.secondary != y.secondary || x.target != y.target)
+            return false;
+    }
+    return true;
+}
+
+TEST(FaultPlan, SameSeedSamePlan)
+{
+    FaultPlanParams params;
+    FaultPlan a = FaultPlan::generate(params, kTwoDays, 1234);
+    FaultPlan b = FaultPlan::generate(params, kTwoDays, 1234);
+    EXPECT_TRUE(samePlans(a, b));
+    EXPECT_GT(a.size(), 0u);
+}
+
+TEST(FaultPlan, DifferentSeedDifferentPlan)
+{
+    FaultPlanParams params;
+    FaultPlan a = FaultPlan::generate(params, kTwoDays, 1);
+    FaultPlan b = FaultPlan::generate(params, kTwoDays, 2);
+    EXPECT_FALSE(samePlans(a, b));
+}
+
+TEST(FaultPlan, EventsSortedByStart)
+{
+    FaultPlan plan = FaultPlan::generate({}, kTwoDays, 77);
+    for (std::size_t i = 1; i < plan.size(); ++i) {
+        EXPECT_LE(plan.events()[i - 1].startSeconds,
+                  plan.events()[i].startSeconds);
+    }
+    for (const FaultEvent &ev : plan.events()) {
+        EXPECT_GE(ev.startSeconds, 0.0);
+        EXPECT_LT(ev.startSeconds, kTwoDays);
+    }
+}
+
+TEST(FaultPlan, ZeroRatesYieldEmptyPlan)
+{
+    FaultPlanParams params;
+    params.weakCellsPerDay = 0.0;
+    params.scAgingEventsPerDay = 0.0;
+    params.converterTripsPerDay = 0.0;
+    params.atsFailuresPerDay = 0.0;
+    params.sensorDropoutsPerDay = 0.0;
+    params.sensorJitterEventsPerDay = 0.0;
+    FaultPlan plan = FaultPlan::generate(params, kTwoDays, 1);
+    EXPECT_EQ(plan.size(), 0u);
+}
+
+TEST(FaultPlan, HigherRateMoreEvents)
+{
+    FaultPlanParams sparse;
+    sparse.converterTripsPerDay = 0.5;
+    FaultPlanParams dense = sparse;
+    dense.converterTripsPerDay = 20.0;
+    // Average over seeds so the comparison is about the rate, not
+    // one draw.
+    std::size_t sparse_n = 0, dense_n = 0;
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        sparse_n += FaultPlan::generate(sparse, kTwoDays, seed)
+                        .ofKind(FaultKind::ConverterTrip)
+                        .size();
+        dense_n += FaultPlan::generate(dense, kTwoDays, seed)
+                       .ofKind(FaultKind::ConverterTrip)
+                       .size();
+    }
+    EXPECT_GT(dense_n, sparse_n * 4);
+}
+
+TEST(FaultPlan, KindStreamsAreIndependent)
+{
+    // Cranking the ATS rate must not move the converter trips: each
+    // kind draws from its own forked stream.
+    FaultPlanParams base;
+    FaultPlanParams noisy = base;
+    noisy.atsFailuresPerDay = 50.0;
+    auto trips_a = FaultPlan::generate(base, kTwoDays, 9)
+                       .ofKind(FaultKind::ConverterTrip);
+    auto trips_b = FaultPlan::generate(noisy, kTwoDays, 9)
+                       .ofKind(FaultKind::ConverterTrip);
+    ASSERT_EQ(trips_a.size(), trips_b.size());
+    for (std::size_t i = 0; i < trips_a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(trips_a[i].startSeconds,
+                         trips_b[i].startSeconds);
+    }
+}
+
+TEST(FaultPlan, EventFieldsMatchParams)
+{
+    FaultPlanParams params;
+    FaultPlan plan = FaultPlan::generate(params, 20.0 * kTwoDays, 5);
+    for (const FaultEvent &ev :
+         plan.ofKind(FaultKind::BatteryWeakCell)) {
+        EXPECT_DOUBLE_EQ(ev.magnitude,
+                         params.weakCellCapacityFactor);
+        EXPECT_DOUBLE_EQ(ev.secondary,
+                         params.weakCellResistanceFactor);
+        EXPECT_DOUBLE_EQ(ev.durationSeconds, 0.0);
+    }
+    for (const FaultEvent &ev :
+         plan.ofKind(FaultKind::ConverterTrip)) {
+        EXPECT_DOUBLE_EQ(ev.durationSeconds,
+                         params.converterRestartSeconds);
+    }
+    for (const FaultEvent &ev :
+         plan.ofKind(FaultKind::SensorJitter)) {
+        EXPECT_DOUBLE_EQ(ev.magnitude,
+                         params.sensorJitterMagnitude);
+        EXPECT_DOUBLE_EQ(ev.durationSeconds,
+                         params.sensorJitterSeconds);
+    }
+}
+
+TEST(FaultPlan, OfKindFiltersAndAddSorts)
+{
+    FaultPlan plan;
+    FaultEvent late;
+    late.kind = FaultKind::SensorDropout;
+    late.startSeconds = 100.0;
+    FaultEvent early;
+    early.kind = FaultKind::ConverterTrip;
+    early.startSeconds = 10.0;
+    plan.add(late);
+    plan.add(early);
+    ASSERT_EQ(plan.size(), 2u);
+    EXPECT_EQ(plan.events()[0].kind, FaultKind::ConverterTrip);
+    EXPECT_EQ(plan.ofKind(FaultKind::SensorDropout).size(), 1u);
+    EXPECT_EQ(plan.ofKind(FaultKind::ScEsrAging).size(), 0u);
+}
+
+TEST(FaultPlan, KindNamesAreStable)
+{
+    EXPECT_STREQ(faultKindName(FaultKind::BatteryWeakCell),
+                 "battery-weak-cell");
+    EXPECT_STREQ(faultKindName(FaultKind::AtsTransferFailure),
+                 "ats-transfer-failure");
+}
+
+TEST(FaultPlan, DescribeMentionsKindAndTime)
+{
+    FaultEvent ev;
+    ev.kind = FaultKind::ConverterTrip;
+    ev.startSeconds = 120.0;
+    ev.durationSeconds = 180.0;
+    std::string text = ev.describe();
+    EXPECT_NE(text.find("converter-trip"), std::string::npos);
+    EXPECT_NE(text.find("t=120"), std::string::npos);
+}
+
+} // namespace
+} // namespace fault
+} // namespace heb

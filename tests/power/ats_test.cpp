@@ -54,6 +54,69 @@ TEST_F(AtsTest, TransferCountTracks)
     EXPECT_EQ(ats_.transferCount(), 2u);
 }
 
+TEST_F(AtsTest, GapCoversWholeTransferWindow)
+{
+    ats_.transferTo(Ats::Input::Alternate, 100.0);
+    // Break-before-make: the whole [100, 100.05) window is open.
+    EXPECT_EQ(ats_.connectedAt(100.0), Ats::Input::None);
+    EXPECT_EQ(ats_.connectedAt(100.049), Ats::Input::None);
+    EXPECT_EQ(ats_.connectedAt(100.05), Ats::Input::Alternate);
+}
+
+TEST_F(AtsTest, BackToBackTransfersExtendTheGap)
+{
+    // A second command before the first settles re-opens the switch
+    // until the later settle time; the gap never shrinks.
+    ats_.transferTo(Ats::Input::Alternate, 10.0);
+    ats_.transferTo(Ats::Input::Primary, 10.02);
+    EXPECT_EQ(ats_.commanded(), Ats::Input::Primary);
+    EXPECT_EQ(ats_.connectedAt(10.04), Ats::Input::None);
+    EXPECT_EQ(ats_.connectedAt(10.06), Ats::Input::None);
+    EXPECT_EQ(ats_.connectedAt(10.07), Ats::Input::Primary);
+    EXPECT_EQ(ats_.transferCount(), 2u);
+}
+
+TEST_F(AtsTest, ForcedWindowHoldsSwitchOpen)
+{
+    ats_.forceOpen(50.0, 45.0);
+    EXPECT_EQ(ats_.connectedAt(49.9), Ats::Input::Primary);
+    EXPECT_EQ(ats_.connectedAt(50.0), Ats::Input::None);
+    EXPECT_DOUBLE_EQ(ats_.availablePowerW(70.0), 0.0);
+    EXPECT_EQ(ats_.connectedAt(95.0), Ats::Input::Primary);
+    EXPECT_EQ(ats_.forcedOpenCount(), 1u);
+}
+
+TEST_F(AtsTest, FutureAndOverlappingWindowsCompose)
+{
+    // Windows registered ahead of time only bite when reached, and
+    // overlapping windows union.
+    ats_.forceOpen(100.0, 10.0);
+    ats_.forceOpen(105.0, 20.0);
+    EXPECT_EQ(ats_.connectedAt(0.0), Ats::Input::Primary);
+    EXPECT_EQ(ats_.connectedAt(104.0), Ats::Input::None);
+    EXPECT_EQ(ats_.connectedAt(115.0), Ats::Input::None);
+    EXPECT_EQ(ats_.connectedAt(125.0), Ats::Input::Primary);
+    EXPECT_EQ(ats_.forcedOpenCount(), 2u);
+}
+
+TEST_F(AtsTest, TransferDuringForcedWindowStaysOpen)
+{
+    ats_.forceOpen(10.0, 60.0);
+    ats_.transferTo(Ats::Input::Alternate, 20.0);
+    // The stuck mechanism wins until its window clears...
+    EXPECT_EQ(ats_.connectedAt(30.0), Ats::Input::None);
+    // ...then the commanded input connects.
+    EXPECT_EQ(ats_.connectedAt(70.0), Ats::Input::Alternate);
+}
+
+TEST(Ats, ForceOpenNegativeDurationFatal)
+{
+    UtilityGrid grid(100.0);
+    Ats ats(&grid, nullptr);
+    EXPECT_EXIT(ats.forceOpen(0.0, -1.0),
+                testing::ExitedWithCode(1), "duration");
+}
+
 TEST(Ats, MissingAlternateFatal)
 {
     UtilityGrid grid(100.0);

@@ -63,6 +63,34 @@ TEST(Converter, TransferAccounting)
     EXPECT_NEAR(c.lossWh(), c.inputFor(500.0) - 500.0, 1e-9);
 }
 
+TEST(Converter, TripTakesItOfflineUntilRestart)
+{
+    Converter c = Converter::rackInverter(1000.0);
+    EXPECT_TRUE(c.availableAt(0.0));
+    c.trip(100.0, 180.0);
+    EXPECT_FALSE(c.availableAt(100.0));
+    EXPECT_FALSE(c.availableAt(279.9));
+    EXPECT_TRUE(c.availableAt(280.0));
+    EXPECT_EQ(c.tripCount(), 1u);
+}
+
+TEST(Converter, OverlappingTripsKeepLatestRestart)
+{
+    Converter c = Converter::rackInverter(1000.0);
+    c.trip(10.0, 100.0);
+    c.trip(20.0, 10.0); // shorter trip must not shorten the outage
+    EXPECT_FALSE(c.availableAt(100.0));
+    EXPECT_TRUE(c.availableAt(110.0));
+    EXPECT_EQ(c.tripCount(), 2u);
+}
+
+TEST(Converter, TripNegativeDelayFatal)
+{
+    Converter c = Converter::rackInverter(1000.0);
+    EXPECT_EXIT(c.trip(0.0, -1.0), testing::ExitedWithCode(1),
+                "delay");
+}
+
 TEST(Converter, InvalidParamsRejected)
 {
     ConverterParams p;

@@ -52,6 +52,30 @@ TEST(Topology, FineGrainedShavingSupport)
     EXPECT_TRUE(heb.supportsFineGrainedShaving());
 }
 
+TEST(Topology, BufferStageTripGatesAvailability)
+{
+    Topology t(TopologyKind::HebHybrid, HebDeployment::RackLevel,
+               1000.0);
+    EXPECT_TRUE(t.bufferStageAvailable(0.0));
+    t.tripBufferStage(50.0, 120.0);
+    EXPECT_FALSE(t.bufferStageAvailable(100.0));
+    EXPECT_TRUE(t.bufferStageAvailable(170.0));
+    EXPECT_EQ(t.bufferStageTrips(), 1u);
+}
+
+TEST(Topology, BufferStageTripPerKind)
+{
+    // Every delivery architecture exposes a trippable buffer stage.
+    for (TopologyKind kind :
+         {TopologyKind::Centralized, TopologyKind::Distributed,
+          TopologyKind::HebHybrid}) {
+        Topology t(kind, HebDeployment::ClusterLevel, 1000.0);
+        t.tripBufferStage(0.0, 60.0);
+        EXPECT_FALSE(t.bufferStageAvailable(30.0));
+        EXPECT_TRUE(t.bufferStageAvailable(60.0));
+    }
+}
+
 TEST(Topology, EnergySharingMatrix)
 {
     // Per-server batteries cannot share; rack-level HEB pools are

@@ -1,0 +1,127 @@
+/** @file Monte-Carlo availability analysis under fault injection. */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+#include "util/thread_pool.h"
+
+namespace heb {
+namespace {
+
+SimConfig
+faultyConfig()
+{
+    SimConfig cfg;
+    cfg.durationSeconds = 2.0 * 3600.0;
+    cfg.faultSeed = 7;
+    cfg.degradationPolicy = true;
+    // Compress a stressed week into the two simulated hours so every
+    // short scenario sees several fault kinds.
+    cfg.faultPlan.converterTripsPerDay = 24.0;
+    cfg.faultPlan.atsFailuresPerDay = 24.0;
+    cfg.faultPlan.weakCellsPerDay = 12.0;
+    cfg.faultPlan.sensorDropoutsPerDay = 12.0;
+    cfg.faultPlan.sensorJitterEventsPerDay = 12.0;
+    return cfg;
+}
+
+TEST(Availability, SweepShapesAndAggregates)
+{
+    auto rows = availabilitySweep(
+        faultyConfig(), "TS",
+        {SchemeKind::BaOnly, SchemeKind::HebD}, 4);
+    ASSERT_EQ(rows.size(), 2u);
+    for (const AvailabilitySummary &s : rows) {
+        EXPECT_EQ(s.scenarios, 4u);
+        ASSERT_EQ(s.ensWhPerScenario.size(), 4u);
+        EXPECT_GE(s.availability, 0.0);
+        EXPECT_LE(s.availability, 1.0);
+        EXPECT_GE(s.maxEnsWh, s.p95EnsWh);
+        EXPECT_GE(s.p95EnsWh, s.p50EnsWh);
+        EXPECT_GE(s.maxEnsWh, s.meanEnsWh);
+        // The dense plan must actually exercise the injector.
+        EXPECT_GT(s.meanFaultsApplied, 0.0);
+    }
+    EXPECT_EQ(rows[0].scheme, "BaOnly");
+    EXPECT_EQ(rows[1].scheme, "HEB-D");
+}
+
+TEST(Availability, HebServesMoreEnergyThanBatteryOnly)
+{
+    // The acceptance claim: under the same fault histories, the
+    // hybrid scheme's SC branch covers the ATS gaps and converter
+    // trips that rate-cap the battery-only bank, so HEB loses
+    // strictly less energy.
+    auto rows = availabilitySweep(
+        faultyConfig(), "TS",
+        {SchemeKind::BaOnly, SchemeKind::HebD}, 12);
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_GT(rows[0].meanEnsWh, 0.0);
+    EXPECT_LT(rows[1].meanEnsWh, rows[0].meanEnsWh);
+    EXPECT_GE(rows[1].availability, rows[0].availability);
+}
+
+TEST(Availability, SameFaultHistoriesAcrossSchemes)
+{
+    auto rows = availabilitySweep(
+        faultyConfig(), "TS",
+        {SchemeKind::BaOnly, SchemeKind::ScFirst}, 3);
+    ASSERT_EQ(rows.size(), 2u);
+    // Scenario k draws the same fault plan for every scheme.
+    EXPECT_EQ(rows[0].meanFaultsApplied, rows[1].meanFaultsApplied);
+}
+
+TEST(Availability, ParallelSweepIsByteIdenticalToSerial)
+{
+    SimConfig cfg = faultyConfig();
+    std::vector<SchemeKind> schemes = {SchemeKind::BaOnly,
+                                       SchemeKind::HebD};
+
+    ThreadPool::configureGlobal(1);
+    auto serial = availabilitySweep(cfg, "TS", schemes, 6);
+    std::string serial_json = availabilityToJson(serial, cfg, "TS");
+    ThreadPool::configureGlobal(4);
+    auto parallel = availabilitySweep(cfg, "TS", schemes, 6);
+    std::string parallel_json =
+        availabilityToJson(parallel, cfg, "TS");
+    ThreadPool::configureGlobal(0); // restore default sizing
+
+    // Byte-for-byte: the rendered artifact, not just the numbers.
+    EXPECT_EQ(serial_json, parallel_json);
+}
+
+TEST(Availability, JsonIsWellFormedAndNamesSchemes)
+{
+    SimConfig cfg = faultyConfig();
+    auto rows = availabilitySweep(cfg, "WC",
+                                  {SchemeKind::ScFirst}, 2);
+    std::string json = availabilityToJson(rows, cfg, "WC");
+    EXPECT_NE(json.find("\"experiment\": \"availability\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"workload\": \"WC\""), std::string::npos);
+    EXPECT_NE(json.find("\"scheme\": \"SCFirst\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"availability\""), std::string::npos);
+}
+
+TEST(Availability, WriteJsonHandlesBadPathGracefully)
+{
+    SimConfig cfg = faultyConfig();
+    std::vector<AvailabilitySummary> rows(1);
+    rows[0].scheme = "BaOnly";
+    EXPECT_FALSE(writeAvailabilityJson(
+        "/nonexistent/heb_availability.json", rows, cfg, "TS"));
+}
+
+TEST(Availability, EmptyInputsFatal)
+{
+    EXPECT_EXIT(
+        availabilitySweep(faultyConfig(), "TS", {}, 4),
+        testing::ExitedWithCode(1), "need");
+    EXPECT_EXIT(availabilitySweep(faultyConfig(), "TS",
+                                  {SchemeKind::HebD}, 0),
+                testing::ExitedWithCode(1), "need");
+}
+
+} // namespace
+} // namespace heb

@@ -87,5 +87,28 @@ TEST(Csv, MissingFileFatal)
                 testing::ExitedWithCode(1), "cannot open");
 }
 
+TEST(Csv, WriterBadPathIsNonFatal)
+{
+    // An unwritable destination must not kill the process (a bad
+    // --trace-out used to fatal() mid-sweep); the writer goes inert
+    // instead.
+    CsvWriter w("/nonexistent/heb_csv_out.csv");
+    EXPECT_FALSE(w.ok());
+    w.header({"a", "b"});
+    w.row({1.0, 2.0});
+    w.rowStrings({"x", "y"});
+    EXPECT_FALSE(w.ok());
+    EXPECT_EQ(w.path(), "/nonexistent/heb_csv_out.csv");
+}
+
+TEST_F(CsvTest, WriterReportsOkOnGoodPath)
+{
+    CsvWriter w(path_);
+    EXPECT_TRUE(w.ok());
+    w.header({"a"});
+    w.row({1.0});
+    EXPECT_TRUE(w.ok());
+}
+
 } // namespace
 } // namespace heb

@@ -78,6 +78,71 @@ TEST(Rng, ExponentialPositive)
                 "rate");
 }
 
+TEST(SplitMix64, KnownAnswerVector)
+{
+    // Reference outputs of the published splitmix64 algorithm for
+    // seed 0 — a cross-platform bit-exactness contract, not just
+    // self-consistency.
+    SplitMix64 s(0);
+    EXPECT_EQ(s.next(), 0xE220A8397B1DCDAFULL);
+    EXPECT_EQ(s.next(), 0x6E789E6AA1B965F4ULL);
+    EXPECT_EQ(s.next(), 0x06C45D188009454FULL);
+}
+
+TEST(SplitMix64, NextDoubleInUnitInterval)
+{
+    SplitMix64 s(99);
+    for (int i = 0; i < 1000; ++i) {
+        double v = s.nextDouble();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(SplitMix64, ForkIsIndependentAndPure)
+{
+    SplitMix64 parent(42);
+    SplitMix64 a = parent.fork(1);
+    SplitMix64 b = parent.fork(2);
+    SplitMix64 a2 = parent.fork(1);
+    // Same label -> same stream; different labels -> different.
+    EXPECT_EQ(a.next(), a2.next());
+    EXPECT_NE(a.next(), b.next());
+    // fork() leaves the parent untouched.
+    SplitMix64 fresh(42);
+    EXPECT_EQ(parent.next(), fresh.next());
+}
+
+TEST(SplitMix64, ExponentialPositiveAndRateScales)
+{
+    SplitMix64 a(7), b(7);
+    double sum_fast = 0.0, sum_slow = 0.0;
+    for (int i = 0; i < 2000; ++i) {
+        double fast = a.exponential(1.0);
+        double slow = b.exponential(0.1);
+        EXPECT_GT(fast, 0.0);
+        sum_fast += fast;
+        sum_slow += slow;
+    }
+    // Mean of Exp(rate) is 1/rate.
+    EXPECT_NEAR(sum_fast / 2000.0, 1.0, 0.15);
+    EXPECT_NEAR(sum_slow / 2000.0, 10.0, 1.5);
+}
+
+TEST(SplitMix64, ExponentialZeroRateFatal)
+{
+    SplitMix64 s(1);
+    EXPECT_EXIT(s.exponential(0.0), testing::ExitedWithCode(1),
+                "rate");
+}
+
+TEST(SplitMix64, BelowStaysInRange)
+{
+    SplitMix64 s(3);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(s.below(17), 17u);
+}
+
 TEST(Rng, LogNormalMeanApproximation)
 {
     Rng r(13);
