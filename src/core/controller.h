@@ -77,6 +77,26 @@ class HebController
     /** Slot length (s). */
     double slotSeconds() const { return slotSeconds_; }
 
+    /**
+     * The next slot-boundary time: tick() rolls the slot over at the
+     * first sample at or after this instant. An event horizon for
+     * the fast-forward engine (meaningful once the first tick has
+     * started the slot clock).
+     */
+    double nextSlotBoundary() const
+    {
+        return slotStart_ + slotSeconds_;
+    }
+
+    /**
+     * Start time of the slot in force. Lets the fast-forward kernel
+     * re-check the exact dense rollover predicate
+     * (now - slotStart >= slotSeconds) at its interval endpoint,
+     * which is not always FP-equivalent to comparing against
+     * nextSlotBoundary()'s rounded sum.
+     */
+    double slotStartSeconds() const { return slotStart_; }
+
   private:
     /** Close the current slot and open the next one. */
     void rolloverSlot(double now_seconds, double budget_w);

@@ -413,4 +413,23 @@ Battery::rest(double dt_seconds)
     y2_ *= keep;
 }
 
+void
+Battery::advanceQuiescent(std::size_t ticks, double dt_seconds)
+{
+    // Quiescent macro-tick: each rest() step is already the exact
+    // closed-form KiBaM solution for a zero-current interval —
+    // stepWells() applies the Manwell–McGowan two-well exponentials
+    // with the e^{-kt}/expm1 pair memoized on the fixed tick length,
+    // so iterating costs only a handful of multiply-adds per step.
+    // Collapsing the n steps into one analytic e^{-nkt} advance
+    // would change the rounding of every intermediate well state
+    // (and the thermal relaxation and self-discharge interleave),
+    // so the loop is kept to preserve the bitwise contract; the
+    // derivation and the FP argument live in DESIGN.md §10.
+    if (dt_seconds <= 0.0)
+        return;
+    for (std::size_t i = 0; i < ticks; ++i)
+        rest(dt_seconds);
+}
+
 } // namespace heb

@@ -38,6 +38,8 @@ class Battery : public EnergyStorageDevice
     double discharge(double watts, double dt_seconds) override;
     double charge(double watts, double dt_seconds) override;
     void rest(double dt_seconds) override;
+    void advanceQuiescent(std::size_t ticks,
+                          double dt_seconds) override;
 
     double usableEnergyWh() const override;
     double capacityWh() const override { return params_.capacityWh(); }

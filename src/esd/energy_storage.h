@@ -11,6 +11,7 @@
 
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 namespace heb {
@@ -63,6 +64,22 @@ class EnergyStorageDevice
 
     /** Let the device idle (self-discharge / recovery) for dt. */
     virtual void rest(double dt_seconds) = 0;
+
+    /**
+     * Advance through @p ticks idle steps of @p dt_seconds each —
+     * the fast-forward engine's quiescent macro-tick. The contract
+     * is bitwise: the final state must be exactly what @p ticks
+     * successive rest(dt_seconds) calls would produce. Overrides may
+     * shortcut (memoized decay factors, settled-state early-outs)
+     * only when the shortcut reproduces the iterated floating-point
+     * state to the last ulp.
+     */
+    virtual void advanceQuiescent(std::size_t ticks,
+                                  double dt_seconds)
+    {
+        for (std::size_t i = 0; i < ticks; ++i)
+            rest(dt_seconds);
+    }
 
     /**
      * Energy (Wh) the device could still deliver right now given its

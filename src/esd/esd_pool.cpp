@@ -6,6 +6,35 @@
 
 namespace heb {
 
+namespace {
+
+/**
+ * Per-call scratch for the proportional power split: inline storage
+ * for typical pool sizes, heap fallback for oversized banks. Avoids
+ * a vector allocation on the per-tick charge/discharge paths.
+ */
+class SplitBuffer
+{
+  public:
+    explicit SplitBuffer(std::size_t count)
+    {
+        if (count > kInline)
+            heap_.resize(count);
+    }
+
+    double *data()
+    {
+        return heap_.empty() ? inline_ : heap_.data();
+    }
+
+  private:
+    static constexpr std::size_t kInline = 8;
+    double inline_[kInline];
+    std::vector<double> heap_;
+};
+
+} // namespace
+
 EsdPool::EsdPool(std::string name)
     : name_(std::move(name)),
       dischargeWhMetric_(obs::MetricsRegistry::global().counter(
@@ -47,8 +76,10 @@ EsdPool::discharge(double watts, double dt_seconds)
     if (devices_.empty())
         return 0.0;
     // Proportional-to-capability split: each member can always honour
-    // its share because share_i <= max_i.
-    std::vector<double> caps(devices_.size());
+    // its share because share_i <= max_i. The split buffer lives on
+    // the stack for typical pool sizes — this runs every tick.
+    SplitBuffer split(devices_.size());
+    double *caps = split.data();
     double total_cap = 0.0;
     for (std::size_t i = 0; i < devices_.size(); ++i) {
         caps[i] = devices_[i]->maxDischargePowerW(dt_seconds);
@@ -81,7 +112,8 @@ EsdPool::charge(double watts, double dt_seconds)
 {
     if (devices_.empty())
         return 0.0;
-    std::vector<double> caps(devices_.size());
+    SplitBuffer split(devices_.size());
+    double *caps = split.data();
     double total_cap = 0.0;
     for (std::size_t i = 0; i < devices_.size(); ++i) {
         caps[i] = devices_[i]->maxChargePowerW(dt_seconds);
@@ -110,6 +142,16 @@ EsdPool::rest(double dt_seconds)
 {
     for (auto &d : devices_)
         d->rest(dt_seconds);
+}
+
+void
+EsdPool::advanceQuiescent(std::size_t ticks, double dt_seconds)
+{
+    // Members are independent, so device-major order produces the
+    // same per-device state as the tick-major interleaving of n
+    // rest() fan-outs — and lets each member use its own shortcut.
+    for (auto &d : devices_)
+        d->advanceQuiescent(ticks, dt_seconds);
 }
 
 double

@@ -245,9 +245,32 @@ Supercapacitor::rest(double dt_seconds)
 {
     if (dt_seconds <= 0.0)
         return;
-    double keep = std::exp(-params_.selfDischargePerHour *
-                           secondsToHours(dt_seconds));
-    voltage_ *= keep;
+    if (dt_seconds != restDtSeconds_) {
+        restDtSeconds_ = dt_seconds;
+        restKeep_ = std::exp(-params_.selfDischargePerHour *
+                             secondsToHours(dt_seconds));
+    }
+    voltage_ *= restKeep_;
+}
+
+void
+Supercapacitor::advanceQuiescent(std::size_t ticks, double dt_seconds)
+{
+    // Float-charge / idle macro-tick: n rest() steps each multiply
+    // the voltage by the same memoized keep factor. The loop keeps
+    // the per-step rounding of the dense path (a pow() shortcut
+    // would not be bitwise-identical), but skips the per-call
+    // dispatch and dt checks.
+    if (dt_seconds <= 0.0 || ticks == 0)
+        return;
+    if (dt_seconds != restDtSeconds_) {
+        restDtSeconds_ = dt_seconds;
+        restKeep_ = std::exp(-params_.selfDischargePerHour *
+                             secondsToHours(dt_seconds));
+    }
+    double keep = restKeep_;
+    for (std::size_t i = 0; i < ticks; ++i)
+        voltage_ *= keep;
 }
 
 } // namespace heb

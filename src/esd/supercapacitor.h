@@ -30,6 +30,8 @@ class Supercapacitor : public EnergyStorageDevice
     double discharge(double watts, double dt_seconds) override;
     double charge(double watts, double dt_seconds) override;
     void rest(double dt_seconds) override;
+    void advanceQuiescent(std::size_t ticks,
+                          double dt_seconds) override;
 
     double usableEnergyWh() const override;
     double capacityWh() const override { return params_.capacityWh(); }
@@ -76,6 +78,12 @@ class Supercapacitor : public EnergyStorageDevice
     double healthResistanceFactor_ = 1.0;
     int lastDirection_ = 0;
     EsdCounters counters_;
+
+    // Memoized self-discharge keep factor for rest(): simulations
+    // call with one fixed tick length, so the exp is computed once
+    // per distinct dt. Mutable cache only; never observable state.
+    mutable double restDtSeconds_ = -1.0;
+    mutable double restKeep_ = 1.0;
 };
 
 } // namespace heb

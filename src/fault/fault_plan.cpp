@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <limits>
 
 #include "util/logging.h"
 #include "util/rng.h"
@@ -164,6 +165,26 @@ FaultPlan::ofKind(FaultKind kind) const
             out.push_back(ev);
     }
     return out;
+}
+
+double
+FaultPlan::nextEventAfter(double now_seconds) const
+{
+    double next = std::numeric_limits<double>::infinity();
+    for (const FaultEvent &ev : events_) {
+        if (ev.startSeconds > now_seconds) {
+            next = std::min(next, ev.startSeconds);
+            // Events are start-ordered: later starts (and their even
+            // later window ends) cannot improve the minimum.
+            break;
+        }
+        if (ev.durationSeconds > 0.0) {
+            double end = ev.startSeconds + ev.durationSeconds;
+            if (end > now_seconds)
+                next = std::min(next, end);
+        }
+    }
+    return next;
 }
 
 void

@@ -146,6 +146,15 @@ class FaultPlan
     /** Events of one kind, in time order. */
     std::vector<FaultEvent> ofKind(FaultKind kind) const;
 
+    /**
+     * Event-horizon query for the fast-forward engine: the earliest
+     * event edge strictly after @p now_seconds — an onset for every
+     * kind, plus the window end (start + duration) for windowed
+     * kinds, since sensor/trip windows clearing also changes tick
+     * behavior. Returns +infinity when nothing is left.
+     */
+    double nextEventAfter(double now_seconds) const;
+
   private:
     /** Stable sort by start time after mutation. */
     void sortByStart();

@@ -40,6 +40,9 @@ schemaFor(TraceEventKind kind)
          {"load_w", "estimate_s", "sc_soc", "ba_soc"}},
         {"shed", {"unserved_w", "servers_shed", "online_after"}},
         {"restart", {"online_after"}},
+        {"quiescent",
+         {"ticks", "demand_w", "supply_w", "source_wh",
+          "sc_charge_wh", "ba_charge_wh"}},
     }};
     auto index = static_cast<std::size_t>(kind);
     if (index >= schemas.size())

@@ -48,10 +48,12 @@ enum class TraceEventKind : std::uint8_t {
     Shed,
     /** A shed server was restarted on recovery. */
     Restart,
+    /** A quiescent fast-forward macro-tick (summarizes many ticks). */
+    Quiescent,
 };
 
 /** Number of distinct event kinds. */
-constexpr std::size_t kTraceEventKinds = 7;
+constexpr std::size_t kTraceEventKinds = 8;
 
 /** Maximum payload fields an event carries. */
 constexpr std::size_t kTraceEventFieldMax = 6;

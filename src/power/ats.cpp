@@ -1,6 +1,7 @@
 #include "power/ats.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/logging.h"
 
@@ -49,6 +50,25 @@ Ats::connectedAt(double now_seconds) const
             return Input::None;
     }
     return target_;
+}
+
+double
+Ats::nextChangeTime(double now_seconds) const
+{
+    double next = std::numeric_limits<double>::infinity();
+    if (settleTime_ > now_seconds)
+        next = std::min(next, settleTime_);
+    for (const auto &[start, end] : forcedWindows_) {
+        if (start > now_seconds)
+            next = std::min(next, start);
+        if (end > now_seconds)
+            next = std::min(next, end);
+    }
+    const PowerSource *src =
+        target_ == Input::Alternate ? alternate_ : primary_;
+    if (src)
+        next = std::min(next, src->nextChangeTime(now_seconds));
+    return next;
 }
 
 double

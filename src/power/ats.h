@@ -54,6 +54,15 @@ class Ats
     /** Power available through the ATS at @p now_seconds. */
     double availablePowerW(double now_seconds) const;
 
+    /**
+     * Event-horizon query: the earliest time after @p now_seconds at
+     * which availablePowerW() may change — the selected source's own
+     * next change, the end of the settle window, or a forced-open
+     * window edge. Mirrors PowerSource::nextChangeTime for the
+     * simulator's fast-forward engine.
+     */
+    double nextChangeTime(double now_seconds) const;
+
     /** The currently-commanded input. */
     Input commanded() const { return target_; }
 

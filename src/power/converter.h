@@ -83,6 +83,12 @@ class Converter
         return now_seconds >= restoreTime_;
     }
 
+    /**
+     * When the latest trip restores (s). availableAt() flips exactly
+     * here; the fast-forward engine treats it as an event horizon.
+     */
+    double restoreTime() const { return restoreTime_; }
+
     /** Number of trip events recorded. */
     unsigned long tripCount() const { return trips_; }
 

@@ -32,6 +32,18 @@ class PowerSource
      */
     virtual void recordDraw(double time_seconds, double watts,
                             double dt_seconds) = 0;
+
+    /**
+     * Event-horizon query for the fast-forward engine: the earliest
+     * time T > @p time_seconds at which availablePowerW() may return
+     * a different value. On [time_seconds, T) the supply must be
+     * bitwise constant. Returning @p time_seconds declares "no
+     * guarantee" and keeps the simulator dense — the safe default.
+     */
+    virtual double nextChangeTime(double time_seconds) const
+    {
+        return time_seconds;
+    }
 };
 
 } // namespace heb

@@ -91,6 +91,19 @@ SolarArray::recordDraw(double, double watts, double dt_seconds)
 }
 
 double
+SolarArray::nextChangeTime(double time_seconds) const
+{
+    // The trace is sampled at the discretization step and valueAt()
+    // interpolates between samples, so the output can move at every
+    // sample boundary. With the step equal to the simulation tick
+    // this keeps solar runs on the dense path — which is what the
+    // cloud transients need anyway.
+    double step = trace_.stepSeconds();
+    auto idx = static_cast<std::uint64_t>(time_seconds / step);
+    return static_cast<double>(idx + 1) * step;
+}
+
+double
 SolarArray::totalGenerationWh() const
 {
     return trace_.integralWattHours();

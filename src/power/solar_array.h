@@ -72,6 +72,8 @@ class SolarArray : public PowerSource
     void recordDraw(double time_seconds, double watts,
                     double dt_seconds) override;
 
+    double nextChangeTime(double time_seconds) const override;
+
     /** Total energy the array generates over the trace (Wh). */
     double totalGenerationWh() const;
 

@@ -89,6 +89,16 @@ class Topology
     /** True when the buffer-path converter is up at @p now_seconds. */
     bool bufferStageAvailable(double now_seconds) const;
 
+    /**
+     * When the buffer-path converter's latest trip restores (s);
+     * bufferStageAvailable() flips exactly here. An event horizon
+     * for the fast-forward engine.
+     */
+    double bufferStageRestoreTime() const
+    {
+        return bufferStage().restoreTime();
+    }
+
     /** Number of buffer-stage trips recorded. */
     unsigned long bufferStageTrips() const;
 

@@ -1,6 +1,7 @@
 #include "power/utility_grid.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/logging.h"
 #include "util/units.h"
@@ -31,6 +32,21 @@ UtilityGrid::addOutage(double start_seconds, double duration_seconds)
         fatal("UtilityGrid::addOutage duration must be positive");
     outages_.push_back(
         Outage{start_seconds, start_seconds + duration_seconds});
+}
+
+double
+UtilityGrid::nextChangeTime(double time_seconds) const
+{
+    // The budget is constant between outage edges; the next edge is
+    // the nearest future outage start or end.
+    double next = std::numeric_limits<double>::infinity();
+    for (const Outage &o : outages_) {
+        if (o.start > time_seconds)
+            next = std::min(next, o.start);
+        if (o.end > time_seconds)
+            next = std::min(next, o.end);
+    }
+    return next;
 }
 
 bool

@@ -38,6 +38,8 @@ class UtilityGrid : public PowerSource
     void recordDraw(double time_seconds, double watts,
                     double dt_seconds) override;
 
+    double nextChangeTime(double time_seconds) const override;
+
     /** Subscribed budget (W). */
     double budgetW() const { return budget_; }
 

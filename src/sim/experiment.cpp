@@ -1,6 +1,8 @@
 #include "sim/experiment.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <fstream>
 
 #include "core/profiler.h"
@@ -219,9 +221,12 @@ availabilitySweep(const SimConfig &base, const std::string &workload,
                           scheme_cfg, seeded.get());
         });
 
+    // Mirror the simulator's round-up: a trailing partial interval
+    // is simulated as one full tick, so it counts toward the
+    // availability denominator too.
     double total_ticks =
         base.tickSeconds > 0.0
-            ? std::floor(base.durationSeconds / base.tickSeconds)
+            ? std::ceil(base.durationSeconds / base.tickSeconds)
             : 0.0;
 
     std::vector<AvailabilitySummary> rows;
@@ -266,6 +271,151 @@ availabilitySweep(const SimConfig &base, const std::string &workload,
         rows.push_back(std::move(row));
     }
     return rows;
+}
+
+namespace {
+
+/**
+ * Round-trip-exact number emission for the equivalence witness:
+ * %.17g prints every distinct double distinctly (the %.10g of the
+ * summary artifacts can collapse one-ulp differences, which is
+ * precisely what simResultToJson exists to detect). Non-finite
+ * values become null, matching obs::appendJsonNumber.
+ */
+void
+appendExactNumber(std::string &out, double v)
+{
+    if (!std::isfinite(v)) {
+        out += "null";
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out += buf;
+}
+
+/** Emit `"key": [s0, s1, ...]` for a full TimeSeries, %.17g. */
+void
+appendSeries(std::string &out, const char *key,
+             const TimeSeries &series)
+{
+    out += ",\n  \"";
+    out += key;
+    out += "\": {\"step_s\": ";
+    appendExactNumber(out, series.stepSeconds());
+    out += ", \"samples\": [";
+    const std::vector<double> &samples = series.samples();
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        if (i)
+            out += ",";
+        appendExactNumber(out, samples[i]);
+    }
+    out += "]}";
+}
+
+/** Emit `"key": <n>` for integral counters (exact — no rounding). */
+void
+appendCount(std::string &out, const char *key, unsigned long v)
+{
+    out += ",\n  \"";
+    out += key;
+    out += "\": ";
+    out += std::to_string(v);
+}
+
+/** Emit `"key": <v>` with the exact formatter. */
+void
+appendField(std::string &out, const char *key, double v)
+{
+    out += ",\n  \"";
+    out += key;
+    out += "\": ";
+    appendExactNumber(out, v);
+}
+
+} // namespace
+
+std::string
+simResultToJson(const SimResult &result)
+{
+    std::string out;
+    out += "{\n  \"scheme\": ";
+    obs::appendJsonString(out, result.schemeName);
+    out += ",\n  \"workload\": ";
+    obs::appendJsonString(out, result.workloadName);
+    out += ",\n  \"peak_class\": ";
+    obs::appendJsonString(
+        out, peakClassName(result.workloadPeakClass));
+    appendField(out, "duration_seconds", result.durationSeconds);
+
+    appendField(out, "energy_efficiency", result.energyEfficiency);
+    appendField(out, "effective_efficiency",
+                result.effectiveEfficiency);
+    appendField(out, "downtime_seconds", result.downtimeSeconds);
+    appendField(out, "battery_lifetime_years",
+                result.batteryLifetimeYears);
+    appendField(out, "reu", result.reu);
+
+    appendField(out, "energy_not_served_wh",
+                result.energyNotServedWh);
+    appendCount(out, "shortfall_ticks", result.shortfallTicks);
+    appendCount(out, "server_crash_events",
+                result.serverCrashEvents);
+    appendCount(out, "graceful_shed_events",
+                result.gracefulShedEvents);
+    appendCount(out, "fault_events_applied",
+                result.faultEventsApplied);
+    appendCount(out, "degradation_actions",
+                result.degradationActions);
+    out += ",\n  \"fault_log\": [";
+    for (std::size_t i = 0; i < result.faultLog.size(); ++i) {
+        if (i)
+            out += ", ";
+        obs::appendJsonString(out, result.faultLog[i]);
+    }
+    out += "]";
+
+    appendField(out, "source_to_load_wh",
+                result.ledger.sourceToLoadWh);
+    appendField(out, "source_to_sc_wh", result.ledger.sourceToScWh);
+    appendField(out, "source_to_battery_wh",
+                result.ledger.sourceToBatteryWh);
+    appendField(out, "sc_to_load_wh", result.ledger.scToLoadWh);
+    appendField(out, "battery_to_load_wh",
+                result.ledger.batteryToLoadWh);
+    appendField(out, "charge_conversion_loss_wh",
+                result.ledger.chargeConversionLossWh);
+    appendField(out, "discharge_conversion_loss_wh",
+                result.ledger.dischargeConversionLossWh);
+    appendField(out, "unserved_wh", result.ledger.unservedWh);
+    appendField(out, "spilled_source_wh",
+                result.ledger.spilledSourceWh);
+    appendField(out, "boot_waste_wh", result.ledger.bootWasteWh);
+
+    appendField(out, "battery_weighted_ah",
+                result.batteryWeightedAh);
+    appendField(out, "battery_discharge_ah",
+                result.batteryDischargeAh);
+    appendField(out, "sc_discharge_ah", result.scDischargeAh);
+    appendCount(out, "server_on_off_cycles",
+                result.serverOnOffCycles);
+    appendField(out, "perf_degradation_server_seconds",
+                result.perfDegradationServerSeconds);
+    appendCount(out, "switch_actuations", result.switchActuations);
+    appendField(out, "switch_wear_fraction",
+                result.switchWearFraction);
+    appendCount(out, "completed_slots", result.completedSlots);
+    appendField(out, "peak_utility_draw_w",
+                result.peakUtilityDrawW);
+
+    appendSeries(out, "demand_w", result.demandW);
+    appendSeries(out, "supply_w", result.supplyW);
+    appendSeries(out, "unserved_w", result.unservedW);
+    appendSeries(out, "sc_soc", result.scSoc);
+    appendSeries(out, "ba_soc", result.baSoc);
+    appendSeries(out, "r_lambda_per_slot", result.rLambdaPerSlot);
+    out += "\n}\n";
+    return out;
 }
 
 std::string

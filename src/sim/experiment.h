@@ -169,6 +169,16 @@ availabilitySweep(const SimConfig &base, const std::string &workload,
                   const HebSchemeConfig &scheme_cfg = {});
 
 /**
+ * Render one SimResult as a deterministic JSON document: stable key
+ * order and round-trip-exact (%.17g) numbers, including the full
+ * per-tick demand/supply/unserved series and per-slot SoC series.
+ * Two results serialize byte-identically iff every field — down to
+ * the last ulp of every tick sample — matches, which is the witness
+ * the fast-forward equivalence tests and bench compare.
+ */
+std::string simResultToJson(const SimResult &result);
+
+/**
  * Render availability summaries as a deterministic JSON document
  * (stable key order, %.10g numbers) — byte-identical for identical
  * summaries, which the determinism test and CI artifact rely on.

@@ -37,17 +37,33 @@ FleetSimulator::run(const std::vector<RackSpec> &racks)
                   "' missing workload or scheme");
     }
 
+    // One shared fault plan for every rack: generation is pure in
+    // (params, duration, seed), so per-domain regeneration produced
+    // n identical copies of the same schedule.
+    fault::FaultPlan plan;
+    const fault::FaultPlan *shared_plan = nullptr;
+    if (config_.faultInjection) {
+        plan = fault::FaultPlan::generate(config_.faultPlan,
+                                          config_.durationSeconds,
+                                          config_.faultSeed);
+        shared_plan = &plan;
+    }
+
     std::vector<std::unique_ptr<RackDomain>> domains;
     domains.reserve(racks.size());
     for (const RackSpec &spec : racks) {
         domains.push_back(std::make_unique<RackDomain>(
-            config_, *spec.workload, *spec.scheme, spec.name));
+            config_, *spec.workload, *spec.scheme, spec.name,
+            shared_plan));
     }
 
     const double dt = config_.tickSeconds;
     auto n = racks.size();
+    // Round up so a trailing partial tick is simulated, not dropped.
     auto ticks =
         static_cast<std::size_t>(config_.durationSeconds / dt);
+    if (static_cast<double>(ticks) * dt < config_.durationSeconds)
+        ++ticks;
 
     FleetResult result;
     std::vector<double> demand(n, 0.0);

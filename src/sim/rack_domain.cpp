@@ -71,7 +71,8 @@ buildBaBank(const SimConfig &config, bool hybrid)
 
 RackDomain::RackDomain(const SimConfig &config,
                        const Workload &workload,
-                       ManagementScheme &scheme, std::string name)
+                       ManagementScheme &scheme, std::string name,
+                       const fault::FaultPlan *shared_plan)
     : config_(config), workload_(workload), name_(std::move(name)),
       hybrid_(scheme.usesHybridBuffers()),
       scBank_(buildScBank(config, hybrid_)),
@@ -103,9 +104,11 @@ RackDomain::RackDomain(const SimConfig &config,
     }
     if (config_.faultInjection) {
         injector_ = std::make_unique<fault::FaultInjector>(
-            fault::FaultPlan::generate(config_.faultPlan,
-                                       config_.durationSeconds,
-                                       config_.faultSeed),
+            shared_plan
+                ? *shared_plan
+                : fault::FaultPlan::generate(config_.faultPlan,
+                                             config_.durationSeconds,
+                                             config_.faultSeed),
             config_.faultSeed);
     }
     if (config_.degradationPolicy) {
@@ -468,6 +471,204 @@ RackDomain::tick(double now_seconds, double supply_w)
     outcome.sourceDrawW = source_draw;
     outcome.unservedW = unserved;
     return outcome;
+}
+
+double
+RackDomain::nextEventHorizon(double now_seconds) const
+{
+    // Workload change-point first: a "no guarantee" answer (<= now)
+    // vetoes fast-forward outright.
+    double h =
+        workload_.nextChangeTime(now_seconds, config_.numServers);
+    if (h <= now_seconds)
+        return now_seconds;
+    if (injector_) {
+        h = std::min(h,
+                     injector_->plan().nextEventAfter(now_seconds));
+    }
+    h = std::min(h, controller_.nextSlotBoundary());
+    h = std::min(h, nextSocSample_);
+    double restore = topology_.bufferStageRestoreTime();
+    if (restore > now_seconds)
+        h = std::min(h, restore);
+    return h;
+}
+
+std::size_t
+RackDomain::fastForward(std::size_t max_ticks, double supply_w,
+                        PowerSource &draw_sink)
+{
+    HEB_PROF_SCOPE("sim.fast_forward");
+    const double dt = config_.tickSeconds;
+    const double dt_h = secondsToHours(dt);
+    const std::size_t n = max_ticks;
+    if (n == 0)
+        return 0;
+    // Tick times use the same FP product as the dense loop's `now`,
+    // so state stamped with a time gets identical bits.
+    const double t1 = static_cast<double>(tickIndex_) * dt;
+    const double t_last =
+        static_cast<double>(tickIndex_ + n - 1) * dt;
+
+    // ---- Quiescence predicate -----------------------------------
+    // Every check mirrors a branch the dense tick would take; any
+    // failure returns 0 with the domain exactly as the next dense
+    // tick expects (the mutations below are idempotent re-runs of
+    // what that tick will do itself).
+    if (cluster_.onlineCount() != config_.numServers)
+        return 0;
+    const Server::Frequency nominal =
+        workload_.peakClass() == PeakClass::Small
+            ? Server::Frequency::Low
+            : Server::Frequency::High;
+    for (std::size_t s = 0; s < config_.numServers; ++s) {
+        const Server &sv = cluster_.server(s);
+        if (!sv.isUp(t1) || sv.frequency() != nominal)
+            return 0;
+    }
+    // A jitter window advances the telemetry RNG every tick; the
+    // horizon keeps window edges out of the interval, so one check
+    // at t1 covers it.
+    if (injector_ && injector_->sensorJitterMagnitude(t1) > 0.0)
+        return 0;
+    // Re-verify the exact dense rollover predicate at the endpoint:
+    // `now - slotStart >= slotSeconds` is monotone in now, so the
+    // last tick failing it means every tick fails it.
+    if (t_last - controller_.slotStartSeconds() >=
+        controller_.slotSeconds()) {
+        return 0;
+    }
+
+    double demand = computeDemand(t1);
+    double soft_cap = supply_w;
+    if (config_.peakShavingTargetW > 0.0)
+        soft_cap = std::min(supply_w, config_.peakShavingTargetW);
+    if (demand > soft_cap)
+        return 0;
+
+    double measured = injector_
+                          ? injector_->filterTelemetry(t1, demand)
+                          : demand;
+    const SlotPlan &plan =
+        controller_.tick(t1, measured, supply_w);
+    std::size_t planned = std::min(
+        config_.numServers,
+        static_cast<std::size_t>(std::ceil(
+            plan.shedFraction *
+                static_cast<double>(config_.numServers) -
+            1e-9)));
+    if (planned != 0)
+        return 0;
+
+    // Endpoint guard: the workload promised bitwise constancy up to
+    // the horizon; verify it at the far end. Utilization profiles
+    // change phase at most once inside a wrongly-computed horizon,
+    // so equal endpoints imply equal interiors.
+    for (std::size_t s = 0; s < config_.numServers; ++s) {
+        if (workload_.utilization(s, t_last) != util_[s])
+            return 0;
+    }
+
+    // ---- Quiescent kernel ---------------------------------------
+    // One relay command replicates n same-feed commands (later ones
+    // are no-ops); IPDU sample logs are skipped (never read back).
+    for (std::size_t s = 0; s < config_.numServers; ++s)
+        switches_[s].command(SwitchFeed::Utility, t1);
+
+    const bool buffer_up = topology_.bufferStageAvailable(t1);
+    const double surplus = soft_cap - demand;
+    const double eff_c = topology_.chargePathEfficiency(surplus);
+
+    DomainMetrics *metrics =
+        obs::metricsOn() ? &DomainMetrics::get() : nullptr;
+    obs::TraceRecorder *tr = obs::activeTrace();
+
+    double interval_source_wh = 0.0;
+    double interval_sc_wh = 0.0;
+    double interval_ba_wh = 0.0;
+
+    if (!buffer_up) {
+        // Tripped converter: the banks idle the whole interval and
+        // every charge-side ledger add is += 0.0 (skippable). The
+        // devices advance their dynamics in one macro call.
+        scBank_->advanceQuiescent(n, dt);
+        baBank_->advanceQuiescent(n, dt);
+        for (std::size_t j = 0; j < n; ++j) {
+            double now =
+                static_cast<double>(tickIndex_ + j) * dt;
+            ledger_.sourceToLoadWh += demand * dt_h;
+            double source_draw = demand;
+            peakDrawW_ = std::max(peakDrawW_, source_draw);
+            demandSeries_.append(demand);
+            supplySeries_.append(supply_w);
+            unservedSeries_.append(0.0);
+            if (metrics) {
+                metrics->ticks.inc();
+                metrics->unservedWh.add(0.0);
+                metrics->demandW.record(demand);
+                metrics->sourceDrawW.record(source_draw);
+            }
+            draw_sink.recordDraw(now, source_draw, dt);
+            interval_source_wh += source_draw * dt_h;
+        }
+    } else {
+        for (std::size_t j = 0; j < n; ++j) {
+            double now =
+                static_cast<double>(tickIndex_ + j) * dt;
+            ledger_.sourceToLoadWh += demand * dt_h;
+            double source_draw = demand;
+
+            // Charge taper varies tick to tick, so dispatch stays
+            // per-tick — it is the whole macro-tick body.
+            ChargeResult charged;
+            if (hybrid_) {
+                charged = dispatchCharge(*scBank_, *baBank_,
+                                         surplus * eff_c,
+                                         plan.chargeScFirst, dt);
+            } else {
+                charged.baPowerW =
+                    baBank_->charge(surplus * eff_c, dt);
+                scBank_->rest(dt);
+            }
+            ledger_.sourceToScWh += charged.scPowerW * dt_h;
+            ledger_.sourceToBatteryWh += charged.baPowerW * dt_h;
+            double charge_draw =
+                eff_c > 0.0 ? charged.totalW() / eff_c : 0.0;
+            ledger_.chargeConversionLossWh +=
+                charge_draw * (1.0 - eff_c) * dt_h;
+            source_draw += charge_draw;
+
+            peakDrawW_ = std::max(peakDrawW_, source_draw);
+            demandSeries_.append(demand);
+            supplySeries_.append(supply_w);
+            unservedSeries_.append(0.0);
+            if (metrics) {
+                metrics->ticks.inc();
+                metrics->unservedWh.add(0.0);
+                metrics->demandW.record(demand);
+                metrics->sourceDrawW.record(source_draw);
+            }
+            draw_sink.recordDraw(now, source_draw, dt);
+            interval_source_wh += source_draw * dt_h;
+            interval_sc_wh += charged.scPowerW * dt_h;
+            interval_ba_wh += charged.baPowerW * dt_h;
+        }
+    }
+
+    // LRU bookkeeping: the last touch wins, so one touch at the
+    // interval end replicates n per-tick touches.
+    for (std::size_t s = 0; s < config_.numServers; ++s)
+        cluster_.server(s).touch(t_last, util_[s]);
+    plannedOffline_ = 0;
+    tickIndex_ += n;
+
+    if (tr) {
+        tr->record(obs::TraceEventKind::Quiescent, t1,
+                   {static_cast<double>(n), demand, supply_w,
+                    interval_source_wh, interval_sc_wh,
+                    interval_ba_wh});
+    }
+    return n;
 }
 
 void

@@ -23,6 +23,7 @@
 #include "esd/esd_pool.h"
 #include "fault/fault_injector.h"
 #include "power/ipdu.h"
+#include "power/power_source.h"
 #include "power/power_switch.h"
 #include "power/topology.h"
 #include "sim/sim_config.h"
@@ -49,13 +50,23 @@ class RackDomain
     };
 
     /**
-     * @param config    Rig parameters (banks, servers, slot length).
-     * @param workload  Demand generator (not owned).
-     * @param scheme    Management policy (not owned).
-     * @param name      Domain label for logs/results.
+     * @param config       Rig parameters (banks, servers, slot
+     *                     length).
+     * @param workload     Demand generator (not owned).
+     * @param scheme       Management policy (not owned).
+     * @param name         Domain label for logs/results.
+     * @param shared_plan  Pre-generated fault plan to install
+     *                     (copied) instead of regenerating it from
+     *                     (faultPlan, duration, faultSeed); null
+     *                     regenerates. Generation is pure, so both
+     *                     paths yield the same schedule — sharing
+     *                     just avoids redundant work when the caller
+     *                     already built the plan (e.g. for ATS
+     *                     forced-open wiring).
      */
     RackDomain(const SimConfig &config, const Workload &workload,
-               ManagementScheme &scheme, std::string name);
+               ManagementScheme &scheme, std::string name,
+               const fault::FaultPlan *shared_plan = nullptr);
 
     /**
      * Compute (and cache) this tick's wall demand. Must be called
@@ -66,6 +77,40 @@ class RackDomain
 
     /** Advance one tick with @p supply_w of budget available. */
     TickOutcome tick(double now_seconds, double supply_w);
+
+    /**
+     * Event-horizon query for the fast-forward engine: the earliest
+     * time strictly after @p now_seconds at which this domain's tick
+     * behaviour may change for reasons other than buffer dynamics —
+     * a workload change-point, a fault-plan edge, the next control-
+     * slot boundary, the next SoC sample, or a tripped converter's
+     * restart. Returns @p now_seconds when no constancy guarantee
+     * can be given (keeps the simulator dense).
+     */
+    double nextEventHorizon(double now_seconds) const;
+
+    /**
+     * Quiescent macro-tick: attempt to advance the next @p max_ticks
+     * ticks (all strictly before the caller-computed event horizon,
+     * at @p supply_w of constant budget) in one call. Returns the
+     * number of ticks consumed — 0 when the quiescence predicate
+     * fails, in which case the domain state is as if nothing
+     * happened and the caller must tick densely.
+     *
+     * The result is bit-identical to dense ticking by construction:
+     * every floating-point operation that reaches SimResult (ledger
+     * adds, series appends, ESD dispatch, peak tracking, upstream
+     * draw metering on @p draw_sink) is performed per tick with the
+     * same operands and order as tick(); only per-tick work whose
+     * final state one call replicates (demand evaluation, controller
+     * peak/valley, relay commands, LRU touch) is hoisted out of the
+     * loop. Known divergences, by design: per-tick IPDU sample logs
+     * are skipped (never read by finalize()) and the trace gets one
+     * summarized Quiescent record instead of stride-sampled Tick
+     * records.
+     */
+    std::size_t fastForward(std::size_t max_ticks, double supply_w,
+                            PowerSource &draw_sink);
 
     /** Fill @p result with this domain's final metrics. */
     void finalize(SimResult &result) const;

@@ -92,6 +92,8 @@ simConfigFromConfig(const Config &config)
         "fault_seed", static_cast<long>(cfg.faultSeed)));
     cfg.degradationPolicy =
         config.getBool("degradation_policy", cfg.degradationPolicy);
+    cfg.fastForward =
+        config.getBool("fast_forward", cfg.fastForward);
     return cfg;
 }
 
@@ -134,6 +136,8 @@ describeSimConfig(const SimConfig &config)
     out.emplace_back("fault_seed", std::to_string(config.faultSeed));
     out.emplace_back("degradation_policy",
                      config.degradationPolicy ? "true" : "false");
+    out.emplace_back("fast_forward",
+                     config.fastForward ? "true" : "false");
     return out;
 }
 

@@ -1,6 +1,7 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 
 #include "fault/fault_plan.h"
@@ -13,6 +14,27 @@
 #include "util/logging.h"
 
 namespace heb {
+
+namespace {
+
+/**
+ * Largest tick index whose time (index * dt, computed with the same
+ * FP product as the dense loop) lies strictly before @p horizon.
+ * The float-then-adjust dance keeps event edges landing on exactly
+ * the dense tick that would have processed them.
+ */
+std::size_t
+lastTickBefore(double horizon, double dt)
+{
+    auto last = static_cast<std::size_t>(horizon / dt);
+    while (last > 0 && static_cast<double>(last) * dt >= horizon)
+        --last;
+    while (static_cast<double>(last + 1) * dt < horizon)
+        ++last;
+    return last;
+}
+
+} // namespace
 
 Simulator::Simulator(SimConfig config) : config_(std::move(config))
 {
@@ -30,6 +52,18 @@ Simulator::run(const Workload &workload, ManagementScheme &scheme)
     HEB_PROF_SCOPE("sim.run");
     const double dt = config_.tickSeconds;
 
+    // Generate the fault plan exactly once and share it: the ATS
+    // forced-open wiring below and the domain's injector used to
+    // regenerate the identical schedule independently.
+    fault::FaultPlan plan;
+    const fault::FaultPlan *shared_plan = nullptr;
+    if (config_.faultInjection) {
+        plan = fault::FaultPlan::generate(config_.faultPlan,
+                                          config_.durationSeconds,
+                                          config_.faultSeed);
+        shared_plan = &plan;
+    }
+
     std::unique_ptr<UtilityGrid> grid;
     std::unique_ptr<SolarArray> solar;
     std::unique_ptr<Ats> ats;
@@ -43,14 +77,9 @@ Simulator::run(const Workload &workload, ManagementScheme &scheme)
             grid->addOutage(start, duration);
 
         if (config_.faultInjection) {
-            // Route the utility feed through an ATS and pre-apply the
-            // plan's transfer failures as forced-open windows. The
-            // plan generation is pure, so this regenerates exactly
-            // the schedule the domain's injector logs.
+            // Route the utility feed through an ATS and pre-apply
+            // the plan's transfer failures as forced-open windows.
             ats = std::make_unique<Ats>(grid.get(), nullptr);
-            fault::FaultPlan plan = fault::FaultPlan::generate(
-                config_.faultPlan, config_.durationSeconds,
-                config_.faultSeed);
             for (const fault::FaultEvent &ev : plan.ofKind(
                      fault::FaultKind::AtsTransferFailure)) {
                 ats->forceOpen(ev.startSeconds,
@@ -59,11 +88,25 @@ Simulator::run(const Workload &workload, ManagementScheme &scheme)
         }
     }
 
-    RackDomain domain(config_, workload, scheme, "rack0");
+    RackDomain domain(config_, workload, scheme, "rack0",
+                      shared_plan);
 
+    // Round the tick count up so a duration that is not a whole
+    // multiple of the tick still simulates its trailing partial
+    // interval (as one full tick — the series step is uniform)
+    // instead of silently truncating it.
     auto ticks =
         static_cast<std::size_t>(config_.durationSeconds / dt);
-    for (std::size_t tick_i = 0; tick_i < ticks; ++tick_i) {
+    if (static_cast<double>(ticks) * dt < config_.durationSeconds)
+        ++ticks;
+
+    PowerSource *draw_sink =
+        config_.solarPowered
+            ? static_cast<PowerSource *>(solar.get())
+            : static_cast<PowerSource *>(grid.get());
+
+    std::size_t tick_i = 0;
+    while (tick_i < ticks) {
         double now = static_cast<double>(tick_i) * dt;
         double supply = config_.solarPowered
                             ? solar->availablePowerW(now)
@@ -71,10 +114,50 @@ Simulator::run(const Workload &workload, ManagementScheme &scheme)
                                    : grid->availablePowerW(now));
         domain.computeDemand(now);
         RackDomain::TickOutcome outcome = domain.tick(now, supply);
-        if (config_.solarPowered)
-            solar->recordDraw(now, outcome.sourceDrawW, dt);
-        else
-            grid->recordDraw(now, outcome.sourceDrawW, dt);
+        draw_sink->recordDraw(now, outcome.sourceDrawW, dt);
+        ++tick_i;
+
+        if (!config_.fastForward || tick_i >= ticks)
+            continue;
+        // Cheap guard: a tick that just drew on the buffers (or shed)
+        // is the start of mismatch physics — stay dense until a calm
+        // tick re-establishes quiescence.
+        if (outcome.unservedW > 0.0 || outcome.demandW > supply)
+            continue;
+
+        // Event horizon: the earliest instant after `now` at which
+        // any input to the tick may change — workload, faults, slot
+        // boundary, converter restart (domain side) or outage edge,
+        // ATS window, solar sample (supply side).
+        double horizon = domain.nextEventHorizon(now);
+        if (config_.solarPowered) {
+            horizon =
+                std::min(horizon, solar->nextChangeTime(now));
+        } else {
+            horizon = std::min(horizon,
+                               ats ? ats->nextChangeTime(now)
+                                   : grid->nextChangeTime(now));
+        }
+        double t1 = static_cast<double>(tick_i) * dt;
+        if (horizon <= t1)
+            continue;
+
+        std::size_t n;
+        if (std::isinf(horizon)) {
+            n = ticks - tick_i;
+        } else {
+            std::size_t last = lastTickBefore(horizon, dt);
+            if (last < tick_i)
+                continue;
+            n = std::min(last - tick_i + 1, ticks - tick_i);
+        }
+
+        double supply_ff =
+            config_.solarPowered
+                ? solar->availablePowerW(t1)
+                : (ats ? ats->availablePowerW(t1)
+                       : grid->availablePowerW(t1));
+        tick_i += domain.fastForward(n, supply_ff, *draw_sink);
     }
 
     SimResult result;

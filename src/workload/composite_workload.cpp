@@ -1,5 +1,6 @@
 #include "workload/composite_workload.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/logging.h"
@@ -50,6 +51,23 @@ CompositeWorkload::utilization(std::size_t server_index,
 {
     return memberFor(server_index)
         .utilization(server_index, time_seconds);
+}
+
+double
+CompositeWorkload::nextChangeTime(double now_seconds,
+                                  std::size_t num_servers) const
+{
+    // Conservative: the earliest change of any member bounds the
+    // earliest change of every server it drives.
+    double next = now_seconds;
+    bool first = true;
+    for (const Member &m : members_) {
+        double t =
+            m.workload->nextChangeTime(now_seconds, num_servers);
+        next = first ? t : std::min(next, t);
+        first = false;
+    }
+    return next;
 }
 
 const Workload &

@@ -45,6 +45,8 @@ class CompositeWorkload : public Workload
     PeakClass peakClass() const override { return peakClass_; }
     double utilization(std::size_t server_index,
                        double time_seconds) const override;
+    double nextChangeTime(double now_seconds,
+                          std::size_t num_servers) const override;
 
     /** The member driving a given server. */
     const Workload &memberFor(std::size_t server_index) const;

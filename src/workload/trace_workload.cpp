@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/logging.h"
 
@@ -31,6 +32,42 @@ TraceWorkload::utilization(std::size_t server_index,
         t += trace_.startTime();
     }
     return std::clamp(trace_.valueAt(t), 0.0, 1.0);
+}
+
+double
+TraceWorkload::nextChangeTime(double now_seconds,
+                              std::size_t num_servers) const
+{
+    // valueAt() interpolates linearly, so a segment is only constant
+    // when its two bracketing samples are bitwise equal. Promise up
+    // to the next sample boundary on flat segments and nothing at
+    // all otherwise (ramps, clamp edges, wrap points).
+    double next = std::numeric_limits<double>::infinity();
+    double step = trace_.stepSeconds();
+    for (std::size_t s = 0; s < num_servers; ++s) {
+        double t = now_seconds +
+                   stagger_ * static_cast<double>(s);
+        if (wrap_) {
+            double span = trace_.duration();
+            t = std::fmod(t - trace_.startTime(), span);
+            if (t < 0.0)
+                t += span;
+            t += trace_.startTime();
+        }
+        double rel = t - trace_.startTime();
+        if (rel < 0.0)
+            return now_seconds;
+        auto i = static_cast<std::size_t>(rel / step);
+        if (i + 1 >= trace_.size())
+            return now_seconds;
+        if (trace_[i] != trace_[i + 1])
+            return now_seconds;
+        double dist = static_cast<double>(i + 1) * step - rel;
+        if (dist <= 0.0)
+            return now_seconds;
+        next = std::min(next, now_seconds + dist);
+    }
+    return next;
 }
 
 } // namespace heb

@@ -39,6 +39,8 @@ class TraceWorkload : public Workload
     PeakClass peakClass() const override { return peakClass_; }
     double utilization(std::size_t server_index,
                        double time_seconds) const override;
+    double nextChangeTime(double now_seconds,
+                          std::size_t num_servers) const override;
 
     /** The underlying trace. */
     const TimeSeries &trace() const { return trace_; }

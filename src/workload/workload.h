@@ -38,6 +38,24 @@ class Workload
      */
     virtual double utilization(std::size_t server_index,
                                double time_seconds) const = 0;
+
+    /**
+     * Event-horizon query for the fast-forward engine: the earliest
+     * time T > @p now_seconds at which utilization() may change for
+     * any server in [0, @p num_servers). The contract is bitwise:
+     * for every server s and every t in [now_seconds, T),
+     * utilization(s, t) must return exactly the same double as
+     * utilization(s, now_seconds). Returning @p now_seconds itself
+     * declares "no constancy guarantee" and keeps the simulator on
+     * the dense per-tick path — the safe default for workloads with
+     * continuous shapes.
+     */
+    virtual double nextChangeTime(double now_seconds,
+                                  std::size_t num_servers) const
+    {
+        (void)num_servers;
+        return now_seconds;
+    }
 };
 
 } // namespace heb

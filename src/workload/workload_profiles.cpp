@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numbers>
 
 #include "util/logging.h"
@@ -74,6 +75,49 @@ SyntheticWorkload::utilization(std::size_t server_index,
     }
 
     return std::clamp(base + j + diurnal, 0.0, 1.0);
+}
+
+double
+SyntheticWorkload::nextChangeTime(double now_seconds,
+                                  std::size_t num_servers) const
+{
+    // The diurnal envelope is a continuous sine: there is no flat
+    // segment, so no constancy can be promised.
+    if (params_.diurnalDepth > 0.0)
+        return now_seconds;
+
+    double next = std::numeric_limits<double>::infinity();
+
+    // Jitter re-hashes on the 5 s grid; the next grid boundary is
+    // the first instant any server's hash input can change.
+    if (params_.jitter > 0.0) {
+        auto tick = static_cast<std::uint64_t>(now_seconds / 5.0);
+        next = std::min(next,
+                        static_cast<double>(tick + 1) * 5.0);
+    }
+
+    // Per-server phase edge: within a period the base level flips
+    // once (high -> low) and once at the wrap. The phase offset is
+    // the same staggered fmod utilization() evaluates, so the edge
+    // estimate tracks the real comparison; the simulator's endpoint
+    // guard absorbs any last-ulp disagreement.
+    double period = params_.highPhaseS + params_.lowPhaseS;
+    for (std::size_t s = 0; s < num_servers; ++s) {
+        double stagger = params_.serverStagger * period *
+                         hash01(seed_ * 1315423911ULL +
+                                s * 2654435761ULL);
+        double phase = std::fmod(now_seconds + stagger, period);
+        if (phase < 0.0)
+            phase += period;
+        double edge =
+            (phase < params_.highPhaseS ? params_.highPhaseS
+                                        : period) -
+            phase;
+        if (edge <= 0.0)
+            edge = period - phase; // sitting exactly on the flip
+        next = std::min(next, now_seconds + edge);
+    }
+    return next;
 }
 
 std::unique_ptr<SyntheticWorkload>

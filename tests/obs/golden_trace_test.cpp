@@ -117,9 +117,15 @@ TEST(GoldenTrace, OneSlotSimEmitsParseableSchema)
     }
     std::remove(path.c_str());
 
-    // 600 ticks at stride 1, one plan for the single slot, one SoC
-    // sample at the slot boundary.
-    EXPECT_EQ(type_counts["tick"], 600);
+    // Every simulated second is traced exactly once: as a dense tick
+    // event (stride 1) or inside a quiescent fast-forward summary.
+    // One plan for the single slot, one SoC sample at the boundary.
+    int covered = type_counts["tick"];
+    for (const auto &ev : events) {
+        if (ev.at("type") == "quiescent")
+            covered += static_cast<int>(std::stod(ev.at("ticks")));
+    }
+    EXPECT_EQ(covered, 600);
     EXPECT_EQ(type_counts["slot_plan"], 1);
     EXPECT_GE(type_counts["soc_sample"], 1);
 
@@ -131,6 +137,12 @@ TEST(GoldenTrace, OneSlotSimEmitsParseableSchema)
                   "unserved_w", "source_draw_w"})
                 EXPECT_TRUE(ev.count(field))
                     << "tick event missing " << field;
+        } else if (type == "quiescent") {
+            for (const char *field :
+                 {"ticks", "demand_w", "supply_w", "source_wh",
+                  "sc_charge_wh", "ba_charge_wh"})
+                EXPECT_TRUE(ev.count(field))
+                    << "quiescent event missing " << field;
         } else if (type == "soc_sample") {
             for (const char *field :
                  {"sc_soc", "ba_soc", "sc_v", "ba_v", "r_lambda"})
@@ -176,6 +188,8 @@ TEST(GoldenTrace, TickStrideThinsTickEventsOnly)
 
     SimConfig cfg;
     cfg.durationSeconds = 600.0;
+    // Pin dense ticking: this test is about the per-tick stride.
+    cfg.fastForward = false;
     runOne(cfg, "TS", SchemeKind::HebD);
 
     setActiveTrace(nullptr);

@@ -70,7 +70,7 @@ usage()
         "                        [--schemes A,B,...] [--seed S] "
         "[--jobs N] [--out FILE.json]\n"
         "                        [--no-degradation] "
-        "[--log-level LEVEL]\n"
+        "[--fast-forward on|off] [--log-level LEVEL]\n"
         "  defaults: 100 scenarios, 8 h, workload TS, schemes "
         "BaOnly,SCFirst,HEB-D\n"
         "  --jobs sets the shared sweep pool width "
@@ -90,6 +90,7 @@ main(int argc, char **argv)
     std::uint64_t seed = 1;
     std::string out_path;
     bool degradation = true;
+    bool fast_forward = true;
 
     for (int i = 1; i < argc; ++i) {
         auto need_value = [&](const char *flag) -> std::string {
@@ -118,6 +119,12 @@ main(int argc, char **argv)
             out_path = need_value("--out");
         else if (!std::strcmp(argv[i], "--no-degradation"))
             degradation = false;
+        else if (!std::strcmp(argv[i], "--fast-forward")) {
+            std::string v = need_value("--fast-forward");
+            if (v != "on" && v != "off")
+                fatal("--fast-forward expects on or off");
+            fast_forward = v == "on";
+        }
         else if (!std::strcmp(argv[i], "--jobs")) {
             long n = std::stol(need_value("--jobs"));
             if (n < 1)
@@ -140,6 +147,7 @@ main(int argc, char **argv)
     cfg.durationSeconds = duration_hours * kSecondsPerHour;
     cfg.faultSeed = seed;
     cfg.degradationPolicy = degradation;
+    cfg.fastForward = fast_forward;
 
     std::printf("%zu scenarios x %zu schemes, %s, %.1f h, seed %llu, "
                 "degradation %s\n",

@@ -66,11 +66,13 @@ usage()
         "               [--trace-out FILE] [--trace-stride N] "
         "[--metrics-out FILE] [--manifest FILE]\n"
         "               [--profile] [--log-level LEVEL] "
-        "[--jobs N]\n"
+        "[--jobs N] [--fast-forward on|off]\n"
         "  workloads: PR WC DA WS MS DFS HB TS\n"
         "  schemes:   BaOnly BaFirst SCFirst HEB-F HEB-S HEB-D\n"
         "  log levels: panic fatal warn info debug "
         "(HEB_LOG_LEVEL honoured)\n"
+        "  --fast-forward toggles the quiescence macro-tick "
+        "engine (default on; results are identical either way)\n"
         "  --jobs sets the shared sweep pool width "
         "(HEB_JOBS honoured; default: all cores)\n");
 }
@@ -98,6 +100,8 @@ main(int argc, char **argv)
     std::string manifest_path;
     std::size_t trace_stride = 1;
     bool profile = false;
+    bool fast_forward = true;
+    bool fast_forward_set = false;
 
     for (int i = 1; i < argc; ++i) {
         auto need_value = [&](const char *flag) -> std::string {
@@ -128,6 +132,13 @@ main(int argc, char **argv)
             manifest_path = need_value("--manifest");
         else if (!std::strcmp(argv[i], "--profile"))
             profile = true;
+        else if (!std::strcmp(argv[i], "--fast-forward")) {
+            std::string v = need_value("--fast-forward");
+            if (v != "on" && v != "off")
+                fatal("--fast-forward expects on or off");
+            fast_forward = v == "on";
+            fast_forward_set = true;
+        }
         else if (!std::strcmp(argv[i], "--jobs")) {
             long n = std::stol(need_value("--jobs"));
             if (n < 1)
@@ -162,6 +173,8 @@ main(int argc, char **argv)
                           ? Config()
                           : Config::fromFile(config_path);
     SimConfig cfg = simConfigFromConfig(file_cfg);
+    if (fast_forward_set)
+        cfg.fastForward = fast_forward;
     SchemeKind kind = parseScheme(scheme_name);
     HebSchemeConfig scheme_cfg;
 
