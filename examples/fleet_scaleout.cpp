@@ -60,9 +60,10 @@ runPolicy(BudgetPolicy policy, double budget)
     }
     table.print();
     std::printf("fleet: downtime %.0f s, unserved %.2f Wh, facility "
-                "peak %.1f W, mean eff %.3f\n\n",
+                "peak %.1f W, mean eff %.3f (unweighted %.3f)\n\n",
                 r.totalDowntimeSeconds, r.totalUnservedWh,
-                r.facilityPeakDrawW, r.meanEfficiency);
+                r.facilityPeakDrawW, r.meanEfficiency,
+                r.meanEfficiencyUnweighted);
 }
 
 } // namespace

@@ -9,6 +9,7 @@
 #include "esd/bank_builder.h"
 #include "obs/json.h"
 #include "sim/pat_cache.h"
+#include "util/format.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -289,9 +290,7 @@ appendExactNumber(std::string &out, double v)
         out += "null";
         return;
     }
-    char buf[40];
-    std::snprintf(buf, sizeof buf, "%.17g", v);
-    out += buf;
+    appendRoundTrip(out, v);
 }
 
 /** Emit `"key": [s0, s1, ...]` for a full TimeSeries, %.17g. */

@@ -1,10 +1,53 @@
 #include "sim/fleet.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <unordered_set>
 
+#include "obs/profile.h"
+#include "sim/tick_math.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace heb {
+
+namespace {
+
+/**
+ * Draw sink handed to fastForwardCommit: buffers one rack's per-tick
+ * upstream draws for the span so the fleet can re-sum them per tick
+ * *in rack order* afterwards — the same addition order as the dense
+ * loop's facility_draw accumulation, keeping the facility peak
+ * byte-identical between engines.
+ */
+class SpanDrawRecorder final : public PowerSource
+{
+  public:
+    const std::string &
+    name() const override
+    {
+        static const std::string n = "span-recorder";
+        return n;
+    }
+
+    double
+    availablePowerW(double) const override
+    {
+        return 0.0;
+    }
+
+    void
+    recordDraw(double, double watts, double) override
+    {
+        draws.push_back(watts);
+    }
+
+    std::vector<double> draws;
+};
+
+} // namespace
 
 const char *
 budgetPolicyName(BudgetPolicy policy)
@@ -16,25 +59,96 @@ budgetPolicyName(BudgetPolicy policy)
     return "?";
 }
 
+const char *
+fleetModeName(FleetMode mode)
+{
+    switch (mode) {
+      case FleetMode::Dense: return "dense";
+      case FleetMode::Event: return "event";
+    }
+    return "?";
+}
+
 FleetSimulator::FleetSimulator(SimConfig rack_config,
                                double facility_budget,
-                               BudgetPolicy policy)
+                               FleetOptions options)
     : config_(std::move(rack_config)),
-      facilityBudgetW_(facility_budget), policy_(policy)
+      facilityBudgetW_(facility_budget), options_(options)
 {
     if (facility_budget <= 0.0)
         fatal("FleetSimulator: facility budget must be positive");
 }
 
+FleetSimulator::FleetSimulator(SimConfig rack_config,
+                               double facility_budget,
+                               BudgetPolicy policy)
+    : FleetSimulator(std::move(rack_config), facility_budget,
+                     FleetOptions{policy, FleetMode::Dense, true})
+{
+}
+
+void
+FleetSimulator::computeNeeds(
+    std::vector<std::unique_ptr<RackDomain>> &domains,
+    const std::vector<std::size_t> &idx, double now,
+    std::vector<double> &need) const
+{
+    std::vector<double> computed =
+        parallelMap(idx, [&](std::size_t r) {
+            // Weight by *need*, not just instantaneous demand: a
+            // rack whose servers were shed must receive enough
+            // headroom to restart them, or a brown-out becomes a
+            // permanent allocation death spiral.
+            return domains[r]->computeDemand(now) +
+                   static_cast<double>(
+                       domains[r]->offlineServers()) *
+                       domains[r]->serverPeakPowerW() * 1.2;
+        });
+    need.swap(computed);
+}
+
+void
+FleetSimulator::arbitrate(const std::vector<double> &need,
+                          std::vector<double> &alloc) const
+{
+    const std::size_t n = need.size();
+    double total_need = 0.0;
+    for (std::size_t r = 0; r < n; ++r)
+        total_need += need[r];
+
+    double equal_share = facilityBudgetW_ / static_cast<double>(n);
+    if (options_.policy == BudgetPolicy::Static ||
+        total_need <= 0.0) {
+        std::fill(alloc.begin(), alloc.end(), equal_share);
+    } else {
+        // Proportional-to-need with a 25 % floor of the equal
+        // share so an idle rack can still charge its buffers.
+        double floor = 0.25 * equal_share;
+        double flexible =
+            facilityBudgetW_ - floor * static_cast<double>(n);
+        for (std::size_t r = 0; r < n; ++r)
+            alloc[r] = floor + flexible * need[r] / total_need;
+    }
+}
+
 FleetResult
 FleetSimulator::run(const std::vector<RackSpec> &racks)
 {
+    HEB_PROF_SCOPE("fleet.run");
     if (racks.empty())
         fatal("FleetSimulator: need at least one rack");
+    std::unordered_set<const ManagementScheme *> schemes;
     for (const RackSpec &spec : racks) {
         if (!spec.workload || !spec.scheme)
             fatal("FleetSimulator: rack '", spec.name,
                   "' missing workload or scheme");
+        // Schemes carry mutable per-domain state and racks tick in
+        // parallel; sharing one instance is a data race (and wrong
+        // even serially — predictor history would interleave).
+        if (!schemes.insert(spec.scheme).second)
+            fatal("FleetSimulator: rack '", spec.name,
+                  "' shares a scheme instance with another rack; "
+                  "give each rack its own");
     }
 
     // One shared fault plan for every rack: generation is pure in
@@ -58,69 +172,154 @@ FleetSimulator::run(const std::vector<RackSpec> &racks)
     }
 
     const double dt = config_.tickSeconds;
-    auto n = racks.size();
+    const std::size_t n = racks.size();
     // Round up so a trailing partial tick is simulated, not dropped.
     auto ticks =
         static_cast<std::size_t>(config_.durationSeconds / dt);
     if (static_cast<double>(ticks) * dt < config_.durationSeconds)
         ++ticks;
 
-    FleetResult result;
-    std::vector<double> demand(n, 0.0);
-    std::vector<double> alloc(n, 0.0);
+    std::vector<std::size_t> idx(n);
+    std::iota(idx.begin(), idx.end(), std::size_t{0});
 
-    for (std::size_t tick_i = 0; tick_i < ticks; ++tick_i) {
+    FleetResult result;
+    std::vector<double> need(n, 0.0);
+    std::vector<double> alloc(n, 0.0);
+    std::vector<double> alloc_ff(n, 0.0);
+    std::vector<SpanDrawRecorder> recorders(n);
+
+    std::size_t tick_i = 0;
+    while (tick_i < ticks) {
         double now = static_cast<double>(tick_i) * dt;
 
-        double total_need = 0.0;
-        for (std::size_t r = 0; r < n; ++r) {
-            demand[r] = domains[r]->computeDemand(now);
-            // Weight by *need*, not just instantaneous demand: a
-            // rack whose servers were shed must receive enough
-            // headroom to restart them, or a brown-out becomes a
-            // permanent allocation death spiral.
-            demand[r] +=
-                static_cast<double>(domains[r]->offlineServers()) *
-                domains[r]->serverPeakPowerW() * 1.2;
-            total_need += demand[r];
-        }
+        computeNeeds(domains, idx, now, need);
+        arbitrate(need, alloc);
 
-        // Arbitrate the facility budget.
-        double equal_share =
-            facilityBudgetW_ / static_cast<double>(n);
-        if (policy_ == BudgetPolicy::Static || total_need <= 0.0) {
-            std::fill(alloc.begin(), alloc.end(), equal_share);
-        } else {
-            // Proportional-to-need with a 25 % floor of the equal
-            // share so an idle rack can still charge its buffers.
-            double floor = 0.25 * equal_share;
-            double flexible =
-                facilityBudgetW_ - floor * static_cast<double>(n);
-            for (std::size_t r = 0; r < n; ++r)
-                alloc[r] = floor + flexible * demand[r] / total_need;
-        }
+        std::vector<RackDomain::TickOutcome> outs =
+            parallelMap(idx, [&](std::size_t r) {
+                return domains[r]->tick(now, alloc[r]);
+            });
 
         double facility_draw = 0.0;
-        for (std::size_t r = 0; r < n; ++r) {
-            RackDomain::TickOutcome out =
-                domains[r]->tick(now, alloc[r]);
-            facility_draw += out.sourceDrawW;
-        }
+        for (std::size_t r = 0; r < n; ++r)
+            facility_draw += outs[r].sourceDrawW;
         result.facilityPeakDrawW =
             std::max(result.facilityPeakDrawW, facility_draw);
+
+        ++tick_i;
+        ++result.denseTicks;
+
+        if (options_.mode != FleetMode::Event || tick_i >= ticks)
+            continue;
+        // Cheap guard: a rack that just drew on its buffers (or
+        // shed) is mid-mismatch — stay dense until every rack has a
+        // calm tick again.
+        bool calm = true;
+        for (std::size_t r = 0; r < n; ++r) {
+            if (outs[r].unservedW > 0.0 ||
+                outs[r].demandW > alloc[r]) {
+                calm = false;
+                break;
+            }
+        }
+        if (!calm)
+            continue;
+
+        // Fleet horizon: the earliest instant after `now` at which
+        // any rack's tick inputs may change. Because allocations are
+        // a pure function of the rack demands (and the constant
+        // facility budget), this is also the next arbitration event:
+        // inside the span the dense loop would recompute bitwise-
+        // identical allocations every tick, so freezing them at t1
+        // is exact.
+        double horizon = std::numeric_limits<double>::infinity();
+        for (std::size_t r = 0; r < n; ++r) {
+            horizon = std::min(horizon,
+                               domains[r]->nextEventHorizon(now));
+        }
+        double t1 = static_cast<double>(tick_i) * dt;
+        if (horizon <= t1)
+            continue;
+
+        std::size_t span;
+        if (std::isinf(horizon)) {
+            span = ticks - tick_i;
+        } else {
+            std::size_t last = lastTickBefore(horizon, dt);
+            if (last < tick_i)
+                continue;
+            span = std::min(last - tick_i + 1, ticks - tick_i);
+        }
+
+        // Recompute needs and allocations at the span start — the
+        // exact FP sequence the dense loop would run at t1, so a
+        // declined span leaves nothing to undo (computeDemand and
+        // the probe's controller tick are idempotent re-runs of the
+        // next dense tick's own work).
+        computeNeeds(domains, idx, t1, need);
+        arbitrate(need, alloc_ff);
+
+        // All-or-nothing probe: commit only when *every* rack
+        // accepts the span at its frozen allocation.
+        std::vector<int> oks =
+            parallelMap(idx, [&](std::size_t r) {
+                return domains[r]->fastForwardCheck(span,
+                                                    alloc_ff[r])
+                           ? 1
+                           : 0;
+            });
+        if (!std::all_of(oks.begin(), oks.end(),
+                         [](int ok) { return ok != 0; }))
+            continue;
+
+        for (std::size_t r = 0; r < n; ++r) {
+            recorders[r].draws.clear();
+            recorders[r].draws.reserve(span);
+        }
+        parallelMap(idx, [&](std::size_t r) {
+            domains[r]->fastForwardCommit(span, alloc_ff[r],
+                                          recorders[r]);
+            return 0;
+        });
+
+        // Facility peak: re-sum each span tick in rack order — the
+        // same addition order as the dense accumulation above.
+        for (std::size_t j = 0; j < span; ++j) {
+            double fd = 0.0;
+            for (std::size_t r = 0; r < n; ++r)
+                fd += recorders[r].draws[j];
+            result.facilityPeakDrawW =
+                std::max(result.facilityPeakDrawW, fd);
+        }
+
+        tick_i += span;
+        ++result.macroSpans;
+        result.macroSpanTicks += span;
     }
 
+    double eff_weighted = 0.0;
+    double eff_unweighted = 0.0;
     for (std::size_t r = 0; r < n; ++r) {
         SimResult rr;
         rr.schemeName = racks[r].scheme->name();
         rr.workloadName = racks[r].workload->name();
+        rr.workloadPeakClass = racks[r].workload->peakClass();
         domains[r]->finalize(rr);
         result.totalDowntimeSeconds += rr.downtimeSeconds;
         result.totalUnservedWh += rr.ledger.unservedWh;
-        result.meanEfficiency += rr.energyEfficiency;
-        result.racks.push_back(std::move(rr));
+        double served = rr.ledger.servedWh();
+        result.totalServedWh += served;
+        eff_weighted += rr.energyEfficiency * served;
+        eff_unweighted += rr.energyEfficiency;
+        if (options_.keepPerRackResults)
+            result.racks.push_back(std::move(rr));
     }
-    result.meanEfficiency /= static_cast<double>(n);
+    result.meanEfficiencyUnweighted =
+        eff_unweighted / static_cast<double>(n);
+    result.meanEfficiency =
+        result.totalServedWh > 0.0
+            ? eff_weighted / result.totalServedWh
+            : result.meanEfficiencyUnweighted;
     return result;
 }
 

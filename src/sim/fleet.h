@@ -12,6 +12,24 @@
  *    their instantaneous demand (with a floor), so spare headroom
  *    flows to whoever needs it — what a facility-level hControl can
  *    do that per-rack silos cannot.
+ *
+ * Two execution engines share those policies:
+ *
+ *  - Dense: every rack, every tick — the byte-identity witness.
+ *  - Event: when every rack is quiescent, the fleet advances all of
+ *    them through one shared macro-tick under frozen allocations.
+ *    The span ends at the fleet horizon — the min over every rack's
+ *    nextEventHorizon(), which by construction is also the next
+ *    *arbitration* event: allocations only move when some rack's
+ *    demand moves, and each rack's horizon bounds its own demand
+ *    change-point. Within the span the dense loop would therefore
+ *    recompute bitwise-identical allocations every tick, so freezing
+ *    them is exact, and per-rack results match the dense engine at
+ *    %.17g.
+ *
+ * Per-tick computeDemand/tick fan-out is sharded across the shared
+ * ThreadPool (ordered, caller-participating map), so results are
+ * independent of the job count.
  */
 
 #pragma once
@@ -34,23 +52,53 @@ enum class BudgetPolicy { Static, Proportional };
 /** Render a budget policy for logs. */
 const char *budgetPolicyName(BudgetPolicy policy);
 
+/** Which execution engine advances the fleet. */
+enum class FleetMode { Dense, Event };
+
+/** Render a fleet mode for logs / CLI flags. */
+const char *fleetModeName(FleetMode mode);
+
 /** Description of one rack in the fleet. */
 struct RackSpec
 {
     /** Rack label. */
     std::string name;
 
-    /** Demand generator (not owned; must outlive the simulation). */
+    /** Demand generator (not owned; must outlive the simulation).
+     *  May be shared between racks: the Workload contract is const
+     *  and deterministic, so concurrent reads are safe. */
     const Workload *workload = nullptr;
 
-    /** Management policy (not owned). */
+    /** Management policy (not owned). Must be a *distinct* instance
+     *  per rack — schemes carry mutable per-domain state (predictor
+     *  history, PAT tables) and racks tick in parallel. */
     ManagementScheme *scheme = nullptr;
+};
+
+/** Engine knobs beyond the arbitration policy. */
+struct FleetOptions
+{
+    /** Budget arbitration policy. */
+    BudgetPolicy policy = BudgetPolicy::Static;
+
+    /** Execution engine. */
+    FleetMode mode = FleetMode::Dense;
+
+    /**
+     * Keep the per-rack SimResults in FleetResult::racks. Fleet-scale
+     * runs that only consume the aggregate totals set this false so
+     * memory stays flat in the rack count; pair with
+     * SimConfig::recordSeries = false to also drop the per-tick
+     * series inside each domain.
+     */
+    bool keepPerRackResults = true;
 };
 
 /** Aggregate + per-rack results of a fleet run. */
 struct FleetResult
 {
-    /** Per-rack results in spec order. */
+    /** Per-rack results in spec order (empty when the run was
+     *  configured with keepPerRackResults = false). */
     std::vector<SimResult> racks;
 
     /** Total downtime across racks (s). */
@@ -59,11 +107,35 @@ struct FleetResult
     /** Total unserved energy (Wh). */
     double totalUnservedWh = 0.0;
 
+    /** Total energy actually delivered to servers (Wh). */
+    double totalServedWh = 0.0;
+
     /** Facility peak draw (W). */
     double facilityPeakDrawW = 0.0;
 
-    /** Mean buffer efficiency across racks. */
+    /**
+     * Mean buffer efficiency across racks, weighted by each rack's
+     * served energy: sum(eff_r * served_r) / sum(served_r). An
+     * unweighted arithmetic mean lets a near-idle rack bias the
+     * fleet number as much as a fully loaded one; weighting by the
+     * energy each rack actually delivered makes this the fleet-level
+     * EE the paper's facility accounting implies. Falls back to the
+     * unweighted mean when no rack served any energy.
+     */
     double meanEfficiency = 0.0;
+
+    /** Unweighted arithmetic mean of per-rack efficiencies (the
+     *  pre-weighting historical value, kept for comparisons). */
+    double meanEfficiencyUnweighted = 0.0;
+
+    /** Committed fleet-wide macro-ticks (event engine only). */
+    unsigned long macroSpans = 0;
+
+    /** Ticks advanced inside macro-ticks (event engine only). */
+    unsigned long macroSpanTicks = 0;
+
+    /** Ticks advanced by dense per-rack stepping. */
+    unsigned long denseTicks = 0;
 };
 
 /** A shared-budget multi-rack simulation. */
@@ -74,8 +146,12 @@ class FleetSimulator
      * @param rack_config      Per-rack rig parameters (applied to
      *                         every rack; budgetW is ignored).
      * @param facility_budget  Shared feed (W).
-     * @param policy           Arbitration policy.
+     * @param options          Policy + engine knobs.
      */
+    FleetSimulator(SimConfig rack_config, double facility_budget,
+                   FleetOptions options);
+
+    /** Convenience: dense engine, per-rack results kept. */
     FleetSimulator(SimConfig rack_config, double facility_budget,
                    BudgetPolicy policy);
 
@@ -83,9 +159,19 @@ class FleetSimulator
     FleetResult run(const std::vector<RackSpec> &racks);
 
   private:
+    /** Compute every rack's need at @p now (pooled fan-out). */
+    void computeNeeds(
+        std::vector<std::unique_ptr<RackDomain>> &domains,
+        const std::vector<std::size_t> &idx, double now,
+        std::vector<double> &need) const;
+
+    /** Split the facility budget over @p need into @p alloc. */
+    void arbitrate(const std::vector<double> &need,
+                   std::vector<double> &alloc) const;
+
     SimConfig config_;
     double facilityBudgetW_;
-    BudgetPolicy policy_;
+    FleetOptions options_;
 };
 
 } // namespace heb

@@ -421,9 +421,11 @@ RackDomain::tick(double now_seconds, double supply_w)
             metrics->shortfallTicks.inc();
     }
     peakDrawW_ = std::max(peakDrawW_, source_draw);
-    demandSeries_.append(demand);
-    supplySeries_.append(supply_w);
-    unservedSeries_.append(unserved);
+    if (config_.recordSeries) {
+        demandSeries_.append(demand);
+        supplySeries_.append(supply_w);
+        unservedSeries_.append(unserved);
+    }
 
     if (metrics) {
         metrics->ticks.inc();
@@ -498,12 +500,21 @@ std::size_t
 RackDomain::fastForward(std::size_t max_ticks, double supply_w,
                         PowerSource &draw_sink)
 {
-    HEB_PROF_SCOPE("sim.fast_forward");
-    const double dt = config_.tickSeconds;
-    const double dt_h = secondsToHours(dt);
-    const std::size_t n = max_ticks;
-    if (n == 0)
+    if (max_ticks == 0 || !fastForwardCheck(max_ticks, supply_w))
         return 0;
+    fastForwardCommit(max_ticks, supply_w, draw_sink);
+    return max_ticks;
+}
+
+bool
+RackDomain::fastForwardCheck(std::size_t n_ticks, double supply_w)
+{
+    HEB_PROF_SCOPE("sim.fast_forward_check");
+    const double dt = config_.tickSeconds;
+    const std::size_t n = n_ticks;
+    ffPlan_ = nullptr;
+    if (n == 0)
+        return false;
     // Tick times use the same FP product as the dense loop's `now`,
     // so state stamped with a time gets identical bits.
     const double t1 = static_cast<double>(tickIndex_) * dt;
@@ -512,11 +523,11 @@ RackDomain::fastForward(std::size_t max_ticks, double supply_w,
 
     // ---- Quiescence predicate -----------------------------------
     // Every check mirrors a branch the dense tick would take; any
-    // failure returns 0 with the domain exactly as the next dense
-    // tick expects (the mutations below are idempotent re-runs of
-    // what that tick will do itself).
+    // failure returns false with the domain exactly as the next
+    // dense tick expects (the mutations below are idempotent re-runs
+    // of what that tick will do itself).
     if (cluster_.onlineCount() != config_.numServers)
-        return 0;
+        return false;
     const Server::Frequency nominal =
         workload_.peakClass() == PeakClass::Small
             ? Server::Frequency::Low
@@ -524,19 +535,19 @@ RackDomain::fastForward(std::size_t max_ticks, double supply_w,
     for (std::size_t s = 0; s < config_.numServers; ++s) {
         const Server &sv = cluster_.server(s);
         if (!sv.isUp(t1) || sv.frequency() != nominal)
-            return 0;
+            return false;
     }
     // A jitter window advances the telemetry RNG every tick; the
     // horizon keeps window edges out of the interval, so one check
     // at t1 covers it.
     if (injector_ && injector_->sensorJitterMagnitude(t1) > 0.0)
-        return 0;
+        return false;
     // Re-verify the exact dense rollover predicate at the endpoint:
     // `now - slotStart >= slotSeconds` is monotone in now, so the
     // last tick failing it means every tick fails it.
     if (t_last - controller_.slotStartSeconds() >=
         controller_.slotSeconds()) {
-        return 0;
+        return false;
     }
 
     double demand = computeDemand(t1);
@@ -544,7 +555,7 @@ RackDomain::fastForward(std::size_t max_ticks, double supply_w,
     if (config_.peakShavingTargetW > 0.0)
         soft_cap = std::min(supply_w, config_.peakShavingTargetW);
     if (demand > soft_cap)
-        return 0;
+        return false;
 
     double measured = injector_
                           ? injector_->filterTelemetry(t1, demand)
@@ -558,7 +569,7 @@ RackDomain::fastForward(std::size_t max_ticks, double supply_w,
                 static_cast<double>(config_.numServers) -
             1e-9)));
     if (planned != 0)
-        return 0;
+        return false;
 
     // Endpoint guard: the workload promised bitwise constancy up to
     // the horizon; verify it at the far end. Utilization profiles
@@ -566,8 +577,32 @@ RackDomain::fastForward(std::size_t max_ticks, double supply_w,
     // so equal endpoints imply equal interiors.
     for (std::size_t s = 0; s < config_.numServers; ++s) {
         if (workload_.utilization(s, t_last) != util_[s])
-            return 0;
+            return false;
     }
+
+    ffPlan_ = &plan;
+    return true;
+}
+
+void
+RackDomain::fastForwardCommit(std::size_t n_ticks, double supply_w,
+                              PowerSource &draw_sink)
+{
+    HEB_PROF_SCOPE("sim.fast_forward");
+    if (!ffPlan_)
+        fatal("fastForwardCommit without a passing fastForwardCheck");
+    const SlotPlan &plan = *ffPlan_;
+    ffPlan_ = nullptr;
+    const double dt = config_.tickSeconds;
+    const double dt_h = secondsToHours(dt);
+    const std::size_t n = n_ticks;
+    const double t1 = static_cast<double>(tickIndex_) * dt;
+    const double t_last =
+        static_cast<double>(tickIndex_ + n - 1) * dt;
+    const double demand = cachedDemand_;
+    double soft_cap = supply_w;
+    if (config_.peakShavingTargetW > 0.0)
+        soft_cap = std::min(supply_w, config_.peakShavingTargetW);
 
     // ---- Quiescent kernel ---------------------------------------
     // One relay command replicates n same-feed commands (later ones
@@ -599,9 +634,11 @@ RackDomain::fastForward(std::size_t max_ticks, double supply_w,
             ledger_.sourceToLoadWh += demand * dt_h;
             double source_draw = demand;
             peakDrawW_ = std::max(peakDrawW_, source_draw);
-            demandSeries_.append(demand);
-            supplySeries_.append(supply_w);
-            unservedSeries_.append(0.0);
+            if (config_.recordSeries) {
+                demandSeries_.append(demand);
+                supplySeries_.append(supply_w);
+                unservedSeries_.append(0.0);
+            }
             if (metrics) {
                 metrics->ticks.inc();
                 metrics->unservedWh.add(0.0);
@@ -639,9 +676,11 @@ RackDomain::fastForward(std::size_t max_ticks, double supply_w,
             source_draw += charge_draw;
 
             peakDrawW_ = std::max(peakDrawW_, source_draw);
-            demandSeries_.append(demand);
-            supplySeries_.append(supply_w);
-            unservedSeries_.append(0.0);
+            if (config_.recordSeries) {
+                demandSeries_.append(demand);
+                supplySeries_.append(supply_w);
+                unservedSeries_.append(0.0);
+            }
             if (metrics) {
                 metrics->ticks.inc();
                 metrics->unservedWh.add(0.0);
@@ -668,13 +707,15 @@ RackDomain::fastForward(std::size_t max_ticks, double supply_w,
                     interval_source_wh, interval_sc_wh,
                     interval_ba_wh});
     }
-    return n;
 }
 
 void
 RackDomain::finalize(SimResult &result) const
 {
-    result.durationSeconds = demandSeries_.duration();
+    result.durationSeconds =
+        config_.recordSeries
+            ? demandSeries_.duration()
+            : static_cast<double>(tickIndex_) * config_.tickSeconds;
     result.ledger = ledger_;
     result.ledger.bootWasteWh = cluster_.totalBootEnergyWh();
     result.downtimeSeconds = cluster_.totalDowntimeSeconds();

@@ -112,6 +112,28 @@ class RackDomain
     std::size_t fastForward(std::size_t max_ticks, double supply_w,
                             PowerSource &draw_sink);
 
+    /**
+     * Quiescence probe for a caller that must coordinate macro-ticks
+     * across several domains (the fleet's all-or-nothing span):
+     * returns true when fastForwardCommit(@p n_ticks, @p supply_w)
+     * would advance all @p n_ticks ticks. Every mutation it performs
+     * (demand evaluation, controller tick at the span start) is an
+     * idempotent re-run of what the next dense tick would do itself,
+     * so declining — or probing and then never committing because a
+     * *different* domain declined — leaves this domain exactly as
+     * dense ticking expects.
+     */
+    bool fastForwardCheck(std::size_t n_ticks, double supply_w);
+
+    /**
+     * Commit the macro-tick vetted by the immediately preceding
+     * fastForwardCheck(@p n_ticks, @p supply_w) call — no other
+     * member function may run on this domain in between. See
+     * fastForward() for the exactness contract of the kernel.
+     */
+    void fastForwardCommit(std::size_t n_ticks, double supply_w,
+                           PowerSource &draw_sink);
+
     /** Fill @p result with this domain's final metrics. */
     void finalize(SimResult &result) const;
 
@@ -162,6 +184,7 @@ class RackDomain
     std::vector<double> util_;
     std::uint64_t tickIndex_ = 0;
     double cachedDemand_ = 0.0;
+    const SlotPlan *ffPlan_ = nullptr; //!< set by fastForwardCheck
     double lastRestart_ = -1e9;
     double nextSocSample_ = 0.0;
     double scStartWh_ = 0.0;

@@ -1,6 +1,7 @@
 #include "sim/result_io.h"
 
 #include "util/csv.h"
+#include "util/format.h"
 #include "util/units.h"
 
 namespace heb {
@@ -8,24 +9,29 @@ namespace heb {
 void
 writeResultSeries(const SimResult &result, const std::string &prefix)
 {
+    // Each file is attempted independently: a ticks file that fails
+    // to open (CsvWriter warn()s and goes inert) must not silently
+    // swallow the slots file too.
     {
         CsvWriter w(prefix + "_ticks.csv");
-        if (!w.ok())
-            return;
-        w.header({"seconds", "demand_w", "supply_w", "unserved_w"});
-        for (std::size_t i = 0; i < result.demandW.size(); ++i) {
-            w.row({result.demandW.timeAt(i), result.demandW[i],
-                   result.supplyW[i], result.unservedW[i]});
+        if (w.ok()) {
+            w.header(
+                {"seconds", "demand_w", "supply_w", "unserved_w"});
+            for (std::size_t i = 0; i < result.demandW.size();
+                 ++i) {
+                w.row({result.demandW.timeAt(i), result.demandW[i],
+                       result.supplyW[i], result.unservedW[i]});
+            }
         }
     }
     {
         CsvWriter w(prefix + "_slots.csv");
-        if (!w.ok())
-            return;
-        w.header({"seconds", "sc_soc", "ba_soc", "r_lambda"});
-        for (std::size_t i = 0; i < result.scSoc.size(); ++i) {
-            w.row({result.scSoc.timeAt(i), result.scSoc[i],
-                   result.baSoc[i], result.rLambdaPerSlot[i]});
+        if (w.ok()) {
+            w.header({"seconds", "sc_soc", "ba_soc", "r_lambda"});
+            for (std::size_t i = 0; i < result.scSoc.size(); ++i) {
+                w.row({result.scSoc.timeAt(i), result.scSoc[i],
+                       result.baSoc[i], result.rLambdaPerSlot[i]});
+            }
         }
     }
 }
@@ -42,16 +48,19 @@ writeResultMetrics(const std::vector<SimResult> &results,
               "battery_life_years", "reu", "buffer_to_load_wh",
               "unserved_wh", "switch_actuations"});
     for (const SimResult &r : results) {
+        // Round-trip-exact doubles: std::to_string's fixed six
+        // decimals collapsed one-ulp differences and truncated
+        // small magnitudes (a 1e-7 Wh shortfall became "0.000000").
         w.rowStrings(
             {r.schemeName, r.workloadName,
-             std::to_string(r.durationSeconds),
-             std::to_string(r.energyEfficiency),
-             std::to_string(r.effectiveEfficiency),
-             std::to_string(r.downtimeSeconds),
-             std::to_string(r.batteryLifetimeYears),
-             std::to_string(r.reu),
-             std::to_string(r.ledger.bufferToLoadWh()),
-             std::to_string(r.ledger.unservedWh),
+             formatRoundTrip(r.durationSeconds),
+             formatRoundTrip(r.energyEfficiency),
+             formatRoundTrip(r.effectiveEfficiency),
+             formatRoundTrip(r.downtimeSeconds),
+             formatRoundTrip(r.batteryLifetimeYears),
+             formatRoundTrip(r.reu),
+             formatRoundTrip(r.ledger.bufferToLoadWh()),
+             formatRoundTrip(r.ledger.unservedWh),
              std::to_string(r.switchActuations)});
     }
 }
@@ -94,6 +103,8 @@ simConfigFromConfig(const Config &config)
         config.getBool("degradation_policy", cfg.degradationPolicy);
     cfg.fastForward =
         config.getBool("fast_forward", cfg.fastForward);
+    cfg.recordSeries =
+        config.getBool("record_series", cfg.recordSeries);
     return cfg;
 }
 
@@ -138,6 +149,8 @@ describeSimConfig(const SimConfig &config)
                      config.degradationPolicy ? "true" : "false");
     out.emplace_back("fast_forward",
                      config.fastForward ? "true" : "false");
+    out.emplace_back("record_series",
+                     config.recordSeries ? "true" : "false");
     return out;
 }
 

@@ -120,6 +120,14 @@ struct SimConfig
     double shedToleranceW = 2.0;
 
     /**
+     * Record the per-tick demand/supply/unserved series in results.
+     * Fleet-scale runs that only consume aggregate totals disable
+     * this so memory stays flat in racks x ticks; the headline
+     * metrics, ledger and per-slot SoC series are unaffected.
+     */
+    bool recordSeries = true;
+
+    /**
      * Event-horizon fast-forward: when the interval to the next
      * interesting event (workload change-point, outage edge, fault
      * edge, slot boundary, converter restart) is quiescent — supply

@@ -11,30 +11,10 @@
 #include "power/solar_array.h"
 #include "power/utility_grid.h"
 #include "sim/rack_domain.h"
+#include "sim/tick_math.h"
 #include "util/logging.h"
 
 namespace heb {
-
-namespace {
-
-/**
- * Largest tick index whose time (index * dt, computed with the same
- * FP product as the dense loop) lies strictly before @p horizon.
- * The float-then-adjust dance keeps event edges landing on exactly
- * the dense tick that would have processed them.
- */
-std::size_t
-lastTickBefore(double horizon, double dt)
-{
-    auto last = static_cast<std::size_t>(horizon / dt);
-    while (last > 0 && static_cast<double>(last) * dt >= horizon)
-        --last;
-    while (static_cast<double>(last + 1) * dt < horizon)
-        ++last;
-    return last;
-}
-
-} // namespace
 
 Simulator::Simulator(SimConfig config) : config_(std::move(config))
 {

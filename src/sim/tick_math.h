@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Tick/horizon arithmetic shared by the event-horizon engines.
+ *
+ * Both the single-rack Simulator and the FleetSimulator convert an
+ * event horizon (an absolute time) into "how many whole ticks may I
+ * fast-forward"; the conversion must land event edges on exactly the
+ * dense tick that would have processed them, so it lives here once.
+ */
+
+#pragma once
+
+#include <cstddef>
+
+namespace heb {
+
+/**
+ * Largest tick index whose time (index * dt, computed with the same
+ * FP product as the dense loop's `now`) lies strictly before
+ * @p horizon. The float-then-adjust dance keeps event edges landing
+ * on exactly the dense tick that would have processed them.
+ */
+inline std::size_t
+lastTickBefore(double horizon, double dt)
+{
+    auto last = static_cast<std::size_t>(horizon / dt);
+    while (last > 0 && static_cast<double>(last) * dt >= horizon)
+        --last;
+    while (static_cast<double>(last + 1) * dt < horizon)
+        ++last;
+    return last;
+}
+
+} // namespace heb

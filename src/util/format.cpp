@@ -1,0 +1,23 @@
+#include "util/format.h"
+
+#include <cstdio>
+
+namespace heb {
+
+void
+appendRoundTrip(std::string &out, double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    out += buf;
+}
+
+std::string
+formatRoundTrip(double value)
+{
+    std::string out;
+    appendRoundTrip(out, value);
+    return out;
+}
+
+} // namespace heb

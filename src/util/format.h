@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Round-trip-exact number formatting.
+ *
+ * %.17g prints every distinct finite double distinctly, so a value
+ * written through these helpers parses back to the identical bits.
+ * Both the JSON equivalence witness (simResultToJson) and the CSV
+ * metrics export share this formatter: the fixed-6-decimal
+ * std::to_string it replaces collapsed one-ulp differences and
+ * truncated small magnitudes (e.g. a 1e-7 Wh shortfall) to zero.
+ */
+
+#pragma once
+
+#include <string>
+
+namespace heb {
+
+/**
+ * Append @p value to @p out with round-trip-exact precision.
+ * Non-finite values render as the platform printf spelling
+ * ("nan"/"inf"); callers needing JSON must special-case those.
+ */
+void appendRoundTrip(std::string &out, double value);
+
+/** appendRoundTrip into a fresh string. */
+std::string formatRoundTrip(double value);
+
+} // namespace heb

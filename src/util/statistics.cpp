@@ -72,12 +72,22 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 void
 Histogram::add(double value)
 {
+    ++total_;
+    if (value < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (value >= hi_) {
+        ++overflow_;
+        return;
+    }
     double pos = (value - lo_) / (hi_ - lo_) *
                  static_cast<double>(counts_.size());
     long bin = static_cast<long>(std::floor(pos));
+    // In-range by the guards above; the clamp only absorbs FP
+    // round-off at the boundaries of the position computation.
     bin = std::clamp<long>(bin, 0, static_cast<long>(counts_.size()) - 1);
     ++counts_[static_cast<std::size_t>(bin)];
-    ++total_;
 }
 
 std::size_t

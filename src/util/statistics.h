@@ -54,8 +54,11 @@ class RunningStats
 };
 
 /**
- * Fixed-bin histogram over [lo, hi); samples outside the range land in
- * saturating edge bins.
+ * Fixed-bin histogram over [lo, hi). Samples outside the range are
+ * counted in separate underflow/overflow tallies, not folded into
+ * the edge bins — clamping them inflated the tails silently, which
+ * made metrics output look like the distribution had mass at the
+ * range limits when it was really out of range.
  */
 class Histogram
 {
@@ -75,10 +78,27 @@ class Histogram
     /** Number of bins. */
     std::size_t bins() const { return counts_.size(); }
 
-    /** Total samples folded in. */
+    /** Total samples folded in, including out-of-range ones. */
     std::size_t total() const { return total_; }
 
-    /** Fraction of samples in bin @p index (0 when empty). */
+    /** Samples below lo (kept out of bin 0). */
+    std::size_t underflow() const { return underflow_; }
+
+    /** Samples at or above hi (kept out of the last bin). */
+    std::size_t overflow() const { return overflow_; }
+
+    /** Samples that landed inside [lo, hi). */
+    std::size_t
+    inRange() const
+    {
+        return total_ - underflow_ - overflow_;
+    }
+
+    /**
+     * Fraction of *all* samples in bin @p index (0 when empty); the
+     * denominator includes under/overflow so the bin fractions plus
+     * the out-of-range fractions sum to one.
+     */
     double binFraction(std::size_t index) const;
 
   private:
@@ -86,6 +106,8 @@ class Histogram
     double hi_;
     std::vector<std::size_t> counts_;
     std::size_t total_ = 0;
+    std::size_t underflow_ = 0;
+    std::size_t overflow_ = 0;
 };
 
 /**

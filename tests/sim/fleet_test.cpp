@@ -1,9 +1,13 @@
 /** @file Multi-rack fleet with shared-budget arbitration. */
 
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "core/schemes.h"
+#include "sim/experiment.h"
 #include "sim/fleet.h"
+#include "util/thread_pool.h"
 #include "workload/workload_profiles.h"
 
 namespace heb {
@@ -114,6 +118,240 @@ TEST(Fleet, PolicyNames)
     EXPECT_STREQ(budgetPolicyName(BudgetPolicy::Static), "static");
     EXPECT_STREQ(budgetPolicyName(BudgetPolicy::Proportional),
                  "proportional");
+    EXPECT_STREQ(fleetModeName(FleetMode::Dense), "dense");
+    EXPECT_STREQ(fleetModeName(FleetMode::Event), "event");
+}
+
+TEST(Fleet, DuplicateSchemeInstanceFatal)
+{
+    FleetRig rig;
+    std::vector<RackSpec> bad = {
+        RackSpec{"r0", rig.workloads[0].get(),
+                 rig.schemes[0].get()},
+        RackSpec{"r1", rig.workloads[1].get(),
+                 rig.schemes[0].get()}};
+    FleetSimulator fleet(rig.cfg, 2.0 * 260.0,
+                         BudgetPolicy::Static);
+    EXPECT_EXIT(fleet.run(bad), testing::ExitedWithCode(1),
+                "shares a scheme");
+}
+
+/**
+ * Two deliberately asymmetric racks: one loaded, one near-idle. The
+ * fleet mean efficiency must be the served-energy-weighted mean, not
+ * the unweighted arithmetic mean the near-idle rack used to bias.
+ */
+TEST(Fleet, MeanEfficiencyIsServedEnergyWeighted)
+{
+    ProfileParams busy;
+    busy.name = "BUSY";
+    busy.peakClass = PeakClass::Large;
+    busy.highUtil = 0.95;
+    busy.lowUtil = 0.85;
+    ProfileParams idle = busy;
+    idle.name = "IDLE";
+    idle.highUtil = 0.05;
+    idle.lowUtil = 0.02;
+
+    SyntheticWorkload busy_w(busy, 1), idle_w(idle, 2);
+    auto s0 = makeScheme(SchemeKind::HebD);
+    auto s1 = makeScheme(SchemeKind::HebD);
+    std::vector<RackSpec> specs = {
+        RackSpec{"busy", &busy_w, s0.get()},
+        RackSpec{"idle", &idle_w, s1.get()}};
+
+    SimConfig cfg;
+    cfg.durationSeconds = 4.0 * 3600.0;
+    FleetSimulator fleet(cfg, 2.0 * 260.0, BudgetPolicy::Static);
+    FleetResult r = fleet.run(specs);
+    ASSERT_EQ(r.racks.size(), 2u);
+
+    double e0 = r.racks[0].energyEfficiency;
+    double e1 = r.racks[1].energyEfficiency;
+    double s0wh = r.racks[0].ledger.servedWh();
+    double s1wh = r.racks[1].ledger.servedWh();
+    // The 30 W/server idle floor bounds how asymmetric equal-sized
+    // racks can get; ~1.5x served energy is plenty to expose an
+    // unweighted mean.
+    ASSERT_GT(s0wh, 1.3 * s1wh) << "racks not asymmetric enough";
+
+    EXPECT_DOUBLE_EQ(r.meanEfficiencyUnweighted, (e0 + e1) / 2.0);
+    EXPECT_DOUBLE_EQ(r.meanEfficiency,
+                     (e0 * s0wh + e1 * s1wh) / (s0wh + s1wh));
+    EXPECT_DOUBLE_EQ(r.totalServedWh, s0wh + s1wh);
+}
+
+/**
+ * A calm fleet: jitter-free flat phases, everything under budget —
+ * the regime where the event engine should take fleet-wide
+ * macro-ticks.
+ */
+ProfileParams
+calmProfile(const char *name, double high_util)
+{
+    ProfileParams p;
+    p.name = name;
+    p.peakClass = PeakClass::Large;
+    p.highUtil = high_util;
+    p.lowUtil = 0.05;
+    p.highPhaseS = 900.0;
+    p.lowPhaseS = 4500.0;
+    p.jitter = 0.0;
+    p.diurnalDepth = 0.0;
+    p.serverStagger = 0.0;
+    return p;
+}
+
+struct CalmRig
+{
+    explicit CalmRig(bool faults, double hours = 6.0)
+    {
+        cfg.durationSeconds = hours * 3600.0;
+        cfg.faultInjection = faults;
+        const double utils[3] = {0.30, 0.22, 0.10};
+        const char *names[3] = {"CA", "CB", "CC"};
+        for (std::size_t i = 0; i < 3; ++i) {
+            workloads.push_back(
+                std::make_unique<SyntheticWorkload>(
+                    calmProfile(names[i], utils[i]), i + 1));
+            schemes.push_back(makeScheme(SchemeKind::HebD));
+            specs.push_back(RackSpec{"rack" + std::to_string(i),
+                                     workloads[i].get(),
+                                     schemes[i].get()});
+        }
+    }
+
+    SimConfig cfg;
+    std::vector<std::unique_ptr<SyntheticWorkload>> workloads;
+    std::vector<std::unique_ptr<ManagementScheme>> schemes;
+    std::vector<RackSpec> specs;
+};
+
+/** All per-rack results rendered through the %.17g witness. */
+std::string
+fleetJson(const FleetResult &r)
+{
+    std::string out;
+    for (const SimResult &rack : r.racks) {
+        out += simResultToJson(rack);
+        out += '\n';
+    }
+    return out;
+}
+
+void
+expectAggregatesIdentical(const FleetResult &a, const FleetResult &b)
+{
+    // Bitwise: the event engine claims exactness, not closeness.
+    EXPECT_EQ(a.facilityPeakDrawW, b.facilityPeakDrawW);
+    EXPECT_EQ(a.totalUnservedWh, b.totalUnservedWh);
+    EXPECT_EQ(a.totalServedWh, b.totalServedWh);
+    EXPECT_EQ(a.totalDowntimeSeconds, b.totalDowntimeSeconds);
+    EXPECT_EQ(a.meanEfficiency, b.meanEfficiency);
+    EXPECT_EQ(a.meanEfficiencyUnweighted,
+              b.meanEfficiencyUnweighted);
+}
+
+TEST(FleetEvent, IdenticalToDenseUnderFaultsProportional)
+{
+    const double budget = 3.0 * 260.0;
+    CalmRig dense_rig(true), event_rig(true);
+    FleetResult dense =
+        FleetSimulator(dense_rig.cfg, budget,
+                       FleetOptions{BudgetPolicy::Proportional,
+                                    FleetMode::Dense, true})
+            .run(dense_rig.specs);
+    FleetResult event =
+        FleetSimulator(event_rig.cfg, budget,
+                       FleetOptions{BudgetPolicy::Proportional,
+                                    FleetMode::Event, true})
+            .run(event_rig.specs);
+    ASSERT_EQ(dense.racks.size(), event.racks.size());
+    for (std::size_t r = 0; r < dense.racks.size(); ++r) {
+        EXPECT_EQ(simResultToJson(dense.racks[r]),
+                  simResultToJson(event.racks[r]))
+            << "rack " << r << " diverged";
+    }
+    expectAggregatesIdentical(dense, event);
+}
+
+TEST(FleetEvent, IdenticalToDenseOnJitteryWorkloads)
+{
+    // TS/WC/MS jitter every tick, so the event engine rarely (if
+    // ever) engages — but it must still be exact, not just when the
+    // kernel runs.
+    const double budget = 3.0 * 260.0;
+    FleetRig dense_rig, event_rig;
+    FleetResult dense =
+        FleetSimulator(dense_rig.cfg, budget,
+                       FleetOptions{BudgetPolicy::Static,
+                                    FleetMode::Dense, true})
+            .run(dense_rig.specs);
+    FleetResult event =
+        FleetSimulator(event_rig.cfg, budget,
+                       FleetOptions{BudgetPolicy::Static,
+                                    FleetMode::Event, true})
+            .run(event_rig.specs);
+    EXPECT_EQ(fleetJson(dense), fleetJson(event));
+    expectAggregatesIdentical(dense, event);
+}
+
+TEST(FleetEvent, EngagesOnCalmFleet)
+{
+    CalmRig rig(false, 8.0);
+    FleetResult r =
+        FleetSimulator(rig.cfg, 3.0 * 260.0,
+                       FleetOptions{BudgetPolicy::Static,
+                                    FleetMode::Event, true})
+            .run(rig.specs);
+    const auto ticks = static_cast<unsigned long>(8.0 * 3600.0);
+    EXPECT_EQ(r.denseTicks + r.macroSpanTicks, ticks);
+    EXPECT_GT(r.macroSpans, 10ul)
+        << "event engine never engaged on a calm fleet";
+    // Calm spans should dominate: the engine is the point at scale.
+    EXPECT_GT(r.macroSpanTicks, r.denseTicks);
+}
+
+TEST(FleetEvent, JobCountDoesNotChangeResults)
+{
+    const double budget = 3.0 * 260.0;
+    ThreadPool::configureGlobal(1);
+    CalmRig serial_rig(true);
+    FleetResult serial =
+        FleetSimulator(serial_rig.cfg, budget,
+                       FleetOptions{BudgetPolicy::Proportional,
+                                    FleetMode::Event, true})
+            .run(serial_rig.specs);
+    ThreadPool::configureGlobal(4);
+    CalmRig pooled_rig(true);
+    FleetResult pooled =
+        FleetSimulator(pooled_rig.cfg, budget,
+                       FleetOptions{BudgetPolicy::Proportional,
+                                    FleetMode::Event, true})
+            .run(pooled_rig.specs);
+    ThreadPool::configureGlobal(0);
+    EXPECT_EQ(fleetJson(serial), fleetJson(pooled));
+    expectAggregatesIdentical(serial, pooled);
+}
+
+TEST(FleetEvent, DroppedPerRackResultsKeepAggregates)
+{
+    const double budget = 3.0 * 260.0;
+    CalmRig kept_rig(false);
+    FleetResult kept =
+        FleetSimulator(kept_rig.cfg, budget,
+                       FleetOptions{BudgetPolicy::Static,
+                                    FleetMode::Event, true})
+            .run(kept_rig.specs);
+    CalmRig slim_rig(false);
+    slim_rig.cfg.recordSeries = false;
+    FleetResult slim =
+        FleetSimulator(slim_rig.cfg, budget,
+                       FleetOptions{BudgetPolicy::Static,
+                                    FleetMode::Event, false})
+            .run(slim_rig.specs);
+    EXPECT_TRUE(slim.racks.empty());
+    expectAggregatesIdentical(kept, slim);
 }
 
 } // namespace

@@ -49,6 +49,49 @@ TEST(ResultIo, MetricsTable)
     std::remove(path.c_str());
 }
 
+TEST(ResultIo, MetricsRoundTripExact)
+{
+    // The metrics CSV used std::to_string (fixed six decimals),
+    // which truncated small magnitudes to 0.000000 and collapsed
+    // one-ulp differences. Values must now read back bit-for-bit.
+    SimResult r;
+    r.schemeName = "X";
+    r.workloadName = "Y";
+    r.durationSeconds = 7200.0;
+    r.energyEfficiency = 0.1 + 0.2;         // 0.30000000000000004
+    r.effectiveEfficiency = 1.0 / 3.0;
+    r.downtimeSeconds = 1.5e-7;             // to_string -> 0.000000
+    r.batteryLifetimeYears = 3.7500000000000004;
+    r.reu = 0.9999999999999999;
+    r.ledger.sourceToLoadWh = 0.0;
+    r.ledger.scToLoadWh = 2.5e-7;
+    r.ledger.unservedWh = 1e-7;
+
+    std::string path = testing::TempDir() + "heb_metrics_exact.csv";
+    writeResultMetrics({r}, path);
+    CsvTable t = readCsv(path);
+    ASSERT_EQ(t.rows.size(), 1u);
+    auto col = [&](const char *name) {
+        return t.rows[0][t.columnIndex(name)];
+    };
+    EXPECT_EQ(col("efficiency"), r.energyEfficiency);
+    EXPECT_EQ(col("effective_efficiency"), r.effectiveEfficiency);
+    EXPECT_EQ(col("downtime_s"), r.downtimeSeconds);
+    EXPECT_EQ(col("battery_life_years"), r.batteryLifetimeYears);
+    EXPECT_EQ(col("reu"), r.reu);
+    EXPECT_EQ(col("buffer_to_load_wh"), r.ledger.bufferToLoadWh());
+    EXPECT_EQ(col("unserved_wh"), r.ledger.unservedWh);
+    std::remove(path.c_str());
+}
+
+TEST(ResultIo, RecordSeriesConfigKey)
+{
+    Config c = Config::fromString("record_series = false");
+    EXPECT_FALSE(simConfigFromConfig(c).recordSeries);
+    SimConfig defaults;
+    EXPECT_TRUE(defaults.recordSeries);
+}
+
 TEST(ResultIo, SimConfigFromConfigDefaults)
 {
     Config empty = Config::fromString("");

@@ -54,12 +54,28 @@ TEST(Histogram, BinningAndEdges)
     Histogram h(0.0, 10.0, 10);
     h.add(0.5);   // bin 0
     h.add(9.99);  // bin 9
-    h.add(-5.0);  // clamps to bin 0
-    h.add(50.0);  // clamps to bin 9
-    EXPECT_EQ(h.binCount(0), 2u);
-    EXPECT_EQ(h.binCount(9), 2u);
+    h.add(-5.0);  // below range: tallied, not clamped into bin 0
+    h.add(50.0);  // above range: tallied, not clamped into bin 9
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(9), 1u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.inRange(), 2u);
     EXPECT_EQ(h.total(), 4u);
-    EXPECT_DOUBLE_EQ(h.binFraction(0), 0.5);
+    // Fractions are over *all* samples, so out-of-range mass is
+    // visible as bins summing below 1.
+    EXPECT_DOUBLE_EQ(h.binFraction(0), 0.25);
+}
+
+TEST(Histogram, ExactBoundaries)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.0);   // lo is in range (first bin, half-open [lo, hi))
+    h.add(10.0);  // hi is out of range
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.total(), 2u);
 }
 
 TEST(Histogram, BinCenter)
