@@ -113,8 +113,18 @@ HebController::rolloverSlot(double now_seconds, double budget_w)
     sensors.budgetW = budget_w;
     sensors.slotSeconds = slotSeconds_;
     plan_ = scheme_.planSlot(sensors);
-    if (degradation_)
+    if (degradation_) {
         plan_ = degradation_->adapt(plan_, sensors);
+        if (degradation_->lastAction() != DegradationAction::None) {
+            if (auto *tr = obs::activeTrace()) {
+                tr->record(obs::TraceEventKind::Degrade, now_seconds,
+                           {static_cast<double>(
+                                degradation_->lastAction()),
+                            sensors.scUsableWh,
+                            sensors.baUsableWh});
+            }
+        }
+    }
 
     if (obs::metricsOn())
         ControllerMetrics::get().planRLambda.record(plan_.rLambda);

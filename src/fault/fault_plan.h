@@ -51,6 +51,9 @@ enum class FaultKind
     SensorJitter,
 };
 
+/** Number of distinct fault kinds (array-sizing companion). */
+constexpr std::size_t kFaultKindCount = 6;
+
 /** Render a fault kind for logs and JSON artifacts. */
 const char *faultKindName(FaultKind kind);
 

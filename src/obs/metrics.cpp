@@ -14,7 +14,73 @@ namespace {
 
 std::atomic<int> g_level{static_cast<int>(TelemetryLevel::Off)};
 
+/**
+ * Canonicalize a label set: sorted by key, duplicate keys fatal.
+ * Sorting at registration makes (name, labels) identity independent
+ * of call-site ordering.
+ */
+MetricLabels
+canonicalLabels(const MetricLabels &labels)
+{
+    MetricLabels sorted = labels;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 1; i < sorted.size(); ++i) {
+        if (sorted[i].first == sorted[i - 1].first) {
+            fatal("duplicate metric label key '", sorted[i].first,
+                  "'");
+        }
+    }
+    return sorted;
+}
+
+/** Registry map key: name + 0x1f + canonical label rendering. */
+std::string
+seriesKey(const std::string &name, const MetricLabels &sorted)
+{
+    if (sorted.empty())
+        return name;
+    std::string key = name;
+    key += '\x1f';
+    key += renderLabels(sorted);
+    return key;
+}
+
+/** Identity shown in names()/toJson(): name or name{k="v",...}. */
+template <typename Metric>
+std::string
+metricIdentity(const Metric &metric)
+{
+    return metric.name() + renderLabels(metric.labels());
+}
+
 } // namespace
+
+std::string
+renderLabels(const MetricLabels &labels)
+{
+    if (labels.empty())
+        return "";
+    std::string out = "{";
+    bool first = true;
+    for (const auto &[key, value] : labels) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += key;
+        out += "=\"";
+        for (char c : value) {
+            switch (c) {
+              case '\\': out += "\\\\"; break;
+              case '"': out += "\\\""; break;
+              case '\n': out += "\\n"; break;
+              default: out += c;
+            }
+        }
+        out += '"';
+    }
+    out += '}';
+    return out;
+}
 
 TelemetryLevel
 telemetryLevel()
@@ -30,8 +96,9 @@ setTelemetryLevel(TelemetryLevel level)
                   std::memory_order_relaxed);
 }
 
-Histogram::Histogram(std::string name, HistogramSpec spec)
-    : name_(std::move(name)),
+Histogram::Histogram(std::string name, HistogramSpec spec,
+                     MetricLabels labels)
+    : name_(std::move(name)), labels_(std::move(labels)),
       buckets_(spec.boundaryCount + 1)
 {
     if (spec.firstBoundary <= 0.0 || spec.growth <= 1.0 ||
@@ -122,6 +189,18 @@ MetricsRegistry::counter(const std::string &name)
     return *slot;
 }
 
+Counter &
+MetricsRegistry::counter(const std::string &name,
+                         const MetricLabels &labels)
+{
+    MetricLabels sorted = canonicalLabels(labels);
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = counters_[seriesKey(name, sorted)];
+    if (!slot)
+        slot = std::make_unique<Counter>(name, std::move(sorted));
+    return *slot;
+}
+
 Gauge &
 MetricsRegistry::gauge(const std::string &name)
 {
@@ -129,6 +208,18 @@ MetricsRegistry::gauge(const std::string &name)
     auto &slot = gauges_[name];
     if (!slot)
         slot = std::make_unique<Gauge>(name);
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name,
+                       const MetricLabels &labels)
+{
+    MetricLabels sorted = canonicalLabels(labels);
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = gauges_[seriesKey(name, sorted)];
+    if (!slot)
+        slot = std::make_unique<Gauge>(name, std::move(sorted));
     return *slot;
 }
 
@@ -140,6 +231,21 @@ MetricsRegistry::histogram(const std::string &name,
     auto &slot = histograms_[name];
     if (!slot)
         slot = std::make_unique<Histogram>(name, spec);
+    return *slot;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           const MetricLabels &labels,
+                           HistogramSpec spec)
+{
+    MetricLabels sorted = canonicalLabels(labels);
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = histograms_[seriesKey(name, sorted)];
+    if (!slot) {
+        slot = std::make_unique<Histogram>(name, spec,
+                                           std::move(sorted));
+    }
     return *slot;
 }
 
@@ -157,12 +263,12 @@ MetricsRegistry::names() const
     std::vector<std::string> out;
     out.reserve(counters_.size() + gauges_.size() +
                 histograms_.size());
-    for (const auto &[name, _] : counters_)
-        out.push_back(name);
-    for (const auto &[name, _] : gauges_)
-        out.push_back(name);
-    for (const auto &[name, _] : histograms_)
-        out.push_back(name);
+    for (const auto &[_, c] : counters_)
+        out.push_back(metricIdentity(*c));
+    for (const auto &[_, g] : gauges_)
+        out.push_back(metricIdentity(*g));
+    for (const auto &[_, h] : histograms_)
+        out.push_back(metricIdentity(*h));
     std::sort(out.begin(), out.end());
     return out;
 }
@@ -173,28 +279,28 @@ MetricsRegistry::toJson() const
     std::lock_guard<std::mutex> lock(mu_);
     std::string out = "{\n  \"counters\": {";
     bool first = true;
-    for (const auto &[name, c] : counters_) {
+    for (const auto &[_, c] : counters_) {
         out += first ? "\n    " : ",\n    ";
         first = false;
-        appendJsonString(out, name);
+        appendJsonString(out, metricIdentity(*c));
         out += ": ";
         appendJsonNumber(out, c->value());
     }
     out += "\n  },\n  \"gauges\": {";
     first = true;
-    for (const auto &[name, g] : gauges_) {
+    for (const auto &[_, g] : gauges_) {
         out += first ? "\n    " : ",\n    ";
         first = false;
-        appendJsonString(out, name);
+        appendJsonString(out, metricIdentity(*g));
         out += ": ";
         appendJsonNumber(out, g->value());
     }
     out += "\n  },\n  \"histograms\": {";
     first = true;
-    for (const auto &[name, h] : histograms_) {
+    for (const auto &[_, h] : histograms_) {
         out += first ? "\n    " : ",\n    ";
         first = false;
-        appendJsonString(out, name);
+        appendJsonString(out, metricIdentity(*h));
         out += ": {\"count\": ";
         appendJsonNumber(out, static_cast<double>(h->count()));
         out += ", \"sum\": ";

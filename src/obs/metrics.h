@@ -14,6 +14,11 @@
  * Naming convention: `<layer>.<subject>_<unit>`, e.g.
  * `sim.unserved_wh`, `esd.sc-bank.discharge_wh`,
  * `core.pat_updates_total`.
+ *
+ * Metrics may carry label sets (`rack`, `scheme`, `fault_kind`, ...):
+ * every (name, labels) pair is an independent time series inside the
+ * family named by `name`. Labeled registration pays one extra map
+ * lookup; the update path is identical to unlabeled metrics.
  */
 
 #pragma once
@@ -24,10 +29,22 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace heb {
 namespace obs {
+
+/**
+ * Label set of one metric: key/value pairs, sorted by key at
+ * registration so (name, labels) identity and export order are
+ * deterministic regardless of call-site spelling.
+ */
+using MetricLabels =
+    std::vector<std::pair<std::string, std::string>>;
+
+/** Render labels as the canonical `{k="v",...}` suffix ("" when empty). */
+std::string renderLabels(const MetricLabels &labels);
 
 /**
  * Global telemetry gate (the "enum gate" of the tick path): Off
@@ -54,7 +71,10 @@ metricsOn()
 class Counter
 {
   public:
-    explicit Counter(std::string name) : name_(std::move(name)) {}
+    explicit Counter(std::string name, MetricLabels labels = {})
+        : name_(std::move(name)), labels_(std::move(labels))
+    {
+    }
 
     /** Add @p delta (ignored when telemetry is off). */
     void
@@ -77,11 +97,15 @@ class Counter
 
     const std::string &name() const { return name_; }
 
+    /** Label set (sorted by key; empty for unlabeled metrics). */
+    const MetricLabels &labels() const { return labels_; }
+
     /** Zero the counter (registry reset). */
     void zero() { value_.store(0.0, std::memory_order_relaxed); }
 
   private:
     std::string name_;
+    MetricLabels labels_;
     std::atomic<double> value_{0.0};
 };
 
@@ -89,7 +113,10 @@ class Counter
 class Gauge
 {
   public:
-    explicit Gauge(std::string name) : name_(std::move(name)) {}
+    explicit Gauge(std::string name, MetricLabels labels = {})
+        : name_(std::move(name)), labels_(std::move(labels))
+    {
+    }
 
     /** Record the current reading (ignored when telemetry is off). */
     void
@@ -109,10 +136,14 @@ class Gauge
 
     const std::string &name() const { return name_; }
 
+    /** Label set (sorted by key; empty for unlabeled metrics). */
+    const MetricLabels &labels() const { return labels_; }
+
     void zero() { value_.store(0.0, std::memory_order_relaxed); }
 
   private:
     std::string name_;
+    MetricLabels labels_;
     std::atomic<double> value_{0.0};
 };
 
@@ -146,7 +177,8 @@ struct HistogramSpec
 class Histogram
 {
   public:
-    Histogram(std::string name, HistogramSpec spec);
+    Histogram(std::string name, HistogramSpec spec,
+              MetricLabels labels = {});
 
     /** Record one observation. */
     void record(double value);
@@ -174,10 +206,14 @@ class Histogram
 
     const std::string &name() const { return name_; }
 
+    /** Label set (sorted by key; empty for unlabeled metrics). */
+    const MetricLabels &labels() const { return labels_; }
+
     void zero();
 
   private:
     std::string name_;
+    MetricLabels labels_;
     std::vector<double> boundaries_;
     std::vector<std::atomic<std::uint64_t>> buckets_;
     std::atomic<double> sum_{0.0};
@@ -197,17 +233,33 @@ class MetricsRegistry
      */
     Counter &counter(const std::string &name);
 
+    /** Find-or-create a labeled counter in the family @p name. */
+    Counter &counter(const std::string &name,
+                     const MetricLabels &labels);
+
     /** Find-or-create a gauge. */
     Gauge &gauge(const std::string &name);
+
+    /** Find-or-create a labeled gauge in the family @p name. */
+    Gauge &gauge(const std::string &name,
+                 const MetricLabels &labels);
 
     /** Find-or-create a histogram (spec applies on first creation). */
     Histogram &histogram(const std::string &name,
                          HistogramSpec spec = {});
 
+    /** Find-or-create a labeled histogram in the family @p name. */
+    Histogram &histogram(const std::string &name,
+                         const MetricLabels &labels,
+                         HistogramSpec spec = {});
+
     /** Number of registered metrics across all kinds. */
     std::size_t size() const;
 
-    /** Sorted names of every registered metric. */
+    /**
+     * Sorted identities of every registered metric: the name for
+     * unlabeled metrics, `name{k="v",...}` for labeled ones.
+     */
     std::vector<std::string> names() const;
 
     /** Serialize every metric to a JSON object string. */
@@ -219,12 +271,35 @@ class MetricsRegistry
     /** Zero every metric value; registrations survive. */
     void reset();
 
+    /**
+     * Visit every metric under the registry lock, grouped by kind,
+     * each kind ordered name-major then label-minor. The exporters
+     * (JSON dump, Prometheus exposition) are built on this.
+     */
+    template <typename CounterFn, typename GaugeFn,
+              typename HistogramFn>
+    void
+    visit(CounterFn on_counter, GaugeFn on_gauge,
+          HistogramFn on_histogram) const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const auto &[_, c] : counters_)
+            on_counter(*c);
+        for (const auto &[_, g] : gauges_)
+            on_gauge(*g);
+        for (const auto &[_, h] : histograms_)
+            on_histogram(*h);
+    }
+
     MetricsRegistry() = default;
     MetricsRegistry(const MetricsRegistry &) = delete;
     MetricsRegistry &operator=(const MetricsRegistry &) = delete;
 
   private:
     mutable std::mutex mu_;
+    // Keyed on name + '\x1f' + canonical labels: all series of a
+    // family are contiguous, and families never interleave (0x1f
+    // sorts below every printable character).
     std::map<std::string, std::unique_ptr<Counter>> counters_;
     std::map<std::string, std::unique_ptr<Gauge>> gauges_;
     std::map<std::string, std::unique_ptr<Histogram>> histograms_;

@@ -13,6 +13,7 @@ namespace obs {
 namespace {
 
 std::atomic<bool> g_profiling{false};
+std::atomic<bool> g_spanRecording{false};
 
 struct SiteRegistry
 {
@@ -27,6 +28,29 @@ siteRegistry()
     return registry;
 }
 
+struct SpanRing
+{
+    std::mutex mu;
+    std::vector<ProfileSpan> spans;
+    std::size_t capacity = 1 << 16;
+    std::uint64_t dropped = 0;
+};
+
+SpanRing &
+spanRing()
+{
+    static SpanRing ring;
+    return ring;
+}
+
+/** Shared zero point of every span timestamp. */
+std::chrono::steady_clock::time_point
+profileEpoch()
+{
+    static const auto epoch = std::chrono::steady_clock::now();
+    return epoch;
+}
+
 } // namespace
 
 bool
@@ -39,6 +63,89 @@ void
 setProfilingEnabled(bool enabled)
 {
     g_profiling.store(enabled, std::memory_order_relaxed);
+}
+
+unsigned
+profileThreadRank()
+{
+    static std::atomic<unsigned> next{0};
+    thread_local unsigned rank =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return rank;
+}
+
+bool
+profileSpanRecordingEnabled()
+{
+    return g_spanRecording.load(std::memory_order_relaxed);
+}
+
+void
+setProfileSpanRecording(bool enabled, std::size_t capacity)
+{
+    {
+        SpanRing &ring = spanRing();
+        std::lock_guard<std::mutex> lock(ring.mu);
+        ring.capacity = std::max<std::size_t>(1, capacity);
+    }
+    if (enabled)
+        profileEpoch(); // pin the epoch before the first span
+    g_spanRecording.store(enabled, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+recordProfileSpan(const ProfileSite &site,
+                  std::chrono::steady_clock::time_point start,
+                  std::chrono::steady_clock::time_point end)
+{
+    ProfileSpan span;
+    span.site = &site;
+    span.threadRank = profileThreadRank();
+    auto sinceEpoch = [](std::chrono::steady_clock::time_point t) {
+        auto ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                t - profileEpoch())
+                .count();
+        return ns > 0 ? static_cast<std::uint64_t>(ns) : 0;
+    };
+    span.startNs = sinceEpoch(start);
+    span.durationNs = sinceEpoch(end) - span.startNs;
+
+    SpanRing &ring = spanRing();
+    std::lock_guard<std::mutex> lock(ring.mu);
+    if (ring.spans.size() >= ring.capacity) {
+        ++ring.dropped;
+        return;
+    }
+    ring.spans.push_back(span);
+}
+
+} // namespace detail
+
+std::vector<ProfileSpan>
+profileSpans()
+{
+    SpanRing &ring = spanRing();
+    std::vector<ProfileSpan> out;
+    {
+        std::lock_guard<std::mutex> lock(ring.mu);
+        out = ring.spans;
+    }
+    std::sort(out.begin(), out.end(),
+              [](const ProfileSpan &a, const ProfileSpan &b) {
+                  return a.startNs < b.startNs;
+              });
+    return out;
+}
+
+std::uint64_t
+profileSpansDropped()
+{
+    SpanRing &ring = spanRing();
+    std::lock_guard<std::mutex> lock(ring.mu);
+    return ring.dropped;
 }
 
 ProfileSite &
@@ -101,10 +208,16 @@ profileReport()
 void
 resetProfiling()
 {
-    SiteRegistry &registry = siteRegistry();
-    std::lock_guard<std::mutex> lock(registry.mu);
-    for (auto &[_, site] : registry.sites)
-        site->zero();
+    {
+        SiteRegistry &registry = siteRegistry();
+        std::lock_guard<std::mutex> lock(registry.mu);
+        for (auto &[_, site] : registry.sites)
+            site->zero();
+    }
+    SpanRing &ring = spanRing();
+    std::lock_guard<std::mutex> lock(ring.mu);
+    ring.spans.clear();
+    ring.dropped = 0;
 }
 
 } // namespace obs

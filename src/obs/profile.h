@@ -28,6 +28,27 @@ bool profilingEnabled();
 /** Turn scoped-timer recording on or off (process-wide). */
 void setProfilingEnabled(bool enabled);
 
+/**
+ * Small dense id of the calling thread (0 = first thread to ask,
+ * usually main; pool workers get 1..N in spawn order). Samples are
+ * tagged with this so pool-parallel fleet runs keep per-thread
+ * phase timelines apart instead of interleaving into one track.
+ */
+unsigned profileThreadRank();
+
+/** True while ScopedTimer also records individual spans. */
+bool profileSpanRecordingEnabled();
+
+/**
+ * Enable/disable span recording (implies keeping the per-site
+ * totals as well). The span ring holds @p capacity spans; once full
+ * further spans are counted as dropped, keeping the *earliest*
+ * window — a profile wants the run's shape from the start, unlike
+ * the trace ring which keeps the freshest tail.
+ */
+void setProfileSpanRecording(bool enabled,
+                             std::size_t capacity = 1 << 16);
+
 /** Accumulated statistics of one named profiling scope. */
 class ProfileSite
 {
@@ -78,6 +99,13 @@ class ProfileSite
     std::atomic<std::uint64_t> calls_{0};
 };
 
+namespace detail {
+/** Append one finished span to the span ring (profile.cpp). */
+void recordProfileSpan(const ProfileSite &site,
+                       std::chrono::steady_clock::time_point start,
+                       std::chrono::steady_clock::time_point end);
+} // namespace detail
+
 /** RAII timer attributing its lifetime to a ProfileSite. */
 class ScopedTimer
 {
@@ -93,11 +121,14 @@ class ScopedTimer
     {
         if (!site_)
             return;
+        auto end = std::chrono::steady_clock::now();
         auto ns =
             std::chrono::duration_cast<std::chrono::nanoseconds>(
-                std::chrono::steady_clock::now() - start_)
+                end - start_)
                 .count();
         site_->add(static_cast<std::uint64_t>(ns));
+        if (profileSpanRecordingEnabled())
+            detail::recordProfileSpan(*site_, start_, end);
     }
 
     ScopedTimer(const ScopedTimer &) = delete;
@@ -118,6 +149,25 @@ struct ProfileEntry
 
 /** All sites with at least one recorded call, heaviest first. */
 std::vector<ProfileEntry> profileSites();
+
+/**
+ * One timed interval captured while span recording was on. Times
+ * are nanoseconds since the process profile epoch (the first span
+ * ring use), so spans from different threads share one clock.
+ */
+struct ProfileSpan
+{
+    const ProfileSite *site = nullptr;
+    unsigned threadRank = 0;
+    std::uint64_t startNs = 0;
+    std::uint64_t durationNs = 0;
+};
+
+/** Recorded spans, start-ordered. */
+std::vector<ProfileSpan> profileSpans();
+
+/** Spans discarded because the span ring was full. */
+std::uint64_t profileSpansDropped();
 
 /**
  * Render the phase-time table (phase, calls, total ms, mean us,

@@ -1,0 +1,588 @@
+#include "obs/prometheus.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/format.h"
+#include "util/logging.h"
+
+namespace heb {
+namespace obs {
+
+namespace {
+
+bool
+nameStartChar(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+           c == ':';
+}
+
+bool
+nameChar(char c)
+{
+    return nameStartChar(c) ||
+           std::isdigit(static_cast<unsigned char>(c));
+}
+
+bool
+labelStartChar(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+labelChar(char c)
+{
+    return labelStartChar(c) ||
+           std::isdigit(static_cast<unsigned char>(c));
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+}
+
+/** Prometheus value spelling: round-trip finite, spec non-finite. */
+std::string
+promValue(double value)
+{
+    if (std::isnan(value))
+        return "NaN";
+    if (std::isinf(value))
+        return value > 0 ? "+Inf" : "-Inf";
+    return formatRoundTrip(value);
+}
+
+/**
+ * Append `{k="v",...}` with @p extra appended last (the `le` bound
+ * for histogram buckets); nothing when both parts are empty.
+ */
+void
+appendPromLabels(std::string &out, const MetricLabels &labels,
+                 const char *extraKey, const std::string &extraValue)
+{
+    if (labels.empty() && extraKey == nullptr)
+        return;
+    out += '{';
+    bool first = true;
+    for (const auto &[key, value] : labels) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += key;
+        out += "=\"";
+        for (char c : value) {
+            switch (c) {
+              case '\\': out += "\\\\"; break;
+              case '"': out += "\\\""; break;
+              case '\n': out += "\\n"; break;
+              default: out += c;
+            }
+        }
+        out += '"';
+    }
+    if (extraKey != nullptr) {
+        if (!first)
+            out += ',';
+        out += extraKey;
+        out += "=\"";
+        out += extraValue;
+        out += '"';
+    }
+    out += '}';
+}
+
+void
+appendFamilyHeader(std::string &out, std::string &lastFamily,
+                   const std::string &family,
+                   const std::string &internalName, const char *type)
+{
+    if (family == lastFamily)
+        return;
+    lastFamily = family;
+    out += "# HELP ";
+    out += family;
+    out += " HEB metric ";
+    out += internalName;
+    out += "\n# TYPE ";
+    out += family;
+    out += ' ';
+    out += type;
+    out += '\n';
+}
+
+} // namespace
+
+std::string
+prometheusName(const std::string &name, bool counter)
+{
+    std::string out = "heb_";
+    for (char c : name)
+        out += nameChar(c) ? c : '_';
+    if (counter && !endsWith(out, "_total"))
+        out += "_total";
+    return out;
+}
+
+std::string
+renderPrometheus(const MetricsRegistry &registry)
+{
+    std::string out;
+    std::string lastFamily;
+    registry.visit(
+        [&](const Counter &c) {
+            std::string family = prometheusName(c.name(), true);
+            appendFamilyHeader(out, lastFamily, family, c.name(),
+                               "counter");
+            out += family;
+            appendPromLabels(out, c.labels(), nullptr, "");
+            out += ' ';
+            out += promValue(c.value());
+            out += '\n';
+        },
+        [&](const Gauge &g) {
+            std::string family = prometheusName(g.name(), false);
+            appendFamilyHeader(out, lastFamily, family, g.name(),
+                               "gauge");
+            out += family;
+            appendPromLabels(out, g.labels(), nullptr, "");
+            out += ' ';
+            out += promValue(g.value());
+            out += '\n';
+        },
+        [&](const Histogram &h) {
+            std::string family = prometheusName(h.name(), false);
+            appendFamilyHeader(out, lastFamily, family, h.name(),
+                               "histogram");
+            // Exposition buckets are cumulative; the internal
+            // buckets are disjoint, so accumulate while walking.
+            std::uint64_t cumulative = 0;
+            for (std::size_t i = 0; i + 1 < h.bucketTotal(); ++i) {
+                cumulative += h.bucketCount(i);
+                out += family;
+                out += "_bucket";
+                appendPromLabels(out, h.labels(), "le",
+                                 promValue(h.boundaries()[i]));
+                out += ' ';
+                out += std::to_string(cumulative);
+                out += '\n';
+            }
+            out += family;
+            out += "_bucket";
+            appendPromLabels(out, h.labels(), "le", "+Inf");
+            out += ' ';
+            out += std::to_string(h.count());
+            out += '\n';
+            out += family;
+            out += "_sum";
+            appendPromLabels(out, h.labels(), nullptr, "");
+            out += ' ';
+            out += promValue(h.sum());
+            out += '\n';
+            out += family;
+            out += "_count";
+            appendPromLabels(out, h.labels(), nullptr, "");
+            out += ' ';
+            out += std::to_string(h.count());
+            out += '\n';
+        });
+    return out;
+}
+
+void
+writePrometheus(const MetricsRegistry &registry,
+                const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open Prometheus output '", path, "'");
+    out << renderPrometheus(registry);
+}
+
+namespace {
+
+/** Cursor over one exposition line during validation. */
+struct LineParser
+{
+    const std::string &line;
+    std::size_t pos = 0;
+
+    explicit LineParser(const std::string &l) : line(l) {}
+
+    bool done() const { return pos >= line.size(); }
+    char peek() const { return line[pos]; }
+
+    void
+    skipSpaces()
+    {
+        while (!done() && (peek() == ' ' || peek() == '\t'))
+            ++pos;
+    }
+
+    /** Parse a metric name; empty string on failure. */
+    std::string
+    parseName()
+    {
+        if (done() || !nameStartChar(peek()))
+            return "";
+        std::size_t start = pos;
+        while (!done() && nameChar(peek()))
+            ++pos;
+        return line.substr(start, pos - start);
+    }
+
+    /** Parse a label key; empty string on failure. */
+    std::string
+    parseLabelKey()
+    {
+        if (done() || !labelStartChar(peek()))
+            return "";
+        std::size_t start = pos;
+        while (!done() && labelChar(peek()))
+            ++pos;
+        return line.substr(start, pos - start);
+    }
+
+    /** Parse `"..."` with \\, \" and \n escapes. */
+    bool
+    parseQuoted(std::string &out)
+    {
+        if (done() || peek() != '"')
+            return false;
+        ++pos;
+        out.clear();
+        while (!done() && peek() != '"') {
+            char c = line[pos++];
+            if (c == '\\') {
+                if (done())
+                    return false;
+                char esc = line[pos++];
+                if (esc == '\\')
+                    out += '\\';
+                else if (esc == '"')
+                    out += '"';
+                else if (esc == 'n')
+                    out += '\n';
+                else
+                    return false;
+            } else {
+                out += c;
+            }
+        }
+        if (done())
+            return false;
+        ++pos; // closing quote
+        return true;
+    }
+};
+
+bool
+parsePromDouble(const std::string &text, double &out)
+{
+    if (text == "+Inf") {
+        out = HUGE_VAL;
+        return true;
+    }
+    if (text == "-Inf") {
+        out = -HUGE_VAL;
+        return true;
+    }
+    if (text == "NaN") {
+        out = std::nan("");
+        return true;
+    }
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtod(text.c_str(), &end);
+    return end == text.c_str() + text.size();
+}
+
+std::string
+lineError(std::size_t lineNo, const std::string &what)
+{
+    return "line " + std::to_string(lineNo) + ": " + what;
+}
+
+/** One histogram series accumulated across bucket sample lines. */
+struct HistogramSeries
+{
+    // (le, cumulative count) in file order.
+    std::vector<std::pair<double, double>> buckets;
+    bool hasInf = false;
+    double infCount = 0.0;
+    bool hasCount = false;
+    double count = 0.0;
+};
+
+} // namespace
+
+bool
+validatePrometheusText(const std::string &text, std::string *error)
+{
+    auto fail = [&](const std::string &message) {
+        if (error != nullptr)
+            *error = message;
+        return false;
+    };
+
+    std::map<std::string, std::string> declaredType;
+    std::set<std::string> helpSeen;
+    std::set<std::string> finishedFamilies;
+    std::string currentFamily;
+    // Histogram series keyed by family + serialized non-le labels.
+    std::map<std::string, HistogramSeries> series;
+    std::map<std::string, std::size_t> seriesLine;
+
+    // Resolve a sample name to its family: histogram samples carry
+    // _bucket/_sum/_count suffixes on the declared name.
+    auto familyOf = [&](const std::string &sample,
+                        std::string &suffix) {
+        for (const char *s : {"_bucket", "_sum", "_count"}) {
+            std::string suf = s;
+            if (endsWith(sample, suf)) {
+                std::string base =
+                    sample.substr(0, sample.size() - suf.size());
+                auto it = declaredType.find(base);
+                if (it != declaredType.end() &&
+                    it->second == "histogram") {
+                    suffix = suf;
+                    return base;
+                }
+            }
+        }
+        suffix.clear();
+        return sample;
+    };
+
+    std::size_t lineNo = 0;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        std::size_t nl = text.find('\n', start);
+        std::string line =
+            text.substr(start, nl == std::string::npos
+                                   ? std::string::npos
+                                   : nl - start);
+        start = nl == std::string::npos ? text.size() + 1 : nl + 1;
+        ++lineNo;
+        if (line.empty())
+            continue;
+
+        if (line[0] == '#') {
+            LineParser p(line);
+            ++p.pos;
+            p.skipSpaces();
+            std::size_t kwStart = p.pos;
+            while (!p.done() && p.peek() != ' ')
+                ++p.pos;
+            std::string keyword =
+                line.substr(kwStart, p.pos - kwStart);
+            if (keyword != "HELP" && keyword != "TYPE")
+                continue; // free-form comment
+            p.skipSpaces();
+            std::string name = p.parseName();
+            if (name.empty())
+                return fail(lineError(
+                    lineNo, "bad metric name in # " + keyword));
+            if (keyword == "HELP") {
+                if (!helpSeen.insert(name).second)
+                    return fail(lineError(
+                        lineNo, "duplicate HELP for " + name));
+                continue;
+            }
+            p.skipSpaces();
+            std::size_t tyStart = p.pos;
+            while (!p.done() && p.peek() != ' ')
+                ++p.pos;
+            std::string type = line.substr(tyStart, p.pos - tyStart);
+            if (type != "counter" && type != "gauge" &&
+                type != "histogram" && type != "summary" &&
+                type != "untyped")
+                return fail(lineError(lineNo,
+                                      "unknown TYPE '" + type +
+                                          "' for " + name));
+            if (!declaredType.emplace(name, type).second)
+                return fail(
+                    lineError(lineNo, "duplicate TYPE for " + name));
+            if (finishedFamilies.count(name) ||
+                currentFamily == name)
+                return fail(lineError(
+                    lineNo, "TYPE after samples of " + name));
+            continue;
+        }
+
+        LineParser p(line);
+        std::string name = p.parseName();
+        if (name.empty())
+            return fail(lineError(lineNo, "bad metric name"));
+
+        MetricLabels labels;
+        if (!p.done() && p.peek() == '{') {
+            ++p.pos;
+            while (true) {
+                p.skipSpaces();
+                if (!p.done() && p.peek() == '}') {
+                    ++p.pos;
+                    break;
+                }
+                std::string key = p.parseLabelKey();
+                if (key.empty())
+                    return fail(
+                        lineError(lineNo, "bad label name"));
+                if (p.done() || p.peek() != '=')
+                    return fail(lineError(
+                        lineNo, "missing '=' after label " + key));
+                ++p.pos;
+                std::string value;
+                if (!p.parseQuoted(value))
+                    return fail(lineError(
+                        lineNo, "bad quoting for label " + key));
+                for (const auto &[seen, _] : labels) {
+                    if (seen == key)
+                        return fail(lineError(
+                            lineNo, "duplicate label " + key));
+                }
+                labels.emplace_back(key, value);
+                p.skipSpaces();
+                if (!p.done() && p.peek() == ',') {
+                    ++p.pos;
+                    continue;
+                }
+                if (!p.done() && p.peek() == '}') {
+                    ++p.pos;
+                    break;
+                }
+                return fail(lineError(
+                    lineNo, "expected ',' or '}' in label set"));
+            }
+        }
+
+        p.skipSpaces();
+        std::size_t valueStart = p.pos;
+        while (!p.done() && p.peek() != ' ' && p.peek() != '\t')
+            ++p.pos;
+        std::string valueText =
+            line.substr(valueStart, p.pos - valueStart);
+        double value = 0.0;
+        if (!parsePromDouble(valueText, value))
+            return fail(lineError(
+                lineNo, "bad sample value '" + valueText + "'"));
+
+        // Optional millisecond timestamp.
+        p.skipSpaces();
+        if (!p.done()) {
+            std::size_t tsStart = p.pos;
+            if (p.peek() == '-')
+                ++p.pos;
+            while (!p.done() &&
+                   std::isdigit(static_cast<unsigned char>(p.peek())))
+                ++p.pos;
+            p.skipSpaces();
+            if (p.pos == tsStart || !p.done())
+                return fail(lineError(
+                    lineNo, "trailing garbage after value"));
+        }
+
+        std::string suffix;
+        std::string family = familyOf(name, suffix);
+        if (family != currentFamily) {
+            if (finishedFamilies.count(family))
+                return fail(lineError(
+                    lineNo,
+                    "samples of " + family + " are not grouped"));
+            if (!currentFamily.empty())
+                finishedFamilies.insert(currentFamily);
+            currentFamily = family;
+        }
+        auto declared = declaredType.find(family);
+        if (declared != declaredType.end() &&
+            declared->second == "histogram") {
+            if (suffix.empty())
+                return fail(lineError(
+                    lineNo, "histogram " + family +
+                                " sample must be _bucket/_sum/"
+                                "_count"));
+            std::string key = family + '\x1f';
+            bool hasLe = false;
+            double le = 0.0;
+            for (const auto &[k, v] : labels) {
+                if (k == "le") {
+                    hasLe = true;
+                    if (!parsePromDouble(v, le))
+                        return fail(lineError(
+                            lineNo, "bad le bound '" + v + "'"));
+                    continue;
+                }
+                key += k;
+                key += '=';
+                key += v;
+                key += '\x1f';
+            }
+            if (suffix == "_bucket" && !hasLe)
+                return fail(lineError(
+                    lineNo, family + "_bucket without le label"));
+            if (suffix != "_bucket" && hasLe)
+                return fail(lineError(
+                    lineNo, family + suffix + " carries le label"));
+            HistogramSeries &hs = series[key];
+            seriesLine.emplace(key, lineNo);
+            if (suffix == "_bucket") {
+                if (std::isinf(le) && le > 0) {
+                    hs.hasInf = true;
+                    hs.infCount = value;
+                } else {
+                    hs.buckets.emplace_back(le, value);
+                }
+            } else if (suffix == "_count") {
+                hs.hasCount = true;
+                hs.count = value;
+            }
+        }
+    }
+
+    for (const auto &[key, hs] : series) {
+        std::string family = key.substr(0, key.find('\x1f'));
+        std::size_t atLine = seriesLine[key];
+        if (!hs.hasInf)
+            return fail(lineError(
+                atLine, family + " lacks an le=\"+Inf\" bucket"));
+        double prev = -HUGE_VAL;
+        double prevCount = 0.0;
+        for (const auto &[le, count] : hs.buckets) {
+            if (le <= prev)
+                return fail(lineError(
+                    atLine, family + " bucket bounds not "
+                                     "increasing"));
+            if (count < prevCount)
+                return fail(lineError(
+                    atLine,
+                    family + " bucket counts not cumulative"));
+            prev = le;
+            prevCount = count;
+        }
+        if (hs.infCount < prevCount)
+            return fail(lineError(
+                atLine, family + " +Inf bucket below last bound"));
+        if (hs.hasCount && hs.count != hs.infCount)
+            return fail(lineError(
+                atLine,
+                family + " _count disagrees with +Inf bucket"));
+    }
+
+    if (error != nullptr)
+        error->clear();
+    return true;
+}
+
+} // namespace obs
+} // namespace heb

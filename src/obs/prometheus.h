@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Prometheus text-exposition (format 0.0.4) for MetricsRegistry.
+ *
+ * Internal metric names (`sim.unserved_wh`, `esd.sc-bank.soc`) are
+ * mapped to the Prometheus charset by prefixing `heb_` and replacing
+ * every character outside [a-zA-Z0-9_:] with '_'; counters
+ * additionally get the conventional `_total` suffix. Label sets
+ * registered on a metric are emitted verbatim (values escaped per the
+ * exposition spec), and histograms expand to the cumulative
+ * `_bucket{le=...}` / `_sum` / `_count` triplet with a final
+ * `le="+Inf"` bucket.
+ *
+ * The output is deterministic: families appear counters-then-
+ * gauges-then-histograms, each kind name-major then label-minor
+ * (MetricsRegistry::visit order), so snapshots diff cleanly and the
+ * golden-file test can compare literal text.
+ *
+ * validatePrometheusText() is the in-repo stand-in for `promtool
+ * check metrics`: CI runs it when promtool is absent, and the
+ * `heb_promlint` tool wraps it for shell pipelines.
+ */
+
+#pragma once
+
+#include <string>
+
+namespace heb {
+namespace obs {
+
+class MetricsRegistry;
+
+/**
+ * Map an internal metric name to its Prometheus family name:
+ * `heb_` prefix, non-charset bytes to '_', and for counters
+ * (@p counter true) a `_total` suffix unless already present.
+ */
+std::string prometheusName(const std::string &name, bool counter);
+
+/** Render every metric in @p registry as exposition text. */
+std::string renderPrometheus(const MetricsRegistry &registry);
+
+/**
+ * Write renderPrometheus() to @p path; fatal() when unwritable.
+ * The snapshot is a complete scrape body — `curl --data-binary
+ * @file` into a pushgateway or file_sd-style ingestion works as-is.
+ */
+void writePrometheus(const MetricsRegistry &registry,
+                     const std::string &path);
+
+/**
+ * Check @p text against the exposition format: line grammar, name
+ * and label charsets, escape sequences, TYPE declarations preceding
+ * their samples, histogram bucket monotonicity and the mandatory
+ * `le="+Inf"` bucket equal to `_count`. Returns true when clean;
+ * otherwise false with a one-line diagnosis (including the 1-based
+ * line number) in @p error when non-null.
+ */
+bool validatePrometheusText(const std::string &text,
+                            std::string *error);
+
+} // namespace obs
+} // namespace heb

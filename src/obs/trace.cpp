@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
+#include <exception>
 #include <fstream>
 
 #include "obs/json.h"
@@ -14,6 +16,40 @@ namespace obs {
 namespace {
 
 std::atomic<TraceRecorder *> g_trace{nullptr};
+
+thread_local std::uint16_t t_track = 0;
+
+// Abort-flush hook state. A plain mutex-guarded pair: the handlers
+// run once, at process death, where contention is no concern.
+std::mutex g_abortMu;
+const TraceRecorder *g_abortRecorder = nullptr;
+std::string g_abortPath;
+bool g_abortHandlersInstalled = false;
+std::terminate_handler g_previousTerminate = nullptr;
+
+void
+flushTraceOnAbort()
+{
+    const TraceRecorder *recorder;
+    std::string path;
+    {
+        std::lock_guard<std::mutex> lock(g_abortMu);
+        recorder = g_abortRecorder;
+        path = g_abortPath;
+        g_abortRecorder = nullptr; // flush at most once
+    }
+    if (recorder != nullptr && !path.empty())
+        recorder->tryWriteJsonl(path);
+}
+
+void
+terminateWithFlush()
+{
+    flushTraceOnAbort();
+    if (g_previousTerminate != nullptr)
+        g_previousTerminate();
+    std::abort();
+}
 
 struct EventSchema
 {
@@ -43,6 +79,9 @@ schemaFor(TraceEventKind kind)
         {"quiescent",
          {"ticks", "demand_w", "supply_w", "source_wh",
           "sc_charge_wh", "ba_charge_wh"}},
+        {"fault",
+         {"kind", "active", "magnitude", "duration_s", "target"}},
+        {"degrade", {"action", "sc_usable_wh", "ba_usable_wh"}},
     }};
     auto index = static_cast<std::size_t>(kind);
     if (index >= schemas.size())
@@ -81,6 +120,7 @@ TraceRecorder::record(TraceEventKind kind, double time_seconds,
     TraceEvent ev;
     ev.timeSeconds = time_seconds;
     ev.kind = kind;
+    ev.track = t_track;
     std::size_t i = 0;
     for (double v : values) {
         if (i >= ev.values.size())
@@ -127,9 +167,16 @@ TraceRecorder::snapshot() const
 void
 TraceRecorder::writeJsonl(const std::string &path) const
 {
+    if (!tryWriteJsonl(path))
+        fatal("cannot open trace output '", path, "'");
+}
+
+bool
+TraceRecorder::tryWriteJsonl(const std::string &path) const
+{
     std::ofstream out(path);
     if (!out)
-        fatal("cannot open trace output '", path, "'");
+        return false;
     std::string line;
     for (const TraceEvent &ev : snapshot()) {
         line.clear();
@@ -137,6 +184,8 @@ TraceRecorder::writeJsonl(const std::string &path) const
         appendJsonNumber(line, ev.timeSeconds);
         line += ", \"type\": ";
         appendJsonString(line, traceEventKindName(ev.kind));
+        line += ", \"track\": ";
+        appendJsonNumber(line, ev.track);
         const auto &fields = traceEventFields(ev.kind);
         for (std::size_t i = 0; i < fields.size(); ++i) {
             line += ", ";
@@ -147,6 +196,7 @@ TraceRecorder::writeJsonl(const std::string &path) const
         line += "}\n";
         out << line;
     }
+    return true;
 }
 
 void
@@ -194,6 +244,42 @@ void
 setActiveTrace(TraceRecorder *recorder)
 {
     g_trace.store(recorder, std::memory_order_relaxed);
+}
+
+std::uint16_t
+currentTraceTrack()
+{
+    return t_track;
+}
+
+ScopedTraceTrack::ScopedTraceTrack(std::uint16_t track)
+    : previous_(t_track)
+{
+    t_track = track;
+}
+
+ScopedTraceTrack::~ScopedTraceTrack() { t_track = previous_; }
+
+void
+installTraceFlushOnAbort(const TraceRecorder *recorder,
+                         std::string path)
+{
+    std::lock_guard<std::mutex> lock(g_abortMu);
+    g_abortRecorder = recorder;
+    g_abortPath = std::move(path);
+    if (!g_abortHandlersInstalled) {
+        g_abortHandlersInstalled = true;
+        std::atexit(flushTraceOnAbort);
+        g_previousTerminate = std::set_terminate(terminateWithFlush);
+    }
+}
+
+void
+clearTraceFlushOnAbort()
+{
+    std::lock_guard<std::mutex> lock(g_abortMu);
+    g_abortRecorder = nullptr;
+    g_abortPath.clear();
 }
 
 } // namespace obs

@@ -50,10 +50,14 @@ enum class TraceEventKind : std::uint8_t {
     Restart,
     /** A quiescent fast-forward macro-tick (summarizes many ticks). */
     Quiescent,
+    /** A fault-injection edge: activation or clearance. */
+    Fault,
+    /** The degradation ladder changed the plan for a slot. */
+    Degrade,
 };
 
 /** Number of distinct event kinds. */
-constexpr std::size_t kTraceEventKinds = 8;
+constexpr std::size_t kTraceEventKinds = 10;
 
 /** Maximum payload fields an event carries. */
 constexpr std::size_t kTraceEventFieldMax = 6;
@@ -66,6 +70,12 @@ struct TraceEvent
 
     /** What happened. */
     TraceEventKind kind = TraceEventKind::Tick;
+
+    /**
+     * Source track (rack index in fleet runs, 0 single-rack),
+     * stamped from the recording thread's currentTraceTrack().
+     */
+    std::uint16_t track = 0;
 
     /** Payload, named per kind by traceEventFields(). */
     std::array<double, kTraceEventFieldMax> values{};
@@ -114,6 +124,14 @@ class TraceRecorder
     /** Write the ring as JSON Lines; fatal() when unwritable. */
     void writeJsonl(const std::string &path) const;
 
+    /**
+     * writeJsonl without the fatal(): returns false when the path
+     * cannot be opened. The abort-flush hook uses this — dying a
+     * second time inside a terminate handler would mask the original
+     * failure.
+     */
+    bool tryWriteJsonl(const std::string &path) const;
+
     /** Write the ring as CSV; fatal() when unwritable. */
     void writeCsv(const std::string &path) const;
 
@@ -138,6 +156,45 @@ TraceRecorder *activeTrace();
 
 /** Install (or, with nullptr, remove) the process trace recorder. */
 void setActiveTrace(TraceRecorder *recorder);
+
+/**
+ * Track events recorded by this thread are attributed to. Fleet runs
+ * scope a rack's tick inside ScopedTraceTrack so every event a rack
+ * emits — including ones recorded deep in the controller, which
+ * never sees a rack index — lands on that rack's track. Thread-local
+ * because racks tick on pool threads, one rack per thread at a time.
+ */
+std::uint16_t currentTraceTrack();
+
+/** RAII: set this thread's trace track, restore on scope exit. */
+class ScopedTraceTrack
+{
+  public:
+    explicit ScopedTraceTrack(std::uint16_t track);
+    ~ScopedTraceTrack();
+
+    ScopedTraceTrack(const ScopedTraceTrack &) = delete;
+    ScopedTraceTrack &operator=(const ScopedTraceTrack &) = delete;
+
+  private:
+    std::uint16_t previous_;
+};
+
+/**
+ * Arrange for @p recorder to be flushed to @p path when the process
+ * dies unexpectedly: covers exit()/fatal() (atexit) and uncaught
+ * exceptions (a chained terminate handler). A clean shutdown should
+ * write the trace itself and then uninstall the hook — the abort
+ * flush skips paths the run already wrote. Raw abort()/signals are
+ * out of scope (atexit does not run).
+ *
+ * One hook per process; installing again replaces recorder/path.
+ */
+void installTraceFlushOnAbort(const TraceRecorder *recorder,
+                              std::string path);
+
+/** Disarm the abort flush (normal shutdown already flushed). */
+void clearTraceFlushOnAbort();
 
 } // namespace obs
 } // namespace heb

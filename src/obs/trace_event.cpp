@@ -1,0 +1,309 @@
+#include "obs/trace_event.h"
+
+#include <cstddef>
+#include <fstream>
+#include <set>
+
+#include "fault/fault_plan.h"
+#include "obs/json.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
+#include "util/format.h"
+#include "util/logging.h"
+
+namespace heb {
+namespace obs {
+
+namespace {
+
+constexpr int kSimPid = 1;
+constexpr int kProfilerPid = 2;
+
+/**
+ * Degradation-ladder action names, indexed by the action code the
+ * Degrade trace event carries. Kept in sync with
+ * core::degradationActionName by the golden trace test — obs cannot
+ * link heb_core (core links obs).
+ */
+const char *const kDegradeActionNames[] = {
+    "none", "rebalanced", "battery-only", "sc-only", "shed"};
+constexpr std::size_t kDegradeActionCount =
+    sizeof(kDegradeActionNames) / sizeof(kDegradeActionNames[0]);
+
+const char *
+degradeActionName(double code)
+{
+    auto index = static_cast<std::size_t>(code);
+    return index < kDegradeActionCount ? kDegradeActionNames[index]
+                                       : "?";
+}
+
+const char *
+faultName(double code)
+{
+    auto index = static_cast<std::size_t>(code);
+    if (index >= fault::kFaultKindCount)
+        return "?";
+    return fault::faultKindName(
+        static_cast<fault::FaultKind>(index));
+}
+
+/** Emitter for one `{...},\n` trace-event object. */
+class EventWriter
+{
+  public:
+    explicit EventWriter(std::string &out) : out_(out) {}
+
+    EventWriter &
+    begin(const char *ph, int pid, int tid, const char *name)
+    {
+        out_ += first_ ? "  {" : ",\n  {";
+        first_ = false;
+        out_ += "\"ph\": \"";
+        out_ += ph;
+        out_ += "\", \"pid\": ";
+        out_ += std::to_string(pid);
+        out_ += ", \"tid\": ";
+        out_ += std::to_string(tid);
+        out_ += ", \"name\": ";
+        appendJsonString(out_, name);
+        argOpen_ = false;
+        return *this;
+    }
+
+    EventWriter &
+    ts(double microseconds)
+    {
+        out_ += ", \"ts\": ";
+        appendRoundTrip(out_, microseconds);
+        return *this;
+    }
+
+    EventWriter &
+    dur(double microseconds)
+    {
+        out_ += ", \"dur\": ";
+        appendRoundTrip(out_, microseconds);
+        return *this;
+    }
+
+    /** Instant scope (thread-wide). */
+    EventWriter &
+    instantScope()
+    {
+        out_ += ", \"s\": \"t\"";
+        return *this;
+    }
+
+    EventWriter &
+    arg(const std::string &key, double value)
+    {
+        out_ += argOpen_ ? ", " : ", \"args\": {";
+        argOpen_ = true;
+        appendJsonString(out_, key);
+        out_ += ": ";
+        appendJsonNumber(out_, value);
+        return *this;
+    }
+
+    EventWriter &
+    argString(const std::string &key, const std::string &value)
+    {
+        out_ += argOpen_ ? ", " : ", \"args\": {";
+        argOpen_ = true;
+        appendJsonString(out_, key);
+        out_ += ": ";
+        appendJsonString(out_, value);
+        return *this;
+    }
+
+    void
+    end()
+    {
+        if (argOpen_)
+            out_ += '}';
+        out_ += '}';
+    }
+
+  private:
+    std::string &out_;
+    bool first_ = true;
+    bool argOpen_ = false;
+};
+
+void
+writeMetadata(EventWriter &w, int pid, int tid,
+              const std::string &threadName)
+{
+    w.begin("M", pid, tid, "thread_name")
+        .argString("name", threadName);
+    w.end();
+}
+
+void
+writeProcessName(EventWriter &w, int pid, const std::string &name)
+{
+    w.begin("M", pid, 0, "process_name").argString("name", name);
+    w.end();
+}
+
+} // namespace
+
+std::string
+renderChromeTrace(const std::vector<TraceEvent> &events,
+                  const ChromeTraceOptions &options)
+{
+    const double usPerTick = options.tickSeconds * 1e6;
+    std::string out = "{\"displayTimeUnit\": \"ms\", "
+                      "\"traceEvents\": [\n";
+    EventWriter w(out);
+
+    // Track naming first: viewers apply metadata wherever it
+    // appears, but leading with it keeps the file scannable.
+    std::set<int> tracks;
+    for (const TraceEvent &ev : events)
+        tracks.insert(ev.track);
+    if (!events.empty()) {
+        writeProcessName(w, kSimPid, "simulation (sim time)");
+        for (int track : tracks)
+            writeMetadata(w, kSimPid, track,
+                          "rack " + std::to_string(track));
+    }
+
+    for (const TraceEvent &ev : events) {
+        const double ts = ev.timeSeconds * 1e6;
+        const int tid = ev.track;
+        const std::string rack = std::to_string(tid);
+        switch (ev.kind) {
+          case TraceEventKind::Quiescent:
+            w.begin("X", kSimPid, tid, "quiescent")
+                .ts(ts)
+                .dur(ev.values[0] * usPerTick)
+                .arg("ticks", ev.values[0])
+                .arg("demand_w", ev.values[1])
+                .arg("supply_w", ev.values[2])
+                .arg("source_wh", ev.values[3]);
+            w.end();
+            break;
+          case TraceEventKind::Fault:
+            // Activation edges become windows (or instants for the
+            // permanent derates); clearance edges are implied by
+            // the window end.
+            if (ev.values[1] < 0.5)
+                break;
+            if (ev.values[3] > 0.0) {
+                w.begin("X", kSimPid, tid, faultName(ev.values[0]))
+                    .ts(ts)
+                    .dur(ev.values[3] * 1e6);
+            } else {
+                w.begin("i", kSimPid, tid, faultName(ev.values[0]))
+                    .ts(ts)
+                    .instantScope();
+            }
+            w.arg("magnitude", ev.values[2])
+                .arg("target", ev.values[4]);
+            w.end();
+            break;
+          case TraceEventKind::Degrade:
+            w.begin("i", kSimPid, tid, "degrade")
+                .ts(ts)
+                .instantScope()
+                .argString("action",
+                           degradeActionName(ev.values[0]))
+                .arg("sc_usable_wh", ev.values[1])
+                .arg("ba_usable_wh", ev.values[2]);
+            w.end();
+            break;
+          case TraceEventKind::Shed:
+            w.begin("i", kSimPid, tid, "shed")
+                .ts(ts)
+                .instantScope()
+                .arg("unserved_w", ev.values[0])
+                .arg("servers_shed", ev.values[1])
+                .arg("online_after", ev.values[2]);
+            w.end();
+            break;
+          case TraceEventKind::Restart:
+            w.begin("i", kSimPid, tid, "restart")
+                .ts(ts)
+                .instantScope()
+                .arg("online_after", ev.values[0]);
+            w.end();
+            break;
+          case TraceEventKind::RideThrough:
+            w.begin("i", kSimPid, tid, "ride_through")
+                .ts(ts)
+                .instantScope()
+                .arg("load_w", ev.values[0])
+                .arg("estimate_s", ev.values[1]);
+            w.end();
+            break;
+          case TraceEventKind::Tick:
+            w.begin("C", kSimPid, tid,
+                    ("rack" + rack + " power").c_str())
+                .ts(ts)
+                .arg("demand_w", ev.values[0])
+                .arg("source_draw_w", ev.values[5]);
+            w.end();
+            break;
+          case TraceEventKind::SocSample:
+            w.begin("C", kSimPid, tid,
+                    ("rack" + rack + " soc").c_str())
+                .ts(ts)
+                .arg("sc_soc", ev.values[0])
+                .arg("ba_soc", ev.values[1]);
+            w.end();
+            break;
+          case TraceEventKind::SlotPlan:
+            w.begin("i", kSimPid, tid, "slot_plan")
+                .ts(ts)
+                .instantScope()
+                .arg("r_lambda", ev.values[0])
+                .arg("predicted_mismatch_w", ev.values[1]);
+            w.end();
+            break;
+          case TraceEventKind::SlotClose:
+            break; // plan instants already mark slot boundaries
+        }
+    }
+
+    if (options.includeProfile) {
+        std::vector<ProfileSpan> spans = profileSpans();
+        if (!spans.empty()) {
+            writeProcessName(w, kProfilerPid, "profiler (wall time)");
+            std::set<unsigned> ranks;
+            for (const ProfileSpan &span : spans)
+                ranks.insert(span.threadRank);
+            for (unsigned rank : ranks)
+                writeMetadata(w, kProfilerPid,
+                              static_cast<int>(rank),
+                              "thread " + std::to_string(rank));
+            for (const ProfileSpan &span : spans) {
+                w.begin("X", kProfilerPid,
+                        static_cast<int>(span.threadRank),
+                        span.site->name().c_str())
+                    .ts(static_cast<double>(span.startNs) / 1e3)
+                    .dur(static_cast<double>(span.durationNs) /
+                         1e3);
+                w.end();
+            }
+        }
+    }
+
+    out += "\n]}\n";
+    return out;
+}
+
+void
+writeChromeTrace(const TraceRecorder &recorder,
+                 const std::string &path,
+                 const ChromeTraceOptions &options)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open Chrome trace output '", path, "'");
+    out << renderChromeTrace(recorder.snapshot(), options);
+}
+
+} // namespace obs
+} // namespace heb

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Chrome trace_event / Perfetto JSON exporter.
+ *
+ * Renders a TraceRecorder ring (and optionally the profiler's span
+ * ring) as the Trace Event Format consumed by `about://tracing` and
+ * https://ui.perfetto.dev — drop the file in and the fleet run
+ * becomes a timeline.
+ *
+ * Track layout:
+ *  - pid 1 "simulation" runs on *simulation* time (1 µs of trace
+ *    time per µs of simulated time). Each rack is one thread track
+ *    (tid = TraceEvent::track): quiescent macro-spans are complete
+ *    ("X") slices sized ticks × tickSeconds — the gaps between them
+ *    are the densely-ticked regions — fault activation windows are
+ *    slices sized by their duration, degradation-ladder transitions
+ *    and shed/restart edges are instants, and stride-sampled ticks
+ *    and SoC samples become per-rack counter tracks.
+ *  - pid 2 "profiler" runs on *wall* time: every recorded
+ *    ProfileSpan is a slice on its thread-rank track, so the
+ *    pool-parallel phase structure of a fleet run is visible.
+ *
+ * The two clock domains share one file but are separate process
+ * groups, so the viewer never tries to align them.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace heb {
+namespace obs {
+
+struct TraceEvent;
+class TraceRecorder;
+
+struct ChromeTraceOptions
+{
+    /**
+     * Simulated seconds per tick — sizes quiescent macro-spans
+     * (ticks × tickSeconds) on the timeline.
+     */
+    double tickSeconds = 1.0;
+
+    /** Append the profiler span ring as pid 2. */
+    bool includeProfile = true;
+};
+
+/** Render @p events as a Trace Event Format JSON document. */
+std::string
+renderChromeTrace(const std::vector<TraceEvent> &events,
+                  const ChromeTraceOptions &options = {});
+
+/**
+ * Render @p recorder's ring and write it to @p path; fatal() when
+ * unwritable.
+ */
+void writeChromeTrace(const TraceRecorder &recorder,
+                      const std::string &path,
+                      const ChromeTraceOptions &options = {});
+
+} // namespace obs
+} // namespace heb

@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "obs/profile.h"
+#include "sim/fleet_health.h"
 #include "sim/tick_math.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -169,6 +170,22 @@ FleetSimulator::run(const std::vector<RackSpec> &racks)
         domains.push_back(std::make_unique<RackDomain>(
             config_, *spec.workload, *spec.scheme, spec.name,
             shared_plan));
+        // Rack index = trace track: every event this domain records
+        // lands on its own timeline in the Chrome trace.
+        domains.back()->setTraceTrack(
+            static_cast<std::uint16_t>(domains.size() - 1));
+    }
+
+    FleetHealthAggregator *health = options_.health;
+    if (health) {
+        std::vector<std::string> rack_names;
+        std::vector<std::string> scheme_names;
+        for (const RackSpec &spec : racks) {
+            rack_names.push_back(spec.name);
+            scheme_names.push_back(spec.scheme->name());
+        }
+        health->beginRun(rack_names, scheme_names,
+                         config_.numServers);
     }
 
     const double dt = config_.tickSeconds;
@@ -187,6 +204,26 @@ FleetSimulator::run(const std::vector<RackSpec> &racks)
     std::vector<double> alloc(n, 0.0);
     std::vector<double> alloc_ff(n, 0.0);
     std::vector<SpanDrawRecorder> recorders(n);
+
+    // Live health sampling reads domain state between the parallel
+    // sections (never concurrently with ticking) and touches no
+    // simulation state, so it cannot perturb results.
+    double next_health = 0.0;
+    auto sampleHealth = [&](double t) {
+        if (!health || options_.healthSampleSeconds <= 0.0 ||
+            t < next_health)
+            return;
+        for (std::size_t r = 0; r < n; ++r)
+            health->sampleLive(r, *domains[r], t);
+        health->noteProgress(t, config_.durationSeconds,
+                             result.denseTicks,
+                             result.macroSpanTicks,
+                             result.macroSpans);
+        if (options_.onHealthSample)
+            options_.onHealthSample(*health,
+                                    options_.onHealthSampleUser);
+        next_health = t + options_.healthSampleSeconds;
+    };
 
     std::size_t tick_i = 0;
     while (tick_i < ticks) {
@@ -208,6 +245,7 @@ FleetSimulator::run(const std::vector<RackSpec> &racks)
 
         ++tick_i;
         ++result.denseTicks;
+        sampleHealth(now);
 
         if (options_.mode != FleetMode::Event || tick_i >= ticks)
             continue;
@@ -295,6 +333,7 @@ FleetSimulator::run(const std::vector<RackSpec> &racks)
         tick_i += span;
         ++result.macroSpans;
         result.macroSpanTicks += span;
+        sampleHealth(static_cast<double>(tick_i - 1) * dt);
     }
 
     double eff_weighted = 0.0;
@@ -311,6 +350,12 @@ FleetSimulator::run(const std::vector<RackSpec> &racks)
         result.totalServedWh += served;
         eff_weighted += rr.energyEfficiency * served;
         eff_unweighted += rr.energyEfficiency;
+        // Fold before the result is (possibly) moved away: the
+        // aggregator sees the same SimResult in the same rack order
+        // on the slim and full paths, so its rollups agree with
+        // kept per-rack results bit for bit.
+        if (health)
+            health->foldRack(r, rr);
         if (options_.keepPerRackResults)
             result.racks.push_back(std::move(rr));
     }
@@ -320,6 +365,8 @@ FleetSimulator::run(const std::vector<RackSpec> &racks)
         result.totalServedWh > 0.0
             ? eff_weighted / result.totalServedWh
             : result.meanEfficiencyUnweighted;
+    if (health)
+        health->recordEngineTotals(result);
     return result;
 }
 

@@ -46,6 +46,8 @@
 
 namespace heb {
 
+class FleetHealthAggregator;
+
 /** How the shared facility budget is split across racks. */
 enum class BudgetPolicy { Static, Proportional };
 
@@ -92,6 +94,31 @@ struct FleetOptions
      * series inside each domain.
      */
     bool keepPerRackResults = true;
+
+    /**
+     * Fleet health aggregator to feed (not owned; may be null).
+     * Lives on the slim path: it samples live per-rack gauges every
+     * healthSampleSeconds of simulated time and receives every
+     * rack's final SimResult through foldRack() regardless of
+     * keepPerRackResults.
+     */
+    FleetHealthAggregator *health = nullptr;
+
+    /**
+     * Simulated seconds between live health samples (<= 0 disables
+     * live sampling; finalize-time folding still happens).
+     */
+    double healthSampleSeconds = 0.0;
+
+    /**
+     * Callback fired after each live health sample (the `--watch`
+     * hook); null for none. Runs on the fleet run-loop thread.
+     */
+    void (*onHealthSample)(const FleetHealthAggregator &,
+                           void *user) = nullptr;
+
+    /** Opaque pointer handed to onHealthSample. */
+    void *onHealthSampleUser = nullptr;
 };
 
 /** Aggregate + per-rack results of a fleet run. */

@@ -1,0 +1,394 @@
+#include "sim/fleet_health.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "sim/fleet.h"
+#include "sim/rack_domain.h"
+#include "sim/sim_result.h"
+#include "util/format.h"
+#include "util/logging.h"
+#include "util/table_printer.h"
+
+namespace heb {
+
+namespace {
+
+/** %.17g with JSON-safe non-finite handling (defensive; health
+ *  values are finite by construction). */
+void
+appendExactNumber(std::string &out, double value)
+{
+    if (!std::isfinite(value)) {
+        out += "null";
+        return;
+    }
+    appendRoundTrip(out, value);
+}
+
+void
+appendKey(std::string &out, const char *key)
+{
+    obs::appendJsonString(out, key);
+    out += ": ";
+}
+
+} // namespace
+
+void
+FleetHealthAggregator::beginRun(
+    const std::vector<std::string> &rack_names,
+    const std::vector<std::string> &scheme_names,
+    std::size_t servers_per_rack)
+{
+    if (rack_names.size() != scheme_names.size())
+        fatal("FleetHealthAggregator: rack/scheme name counts "
+              "differ");
+    *this = FleetHealthAggregator();
+    serversPerRack_ = servers_per_rack;
+    racks_.resize(rack_names.size());
+    gauges_.resize(rack_names.size());
+    for (std::size_t r = 0; r < rack_names.size(); ++r) {
+        racks_[r].name = rack_names[r];
+        racks_[r].scheme = scheme_names[r];
+    }
+}
+
+void
+FleetHealthAggregator::publishLive(std::size_t rack)
+{
+    if (!obs::metricsOn())
+        return;
+    RackGauges &g = gauges_[rack];
+    if (g.scSoc == nullptr) {
+        obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+        obs::MetricLabels labels = {{"rack", racks_[rack].name},
+                                    {"scheme",
+                                     racks_[rack].scheme}};
+        g.scSoc = &reg.gauge("fleet.rack_sc_soc", labels);
+        g.baSoc = &reg.gauge("fleet.rack_ba_soc", labels);
+        g.shedFraction =
+            &reg.gauge("fleet.rack_shed_fraction", labels);
+        g.peakDrawW = &reg.gauge("fleet.rack_peak_draw_w", labels);
+        g.bufferUp = &reg.gauge("fleet.rack_buffer_up", labels);
+    }
+    const RackHealth &h = racks_[rack];
+    g.scSoc->set(h.scSoc);
+    g.baSoc->set(h.baSoc);
+    g.shedFraction->set(h.shedFraction);
+    g.peakDrawW->set(h.peakDrawW);
+    g.bufferUp->set(h.bufferUp ? 1.0 : 0.0);
+}
+
+void
+FleetHealthAggregator::sampleLive(std::size_t rack,
+                                  const RackDomain &domain,
+                                  double now_seconds)
+{
+    if (rack >= racks_.size())
+        fatal("FleetHealthAggregator: rack index out of range");
+    RackHealth &h = racks_[rack];
+    h.scSoc = domain.scSoc();
+    h.baSoc = domain.baSoc();
+    h.shedFraction =
+        serversPerRack_ > 0
+            ? static_cast<double>(domain.offlineServers()) /
+                  static_cast<double>(serversPerRack_)
+            : 0.0;
+    h.peakDrawW = domain.peakDrawW();
+    h.bufferUp = domain.bufferStageUp(now_seconds);
+    const auto &byKind = domain.faultEventsByKind();
+    h.faultEvents = 0;
+    for (unsigned long kindCount : byKind)
+        h.faultEvents += kindCount;
+    publishLive(rack);
+}
+
+void
+FleetHealthAggregator::noteProgress(double now_seconds,
+                                    double duration_seconds,
+                                    unsigned long dense_ticks,
+                                    unsigned long macro_span_ticks,
+                                    unsigned long macro_spans)
+{
+    nowSeconds_ = now_seconds;
+    durationSeconds_ = duration_seconds;
+    denseTicks_ = dense_ticks;
+    macroSpanTicks_ = macro_span_ticks;
+    macroSpans_ = macro_spans;
+    if (obs::metricsOn()) {
+        obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+        reg.gauge("fleet.sim_time_seconds").set(now_seconds);
+        reg.gauge("fleet.macro_engagement").set(macroEngagement());
+    }
+}
+
+void
+FleetHealthAggregator::foldRack(std::size_t rack,
+                                const SimResult &result)
+{
+    if (rack >= racks_.size())
+        fatal("FleetHealthAggregator: rack index out of range");
+    RackHealth &h = racks_[rack];
+    h.finalized = true;
+    h.unservedWh = result.ledger.unservedWh;
+    h.downtimeSeconds = result.downtimeSeconds;
+    h.servedWh = result.ledger.servedWh();
+    h.energyEfficiency = result.energyEfficiency;
+    h.crashEvents = result.serverCrashEvents;
+    h.gracefulShedEvents = result.gracefulShedEvents;
+    h.peakDrawW = result.peakUtilityDrawW;
+    h.faultsByKind = result.faultEventsByKind;
+    h.faultEvents = result.faultEventsApplied;
+    for (std::size_t k = 0;
+         k < h.faultsByKind.size() && k < fleetFaultsByKind_.size();
+         ++k) {
+        fleetFaultsByKind_[k] += h.faultsByKind[k];
+    }
+
+    if (obs::metricsOn()) {
+        obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+        obs::MetricLabels labels = {{"rack", h.name},
+                                    {"scheme", h.scheme}};
+        reg.gauge("fleet.rack_efficiency", labels)
+            .set(h.energyEfficiency);
+        reg.gauge("fleet.rack_unserved_wh", labels)
+            .set(h.unservedWh);
+        reg.gauge("fleet.rack_downtime_seconds", labels)
+            .set(h.downtimeSeconds);
+    }
+    publishLive(rack);
+}
+
+void
+FleetHealthAggregator::recordEngineTotals(const FleetResult &result)
+{
+    engineTotalsRecorded_ = true;
+    totalDowntimeSeconds_ = result.totalDowntimeSeconds;
+    totalUnservedWh_ = result.totalUnservedWh;
+    totalServedWh_ = result.totalServedWh;
+    facilityPeakDrawW_ = result.facilityPeakDrawW;
+    meanEfficiency_ = result.meanEfficiency;
+    meanEfficiencyUnweighted_ = result.meanEfficiencyUnweighted;
+    denseTicks_ = result.denseTicks;
+    macroSpanTicks_ = result.macroSpanTicks;
+    macroSpans_ = result.macroSpans;
+
+    if (obs::metricsOn()) {
+        obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+        reg.gauge("fleet.total_unserved_wh").set(totalUnservedWh_);
+        reg.gauge("fleet.facility_peak_draw_w")
+            .set(facilityPeakDrawW_);
+        reg.gauge("fleet.mean_efficiency").set(meanEfficiency_);
+        for (std::size_t k = 0; k < fleetFaultsByKind_.size();
+             ++k) {
+            reg.gauge("fleet.fault_events",
+                      {{"fault_kind",
+                        fault::faultKindName(
+                            static_cast<fault::FaultKind>(k))}})
+                .set(static_cast<double>(fleetFaultsByKind_[k]));
+        }
+    }
+}
+
+const FleetHealthAggregator::RackHealth &
+FleetHealthAggregator::rack(std::size_t rack) const
+{
+    if (rack >= racks_.size())
+        fatal("FleetHealthAggregator: rack index out of range");
+    return racks_[rack];
+}
+
+double
+FleetHealthAggregator::macroEngagement() const
+{
+    unsigned long total = denseTicks_ + macroSpanTicks_;
+    return total > 0 ? static_cast<double>(macroSpanTicks_) /
+                           static_cast<double>(total)
+                     : 0.0;
+}
+
+std::string
+FleetHealthAggregator::toJson() const
+{
+    std::string out = "{\n  ";
+    appendKey(out, "racks");
+    out += "[";
+    for (std::size_t r = 0; r < racks_.size(); ++r) {
+        const RackHealth &h = racks_[r];
+        out += r == 0 ? "\n    {" : ",\n    {";
+        appendKey(out, "name");
+        obs::appendJsonString(out, h.name);
+        out += ", ";
+        appendKey(out, "scheme");
+        obs::appendJsonString(out, h.scheme);
+        out += ", ";
+        appendKey(out, "sc_soc");
+        appendExactNumber(out, h.scSoc);
+        out += ", ";
+        appendKey(out, "ba_soc");
+        appendExactNumber(out, h.baSoc);
+        out += ", ";
+        appendKey(out, "shed_fraction");
+        appendExactNumber(out, h.shedFraction);
+        out += ", ";
+        appendKey(out, "peak_draw_w");
+        appendExactNumber(out, h.peakDrawW);
+        out += ", ";
+        appendKey(out, "buffer_up");
+        out += h.bufferUp ? "true" : "false";
+        out += ", ";
+        appendKey(out, "fault_events");
+        out += std::to_string(h.faultEvents);
+        out += ", ";
+        appendKey(out, "finalized");
+        out += h.finalized ? "true" : "false";
+        if (h.finalized) {
+            out += ", ";
+            appendKey(out, "unserved_wh");
+            appendExactNumber(out, h.unservedWh);
+            out += ", ";
+            appendKey(out, "downtime_seconds");
+            appendExactNumber(out, h.downtimeSeconds);
+            out += ", ";
+            appendKey(out, "served_wh");
+            appendExactNumber(out, h.servedWh);
+            out += ", ";
+            appendKey(out, "energy_efficiency");
+            appendExactNumber(out, h.energyEfficiency);
+            out += ", ";
+            appendKey(out, "crash_events");
+            out += std::to_string(h.crashEvents);
+            out += ", ";
+            appendKey(out, "graceful_shed_events");
+            out += std::to_string(h.gracefulShedEvents);
+            out += ", ";
+            appendKey(out, "faults_by_kind");
+            out += "[";
+            for (std::size_t k = 0; k < h.faultsByKind.size();
+                 ++k) {
+                if (k > 0)
+                    out += ", ";
+                out += std::to_string(h.faultsByKind[k]);
+            }
+            out += "]";
+        }
+        out += "}";
+    }
+    out += "\n  ],\n  ";
+    appendKey(out, "fleet");
+    out += "{\n    ";
+    appendKey(out, "racks");
+    out += std::to_string(racks_.size());
+    out += ",\n    ";
+    appendKey(out, "sim_time_seconds");
+    appendExactNumber(out, nowSeconds_);
+    out += ",\n    ";
+    appendKey(out, "duration_seconds");
+    appendExactNumber(out, durationSeconds_);
+    out += ",\n    ";
+    appendKey(out, "dense_ticks");
+    out += std::to_string(denseTicks_);
+    out += ",\n    ";
+    appendKey(out, "macro_span_ticks");
+    out += std::to_string(macroSpanTicks_);
+    out += ",\n    ";
+    appendKey(out, "macro_spans");
+    out += std::to_string(macroSpans_);
+    out += ",\n    ";
+    appendKey(out, "macro_engagement");
+    appendExactNumber(out, macroEngagement());
+    out += ",\n    ";
+    appendKey(out, "finalized");
+    out += engineTotalsRecorded_ ? "true" : "false";
+    if (engineTotalsRecorded_) {
+        out += ",\n    ";
+        appendKey(out, "total_downtime_seconds");
+        appendExactNumber(out, totalDowntimeSeconds_);
+        out += ",\n    ";
+        appendKey(out, "total_unserved_wh");
+        appendExactNumber(out, totalUnservedWh_);
+        out += ",\n    ";
+        appendKey(out, "total_served_wh");
+        appendExactNumber(out, totalServedWh_);
+        out += ",\n    ";
+        appendKey(out, "facility_peak_draw_w");
+        appendExactNumber(out, facilityPeakDrawW_);
+        out += ",\n    ";
+        appendKey(out, "mean_efficiency");
+        appendExactNumber(out, meanEfficiency_);
+        out += ",\n    ";
+        appendKey(out, "mean_efficiency_unweighted");
+        appendExactNumber(out, meanEfficiencyUnweighted_);
+        out += ",\n    ";
+        appendKey(out, "fault_events_by_kind");
+        out += "{";
+        for (std::size_t k = 0; k < fleetFaultsByKind_.size();
+             ++k) {
+            out += k == 0 ? "" : ", ";
+            obs::appendJsonString(
+                out, fault::faultKindName(
+                         static_cast<fault::FaultKind>(k)));
+            out += ": ";
+            out += std::to_string(fleetFaultsByKind_[k]);
+        }
+        out += "}";
+    }
+    out += "\n  }\n}\n";
+    return out;
+}
+
+void
+FleetHealthAggregator::writeJson(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open fleet health output '", path, "'");
+    out << toJson();
+}
+
+std::string
+FleetHealthAggregator::textSummary() const
+{
+    std::string out = "fleet: ";
+    out += std::to_string(racks_.size());
+    out += " racks, t=";
+    out += TablePrinter::num(nowSeconds_ / 3600.0, 2);
+    out += " h";
+    if (durationSeconds_ > 0.0) {
+        out += " (";
+        out += TablePrinter::num(
+            100.0 * nowSeconds_ / durationSeconds_, 1);
+        out += "%)";
+    }
+    out += ", macro-span engagement ";
+    out += TablePrinter::num(100.0 * macroEngagement(), 1);
+    out += "%";
+    if (engineTotalsRecorded_) {
+        out += ", facility peak ";
+        out += TablePrinter::num(facilityPeakDrawW_, 1);
+        out += " W, unserved ";
+        out += TablePrinter::num(totalUnservedWh_, 3);
+        out += " Wh";
+    }
+    out += "\n";
+
+    TablePrinter table({"rack", "scheme", "sc_soc", "ba_soc",
+                        "shed%", "peak(W)", "buffer", "faults"});
+    for (const RackHealth &h : racks_) {
+        table.addRow({h.name, h.scheme,
+                      TablePrinter::num(h.scSoc, 3),
+                      TablePrinter::num(h.baSoc, 3),
+                      TablePrinter::num(100.0 * h.shedFraction, 1),
+                      TablePrinter::num(h.peakDrawW, 1),
+                      h.bufferUp ? "up" : "DOWN",
+                      std::to_string(h.faultEvents)});
+    }
+    out += table.toString();
+    return out;
+}
+
+} // namespace heb

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Fleet health rollups: the live, per-rack view of a running fleet.
+ *
+ * A FleetSimulator configured with FleetOptions::health folds each
+ * rack's gauges (SoC, shed fraction, converter state, peak draw)
+ * into one aggregator on the slim streaming path — the per-rack
+ * SimResults can be dropped and the fleet summary survives. The
+ * aggregator serves three outputs:
+ *
+ *  - toJson(): the `heb_fleet --health-out` snapshot. Numbers are
+ *    rendered round-trip exact (%.17g), so the slim rollups can be
+ *    compared bit-for-bit against a full per-rack run.
+ *  - textSummary(): a `heb_top`-style table for `--watch`.
+ *  - Labeled metric families (`rack`, `scheme`, `fault_kind`)
+ *    published into the global MetricsRegistry, which is where the
+ *    Prometheus exposition gets its per-rack series.
+ *
+ * Threading: sampleLive()/foldRack() are called from the fleet
+ * run-loop thread between its parallel sections; toJson() and
+ * textSummary() may be read afterwards (or from the same thread
+ * mid-run). The aggregator itself is not locked.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.h"
+
+namespace heb {
+
+class RackDomain;
+struct FleetResult;
+struct SimResult;
+
+namespace obs {
+class Gauge;
+}
+
+/** Rolls per-rack state up into fleet-level health. */
+class FleetHealthAggregator
+{
+  public:
+    /** Live + final health of one rack. */
+    struct RackHealth
+    {
+        std::string name;
+        std::string scheme;
+
+        // --- Live gauges (refreshed by sampleLive) ---------------
+        double scSoc = 0.0;
+        double baSoc = 0.0;
+        /** Offline servers / total servers. */
+        double shedFraction = 0.0;
+        double peakDrawW = 0.0;
+        bool bufferUp = true;
+        unsigned long faultEvents = 0;
+
+        // --- Final rollups (filled by foldRack) ------------------
+        bool finalized = false;
+        double unservedWh = 0.0;
+        double downtimeSeconds = 0.0;
+        double servedWh = 0.0;
+        double energyEfficiency = 0.0;
+        unsigned long crashEvents = 0;
+        unsigned long gracefulShedEvents = 0;
+        std::vector<unsigned long> faultsByKind;
+    };
+
+    /**
+     * Start a run over racks named @p rack_names managed by the
+     * same-indexed @p scheme_names. Resets all prior state.
+     */
+    void beginRun(const std::vector<std::string> &rack_names,
+                  const std::vector<std::string> &scheme_names,
+                  std::size_t servers_per_rack);
+
+    /**
+     * Refresh rack @p rack's live gauges from @p domain at
+     * simulation time @p now_seconds, and push them into the
+     * labeled metric families when metrics are on.
+     */
+    void sampleLive(std::size_t rack, const RackDomain &domain,
+                    double now_seconds);
+
+    /** Record run-loop progress (shown by the watch summary). */
+    void noteProgress(double now_seconds, double duration_seconds,
+                      unsigned long dense_ticks,
+                      unsigned long macro_span_ticks,
+                      unsigned long macro_spans);
+
+    /**
+     * Fold rack @p rack's final SimResult. Called once per rack, in
+     * rack order, by FleetSimulator's finalize loop — on both the
+     * slim and full paths, from the same SimResult, so the rollups
+     * agree bit-for-bit with kept per-rack results.
+     */
+    void foldRack(std::size_t rack, const SimResult &result);
+
+    /** Copy the engine-level totals out of the finished @p result. */
+    void recordEngineTotals(const FleetResult &result);
+
+    /** Racks registered by beginRun. */
+    std::size_t rackCount() const { return racks_.size(); }
+
+    /** Health of rack @p rack. */
+    const RackHealth &rack(std::size_t rack) const;
+
+    /** Fraction of advanced ticks covered by macro-spans [0, 1]. */
+    double macroEngagement() const;
+
+    /** Total fault events applied, by FaultKind index. */
+    const std::vector<unsigned long> &fleetFaultsByKind() const
+    {
+        return fleetFaultsByKind_;
+    }
+
+    /** Render the fleet health snapshot as JSON (%.17g exact). */
+    std::string toJson() const;
+
+    /** Write toJson() to @p path; fatal() when unwritable. */
+    void writeJson(const std::string &path) const;
+
+    /** Render the `heb_top`-style watch table. */
+    std::string textSummary() const;
+
+  private:
+    /** Labeled gauge handles of one rack (registered lazily). */
+    struct RackGauges
+    {
+        obs::Gauge *scSoc = nullptr;
+        obs::Gauge *baSoc = nullptr;
+        obs::Gauge *shedFraction = nullptr;
+        obs::Gauge *peakDrawW = nullptr;
+        obs::Gauge *bufferUp = nullptr;
+    };
+
+    void publishLive(std::size_t rack);
+
+    std::vector<RackHealth> racks_;
+    std::vector<RackGauges> gauges_;
+    std::size_t serversPerRack_ = 0;
+
+    double nowSeconds_ = 0.0;
+    double durationSeconds_ = 0.0;
+    unsigned long denseTicks_ = 0;
+    unsigned long macroSpanTicks_ = 0;
+    unsigned long macroSpans_ = 0;
+
+    bool engineTotalsRecorded_ = false;
+    double totalDowntimeSeconds_ = 0.0;
+    double totalUnservedWh_ = 0.0;
+    double totalServedWh_ = 0.0;
+    double facilityPeakDrawW_ = 0.0;
+    double meanEfficiency_ = 0.0;
+    double meanEfficiencyUnweighted_ = 0.0;
+    std::vector<unsigned long> fleetFaultsByKind_ =
+        std::vector<unsigned long>(fault::kFaultKindCount, 0);
+};
+
+} // namespace heb

@@ -161,7 +161,14 @@ RackDomain::applyFaultEvent(const fault::FaultEvent &event,
         break;
     }
     ++faultsApplied_;
+    ++faultsByKind_[static_cast<std::size_t>(event.kind)];
     faultLog_.push_back(event.describe());
+    if (obs::TraceRecorder *tr = obs::activeTrace()) {
+        tr->record(obs::TraceEventKind::Fault, now_seconds,
+                   {static_cast<double>(event.kind), 1.0,
+                    event.magnitude, event.durationSeconds,
+                    static_cast<double>(event.target)});
+    }
 }
 
 std::size_t
@@ -186,6 +193,7 @@ RackDomain::TickOutcome
 RackDomain::tick(double now_seconds, double supply_w)
 {
     HEB_PROF_SCOPE("sim.tick");
+    obs::ScopedTraceTrack track(traceTrack_);
     const double dt = config_.tickSeconds;
     const double dt_h = secondsToHours(dt);
     const double now = now_seconds;
@@ -510,6 +518,7 @@ bool
 RackDomain::fastForwardCheck(std::size_t n_ticks, double supply_w)
 {
     HEB_PROF_SCOPE("sim.fast_forward_check");
+    obs::ScopedTraceTrack track(traceTrack_);
     const double dt = config_.tickSeconds;
     const std::size_t n = n_ticks;
     ffPlan_ = nullptr;
@@ -589,6 +598,7 @@ RackDomain::fastForwardCommit(std::size_t n_ticks, double supply_w,
                               PowerSource &draw_sink)
 {
     HEB_PROF_SCOPE("sim.fast_forward");
+    obs::ScopedTraceTrack track(traceTrack_);
     if (!ffPlan_)
         fatal("fastForwardCommit without a passing fastForwardCheck");
     const SlotPlan &plan = *ffPlan_;
@@ -728,6 +738,8 @@ RackDomain::finalize(SimResult &result) const
     result.serverCrashEvents = crashEvents_;
     result.gracefulShedEvents = gracefulShedEvents_;
     result.faultEventsApplied = faultsApplied_;
+    result.faultEventsByKind.assign(faultsByKind_.begin(),
+                                    faultsByKind_.end());
     result.faultLog = faultLog_;
     if (degradation_) {
         result.degradationActions = degradation_->rebalancedSlots() +

@@ -11,6 +11,7 @@
 
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -161,6 +162,40 @@ class RackDomain
         return injector_.get();
     }
 
+    /**
+     * Attribute this domain's trace events to @p track (the fleet
+     * rack index). tick()/fastForward*() scope the thread-local
+     * trace track to this value, so events recorded anywhere below
+     * — controller, dispatch, fault edges — land on this rack's
+     * timeline.
+     */
+    void setTraceTrack(std::uint16_t track) { traceTrack_ = track; }
+
+    /** Supercap bank state of charge right now [0, 1]. */
+    double scSoc() const { return scBank_->soc(); }
+
+    /** Battery bank state of charge right now [0, 1]. */
+    double baSoc() const { return baBank_->soc(); }
+
+    /** Highest upstream draw seen so far (W). */
+    double peakDrawW() const { return peakDrawW_; }
+
+    /** True when the buffer-path converter is in circuit at @p now. */
+    bool bufferStageUp(double now_seconds) const
+    {
+        return topology_.bufferStageAvailable(now_seconds);
+    }
+
+    /** Ticks advanced so far. */
+    std::uint64_t ticksAdvanced() const { return tickIndex_; }
+
+    /** Fault events applied so far, by FaultKind index. */
+    const std::array<unsigned long, fault::kFaultKindCount> &
+    faultEventsByKind() const
+    {
+        return faultsByKind_;
+    }
+
   private:
     /** Apply one fault event whose onset was just reached. */
     void applyFaultEvent(const fault::FaultEvent &event,
@@ -182,6 +217,7 @@ class RackDomain
     std::unique_ptr<DegradationPolicy> degradation_;
 
     std::vector<double> util_;
+    std::uint16_t traceTrack_ = 0;
     std::uint64_t tickIndex_ = 0;
     double cachedDemand_ = 0.0;
     const SlotPlan *ffPlan_ = nullptr; //!< set by fastForwardCheck
@@ -192,6 +228,8 @@ class RackDomain
     double perfDegradation_ = 0.0;
     std::size_t plannedOffline_ = 0;
     unsigned long faultsApplied_ = 0;
+    std::array<unsigned long, fault::kFaultKindCount>
+        faultsByKind_{};
     unsigned long crashEvents_ = 0;
     unsigned long gracefulShedEvents_ = 0;
     unsigned long shortfallTicks_ = 0;

@@ -86,6 +86,14 @@ struct SimResult
     /** Slots where the degradation policy changed the plan. */
     unsigned long degradationActions = 0;
 
+    /**
+     * Applied fault events split by fault::FaultKind index. Filled
+     * identically by the dense and event engines (fault edges bound
+     * the fast-forward horizon), but deliberately NOT serialized by
+     * simResultToJson — the byte-identity witness predates it.
+     */
+    std::vector<unsigned long> faultEventsByKind;
+
     /** Human-readable log of the applied fault events, in order. */
     std::vector<std::string> faultLog;
 

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Profiler span-recording tests: spans are captured only while
+ * enabled, tagged with per-thread ranks, kept start-ordered, and
+ * dropped from the tail (earliest-window ring) once the ring fills.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "obs/profile.h"
+
+namespace heb {
+namespace obs {
+namespace {
+
+class ProfileSpanTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        resetProfiling();
+        setProfilingEnabled(true);
+    }
+    void TearDown() override
+    {
+        setProfileSpanRecording(false);
+        setProfilingEnabled(false);
+        resetProfiling();
+    }
+};
+
+TEST_F(ProfileSpanTest, DisabledRecordsNoSpans)
+{
+    { HEB_PROF_SCOPE("span.disabled"); }
+    EXPECT_TRUE(profileSpans().empty());
+}
+
+TEST_F(ProfileSpanTest, SpansCarrySiteAndOrdering)
+{
+    setProfileSpanRecording(true, 64);
+    { HEB_PROF_SCOPE("span.first"); }
+    { HEB_PROF_SCOPE("span.second"); }
+
+    std::vector<ProfileSpan> spans = profileSpans();
+    ASSERT_EQ(spans.size(), 2u);
+    EXPECT_EQ(spans[0].site->name(), "span.first");
+    EXPECT_EQ(spans[1].site->name(), "span.second");
+    EXPECT_LE(spans[0].startNs, spans[1].startNs);
+    // Both scopes ran on this thread -> one rank.
+    EXPECT_EQ(spans[0].threadRank, spans[1].threadRank);
+    EXPECT_EQ(spans[0].threadRank, profileThreadRank());
+}
+
+TEST_F(ProfileSpanTest, RingKeepsEarliestWindowAndCountsDrops)
+{
+    setProfileSpanRecording(true, 4);
+    for (int i = 0; i < 10; ++i) {
+        HEB_PROF_SCOPE("span.flood");
+    }
+    std::vector<ProfileSpan> spans = profileSpans();
+    EXPECT_EQ(spans.size(), 4u);
+    EXPECT_EQ(profileSpansDropped(), 6u);
+    // Earliest window: the first four scopes survive, so the last
+    // kept span starts no later than any dropped one would have.
+    for (std::size_t i = 1; i < spans.size(); ++i)
+        EXPECT_LE(spans[i - 1].startNs, spans[i].startNs);
+}
+
+TEST_F(ProfileSpanTest, ThreadRanksAreSmallAndDistinct)
+{
+    setProfileSpanRecording(true, 256);
+    unsigned main_rank = profileThreadRank();
+    // Ranks are assigned once per thread and reused.
+    EXPECT_EQ(profileThreadRank(), main_rank);
+
+    unsigned other_rank = main_rank;
+    std::thread worker([&] {
+        other_rank = profileThreadRank();
+        HEB_PROF_SCOPE("span.worker");
+    });
+    worker.join();
+    EXPECT_NE(other_rank, main_rank);
+
+    { HEB_PROF_SCOPE("span.main"); }
+
+    std::set<unsigned> ranks;
+    for (const ProfileSpan &span : profileSpans())
+        ranks.insert(span.threadRank);
+    EXPECT_EQ(ranks.size(), 2u);
+    EXPECT_EQ(ranks.count(main_rank), 1u);
+    EXPECT_EQ(ranks.count(other_rank), 1u);
+}
+
+TEST_F(ProfileSpanTest, ResetClearsSpansAndDropCounter)
+{
+    setProfileSpanRecording(true, 2);
+    for (int i = 0; i < 5; ++i) {
+        HEB_PROF_SCOPE("span.reset");
+    }
+    EXPECT_FALSE(profileSpans().empty());
+    EXPECT_GT(profileSpansDropped(), 0u);
+    resetProfiling();
+    EXPECT_TRUE(profileSpans().empty());
+    EXPECT_EQ(profileSpansDropped(), 0u);
+}
+
+} // namespace
+} // namespace obs
+} // namespace heb

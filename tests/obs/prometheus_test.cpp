@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Prometheus exposition tests: name sanitization, golden exposition
+ * for a small labeled registry, cumulative histogram rendering, and
+ * the validator's accept/reject behaviour (the same checks CI's
+ * obs-smoke job applies via heb_promlint).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
+
+namespace heb {
+namespace obs {
+namespace {
+
+class PrometheusTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        setTelemetryLevel(TelemetryLevel::Metrics);
+    }
+    void TearDown() override
+    {
+        setTelemetryLevel(TelemetryLevel::Off);
+    }
+};
+
+TEST_F(PrometheusTest, NameSanitization)
+{
+    EXPECT_EQ(prometheusName("sim.tick.count", false),
+              "heb_sim_tick_count");
+    EXPECT_EQ(prometheusName("fleet.rack-0/soc", false),
+              "heb_fleet_rack_0_soc");
+    // Counters get the _total suffix, but never twice.
+    EXPECT_EQ(prometheusName("relay.actuations", true),
+              "heb_relay_actuations_total");
+    EXPECT_EQ(prometheusName("esd.cycles_total", true),
+              "heb_esd_cycles_total");
+}
+
+TEST_F(PrometheusTest, GoldenExposition)
+{
+    MetricsRegistry reg;
+    reg.counter("ticks").add(3.0);
+    reg.gauge("soc", {{"rack", "rack0"}, {"scheme", "HEB-D"}})
+        .set(0.5);
+    reg.gauge("soc", {{"rack", "rack1"}, {"scheme", "HEB-D"}})
+        .set(0.25);
+
+    const std::string expected =
+        "# HELP heb_ticks_total HEB metric ticks\n"
+        "# TYPE heb_ticks_total counter\n"
+        "heb_ticks_total 3\n"
+        "# HELP heb_soc HEB metric soc\n"
+        "# TYPE heb_soc gauge\n"
+        "heb_soc{rack=\"rack0\",scheme=\"HEB-D\"} 0.5\n"
+        "heb_soc{rack=\"rack1\",scheme=\"HEB-D\"} 0.25\n";
+    EXPECT_EQ(renderPrometheus(reg), expected);
+
+    std::string error;
+    EXPECT_TRUE(validatePrometheusText(expected, &error)) << error;
+}
+
+TEST_F(PrometheusTest, LabelValuesEscaped)
+{
+    MetricsRegistry reg;
+    reg.gauge("weird", {{"k", "a\"b\\c\nd"}}).set(1.0);
+    std::string text = renderPrometheus(reg);
+    EXPECT_NE(text.find("heb_weird{k=\"a\\\"b\\\\c\\nd\"} 1\n"),
+              std::string::npos)
+        << text;
+    std::string error;
+    EXPECT_TRUE(validatePrometheusText(text, &error)) << error;
+}
+
+TEST_F(PrometheusTest, LabelsSortedByKeyAtRegistration)
+{
+    MetricsRegistry reg;
+    // Registration order must not leak into the exposition: the
+    // same series reached with permuted labels is one series.
+    Gauge &a = reg.gauge("g", {{"z", "1"}, {"a", "2"}});
+    Gauge &b = reg.gauge("g", {{"a", "2"}, {"z", "1"}});
+    EXPECT_EQ(&a, &b);
+    std::string text = renderPrometheus(reg);
+    EXPECT_NE(text.find("heb_g{a=\"2\",z=\"1\"} "),
+              std::string::npos)
+        << text;
+}
+
+TEST_F(PrometheusTest, HistogramBucketsAreCumulative)
+{
+    MetricsRegistry reg;
+    HistogramSpec spec;
+    spec.firstBoundary = 1.0;
+    spec.growth = 10.0;
+    spec.boundaryCount = 3; // bounds 1, 10, 100
+    Histogram &h = reg.histogram("lat", spec);
+    h.record(0.5);  // le=1
+    h.record(5.0);  // le=10
+    h.record(50.0); // le=100
+    h.record(5000.0); // overflow -> only +Inf
+
+    std::string text = renderPrometheus(reg);
+    EXPECT_NE(text.find("heb_lat_bucket{le=\"1\"} 1\n"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("heb_lat_bucket{le=\"10\"} 2\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("heb_lat_bucket{le=\"100\"} 3\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("heb_lat_bucket{le=\"+Inf\"} 4\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("heb_lat_count 4\n"), std::string::npos);
+    std::string error;
+    EXPECT_TRUE(validatePrometheusText(text, &error)) << error;
+}
+
+TEST_F(PrometheusTest, LabeledHistogramKeepsLeLast)
+{
+    MetricsRegistry reg;
+    Histogram &h = reg.histogram("d", {{"rack", "r0"}}, {});
+    h.record(0.5);
+    std::string text = renderPrometheus(reg);
+    EXPECT_NE(text.find("heb_d_bucket{rack=\"r0\",le=\"1\"} 1\n"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("heb_d_sum{rack=\"r0\"} 0.5\n"),
+              std::string::npos);
+    std::string error;
+    EXPECT_TRUE(validatePrometheusText(text, &error)) << error;
+}
+
+TEST_F(PrometheusTest, NonFiniteValuesSpelled)
+{
+    MetricsRegistry reg;
+    reg.gauge("pinf").set(HUGE_VAL);
+    reg.gauge("ninf").set(-HUGE_VAL);
+    std::string text = renderPrometheus(reg);
+    EXPECT_NE(text.find("heb_pinf +Inf\n"), std::string::npos);
+    EXPECT_NE(text.find("heb_ninf -Inf\n"), std::string::npos);
+    std::string error;
+    EXPECT_TRUE(validatePrometheusText(text, &error)) << error;
+}
+
+TEST_F(PrometheusTest, ValidatorAcceptsTimestampsAndComments)
+{
+    std::string error;
+    EXPECT_TRUE(validatePrometheusText(
+        "# free-form comment\n"
+        "# TYPE up gauge\n"
+        "up 1 1700000000000\n",
+        &error))
+        << error;
+    // Empty scrape body is a valid scrape.
+    EXPECT_TRUE(validatePrometheusText("", &error)) << error;
+}
+
+TEST_F(PrometheusTest, ValidatorRejectsMalformedLines)
+{
+    std::string error;
+
+    EXPECT_FALSE(validatePrometheusText("0bad_name 1\n", &error));
+    EXPECT_NE(error.find("bad metric name"), std::string::npos);
+
+    EXPECT_FALSE(
+        validatePrometheusText("m{k=unquoted} 1\n", &error));
+    EXPECT_NE(error.find("bad quoting"), std::string::npos);
+
+    EXPECT_FALSE(validatePrometheusText(
+        "m{k=\"a\",k=\"b\"} 1\n", &error));
+    EXPECT_NE(error.find("duplicate label"), std::string::npos);
+
+    EXPECT_FALSE(validatePrometheusText("m not_a_number\n", &error));
+    EXPECT_NE(error.find("bad sample value"), std::string::npos);
+
+    EXPECT_FALSE(validatePrometheusText("m 1 2 3\n", &error));
+    EXPECT_NE(error.find("trailing garbage"), std::string::npos);
+
+    EXPECT_FALSE(validatePrometheusText(
+        "# TYPE m gauge\n# TYPE m gauge\nm 1\n", &error));
+    EXPECT_NE(error.find("duplicate TYPE"), std::string::npos);
+
+    EXPECT_FALSE(validatePrometheusText(
+        "m 1\n# TYPE m gauge\n", &error));
+    EXPECT_NE(error.find("TYPE after samples"), std::string::npos);
+
+    EXPECT_FALSE(validatePrometheusText(
+        "# TYPE m wibble\nm 1\n", &error));
+    EXPECT_NE(error.find("unknown TYPE"), std::string::npos);
+
+    // Interleaved families.
+    EXPECT_FALSE(validatePrometheusText(
+        "a 1\nb 2\na 3\n", &error));
+    EXPECT_NE(error.find("not grouped"), std::string::npos);
+}
+
+TEST_F(PrometheusTest, ValidatorChecksHistogramInvariants)
+{
+    std::string error;
+
+    // Missing +Inf bucket.
+    EXPECT_FALSE(validatePrometheusText(
+        "# TYPE h histogram\n"
+        "h_bucket{le=\"1\"} 1\n"
+        "h_sum 1\nh_count 1\n",
+        &error));
+    EXPECT_NE(error.find("+Inf"), std::string::npos);
+
+    // Non-cumulative counts.
+    EXPECT_FALSE(validatePrometheusText(
+        "# TYPE h histogram\n"
+        "h_bucket{le=\"1\"} 5\n"
+        "h_bucket{le=\"2\"} 3\n"
+        "h_bucket{le=\"+Inf\"} 5\n"
+        "h_sum 1\nh_count 5\n",
+        &error));
+    EXPECT_NE(error.find("cumulative"), std::string::npos);
+
+    // _count must equal the +Inf bucket.
+    EXPECT_FALSE(validatePrometheusText(
+        "# TYPE h histogram\n"
+        "h_bucket{le=\"+Inf\"} 5\n"
+        "h_sum 1\nh_count 4\n",
+        &error));
+    EXPECT_NE(error.find("disagrees"), std::string::npos);
+
+    // A bare _bucket sample without the le label.
+    EXPECT_FALSE(validatePrometheusText(
+        "# TYPE h histogram\n"
+        "h_bucket 5\n",
+        &error));
+    EXPECT_NE(error.find("without le"), std::string::npos);
+}
+
+TEST_F(PrometheusTest, RendererOutputOfGlobalRegistryValidates)
+{
+    // Whatever other tests left in the global registry must render
+    // to a valid exposition — the property the CLI snapshot relies
+    // on.
+    MetricsRegistry::global().counter("prom_test.counter").inc();
+    MetricsRegistry::global()
+        .gauge("prom_test.gauge", {{"rack", "rack0"}})
+        .set(1.0);
+    std::string error;
+    EXPECT_TRUE(validatePrometheusText(
+        renderPrometheus(MetricsRegistry::global()), &error))
+        << error;
+}
+
+} // namespace
+} // namespace obs
+} // namespace heb

@@ -12,7 +12,12 @@
  *             [--servers N] [--hours H] [--budget-w W]
  *             [--policy static|proportional]
  *             [--fleet-mode dense|event] [--jobs N] [--slim]
- *             [--out PREFIX] [--log-level LEVEL]
+ *             [--out PREFIX] [--metrics-out FILE] [--prom-out FILE]
+ *             [--metrics-listen PORT] [--trace-out FILE]
+ *             [--trace-chrome FILE] [--trace-stride N]
+ *             [--health-out FILE] [--health-stride SECONDS]
+ *             [--watch] [--manifest FILE] [--profile]
+ *             [--log-level LEVEL]
  *
  * --fleet-mode selects the execution engine: dense per-tick
  * stepping, or the event engine that advances fleet-wide quiescent
@@ -21,8 +26,23 @@
  * per-tick series, keeping memory flat in the rack count — the
  * configuration for very large fleets. --out writes the per-rack
  * metrics table to PREFIX_racks.csv (unavailable with --slim).
+ *
+ * Telemetry is off (zero-cost) unless an output asks for it:
+ *  - --prom-out snapshots the metric registry as Prometheus text
+ *    exposition (per-rack series labeled {rack=...,scheme=...});
+ *    --metrics-listen serves the same body over HTTP on
+ *    127.0.0.1:PORT for the duration of the run (0 = ephemeral).
+ *  - --trace-chrome renders the event trace as Chrome trace_event
+ *    JSON (load into Perfetto / chrome://tracing): one track per
+ *    rack with quiescent macro-spans, fault windows and
+ *    degradation instants; --profile adds a wall-time profiler
+ *    process with per-thread span tracks.
+ *  - --health-out writes the fleet health rollup JSON; --watch
+ *    prints a heb_top-style table every --health-stride simulated
+ *    seconds (default 900).
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -30,7 +50,15 @@
 #include <vector>
 
 #include "core/schemes.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/metrics_http.h"
+#include "obs/profile.h"
+#include "obs/prometheus.h"
+#include "obs/trace.h"
+#include "obs/trace_event.h"
 #include "sim/fleet.h"
+#include "sim/fleet_health.h"
 #include "sim/result_io.h"
 #include "util/logging.h"
 #include "util/table_printer.h"
@@ -71,6 +99,22 @@ splitList(const std::string &list)
     return out;
 }
 
+bool
+endsWith(const std::string &text, const std::string &suffix)
+{
+    return text.size() >= suffix.size() &&
+           text.compare(text.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+void
+printWatchSample(const FleetHealthAggregator &health, void *)
+{
+    std::fputs(health.textSummary().c_str(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);
+}
+
 void
 usage()
 {
@@ -81,7 +125,13 @@ usage()
         "[--policy static|proportional] "
         "[--fleet-mode dense|event]\n"
         "                 [--jobs N] [--slim] [--out PREFIX] "
-        "[--log-level LEVEL]\n"
+        "[--metrics-out FILE] [--prom-out FILE]\n"
+        "                 [--metrics-listen PORT] "
+        "[--trace-out FILE] [--trace-chrome FILE] "
+        "[--trace-stride N]\n"
+        "                 [--health-out FILE] "
+        "[--health-stride SECONDS] [--watch] [--manifest FILE]\n"
+        "                 [--profile] [--log-level LEVEL]\n"
         "  workloads: comma-separated (PR WC DA WS MS DFS HB TS), "
         "cycled across racks\n"
         "  --fleet-mode event advances fleet-wide quiescent spans "
@@ -89,7 +139,13 @@ usage()
         "  --slim drops per-rack results and per-tick series "
         "(memory flat in rack count)\n"
         "  --budget-w is the shared facility feed "
-        "(default 260 W per rack)\n");
+        "(default 260 W per rack)\n"
+        "  --prom-out writes a Prometheus text-exposition snapshot; "
+        "--metrics-listen serves it on 127.0.0.1:PORT\n"
+        "  --trace-chrome writes Chrome trace_event JSON "
+        "(Perfetto / chrome://tracing), one track per rack\n"
+        "  --health-out writes the fleet health rollup JSON; "
+        "--watch prints a live table every --health-stride s\n");
 }
 
 } // namespace
@@ -107,6 +163,18 @@ main(int argc, char **argv)
     FleetMode mode = FleetMode::Event;
     bool slim = false;
     std::string out_prefix;
+    std::string metrics_path;
+    std::string prom_path;
+    std::string trace_path;
+    std::string chrome_path;
+    std::string health_path;
+    std::string manifest_path;
+    std::size_t trace_stride = 1;
+    double health_stride = 900.0;
+    bool watch = false;
+    bool profile = false;
+    bool listen = false;
+    long listen_port = 0;
 
     for (int i = 1; i < argc; ++i) {
         auto need_value = [&](const char *flag) -> std::string {
@@ -162,6 +230,36 @@ main(int argc, char **argv)
             slim = true;
         else if (!std::strcmp(argv[i], "--out"))
             out_prefix = need_value("--out");
+        else if (!std::strcmp(argv[i], "--metrics-out"))
+            metrics_path = need_value("--metrics-out");
+        else if (!std::strcmp(argv[i], "--prom-out"))
+            prom_path = need_value("--prom-out");
+        else if (!std::strcmp(argv[i], "--metrics-listen")) {
+            listen_port = std::stol(need_value("--metrics-listen"));
+            if (listen_port < 0 || listen_port > 65535)
+                fatal("--metrics-listen expects a port (0-65535)");
+            listen = true;
+        } else if (!std::strcmp(argv[i], "--trace-out"))
+            trace_path = need_value("--trace-out");
+        else if (!std::strcmp(argv[i], "--trace-chrome"))
+            chrome_path = need_value("--trace-chrome");
+        else if (!std::strcmp(argv[i], "--trace-stride")) {
+            long n = std::stol(need_value("--trace-stride"));
+            if (n < 1)
+                fatal("--trace-stride must be >= 1");
+            trace_stride = static_cast<std::size_t>(n);
+        } else if (!std::strcmp(argv[i], "--health-out"))
+            health_path = need_value("--health-out");
+        else if (!std::strcmp(argv[i], "--health-stride")) {
+            health_stride = std::stod(need_value("--health-stride"));
+            if (health_stride <= 0.0)
+                fatal("--health-stride must be positive");
+        } else if (!std::strcmp(argv[i], "--watch"))
+            watch = true;
+        else if (!std::strcmp(argv[i], "--manifest"))
+            manifest_path = need_value("--manifest");
+        else if (!std::strcmp(argv[i], "--profile"))
+            profile = true;
         else if (!std::strcmp(argv[i], "--log-level"))
             setLogThreshold(parseLogLevel(need_value("--log-level")));
         else if (!std::strcmp(argv[i], "--help") ||
@@ -179,6 +277,39 @@ main(int argc, char **argv)
     std::vector<std::string> names = splitList(workload_list);
     if (names.empty())
         fatal("--workloads must name at least one workload");
+
+    // Telemetry stays zero-cost unless an output asks for it. The
+    // health aggregator is what publishes the per-rack labeled
+    // metric families, so any metrics consumer implies health.
+    const bool want_trace =
+        !trace_path.empty() || !chrome_path.empty();
+    const bool want_health = !health_path.empty() || watch ||
+                             !prom_path.empty() ||
+                             !metrics_path.empty() || listen;
+    if (want_trace)
+        obs::setTelemetryLevel(obs::TelemetryLevel::Full);
+    else if (want_health || !manifest_path.empty() ||
+             !out_prefix.empty())
+        obs::setTelemetryLevel(obs::TelemetryLevel::Metrics);
+    obs::setProfilingEnabled(profile);
+    // The Chrome export renders profiler spans on their own tracks;
+    // plain --profile keeps only the cheap per-site totals.
+    if (profile && !chrome_path.empty())
+        obs::setProfileSpanRecording(true);
+
+    // Fleet traces fan out over every rack: give the ring 1M slots
+    // so a multi-rack day at stride 1 keeps its tail.
+    obs::TraceRecorder trace(1 << 20, trace_stride);
+    if (want_trace) {
+        obs::setActiveTrace(&trace);
+        // If the run dies mid-way (fatal() or an uncaught throw),
+        // still salvage the ring as JSON Lines next to the
+        // requested output.
+        obs::installTraceFlushOnAbort(
+            &trace, trace_path.empty()
+                        ? chrome_path + ".aborted.jsonl"
+                        : trace_path);
+    }
 
     SimConfig cfg;
     if (servers != 0) {
@@ -210,9 +341,44 @@ main(int argc, char **argv)
                                  schemes[r].get()});
     }
 
+    obs::RunManifest manifest;
+    manifest.tool = "heb_fleet";
+    manifest.seed = cfg.seed;
+    manifest.config = describeSimConfig(cfg);
+    manifest.schemeName = scheme_name;
+    manifest.workloadName = workload_list;
+    manifest.startedAtIso = isoTimestampUtc();
+    auto wall_start = std::chrono::steady_clock::now();
+
+    FleetHealthAggregator health;
     FleetOptions options{policy, mode, !slim};
+    if (want_health) {
+        options.health = &health;
+        options.healthSampleSeconds = health_stride;
+        if (watch) {
+            options.onHealthSample = printWatchSample;
+            options.onHealthSampleUser = nullptr;
+        }
+    }
+
+    std::unique_ptr<obs::MetricsHttpServer> server;
+    if (listen) {
+        server = std::make_unique<obs::MetricsHttpServer>(
+            obs::MetricsRegistry::global(),
+            static_cast<std::uint16_t>(listen_port));
+        std::printf("metrics endpoint on http://127.0.0.1:%u/ "
+                    "(any GET path serves the exposition)\n",
+                    static_cast<unsigned>(server->port()));
+        std::fflush(stdout);
+    }
+
     FleetSimulator fleet(cfg, budget_w, options);
     FleetResult result = fleet.run(specs);
+
+    manifest.wallSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
 
     TablePrinter table({"metric", "value"});
     table.addRow({"racks", std::to_string(racks)});
@@ -249,6 +415,70 @@ main(int argc, char **argv)
                            out_prefix + "_racks.csv");
         std::printf("per-rack metrics written to %s_racks.csv\n",
                     out_prefix.c_str());
+    }
+
+    if (want_trace) {
+        obs::setActiveTrace(nullptr);
+        obs::clearTraceFlushOnAbort();
+        if (!trace_path.empty()) {
+            if (endsWith(trace_path, ".csv"))
+                trace.writeCsv(trace_path);
+            else
+                trace.writeJsonl(trace_path);
+            std::printf(
+                "trace: %zu events written to %s (%llu dropped, "
+                "stride %zu)\n",
+                trace.size(), trace_path.c_str(),
+                static_cast<unsigned long long>(trace.dropped()),
+                trace.tickStride());
+        }
+        if (!chrome_path.empty()) {
+            obs::ChromeTraceOptions copts;
+            copts.tickSeconds = cfg.tickSeconds;
+            copts.includeProfile = profile;
+            obs::writeChromeTrace(trace, chrome_path, copts);
+            std::printf("chrome trace written to %s "
+                        "(open in Perfetto or chrome://tracing)\n",
+                        chrome_path.c_str());
+        }
+    }
+
+    if (!metrics_path.empty()) {
+        obs::MetricsRegistry::global().writeJson(metrics_path);
+        std::printf("metrics: %zu metrics written to %s\n",
+                    obs::MetricsRegistry::global().size(),
+                    metrics_path.c_str());
+    }
+
+    if (!prom_path.empty()) {
+        obs::writePrometheus(obs::MetricsRegistry::global(),
+                             prom_path);
+        std::printf("prometheus snapshot written to %s\n",
+                    prom_path.c_str());
+    }
+
+    if (!health_path.empty()) {
+        health.writeJson(health_path);
+        std::printf("fleet health written to %s\n",
+                    health_path.c_str());
+    }
+
+    if (profile) {
+        std::printf("\n--- phase profile ---\n%s",
+                    obs::profileReport().c_str());
+    }
+
+    if (!manifest_path.empty())
+        obs::writeRunManifest(manifest_path, manifest);
+    if (!out_prefix.empty())
+        obs::writeRunManifest(out_prefix + "_manifest.json",
+                              manifest);
+
+    if (server) {
+        std::printf("metrics endpoint served %llu scrapes\n",
+                    static_cast<unsigned long long>(
+                        server->requestsServed()));
+        server->stop();
     }
     return 0;
 }

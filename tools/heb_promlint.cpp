@@ -1,0 +1,78 @@
+/**
+ * @file
+ * heb_promlint — validate Prometheus text-exposition files.
+ *
+ * Runs the in-repo exposition validator (the same checks CI's
+ * obs-smoke job applies when promtool is unavailable) over each
+ * argument, or over stdin when invoked without arguments.
+ *
+ * Usage:
+ *   heb_promlint [FILE...]
+ *
+ * Exit status: 0 when every input validates, 1 otherwise. Errors
+ * name the offending file and line.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/prometheus.h"
+#include "util/logging.h"
+
+using namespace heb;
+
+namespace {
+
+bool
+lintOne(const std::string &label, const std::string &text)
+{
+    std::string error;
+    if (obs::validatePrometheusText(text, &error)) {
+        std::printf("%s: OK\n", label.c_str());
+        return true;
+    }
+    std::fprintf(stderr, "%s: %s\n", label.c_str(), error.c_str());
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc > 1 && (!std::strcmp(argv[1], "--help") ||
+                     !std::strcmp(argv[1], "-h"))) {
+        std::printf("usage: heb_promlint [FILE...]\n"
+                    "  validates Prometheus text exposition; reads "
+                    "stdin when no files are given\n");
+        return 0;
+    }
+
+    bool ok = true;
+    if (argc < 2) {
+        std::ostringstream body;
+        body << std::cin.rdbuf();
+        ok = lintOne("<stdin>", body.str());
+    } else {
+        for (int i = 1; i < argc; ++i) {
+            std::FILE *f = std::fopen(argv[i], "rb");
+            if (!f) {
+                std::fprintf(stderr, "%s: cannot open\n", argv[i]);
+                ok = false;
+                continue;
+            }
+            std::string text;
+            char buf[1 << 16];
+            std::size_t got;
+            while ((got = std::fread(buf, 1, sizeof buf, f)) > 0)
+                text.append(buf, got);
+            std::fclose(f);
+            ok = lintOne(argv[i], text) && ok;
+        }
+    }
+    return ok ? 0 : 1;
+}

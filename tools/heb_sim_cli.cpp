@@ -11,7 +11,8 @@
  *   heb_sim [--config FILE] [--workload NAME] [--scheme NAME]
  *           [--out PREFIX] [--pat FILE]
  *           [--trace-out FILE] [--trace-stride N]
- *           [--metrics-out FILE] [--manifest FILE]
+ *           [--trace-chrome FILE] [--metrics-out FILE]
+ *           [--prom-out FILE] [--manifest FILE]
  *           [--profile] [--log-level LEVEL]
  *
  * Config keys: see simConfigFromConfig() in sim/result_io.h.
@@ -19,10 +20,14 @@
  * refined table back on exit), so a long-lived deployment keeps its
  * learning across runs.
  *
- * Telemetry is off (zero-cost) unless --trace-out, --metrics-out or
- * --profile asks for it. A trace file ending in .csv is written as
- * CSV; anything else is JSON Lines. A manifest is written wherever
- * --manifest points, and next to --out as `<prefix>_manifest.json`.
+ * Telemetry is off (zero-cost) unless --trace-out, --trace-chrome,
+ * --metrics-out, --prom-out or --profile asks for it. A trace file
+ * ending in .csv is written as CSV; anything else is JSON Lines.
+ * --trace-chrome renders the same ring as Chrome trace_event JSON
+ * (Perfetto / chrome://tracing); --prom-out snapshots the metric
+ * registry as Prometheus text exposition. A manifest is written
+ * wherever --manifest points, and next to --out as
+ * `<prefix>_manifest.json`.
  */
 
 #include <chrono>
@@ -34,7 +39,9 @@
 #include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "obs/prometheus.h"
 #include "obs/trace.h"
+#include "obs/trace_event.h"
 #include "sim/experiment.h"
 #include "sim/result_io.h"
 #include "util/logging.h"
@@ -64,9 +71,10 @@ usage()
         "usage: heb_sim [--config FILE] [--workload NAME] "
         "[--scheme NAME] [--out PREFIX] [--pat FILE]\n"
         "               [--trace-out FILE] [--trace-stride N] "
-        "[--metrics-out FILE] [--manifest FILE]\n"
-        "               [--profile] [--log-level LEVEL] "
-        "[--jobs N] [--fast-forward on|off]\n"
+        "[--trace-chrome FILE] [--metrics-out FILE]\n"
+        "               [--prom-out FILE] [--manifest FILE] "
+        "[--profile] [--log-level LEVEL]\n"
+        "               [--jobs N] [--fast-forward on|off]\n"
         "  workloads: PR WC DA WS MS DFS HB TS\n"
         "  schemes:   BaOnly BaFirst SCFirst HEB-F HEB-S HEB-D\n"
         "  log levels: panic fatal warn info debug "
@@ -96,7 +104,9 @@ main(int argc, char **argv)
     std::string out_prefix;
     std::string pat_path;
     std::string trace_path;
+    std::string chrome_path;
     std::string metrics_path;
+    std::string prom_path;
     std::string manifest_path;
     std::size_t trace_stride = 1;
     bool profile = false;
@@ -121,6 +131,8 @@ main(int argc, char **argv)
             pat_path = need_value("--pat");
         else if (!std::strcmp(argv[i], "--trace-out"))
             trace_path = need_value("--trace-out");
+        else if (!std::strcmp(argv[i], "--trace-chrome"))
+            chrome_path = need_value("--trace-chrome");
         else if (!std::strcmp(argv[i], "--trace-stride")) {
             long n = std::stol(need_value("--trace-stride"));
             if (n < 1)
@@ -128,6 +140,8 @@ main(int argc, char **argv)
             trace_stride = static_cast<std::size_t>(n);
         } else if (!std::strcmp(argv[i], "--metrics-out"))
             metrics_path = need_value("--metrics-out");
+        else if (!std::strcmp(argv[i], "--prom-out"))
+            prom_path = need_value("--prom-out");
         else if (!std::strcmp(argv[i], "--manifest"))
             manifest_path = need_value("--manifest");
         else if (!std::strcmp(argv[i], "--profile"))
@@ -158,16 +172,26 @@ main(int argc, char **argv)
     }
 
     // Telemetry stays zero-cost unless an output asks for it.
-    if (!trace_path.empty())
+    const bool want_trace =
+        !trace_path.empty() || !chrome_path.empty();
+    if (want_trace)
         obs::setTelemetryLevel(obs::TelemetryLevel::Full);
-    else if (!metrics_path.empty() || !manifest_path.empty() ||
-             !out_prefix.empty())
+    else if (!metrics_path.empty() || !prom_path.empty() ||
+             !manifest_path.empty() || !out_prefix.empty())
         obs::setTelemetryLevel(obs::TelemetryLevel::Metrics);
     obs::setProfilingEnabled(profile);
+    if (profile && !chrome_path.empty())
+        obs::setProfileSpanRecording(true);
 
     obs::TraceRecorder trace(1 << 18, trace_stride);
-    if (!trace_path.empty())
+    if (want_trace) {
         obs::setActiveTrace(&trace);
+        // Salvage the ring as JSON Lines if the run dies mid-way.
+        obs::installTraceFlushOnAbort(
+            &trace, trace_path.empty()
+                        ? chrome_path + ".aborted.jsonl"
+                        : trace_path);
+    }
 
     Config file_cfg = config_path.empty()
                           ? Config()
@@ -242,17 +266,30 @@ main(int argc, char **argv)
                     out_prefix.c_str(), out_prefix.c_str());
     }
 
-    if (!trace_path.empty()) {
+    if (want_trace) {
         obs::setActiveTrace(nullptr);
-        if (endsWith(trace_path, ".csv"))
-            trace.writeCsv(trace_path);
-        else
-            trace.writeJsonl(trace_path);
-        std::printf("trace: %zu events written to %s (%llu "
-                    "dropped, stride %zu)\n",
-                    trace.size(), trace_path.c_str(),
-                    static_cast<unsigned long long>(trace.dropped()),
-                    trace.tickStride());
+        obs::clearTraceFlushOnAbort();
+        if (!trace_path.empty()) {
+            if (endsWith(trace_path, ".csv"))
+                trace.writeCsv(trace_path);
+            else
+                trace.writeJsonl(trace_path);
+            std::printf(
+                "trace: %zu events written to %s (%llu dropped, "
+                "stride %zu)\n",
+                trace.size(), trace_path.c_str(),
+                static_cast<unsigned long long>(trace.dropped()),
+                trace.tickStride());
+        }
+        if (!chrome_path.empty()) {
+            obs::ChromeTraceOptions copts;
+            copts.tickSeconds = cfg.tickSeconds;
+            copts.includeProfile = profile;
+            obs::writeChromeTrace(trace, chrome_path, copts);
+            std::printf("chrome trace written to %s "
+                        "(open in Perfetto or chrome://tracing)\n",
+                        chrome_path.c_str());
+        }
     }
 
     if (!metrics_path.empty()) {
@@ -260,6 +297,13 @@ main(int argc, char **argv)
         std::printf("metrics: %zu metrics written to %s\n",
                     obs::MetricsRegistry::global().size(),
                     metrics_path.c_str());
+    }
+
+    if (!prom_path.empty()) {
+        obs::writePrometheus(obs::MetricsRegistry::global(),
+                             prom_path);
+        std::printf("prometheus snapshot written to %s\n",
+                    prom_path.c_str());
     }
 
     if (profile) {
