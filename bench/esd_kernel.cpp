@@ -1,0 +1,282 @@
+/**
+ * @file
+ * ESD kernel throughput bench: scalar vs SoA-batched stepping.
+ *
+ * Builds a 64-string battery pool and a 64-module SC pool, drives
+ * both through a deterministic discharge/charge/rest duty cycle once
+ * with batching disabled (per-device virtual stepping) and once with
+ * batching enabled (struct-of-arrays kernels), fingerprints every
+ * device's final state at %.17g, and writes a BENCH_esd.json perf
+ * artifact. Exit status is non-zero when the fingerprints differ in
+ * any byte — bit-identity is the batching layer's core contract
+ * (DESIGN.md §13), so it is asserted here as well as in the tests.
+ *
+ * Usage:
+ *   esd_kernel [--quick] [--members N] [--ticks N] [--reps N]
+ *              [--out FILE]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "esd/bank_builder.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+using namespace heb;
+
+namespace {
+
+double
+wallSeconds(const std::chrono::steady_clock::time_point &start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** One pool's duty cycle: 120 s discharge, 140 s charge, 20 s rest. */
+void
+runDuty(EsdPool &pool, std::size_t ticks, double watts_scale)
+{
+    const double dt = 1.0;
+    for (std::size_t j = 0; j < ticks; ++j) {
+        // Deterministic tick-to-tick wobble so the proportional split
+        // and the KiBaM/SC rate limits see a range of operating
+        // points instead of one steady state.
+        double frac =
+            0.25 + 0.5 * (static_cast<double>(j % 97) / 96.0);
+        std::size_t phase = j % 280;
+        if (phase < 120)
+            pool.discharge(watts_scale * frac, dt);
+        else if (phase < 260)
+            pool.charge(watts_scale * frac, dt);
+        else
+            pool.rest(dt);
+    }
+}
+
+/** Full %.17g fingerprint of every member device. */
+std::string
+fingerprint(EsdPool &pool)
+{
+    std::string out;
+    char buf[256];
+    auto add = [&](const char *tag, double v) {
+        std::snprintf(buf, sizeof buf, "%s=%.17g\n", tag, v);
+        out += buf;
+    };
+    add("pool.soc", pool.soc());
+    add("pool.usable_wh", pool.usableEnergyWh());
+    add("pool.max_discharge_w", pool.maxDischargePowerW(1.0));
+    add("pool.terminal_v", pool.terminalVoltage(100.0));
+    const EsdCounters &pc = pool.counters();
+    add("pool.discharge_wh", pc.dischargeEnergyWh);
+    add("pool.charge_wh", pc.chargeEnergyWh);
+    add("pool.loss_wh", pc.lossEnergyWh);
+    for (std::size_t i = 0; i < pool.deviceCount(); ++i) {
+        const EnergyStorageDevice &d =
+            const_cast<const EsdPool &>(pool).device(i);
+        std::snprintf(buf, sizeof buf, "[%zu] ", i);
+        out += buf;
+        add("soc", d.soc());
+        add("usable_wh", d.usableEnergyWh());
+        add("discharge_wh", d.counters().dischargeEnergyWh);
+        add("charge_wh", d.counters().chargeEnergyWh);
+        add("loss_wh", d.counters().lossEnergyWh);
+        add("discharge_ah", d.counters().dischargeAh);
+        add("charge_ah", d.counters().chargeAh);
+        std::snprintf(buf, sizeof buf, "dir_changes=%lu\n",
+                      d.counters().directionChanges);
+        out += buf;
+        add("lifetime", d.lifetimeFractionUsed());
+    }
+    return out;
+}
+
+struct LegResult
+{
+    double seconds = 0.0;
+    std::string print;
+    std::size_t batchedLanes = 0;
+};
+
+/**
+ * Time one leg @p reps times and keep the best wall time. The duty
+ * cycle is deterministic, so every repetition must fingerprint
+ * identically — asserted here — and best-of-N filters out scheduler
+ * noise that would otherwise make the CI speedup gate flaky.
+ */
+LegResult
+runLeg(bool batched, bool battery, std::size_t members,
+       std::size_t ticks, std::size_t reps)
+{
+    LegResult leg;
+    for (std::size_t r = 0; r < reps; ++r) {
+        setSoaBatchingEnabled(batched);
+        std::unique_ptr<EsdPool> pool =
+            battery
+                ? makeBatteryBank(400.0 * static_cast<double>(members),
+                                  0.8, members, false)
+                : makeScBank(30.0 * static_cast<double>(members), 1.0,
+                             members);
+        leg.batchedLanes = pool->batchedLaneCount();
+        double watts =
+            (battery ? 18.0 : 45.0) * static_cast<double>(members);
+        auto t0 = std::chrono::steady_clock::now();
+        runDuty(*pool, ticks, watts);
+        double seconds = wallSeconds(t0);
+        std::string print = fingerprint(*pool);
+        setSoaBatchingEnabled(true);
+        if (r == 0) {
+            leg.seconds = seconds;
+            leg.print = std::move(print);
+        } else {
+            leg.seconds = std::min(leg.seconds, seconds);
+            if (print != leg.print)
+                fatal("nondeterministic repetition in ",
+                      battery ? "battery" : "sc",
+                      batched ? " batched" : " scalar", " leg");
+        }
+    }
+    return leg;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    std::size_t members = 64;
+    std::size_t ticks = 0;
+    std::size_t reps = 3;
+    std::string out_path = "BENCH_esd.json";
+
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--quick")) {
+            quick = true;
+        } else if (!std::strcmp(argv[i], "--members")) {
+            if (i + 1 >= argc)
+                fatal("--members requires a value");
+            members = static_cast<std::size_t>(
+                std::stoul(argv[++i]));
+        } else if (!std::strcmp(argv[i], "--ticks")) {
+            if (i + 1 >= argc)
+                fatal("--ticks requires a value");
+            ticks =
+                static_cast<std::size_t>(std::stoul(argv[++i]));
+        } else if (!std::strcmp(argv[i], "--reps")) {
+            if (i + 1 >= argc)
+                fatal("--reps requires a value");
+            reps =
+                static_cast<std::size_t>(std::stoul(argv[++i]));
+        } else if (!std::strcmp(argv[i], "--out")) {
+            if (i + 1 >= argc)
+                fatal("--out requires a value");
+            out_path = argv[++i];
+        } else {
+            fatal("usage: esd_kernel [--quick] [--members N] "
+                  "[--ticks N] [--reps N] [--out FILE]; got '",
+                  argv[i], "'");
+        }
+    }
+    if (members == 0)
+        fatal("--members must be >= 1");
+    if (reps == 0)
+        fatal("--reps must be >= 1");
+    if (ticks == 0)
+        ticks = quick ? 40000 : 200000;
+
+    obs::setTelemetryLevel(obs::TelemetryLevel::Off);
+
+    std::printf("esd_kernel: %zu members x %zu ticks per pool, "
+                "best of %zu\n",
+                members, ticks, reps);
+
+    // Warm-up leg (untimed): touches the allocator and page-faults
+    // the code paths once so neither timed leg pays first-run costs.
+    runLeg(true, true, members, std::min<std::size_t>(ticks, 2000),
+           1);
+
+    LegResult ba_scalar = runLeg(false, true, members, ticks, reps);
+    LegResult ba_batched = runLeg(true, true, members, ticks, reps);
+    LegResult sc_scalar = runLeg(false, false, members, ticks, reps);
+    LegResult sc_batched = runLeg(true, false, members, ticks, reps);
+
+    if (ba_scalar.batchedLanes != 0 || sc_scalar.batchedLanes != 0)
+        fatal("scalar legs unexpectedly batched");
+    if (ba_batched.batchedLanes != members ||
+        sc_batched.batchedLanes != members)
+        fatal("batched legs did not batch every member");
+
+    bool ba_same = ba_scalar.print == ba_batched.print;
+    bool sc_same = sc_scalar.print == sc_batched.print;
+    bool identical = ba_same && sc_same;
+
+    double steps =
+        static_cast<double>(members) * static_cast<double>(ticks);
+    double ba_speedup = ba_batched.seconds > 0.0
+                            ? ba_scalar.seconds / ba_batched.seconds
+                            : 0.0;
+    double sc_speedup = sc_batched.seconds > 0.0
+                            ? sc_scalar.seconds / sc_batched.seconds
+                            : 0.0;
+    double scalar_s = ba_scalar.seconds + sc_scalar.seconds;
+    double batched_s = ba_batched.seconds + sc_batched.seconds;
+    double speedup = batched_s > 0.0 ? scalar_s / batched_s : 0.0;
+
+    std::printf("battery: scalar %6.3f s, batched %6.3f s "
+                "(%4.2fx, %5.2fM dev-steps/s) %s\n",
+                ba_scalar.seconds, ba_batched.seconds, ba_speedup,
+                steps / ba_batched.seconds / 1e6,
+                ba_same ? "identical" : "DIFFER");
+    std::printf("sc:      scalar %6.3f s, batched %6.3f s "
+                "(%4.2fx, %5.2fM dev-steps/s) %s\n",
+                sc_scalar.seconds, sc_batched.seconds, sc_speedup,
+                steps / sc_batched.seconds / 1e6,
+                sc_same ? "identical" : "DIFFER");
+    std::printf("total:   %4.2fx, results %s\n", speedup,
+                identical ? "byte-identical" : "DIFFER");
+
+    std::string json = "{\n";
+    auto field = [&json](const char *name, double value) {
+        json += "  ";
+        obs::appendJsonString(json, name);
+        json += ": ";
+        obs::appendJsonNumber(json, value);
+        json += ",\n";
+    };
+    field("members", static_cast<double>(members));
+    field("ticks", static_cast<double>(ticks));
+    field("device_steps", steps);
+    field("battery_scalar_seconds", ba_scalar.seconds);
+    field("battery_batched_seconds", ba_batched.seconds);
+    field("battery_speedup", ba_speedup);
+    field("battery_steps_per_second_batched",
+          steps / ba_batched.seconds);
+    field("sc_scalar_seconds", sc_scalar.seconds);
+    field("sc_batched_seconds", sc_batched.seconds);
+    field("sc_speedup", sc_speedup);
+    field("sc_steps_per_second_batched",
+          steps / sc_batched.seconds);
+    field("speedup", speedup);
+    json += "  \"quick\": ";
+    json += quick ? "true" : "false";
+    json += ",\n  \"identical\": ";
+    json += identical ? "true" : "false";
+    json += "\n}\n";
+
+    std::ofstream out(out_path);
+    if (!out)
+        fatal("cannot write ", out_path);
+    out << json;
+    std::printf("wrote %s\n", out_path.c_str());
+
+    return identical ? 0 : 1;
+}

@@ -9,7 +9,8 @@
 namespace heb {
 
 std::unique_ptr<EsdPool>
-makeScBank(double energy_wh, double dod, std::size_t modules)
+makeScBank(double energy_wh, double dod, std::size_t modules,
+           EsdSoaArena *arena)
 {
     if (energy_wh <= 0.0)
         fatal("makeScBank: energy must be positive");
@@ -18,7 +19,7 @@ makeScBank(double energy_wh, double dod, std::size_t modules)
     if (modules == 0)
         fatal("makeScBank: need at least one module");
 
-    auto pool = std::make_unique<EsdPool>("sc-bank");
+    auto pool = std::make_unique<EsdPool>("sc-bank", arena);
     double per_module = energy_wh / static_cast<double>(modules);
     for (std::size_t i = 0; i < modules; ++i) {
         ScParams p = ScParams::scaledToEnergyWh(per_module);
@@ -30,12 +31,13 @@ makeScBank(double energy_wh, double dod, std::size_t modules)
         p.vMin = std::sqrt(p.vMax * p.vMax - dod * span2);
         pool->add(std::make_unique<Supercapacitor>(p));
     }
+    pool->seal();
     return pool;
 }
 
 std::unique_ptr<EsdPool>
 makeBatteryBank(double energy_wh, double dod, std::size_t strings,
-                bool aging)
+                bool aging, EsdSoaArena *arena)
 {
     if (energy_wh <= 0.0)
         fatal("makeBatteryBank: energy must be positive");
@@ -44,7 +46,7 @@ makeBatteryBank(double energy_wh, double dod, std::size_t strings,
     if (strings == 0)
         fatal("makeBatteryBank: need at least one string");
 
-    auto pool = std::make_unique<EsdPool>("battery-bank");
+    auto pool = std::make_unique<EsdPool>("battery-bank", arena);
     double per_string_wh = energy_wh / static_cast<double>(strings);
     for (std::size_t i = 0; i < strings; ++i) {
         BatteryParams p =
@@ -54,6 +56,7 @@ makeBatteryBank(double energy_wh, double dod, std::size_t strings,
         p.agingEnabled = aging;
         pool->add(std::make_unique<Battery>(p));
     }
+    pool->seal();
     return pool;
 }
 

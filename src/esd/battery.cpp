@@ -1,22 +1,10 @@
 #include "esd/battery.h"
 
-#include <algorithm>
-#include <cmath>
-
 #include "util/logging.h"
-#include "util/units.h"
 
 namespace heb {
 
-namespace {
-
-/** Smallest power (W) worth actually moving; below this we rest. */
-constexpr double kMinMeaningfulPowerW = 1e-9;
-
-/** Threshold (W) below which a device counts as depleted. */
-constexpr double kDepletedPowerW = 1.0;
-
-} // namespace
+namespace ek = esd_kernel;
 
 Battery::Battery(BatteryParams params) : params_(std::move(params))
 {
@@ -37,366 +25,187 @@ Battery::Battery(BatteryParams params) : params_(std::move(params))
     tempC_ = params_.ambientC;
 }
 
+ek::BatteryRef
+Battery::ref()
+{
+    return {params_,
+            y1_,
+            y2_,
+            healthCapacityFactor_,
+            healthResistanceFactor_,
+            weightedAh_,
+            tempC_,
+            lastDirection_,
+            counters_.chargeEnergyWh,
+            counters_.dischargeEnergyWh,
+            counters_.lossEnergyWh,
+            counters_.dischargeAh,
+            counters_.chargeAh,
+            counters_.directionChanges};
+}
+
+ek::BatteryView
+Battery::view() const
+{
+    return {params_,
+            y1_,
+            y2_,
+            healthCapacityFactor_,
+            healthResistanceFactor_,
+            weightedAh_,
+            tempC_};
+}
+
+const ek::BatteryStepUniforms &
+Battery::uniforms(double dt_seconds) const
+{
+    ek::refreshBatteryUniforms(params_, dt_seconds, uni_);
+    return uni_;
+}
+
 void
 Battery::reset()
 {
-    healthCapacityFactor_ = 1.0;
-    healthResistanceFactor_ = 1.0;
-    y1_ = params_.kibamC * params_.capacityAh;
-    y2_ = (1.0 - params_.kibamC) * params_.capacityAh;
-    weightedAh_ = 0.0;
-    tempC_ = params_.ambientC;
-    lastDirection_ = 0;
-    counters_ = EsdCounters{};
+    ek::batteryReset(ref());
 }
 
 void
 Battery::applyHealthDerate(double capacity_factor,
                            double resistance_factor)
 {
-    if (capacity_factor <= 0.0 || capacity_factor > 1.0)
-        fatal("Battery health capacity factor must be in (0,1], got ",
-              capacity_factor);
-    if (resistance_factor < 1.0)
-        fatal("Battery health resistance factor must be >= 1, got ",
-              resistance_factor);
-    healthCapacityFactor_ *= capacity_factor;
-    healthResistanceFactor_ *= resistance_factor;
-    // A lost cell takes its stored charge with it: scale both wells
-    // so SoC is preserved against the shrunken capacity.
-    y1_ *= capacity_factor;
-    y2_ *= capacity_factor;
+    ek::batteryApplyHealthDerate(ref(), capacity_factor,
+                                 resistance_factor);
 }
 
 void
 Battery::setSoc(double soc)
 {
-    if (soc < 0.0 || soc > 1.0)
-        fatal("Battery::setSoc out of range: ", soc);
-    // Equilibrium split between the wells.
-    double q = soc * effectiveCapacityAh();
-    y1_ = params_.kibamC * q;
-    y2_ = (1.0 - params_.kibamC) * q;
+    ek::batterySetSoc(ref(), soc);
+}
+
+BatteryState
+Battery::state() const
+{
+    BatteryState s;
+    s.y1 = y1_;
+    s.y2 = y2_;
+    s.healthCap = healthCapacityFactor_;
+    s.healthRes = healthResistanceFactor_;
+    s.weightedAh = weightedAh_;
+    s.tempC = tempC_;
+    s.lastDirection = lastDirection_;
+    s.counters = counters_;
+    return s;
+}
+
+void
+Battery::restoreState(const BatteryState &s)
+{
+    y1_ = s.y1;
+    y2_ = s.y2;
+    healthCapacityFactor_ = s.healthCap;
+    healthResistanceFactor_ = s.healthRes;
+    weightedAh_ = s.weightedAh;
+    tempC_ = s.tempC;
+    lastDirection_ = s.lastDirection;
+    counters_ = s.counters;
 }
 
 double
 Battery::effectiveCapacityAh() const
 {
-    if (!params_.agingEnabled)
-        return params_.capacityAh * healthCapacityFactor_;
-    double used = std::min(1.0, lifetimeFractionUsed());
-    double fade = (1.0 - params_.endOfLifeCapacityFraction) * used;
-    return params_.capacityAh * (1.0 - fade) * healthCapacityFactor_;
+    return ek::batteryEffectiveCapacityAh(view());
 }
 
 double
 Battery::soc() const
 {
-    return (y1_ + y2_) / effectiveCapacityAh();
-}
-
-void
-Battery::stepThermal(double loss_w, double dt_seconds)
-{
-    if (!params_.thermalEnabled)
-        return;
-    double target =
-        params_.ambientC + loss_w * params_.thermalResistanceCPerW;
-    if (dt_seconds != thermalDtSeconds_) {
-        thermalDtSeconds_ = dt_seconds;
-        thermalAlpha_ = 1.0 - std::exp(-dt_seconds /
-                                       params_.thermalTimeConstantS);
-    }
-    tempC_ += (target - tempC_) * thermalAlpha_;
+    return ek::batterySoc(view());
 }
 
 double
 Battery::thermalChargeDerate() const
 {
-    if (!params_.thermalEnabled)
-        return 1.0;
-    if (tempC_ <= params_.chargeDerateStartC)
-        return 1.0;
-    if (tempC_ >= params_.chargeCutoffC)
-        return 0.0;
-    return (params_.chargeCutoffC - tempC_) /
-           (params_.chargeCutoffC - params_.chargeDerateStartC);
+    return ek::batteryThermalChargeDerate(view());
 }
 
 double
 Battery::openCircuitVoltage() const
 {
-    double s = std::clamp(soc(), 0.0, 1.0);
-    return params_.vEmpty + (params_.vFull - params_.vEmpty) * s;
+    return ek::batteryOpenCircuitVoltage(view());
 }
 
 double
 Battery::effectiveResistance() const
 {
-    double s = std::clamp(soc(), 0.0, 1.0);
-    double depth = 1.0 - s;
-    double aging = 1.0;
-    if (params_.agingEnabled) {
-        aging += params_.endOfLifeResistanceGrowth *
-                 std::min(1.0, lifetimeFractionUsed());
-    }
-    return params_.internalResistanceOhm * aging *
-           healthResistanceFactor_ *
-           (1.0 + params_.resistanceGrowthAtLowSoc * depth * depth);
+    return ek::batteryEffectiveResistance(view());
 }
 
 double
 Battery::usableEnergyWh() const
 {
-    double q_floor = (1.0 - params_.dodLimit) * effectiveCapacityAh();
-    double usable_ah = std::max(0.0, y1_ + y2_ - q_floor);
-    return usable_ah * params_.nominalVoltage;
-}
-
-const Battery::KibamStepTerms &
-Battery::kibamStepTerms(double t_hours) const
-{
-    // exp/expm1 dominate the per-tick cost; at the fixed tick length
-    // every simulation uses, recompute only when dt changes.
-    if (t_hours != stepTerms_.tHours) {
-        stepTerms_.tHours = t_hours;
-        stepTerms_.kt = params_.kibamK * t_hours;
-        stepTerms_.ekt = std::exp(-stepTerms_.kt);
-        // 1 - e^{-kt} via expm1, stable for tiny kt.
-        stepTerms_.oneMinusEkt = -std::expm1(-stepTerms_.kt);
-    }
-    return stepTerms_;
-}
-
-void
-Battery::stepWells(double current_a, double dt_seconds)
-{
-    // Closed-form KiBaM update for constant current over the step
-    // (Manwell & McGowan). Positive current discharges.
-    double t = secondsToHours(dt_seconds);
-    double k = params_.kibamK;
-    double c = params_.kibamC;
-    double q0 = y1_ + y2_;
-    const KibamStepTerms &terms = kibamStepTerms(t);
-    double ekt = terms.ekt;
-    double one_m_ekt = terms.oneMinusEkt;
-    double kt = terms.kt;
-    double i = current_a;
-
-    double y1 = y1_ * ekt + (q0 * k * c - i) * one_m_ekt / k -
-                i * c * (kt - one_m_ekt) / k;
-    double y2 = y2_ * ekt + q0 * (1.0 - c) * one_m_ekt -
-                i * (1.0 - c) * (kt - one_m_ekt) / k;
-
-    double cap = effectiveCapacityAh();
-    y1_ = std::clamp(y1, 0.0, c * cap);
-    y2_ = std::clamp(y2, 0.0, (1.0 - c) * cap);
+    return ek::batteryUsableEnergyWh(view());
 }
 
 double
 Battery::kibamMaxDischargeCurrent(double dt_seconds) const
 {
-    double t = secondsToHours(dt_seconds);
-    double k = params_.kibamK;
-    double c = params_.kibamC;
-    double q0 = y1_ + y2_;
-    const KibamStepTerms &terms = kibamStepTerms(t);
-    double ekt = terms.ekt;
-    double one_m_ekt = terms.oneMinusEkt;
-    double denom = one_m_ekt + c * (terms.kt - one_m_ekt);
-    if (denom <= 0.0)
-        return 0.0;
-    return (k * y1_ * ekt + q0 * k * c * one_m_ekt) / denom;
+    return ek::batteryKibamMaxDischargeCurrent(view(),
+                                               uniforms(dt_seconds));
 }
 
 double
 Battery::kibamMaxChargeCurrent(double dt_seconds) const
 {
-    double t = secondsToHours(dt_seconds);
-    double k = params_.kibamK;
-    double c = params_.kibamC;
-    double q0 = y1_ + y2_;
-    double qmax = effectiveCapacityAh();
-    const KibamStepTerms &terms = kibamStepTerms(t);
-    double ekt = terms.ekt;
-    double one_m_ekt = terms.oneMinusEkt;
-    double denom = one_m_ekt + c * (terms.kt - one_m_ekt);
-    if (denom <= 0.0)
-        return 0.0;
-    double well_limit =
-        (k * c * qmax - k * y1_ * ekt - q0 * k * c * one_m_ekt) / denom;
-    return std::max(0.0, well_limit);
-}
-
-double
-Battery::voltageLimitedCurrent() const
-{
-    double r = effectiveResistance();
-    double ocv = openCircuitVoltage();
-    // Terminal voltage must stay at or above the cutoff.
-    double cutoff_limit = std::max(0.0, (ocv - params_.vCutoff) / r);
-    // Past ocv/(2r), delivered power falls with more current; never
-    // operate on that branch.
-    double peak_power_limit = ocv / (2.0 * r);
-    return std::min(cutoff_limit, peak_power_limit);
-}
-
-double
-Battery::dischargeCurrentFor(double watts) const
-{
-    double r = effectiveResistance();
-    double ocv = openCircuitVoltage();
-    double disc = ocv * ocv - 4.0 * r * watts;
-    if (disc < 0.0)
-        return -1.0;
-    return (ocv - std::sqrt(disc)) / (2.0 * r);
-}
-
-double
-Battery::chargeCurrentFor(double watts) const
-{
-    double r = effectiveResistance();
-    double ocv = openCircuitVoltage();
-    return (-ocv + std::sqrt(ocv * ocv + 4.0 * r * watts)) / (2.0 * r);
+    return ek::batteryKibamMaxChargeCurrent(view(),
+                                            uniforms(dt_seconds));
 }
 
 double
 Battery::terminalVoltage(double load_watts) const
 {
-    if (load_watts <= 0.0)
-        return openCircuitVoltage();
-    double i = dischargeCurrentFor(load_watts);
-    if (i < 0.0)
-        i = voltageLimitedCurrent();
-    return openCircuitVoltage() - i * effectiveResistance();
+    return ek::batteryTerminalVoltage(view(), load_watts);
 }
 
 double
 Battery::maxDischargePowerW(double dt_seconds) const
 {
-    double t = secondsToHours(dt_seconds);
-    double q_floor = (1.0 - params_.dodLimit) * effectiveCapacityAh();
-    double dod_limit_a =
-        t > 0.0 ? std::max(0.0, (y1_ + y2_ - q_floor)) / t : 0.0;
-    double i = std::min({kibamMaxDischargeCurrent(dt_seconds),
-                         voltageLimitedCurrent(),
-                         params_.maxDischargeCRate * params_.capacityAh,
-                         dod_limit_a});
-    if (i <= 0.0)
-        return 0.0;
-    return (openCircuitVoltage() - i * effectiveResistance()) * i;
+    return ek::batteryMaxDischargePowerW(view(), uniforms(dt_seconds));
 }
 
 double
 Battery::maxChargePowerW(double dt_seconds) const
 {
-    double t = secondsToHours(dt_seconds);
-    double eff = params_.coulombicEfficiency;
-    double headroom_ah =
-        std::max(0.0, effectiveCapacityAh() - (y1_ + y2_));
-    double headroom_a = t > 0.0 ? headroom_ah / (t * eff) : 0.0;
-    double r = effectiveResistance();
-    double ocv = openCircuitVoltage();
-    double v_limit_a = std::max(0.0, (params_.vChargeMax - ocv) / r);
-    double i = std::min({params_.maxChargeCRate * params_.capacityAh *
-                             thermalChargeDerate(),
-                         kibamMaxChargeCurrent(dt_seconds) / eff,
-                         headroom_a, v_limit_a});
-    if (i <= 0.0)
-        return 0.0;
-    return (ocv + i * r) * i;
+    return ek::batteryMaxChargePowerW(view(), uniforms(dt_seconds));
 }
 
 bool
 Battery::depleted(double dt_seconds) const
 {
-    return maxDischargePowerW(dt_seconds) < kDepletedPowerW;
-}
-
-double
-Battery::wearWeight(double current_a) const
-{
-    double soc_part = 1.0 + params_.wearSocFactor * (1.0 - soc());
-    double ref_a = 0.25 * params_.capacityAh;
-    double excess = std::max(0.0, current_a / ref_a - 1.0);
-    double current_part = 1.0 + params_.wearCurrentFactor * excess;
-    return soc_part * current_part;
+    return ek::batteryDepleted(view(), uniforms(dt_seconds));
 }
 
 double
 Battery::lifetimeFractionUsed() const
 {
-    return weightedAh_ / params_.ratedThroughputAh();
+    return ek::batteryLifetimeFraction(view());
 }
 
 double
 Battery::discharge(double watts, double dt_seconds)
 {
-    if (watts <= kMinMeaningfulPowerW || dt_seconds <= 0.0) {
-        rest(dt_seconds);
+    if (dt_seconds <= 0.0)
         return 0.0;
-    }
-    double p = std::min(watts, maxDischargePowerW(dt_seconds));
-    if (p <= kMinMeaningfulPowerW) {
-        rest(dt_seconds);
-        return 0.0;
-    }
-    double i = dischargeCurrentFor(p);
-    if (i < 0.0) {
-        rest(dt_seconds);
-        return 0.0;
-    }
-
-    double r = effectiveResistance();
-    double weight = wearWeight(i);
-    stepWells(i, dt_seconds);
-
-    stepThermal(i * i * r, dt_seconds);
-
-    double dt_h = secondsToHours(dt_seconds);
-    counters_.dischargeEnergyWh += p * dt_h;
-    counters_.lossEnergyWh += i * i * r * dt_h;
-    counters_.dischargeAh += i * dt_h;
-    weightedAh_ += i * dt_h * weight;
-    if (lastDirection_ == -1)
-        ++counters_.directionChanges;
-    lastDirection_ = 1;
-    return p;
+    return ek::batteryDischargeStep(ref(), uniforms(dt_seconds),
+                                    watts);
 }
 
 double
 Battery::charge(double watts, double dt_seconds)
 {
-    if (watts <= kMinMeaningfulPowerW || dt_seconds <= 0.0) {
-        rest(dt_seconds);
+    if (dt_seconds <= 0.0)
         return 0.0;
-    }
-    double p_cap = maxChargePowerW(dt_seconds);
-    double p = std::min(watts, p_cap);
-    if (p <= kMinMeaningfulPowerW) {
-        rest(dt_seconds);
-        return 0.0;
-    }
-    double i = chargeCurrentFor(p);
-    double r = effectiveResistance();
-    double ocv = openCircuitVoltage();
-    double eff = params_.coulombicEfficiency;
-    double absorbed = (ocv + i * r) * i;
-
-    stepWells(-eff * i, dt_seconds);
-    stepThermal(i * i * r + (1.0 - eff) * ocv * i, dt_seconds);
-
-    double dt_h = secondsToHours(dt_seconds);
-    counters_.chargeEnergyWh += absorbed * dt_h;
-    // Ohmic loss plus the coulombic fraction that never reaches the
-    // wells.
-    counters_.lossEnergyWh +=
-        (i * i * r + (1.0 - eff) * ocv * i) * dt_h;
-    counters_.chargeAh += i * dt_h;
-    if (lastDirection_ == 1)
-        ++counters_.directionChanges;
-    lastDirection_ = -1;
-    return absorbed;
+    return ek::batteryChargeStep(ref(), uniforms(dt_seconds), watts);
 }
 
 void
@@ -404,21 +213,15 @@ Battery::rest(double dt_seconds)
 {
     if (dt_seconds <= 0.0)
         return;
-    stepWells(0.0, dt_seconds);
-    stepThermal(0.0, dt_seconds);
-    double keep =
-        1.0 - params_.selfDischargePerHour * secondsToHours(dt_seconds);
-    keep = std::max(0.0, keep);
-    y1_ *= keep;
-    y2_ *= keep;
+    ek::batteryRestStep(ref(), uniforms(dt_seconds));
 }
 
 void
 Battery::advanceQuiescent(std::size_t ticks, double dt_seconds)
 {
-    // Quiescent macro-tick: each rest() step is already the exact
+    // Quiescent macro-tick: each rest step is already the exact
     // closed-form KiBaM solution for a zero-current interval —
-    // stepWells() applies the Manwell–McGowan two-well exponentials
+    // stepWells applies the Manwell–McGowan two-well exponentials
     // with the e^{-kt}/expm1 pair memoized on the fixed tick length,
     // so iterating costs only a handful of multiply-adds per step.
     // Collapsing the n steps into one analytic e^{-nkt} advance
@@ -428,8 +231,9 @@ Battery::advanceQuiescent(std::size_t ticks, double dt_seconds)
     // derivation and the FP argument live in DESIGN.md §10.
     if (dt_seconds <= 0.0)
         return;
+    const ek::BatteryStepUniforms &u = uniforms(dt_seconds);
     for (std::size_t i = 0; i < ticks; ++i)
-        rest(dt_seconds);
+        ek::batteryRestStep(ref(), u);
 }
 
 } // namespace heb

@@ -15,6 +15,11 @@
  * that heavy loads sag the terminal voltage (paper Fig. 5) and ohmic
  * plus coulombic losses produce the <80 % round-trip efficiency the
  * paper measures (Fig. 3).
+ *
+ * All arithmetic lives in esd_kernel.h; this class is the per-device
+ * (scalar) consumer of those kernels, and the SoA batch layer
+ * (soa_bank.h) is the other. Both run the identical op sequence, so
+ * batched and scalar stepping agree bit for bit.
  */
 
 #pragma once
@@ -23,8 +28,26 @@
 
 #include "esd/battery_params.h"
 #include "esd/energy_storage.h"
+#include "esd/esd_kernel.h"
 
 namespace heb {
+
+/**
+ * Snapshot of a battery's complete mutable state. Used to move a
+ * device in and out of a struct-of-arrays lane without exposing the
+ * members piecemeal.
+ */
+struct BatteryState
+{
+    double y1 = 0.0; //!< available charge (Ah)
+    double y2 = 0.0; //!< bound charge (Ah)
+    double healthCap = 1.0;
+    double healthRes = 1.0;
+    double weightedAh = 0.0;
+    double tempC = 0.0;
+    int lastDirection = 0;
+    EsdCounters counters;
+};
 
 /** A lead-acid battery simulated with KiBaM dynamics. */
 class Battery : public EnergyStorageDevice
@@ -110,42 +133,33 @@ class Battery : public EnergyStorageDevice
      */
     double kibamMaxChargeCurrent(double dt_seconds) const;
 
+    /** Last flow direction: +1 discharging, -1 charging, 0 fresh. */
+    int lastDirection() const { return lastDirection_; }
+
+    /** Snapshot the complete mutable state (for SoA lanes). */
+    BatteryState state() const;
+
+    /** Restore a state previously captured with state(). */
+    void restoreState(const BatteryState &s);
+
   private:
+    /** Mutable-state handle for the shared kernels. */
+    esd_kernel::BatteryRef ref();
+
+    /** Read-only state view for the shared kernels. */
+    esd_kernel::BatteryView view() const;
+
     /**
-     * The KiBaM closed-form exponential terms for a step of
-     * @p t_hours. Nearly every simulation calls the battery with one
-     * fixed tick length, so the exp/expm1 pair is memoized on the
-     * last step length (k is fixed per instance). The cache makes
+     * Per-(params, dt) uniform terms (KiBaM exponentials, thermal
+     * alpha, self-discharge keep), memoized on the last step length.
+     * Nearly every simulation calls the battery with one fixed tick
+     * length, so the exp/expm1 pair is computed once. The cache makes
      * the object non-thread-safe for *concurrent* use, which the
      * parallel sweep engine already guarantees: a device belongs to
      * exactly one simulation task (see DESIGN.md §8).
      */
-    struct KibamStepTerms
-    {
-        double tHours = -1.0; //!< step the terms were computed for
-        double kt = 0.0;      //!< k·t
-        double ekt = 1.0;     //!< e^{-k·t}
-        double oneMinusEkt = 0.0; //!< 1 - e^{-k·t} (expm1, stable)
-    };
-    const KibamStepTerms &kibamStepTerms(double t_hours) const;
-
-    /** Advance both wells under constant current for dt (closed form). */
-    void stepWells(double current_a, double dt_seconds);
-
-    /** First-order thermal update given this tick's loss power. */
-    void stepThermal(double loss_w, double dt_seconds);
-
-    /** Current (A) that draws @p watts at the terminals, or -1. */
-    double dischargeCurrentFor(double watts) const;
-
-    /** Current (A) that absorbs @p watts at the terminals. */
-    double chargeCurrentFor(double watts) const;
-
-    /** Largest discharge current the voltage model allows (A). */
-    double voltageLimitedCurrent() const;
-
-    /** Wear weight applied to discharge throughput right now. */
-    double wearWeight(double current_a) const;
+    const esd_kernel::BatteryStepUniforms &
+    uniforms(double dt_seconds) const;
 
     BatteryParams params_;
     double y1_; //!< available charge (Ah)
@@ -156,9 +170,7 @@ class Battery : public EnergyStorageDevice
     double tempC_;
     int lastDirection_ = 0; //!< +1 discharging, -1 charging, 0 fresh
     EsdCounters counters_;
-    mutable KibamStepTerms stepTerms_;
-    mutable double thermalDtSeconds_ = -1.0; //!< cached alpha's dt
-    mutable double thermalAlpha_ = 0.0;
+    mutable esd_kernel::BatteryStepUniforms uni_;
 };
 
 } // namespace heb

@@ -1,0 +1,918 @@
+#include "esd/soa_bank.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <type_traits>
+
+#include "util/logging.h"
+
+// The batch loops below hoist every lane array into a __restrict
+// pointer and force full inlining of the (large) esd_kernel bodies:
+// without both, GCC leaves the per-lane calls outline ("statement
+// clobbers memory") and no loop vectorizes. flatten is safe here —
+// the kernels are leaf math with no recursion — and __restrict is
+// honest: every lane array is a distinct vector, and the pool-owned
+// scratch never aliases group storage. Caller-provided target/output
+// arrays carry __restrict on the parameter itself, not on a local
+// copy: GCC copy-propagates `double *__restrict out = caps;` back to
+// the plain parameter and drops the qualifier, so stores through it
+// keep the uniform loads (params_, u) pinned inside the loop and the
+// reloads land in the latch, which defeats if-conversion ("non empty
+// basic block after exit bb").
+#if defined(__GNUC__) || defined(__clang__)
+#define HEB_FLATTEN __attribute__((flatten))
+#define HEB_RESTRICT __restrict
+#else
+#define HEB_FLATTEN
+#define HEB_RESTRICT
+#endif
+
+namespace heb {
+
+namespace ek = esd_kernel;
+
+namespace {
+
+/** Lanes per padding unit: 8 doubles = one 64-byte cache line. */
+constexpr std::size_t kPadLanes = 8;
+
+/**
+ * Call @p fn with (aging, thermal) lifted to compile-time constants
+ * (std::integral_constant<bool, ...> arguments). Each of the four
+ * instantiations sees the batch-uniform kernel flags as constants,
+ * so constant propagation deletes the uniform branches and the loop
+ * bodies vectorize; the values themselves are unchanged, so every
+ * lane still computes exactly what the runtime-flag wrappers do.
+ */
+template <class Fn>
+void
+dispatchAgingThermal(bool aging, bool thermal, Fn &&fn)
+{
+    using T = std::integral_constant<bool, true>;
+    using F = std::integral_constant<bool, false>;
+    if (aging) {
+        if (thermal)
+            fn(T{}, T{});
+        else
+            fn(T{}, F{});
+    } else {
+        if (thermal)
+            fn(F{}, T{});
+        else
+            fn(F{}, F{});
+    }
+}
+
+/**
+ * Hot battery step loop as a free function whose lane pointers are
+ * __restrict-qualified *parameters*. GCC keeps parameter restrict
+ * through inlining (MR_DEPENDENCE cliques), whereas restrict on a
+ * local alias of a pointer value is erased by copy propagation. With
+ * every lane store provably disjoint from the @p p / @p u loads, the
+ * uniforms hoist out of the loop, the latch stays empty, and
+ * if-conversion + vectorization go through.
+ */
+template <bool Charge, class A, class T>
+HEB_FLATTEN void
+batteryStepLoop(A, T, const BatteryParams &p,
+                const ek::BatteryStepUniforms &u,
+                std::size_t count, const double *HEB_RESTRICT tgt,
+                double *HEB_RESTRICT out, double *HEB_RESTRICT y1,
+                double *HEB_RESTRICT y2, double *HEB_RESTRICT hcap,
+                double *HEB_RESTRICT hres, double *HEB_RESTRICT wah,
+                double *HEB_RESTRICT tmp, int *HEB_RESTRICT ldir,
+                double *HEB_RESTRICT cwh, double *HEB_RESTRICT dwh,
+                double *HEB_RESTRICT lwh, double *HEB_RESTRICT dah,
+                double *HEB_RESTRICT cah,
+                unsigned long *HEB_RESTRICT dchg)
+{
+    constexpr ek::BatteryFlags f{A::value, T::value, true, true};
+    for (std::size_t j = 0; j < count; ++j) {
+        ek::BatteryRef s{p,      y1[j],  y2[j],  hcap[j], hres[j],
+                         wah[j], tmp[j], ldir[j], cwh[j], dwh[j],
+                         lwh[j], dah[j], cah[j],  dchg[j]};
+        if constexpr (Charge)
+            out[j] = ek::batteryChargeStep(s, u, tgt[j], f);
+        else
+            out[j] = ek::batteryDischargeStep(s, u, tgt[j], f);
+    }
+}
+
+/** SC sub-step lane loop; restrict-parameter idiom as above. */
+template <bool Charge>
+HEB_FLATTEN void
+scSubStepLoop(const ScParams &p, double step, std::size_t count,
+              const double *HEB_RESTRICT tgt, double *HEB_RESTRICT wh,
+              double *HEB_RESTRICT moved, double *HEB_RESTRICT vol,
+              double *HEB_RESTRICT hcap, double *HEB_RESTRICT hres,
+              int *HEB_RESTRICT ldir, double *HEB_RESTRICT cwh,
+              double *HEB_RESTRICT dwh, double *HEB_RESTRICT lwh,
+              double *HEB_RESTRICT dah, double *HEB_RESTRICT cah,
+              unsigned long *HEB_RESTRICT dchg)
+{
+    for (std::size_t j = 0; j < count; ++j) {
+        ek::ScRef s{p,      vol[j], hcap[j], hres[j], ldir[j],
+                    cwh[j], dwh[j], lwh[j],  dah[j],  cah[j],
+                    dchg[j]};
+        bool act;
+        if constexpr (Charge)
+            act = ek::scChargeSubStep(s, tgt[j], step, wh[j]);
+        else
+            act = ek::scDischargeSubStep(s, tgt[j], step, wh[j]);
+        // Double-lane flag keeps the loop all-V2DF: an int select
+        // here has no 2-lane vector form on SSE2 and kills
+        // vectorization of the whole loop.
+        const double mv = moved[j];
+        moved[j] = act ? 1.0 : mv;
+    }
+}
+
+/** SC batch epilogue lane loop; restrict-parameter idiom as above. */
+template <bool Charge>
+HEB_FLATTEN void
+scFinalizeLoop(const ScParams &p, const ek::ScStepUniforms &u,
+               std::size_t count, const double *HEB_RESTRICT tgt,
+               double *HEB_RESTRICT out,
+               const double *HEB_RESTRICT wh,
+               const double *HEB_RESTRICT moved,
+               double *HEB_RESTRICT vol, double *HEB_RESTRICT hcap,
+               double *HEB_RESTRICT hres, int *HEB_RESTRICT ldir,
+               double *HEB_RESTRICT cwh, double *HEB_RESTRICT dwh,
+               double *HEB_RESTRICT lwh, double *HEB_RESTRICT dah,
+               double *HEB_RESTRICT cah,
+               unsigned long *HEB_RESTRICT dchg)
+{
+    for (std::size_t j = 0; j < count; ++j) {
+        ek::ScRef s{p,      vol[j], hcap[j], hres[j], ldir[j],
+                    cwh[j], dwh[j], lwh[j],  dah[j],  cah[j],
+                    dchg[j]};
+        if constexpr (Charge)
+            out[j] = ek::scChargeFinalize(s, u, tgt[j],
+                                          moved[j] != 0.0, wh[j]);
+        else
+            out[j] = ek::scDischargeFinalize(s, u, tgt[j],
+                                             moved[j] != 0.0, wh[j]);
+    }
+}
+
+std::atomic<bool> g_batching{[] {
+    const char *env = std::getenv("HEB_ESD_BATCH");
+    if (!env)
+        return true;
+    return !(std::strcmp(env, "0") == 0 ||
+             std::strcmp(env, "off") == 0 ||
+             std::strcmp(env, "false") == 0);
+}()};
+
+} // namespace
+
+bool
+soaBatchingEnabled()
+{
+    return g_batching.load(std::memory_order_relaxed);
+}
+
+void
+setSoaBatchingEnabled(bool enabled)
+{
+    g_batching.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+batteryParamsKernelEqual(const BatteryParams &a, const BatteryParams &b)
+{
+    return a.capacityAh == b.capacityAh &&
+           a.nominalVoltage == b.nominalVoltage &&
+           a.vFull == b.vFull && a.vEmpty == b.vEmpty &&
+           a.vCutoff == b.vCutoff && a.vChargeMax == b.vChargeMax &&
+           a.internalResistanceOhm == b.internalResistanceOhm &&
+           a.resistanceGrowthAtLowSoc == b.resistanceGrowthAtLowSoc &&
+           a.kibamC == b.kibamC && a.kibamK == b.kibamK &&
+           a.coulombicEfficiency == b.coulombicEfficiency &&
+           a.maxChargeCRate == b.maxChargeCRate &&
+           a.maxDischargeCRate == b.maxDischargeCRate &&
+           a.dodLimit == b.dodLimit &&
+           a.ratedCycleLife == b.ratedCycleLife &&
+           a.ratedCycleDod == b.ratedCycleDod &&
+           a.wearSocFactor == b.wearSocFactor &&
+           a.wearCurrentFactor == b.wearCurrentFactor &&
+           a.selfDischargePerHour == b.selfDischargePerHour &&
+           a.agingEnabled == b.agingEnabled &&
+           a.endOfLifeCapacityFraction == b.endOfLifeCapacityFraction &&
+           a.endOfLifeResistanceGrowth == b.endOfLifeResistanceGrowth &&
+           a.thermalEnabled == b.thermalEnabled &&
+           a.ambientC == b.ambientC &&
+           a.chargeDerateStartC == b.chargeDerateStartC &&
+           a.chargeCutoffC == b.chargeCutoffC &&
+           a.thermalResistanceCPerW == b.thermalResistanceCPerW &&
+           a.thermalTimeConstantS == b.thermalTimeConstantS;
+}
+
+bool
+scParamsKernelEqual(const ScParams &a, const ScParams &b)
+{
+    return a.capacitanceF == b.capacitanceF && a.vMax == b.vMax &&
+           a.vMin == b.vMin && a.esrOhm == b.esrOhm &&
+           a.maxCurrentA == b.maxCurrentA &&
+           a.selfDischargePerHour == b.selfDischargePerHour &&
+           a.ratedCycleLife == b.ratedCycleLife;
+}
+
+// ====================================================================
+// BatterySoaGroup
+// ====================================================================
+
+BatterySoaGroup::BatterySoaGroup(BatteryParams params)
+    : params_(std::move(params))
+{
+}
+
+std::size_t
+BatterySoaGroup::addLanes(std::size_t count, std::size_t pad_to)
+{
+    std::size_t first = laneCount();
+    std::size_t pad = pad_to > 1 ? pad_to : 1;
+    std::size_t goal = first + count;
+    std::size_t total = ((goal + pad - 1) / pad) * pad;
+    std::size_t grown = total;
+    y1_.resize(grown, params_.kibamC * params_.capacityAh);
+    y2_.resize(grown, (1.0 - params_.kibamC) * params_.capacityAh);
+    healthCap_.resize(grown, 1.0);
+    healthRes_.resize(grown, 1.0);
+    weightedAh_.resize(grown, 0.0);
+    tempC_.resize(grown, params_.ambientC);
+    lastDirection_.resize(grown, 0);
+    chargeEnergyWh_.resize(grown, 0.0);
+    dischargeEnergyWh_.resize(grown, 0.0);
+    lossEnergyWh_.resize(grown, 0.0);
+    dischargeAh_.resize(grown, 0.0);
+    chargeAh_.resize(grown, 0.0);
+    directionChanges_.resize(grown, 0);
+    return first;
+}
+
+ek::BatteryRef
+BatterySoaGroup::laneRef(std::size_t lane)
+{
+    return {params_,
+            y1_[lane],
+            y2_[lane],
+            healthCap_[lane],
+            healthRes_[lane],
+            weightedAh_[lane],
+            tempC_[lane],
+            lastDirection_[lane],
+            chargeEnergyWh_[lane],
+            dischargeEnergyWh_[lane],
+            lossEnergyWh_[lane],
+            dischargeAh_[lane],
+            chargeAh_[lane],
+            directionChanges_[lane]};
+}
+
+ek::BatteryView
+BatterySoaGroup::laneView(std::size_t lane) const
+{
+    return {params_,          y1_[lane],         y2_[lane],
+            healthCap_[lane], healthRes_[lane],  weightedAh_[lane],
+            tempC_[lane]};
+}
+
+void
+BatterySoaGroup::loadLane(std::size_t lane, const BatteryState &s)
+{
+    y1_[lane] = s.y1;
+    y2_[lane] = s.y2;
+    healthCap_[lane] = s.healthCap;
+    healthRes_[lane] = s.healthRes;
+    weightedAh_[lane] = s.weightedAh;
+    tempC_[lane] = s.tempC;
+    lastDirection_[lane] = s.lastDirection;
+    chargeEnergyWh_[lane] = s.counters.chargeEnergyWh;
+    dischargeEnergyWh_[lane] = s.counters.dischargeEnergyWh;
+    lossEnergyWh_[lane] = s.counters.lossEnergyWh;
+    dischargeAh_[lane] = s.counters.dischargeAh;
+    chargeAh_[lane] = s.counters.chargeAh;
+    directionChanges_[lane] = s.counters.directionChanges;
+}
+
+BatteryState
+BatterySoaGroup::storeLane(std::size_t lane) const
+{
+    BatteryState s;
+    s.y1 = y1_[lane];
+    s.y2 = y2_[lane];
+    s.healthCap = healthCap_[lane];
+    s.healthRes = healthRes_[lane];
+    s.weightedAh = weightedAh_[lane];
+    s.tempC = tempC_[lane];
+    s.lastDirection = lastDirection_[lane];
+    s.counters.chargeEnergyWh = chargeEnergyWh_[lane];
+    s.counters.dischargeEnergyWh = dischargeEnergyWh_[lane];
+    s.counters.lossEnergyWh = lossEnergyWh_[lane];
+    s.counters.dischargeAh = dischargeAh_[lane];
+    s.counters.chargeAh = chargeAh_[lane];
+    s.counters.directionChanges = directionChanges_[lane];
+    return s;
+}
+
+void
+BatterySoaGroup::copyLane(std::size_t dst, std::size_t src)
+{
+    loadLane(dst, storeLane(src));
+}
+
+// Hoist every lane array of [first, first+count) into a __restrict
+// pointer so the vectorizer sees provably disjoint streams instead of
+// 13 may-alias vector references (the runtime alias-check budget is
+// far smaller than the 13-choose-2 pairs it would otherwise need).
+#define HEB_BA_LANES(qual)                                             \
+    qual double *HEB_RESTRICT y1 = y1_.data() + first;                 \
+    qual double *HEB_RESTRICT y2 = y2_.data() + first;                 \
+    qual double *HEB_RESTRICT hcap = healthCap_.data() + first;        \
+    qual double *HEB_RESTRICT hres = healthRes_.data() + first;        \
+    qual double *HEB_RESTRICT wah = weightedAh_.data() + first;        \
+    qual double *HEB_RESTRICT tmp = tempC_.data() + first;             \
+    qual int *HEB_RESTRICT ldir = lastDirection_.data() + first;       \
+    qual double *HEB_RESTRICT cwh = chargeEnergyWh_.data() + first;    \
+    qual double *HEB_RESTRICT dwh =                                    \
+        dischargeEnergyWh_.data() + first;                             \
+    qual double *HEB_RESTRICT lwh = lossEnergyWh_.data() + first;      \
+    qual double *HEB_RESTRICT dah = dischargeAh_.data() + first;       \
+    qual double *HEB_RESTRICT cah = chargeAh_.data() + first;          \
+    qual unsigned long *HEB_RESTRICT dchg =                            \
+        directionChanges_.data() + first
+
+void HEB_FLATTEN
+BatterySoaGroup::computeDischargeCaps(const ek::BatteryStepUniforms &u,
+                                      std::size_t first,
+                                      std::size_t count,
+                                      double *HEB_RESTRICT out) const
+{
+    HEB_BA_LANES(const);
+    const ek::BatteryFlags rf = ek::batteryFlags(params_, u);
+    if (rf.dtPos && rf.denomPos) {
+        dispatchAgingThermal(rf.aging, rf.thermal, [&](auto A, auto T) {
+            constexpr ek::BatteryFlags f{A.value, T.value, true, true};
+            for (std::size_t j = 0; j < count; ++j) {
+                ek::BatteryView v{params_, y1[j],  y2[j], hcap[j],
+                                  hres[j], wah[j], tmp[j]};
+                out[j] = ek::batteryMaxDischargePowerW(v, u, f);
+            }
+        });
+    } else {
+        // Degenerate dt — cold path, runtime flags (never vectorizes).
+        for (std::size_t j = 0; j < count; ++j) {
+            ek::BatteryView v{params_, y1[j],  y2[j], hcap[j],
+                              hres[j], wah[j], tmp[j]};
+            out[j] = ek::batteryMaxDischargePowerW(v, u, rf);
+        }
+    }
+}
+
+void HEB_FLATTEN
+BatterySoaGroup::computeChargeCaps(const ek::BatteryStepUniforms &u,
+                                   std::size_t first,
+                                   std::size_t count,
+                                   double *HEB_RESTRICT out) const
+{
+    HEB_BA_LANES(const);
+    const ek::BatteryFlags rf = ek::batteryFlags(params_, u);
+    if (rf.dtPos && rf.denomPos) {
+        dispatchAgingThermal(rf.aging, rf.thermal, [&](auto A, auto T) {
+            constexpr ek::BatteryFlags f{A.value, T.value, true, true};
+            for (std::size_t j = 0; j < count; ++j) {
+                ek::BatteryView v{params_, y1[j],  y2[j], hcap[j],
+                                  hres[j], wah[j], tmp[j]};
+                out[j] = ek::batteryMaxChargePowerW(v, u, f);
+            }
+        });
+    } else {
+        for (std::size_t j = 0; j < count; ++j) {
+            ek::BatteryView v{params_, y1[j],  y2[j], hcap[j],
+                              hres[j], wah[j], tmp[j]};
+            out[j] = ek::batteryMaxChargePowerW(v, u, rf);
+        }
+    }
+}
+
+void HEB_FLATTEN
+BatterySoaGroup::dischargeBatch(const ek::BatteryStepUniforms &u,
+                                std::size_t first, std::size_t count,
+                                const double *HEB_RESTRICT tgt,
+                                double *HEB_RESTRICT out)
+{
+    HEB_BA_LANES();
+    const ek::BatteryFlags rf = ek::batteryFlags(params_, u);
+    if (rf.dtPos && rf.denomPos) {
+        dispatchAgingThermal(rf.aging, rf.thermal, [&](auto A, auto T) {
+            batteryStepLoop<false>(A, T, params_, u, count, tgt, out,
+                                   y1, y2, hcap, hres, wah, tmp, ldir,
+                                   cwh, dwh, lwh, dah, cah, dchg);
+        });
+    } else {
+        for (std::size_t j = 0; j < count; ++j) {
+            ek::BatteryRef s{params_, y1[j],  y2[j],  hcap[j],
+                             hres[j], wah[j], tmp[j], ldir[j],
+                             cwh[j],  dwh[j], lwh[j], dah[j],
+                             cah[j],  dchg[j]};
+            out[j] = ek::batteryDischargeStep(s, u, tgt[j], rf);
+        }
+    }
+}
+
+void HEB_FLATTEN
+BatterySoaGroup::chargeBatch(const ek::BatteryStepUniforms &u,
+                             std::size_t first, std::size_t count,
+                             const double *HEB_RESTRICT tgt,
+                             double *HEB_RESTRICT out)
+{
+    HEB_BA_LANES();
+    const ek::BatteryFlags rf = ek::batteryFlags(params_, u);
+    if (rf.dtPos && rf.denomPos) {
+        dispatchAgingThermal(rf.aging, rf.thermal, [&](auto A, auto T) {
+            batteryStepLoop<true>(A, T, params_, u, count, tgt, out,
+                                  y1, y2, hcap, hres, wah, tmp, ldir,
+                                  cwh, dwh, lwh, dah, cah, dchg);
+        });
+    } else {
+        for (std::size_t j = 0; j < count; ++j) {
+            ek::BatteryRef s{params_, y1[j],  y2[j],  hcap[j],
+                             hres[j], wah[j], tmp[j], ldir[j],
+                             cwh[j],  dwh[j], lwh[j], dah[j],
+                             cah[j],  dchg[j]};
+            out[j] = ek::batteryChargeStep(s, u, tgt[j], rf);
+        }
+    }
+}
+
+void HEB_FLATTEN
+BatterySoaGroup::restBatch(const ek::BatteryStepUniforms &u,
+                           std::size_t first, std::size_t count)
+{
+    HEB_BA_LANES();
+    // batteryRestStep never reads dtPos/denomPos; pin them so the
+    // dispatch only forks on the flags the body actually uses.
+    const ek::BatteryFlags rf = ek::batteryFlags(params_, u);
+    dispatchAgingThermal(rf.aging, rf.thermal, [&](auto A, auto T) {
+        constexpr ek::BatteryFlags f{A.value, T.value, true, true};
+        for (std::size_t j = 0; j < count; ++j) {
+            ek::BatteryRef s{params_, y1[j],  y2[j],  hcap[j],
+                             hres[j], wah[j], tmp[j], ldir[j],
+                             cwh[j],  dwh[j], lwh[j], dah[j],
+                             cah[j],  dchg[j]};
+            ek::batteryRestStep(s, u, f);
+        }
+    });
+}
+
+void
+BatterySoaGroup::advanceQuiescentBatch(
+    const ek::BatteryStepUniforms &u, std::size_t ticks,
+    std::size_t first, std::size_t count)
+{
+    // Tick-major with lanes inner: the vectorizable axis is the lane
+    // axis, and lanes are independent, so this interleaving matches
+    // per-device tick loops bit for bit.
+    for (std::size_t t = 0; t < ticks; ++t)
+        restBatch(u, first, count);
+}
+
+void
+BatterySoaGroup::advanceQuiescentAll(std::size_t ticks,
+                                     double dt_seconds)
+{
+    if (dt_seconds <= 0.0)
+        return;
+    ek::refreshBatteryUniforms(params_, dt_seconds, arenaUni_);
+    advanceQuiescentBatch(arenaUni_, ticks, 0, laneCount());
+}
+
+double
+BatterySoaGroup::laneSoc(std::size_t lane) const
+{
+    return ek::batterySoc(laneView(lane));
+}
+
+double
+BatterySoaGroup::laneUsableEnergyWh(std::size_t lane) const
+{
+    return ek::batteryUsableEnergyWh(laneView(lane));
+}
+
+double
+BatterySoaGroup::laneMaxDischargePowerW(
+    std::size_t lane, const ek::BatteryStepUniforms &u) const
+{
+    return ek::batteryMaxDischargePowerW(laneView(lane), u);
+}
+
+double
+BatterySoaGroup::laneMaxChargePowerW(
+    std::size_t lane, const ek::BatteryStepUniforms &u) const
+{
+    return ek::batteryMaxChargePowerW(laneView(lane), u);
+}
+
+double
+BatterySoaGroup::laneTerminalVoltage(std::size_t lane,
+                                     double load_watts) const
+{
+    return ek::batteryTerminalVoltage(laneView(lane), load_watts);
+}
+
+bool
+BatterySoaGroup::laneDepleted(std::size_t lane,
+                              const ek::BatteryStepUniforms &u) const
+{
+    return ek::batteryDepleted(laneView(lane), u);
+}
+
+double
+BatterySoaGroup::laneLifetimeFraction(std::size_t lane) const
+{
+    return ek::batteryLifetimeFraction(laneView(lane));
+}
+
+EsdCounters
+BatterySoaGroup::laneCounters(std::size_t lane) const
+{
+    EsdCounters c;
+    c.chargeEnergyWh = chargeEnergyWh_[lane];
+    c.dischargeEnergyWh = dischargeEnergyWh_[lane];
+    c.lossEnergyWh = lossEnergyWh_[lane];
+    c.dischargeAh = dischargeAh_[lane];
+    c.chargeAh = chargeAh_[lane];
+    c.directionChanges = directionChanges_[lane];
+    return c;
+}
+
+void
+BatterySoaGroup::laneSetSoc(std::size_t lane, double soc)
+{
+    ek::batterySetSoc(laneRef(lane), soc);
+}
+
+void
+BatterySoaGroup::laneApplyHealthDerate(std::size_t lane,
+                                       double capacity_factor,
+                                       double resistance_factor)
+{
+    ek::batteryApplyHealthDerate(laneRef(lane), capacity_factor,
+                                 resistance_factor);
+}
+
+// ====================================================================
+// ScSoaGroup
+// ====================================================================
+
+ScSoaGroup::ScSoaGroup(ScParams params) : params_(std::move(params)) {}
+
+std::size_t
+ScSoaGroup::addLanes(std::size_t count, std::size_t pad_to)
+{
+    std::size_t first = laneCount();
+    std::size_t pad = pad_to > 1 ? pad_to : 1;
+    std::size_t goal = first + count;
+    std::size_t grown = ((goal + pad - 1) / pad) * pad;
+    voltage_.resize(grown, params_.vMax);
+    healthCap_.resize(grown, 1.0);
+    healthRes_.resize(grown, 1.0);
+    lastDirection_.resize(grown, 0);
+    chargeEnergyWh_.resize(grown, 0.0);
+    dischargeEnergyWh_.resize(grown, 0.0);
+    lossEnergyWh_.resize(grown, 0.0);
+    dischargeAh_.resize(grown, 0.0);
+    chargeAh_.resize(grown, 0.0);
+    directionChanges_.resize(grown, 0);
+    return first;
+}
+
+ek::ScRef
+ScSoaGroup::laneRef(std::size_t lane)
+{
+    return {params_,
+            voltage_[lane],
+            healthCap_[lane],
+            healthRes_[lane],
+            lastDirection_[lane],
+            chargeEnergyWh_[lane],
+            dischargeEnergyWh_[lane],
+            lossEnergyWh_[lane],
+            dischargeAh_[lane],
+            chargeAh_[lane],
+            directionChanges_[lane]};
+}
+
+ek::ScView
+ScSoaGroup::laneView(std::size_t lane) const
+{
+    return {params_, voltage_[lane], healthCap_[lane],
+            healthRes_[lane]};
+}
+
+void
+ScSoaGroup::loadLane(std::size_t lane, const ScState &s)
+{
+    voltage_[lane] = s.voltage;
+    healthCap_[lane] = s.healthCap;
+    healthRes_[lane] = s.healthRes;
+    lastDirection_[lane] = s.lastDirection;
+    chargeEnergyWh_[lane] = s.counters.chargeEnergyWh;
+    dischargeEnergyWh_[lane] = s.counters.dischargeEnergyWh;
+    lossEnergyWh_[lane] = s.counters.lossEnergyWh;
+    dischargeAh_[lane] = s.counters.dischargeAh;
+    chargeAh_[lane] = s.counters.chargeAh;
+    directionChanges_[lane] = s.counters.directionChanges;
+}
+
+ScState
+ScSoaGroup::storeLane(std::size_t lane) const
+{
+    ScState s;
+    s.voltage = voltage_[lane];
+    s.healthCap = healthCap_[lane];
+    s.healthRes = healthRes_[lane];
+    s.lastDirection = lastDirection_[lane];
+    s.counters.chargeEnergyWh = chargeEnergyWh_[lane];
+    s.counters.dischargeEnergyWh = dischargeEnergyWh_[lane];
+    s.counters.lossEnergyWh = lossEnergyWh_[lane];
+    s.counters.dischargeAh = dischargeAh_[lane];
+    s.counters.chargeAh = chargeAh_[lane];
+    s.counters.directionChanges = directionChanges_[lane];
+    return s;
+}
+
+void
+ScSoaGroup::copyLane(std::size_t dst, std::size_t src)
+{
+    loadLane(dst, storeLane(src));
+}
+
+// SC analogue of HEB_BA_LANES; see the comment there.
+#define HEB_SC_LANES(qual)                                             \
+    qual double *HEB_RESTRICT vol = voltage_.data() + first;           \
+    qual double *HEB_RESTRICT hcap = healthCap_.data() + first;        \
+    qual double *HEB_RESTRICT hres = healthRes_.data() + first;        \
+    qual int *HEB_RESTRICT ldir = lastDirection_.data() + first;       \
+    qual double *HEB_RESTRICT cwh = chargeEnergyWh_.data() + first;    \
+    qual double *HEB_RESTRICT dwh =                                    \
+        dischargeEnergyWh_.data() + first;                             \
+    qual double *HEB_RESTRICT lwh = lossEnergyWh_.data() + first;      \
+    qual double *HEB_RESTRICT dah = dischargeAh_.data() + first;       \
+    qual double *HEB_RESTRICT cah = chargeAh_.data() + first;          \
+    qual unsigned long *HEB_RESTRICT dchg =                            \
+        directionChanges_.data() + first
+
+void HEB_FLATTEN
+ScSoaGroup::computeDischargeCaps(double dt_seconds, std::size_t first,
+                                 std::size_t count,
+                                 double *HEB_RESTRICT out) const
+{
+    HEB_SC_LANES(const);
+    if (dt_seconds > 0.0) {
+        for (std::size_t j = 0; j < count; ++j) {
+            ek::ScView v{params_, vol[j], hcap[j], hres[j]};
+            out[j] = ek::scMaxDischargePowerW(v, dt_seconds, true);
+        }
+    } else {
+        for (std::size_t j = 0; j < count; ++j) {
+            ek::ScView v{params_, vol[j], hcap[j], hres[j]};
+            out[j] = ek::scMaxDischargePowerW(v, dt_seconds, false);
+        }
+    }
+}
+
+void HEB_FLATTEN
+ScSoaGroup::computeChargeCaps(double dt_seconds, std::size_t first,
+                              std::size_t count,
+                              double *HEB_RESTRICT out) const
+{
+    HEB_SC_LANES(const);
+    if (dt_seconds > 0.0) {
+        for (std::size_t j = 0; j < count; ++j) {
+            ek::ScView v{params_, vol[j], hcap[j], hres[j]};
+            out[j] = ek::scMaxChargePowerW(v, dt_seconds, true);
+        }
+    } else {
+        for (std::size_t j = 0; j < count; ++j) {
+            ek::ScView v{params_, vol[j], hcap[j], hres[j]};
+            out[j] = ek::scMaxChargePowerW(v, dt_seconds, false);
+        }
+    }
+}
+
+void HEB_FLATTEN
+ScSoaGroup::dischargeBatch(const ek::ScStepUniforms &u,
+                           std::size_t first, std::size_t count,
+                           const double *HEB_RESTRICT tgt,
+                           double *HEB_RESTRICT out,
+                           double *HEB_RESTRICT wh,
+                           double *HEB_RESTRICT moved)
+{
+    HEB_SC_LANES();
+    for (std::size_t j = 0; j < count; ++j) {
+        wh[j] = 0.0;
+        moved[j] = 0.0;
+    }
+    // Lane-inner sub-steps: the schedule is a pure function of dt,
+    // so it is uniform across the batch, and lanes are independent,
+    // so sub-step-major interleaving matches the per-device loop bit
+    // for bit.
+    double remaining = u.dtSeconds;
+    while (remaining > 0.0) {
+        double step = std::min(remaining, ek::kScSubStepSeconds);
+        remaining -= step;
+        scSubStepLoop<false>(params_, step, count, tgt, wh, moved,
+                             vol, hcap, hres, ldir, cwh, dwh, lwh,
+                             dah, cah, dchg);
+    }
+    scFinalizeLoop<false>(params_, u, count, tgt, out, wh, moved, vol,
+                          hcap, hres, ldir, cwh, dwh, lwh, dah, cah,
+                          dchg);
+}
+
+void HEB_FLATTEN
+ScSoaGroup::chargeBatch(const ek::ScStepUniforms &u, std::size_t first,
+                        std::size_t count,
+                        const double *HEB_RESTRICT tgt,
+                        double *HEB_RESTRICT out,
+                        double *HEB_RESTRICT wh,
+                        double *HEB_RESTRICT moved)
+{
+    HEB_SC_LANES();
+    for (std::size_t j = 0; j < count; ++j) {
+        wh[j] = 0.0;
+        moved[j] = 0.0;
+    }
+    double remaining = u.dtSeconds;
+    while (remaining > 0.0) {
+        double step = std::min(remaining, ek::kScSubStepSeconds);
+        remaining -= step;
+        scSubStepLoop<true>(params_, step, count, tgt, wh, moved,
+                            vol, hcap, hres, ldir, cwh, dwh, lwh,
+                            dah, cah, dchg);
+    }
+    scFinalizeLoop<true>(params_, u, count, tgt, out, wh, moved, vol,
+                         hcap, hres, ldir, cwh, dwh, lwh, dah, cah,
+                         dchg);
+}
+
+void HEB_FLATTEN
+ScSoaGroup::restBatch(const ek::ScStepUniforms &u, std::size_t first,
+                      std::size_t count)
+{
+    HEB_SC_LANES();
+    for (std::size_t j = 0; j < count; ++j) {
+        ek::ScRef s{params_, vol[j], hcap[j], hres[j], ldir[j],
+                    cwh[j],  dwh[j], lwh[j],  dah[j],  cah[j],
+                    dchg[j]};
+        ek::scRestStep(s, u);
+    }
+}
+
+void
+ScSoaGroup::advanceQuiescentBatch(const ek::ScStepUniforms &u,
+                                  std::size_t ticks, std::size_t first,
+                                  std::size_t count)
+{
+    for (std::size_t t = 0; t < ticks; ++t)
+        restBatch(u, first, count);
+}
+
+void
+ScSoaGroup::advanceQuiescentAll(std::size_t ticks, double dt_seconds)
+{
+    if (dt_seconds <= 0.0)
+        return;
+    ek::refreshScUniforms(params_, dt_seconds, arenaUni_);
+    advanceQuiescentBatch(arenaUni_, ticks, 0, laneCount());
+}
+
+double
+ScSoaGroup::laneSoc(std::size_t lane) const
+{
+    return ek::scSoc(laneView(lane));
+}
+
+double
+ScSoaGroup::laneUsableEnergyWh(std::size_t lane) const
+{
+    return ek::scUsableEnergyWh(laneView(lane));
+}
+
+double
+ScSoaGroup::laneMaxDischargePowerW(std::size_t lane,
+                                   double dt_seconds) const
+{
+    return ek::scMaxDischargePowerW(laneView(lane), dt_seconds);
+}
+
+double
+ScSoaGroup::laneMaxChargePowerW(std::size_t lane,
+                                double dt_seconds) const
+{
+    return ek::scMaxChargePowerW(laneView(lane), dt_seconds);
+}
+
+double
+ScSoaGroup::laneTerminalVoltage(std::size_t lane,
+                                double load_watts) const
+{
+    return ek::scTerminalVoltage(laneView(lane), load_watts);
+}
+
+bool
+ScSoaGroup::laneDepleted(std::size_t lane, double dt_seconds) const
+{
+    return ek::scDepleted(laneView(lane), dt_seconds);
+}
+
+double
+ScSoaGroup::laneLifetimeFraction(std::size_t lane) const
+{
+    return ek::scLifetimeFraction(params_, dischargeAh_[lane]);
+}
+
+EsdCounters
+ScSoaGroup::laneCounters(std::size_t lane) const
+{
+    EsdCounters c;
+    c.chargeEnergyWh = chargeEnergyWh_[lane];
+    c.dischargeEnergyWh = dischargeEnergyWh_[lane];
+    c.lossEnergyWh = lossEnergyWh_[lane];
+    c.dischargeAh = dischargeAh_[lane];
+    c.chargeAh = chargeAh_[lane];
+    c.directionChanges = directionChanges_[lane];
+    return c;
+}
+
+void
+ScSoaGroup::laneSetSoc(std::size_t lane, double soc)
+{
+    ek::scSetSoc(laneRef(lane), soc);
+}
+
+void
+ScSoaGroup::laneApplyHealthDerate(std::size_t lane,
+                                  double capacity_factor,
+                                  double resistance_factor)
+{
+    ek::scApplyHealthDerate(laneRef(lane), capacity_factor,
+                            resistance_factor);
+}
+
+// ====================================================================
+// EsdSoaArena
+// ====================================================================
+
+EsdSoaArena::EsdSoaArena(bool pad_ranges)
+    : padTo_(pad_ranges ? kPadLanes : 1)
+{
+}
+
+BatterySoaGroup &
+EsdSoaArena::batteryGroup(const BatteryParams &params)
+{
+    for (auto &g : batteryGroups_) {
+        if (batteryParamsKernelEqual(g->params(), params))
+            return *g;
+    }
+    batteryGroups_.push_back(
+        std::make_unique<BatterySoaGroup>(params));
+    return *batteryGroups_.back();
+}
+
+ScSoaGroup &
+EsdSoaArena::scGroup(const ScParams &params)
+{
+    for (auto &g : scGroups_) {
+        if (scParamsKernelEqual(g->params(), params))
+            return *g;
+    }
+    scGroups_.push_back(std::make_unique<ScSoaGroup>(params));
+    return *scGroups_.back();
+}
+
+std::size_t
+EsdSoaArena::laneCount() const
+{
+    std::size_t n = 0;
+    for (const auto &g : batteryGroups_)
+        n += g->laneCount();
+    for (const auto &g : scGroups_)
+        n += g->laneCount();
+    return n;
+}
+
+void
+EsdSoaArena::advanceQuiescentAll(std::size_t ticks, double dt_seconds)
+{
+    for (auto &g : batteryGroups_)
+        g->advanceQuiescentAll(ticks, dt_seconds);
+    for (auto &g : scGroups_)
+        g->advanceQuiescentAll(ticks, dt_seconds);
+}
+
+} // namespace heb

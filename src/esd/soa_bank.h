@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Struct-of-arrays lanes for batched ESD stepping.
+ *
+ * The per-device classes keep the KiBaM/SC physics correct but step
+ * each device through a virtual call on a separate heap object — the
+ * hottest arithmetic in the simulator cannot vectorize. This layer
+ * packs the hot mutable state of *homogeneous* devices (identical
+ * parameters up to the label) into contiguous arrays, one array per
+ * field, and steps whole ranges with branch-light loops built from
+ * the same esd_kernel.h inline functions the scalar classes use.
+ * Identical ops on identical operands in identical order per lane —
+ * batched results are bit-for-bit the scalar results (DESIGN.md §13).
+ *
+ * Ownership/threading model:
+ *  - An EsdSoaArena owns the groups. Each EsdPool owns a private
+ *    arena by default; the fleet slim path passes one shared arena
+ *    per worker shard so a single kernel invocation can step every
+ *    battery of the shard (EsdSoaArena::advanceQuiescentAll).
+ *  - Lane registration (addLanes) happens only during serial
+ *    construction. At runtime each pool touches only its own lane
+ *    range; ranges are element-disjoint, so parallel rack ticking
+ *    over a shared arena is race-free, and groups can pad ranges to
+ *    a lane multiple to keep pools off each other's cache lines.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "esd/battery.h"
+#include "esd/esd_kernel.h"
+#include "esd/supercapacitor.h"
+
+namespace heb {
+
+/**
+ * Global switch for SoA batching (default on). Read when pools are
+ * built; the HEB_ESD_BATCH environment variable ("0"/"off"/"false"
+ * disables) seeds it, setSoaBatchingEnabled overrides at runtime —
+ * the scalar-vs-batched benches and tests flip it around pool
+ * construction.
+ */
+bool soaBatchingEnabled();
+void setSoaBatchingEnabled(bool enabled);
+
+/** Contiguous SoA lanes for one homogeneous battery population. */
+class BatterySoaGroup
+{
+  public:
+    /** @p params is the canonical parameter set of every lane. */
+    explicit BatterySoaGroup(BatteryParams params);
+
+    const BatteryParams &params() const { return params_; }
+
+    /**
+     * Append @p count factory-fresh lanes; when @p pad_to > 1, pad
+     * the tail with inert filler lanes to the next multiple so the
+     * next caller's range starts on its own cache line.
+     * @return Index of the first new lane.
+     */
+    std::size_t addLanes(std::size_t count, std::size_t pad_to);
+
+    std::size_t laneCount() const { return y1_.size(); }
+
+    /** Overwrite lane @p lane with a device-state snapshot. */
+    void loadLane(std::size_t lane, const BatteryState &s);
+
+    /** Read lane @p lane back into a device-state snapshot. */
+    BatteryState storeLane(std::size_t lane) const;
+
+    /** Copy lane @p src over lane @p dst (eviction compaction). */
+    void copyLane(std::size_t dst, std::size_t src);
+
+    // --- Batch kernels over [first, first+count). Hot loops; the
+    // uniforms must be refreshed for the step length by the caller. -
+
+    /** Per-lane maxDischargePowerW into @p caps[0..count). */
+    void computeDischargeCaps(const esd_kernel::BatteryStepUniforms &u,
+                              std::size_t first, std::size_t count,
+                              double *caps) const;
+
+    /** Per-lane maxChargePowerW into @p caps[0..count). */
+    void computeChargeCaps(const esd_kernel::BatteryStepUniforms &u,
+                           std::size_t first, std::size_t count,
+                           double *caps) const;
+
+    /**
+     * Step each lane with its own power target (0 rests the lane,
+     * exactly like the per-device early-out); delivered power per
+     * lane lands in @p delivered[0..count).
+     */
+    void dischargeBatch(const esd_kernel::BatteryStepUniforms &u,
+                        std::size_t first, std::size_t count,
+                        const double *targets, double *delivered);
+
+    /** Charge counterpart of dischargeBatch. */
+    void chargeBatch(const esd_kernel::BatteryStepUniforms &u,
+                     std::size_t first, std::size_t count,
+                     const double *targets, double *absorbed);
+
+    /** One rest step per lane. */
+    void restBatch(const esd_kernel::BatteryStepUniforms &u,
+                   std::size_t first, std::size_t count);
+
+    /**
+     * @p ticks rest steps per lane, tick-major (lanes inner) so the
+     * loop vectorizes; lanes are independent, so the interleaving
+     * matches per-device iteration bit for bit.
+     */
+    void advanceQuiescentBatch(const esd_kernel::BatteryStepUniforms &u,
+                               std::size_t ticks, std::size_t first,
+                               std::size_t count);
+
+    /**
+     * Rest-step every lane in the group — active, evicted-stale and
+     * filler alike — for @p ticks. Serial-section use only (the
+     * fleet shard prestep); stale lanes are never read back, they
+     * just must stay finite, which rest preserves.
+     */
+    void advanceQuiescentAll(std::size_t ticks, double dt_seconds);
+
+    // --- Cold per-lane reads/updates (telemetry, faults, tests) ----
+
+    double laneSoc(std::size_t lane) const;
+    double laneUsableEnergyWh(std::size_t lane) const;
+    double laneMaxDischargePowerW(
+        std::size_t lane, const esd_kernel::BatteryStepUniforms &u) const;
+    double laneMaxChargePowerW(
+        std::size_t lane, const esd_kernel::BatteryStepUniforms &u) const;
+    double laneTerminalVoltage(std::size_t lane,
+                               double load_watts) const;
+    bool laneDepleted(std::size_t lane,
+                      const esd_kernel::BatteryStepUniforms &u) const;
+    double laneLifetimeFraction(std::size_t lane) const;
+    EsdCounters laneCounters(std::size_t lane) const;
+    void laneSetSoc(std::size_t lane, double soc);
+    void laneApplyHealthDerate(std::size_t lane,
+                               double capacity_factor,
+                               double resistance_factor);
+
+  private:
+    esd_kernel::BatteryRef laneRef(std::size_t lane);
+    esd_kernel::BatteryView laneView(std::size_t lane) const;
+
+    BatteryParams params_;
+    // Hot state, one contiguous array per field.
+    std::vector<double> y1_, y2_;
+    std::vector<double> healthCap_, healthRes_;
+    std::vector<double> weightedAh_, tempC_;
+    std::vector<int> lastDirection_;
+    // Counters (kept in lanes so batched steps never touch the
+    // device objects).
+    std::vector<double> chargeEnergyWh_, dischargeEnergyWh_;
+    std::vector<double> lossEnergyWh_;
+    std::vector<double> dischargeAh_, chargeAh_;
+    std::vector<unsigned long> directionChanges_;
+    // Uniforms memo for the serial advanceQuiescentAll path only.
+    esd_kernel::BatteryStepUniforms arenaUni_;
+};
+
+/** Contiguous SoA lanes for one homogeneous supercapacitor bank. */
+class ScSoaGroup
+{
+  public:
+    explicit ScSoaGroup(ScParams params);
+
+    const ScParams &params() const { return params_; }
+
+    std::size_t addLanes(std::size_t count, std::size_t pad_to);
+    std::size_t laneCount() const { return voltage_.size(); }
+
+    void loadLane(std::size_t lane, const ScState &s);
+    ScState storeLane(std::size_t lane) const;
+    void copyLane(std::size_t dst, std::size_t src);
+
+    void computeDischargeCaps(double dt_seconds, std::size_t first,
+                              std::size_t count, double *caps) const;
+    void computeChargeCaps(double dt_seconds, std::size_t first,
+                           std::size_t count, double *caps) const;
+
+    /**
+     * Step each lane with its own target. The sub-step loop runs
+     * lane-inner (the schedule is uniform in dt), with per-call
+     * scratch supplied by the owner: @p wh_scratch and
+     * @p moved_scratch must hold @p count entries. The moved flags
+     * are doubles (0.0 / 1.0) so the sub-step loop is pure
+     * double-lane work for the vectorizer.
+     */
+    void dischargeBatch(const esd_kernel::ScStepUniforms &u,
+                        std::size_t first, std::size_t count,
+                        const double *targets, double *delivered,
+                        double *wh_scratch,
+                        double *moved_scratch);
+
+    void chargeBatch(const esd_kernel::ScStepUniforms &u,
+                     std::size_t first, std::size_t count,
+                     const double *targets, double *absorbed,
+                     double *wh_scratch, double *moved_scratch);
+
+    void restBatch(const esd_kernel::ScStepUniforms &u,
+                   std::size_t first, std::size_t count);
+
+    void advanceQuiescentBatch(const esd_kernel::ScStepUniforms &u,
+                               std::size_t ticks, std::size_t first,
+                               std::size_t count);
+
+    void advanceQuiescentAll(std::size_t ticks, double dt_seconds);
+
+    double laneSoc(std::size_t lane) const;
+    double laneUsableEnergyWh(std::size_t lane) const;
+    double laneMaxDischargePowerW(std::size_t lane,
+                                  double dt_seconds) const;
+    double laneMaxChargePowerW(std::size_t lane,
+                               double dt_seconds) const;
+    double laneTerminalVoltage(std::size_t lane,
+                               double load_watts) const;
+    bool laneDepleted(std::size_t lane, double dt_seconds) const;
+    double laneLifetimeFraction(std::size_t lane) const;
+    EsdCounters laneCounters(std::size_t lane) const;
+    void laneSetSoc(std::size_t lane, double soc);
+    void laneApplyHealthDerate(std::size_t lane,
+                               double capacity_factor,
+                               double resistance_factor);
+
+  private:
+    esd_kernel::ScRef laneRef(std::size_t lane);
+    esd_kernel::ScView laneView(std::size_t lane) const;
+
+    ScParams params_;
+    std::vector<double> voltage_;
+    std::vector<double> healthCap_, healthRes_;
+    std::vector<int> lastDirection_;
+    std::vector<double> chargeEnergyWh_, dischargeEnergyWh_;
+    std::vector<double> lossEnergyWh_;
+    std::vector<double> dischargeAh_, chargeAh_;
+    std::vector<unsigned long> directionChanges_;
+    esd_kernel::ScStepUniforms arenaUni_;
+};
+
+/**
+ * Parameter equality for batching: every field that reaches the
+ * kernels must match; the label is ignored (bank builders number
+ * member names).
+ */
+bool batteryParamsKernelEqual(const BatteryParams &a,
+                              const BatteryParams &b);
+bool scParamsKernelEqual(const ScParams &a, const ScParams &b);
+
+/**
+ * Owner of the SoA groups for one batching domain — a single pool,
+ * a rack, or a whole fleet shard. Groups are keyed by kernel-equal
+ * parameters, so every 12 Ah lead-acid string in the domain lands in
+ * the same contiguous array regardless of which pool owns it.
+ */
+class EsdSoaArena
+{
+  public:
+    /**
+     * @p pad_ranges inserts filler lanes between pools' ranges (a
+     * cache line apart) — used by shared fleet-shard arenas where
+     * adjacent ranges belong to racks ticking on different threads.
+     */
+    explicit EsdSoaArena(bool pad_ranges = false);
+
+    /** Group for @p params, created on first use. Serial-phase only. */
+    BatterySoaGroup &batteryGroup(const BatteryParams &params);
+    ScSoaGroup &scGroup(const ScParams &params);
+
+    /** Lanes each new range pads to (1 when padding is off). */
+    std::size_t padTo() const { return padTo_; }
+
+    /** Total lanes across all groups (incl. filler). */
+    std::size_t laneCount() const;
+
+    /**
+     * Rest-step every lane of every group for @p ticks — the fleet
+     * shard kernel: one invocation per group advances all batteries
+     * (then all SCs) of the shard. Serial-section use only.
+     */
+    void advanceQuiescentAll(std::size_t ticks, double dt_seconds);
+
+  private:
+    std::size_t padTo_;
+    std::vector<std::unique_ptr<BatterySoaGroup>> batteryGroups_;
+    std::vector<std::unique_ptr<ScSoaGroup>> scGroups_;
+};
+
+} // namespace heb

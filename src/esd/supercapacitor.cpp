@@ -1,22 +1,10 @@
 #include "esd/supercapacitor.h"
 
-#include <algorithm>
-#include <cmath>
-
 #include "util/logging.h"
-#include "util/units.h"
 
 namespace heb {
 
-namespace {
-
-constexpr double kMinMeaningfulPowerW = 1e-9;
-constexpr double kDepletedPowerW = 1.0;
-
-/** Integration sub-step (seconds) for voltage dynamics. */
-constexpr double kSubStepSeconds = 1.0;
-
-} // namespace
+namespace ek = esd_kernel;
 
 Supercapacitor::Supercapacitor(ScParams params) : params_(std::move(params))
 {
@@ -30,214 +18,133 @@ Supercapacitor::Supercapacitor(ScParams params) : params_(std::move(params))
     voltage_ = params_.vMax;
 }
 
+ek::ScRef
+Supercapacitor::ref()
+{
+    return {params_,
+            voltage_,
+            healthCapacityFactor_,
+            healthResistanceFactor_,
+            lastDirection_,
+            counters_.chargeEnergyWh,
+            counters_.dischargeEnergyWh,
+            counters_.lossEnergyWh,
+            counters_.dischargeAh,
+            counters_.chargeAh,
+            counters_.directionChanges};
+}
+
+ek::ScView
+Supercapacitor::view() const
+{
+    return {params_, voltage_, healthCapacityFactor_,
+            healthResistanceFactor_};
+}
+
+const ek::ScStepUniforms &
+Supercapacitor::uniforms(double dt_seconds) const
+{
+    ek::refreshScUniforms(params_, dt_seconds, uni_);
+    return uni_;
+}
+
 void
 Supercapacitor::reset()
 {
-    healthCapacityFactor_ = 1.0;
-    healthResistanceFactor_ = 1.0;
-    voltage_ = params_.vMax;
-    lastDirection_ = 0;
-    counters_ = EsdCounters{};
+    ek::scReset(ref());
 }
 
 void
 Supercapacitor::applyHealthDerate(double capacity_factor,
                                   double resistance_factor)
 {
-    if (capacity_factor <= 0.0 || capacity_factor > 1.0)
-        fatal("Supercapacitor health capacity factor must be in (0,1], "
-              "got ",
-              capacity_factor);
-    if (resistance_factor < 1.0)
-        fatal("Supercapacitor health resistance factor must be >= 1, "
-              "got ",
-              resistance_factor);
-    healthCapacityFactor_ *= capacity_factor;
-    healthResistanceFactor_ *= resistance_factor;
+    ek::scApplyHealthDerate(ref(), capacity_factor, resistance_factor);
 }
 
 void
 Supercapacitor::setSoc(double soc)
 {
-    if (soc < 0.0 || soc > 1.0)
-        fatal("Supercapacitor::setSoc out of range: ", soc);
-    double v2 = params_.vMin * params_.vMin +
-                soc * (params_.vMax * params_.vMax -
-                       params_.vMin * params_.vMin);
-    voltage_ = std::sqrt(v2);
+    ek::scSetSoc(ref(), soc);
+}
+
+ScState
+Supercapacitor::state() const
+{
+    ScState s;
+    s.voltage = voltage_;
+    s.healthCap = healthCapacityFactor_;
+    s.healthRes = healthResistanceFactor_;
+    s.lastDirection = lastDirection_;
+    s.counters = counters_;
+    return s;
+}
+
+void
+Supercapacitor::restoreState(const ScState &s)
+{
+    voltage_ = s.voltage;
+    healthCapacityFactor_ = s.healthCap;
+    healthResistanceFactor_ = s.healthRes;
+    lastDirection_ = s.lastDirection;
+    counters_ = s.counters;
 }
 
 double
 Supercapacitor::soc() const
 {
-    double num = voltage_ * voltage_ - params_.vMin * params_.vMin;
-    double den = params_.vMax * params_.vMax - params_.vMin * params_.vMin;
-    return std::clamp(num / den, 0.0, 1.0);
+    return ek::scSoc(view());
 }
 
 double
 Supercapacitor::usableEnergyWh() const
 {
-    double v2 = std::max(voltage_ * voltage_ -
-                             params_.vMin * params_.vMin,
-                         0.0);
-    return 0.5 * effectiveCapacitanceF() * v2 / kSecondsPerHour;
-}
-
-double
-Supercapacitor::dischargeCurrentFor(double watts) const
-{
-    double disc = voltage_ * voltage_ - 4.0 * effectiveEsrOhm() * watts;
-    if (disc < 0.0)
-        return -1.0;
-    return (voltage_ - std::sqrt(disc)) / (2.0 * effectiveEsrOhm());
-}
-
-double
-Supercapacitor::chargeCurrentFor(double watts) const
-{
-    double v = voltage_;
-    double r = effectiveEsrOhm();
-    return (-v + std::sqrt(v * v + 4.0 * r * watts)) / (2.0 * r);
+    return ek::scUsableEnergyWh(view());
 }
 
 double
 Supercapacitor::terminalVoltage(double load_watts) const
 {
-    if (load_watts <= 0.0)
-        return voltage_;
-    double i = dischargeCurrentFor(load_watts);
-    if (i < 0.0)
-        i = voltage_ / (2.0 * effectiveEsrOhm());
-    return voltage_ - i * effectiveEsrOhm();
+    return ek::scTerminalVoltage(view(), load_watts);
 }
 
 double
 Supercapacitor::maxDischargePowerW(double dt_seconds) const
 {
-    if (voltage_ <= params_.vMin)
-        return 0.0;
-    // Current bound from the energy left before hitting the floor,
-    // spread across the requested horizon.
-    double energy_bound_a =
-        dt_seconds > 0.0
-            ? (voltage_ - params_.vMin) * effectiveCapacitanceF() / dt_seconds
-            : params_.maxCurrentA;
-    // Never operate past the power peak of the ESR divider.
-    double peak_a = voltage_ / (2.0 * effectiveEsrOhm());
-    double i = std::min({params_.maxCurrentA, energy_bound_a, peak_a});
-    if (i <= 0.0)
-        return 0.0;
-    return (voltage_ - i * effectiveEsrOhm()) * i;
+    return ek::scMaxDischargePowerW(view(), dt_seconds);
 }
 
 double
 Supercapacitor::maxChargePowerW(double dt_seconds) const
 {
-    if (voltage_ >= params_.vMax)
-        return 0.0;
-    double headroom_a =
-        dt_seconds > 0.0
-            ? (params_.vMax - voltage_) * effectiveCapacitanceF() / dt_seconds
-            : params_.maxCurrentA;
-    double i = std::min(params_.maxCurrentA, headroom_a);
-    if (i <= 0.0)
-        return 0.0;
-    return (voltage_ + i * effectiveEsrOhm()) * i;
+    return ek::scMaxChargePowerW(view(), dt_seconds);
 }
 
 bool
 Supercapacitor::depleted(double dt_seconds) const
 {
-    return maxDischargePowerW(dt_seconds) < kDepletedPowerW;
+    return ek::scDepleted(view(), dt_seconds);
 }
 
 double
 Supercapacitor::lifetimeFractionUsed() const
 {
-    double cycles = counters_.dischargeAh / params_.fullCycleAh();
-    return cycles / params_.ratedCycleLife;
+    return ek::scLifetimeFraction(params_, counters_.dischargeAh);
 }
 
 double
 Supercapacitor::discharge(double watts, double dt_seconds)
 {
-    if (watts <= kMinMeaningfulPowerW || dt_seconds <= 0.0) {
-        rest(dt_seconds);
+    if (dt_seconds <= 0.0)
         return 0.0;
-    }
-
-    double delivered_wh = 0.0;
-    double remaining = dt_seconds;
-    bool moved = false;
-    while (remaining > 0.0) {
-        double step = std::min(remaining, kSubStepSeconds);
-        remaining -= step;
-        if (voltage_ <= params_.vMin)
-            continue;
-        double i = dischargeCurrentFor(watts);
-        if (i < 0.0)
-            i = voltage_ / (2.0 * effectiveEsrOhm());
-        double floor_a =
-            (voltage_ - params_.vMin) * effectiveCapacitanceF() / step;
-        i = std::min({i, params_.maxCurrentA, floor_a});
-        if (i <= 0.0)
-            continue;
-        double p = (voltage_ - i * effectiveEsrOhm()) * i;
-        double dt_h = secondsToHours(step);
-        delivered_wh += p * dt_h;
-        counters_.lossEnergyWh += i * i * effectiveEsrOhm() * dt_h;
-        counters_.dischargeAh += i * dt_h;
-        voltage_ -= i * step / effectiveCapacitanceF();
-        moved = true;
-    }
-    counters_.dischargeEnergyWh += delivered_wh;
-    if (moved) {
-        if (lastDirection_ == -1)
-            ++counters_.directionChanges;
-        lastDirection_ = 1;
-    }
-    // Report the average power actually delivered over the step.
-    return delivered_wh / secondsToHours(dt_seconds);
+    return ek::scDischargeStep(ref(), uniforms(dt_seconds), watts);
 }
 
 double
 Supercapacitor::charge(double watts, double dt_seconds)
 {
-    if (watts <= kMinMeaningfulPowerW || dt_seconds <= 0.0) {
-        rest(dt_seconds);
+    if (dt_seconds <= 0.0)
         return 0.0;
-    }
-
-    double absorbed_wh = 0.0;
-    double remaining = dt_seconds;
-    bool moved = false;
-    while (remaining > 0.0) {
-        double step = std::min(remaining, kSubStepSeconds);
-        remaining -= step;
-        if (voltage_ >= params_.vMax)
-            continue;
-        double i = chargeCurrentFor(watts);
-        double ceil_a =
-            (params_.vMax - voltage_) * effectiveCapacitanceF() / step;
-        i = std::min({i, params_.maxCurrentA, ceil_a});
-        if (i <= 0.0)
-            continue;
-        double p = (voltage_ + i * effectiveEsrOhm()) * i;
-        double dt_h = secondsToHours(step);
-        absorbed_wh += p * dt_h;
-        counters_.lossEnergyWh += i * i * effectiveEsrOhm() * dt_h;
-        counters_.chargeAh += i * dt_h;
-        voltage_ += i * step / effectiveCapacitanceF();
-        moved = true;
-    }
-    counters_.chargeEnergyWh += absorbed_wh;
-    if (moved) {
-        if (lastDirection_ == 1)
-            ++counters_.directionChanges;
-        lastDirection_ = -1;
-    }
-    return absorbed_wh / secondsToHours(dt_seconds);
+    return ek::scChargeStep(ref(), uniforms(dt_seconds), watts);
 }
 
 void
@@ -245,30 +152,20 @@ Supercapacitor::rest(double dt_seconds)
 {
     if (dt_seconds <= 0.0)
         return;
-    if (dt_seconds != restDtSeconds_) {
-        restDtSeconds_ = dt_seconds;
-        restKeep_ = std::exp(-params_.selfDischargePerHour *
-                             secondsToHours(dt_seconds));
-    }
-    voltage_ *= restKeep_;
+    ek::scRestStep(ref(), uniforms(dt_seconds));
 }
 
 void
 Supercapacitor::advanceQuiescent(std::size_t ticks, double dt_seconds)
 {
-    // Float-charge / idle macro-tick: n rest() steps each multiply
-    // the voltage by the same memoized keep factor. The loop keeps
-    // the per-step rounding of the dense path (a pow() shortcut
-    // would not be bitwise-identical), but skips the per-call
-    // dispatch and dt checks.
+    // Float-charge / idle macro-tick: n rest steps each multiply the
+    // voltage by the same memoized keep factor. The loop keeps the
+    // per-step rounding of the dense path (a pow() shortcut would not
+    // be bitwise-identical), but skips the per-call dispatch and dt
+    // checks.
     if (dt_seconds <= 0.0 || ticks == 0)
         return;
-    if (dt_seconds != restDtSeconds_) {
-        restDtSeconds_ = dt_seconds;
-        restKeep_ = std::exp(-params_.selfDischargePerHour *
-                             secondsToHours(dt_seconds));
-    }
-    double keep = restKeep_;
+    double keep = uniforms(dt_seconds).restKeep;
     for (std::size_t i = 0; i < ticks; ++i)
         voltage_ *= keep;
 }

@@ -7,6 +7,11 @@
  * (paper Fig. 5), round-trip losses are only the small I^2 * ESR term
  * (90-95 %, paper Fig. 3), and there is no charge-current ceiling
  * beyond the bank's conservative absolute rating.
+ *
+ * All arithmetic lives in esd_kernel.h; this class is the per-device
+ * (scalar) consumer, and the SoA batch layer (soa_bank.h) is the
+ * other. Both run the identical op sequence, so batched and scalar
+ * stepping agree bit for bit.
  */
 
 #pragma once
@@ -14,9 +19,23 @@
 #include <string>
 
 #include "esd/energy_storage.h"
+#include "esd/esd_kernel.h"
 #include "esd/sc_params.h"
 
 namespace heb {
+
+/**
+ * Snapshot of a supercapacitor's complete mutable state. Used to move
+ * a device in and out of a struct-of-arrays lane.
+ */
+struct ScState
+{
+    double voltage = 0.0;
+    double healthCap = 1.0;
+    double healthRes = 1.0;
+    int lastDirection = 0;
+    EsdCounters counters;
+};
 
 /** A super-capacitor bank. */
 class Supercapacitor : public EnergyStorageDevice
@@ -65,12 +84,28 @@ class Supercapacitor : public EnergyStorageDevice
         return params_.capacitanceF * healthCapacityFactor_;
     }
 
-  private:
-    /** Discharge current (A) that delivers @p watts, or -1. */
-    double dischargeCurrentFor(double watts) const;
+    /** Last flow direction: +1 discharging, -1 charging, 0 fresh. */
+    int lastDirection() const { return lastDirection_; }
 
-    /** Charge current (A) that absorbs @p watts at the terminals. */
-    double chargeCurrentFor(double watts) const;
+    /** Snapshot the complete mutable state (for SoA lanes). */
+    ScState state() const;
+
+    /** Restore a state previously captured with state(). */
+    void restoreState(const ScState &s);
+
+  private:
+    /** Mutable-state handle for the shared kernels. */
+    esd_kernel::ScRef ref();
+
+    /** Read-only state view for the shared kernels. */
+    esd_kernel::ScView view() const;
+
+    /**
+     * Memoized self-discharge keep factor: simulations call with one
+     * fixed tick length, so the exp is computed once per distinct
+     * dt. Mutable cache only; never observable state.
+     */
+    const esd_kernel::ScStepUniforms &uniforms(double dt_seconds) const;
 
     ScParams params_;
     double voltage_;
@@ -78,12 +113,7 @@ class Supercapacitor : public EnergyStorageDevice
     double healthResistanceFactor_ = 1.0;
     int lastDirection_ = 0;
     EsdCounters counters_;
-
-    // Memoized self-discharge keep factor for rest(): simulations
-    // call with one fixed tick length, so the exp is computed once
-    // per distinct dt. Mutable cache only; never observable state.
-    mutable double restDtSeconds_ = -1.0;
-    mutable double restKeep_ = 1.0;
+    mutable esd_kernel::ScStepUniforms uni_;
 };
 
 } // namespace heb

@@ -17,14 +17,16 @@ enum class Sky { Clear, Partly, Overcast };
 
 } // namespace
 
-SolarArray::SolarArray(SolarParams params, double duration_seconds,
-                       double step_seconds, std::uint64_t seed)
-    : params_(params), trace_(step_seconds)
+TimeSeries
+generateSolarTrace(const SolarParams &params,
+                   double duration_seconds, double step_seconds,
+                   std::uint64_t seed)
 {
     if (params.sunriseHour >= params.sunsetHour)
         fatal("SolarArray: sunrise must precede sunset");
     if (duration_seconds <= 0.0 || step_seconds <= 0.0)
         fatal("SolarArray: duration and step must be positive");
+    TimeSeries trace(step_seconds);
 
     Rng rng(seed);
     Sky sky = Sky::Clear;
@@ -74,14 +76,32 @@ SolarArray::SolarArray(SolarParams params, double duration_seconds,
         double noise =
             std::max(0.0, 1.0 + rng.normal(0.0, params.noiseSigma));
         double watts = params.ratedPowerW * envelope * atten * noise;
-        trace_.append(std::max(0.0, watts));
+        trace.append(std::max(0.0, watts));
     }
+    return trace;
+}
+
+SolarArray::SolarArray(SolarParams params, double duration_seconds,
+                       double step_seconds, std::uint64_t seed)
+    : SolarArray(params, std::make_shared<const TimeSeries>(
+                             generateSolarTrace(params,
+                                                duration_seconds,
+                                                step_seconds, seed)))
+{
+}
+
+SolarArray::SolarArray(SolarParams params,
+                       std::shared_ptr<const TimeSeries> trace)
+    : params_(params), trace_(std::move(trace))
+{
+    if (!trace_)
+        fatal("SolarArray: null shared trace");
 }
 
 double
 SolarArray::availablePowerW(double time_seconds) const
 {
-    return trace_.valueAt(time_seconds);
+    return trace_->valueAt(time_seconds);
 }
 
 void
@@ -98,7 +118,7 @@ SolarArray::nextChangeTime(double time_seconds) const
     // sample boundary. With the step equal to the simulation tick
     // this keeps solar runs on the dense path — which is what the
     // cloud transients need anyway.
-    double step = trace_.stepSeconds();
+    double step = trace_->stepSeconds();
     auto idx = static_cast<std::uint64_t>(time_seconds / step);
     return static_cast<double>(idx + 1) * step;
 }
@@ -106,7 +126,7 @@ SolarArray::nextChangeTime(double time_seconds) const
 double
 SolarArray::totalGenerationWh() const
 {
-    return trace_.integralWattHours();
+    return trace_->integralWattHours();
 }
 
 } // namespace heb

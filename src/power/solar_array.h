@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "power/power_source.h"
@@ -52,6 +53,18 @@ struct SolarParams
     double noiseSigma = 0.04;
 };
 
+/**
+ * Generate @p duration_seconds of PV output at @p step_seconds. Pure
+ * in (params, duration, step, seed): every call with the same inputs
+ * produces a bit-identical trace, which is what lets SharedPlanCache
+ * hand one immutable trace to every rack/sweep cell that shares the
+ * solar configuration.
+ */
+TimeSeries generateSolarTrace(const SolarParams &params,
+                              double duration_seconds,
+                              double step_seconds,
+                              std::uint64_t seed);
+
 /** A solar array serving a pre-generated deterministic trace. */
 class SolarArray : public PowerSource
 {
@@ -64,6 +77,14 @@ class SolarArray : public PowerSource
      */
     SolarArray(SolarParams params, double duration_seconds,
                double step_seconds, std::uint64_t seed);
+
+    /**
+     * Wrap an already-generated (typically cache-shared) trace.
+     * @p trace must be non-null; harvested-energy accounting stays
+     * per-instance, so racks sharing one trace do not interfere.
+     */
+    SolarArray(SolarParams params,
+               std::shared_ptr<const TimeSeries> trace);
 
     const std::string &name() const override { return name_; }
 
@@ -81,7 +102,7 @@ class SolarArray : public PowerSource
     double harvestedWh() const { return harvestedWh_; }
 
     /** The underlying generation trace. */
-    const TimeSeries &trace() const { return trace_; }
+    const TimeSeries &trace() const { return *trace_; }
 
     /** Knobs in use. */
     const SolarParams &params() const { return params_; }
@@ -89,7 +110,7 @@ class SolarArray : public PowerSource
   private:
     std::string name_ = "solar";
     SolarParams params_;
-    TimeSeries trace_;
+    std::shared_ptr<const TimeSeries> trace_;
     double harvestedWh_ = 0.0;
 };
 

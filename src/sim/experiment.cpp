@@ -9,6 +9,7 @@
 #include "esd/bank_builder.h"
 #include "obs/json.h"
 #include "sim/pat_cache.h"
+#include "sim/plan_cache.h"
 #include "util/format.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -60,7 +61,11 @@ runOne(const SimConfig &config, const std::string &workload_name,
        SchemeKind kind, const HebSchemeConfig &scheme_cfg,
        const PowerAllocationTable *seeded_pat)
 {
-    auto workload = makeWorkload(workload_name, config.seed);
+    // Sweep grids rerun the same (profile, seed) workload across
+    // many scheme/config cells; the plan is immutable, so all cells
+    // share one instance instead of rebuilding it.
+    auto workload =
+        SharedPlanCache::global().workload(workload_name, config.seed);
     auto scheme = makeScheme(kind, scheme_cfg, seeded_pat);
     Simulator sim(config);
     return sim.run(*workload, *scheme);

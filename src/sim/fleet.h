@@ -163,6 +163,13 @@ struct FleetResult
 
     /** Ticks advanced by dense per-rack stepping. */
     unsigned long denseTicks = 0;
+
+    /**
+     * Macro-ticks where every rack was bank-idle and the shard
+     * arenas advanced all batteries/SCs of the fleet with one batch
+     * kernel per shard (event engine, slim path, batching on).
+     */
+    unsigned long shardKernelSpans = 0;
 };
 
 /** A shared-budget multi-rack simulation. */

@@ -52,19 +52,21 @@ struct DomainMetrics
 };
 
 std::unique_ptr<EsdPool>
-buildScBank(const SimConfig &config, bool hybrid)
+buildScBank(const SimConfig &config, bool hybrid,
+            EsdSoaArena *arena = nullptr)
 {
     return makeScBank(hybrid ? config.scEnergyWh : 1e-3,
-                      config.scDod);
+                      config.scDod, 2, arena);
 }
 
 std::unique_ptr<EsdPool>
-buildBaBank(const SimConfig &config, bool hybrid)
+buildBaBank(const SimConfig &config, bool hybrid,
+            EsdSoaArena *arena = nullptr)
 {
     double wh =
         hybrid ? config.baEnergyWh : config.totalBufferWh();
     return makeBatteryBank(wh, config.baDod, 2,
-                           config.batteryAging);
+                           config.batteryAging, arena);
 }
 
 } // namespace
@@ -72,11 +74,12 @@ buildBaBank(const SimConfig &config, bool hybrid)
 RackDomain::RackDomain(const SimConfig &config,
                        const Workload &workload,
                        ManagementScheme &scheme, std::string name,
-                       const fault::FaultPlan *shared_plan)
+                       const fault::FaultPlan *shared_plan,
+                       EsdSoaArena *arena)
     : config_(config), workload_(workload), name_(std::move(name)),
       hybrid_(scheme.usesHybridBuffers()),
-      scBank_(buildScBank(config, hybrid_)),
-      baBank_(buildBaBank(config, hybrid_)),
+      scBank_(buildScBank(config, hybrid_, arena)),
+      baBank_(buildBaBank(config, hybrid_, arena)),
       cluster_(config.numServers, config.serverParams),
       topology_(config.topology, config.deployment,
                 std::max(1000.0, cluster_.nameplatePeakW())),
@@ -593,9 +596,25 @@ RackDomain::fastForwardCheck(std::size_t n_ticks, double supply_w)
     return true;
 }
 
+bool
+RackDomain::banksIdleForSpan(double supply_w) const
+{
+    const double t1 =
+        static_cast<double>(tickIndex_) * config_.tickSeconds;
+    if (!topology_.bufferStageAvailable(t1))
+        return true;
+    double soft_cap = supply_w;
+    if (config_.peakShavingTargetW > 0.0)
+        soft_cap = std::min(supply_w, config_.peakShavingTargetW);
+    double surplus = soft_cap - cachedDemand_;
+    double eff_c = topology_.chargePathEfficiency(surplus);
+    return surplus * eff_c <= 0.0;
+}
+
 void
 RackDomain::fastForwardCommit(std::size_t n_ticks, double supply_w,
-                              PowerSource &draw_sink)
+                              PowerSource &draw_sink,
+                              bool banks_prestepped)
 {
     HEB_PROF_SCOPE("sim.fast_forward");
     obs::ScopedTraceTrack track(traceTrack_);
@@ -632,12 +651,21 @@ RackDomain::fastForwardCommit(std::size_t n_ticks, double supply_w,
     double interval_sc_wh = 0.0;
     double interval_ba_wh = 0.0;
 
-    if (!buffer_up) {
-        // Tripped converter: the banks idle the whole interval and
-        // every charge-side ledger add is += 0.0 (skippable). The
-        // devices advance their dynamics in one macro call.
-        scBank_->advanceQuiescent(n, dt);
-        baBank_->advanceQuiescent(n, dt);
+    if (!buffer_up || surplus * eff_c <= 0.0) {
+        // Banks idle the whole interval — tripped converter, or a
+        // charge dispatch with nothing to push (dispatchCharge with a
+        // non-positive target rests both banks and every charge-side
+        // ledger add is += 0.0, a bitwise no-op on the non-negative
+        // accumulators). The devices advance their dynamics in one
+        // macro call — or none at all when the caller already ran
+        // them through a shared-arena kernel.
+        if (banks_prestepped) {
+            scBank_->advanceQuiescentScalarOnly(n, dt);
+            baBank_->advanceQuiescentScalarOnly(n, dt);
+        } else {
+            scBank_->advanceQuiescent(n, dt);
+            baBank_->advanceQuiescent(n, dt);
+        }
         for (std::size_t j = 0; j < n; ++j) {
             double now =
                 static_cast<double>(tickIndex_ + j) * dt;
@@ -659,6 +687,10 @@ RackDomain::fastForwardCommit(std::size_t n_ticks, double supply_w,
             interval_source_wh += source_draw * dt_h;
         }
     } else {
+        if (banks_prestepped) {
+            fatal("fastForwardCommit: banks prestepped but the span "
+                  "is not bank-idle");
+        }
         for (std::size_t j = 0; j < n; ++j) {
             double now =
                 static_cast<double>(tickIndex_ + j) * dt;

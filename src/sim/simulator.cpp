@@ -10,6 +10,7 @@
 #include "power/ats.h"
 #include "power/solar_array.h"
 #include "power/utility_grid.h"
+#include "sim/plan_cache.h"
 #include "sim/rack_domain.h"
 #include "sim/tick_math.h"
 #include "util/logging.h"
@@ -48,9 +49,14 @@ Simulator::run(const Workload &workload, ManagementScheme &scheme)
     std::unique_ptr<SolarArray> solar;
     std::unique_ptr<Ats> ats;
     if (config_.solarPowered) {
+        // The trace is pure in (params, duration, dt, seed), so
+        // same-config runs — sweep cells, fleet racks — sample it
+        // once and share it; harvest accounting stays per-instance.
         solar = std::make_unique<SolarArray>(
-            config_.solarParams, config_.durationSeconds, dt,
-            config_.seed);
+            config_.solarParams,
+            SharedPlanCache::global().solarTrace(
+                config_.solarParams, config_.durationSeconds, dt,
+                config_.seed));
     } else {
         grid = std::make_unique<UtilityGrid>(config_.budgetW);
         for (auto [start, duration] : config_.outages)

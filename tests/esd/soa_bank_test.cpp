@@ -1,0 +1,363 @@
+/**
+ * @file
+ * Batched (struct-of-arrays) vs scalar stepping equivalence.
+ *
+ * The batching layer's contract (DESIGN.md §13) is byte identity at
+ * %.17g with the per-device scalar path: same FP op order per
+ * device, so not "close", *equal*. Every test here drives twin
+ * pools — one with batching enabled, one forced scalar — through
+ * identical scripts and compares full-text fingerprints.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "esd/bank_builder.h"
+#include "esd/battery.h"
+#include "esd/esd_pool.h"
+#include "esd/soa_bank.h"
+#include "esd/supercapacitor.h"
+
+namespace heb {
+namespace {
+
+/** Restore the global batching switch even when a test fails. */
+class BatchingGuard
+{
+  public:
+    explicit BatchingGuard(bool on) : prev_(soaBatchingEnabled())
+    {
+        setSoaBatchingEnabled(on);
+    }
+    ~BatchingGuard() { setSoaBatchingEnabled(prev_); }
+
+  private:
+    bool prev_;
+};
+
+/** %.17g fingerprint of the pool aggregate and every member. */
+std::string
+fingerprint(const EsdPool &pool)
+{
+    std::string out;
+    char buf[128];
+    auto add = [&](double v) {
+        std::snprintf(buf, sizeof buf, "%.17g\n", v);
+        out += buf;
+    };
+    add(pool.soc());
+    add(pool.usableEnergyWh());
+    add(pool.maxDischargePowerW(1.0));
+    add(pool.maxChargePowerW(1.0));
+    add(pool.terminalVoltage(50.0));
+    const EsdCounters &pc = pool.counters();
+    add(pc.dischargeEnergyWh);
+    add(pc.chargeEnergyWh);
+    add(pc.lossEnergyWh);
+    add(pc.dischargeAh);
+    add(pc.chargeAh);
+    for (std::size_t i = 0; i < pool.deviceCount(); ++i) {
+        const EnergyStorageDevice &d = pool.device(i);
+        add(d.soc());
+        add(d.usableEnergyWh());
+        add(d.lifetimeFractionUsed());
+        add(d.counters().dischargeEnergyWh);
+        add(d.counters().chargeEnergyWh);
+        add(d.counters().lossEnergyWh);
+        add(d.counters().dischargeAh);
+        add(d.counters().chargeAh);
+        std::snprintf(buf, sizeof buf, "%lu\n",
+                      d.counters().directionChanges);
+        out += buf;
+    }
+    return out;
+}
+
+/**
+ * A deterministic mixed duty cycle: discharge bursts, charge
+ * recovery, rests, with tick-varying power so the rate limits and
+ * activity masks flip between lanes over time.
+ */
+void
+runScript(EsdPool &pool, std::size_t ticks, double watts_scale)
+{
+    for (std::size_t j = 0; j < ticks; ++j) {
+        double frac = 0.3 + 0.6 * static_cast<double>(j % 53) / 52.0;
+        std::size_t phase = j % 90;
+        if (phase < 40)
+            pool.discharge(watts_scale * frac, 1.0);
+        else if (phase < 80)
+            pool.charge(watts_scale * frac, 1.0);
+        else
+            pool.rest(1.0);
+    }
+}
+
+constexpr std::size_t kMembers = 5; // odd: exercises remainder lanes
+
+std::unique_ptr<EsdPool>
+batteryPool(bool aging = false)
+{
+    return makeBatteryBank(400.0 * kMembers, 0.8, kMembers, aging);
+}
+
+std::unique_ptr<EsdPool>
+scPool()
+{
+    return makeScBank(30.0 * kMembers, 1.0, kMembers);
+}
+
+TEST(SoaBank, BatteryBatchedMatchesScalarByteForByte)
+{
+    std::string scalar, batched;
+    {
+        BatchingGuard guard(false);
+        auto pool = batteryPool();
+        EXPECT_EQ(pool->batchedLaneCount(), 0u);
+        runScript(*pool, 400, 90.0);
+        scalar = fingerprint(*pool);
+    }
+    {
+        BatchingGuard guard(true);
+        auto pool = batteryPool();
+        EXPECT_EQ(pool->batchedLaneCount(), kMembers);
+        runScript(*pool, 400, 90.0);
+        batched = fingerprint(*pool);
+    }
+    EXPECT_EQ(scalar, batched);
+}
+
+TEST(SoaBank, BatteryAgingThermalFlagsMatchScalar)
+{
+    std::string scalar, batched;
+    {
+        BatchingGuard guard(false);
+        auto pool = batteryPool(true);
+        runScript(*pool, 400, 120.0);
+        scalar = fingerprint(*pool);
+    }
+    {
+        BatchingGuard guard(true);
+        auto pool = batteryPool(true);
+        EXPECT_EQ(pool->batchedLaneCount(), kMembers);
+        runScript(*pool, 400, 120.0);
+        batched = fingerprint(*pool);
+    }
+    EXPECT_EQ(scalar, batched);
+}
+
+TEST(SoaBank, ScBatchedMatchesScalarByteForByte)
+{
+    std::string scalar, batched;
+    {
+        BatchingGuard guard(false);
+        auto pool = scPool();
+        EXPECT_EQ(pool->batchedLaneCount(), 0u);
+        runScript(*pool, 400, 220.0);
+        scalar = fingerprint(*pool);
+    }
+    {
+        BatchingGuard guard(true);
+        auto pool = scPool();
+        EXPECT_EQ(pool->batchedLaneCount(), kMembers);
+        runScript(*pool, 400, 220.0);
+        batched = fingerprint(*pool);
+    }
+    EXPECT_EQ(scalar, batched);
+}
+
+/**
+ * A mid-run derate applied through the non-const device() accessor
+ * evicts that member from its lane; the rest of the pool stays
+ * batched and the final state still matches the scalar twin.
+ */
+TEST(SoaBank, MidRunDerateEvictsOneDeviceAndStaysIdentical)
+{
+    auto derate_one = [](EsdPool &pool) {
+        pool.device(2).applyHealthDerate(0.92, 1.07);
+    };
+    std::string scalar, batched;
+    {
+        BatchingGuard guard(false);
+        auto pool = batteryPool();
+        runScript(*pool, 200, 90.0);
+        derate_one(*pool);
+        runScript(*pool, 200, 90.0);
+        scalar = fingerprint(*pool);
+    }
+    {
+        BatchingGuard guard(true);
+        auto pool = batteryPool();
+        EXPECT_EQ(pool->batchedLaneCount(), kMembers);
+        runScript(*pool, 200, 90.0);
+        derate_one(*pool);
+        EXPECT_EQ(pool->batchedLaneCount(), kMembers - 1);
+        runScript(*pool, 200, 90.0);
+        batched = fingerprint(*pool);
+    }
+    EXPECT_EQ(scalar, batched);
+}
+
+/** A pool-wide derate round-trips lane state without evicting. */
+TEST(SoaBank, PoolWideDerateKeepsEveryLane)
+{
+    std::string scalar, batched;
+    {
+        BatchingGuard guard(false);
+        auto pool = batteryPool();
+        runScript(*pool, 150, 90.0);
+        pool->applyHealthDerate(0.9, 1.1);
+        runScript(*pool, 150, 90.0);
+        scalar = fingerprint(*pool);
+    }
+    {
+        BatchingGuard guard(true);
+        auto pool = batteryPool();
+        runScript(*pool, 150, 90.0);
+        pool->applyHealthDerate(0.9, 1.1);
+        EXPECT_EQ(pool->batchedLaneCount(), kMembers);
+        runScript(*pool, 150, 90.0);
+        batched = fingerprint(*pool);
+    }
+    EXPECT_EQ(scalar, batched);
+}
+
+/**
+ * Members whose parameters differ from the group leader's stay
+ * scalar — and a mixed pool still steps identically to the
+ * batching-off twin.
+ */
+TEST(SoaBank, HeterogeneousMembersStayScalar)
+{
+    auto build = [] {
+        auto pool = std::make_unique<EsdPool>("hetero");
+        pool->add(std::make_unique<Battery>(
+            BatteryParams::prototypeLeadAcid()));
+        pool->add(std::make_unique<Battery>(
+            BatteryParams::prototypeLeadAcid()));
+        BatteryParams other = BatteryParams::prototypeLeadAcid();
+        other.capacityAh *= 2.0;
+        pool->add(std::make_unique<Battery>(other));
+        pool->add(std::make_unique<Supercapacitor>(ScParams{}));
+        pool->seal();
+        return pool;
+    };
+    std::string scalar, batched;
+    {
+        BatchingGuard guard(false);
+        auto pool = build();
+        EXPECT_EQ(pool->batchedLaneCount(), 0u);
+        runScript(*pool, 300, 60.0);
+        scalar = fingerprint(*pool);
+    }
+    {
+        BatchingGuard guard(true);
+        auto pool = build();
+        // Two kernel-equal batteries + the SC batch; the odd-params
+        // battery stays scalar.
+        EXPECT_EQ(pool->batchedLaneCount(), 3u);
+        runScript(*pool, 300, 60.0);
+        batched = fingerprint(*pool);
+    }
+    EXPECT_EQ(scalar, batched);
+}
+
+TEST(SoaBank, AdvanceQuiescentMatchesScalar)
+{
+    std::string scalar, batched;
+    {
+        BatchingGuard guard(false);
+        auto pool = batteryPool();
+        runScript(*pool, 100, 90.0);
+        pool->advanceQuiescent(5000, 1.0);
+        scalar = fingerprint(*pool);
+    }
+    {
+        BatchingGuard guard(true);
+        auto pool = batteryPool();
+        runScript(*pool, 100, 90.0);
+        pool->advanceQuiescent(5000, 1.0);
+        batched = fingerprint(*pool);
+    }
+    EXPECT_EQ(scalar, batched);
+
+    {
+        BatchingGuard guard(false);
+        auto pool = scPool();
+        runScript(*pool, 100, 220.0);
+        pool->advanceQuiescent(5000, 1.0);
+        scalar = fingerprint(*pool);
+    }
+    {
+        BatchingGuard guard(true);
+        auto pool = scPool();
+        runScript(*pool, 100, 220.0);
+        pool->advanceQuiescent(5000, 1.0);
+        batched = fingerprint(*pool);
+    }
+    EXPECT_EQ(scalar, batched);
+}
+
+TEST(SoaBank, ResetMatchesScalarReset)
+{
+    std::string scalar, batched;
+    {
+        BatchingGuard guard(false);
+        auto pool = batteryPool();
+        runScript(*pool, 200, 90.0);
+        pool->reset();
+        runScript(*pool, 100, 90.0);
+        scalar = fingerprint(*pool);
+    }
+    {
+        BatchingGuard guard(true);
+        auto pool = batteryPool();
+        runScript(*pool, 200, 90.0);
+        pool->reset();
+        runScript(*pool, 100, 90.0);
+        batched = fingerprint(*pool);
+    }
+    EXPECT_EQ(scalar, batched);
+}
+
+/**
+ * The dirty-flagged aggregate must refresh on every mutating call:
+ * interleaved reads observe the same monotone totals the scalar
+ * twin accumulates.
+ */
+TEST(SoaBank, CountersStayFreshAcrossInterleavedReads)
+{
+    BatchingGuard guard(true);
+    auto pool = batteryPool();
+    double before = pool->counters().dischargeEnergyWh;
+    pool->discharge(80.0, 60.0);
+    double mid = pool->counters().dischargeEnergyWh;
+    EXPECT_GT(mid, before);
+    // Read again with no mutation in between: cached value, same.
+    EXPECT_EQ(pool->counters().dischargeEnergyWh, mid);
+    pool->discharge(80.0, 60.0);
+    EXPECT_GT(pool->counters().dischargeEnergyWh, mid);
+}
+
+TEST(SoaBank, ParamsKernelEqualityIgnoresName)
+{
+    BatteryParams a = BatteryParams::prototypeLeadAcid();
+    BatteryParams b = a;
+    b.name = "renamed";
+    EXPECT_TRUE(batteryParamsKernelEqual(a, b));
+    b.capacityAh *= 1.5;
+    EXPECT_FALSE(batteryParamsKernelEqual(a, b));
+
+    ScParams c;
+    ScParams d = c;
+    d.name = "renamed";
+    EXPECT_TRUE(scParamsKernelEqual(c, d));
+    d.esrOhm *= 2.0;
+    EXPECT_FALSE(scParamsKernelEqual(c, d));
+}
+
+} // namespace
+} // namespace heb

@@ -59,6 +59,7 @@
 #include "obs/trace_event.h"
 #include "sim/fleet.h"
 #include "sim/fleet_health.h"
+#include "sim/plan_cache.h"
 #include "sim/result_io.h"
 #include "util/logging.h"
 #include "util/table_printer.h"
@@ -131,9 +132,12 @@ usage()
         "[--trace-stride N]\n"
         "                 [--health-out FILE] "
         "[--health-stride SECONDS] [--watch] [--manifest FILE]\n"
-        "                 [--profile] [--log-level LEVEL]\n"
+        "                 [--profile] [--log-level LEVEL] "
+        "[--decorrelate-racks]\n"
         "  workloads: comma-separated (PR WC DA WS MS DFS HB TS), "
         "cycled across racks\n"
+        "  --decorrelate-racks gives each rack its own workload "
+        "seed; default shares one plan per profile\n"
         "  --fleet-mode event advances fleet-wide quiescent spans "
         "in macro-ticks (identical results)\n"
         "  --slim drops per-rack results and per-tick series "
@@ -173,6 +177,7 @@ main(int argc, char **argv)
     double health_stride = 900.0;
     bool watch = false;
     bool profile = false;
+    bool decorrelate_racks = false;
     bool listen = false;
     long listen_port = 0;
 
@@ -260,6 +265,8 @@ main(int argc, char **argv)
             manifest_path = need_value("--manifest");
         else if (!std::strcmp(argv[i], "--profile"))
             profile = true;
+        else if (!std::strcmp(argv[i], "--decorrelate-racks"))
+            decorrelate_racks = true;
         else if (!std::strcmp(argv[i], "--log-level"))
             setLogThreshold(parseLogLevel(need_value("--log-level")));
         else if (!std::strcmp(argv[i], "--help") ||
@@ -328,13 +335,21 @@ main(int argc, char **argv)
     if (slim)
         cfg.recordSeries = false;
 
-    std::vector<std::unique_ptr<SyntheticWorkload>> workloads;
+    // Workload plans are immutable and the Workload contract is
+    // const, so racks cycling the same profile share one cached
+    // plan: the default seeds by profile position, giving every
+    // "TS" rack the identical plan built once. --decorrelate-racks
+    // restores a distinct seed (and plan) per rack for studies that
+    // need independent rack behavior.
+    std::vector<std::shared_ptr<const SyntheticWorkload>> workloads;
     std::vector<std::unique_ptr<ManagementScheme>> schemes;
     std::vector<RackSpec> specs;
     SchemeKind kind = parseScheme(scheme_name);
     for (std::size_t r = 0; r < racks; ++r) {
-        workloads.push_back(
-            makeWorkload(names[r % names.size()], cfg.seed + r));
+        std::uint64_t wl_seed =
+            cfg.seed + (decorrelate_racks ? r : r % names.size());
+        workloads.push_back(SharedPlanCache::global().workload(
+            names[r % names.size()], wl_seed));
         schemes.push_back(makeScheme(kind));
         specs.push_back(RackSpec{"rack" + std::to_string(r),
                                  workloads[r].get(),
