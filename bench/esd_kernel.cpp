@@ -26,6 +26,7 @@
 #include "esd/bank_builder.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "util/atomic_file.h"
 #include "util/logging.h"
 
 using namespace heb;
@@ -272,10 +273,8 @@ main(int argc, char **argv)
     json += identical ? "true" : "false";
     json += "\n}\n";
 
-    std::ofstream out(out_path);
-    if (!out)
+    if (!writeFileAtomic(out_path, json))
         fatal("cannot write ", out_path);
-    out << json;
     std::printf("wrote %s\n", out_path.c_str());
 
     return identical ? 0 : 1;

@@ -40,6 +40,7 @@
 #include "obs/metrics.h"
 #include "sim/experiment.h"
 #include "sim/pat_cache.h"
+#include "util/atomic_file.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 #include "workload/workload_profiles.h"
@@ -241,10 +242,8 @@ runFastForwardBench(bool quick, const std::string &out_path)
     json += identical ? "true" : "false";
     json += "\n}\n";
 
-    std::ofstream out(out_path);
-    if (!out)
+    if (!writeFileAtomic(out_path, json))
         fatal("cannot write ", out_path);
-    out << json;
     std::printf("wrote %s\n", out_path.c_str());
     return identical ? 0 : 1;
 }
@@ -362,10 +361,8 @@ main(int argc, char **argv)
     json += identical ? "true" : "false";
     json += "\n}\n";
 
-    std::ofstream out(out_path);
-    if (!out)
+    if (!writeFileAtomic(out_path, json))
         fatal("cannot write ", out_path);
-    out << json;
     std::printf("wrote %s\n", out_path.c_str());
 
     return identical ? 0 : 1;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <sstream>
 
 #include "obs/metrics.h"
 #include "obs/profile.h"
@@ -142,6 +143,56 @@ HebController::rolloverSlot(double now_seconds, double budget_w)
     scStartWh_ = sensors.scUsableWh;
     baStartWh_ = sensors.baUsableWh;
     started_ = true;
+}
+
+HebController::State
+HebController::state() const
+{
+    State state;
+    state.started = started_;
+    state.slotStart = slotStart_;
+    state.slotPeakW = slotPeakW_;
+    state.slotValleyW = slotValleyW_;
+    state.lastPeakW = lastPeakW_;
+    state.lastValleyW = lastValleyW_;
+    state.scStartWh = scStartWh_;
+    state.baStartWh = baStartWh_;
+    state.completedSlots = completedSlots_;
+    state.plan = plan_;
+    if (noiseRng_) {
+        // The stream insertion operator emits the complete Mersenne
+        // Twister state as whitespace-separated integers, and the
+        // extraction operator restores it exactly.
+        std::ostringstream os;
+        os << noiseRng_->engine();
+        state.noiseRngStream = os.str();
+    }
+    return state;
+}
+
+void
+HebController::restoreState(const State &state)
+{
+    started_ = state.started;
+    slotStart_ = state.slotStart;
+    slotPeakW_ = state.slotPeakW;
+    slotValleyW_ = state.slotValleyW;
+    lastPeakW_ = state.lastPeakW;
+    lastValleyW_ = state.lastValleyW;
+    scStartWh_ = state.scStartWh;
+    baStartWh_ = state.baStartWh;
+    completedSlots_ = state.completedSlots;
+    plan_ = state.plan;
+    if (!state.noiseRngStream.empty()) {
+        if (!noiseRng_)
+            fatal("controller restore: checkpoint has sensor-noise "
+                  "RNG state but noise is not configured");
+        std::istringstream is(state.noiseRngStream);
+        is >> noiseRng_->engine();
+        if (is.fail())
+            fatal("controller restore: malformed sensor-noise RNG "
+                  "stream");
+    }
 }
 
 const SlotPlan &

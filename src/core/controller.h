@@ -58,6 +58,9 @@ class HebController
     /** The installed degradation policy, or null. */
     DegradationPolicy *degradationPolicy() const { return degradation_; }
 
+    /** The scheme being driven (checkpointing needs its state). */
+    ManagementScheme &scheme() const { return scheme_; }
+
     /**
      * Feed one telemetry sample; returns the plan in force.
      *
@@ -96,6 +99,33 @@ class HebController
      * nextSlotBoundary()'s rounded sum.
      */
     double slotStartSeconds() const { return slotStart_; }
+
+    /**
+     * Complete mutable controller state, for checkpointing. The
+     * scheme, buffers and degradation policy are wiring, rebuilt
+     * from config on restore; noiseRngStream is the textual
+     * std::mt19937_64 state (empty when sensor noise is off).
+     */
+    struct State
+    {
+        bool started = false;
+        double slotStart = 0.0;
+        double slotPeakW = 0.0;
+        double slotValleyW = 0.0;
+        double lastPeakW = 0.0;
+        double lastValleyW = 0.0;
+        double scStartWh = 0.0;
+        double baStartWh = 0.0;
+        std::uint64_t completedSlots = 0;
+        SlotPlan plan{};
+        std::string noiseRngStream;
+    };
+
+    /** Snapshot the mutable state. */
+    State state() const;
+
+    /** Restore a state previously read with state(). */
+    void restoreState(const State &state);
 
   private:
     /** Close the current slot and open the next one. */

@@ -106,6 +106,33 @@ class DegradationPolicy
     /** Slots that requested load shedding. */
     std::size_t shedSlots() const { return shed_; }
 
+    /** Mutable ladder counters, for checkpointing. */
+    struct Counters
+    {
+        DegradationAction lastAction = DegradationAction::None;
+        std::size_t untouched = 0;
+        std::size_t rebalanced = 0;
+        std::size_t singleBranch = 0;
+        std::size_t shed = 0;
+    };
+
+    /** Snapshot the counters (factories/params are config). */
+    Counters counters() const
+    {
+        return {lastAction_, untouched_, rebalanced_, singleBranch_,
+                shed_};
+    }
+
+    /** Restore counters previously read with counters(). */
+    void restoreCounters(const Counters &counters)
+    {
+        lastAction_ = counters.lastAction;
+        untouched_ = counters.untouched;
+        rebalanced_ = counters.rebalanced;
+        singleBranch_ = counters.singleBranch;
+        shed_ = counters.shed;
+    }
+
   private:
     /** Ride-through estimate for one candidate split. */
     RideThroughEstimate probe(double r_lambda, double sc_soc,

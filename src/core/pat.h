@@ -67,6 +67,15 @@ class PowerAllocationTable
     const std::vector<PatEntry> &entries() const { return entries_; }
 
     /**
+     * Replace the entry list wholesale (checkpoint restore). Grid
+     * and Δr are construction-time config and stay as built.
+     */
+    void restoreEntries(std::vector<PatEntry> entries)
+    {
+        entries_ = std::move(entries);
+    }
+
+    /**
      * Exact lookup on the quantized key; empty when no entry matches
      * (lines 2-6 of Fig. 10).
      */

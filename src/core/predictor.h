@@ -35,6 +35,16 @@ class SeriesPredictor
 
     /** Drop all state. */
     virtual void reset() = 0;
+
+    /** Append the predictor's mutable state to @p out. */
+    virtual void checkpointSave(std::vector<double> &out) const = 0;
+
+    /**
+     * Consume this predictor's state from @p data starting at
+     * @p pos, advancing @p pos past it. fatal() on underrun.
+     */
+    virtual void checkpointRestore(const std::vector<double> &data,
+                                   std::size_t &pos) = 0;
 };
 
 /** Repeats the last observation (HEB-F's naive scheme). */
@@ -47,6 +57,9 @@ class LastValuePredictor : public SeriesPredictor
     void observe(double value) override;
     double predict() const override { return last_; }
     void reset() override { last_ = 0.0; }
+    void checkpointSave(std::vector<double> &out) const override;
+    void checkpointRestore(const std::vector<double> &data,
+                           std::size_t &pos) override;
 
   private:
     std::string name_ = "last-value";
@@ -90,6 +103,9 @@ class HoltWintersPredictor : public SeriesPredictor
     void observe(double value) override;
     double predict() const override;
     void reset() override;
+    void checkpointSave(std::vector<double> &out) const override;
+    void checkpointRestore(const std::vector<double> &data,
+                           std::size_t &pos) override;
 
     /** Smoothed level. */
     double level() const { return level_; }
@@ -139,6 +155,13 @@ class MismatchPredictor
 
     /** Predicted mismatch ΔPM = peak - valley, floored at 0 (W). */
     double predictedMismatchW() const;
+
+    /** Append both underlying predictors' state to @p out. */
+    void checkpointSave(std::vector<double> &out) const;
+
+    /** Consume both predictors' state from @p data at @p pos. */
+    void checkpointRestore(const std::vector<double> &data,
+                           std::size_t &pos);
 
   private:
     std::unique_ptr<SeriesPredictor> peak_;

@@ -110,6 +110,26 @@ class ManagementScheme
 
     /** True when the scheme uses the SC branch at all. */
     virtual bool usesHybridBuffers() const { return true; }
+
+    /**
+     * Append the scheme's mutable learning state (PAT entries,
+     * predictor history, last plan) to @p out as a flat double
+     * vector; counters ride along exactly since they stay far below
+     * 2^53. Stateless schemes append nothing.
+     */
+    virtual void checkpointSave(std::vector<double> &out) const
+    {
+        (void)out;
+    }
+
+    /**
+     * Restore state previously written by checkpointSave on an
+     * identically-configured scheme. fatal() on a malformed vector.
+     */
+    virtual void checkpointRestore(const std::vector<double> &data)
+    {
+        (void)data;
+    }
 };
 
 /** Scheme selector mirroring Table 2. */

@@ -218,6 +218,74 @@ HebScheme::finishSlot(const SlotOutcome &outcome)
         SchemeMetrics::get().patUpdates.inc();
 }
 
+void
+HebScheme::checkpointSave(std::vector<double> &out) const
+{
+    out.push_back(havePlan_ ? 1.0 : 0.0);
+    out.push_back(lastPlan_.rLambda);
+    out.push_back(lastPlan_.chargeScFirst ? 1.0 : 0.0);
+    out.push_back(lastPlan_.predictedMismatchW);
+    out.push_back(lastPlan_.batteryBasePlanW);
+    out.push_back(
+        lastPlan_.predictedClass == PeakClass::Large ? 1.0 : 0.0);
+    out.push_back(lastPlan_.shedFraction);
+    predictor_.checkpointSave(out);
+    const std::vector<PatEntry> &entries = pat_.entries();
+    out.push_back(static_cast<double>(entries.size()));
+    for (const PatEntry &e : entries) {
+        out.push_back(e.scWh);
+        out.push_back(e.baWh);
+        out.push_back(e.mismatchW);
+        out.push_back(e.rLambda);
+        // updates stays far below 2^53, so the double is exact.
+        out.push_back(static_cast<double>(e.updates));
+    }
+}
+
+void
+HebScheme::checkpointRestore(const std::vector<double> &data)
+{
+    std::size_t pos = 0;
+    auto take = [&](const char *what) {
+        if (pos >= data.size())
+            fatal("scheme restore: truncated state while reading ",
+                  what);
+        return data[pos++];
+    };
+    havePlan_ = take("havePlan") != 0.0;
+    lastPlan_.rLambda = take("rLambda");
+    lastPlan_.chargeScFirst = take("chargeScFirst") != 0.0;
+    lastPlan_.predictedMismatchW = take("predictedMismatchW");
+    lastPlan_.batteryBasePlanW = take("batteryBasePlanW");
+    lastPlan_.predictedClass = take("predictedClass") != 0.0
+                                   ? PeakClass::Large
+                                   : PeakClass::Small;
+    lastPlan_.shedFraction = take("shedFraction");
+    predictor_.checkpointRestore(data, pos);
+    double raw_count = take("pat entry count");
+    if (raw_count < 0.0 ||
+        raw_count != static_cast<double>(
+                         static_cast<std::size_t>(raw_count)))
+        fatal("scheme restore: bad PAT entry count ", raw_count);
+    auto count = static_cast<std::size_t>(raw_count);
+    std::vector<PatEntry> entries;
+    entries.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        PatEntry e;
+        e.scWh = take("pat scWh");
+        e.baWh = take("pat baWh");
+        e.mismatchW = take("pat mismatchW");
+        e.rLambda = take("pat rLambda");
+        e.updates =
+            static_cast<unsigned long>(take("pat updates"));
+        entries.push_back(e);
+    }
+    pat_.restoreEntries(std::move(entries));
+    if (pos != data.size())
+        fatal("scheme restore: ", data.size() - pos,
+              " trailing values in scheme state");
+}
+
 std::unique_ptr<ManagementScheme>
 makeScheme(SchemeKind kind, const HebSchemeConfig &config,
            const PowerAllocationTable *seeded_pat)

@@ -103,6 +103,35 @@ class Server
     /** Energy burned in boots so far (Wh). */
     double bootEnergyWh() const;
 
+    /** Complete mutable state, for checkpointing. */
+    struct State
+    {
+        Frequency frequency = Frequency::High;
+        bool on = true;
+        double bootDoneTime = 0.0;
+        double lastActive = 0.0;
+        double downtime = 0.0;
+        unsigned long cycles = 0;
+    };
+
+    /** Snapshot the mutable state. */
+    State state() const
+    {
+        return {freq_, on_, bootDoneTime_, lastActive_, downtime_,
+                cycles_};
+    }
+
+    /** Restore a state previously read with state(). */
+    void restoreState(const State &state)
+    {
+        freq_ = state.frequency;
+        on_ = state.on;
+        bootDoneTime_ = state.bootDoneTime;
+        lastActive_ = state.lastActive;
+        downtime_ = state.downtime;
+        cycles_ = state.cycles;
+    }
+
   private:
     /** Frequency scale factor on the dynamic power term. */
     double freqFactor() const;

@@ -237,6 +237,17 @@ EsdPool::withDevice(std::size_t index, Op op)
     }
 }
 
+void
+EsdPool::withMemberDevice(
+    std::size_t index,
+    const std::function<void(EnergyStorageDevice &)> &op)
+{
+    if (index >= devices_.size())
+        panic("EsdPool device index out of range");
+    countersDirty_ = true;
+    withDevice(index, [&](EnergyStorageDevice &dev) { op(dev); });
+}
+
 EnergyStorageDevice &
 EsdPool::device(std::size_t index)
 {

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -74,6 +75,17 @@ class EsdPool : public EnergyStorageDevice
      */
     EnergyStorageDevice &device(std::size_t index);
     const EnergyStorageDevice &device(std::size_t index) const;
+
+    /**
+     * Run @p op against member @p index without evicting it from its
+     * batch lane: the lane state is synced into the member object,
+     * @p op may mutate it, and the result is re-uploaded to the lane.
+     * Checkpoint restore uses this so a resumed pool keeps the same
+     * lane population as an uninterrupted run.
+     */
+    void withMemberDevice(
+        std::size_t index,
+        const std::function<void(EnergyStorageDevice &)> &op);
 
     const std::string &name() const override { return name_; }
 

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "fault/fault_plan.h"
+#include "util/logging.h"
 #include "util/rng.h"
 
 namespace heb {
@@ -68,6 +69,43 @@ class FaultInjector
 
     /** The full schedule. */
     const FaultPlan &plan() const { return plan_; }
+
+    /**
+     * Complete mutable state, for checkpointing. The plan itself is
+     * pure in (params, duration, seed) and regenerated on restore;
+     * the applied log is the plan prefix of length nextIndex.
+     */
+    struct State
+    {
+        std::size_t nextIndex = 0;
+        std::uint64_t jitterRngState = 0;
+        double lastGoodReading = 0.0;
+        bool haveLastGood = false;
+    };
+
+    /** Snapshot the cursor, jitter stream and dropout latch. */
+    State state() const
+    {
+        return {nextIndex_, jitterRng_.state(), lastGoodReading_,
+                haveLastGood_};
+    }
+
+    /** Restore a state previously read with state(). */
+    void restoreState(const State &state)
+    {
+        if (state.nextIndex > plan_.events().size())
+            fatal("fault injector restore: cursor ", state.nextIndex,
+                  " beyond plan of ", plan_.events().size(),
+                  " events");
+        nextIndex_ = state.nextIndex;
+        applied_.assign(plan_.events().begin(),
+                        plan_.events().begin() +
+                            static_cast<std::ptrdiff_t>(
+                                state.nextIndex));
+        jitterRng_.setState(state.jitterRngState);
+        lastGoodReading_ = state.lastGoodReading;
+        haveLastGood_ = state.haveLastGood;
+    }
 
   private:
     FaultPlan plan_;

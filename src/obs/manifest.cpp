@@ -4,6 +4,7 @@
 
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "util/atomic_file.h"
 #include "util/logging.h"
 
 #ifndef HEB_GIT_DESCRIBE
@@ -62,10 +63,8 @@ manifestToJson(const RunManifest &manifest)
 void
 writeRunManifest(const std::string &path, const RunManifest &manifest)
 {
-    std::ofstream out(path);
-    if (!out)
-        fatal("cannot open manifest output '", path, "'");
-    out << manifestToJson(manifest);
+    if (!writeFileAtomic(path, manifestToJson(manifest)))
+        fatal("cannot write manifest output '", path, "'");
 }
 
 } // namespace obs

@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "obs/json.h"
+#include "util/atomic_file.h"
 #include "util/logging.h"
 
 namespace heb {
@@ -331,10 +332,8 @@ MetricsRegistry::toJson() const
 void
 MetricsRegistry::writeJson(const std::string &path) const
 {
-    std::ofstream out(path);
-    if (!out)
-        fatal("cannot open metrics output '", path, "'");
-    out << toJson();
+    if (!writeFileAtomic(path, toJson()))
+        fatal("cannot write metrics output '", path, "'");
 }
 
 void

@@ -1,5 +1,6 @@
 #include "obs/metrics_http.h"
 
+#include <cerrno>
 #include <cstring>
 
 #include <netinet/in.h>
@@ -22,6 +23,8 @@ sendAll(int fd, const std::string &data)
     while (sent < data.size()) {
         ssize_t n = ::send(fd, data.data() + sent,
                            data.size() - sent, MSG_NOSIGNAL);
+        if (n < 0 && errno == EINTR)
+            continue; // signal during send; retry
         if (n <= 0)
             return; // peer went away; scrape is best-effort
         sent += static_cast<std::size_t>(n);
@@ -85,10 +88,13 @@ MetricsHttpServer::serveLoop()
         if (client < 0) {
             if (stopping_.load(std::memory_order_relaxed))
                 break;
-            continue; // transient accept failure
+            continue; // EINTR or transient failure: re-accept
         }
         char buf[1024];
-        ssize_t n = ::recv(client, buf, sizeof(buf) - 1, 0);
+        ssize_t n;
+        do {
+            n = ::recv(client, buf, sizeof(buf) - 1, 0);
+        } while (n < 0 && errno == EINTR);
         std::string request =
             n > 0 ? std::string(buf, static_cast<std::size_t>(n))
                   : std::string();

@@ -34,6 +34,15 @@ struct ConverterParams
     double proportionalLoss = 0.03;
 };
 
+/** Complete mutable state of a Converter, for checkpointing. */
+struct ConverterState
+{
+    double lossWh = 0.0;
+    double deliveredWh = 0.0;
+    double restoreTime = 0.0;
+    unsigned long trips = 0;
+};
+
 /** One conversion stage (AC/DC, DC/AC, or DC/DC). */
 class Converter
 {
@@ -91,6 +100,21 @@ class Converter
 
     /** Number of trip events recorded. */
     unsigned long tripCount() const { return trips_; }
+
+    /** Snapshot the mutable state (loss/delivery/trip accounting). */
+    ConverterState state() const
+    {
+        return {lossWh_, deliveredWh_, restoreTime_, trips_};
+    }
+
+    /** Restore a state previously read with state(). */
+    void restoreState(const ConverterState &state)
+    {
+        lossWh_ = state.lossWh;
+        deliveredWh_ = state.deliveredWh;
+        restoreTime_ = state.restoreTime;
+        trips_ = state.trips;
+    }
 
     /**
      * The double-conversion (AC-DC-AC) path of a centralized online

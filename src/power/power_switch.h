@@ -63,6 +63,28 @@ class PowerSwitch
     /** Fraction of rated actuation life consumed. */
     double wearFraction() const;
 
+    /** Complete mutable state, for checkpointing. */
+    struct State
+    {
+        SwitchFeed target = SwitchFeed::Utility;
+        double settleTime = 0.0;
+        std::uint64_t actuations = 0;
+    };
+
+    /** Snapshot the relay state. */
+    State state() const
+    {
+        return {target_, settleTime_, actuations_};
+    }
+
+    /** Restore a state previously read with state(). */
+    void restoreState(const State &state)
+    {
+        target_ = state.target;
+        settleTime_ = state.settleTime;
+        actuations_ = state.actuations;
+    }
+
   private:
     std::string name_;
     PowerSwitchParams params_;

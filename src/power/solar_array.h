@@ -101,6 +101,12 @@ class SolarArray : public PowerSource
     /** Energy actually harvested by loads/buffers so far (Wh). */
     double harvestedWh() const { return harvestedWh_; }
 
+    /**
+     * Restore the harvest meter from a checkpoint; the trace itself
+     * is pure in (params, duration, step, seed) and regenerated.
+     */
+    void restoreHarvestedWh(double wh) { harvestedWh_ = wh; }
+
     /** The underlying generation trace. */
     const TimeSeries &trace() const { return *trace_; }
 

@@ -102,6 +102,28 @@ class Topology
     /** Number of buffer-stage trips recorded. */
     unsigned long bufferStageTrips() const;
 
+    /** Mutable state of all four conversion stages. */
+    struct State
+    {
+        ConverterState ups, inverter, rectifier, dcdc;
+    };
+
+    /** Snapshot every stage's accounting/trip state. */
+    State state() const
+    {
+        return {upsPath_.state(), inverter_.state(),
+                rectifier_.state(), dcdc_.state()};
+    }
+
+    /** Restore a state previously read with state(). */
+    void restoreState(const State &state)
+    {
+        upsPath_.restoreState(state.ups);
+        inverter_.restoreState(state.inverter);
+        rectifier_.restoreState(state.rectifier);
+        dcdc_.restoreState(state.dcdc);
+    }
+
   private:
     /** The converter carrying buffer discharge for this topology. */
     Converter &bufferStage();

@@ -68,6 +68,33 @@ class UtilityGrid : public PowerSource
     /** True when @p time_seconds falls inside a scheduled outage. */
     bool inOutage(double time_seconds) const;
 
+    /** Complete mutable metering state, for checkpointing. */
+    struct State
+    {
+        double energyWh = 0.0;
+        double currentPeak = 0.0;
+        double periodStart = 0.0;
+        bool sawDraw = false;
+        std::vector<double> peaks;
+    };
+
+    /** Snapshot the metering state (budget/outages are config). */
+    State state() const
+    {
+        return {energyWh_, currentPeak_, periodStart_, sawDraw_,
+                peaks_};
+    }
+
+    /** Restore a state previously read with state(). */
+    void restoreState(const State &state)
+    {
+        energyWh_ = state.energyWh;
+        currentPeak_ = state.currentPeak;
+        periodStart_ = state.periodStart;
+        sawDraw_ = state.sawDraw;
+        peaks_ = state.peaks;
+    }
+
   private:
     struct Outage
     {

@@ -8,9 +8,11 @@
 #include "core/profiler.h"
 #include "esd/bank_builder.h"
 #include "obs/json.h"
+#include "sim/fleet.h"
 #include "sim/pat_cache.h"
 #include "sim/plan_cache.h"
 #include "util/format.h"
+#include "util/atomic_file.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -423,6 +425,35 @@ simResultToJson(const SimResult &result)
 }
 
 std::string
+fleetResultToJson(const FleetResult &result)
+{
+    std::string out;
+    out += "{\n  \"total_downtime_seconds\": ";
+    appendExactNumber(out, result.totalDowntimeSeconds);
+    appendField(out, "total_unserved_wh", result.totalUnservedWh);
+    appendField(out, "total_served_wh", result.totalServedWh);
+    appendField(out, "facility_peak_draw_w",
+                result.facilityPeakDrawW);
+    appendField(out, "mean_efficiency", result.meanEfficiency);
+    appendField(out, "mean_efficiency_unweighted",
+                result.meanEfficiencyUnweighted);
+    appendCount(out, "macro_spans", result.macroSpans);
+    appendCount(out, "macro_span_ticks", result.macroSpanTicks);
+    appendCount(out, "dense_ticks", result.denseTicks);
+    appendCount(out, "shard_kernel_spans",
+                result.shardKernelSpans);
+    out += ",\n  \"racks\": [";
+    for (std::size_t r = 0; r < result.racks.size(); ++r) {
+        if (r)
+            out += ",";
+        out += "\n";
+        out += simResultToJson(result.racks[r]);
+    }
+    out += "]\n}\n";
+    return out;
+}
+
+std::string
 availabilityToJson(const std::vector<AvailabilitySummary> &summaries,
                    const SimConfig &config,
                    const std::string &workload)
@@ -483,14 +514,10 @@ writeAvailabilityJson(
     const std::vector<AvailabilitySummary> &summaries,
     const SimConfig &config, const std::string &workload)
 {
-    std::ofstream out(path);
-    if (!out) {
-        warn("writeAvailabilityJson: cannot open ", path,
-             "; summary not written");
-        return false;
-    }
-    out << availabilityToJson(summaries, config, workload);
-    return static_cast<bool>(out);
+    // Atomic replace: a crash or full disk leaves the previous
+    // summary intact, never a truncated JSON document.
+    return writeFileAtomic(
+        path, availabilityToJson(summaries, config, workload));
 }
 
 std::vector<CapacityPoint>

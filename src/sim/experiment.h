@@ -178,6 +178,17 @@ availabilitySweep(const SimConfig &base, const std::string &workload,
  */
 std::string simResultToJson(const SimResult &result);
 
+struct FleetResult;
+
+/**
+ * Render one FleetResult as a deterministic JSON document: stable
+ * key order, round-trip-exact (%.17g) numbers, per-rack SimResults
+ * embedded via simResultToJson when kept. The byte-identity witness
+ * for fleet kill-and-resume: two results serialize identically iff
+ * every field matches to the last ulp.
+ */
+std::string fleetResultToJson(const FleetResult &result);
+
 /**
  * Render availability summaries as a deterministic JSON document
  * (stable key order, %.10g numbers) — byte-identical for identical

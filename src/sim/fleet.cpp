@@ -48,7 +48,25 @@ class SpanDrawRecorder final : public PowerSource
     std::vector<double> draws;
 };
 
+/** Shard file "<dir>/fleet-<tick>-rack<r>.ckpt". */
+std::string
+shardPath(const std::string &dir, std::uint64_t tick, std::size_t r)
+{
+    return dir + "/fleet-" + std::to_string(tick) + "-rack" +
+           std::to_string(r) + kCheckpointSuffix;
+}
+
 } // namespace
+
+void
+FleetOptions::validate() const
+{
+    if (std::isnan(healthSampleSeconds))
+        fatal("FleetOptions: healthSampleSeconds is NaN");
+    if (onHealthSample && !health)
+        fatal("FleetOptions: onHealthSample callback set but no "
+              "health aggregator to sample");
+}
 
 const char *
 budgetPolicyName(BudgetPolicy policy)
@@ -76,7 +94,9 @@ FleetSimulator::FleetSimulator(SimConfig rack_config,
     : config_(std::move(rack_config)),
       facilityBudgetW_(facility_budget), options_(options)
 {
-    if (facility_budget <= 0.0)
+    config_.validate();
+    options_.validate();
+    if (std::isnan(facility_budget) || facility_budget <= 0.0)
         fatal("FleetSimulator: facility budget must be positive");
 }
 
@@ -135,7 +155,16 @@ FleetSimulator::arbitrate(const std::vector<double> &need,
 FleetResult
 FleetSimulator::run(const std::vector<RackSpec> &racks)
 {
+    return run(racks, CheckpointOptions{});
+}
+
+FleetResult
+FleetSimulator::run(const std::vector<RackSpec> &racks,
+                    const CheckpointOptions &ckpt)
+{
     HEB_PROF_SCOPE("fleet.run");
+    ckpt.validate();
+    options_.validate();
     if (racks.empty())
         fatal("FleetSimulator: need at least one rack");
     std::unordered_set<const ManagementScheme *> schemes;
@@ -251,8 +280,208 @@ FleetSimulator::run(const std::vector<RackSpec> &racks)
     };
 
     std::size_t tick_i = 0;
+
+    // ---- Checkpointing ------------------------------------------
+    // Same tick-boundary, mutate-nothing contract as the single-rack
+    // engine (see Simulator::run); the fleet adds sharding. Shards
+    // are written first and the manifest last, both atomically, so a
+    // readable manifest implies its complete shard set is durable.
+    auto manifest_payload = [&](std::uint64_t at_tick) {
+        CheckpointWriter w;
+        w.putDouble("meta.duration_s", config_.durationSeconds);
+        w.putDouble("meta.tick_s", config_.tickSeconds);
+        w.putDouble("meta.slot_s", config_.slotSeconds);
+        w.putU64("meta.seed", config_.seed);
+        w.putU64("meta.fault_seed", config_.faultSeed);
+        w.putU64("meta.servers", config_.numServers);
+        w.putDouble("meta.facility_budget_w", facilityBudgetW_);
+        w.putString("meta.policy",
+                    budgetPolicyName(options_.policy));
+        w.putString("meta.mode", fleetModeName(options_.mode));
+        w.putBool("meta.faults", config_.faultInjection);
+        w.putU64("meta.racks", n);
+        for (std::size_t r = 0; r < n; ++r) {
+            std::string p = "meta.rack." + std::to_string(r);
+            w.putString(p + ".name", racks[r].name);
+            w.putString(p + ".scheme", racks[r].scheme->name());
+            w.putString(p + ".workload",
+                        racks[r].workload->name());
+        }
+        w.putU64("fleet.tick", at_tick);
+        w.putDouble("fleet.peak_draw_w", result.facilityPeakDrawW);
+        w.putU64("fleet.dense_ticks", result.denseTicks);
+        w.putU64("fleet.macro_spans", result.macroSpans);
+        w.putU64("fleet.macro_span_ticks", result.macroSpanTicks);
+        w.putU64("fleet.shard_kernel_spans",
+                 result.shardKernelSpans);
+        w.putDouble("fleet.next_health", next_health);
+        return w.payload();
+    };
+
+    auto shard_payload = [&](std::size_t r) {
+        CheckpointWriter w;
+        w.putString("shard.rack", racks[r].name);
+        domains[r]->checkpointSave(w, "rack.");
+        return w.payload();
+    };
+
+    // Serial by design: checkpointSave syncs bank lanes out of the
+    // (possibly shared) SoA arenas, which must not race.
+    auto write_fleet_checkpoint = [&](std::uint64_t at_tick) {
+        bool ok = true;
+        for (std::size_t r = 0; r < n; ++r)
+            ok = writeCheckpointFile(
+                     shardPath(ckpt.dir, at_tick, r),
+                     shard_payload(r)) &&
+                 ok;
+        if (ok)
+            writeCheckpointFile(
+                checkpointFilePath(ckpt.dir, "fleet", at_tick),
+                manifest_payload(at_tick));
+        else
+            warn("fleet checkpoint at tick ", at_tick,
+                 ": shard write failed; manifest withheld");
+    };
+
+    if (ckpt.resume) {
+        bool restored = false;
+        for (std::uint64_t t :
+             listCheckpointTicks(ckpt.dir, "fleet")) {
+            std::string mpath =
+                checkpointFilePath(ckpt.dir, "fleet", t);
+            std::string payload, error;
+            if (!readCheckpointFile(mpath, payload, error)) {
+                warn("skipping ", mpath, ": ", error);
+                continue;
+            }
+            CheckpointReader m;
+            if (!m.parse(payload, error)) {
+                warn("skipping ", mpath, ": ", error);
+                continue;
+            }
+            auto guard = [&](bool ok_field, const char *field) {
+                if (!ok_field)
+                    fatal("checkpoint ", mpath,
+                          " was written under a different ", field,
+                          "; refusing to resume");
+            };
+            guard(m.getDouble("meta.duration_s") ==
+                      config_.durationSeconds,
+                  "duration");
+            guard(m.getDouble("meta.tick_s") ==
+                      config_.tickSeconds,
+                  "tick length");
+            guard(m.getDouble("meta.slot_s") ==
+                      config_.slotSeconds,
+                  "slot length");
+            guard(m.getU64("meta.seed") == config_.seed, "seed");
+            guard(m.getU64("meta.fault_seed") == config_.faultSeed,
+                  "fault seed");
+            guard(m.getU64("meta.servers") == config_.numServers,
+                  "server count");
+            guard(m.getDouble("meta.facility_budget_w") ==
+                      facilityBudgetW_,
+                  "facility budget");
+            guard(m.getString("meta.policy") ==
+                      budgetPolicyName(options_.policy),
+                  "budget policy");
+            guard(m.getString("meta.mode") ==
+                      fleetModeName(options_.mode),
+                  "fleet mode");
+            guard(m.getBool("meta.faults") ==
+                      config_.faultInjection,
+                  "fault-injection setting");
+            guard(m.getU64("meta.racks") == n, "rack count");
+            for (std::size_t r = 0; r < n; ++r) {
+                std::string p = "meta.rack." + std::to_string(r);
+                guard(m.getString(p + ".name") == racks[r].name,
+                      "rack roster");
+                guard(m.getString(p + ".scheme") ==
+                          racks[r].scheme->name(),
+                      "rack scheme");
+                guard(m.getString(p + ".workload") ==
+                          racks[r].workload->name(),
+                      "rack workload");
+            }
+
+            // Validate every shard before mutating any domain, so
+            // a torn shard set falls back to an older checkpoint
+            // with the fleet untouched.
+            std::vector<CheckpointReader> shards(n);
+            bool all_ok = true;
+            for (std::size_t r = 0; r < n && all_ok; ++r) {
+                std::string spath = shardPath(ckpt.dir, t, r);
+                std::string sp;
+                if (!readCheckpointFile(spath, sp, error) ||
+                    !shards[r].parse(sp, error)) {
+                    warn("skipping checkpoint at tick ", t,
+                         ": shard ", spath, ": ", error);
+                    all_ok = false;
+                }
+            }
+            if (!all_ok)
+                continue;
+            for (std::size_t r = 0; r < n; ++r) {
+                if (shards[r].getString("shard.rack") !=
+                    racks[r].name)
+                    fatal("checkpoint shard ",
+                          shardPath(ckpt.dir, t, r),
+                          " belongs to rack '",
+                          shards[r].getString("shard.rack"),
+                          "', expected '", racks[r].name, "'");
+                domains[r]->checkpointLoad(shards[r], "rack.");
+            }
+            tick_i = static_cast<std::size_t>(
+                m.getU64("fleet.tick"));
+            result.facilityPeakDrawW =
+                m.getDouble("fleet.peak_draw_w");
+            result.denseTicks = m.getU64("fleet.dense_ticks");
+            result.macroSpans = m.getU64("fleet.macro_spans");
+            result.macroSpanTicks =
+                m.getU64("fleet.macro_span_ticks");
+            result.shardKernelSpans =
+                m.getU64("fleet.shard_kernel_spans");
+            next_health = m.getDouble("fleet.next_health");
+            inform("resumed fleet from ", mpath, " at tick ",
+                   tick_i, " (t=",
+                   static_cast<double>(tick_i) * dt, " s)");
+            restored = true;
+            break;
+        }
+        if (!restored)
+            warn("no valid fleet checkpoint under ", ckpt.dir,
+                 "; starting from t=0");
+    }
+
+    std::uint64_t ckpt_seq = 0;
+    if (ckpt.everySimSeconds > 0.0)
+        ckpt_seq = static_cast<std::uint64_t>(
+            static_cast<double>(tick_i) * dt /
+            ckpt.everySimSeconds);
+
+    if (ckpt.enabled()) {
+        installCheckpointOnFatal([&]() {
+            for (std::size_t r = 0; r < n; ++r)
+                writeCheckpointFile(
+                    ckpt.dir + "/fleet-emergency-rack" +
+                        std::to_string(r) +
+                        kAbortedCheckpointSuffix,
+                    shard_payload(r));
+            writeCheckpointFile(ckpt.dir + "/fleet-emergency" +
+                                    kAbortedCheckpointSuffix,
+                                manifest_payload(tick_i));
+        });
+    }
+
     while (tick_i < ticks) {
         double now = static_cast<double>(tick_i) * dt;
+
+        if (ckpt.everySimSeconds > 0.0 &&
+            now >= static_cast<double>(ckpt_seq + 1) *
+                       ckpt.everySimSeconds) {
+            ++ckpt_seq;
+            write_fleet_checkpoint(tick_i);
+        }
 
         computeNeeds(domains, idx, now, need);
         arbitrate(need, alloc);
@@ -377,6 +606,9 @@ FleetSimulator::run(const std::vector<RackSpec> &racks)
         result.macroSpanTicks += span;
         sampleHealth(static_cast<double>(tick_i - 1) * dt);
     }
+
+    if (ckpt.enabled())
+        clearCheckpointOnFatal();
 
     double eff_weighted = 0.0;
     double eff_unweighted = 0.0;

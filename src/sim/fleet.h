@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "core/scheme.h"
+#include "sim/checkpoint.h"
 #include "sim/rack_domain.h"
 #include "sim/sim_config.h"
 #include "sim/sim_result.h"
@@ -119,6 +120,12 @@ struct FleetOptions
 
     /** Opaque pointer handed to onHealthSample. */
     void *onHealthSampleUser = nullptr;
+
+    /**
+     * fatal() on malformed knobs: NaN health-sample period, or a
+     * sample callback without an aggregator to sample.
+     */
+    void validate() const;
 };
 
 /** Aggregate + per-rack results of a fleet run. */
@@ -191,6 +198,20 @@ class FleetSimulator
 
     /** Run the fleet for the configured duration. */
     FleetResult run(const std::vector<RackSpec> &racks);
+
+    /**
+     * As run(), with periodic checkpointing and/or resume per
+     * @p ckpt. A fleet checkpoint is one shard file per rack
+     * ("fleet-<tick>-rack<r>.ckpt") plus a manifest
+     * ("fleet-<tick>.ckpt") written last, so a valid manifest
+     * implies a complete shard set. Restore works across a
+     * different --jobs count: SoA arenas are rebuilt for the new
+     * shard layout and batch stepping is bitwise-identical to
+     * scalar, so the final FleetResult stays byte-identical at
+     * %.17g.
+     */
+    FleetResult run(const std::vector<RackSpec> &racks,
+                    const CheckpointOptions &ckpt);
 
   private:
     /** Compute every rack's need at @p now (pooled fan-out). */

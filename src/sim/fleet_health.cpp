@@ -10,6 +10,7 @@
 #include "sim/rack_domain.h"
 #include "sim/sim_result.h"
 #include "util/format.h"
+#include "util/atomic_file.h"
 #include "util/logging.h"
 #include "util/table_printer.h"
 
@@ -344,10 +345,8 @@ FleetHealthAggregator::toJson() const
 void
 FleetHealthAggregator::writeJson(const std::string &path) const
 {
-    std::ofstream out(path);
-    if (!out)
-        fatal("cannot open fleet health output '", path, "'");
-    out << toJson();
+    if (!writeFileAtomic(path, toJson()))
+        fatal("cannot write fleet health output '", path, "'");
 }
 
 std::string

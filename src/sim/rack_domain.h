@@ -33,6 +33,9 @@
 
 namespace heb {
 
+class CheckpointReader;
+class CheckpointWriter;
+
 /** A rack-level power domain. */
 class RackDomain
 {
@@ -213,6 +216,25 @@ class RackDomain
     {
         return faultsByKind_;
     }
+
+    /**
+     * Serialize this domain's complete mutable state under
+     * @p prefix. Must be called at a tick boundary (between tick()
+     * or fastForward() calls); mutates nothing, so a checkpointed
+     * run is tick-for-tick identical to a plain one. Implemented in
+     * checkpoint.cpp, which owns the key layout.
+     */
+    void checkpointSave(CheckpointWriter &writer,
+                        const std::string &prefix) const;
+
+    /**
+     * Restore state written by checkpointSave on a domain built from
+     * the identical config/workload/scheme. fatal() when the
+     * checkpoint shape does not match this domain (device counts,
+     * series lengths, missing keys).
+     */
+    void checkpointLoad(const CheckpointReader &reader,
+                        const std::string &prefix);
 
   private:
     /** Apply one fault event whose onset was just reached. */

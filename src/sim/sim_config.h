@@ -168,6 +168,17 @@ struct SimConfig
      */
     bool degradationPolicy = false;
 
+    /**
+     * fatal() with a diagnostic naming the offending field when the
+     * configuration is malformed: NaN or non-positive durations and
+     * strides, negative budgets or capacities, zero servers, DoD
+     * outside (0, 1], malformed outage windows. Called by the
+     * Simulator and FleetSimulator constructors and by every CLI
+     * after flag parsing, so a bad flag fails fast with a field
+     * name instead of corrupting a long run.
+     */
+    void validate() const;
+
     /** Total installed buffer energy (Wh). */
     double
     totalBufferWh() const

@@ -19,18 +19,21 @@ namespace heb {
 
 Simulator::Simulator(SimConfig config) : config_(std::move(config))
 {
-    if (config_.tickSeconds <= 0.0 || config_.slotSeconds <= 0.0)
-        fatal("Simulator: tick and slot must be positive");
-    if (config_.durationSeconds < config_.slotSeconds)
-        fatal("Simulator: duration shorter than one slot");
-    if (config_.numServers == 0)
-        fatal("Simulator: need at least one server");
+    config_.validate();
 }
 
 SimResult
 Simulator::run(const Workload &workload, ManagementScheme &scheme)
 {
+    return run(workload, scheme, CheckpointOptions{});
+}
+
+SimResult
+Simulator::run(const Workload &workload, ManagementScheme &scheme,
+               const CheckpointOptions &ckpt)
+{
     HEB_PROF_SCOPE("sim.run");
+    ckpt.validate();
     const double dt = config_.tickSeconds;
 
     // Generate the fault plan exactly once and share it: the ATS
@@ -91,9 +94,133 @@ Simulator::run(const Workload &workload, ManagementScheme &scheme)
             ? static_cast<PowerSource *>(solar.get())
             : static_cast<PowerSource *>(grid.get());
 
+    // ---- Checkpointing ------------------------------------------
+    // Snapshots are taken at the top of the loop, at a tick
+    // boundary, and mutate no simulation state; restoring one
+    // reproduces every input the remaining ticks depend on. That is
+    // the whole exactness argument (DESIGN.md §14): checkpointed,
+    // killed-and-resumed and uninterrupted runs execute the same
+    // floating-point operations in the same order, so the final
+    // SimResult is byte-identical at %.17g.
     std::size_t tick_i = 0;
+
+    auto checkpoint_payload = [&](std::uint64_t at_tick) {
+        CheckpointWriter w;
+        w.putDouble("meta.duration_s", config_.durationSeconds);
+        w.putDouble("meta.tick_s", config_.tickSeconds);
+        w.putDouble("meta.slot_s", config_.slotSeconds);
+        w.putU64("meta.seed", config_.seed);
+        w.putU64("meta.fault_seed", config_.faultSeed);
+        w.putU64("meta.servers", config_.numServers);
+        w.putString("meta.scheme", scheme.name());
+        w.putString("meta.workload", workload.name());
+        w.putBool("meta.fast_forward", config_.fastForward);
+        w.putBool("meta.solar", config_.solarPowered);
+        w.putBool("meta.faults", config_.faultInjection);
+        w.putU64("sim.tick", at_tick);
+        domain.checkpointSave(w, "rack.");
+        if (config_.solarPowered) {
+            w.putDouble("sink.solar_harvested_wh",
+                        solar->harvestedWh());
+        } else {
+            UtilityGrid::State s = grid->state();
+            w.putDouble("sink.grid.energy_wh", s.energyWh);
+            w.putDouble("sink.grid.current_peak", s.currentPeak);
+            w.putDouble("sink.grid.period_start", s.periodStart);
+            w.putBool("sink.grid.saw_draw", s.sawDraw);
+            w.putDoubles("sink.grid.peaks", s.peaks);
+        }
+        return w.payload();
+    };
+
+    if (ckpt.resume) {
+        std::string payload, path;
+        std::uint64_t at_tick = 0;
+        if (newestValidCheckpoint(ckpt.dir, "sim", payload, path,
+                                  at_tick)) {
+            CheckpointReader r;
+            std::string error;
+            if (!r.parse(payload, error))
+                fatal("checkpoint ", path, ": ", error);
+            auto guard = [&](bool ok, const char *field) {
+                if (!ok)
+                    fatal("checkpoint ", path,
+                          " was written under a different ", field,
+                          "; refusing to resume");
+            };
+            guard(r.getDouble("meta.duration_s") ==
+                      config_.durationSeconds,
+                  "duration");
+            guard(r.getDouble("meta.tick_s") == config_.tickSeconds,
+                  "tick length");
+            guard(r.getDouble("meta.slot_s") == config_.slotSeconds,
+                  "slot length");
+            guard(r.getU64("meta.seed") == config_.seed, "seed");
+            guard(r.getU64("meta.fault_seed") == config_.faultSeed,
+                  "fault seed");
+            guard(r.getU64("meta.servers") == config_.numServers,
+                  "server count");
+            guard(r.getString("meta.scheme") == scheme.name(),
+                  "scheme");
+            guard(r.getString("meta.workload") == workload.name(),
+                  "workload");
+            guard(r.getBool("meta.fast_forward") ==
+                      config_.fastForward,
+                  "fast-forward setting");
+            guard(r.getBool("meta.solar") == config_.solarPowered,
+                  "supply kind");
+            guard(r.getBool("meta.faults") == config_.faultInjection,
+                  "fault-injection setting");
+            domain.checkpointLoad(r, "rack.");
+            if (config_.solarPowered) {
+                solar->restoreHarvestedWh(
+                    r.getDouble("sink.solar_harvested_wh"));
+            } else {
+                UtilityGrid::State s;
+                s.energyWh = r.getDouble("sink.grid.energy_wh");
+                s.currentPeak =
+                    r.getDouble("sink.grid.current_peak");
+                s.periodStart =
+                    r.getDouble("sink.grid.period_start");
+                s.sawDraw = r.getBool("sink.grid.saw_draw");
+                s.peaks = r.getDoubles("sink.grid.peaks");
+                grid->restoreState(s);
+            }
+            tick_i = static_cast<std::size_t>(at_tick);
+            inform("resumed from ", path, " at tick ", tick_i,
+                   " (t=", static_cast<double>(tick_i) * dt, " s)");
+        } else {
+            warn("no valid checkpoint under ", ckpt.dir,
+                 "; starting from t=0");
+        }
+    }
+
+    // Next periodic snapshot: the first multiple of the period not
+    // yet reached (so resuming does not rewrite old checkpoints).
+    std::uint64_t ckpt_seq = 0;
+    if (ckpt.everySimSeconds > 0.0)
+        ckpt_seq = static_cast<std::uint64_t>(
+            static_cast<double>(tick_i) * dt / ckpt.everySimSeconds);
+
+    if (ckpt.enabled()) {
+        installCheckpointOnFatal([&]() {
+            writeCheckpointFile(ckpt.dir + "/sim-emergency" +
+                                    kAbortedCheckpointSuffix,
+                                checkpoint_payload(tick_i));
+        });
+    }
+
     while (tick_i < ticks) {
         double now = static_cast<double>(tick_i) * dt;
+
+        if (ckpt.everySimSeconds > 0.0 &&
+            now >= static_cast<double>(ckpt_seq + 1) *
+                       ckpt.everySimSeconds) {
+            ++ckpt_seq;
+            writeCheckpointFile(
+                checkpointFilePath(ckpt.dir, "sim", tick_i),
+                checkpoint_payload(tick_i));
+        }
         double supply = config_.solarPowered
                             ? solar->availablePowerW(now)
                             : (ats ? ats->availablePowerW(now)
@@ -145,6 +272,9 @@ Simulator::run(const Workload &workload, ManagementScheme &scheme)
                        : grid->availablePowerW(t1));
         tick_i += domain.fastForward(n, supply_ff, *draw_sink);
     }
+
+    if (ckpt.enabled())
+        clearCheckpointOnFatal();
 
     SimResult result;
     result.schemeName = scheme.name();

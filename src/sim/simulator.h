@@ -16,6 +16,7 @@
 
 #include "core/scheme.h"
 #include "esd/esd_pool.h"
+#include "sim/checkpoint.h"
 #include "sim/sim_config.h"
 #include "sim/sim_result.h"
 #include "workload/workload.h"
@@ -35,6 +36,18 @@ class Simulator
      * execute many runs independently.
      */
     SimResult run(const Workload &workload, ManagementScheme &scheme);
+
+    /**
+     * As run(), with periodic checkpointing and/or resume per
+     * @p ckpt. Checkpoints are written at tick boundaries and
+     * mutate nothing, so the final SimResult is byte-identical at
+     * %.17g whether or not checkpointing (or a kill-and-resume
+     * cycle) happened along the way. Resume requires a Simulator
+     * configured identically to the checkpointed run (guard fields
+     * are verified; mismatch is fatal).
+     */
+    SimResult run(const Workload &workload, ManagementScheme &scheme,
+                  const CheckpointOptions &ckpt);
 
     /** Configuration in use. */
     const SimConfig &config() const { return config_; }

@@ -1,0 +1,88 @@
+#include "util/atomic_file.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/logging.h"
+
+namespace heb {
+
+namespace {
+
+bool writeAll(int fd, const char *data, std::size_t len)
+{
+    while (len > 0) {
+        ssize_t n = ::write(fd, data, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+bool writeFileAtomic(const std::string &path,
+                     const std::string &content)
+{
+    // The temp file must live on the same filesystem as the target
+    // for rename(2) to be atomic, so place it right next to it. The
+    // pid suffix keeps concurrent writers of distinct artifacts from
+    // colliding on a shared scratch name.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        warn("atomic write: cannot create ", tmp, ": ",
+             std::strerror(errno));
+        return false;
+    }
+    if (!writeAll(fd, content.data(), content.size())) {
+        warn("atomic write: short write to ", tmp, ": ",
+             std::strerror(errno));
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    // fsync before rename: otherwise the rename can become durable
+    // before the data, and a crash would publish a truncated file —
+    // exactly the torn state this helper exists to rule out.
+    if (::fsync(fd) != 0) {
+        warn("atomic write: fsync failed for ", tmp, ": ",
+             std::strerror(errno));
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    if (::close(fd) != 0) {
+        warn("atomic write: close failed for ", tmp, ": ",
+             std::strerror(errno));
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        warn("atomic write: rename ", tmp, " -> ", path,
+             " failed: ", std::strerror(errno));
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+void writeFileAtomicOrDie(const std::string &path,
+                          const std::string &content)
+{
+    if (!writeFileAtomic(path, content))
+        fatal("cannot write ", path);
+}
+
+} // namespace heb

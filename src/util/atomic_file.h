@@ -1,0 +1,25 @@
+#pragma once
+
+#include <string>
+
+namespace heb {
+
+/**
+ * Torn-write-safe file replacement: the content is written to a
+ * sibling temporary file, flushed to stable storage with fsync, and
+ * atomically renamed over @p path. A crash at any instant leaves
+ * either the previous file intact or the complete new one — never a
+ * partial write.
+ *
+ * Returns false (after emitting a warning naming the path and the
+ * failing step) if the temporary cannot be created, written, synced,
+ * or renamed; the destination is untouched in that case.
+ */
+bool writeFileAtomic(const std::string &path,
+                     const std::string &content);
+
+/** As writeFileAtomic, but a failure is fatal (exit, not abort). */
+void writeFileAtomicOrDie(const std::string &path,
+                          const std::string &content);
+
+} // namespace heb

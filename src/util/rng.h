@@ -83,6 +83,12 @@ class SplitMix64
         return child;
     }
 
+    /** Raw engine state, for checkpointing. */
+    std::uint64_t state() const { return state_; }
+
+    /** Restore a state previously read with state(). */
+    void setState(std::uint64_t state) { state_ = state; }
+
   private:
     std::uint64_t state_;
 };
@@ -118,6 +124,9 @@ class Rng
 
     /** Underlying engine, for std distributions not wrapped here. */
     std::mt19937_64 &engine() { return engine_; }
+
+    /** Read-only engine access, for checkpoint serialization. */
+    const std::mt19937_64 &engine() const { return engine_; }
 
   private:
     std::mt19937_64 engine_;

@@ -129,5 +129,44 @@ TEST(ThreadPool, ConfigureGlobalResizesSharedPool)
     EXPECT_GE(ThreadPool::global().jobs(), 1u);
 }
 
+
+TEST(ThreadPool, WorkerExceptionMessagePreservedAndPoolReusable)
+{
+    // Every item throws, so worker threads (not just the caller)
+    // hit the throw path; the first captured exception must come
+    // back intact through the rethrow in map().
+    ThreadPool pool(4);
+    std::vector<int> items(64);
+    std::iota(items.begin(), items.end(), 0);
+    try {
+        pool.map(items, [](int) -> int {
+            throw std::runtime_error("worker boom");
+        });
+        FAIL() << "map must rethrow the batch exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "worker boom");
+    }
+
+    // A poisoned batch must not wedge the pool: the next map on the
+    // same pool completes normally.
+    std::vector<int> ok =
+        pool.map(items, [](int v) { return v + 1; });
+    ASSERT_EQ(ok.size(), items.size());
+    EXPECT_EQ(ok[10], 11);
+    EXPECT_EQ(ok[63], 64);
+}
+
+TEST(ThreadPool, ExceptionFromParallelMapHelperPropagates)
+{
+    std::vector<int> items = {1, 2, 3};
+    EXPECT_THROW(parallelMap(items,
+                             [](int v) -> int {
+                                 if (v == 2)
+                                     throw std::logic_error("bad");
+                                 return v;
+                             }),
+                 std::logic_error);
+}
+
 } // namespace
 } // namespace heb

@@ -148,6 +148,7 @@ main(int argc, char **argv)
     cfg.faultSeed = seed;
     cfg.degradationPolicy = degradation;
     cfg.fastForward = fast_forward;
+    cfg.validate();
 
     std::printf("%zu scenarios x %zu schemes, %s, %.1f h, seed %llu, "
                 "degradation %s\n",

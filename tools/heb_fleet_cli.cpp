@@ -18,6 +18,8 @@
  *             [--health-out FILE] [--health-stride SECONDS]
  *             [--watch] [--manifest FILE] [--profile]
  *             [--log-level LEVEL]
+ *             [--checkpoint-every SECONDS] [--checkpoint-dir DIR]
+ *             [--resume] [--result-json FILE]
  *
  * --fleet-mode selects the execution engine: dense per-tick
  * stepping, or the event engine that advances fleet-wide quiescent
@@ -45,6 +47,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
@@ -57,10 +60,13 @@
 #include "obs/prometheus.h"
 #include "obs/trace.h"
 #include "obs/trace_event.h"
+#include "sim/checkpoint.h"
+#include "sim/experiment.h"
 #include "sim/fleet.h"
 #include "sim/fleet_health.h"
 #include "sim/plan_cache.h"
 #include "sim/result_io.h"
+#include "util/atomic_file.h"
 #include "util/logging.h"
 #include "util/table_printer.h"
 #include "util/thread_pool.h"
@@ -134,6 +140,9 @@ usage()
         "[--health-stride SECONDS] [--watch] [--manifest FILE]\n"
         "                 [--profile] [--log-level LEVEL] "
         "[--decorrelate-racks]\n"
+        "                 [--checkpoint-every SECONDS] "
+        "[--checkpoint-dir DIR] [--resume] "
+        "[--result-json FILE]\n"
         "  workloads: comma-separated (PR WC DA WS MS DFS HB TS), "
         "cycled across racks\n"
         "  --decorrelate-racks gives each rack its own workload "
@@ -149,7 +158,13 @@ usage()
         "  --trace-chrome writes Chrome trace_event JSON "
         "(Perfetto / chrome://tracing), one track per rack\n"
         "  --health-out writes the fleet health rollup JSON; "
-        "--watch prints a live table every --health-stride s\n");
+        "--watch prints a live table every --health-stride s\n"
+        "  --checkpoint-every writes resumable snapshots (one "
+        "shard per rack + a manifest) every N sim-seconds\n"
+        "  into --checkpoint-dir; --resume restarts from the "
+        "newest valid one, even under a different --jobs.\n"
+        "  --result-json writes the full %%.17g fleet result "
+        "document (the resume byte-identity witness)\n");
 }
 
 } // namespace
@@ -180,6 +195,8 @@ main(int argc, char **argv)
     bool decorrelate_racks = false;
     bool listen = false;
     long listen_port = 0;
+    CheckpointOptions ckpt;
+    std::string result_json_path;
 
     for (int i = 1; i < argc; ++i) {
         auto need_value = [&](const char *flag) -> std::string {
@@ -267,6 +284,15 @@ main(int argc, char **argv)
             profile = true;
         else if (!std::strcmp(argv[i], "--decorrelate-racks"))
             decorrelate_racks = true;
+        else if (!std::strcmp(argv[i], "--checkpoint-every"))
+            ckpt.everySimSeconds =
+                std::stod(need_value("--checkpoint-every"));
+        else if (!std::strcmp(argv[i], "--checkpoint-dir"))
+            ckpt.dir = need_value("--checkpoint-dir");
+        else if (!std::strcmp(argv[i], "--resume"))
+            ckpt.resume = true;
+        else if (!std::strcmp(argv[i], "--result-json"))
+            result_json_path = need_value("--result-json");
         else if (!std::strcmp(argv[i], "--log-level"))
             setLogThreshold(parseLogLevel(need_value("--log-level")));
         else if (!std::strcmp(argv[i], "--help") ||
@@ -280,6 +306,9 @@ main(int argc, char **argv)
     }
     if (slim && !out_prefix.empty())
         fatal("--out needs per-rack results; drop --slim");
+    ckpt.validate();
+    if (!ckpt.dir.empty())
+        std::filesystem::create_directories(ckpt.dir);
 
     std::vector<std::string> names = splitList(workload_list);
     if (names.empty())
@@ -334,6 +363,7 @@ main(int argc, char **argv)
         budget_w = 260.0 * static_cast<double>(racks);
     if (slim)
         cfg.recordSeries = false;
+    cfg.validate();
 
     // Workload plans are immutable and the Workload contract is
     // const, so racks cycling the same profile share one cached
@@ -388,7 +418,7 @@ main(int argc, char **argv)
     }
 
     FleetSimulator fleet(cfg, budget_w, options);
-    FleetResult result = fleet.run(specs);
+    FleetResult result = fleet.run(specs, ckpt);
 
     manifest.wallSeconds =
         std::chrono::duration<double>(
@@ -424,6 +454,13 @@ main(int argc, char **argv)
                       std::to_string(result.denseTicks)});
     }
     table.print();
+
+    if (!result_json_path.empty()) {
+        if (writeFileAtomic(result_json_path,
+                            fleetResultToJson(result)))
+            std::printf("fleet result json written to %s\n",
+                        result_json_path.c_str());
+    }
 
     if (!out_prefix.empty()) {
         writeResultMetrics(result.racks,

@@ -14,6 +14,8 @@
  *           [--trace-chrome FILE] [--metrics-out FILE]
  *           [--prom-out FILE] [--manifest FILE]
  *           [--profile] [--log-level LEVEL]
+ *           [--checkpoint-every SECONDS] [--checkpoint-dir DIR]
+ *           [--resume] [--result-json FILE]
  *
  * Config keys: see simConfigFromConfig() in sim/result_io.h.
  * --pat loads a persisted PowerAllocationTable (and saves the
@@ -42,6 +44,8 @@
 #include "obs/prometheus.h"
 #include "obs/trace.h"
 #include "obs/trace_event.h"
+#include "sim/checkpoint.h"
+#include "util/atomic_file.h"
 #include "sim/experiment.h"
 #include "sim/result_io.h"
 #include "util/logging.h"
@@ -75,6 +79,9 @@ usage()
         "               [--prom-out FILE] [--manifest FILE] "
         "[--profile] [--log-level LEVEL]\n"
         "               [--jobs N] [--fast-forward on|off]\n"
+        "               [--checkpoint-every SECONDS] "
+        "[--checkpoint-dir DIR] [--resume]\n"
+        "               [--result-json FILE]\n"
         "  workloads: PR WC DA WS MS DFS HB TS\n"
         "  schemes:   BaOnly BaFirst SCFirst HEB-F HEB-S HEB-D\n"
         "  log levels: panic fatal warn info debug "
@@ -82,7 +89,13 @@ usage()
         "  --fast-forward toggles the quiescence macro-tick "
         "engine (default on; results are identical either way)\n"
         "  --jobs sets the shared sweep pool width "
-        "(HEB_JOBS honoured; default: all cores)\n");
+        "(HEB_JOBS honoured; default: all cores)\n"
+        "  --checkpoint-every writes a resumable snapshot every N "
+        "sim-seconds into --checkpoint-dir;\n"
+        "  --resume restarts from the newest valid snapshot there. "
+        "The final result is byte-identical\n"
+        "  to an uninterrupted run. --result-json writes the full "
+        "%%.17g result document.\n");
 }
 
 bool
@@ -112,6 +125,8 @@ main(int argc, char **argv)
     bool profile = false;
     bool fast_forward = true;
     bool fast_forward_set = false;
+    CheckpointOptions ckpt;
+    std::string result_json_path;
 
     for (int i = 1; i < argc; ++i) {
         auto need_value = [&](const char *flag) -> std::string {
@@ -153,6 +168,15 @@ main(int argc, char **argv)
             fast_forward = v == "on";
             fast_forward_set = true;
         }
+        else if (!std::strcmp(argv[i], "--checkpoint-every"))
+            ckpt.everySimSeconds =
+                std::stod(need_value("--checkpoint-every"));
+        else if (!std::strcmp(argv[i], "--checkpoint-dir"))
+            ckpt.dir = need_value("--checkpoint-dir");
+        else if (!std::strcmp(argv[i], "--resume"))
+            ckpt.resume = true;
+        else if (!std::strcmp(argv[i], "--result-json"))
+            result_json_path = need_value("--result-json");
         else if (!std::strcmp(argv[i], "--jobs")) {
             long n = std::stol(need_value("--jobs"));
             if (n < 1)
@@ -199,6 +223,10 @@ main(int argc, char **argv)
     SimConfig cfg = simConfigFromConfig(file_cfg);
     if (fast_forward_set)
         cfg.fastForward = fast_forward;
+    cfg.validate();
+    ckpt.validate();
+    if (!ckpt.dir.empty())
+        std::filesystem::create_directories(ckpt.dir);
     SchemeKind kind = parseScheme(scheme_name);
     HebSchemeConfig scheme_cfg;
 
@@ -225,7 +253,7 @@ main(int argc, char **argv)
     auto workload = makeWorkload(workload_name, cfg.seed);
     auto scheme = makeScheme(kind, scheme_cfg, &pat);
     Simulator sim(cfg);
-    SimResult r = sim.run(*workload, *scheme);
+    SimResult r = sim.run(*workload, *scheme, ckpt);
 
     manifest.schemeName = r.schemeName;
     manifest.workloadName = r.workloadName;
@@ -257,6 +285,13 @@ main(int argc, char **argv)
     table.addRow({"relay actuations",
                   std::to_string(r.switchActuations)});
     table.print();
+
+    if (!result_json_path.empty()) {
+        if (writeFileAtomic(result_json_path,
+                                simResultToJson(r)))
+            std::printf("result json written to %s\n",
+                        result_json_path.c_str());
+    }
 
     if (!out_prefix.empty()) {
         writeResultSeries(r, out_prefix);
