@@ -28,6 +28,7 @@
 #include "obs/metrics.h"
 #include "util/atomic_file.h"
 #include "util/logging.h"
+#include "util/mem.h"
 
 using namespace heb;
 
@@ -266,7 +267,12 @@ main(int argc, char **argv)
     field("sc_speedup", sc_speedup);
     field("sc_steps_per_second_batched",
           steps / sc_batched.seconds);
+    field("scalar_steps_per_second",
+          2.0 * steps / (scalar_s > 0.0 ? scalar_s : 1.0));
+    field("batched_steps_per_second",
+          2.0 * steps / (batched_s > 0.0 ? batched_s : 1.0));
     field("speedup", speedup);
+    field("peak_rss_bytes", static_cast<double>(peakRssBytes()));
     json += "  \"quick\": ";
     json += quick ? "true" : "false";
     json += ",\n  \"identical\": ";

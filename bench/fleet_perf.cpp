@@ -32,6 +32,7 @@
 #include "sim/fleet.h"
 #include "util/atomic_file.h"
 #include "util/logging.h"
+#include "util/mem.h"
 #include "util/thread_pool.h"
 #include "workload/workload_profiles.h"
 
@@ -261,12 +262,17 @@ main(int argc, char **argv)
     field("event_jobs_seconds", pooled_s);
     field("rack_ticks_per_second_dense", rack_ticks / dense_s);
     field("rack_ticks_per_second_event", rack_ticks / event_s);
+    field("rack_ticks_per_second_event_jobs",
+          rack_ticks / pooled_s);
     field("macro_spans", static_cast<double>(event_agg.macroSpans));
     field("macro_span_ticks",
           static_cast<double>(event_agg.macroSpanTicks));
     field("dense_ticks", static_cast<double>(event_agg.denseTicks));
     field("speedup", speedup);
     field("speedup_jobs", speedup_jobs);
+    // Whole-process high-water mark: all three legs share it, so it
+    // reflects the heaviest leg (the dense witness's kept series).
+    field("peak_rss_bytes", static_cast<double>(peakRssBytes()));
     json += "  \"quick\": ";
     json += quick ? "true" : "false";
     json += ",\n  \"identical\": ";

@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Fleet scale-out bench: single-process event engine vs the
+ * fork()-based sharded runner (DESIGN.md §15) on a large fleet.
+ *
+ * Default scenario is 512 racks x 196 servers x a simulated week
+ * (~100k servers); --quick shrinks it to 64 racks x 32 servers x
+ * 6 h for CI smoke runs. Three legs:
+ *
+ *   1. event + shards  (run first: the children fork from a parent
+ *      that has not yet built any domains, so each child's maxrss
+ *      reflects only its own rack range — the flat-memory figure)
+ *   2. event, single process
+ *   3. dense, single process (--with-dense; on by default in
+ *      --quick, off at full scale where dense is ~10x event)
+ *
+ * The full fleet result JSON of legs 1 and 2 is byte-compared —
+ * the scale-out identity witness — and exit status is non-zero on
+ * any difference. The dense leg is compared on the physics prefix
+ * only (engine counters legitimately differ between engines).
+ * Timing, throughput and per-process peak-RSS figures land in
+ * BENCH_fleet_scale.json.
+ *
+ * Usage:
+ *   fleet_scale [--quick] [--racks N] [--servers N] [--hours H]
+ *               [--shards N] [--jobs N] [--with-dense] [--out FILE]
+ *
+ * --jobs is the thread width *per process* (default 1, isolating
+ * process-level scaling in the shards-vs-single comparison).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/schemes.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "sim/experiment.h"
+#include "sim/fleet.h"
+#include "sim/fleet_shard.h"
+#include "util/atomic_file.h"
+#include "util/logging.h"
+#include "util/mem.h"
+#include "util/thread_pool.h"
+#include "workload/workload_profiles.h"
+
+using namespace heb;
+
+namespace {
+
+double
+wallSeconds(const std::chrono::steady_clock::time_point &start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** Calm phase-structured profile (see fleet_perf.cpp). */
+ProfileParams
+rackProfile(std::size_t rack, double high_util)
+{
+    ProfileParams p;
+    p.name = "R" + std::to_string(rack);
+    p.peakClass = PeakClass::Large;
+    p.highUtil = high_util;
+    p.lowUtil = 0.05;
+    p.highPhaseS = 900.0;
+    p.lowPhaseS = 4500.0;
+    p.jitter = 0.0;
+    p.diurnalDepth = 0.0;
+    p.serverStagger = 0.0;
+    return p;
+}
+
+struct Scenario
+{
+    SimConfig cfg;
+    double facilityBudgetW = 0.0;
+    std::vector<std::unique_ptr<SyntheticWorkload>> workloads;
+};
+
+Scenario
+buildScenario(std::size_t racks, std::size_t servers, double hours)
+{
+    Scenario s;
+    s.cfg.numServers = servers;
+    double bank_scale = static_cast<double>(servers) / 6.0;
+    s.cfg.scEnergyWh *= bank_scale;
+    s.cfg.baEnergyWh *= bank_scale;
+    s.cfg.durationSeconds = hours * 3600.0;
+    s.cfg.faultInjection = true;
+    s.cfg.faultPlan.atsFailuresPerDay = 0.0;
+    s.cfg.recordSeries = false; // slim: memory flat in rack count
+    s.facilityBudgetW = 45.0 * static_cast<double>(servers) *
+                        static_cast<double>(racks);
+    for (std::size_t r = 0; r < racks; ++r) {
+        double high = 0.10 + 0.05 * static_cast<double>(r % 5);
+        s.workloads.push_back(std::make_unique<SyntheticWorkload>(
+            rackProfile(r, high), s.cfg.seed + r));
+    }
+    return s;
+}
+
+/** Run one leg and return the full fleet-result JSON witness. */
+std::string
+runLeg(const Scenario &s, FleetMode mode, std::size_t shards,
+       FleetResult *agg)
+{
+    std::vector<std::unique_ptr<ManagementScheme>> schemes;
+    std::vector<RackSpec> specs;
+    for (std::size_t r = 0; r < s.workloads.size(); ++r) {
+        schemes.push_back(makeScheme(SchemeKind::HebD));
+        specs.push_back(RackSpec{"rack" + std::to_string(r),
+                                 s.workloads[r].get(),
+                                 schemes[r].get()});
+    }
+    FleetOptions options{BudgetPolicy::Proportional, mode, false};
+    options.shards = shards;
+    FleetSimulator fleet(s.cfg, s.facilityBudgetW, options);
+    FleetResult result = fleet.run(specs);
+    std::string json = fleetResultToJson(result);
+    if (agg)
+        *agg = std::move(result);
+    return json;
+}
+
+/**
+ * Physics prefix of a fleet-result JSON: everything before the
+ * engine counters ("macro_spans" onward), i.e. the served/unserved
+ * energy, downtime, facility peak and efficiency fields that must
+ * agree across *engines*, not just across process layouts.
+ */
+std::string
+physicsPrefix(const std::string &json)
+{
+    std::size_t cut = json.find("\"macro_spans\"");
+    return cut == std::string::npos ? json : json.substr(0, cut);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    bool with_dense = false;
+    bool with_dense_set = false;
+    std::size_t racks = 512;
+    std::size_t servers = 196;
+    double hours = 168.0;
+    std::size_t shards = 4;
+    std::size_t jobs = 1;
+    std::string out_path = "BENCH_fleet_scale.json";
+
+    for (int i = 1; i < argc; ++i) {
+        auto need_value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc)
+                fatal(flag, " requires a value");
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--quick")) {
+            quick = true;
+        } else if (!std::strcmp(argv[i], "--racks")) {
+            racks = static_cast<std::size_t>(
+                std::stoul(need_value("--racks")));
+        } else if (!std::strcmp(argv[i], "--servers")) {
+            servers = static_cast<std::size_t>(
+                std::stoul(need_value("--servers")));
+        } else if (!std::strcmp(argv[i], "--hours")) {
+            hours = std::stod(need_value("--hours"));
+        } else if (!std::strcmp(argv[i], "--shards")) {
+            shards = static_cast<std::size_t>(
+                std::stoul(need_value("--shards")));
+        } else if (!std::strcmp(argv[i], "--jobs")) {
+            jobs = static_cast<std::size_t>(
+                std::stoul(need_value("--jobs")));
+        } else if (!std::strcmp(argv[i], "--with-dense")) {
+            with_dense = true;
+            with_dense_set = true;
+        } else if (!std::strcmp(argv[i], "--out")) {
+            out_path = need_value("--out");
+        } else {
+            fatal("usage: fleet_scale [--quick] [--racks N] "
+                  "[--servers N] [--hours H] [--shards N] "
+                  "[--jobs N] [--with-dense] [--out FILE]; got '",
+                  argv[i], "'");
+        }
+    }
+    if (quick) {
+        racks = 64;
+        servers = 32;
+        hours = 6.0;
+        if (!with_dense_set)
+            with_dense = true;
+    }
+    if (racks < 2 || servers == 0 || hours <= 0.0 || shards < 2 ||
+        jobs == 0)
+        fatal("fleet_scale: need racks >= 2, servers >= 1, "
+              "hours > 0, shards >= 2, jobs >= 1");
+    shards = std::min(shards, racks);
+
+    obs::setTelemetryLevel(obs::TelemetryLevel::Off);
+    ThreadPool::configureGlobal(jobs);
+
+    Scenario s = buildScenario(racks, servers, hours);
+    const double rack_ticks = static_cast<double>(racks) *
+                              s.cfg.durationSeconds /
+                              s.cfg.tickSeconds;
+    std::printf("fleet_scale: %zu racks x %zu servers x %.0f h "
+                "(%.0fk servers, %.0fM rack-ticks), %zu shards, "
+                "%zu jobs/process\n",
+                racks, servers, hours,
+                static_cast<double>(racks * servers) / 1e3,
+                rack_ticks / 1e6, shards, jobs);
+
+    // Leg 1: sharded. First so the children fork from a parent with
+    // no domain state — their maxrss is their own rack range's.
+    FleetResult shard_agg;
+    auto t0 = std::chrono::steady_clock::now();
+    std::string shard_json =
+        runLeg(s, FleetMode::Event, shards, &shard_agg);
+    double shard_s = wallSeconds(t0);
+    std::uint64_t shard_rss_max = 0;
+    for (std::uint64_t b : shard_agg.shardPeakRssBytes)
+        shard_rss_max = std::max(shard_rss_max, b);
+    std::printf("event+%zu shards: %8.2f s  (%.2fM rack-ticks/s), "
+                "max shard rss %.0f MB\n",
+                shards, shard_s, rack_ticks / shard_s / 1e6,
+                static_cast<double>(shard_rss_max) / 1e6);
+
+    // Leg 2: single-process event engine.
+    FleetResult event_agg;
+    t0 = std::chrono::steady_clock::now();
+    std::string event_json =
+        runLeg(s, FleetMode::Event, 1, &event_agg);
+    double event_s = wallSeconds(t0);
+    std::uint64_t single_rss = peakRssBytes();
+    std::printf("event (1 proc):  %8.2f s  (%.2fM rack-ticks/s), "
+                "process rss %.0f MB\n",
+                event_s, rack_ticks / event_s / 1e6,
+                static_cast<double>(single_rss) / 1e6);
+
+    // Leg 3 (optional): the dense witness.
+    double dense_s = 0.0;
+    bool physics_match_dense = true;
+    if (with_dense) {
+        t0 = std::chrono::steady_clock::now();
+        std::string dense_json =
+            runLeg(s, FleetMode::Dense, 1, nullptr);
+        dense_s = wallSeconds(t0);
+        physics_match_dense = physicsPrefix(dense_json) ==
+                              physicsPrefix(event_json);
+        std::printf("dense (1 proc):  %8.2f s  (%.2fM "
+                    "rack-ticks/s), physics %s\n",
+                    dense_s, rack_ticks / dense_s / 1e6,
+                    physics_match_dense ? "match" : "DIFFER");
+    }
+
+    bool identical = shard_json == event_json;
+    double speedup = shard_s > 0.0 ? event_s / shard_s : 0.0;
+    std::printf("event+shards over event: %.2fx, result JSON %s\n",
+                speedup,
+                identical ? "byte-identical" : "DIFFERS");
+
+    std::string json = "{\n";
+    auto field = [&json](const char *name, double value) {
+        json += "  ";
+        obs::appendJsonString(json, name);
+        json += ": ";
+        obs::appendJsonNumber(json, value);
+        json += ",\n";
+    };
+    field("racks", static_cast<double>(racks));
+    field("servers_per_rack", static_cast<double>(servers));
+    field("sim_hours", hours);
+    field("rack_ticks", rack_ticks);
+    field("shards", static_cast<double>(shards));
+    field("jobs_per_process", static_cast<double>(jobs));
+    field("event_seconds", event_s);
+    field("event_shards_seconds", shard_s);
+    field("dense_seconds", dense_s);
+    field("rack_ticks_per_second_event", rack_ticks / event_s);
+    field("rack_ticks_per_second_event_shards",
+          rack_ticks / shard_s);
+    field("speedup_shards", speedup);
+    field("macro_spans",
+          static_cast<double>(event_agg.macroSpans));
+    field("macro_span_ticks",
+          static_cast<double>(event_agg.macroSpanTicks));
+    field("dense_ticks",
+          static_cast<double>(event_agg.denseTicks));
+    field("single_process_peak_rss_bytes",
+          static_cast<double>(single_rss));
+    field("shard_peak_rss_max_bytes",
+          static_cast<double>(shard_rss_max));
+    json += "  \"shard_peak_rss_bytes\": [";
+    for (std::size_t i = 0;
+         i < shard_agg.shardPeakRssBytes.size(); ++i) {
+        if (i)
+            json += ", ";
+        json += std::to_string(shard_agg.shardPeakRssBytes[i]);
+    }
+    json += "],\n  \"with_dense\": ";
+    json += with_dense ? "true" : "false";
+    json += ",\n  \"physics_match_dense\": ";
+    json += physics_match_dense ? "true" : "false";
+    json += ",\n  \"quick\": ";
+    json += quick ? "true" : "false";
+    json += ",\n  \"identical\": ";
+    json += identical ? "true" : "false";
+    json += "\n}\n";
+
+    if (!writeFileAtomic(out_path, json))
+        fatal("cannot write ", out_path);
+    std::printf("wrote %s\n", out_path.c_str());
+
+    return identical && physics_match_dense ? 0 : 1;
+}

@@ -2,7 +2,10 @@
 
 #include <cerrno>
 #include <cstring>
+#include <mutex>
+#include <vector>
 
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -15,6 +18,26 @@ namespace heb {
 namespace obs {
 
 namespace {
+
+/**
+ * Every live server, so a fork() child can close the inherited
+ * listening sockets it must never serve on. Guarded by liveMutex();
+ * fork() in this codebase only happens with no server being
+ * constructed or destroyed concurrently.
+ */
+std::mutex &
+liveMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
+
+std::vector<const MetricsHttpServer *> &
+liveServers()
+{
+    static std::vector<const MetricsHttpServer *> servers;
+    return servers;
+}
 
 void
 sendAll(int fd, const std::string &data)
@@ -37,7 +60,9 @@ MetricsHttpServer::MetricsHttpServer(MetricsRegistry &registry,
                                      std::uint16_t port)
     : registry_(registry)
 {
-    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    // Close-on-exec so fork+exec children (editors, hooks, anything
+    // the embedding process spawns) never inherit the listen port.
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
     if (listenFd_ < 0)
         fatal("metrics endpoint: socket() failed");
     int one = 1;
@@ -62,16 +87,43 @@ MetricsHttpServer::MetricsHttpServer(MetricsRegistry &registry,
         fatal("metrics endpoint: getsockname() failed");
     port_ = ntohs(addr.sin_port);
 
+    {
+        std::lock_guard<std::mutex> lock(liveMutex());
+        liveServers().push_back(this);
+    }
     thread_ = std::thread([this] { serveLoop(); });
 }
 
 MetricsHttpServer::~MetricsHttpServer() { stop(); }
 
 void
+MetricsHttpServer::closeInheritedAfterFork()
+{
+    // Single-threaded child: the registry mutex cannot be contended
+    // (and could be stale if the parent forked mid-lock, which the
+    // shard runner's fork discipline rules out). Close only — the
+    // accept threads recorded here died in the fork.
+    for (const MetricsHttpServer *server : liveServers())
+        if (server->listenFd_ >= 0)
+            ::close(server->listenFd_);
+    liveServers().clear();
+}
+
+void
 MetricsHttpServer::stop()
 {
     if (stopping_.exchange(true))
         return;
+    {
+        std::lock_guard<std::mutex> lock(liveMutex());
+        auto &live = liveServers();
+        for (auto it = live.begin(); it != live.end(); ++it) {
+            if (*it == this) {
+                live.erase(it);
+                break;
+            }
+        }
+    }
     // shutdown() wakes the blocking accept(); close() alone can
     // leave it parked on some kernels.
     ::shutdown(listenFd_, SHUT_RDWR);
@@ -84,7 +136,8 @@ void
 MetricsHttpServer::serveLoop()
 {
     while (!stopping_.load(std::memory_order_relaxed)) {
-        int client = ::accept(listenFd_, nullptr, nullptr);
+        int client =
+            ::accept4(listenFd_, nullptr, nullptr, SOCK_CLOEXEC);
         if (client < 0) {
             if (stopping_.load(std::memory_order_relaxed))
                 break;

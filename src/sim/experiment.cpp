@@ -442,6 +442,18 @@ fleetResultToJson(const FleetResult &result)
     appendCount(out, "dense_ticks", result.denseTicks);
     appendCount(out, "shard_kernel_spans",
                 result.shardKernelSpans);
+    appendCount(out, "ff_not_calm_ticks", result.ffNotCalmTicks);
+    appendCount(out, "ff_horizon_declines",
+                result.ffHorizonDeclines);
+    appendCount(out, "ff_probe_declines", result.ffProbeDeclines);
+    out += ",\n  \"ff_declined_span_hist\": [";
+    for (std::size_t b = 0; b < result.ffDeclinedSpanHist.size();
+         ++b) {
+        if (b)
+            out += ", ";
+        out += std::to_string(result.ffDeclinedSpanHist[b]);
+    }
+    out += "]";
     out += ",\n  \"racks\": [";
     for (std::size_t r = 0; r < result.racks.size(); ++r) {
         if (r)

@@ -6,8 +6,10 @@
 #include <numeric>
 #include <unordered_set>
 
+#include "obs/metrics.h"
 #include "obs/profile.h"
 #include "sim/fleet_health.h"
+#include "sim/fleet_shard.h"
 #include "sim/tick_math.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -48,14 +50,6 @@ class SpanDrawRecorder final : public PowerSource
     std::vector<double> draws;
 };
 
-/** Shard file "<dir>/fleet-<tick>-rack<r>.ckpt". */
-std::string
-shardPath(const std::string &dir, std::uint64_t tick, std::size_t r)
-{
-    return dir + "/fleet-" + std::to_string(tick) + "-rack" +
-           std::to_string(r) + kCheckpointSuffix;
-}
-
 } // namespace
 
 void
@@ -66,6 +60,59 @@ FleetOptions::validate() const
     if (onHealthSample && !health)
         fatal("FleetOptions: onHealthSample callback set but no "
               "health aggregator to sample");
+    if (shards != 1 && mode != FleetMode::Event)
+        fatal("FleetOptions: sharding needs the event engine; the "
+              "dense engine is the single-process byte-identity "
+              "witness");
+}
+
+std::size_t
+ffDeclineHistBin(std::size_t span_ticks)
+{
+    std::size_t bin = 0;
+    while (span_ticks > 1 && bin + 1 < kFfDeclineHistBins) {
+        span_ticks >>= 1;
+        ++bin;
+    }
+    return bin;
+}
+
+FfDeclineCounters::FfDeclineCounters(
+    const std::vector<RackSpec> &racks)
+    : racks_(&racks), notCalm_(racks.size(), nullptr),
+      horizon_(racks.size(), nullptr), probe_(racks.size(), nullptr)
+{
+}
+
+void
+FfDeclineCounters::bump(std::vector<obs::Counter *> &slot,
+                        const char *reason, std::size_t rack)
+{
+    if (!obs::metricsOn())
+        return;
+    if (!slot[rack])
+        slot[rack] = &obs::MetricsRegistry::global().counter(
+            "fleet.ff_decline_total",
+            {{"rack", (*racks_)[rack].name}, {"reason", reason}});
+    slot[rack]->inc();
+}
+
+void
+FfDeclineCounters::noteNotCalm(std::size_t rack)
+{
+    bump(notCalm_, "not_calm", rack);
+}
+
+void
+FfDeclineCounters::noteHorizon(std::size_t rack)
+{
+    bump(horizon_, "horizon", rack);
+}
+
+void
+FfDeclineCounters::noteProbe(std::size_t rack)
+{
+    bump(probe_, "probe", rack);
 }
 
 const char *
@@ -108,6 +155,42 @@ FleetSimulator::FleetSimulator(SimConfig rack_config,
 {
 }
 
+double
+rackArbitrationNeed(RackDomain &domain, double now_seconds)
+{
+    // Weight by *need*, not just instantaneous demand: a rack whose
+    // servers were shed must receive enough headroom to restart
+    // them, or a brown-out becomes a permanent allocation death
+    // spiral.
+    return domain.computeDemand(now_seconds) +
+           static_cast<double>(domain.offlineServers()) *
+               domain.serverPeakPowerW() * 1.2;
+}
+
+void
+arbitrateFleetBudget(BudgetPolicy policy, double facility_budget_w,
+                     const std::vector<double> &need,
+                     std::vector<double> &alloc)
+{
+    const std::size_t n = need.size();
+    double total_need = 0.0;
+    for (std::size_t r = 0; r < n; ++r)
+        total_need += need[r];
+
+    double equal_share = facility_budget_w / static_cast<double>(n);
+    if (policy == BudgetPolicy::Static || total_need <= 0.0) {
+        std::fill(alloc.begin(), alloc.end(), equal_share);
+    } else {
+        // Proportional-to-need with a 25 % floor of the equal
+        // share so an idle rack can still charge its buffers.
+        double floor = 0.25 * equal_share;
+        double flexible =
+            facility_budget_w - floor * static_cast<double>(n);
+        for (std::size_t r = 0; r < n; ++r)
+            alloc[r] = floor + flexible * need[r] / total_need;
+    }
+}
+
 void
 FleetSimulator::computeNeeds(
     std::vector<std::unique_ptr<RackDomain>> &domains,
@@ -116,14 +199,7 @@ FleetSimulator::computeNeeds(
 {
     std::vector<double> computed =
         parallelMap(idx, [&](std::size_t r) {
-            // Weight by *need*, not just instantaneous demand: a
-            // rack whose servers were shed must receive enough
-            // headroom to restart them, or a brown-out becomes a
-            // permanent allocation death spiral.
-            return domains[r]->computeDemand(now) +
-                   static_cast<double>(
-                       domains[r]->offlineServers()) *
-                       domains[r]->serverPeakPowerW() * 1.2;
+            return rackArbitrationNeed(*domains[r], now);
         });
     need.swap(computed);
 }
@@ -132,24 +208,8 @@ void
 FleetSimulator::arbitrate(const std::vector<double> &need,
                           std::vector<double> &alloc) const
 {
-    const std::size_t n = need.size();
-    double total_need = 0.0;
-    for (std::size_t r = 0; r < n; ++r)
-        total_need += need[r];
-
-    double equal_share = facilityBudgetW_ / static_cast<double>(n);
-    if (options_.policy == BudgetPolicy::Static ||
-        total_need <= 0.0) {
-        std::fill(alloc.begin(), alloc.end(), equal_share);
-    } else {
-        // Proportional-to-need with a 25 % floor of the equal
-        // share so an idle rack can still charge its buffers.
-        double floor = 0.25 * equal_share;
-        double flexible =
-            facilityBudgetW_ - floor * static_cast<double>(n);
-        for (std::size_t r = 0; r < n; ++r)
-            alloc[r] = floor + flexible * need[r] / total_need;
-    }
+    arbitrateFleetBudget(options_.policy, facilityBudgetW_, need,
+                         alloc);
 }
 
 FleetResult
@@ -180,6 +240,16 @@ FleetSimulator::run(const std::vector<RackSpec> &racks,
                   "' shares a scheme instance with another rack; "
                   "give each rack its own");
     }
+
+    // Scale-out dispatch: with more than one resolved shard the run
+    // moves to the fork()-based runner, which owns its own copy of
+    // this loop (the parent side drives the same decision sequence
+    // over pipes). Everything below is the in-process engine.
+    std::size_t shard_n =
+        resolveShardCount(options_.shards, racks.size());
+    if (shard_n > 1)
+        return runShardedFleet(config_, facilityBudgetW_, options_,
+                               racks, ckpt, shard_n);
 
     // One shared fault plan for every rack: generation is pure in
     // (params, duration, seed), so per-domain regeneration produced
@@ -258,6 +328,7 @@ FleetSimulator::run(const std::vector<RackSpec> &racks,
     std::vector<double> alloc(n, 0.0);
     std::vector<double> alloc_ff(n, 0.0);
     std::vector<SpanDrawRecorder> recorders(n);
+    FfDeclineCounters declines(racks);
 
     // Live health sampling reads domain state between the parallel
     // sections (never concurrently with ticking) and touches no
@@ -314,6 +385,14 @@ FleetSimulator::run(const std::vector<RackSpec> &racks,
         w.putU64("fleet.macro_span_ticks", result.macroSpanTicks);
         w.putU64("fleet.shard_kernel_spans",
                  result.shardKernelSpans);
+        w.putU64("fleet.ff_not_calm_ticks", result.ffNotCalmTicks);
+        w.putU64("fleet.ff_horizon_declines",
+                 result.ffHorizonDeclines);
+        w.putU64("fleet.ff_probe_declines",
+                 result.ffProbeDeclines);
+        for (std::size_t b = 0; b < kFfDeclineHistBins; ++b)
+            w.putU64("fleet.ff_hist." + std::to_string(b),
+                     result.ffDeclinedSpanHist[b]);
         w.putDouble("fleet.next_health", next_health);
         return w.payload();
     };
@@ -331,7 +410,7 @@ FleetSimulator::run(const std::vector<RackSpec> &racks,
         bool ok = true;
         for (std::size_t r = 0; r < n; ++r)
             ok = writeCheckpointFile(
-                     shardPath(ckpt.dir, at_tick, r),
+                     fleetShardCheckpointPath(ckpt.dir, at_tick, r),
                      shard_payload(r)) &&
                  ok;
         if (ok)
@@ -410,7 +489,7 @@ FleetSimulator::run(const std::vector<RackSpec> &racks,
             std::vector<CheckpointReader> shards(n);
             bool all_ok = true;
             for (std::size_t r = 0; r < n && all_ok; ++r) {
-                std::string spath = shardPath(ckpt.dir, t, r);
+                std::string spath = fleetShardCheckpointPath(ckpt.dir, t, r);
                 std::string sp;
                 if (!readCheckpointFile(spath, sp, error) ||
                     !shards[r].parse(sp, error)) {
@@ -425,7 +504,7 @@ FleetSimulator::run(const std::vector<RackSpec> &racks,
                 if (shards[r].getString("shard.rack") !=
                     racks[r].name)
                     fatal("checkpoint shard ",
-                          shardPath(ckpt.dir, t, r),
+                          fleetShardCheckpointPath(ckpt.dir, t, r),
                           " belongs to rack '",
                           shards[r].getString("shard.rack"),
                           "', expected '", racks[r].name, "'");
@@ -441,6 +520,21 @@ FleetSimulator::run(const std::vector<RackSpec> &racks,
                 m.getU64("fleet.macro_span_ticks");
             result.shardKernelSpans =
                 m.getU64("fleet.shard_kernel_spans");
+            // Decline instrumentation arrived after the manifest
+            // format; an older manifest restores with zeroed
+            // counters rather than refusing to resume.
+            if (m.has("fleet.ff_not_calm_ticks")) {
+                result.ffNotCalmTicks =
+                    m.getU64("fleet.ff_not_calm_ticks");
+                result.ffHorizonDeclines =
+                    m.getU64("fleet.ff_horizon_declines");
+                result.ffProbeDeclines =
+                    m.getU64("fleet.ff_probe_declines");
+                for (std::size_t b = 0; b < kFfDeclineHistBins;
+                     ++b)
+                    result.ffDeclinedSpanHist[b] = m.getU64(
+                        "fleet.ff_hist." + std::to_string(b));
+            }
             next_health = m.getDouble("fleet.next_health");
             inform("resumed fleet from ", mpath, " at tick ",
                    tick_i, " (t=",
@@ -505,17 +599,21 @@ FleetSimulator::run(const std::vector<RackSpec> &racks,
             continue;
         // Cheap guard: a rack that just drew on its buffers (or
         // shed) is mid-mismatch — stay dense until every rack has a
-        // calm tick again.
+        // calm tick again. Every offending rack is attributed (no
+        // early break): the decline counters are the data ROADMAP
+        // item 1's lax-sync decision rests on.
         bool calm = true;
         for (std::size_t r = 0; r < n; ++r) {
             if (outs[r].unservedW > 0.0 ||
                 outs[r].demandW > alloc[r]) {
                 calm = false;
-                break;
+                declines.noteNotCalm(r);
             }
         }
-        if (!calm)
+        if (!calm) {
+            ++result.ffNotCalmTicks;
             continue;
+        }
 
         // Fleet horizon: the earliest instant after `now` at which
         // any rack's tick inputs may change. Because allocations are
@@ -525,21 +623,33 @@ FleetSimulator::run(const std::vector<RackSpec> &racks,
         // identical allocations every tick, so freezing them at t1
         // is exact.
         double horizon = std::numeric_limits<double>::infinity();
+        std::size_t horizon_rack = 0;
         for (std::size_t r = 0; r < n; ++r) {
-            horizon = std::min(horizon,
-                               domains[r]->nextEventHorizon(now));
+            double h = domains[r]->nextEventHorizon(now);
+            if (h < horizon) {
+                horizon = h;
+                // First rack achieving the min (rack order) owns
+                // the horizon for decline attribution.
+                horizon_rack = r;
+            }
         }
         double t1 = static_cast<double>(tick_i) * dt;
-        if (horizon <= t1)
+        if (horizon <= t1) {
+            ++result.ffHorizonDeclines;
+            declines.noteHorizon(horizon_rack);
             continue;
+        }
 
         std::size_t span;
         if (std::isinf(horizon)) {
             span = ticks - tick_i;
         } else {
             std::size_t last = lastTickBefore(horizon, dt);
-            if (last < tick_i)
+            if (last < tick_i) {
+                ++result.ffHorizonDeclines;
+                declines.noteHorizon(horizon_rack);
                 continue;
+            }
             span = std::min(last - tick_i + 1, ticks - tick_i);
         }
 
@@ -561,8 +671,14 @@ FleetSimulator::run(const std::vector<RackSpec> &racks,
                            : 0;
             });
         if (!std::all_of(oks.begin(), oks.end(),
-                         [](int ok) { return ok != 0; }))
+                         [](int ok) { return ok != 0; })) {
+            ++result.ffProbeDeclines;
+            ++result.ffDeclinedSpanHist[ffDeclineHistBin(span)];
+            for (std::size_t r = 0; r < n; ++r)
+                if (!oks[r])
+                    declines.noteProbe(r);
             continue;
+        }
 
         // When every rack's span is bank-idle, hoist the bank
         // stepping out of the per-rack commits: one serial kernel

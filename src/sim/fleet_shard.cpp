@@ -1,0 +1,1384 @@
+#include "sim/fleet_shard.h"
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "esd/soa_bank.h"
+#include "obs/metrics.h"
+#include "obs/metrics_http.h"
+#include "obs/trace.h"
+#include "sim/fleet_health.h"
+#include "sim/rack_domain.h"
+#include "sim/tick_math.h"
+#include "util/format.h"
+#include "util/logging.h"
+#include "util/mem.h"
+#include "util/thread_pool.h"
+
+namespace heb {
+
+namespace {
+
+// ---------------------------------------------------------------
+// Wire plumbing
+// ---------------------------------------------------------------
+
+/**
+ * Write all of @p data to @p fd, retrying short writes. Returns
+ * false on a closed or broken pipe (the caller escalates; SIGPIPE
+ * is ignored for the run so a dead peer surfaces as EPIPE here).
+ */
+bool
+writeAll(int fd, const std::string &data)
+{
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        ssize_t n = ::write(fd, data.data() + sent,
+                            data.size() - sent);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            return false;
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** Why a read came back empty. */
+enum class ReadStatus { Ok, Eof, Timeout };
+
+/**
+ * Buffered line reader over a pipe fd. Lines are newline-terminated;
+ * readExact() serves byte-framed payloads (checkpoint-codec result
+ * blobs) from the same buffer without losing pipelined data.
+ */
+class LineReader
+{
+  public:
+    explicit LineReader(int fd = -1) : fd_(fd) {}
+
+    void attach(int fd) { fd_ = fd; }
+
+    /**
+     * Read one line (without the newline) into @p line.
+     * @p timeout_ms < 0 blocks forever.
+     */
+    ReadStatus
+    readLine(std::string &line, int timeout_ms)
+    {
+        for (;;) {
+            std::size_t nl = buf_.find('\n');
+            if (nl != std::string::npos) {
+                line.assign(buf_, 0, nl);
+                buf_.erase(0, nl + 1);
+                return ReadStatus::Ok;
+            }
+            ReadStatus s = fill(timeout_ms);
+            if (s != ReadStatus::Ok)
+                return s;
+        }
+    }
+
+    /** Read exactly @p n bytes into @p out. */
+    ReadStatus
+    readExact(std::string &out, std::size_t n, int timeout_ms)
+    {
+        while (buf_.size() < n) {
+            ReadStatus s = fill(timeout_ms);
+            if (s != ReadStatus::Ok)
+                return s;
+        }
+        out.assign(buf_, 0, n);
+        buf_.erase(0, n);
+        return ReadStatus::Ok;
+    }
+
+  private:
+    ReadStatus
+    fill(int timeout_ms)
+    {
+        if (timeout_ms >= 0) {
+            pollfd p{fd_, POLLIN, 0};
+            int rc;
+            do {
+                rc = ::poll(&p, 1, timeout_ms);
+            } while (rc < 0 && errno == EINTR);
+            if (rc == 0)
+                return ReadStatus::Timeout;
+            if (rc < 0)
+                return ReadStatus::Eof;
+        }
+        char chunk[65536];
+        ssize_t n;
+        do {
+            n = ::read(fd_, chunk, sizeof(chunk));
+        } while (n < 0 && errno == EINTR);
+        if (n <= 0)
+            return ReadStatus::Eof;
+        buf_.append(chunk, static_cast<std::size_t>(n));
+        return ReadStatus::Ok;
+    }
+
+    int fd_;
+    std::string buf_;
+};
+
+/** Next space-separated double; fatal() with @p what on garbage. */
+double
+parseDouble(const char *&p, const char *what)
+{
+    char *end = nullptr;
+    double v = std::strtod(p, &end);
+    if (end == p)
+        fatal("fleet shard wire: malformed double in ", what,
+              " near '", std::string(p).substr(0, 32), "'");
+    p = end;
+    return v;
+}
+
+/** Next space-separated unsigned integer. */
+std::uint64_t
+parseU64(const char *&p, const char *what)
+{
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(p, &end, 10);
+    if (end == p)
+        fatal("fleet shard wire: malformed integer in ", what,
+              " near '", std::string(p).substr(0, 32), "'");
+    p = end;
+    return v;
+}
+
+/** First whitespace-delimited word of @p line. */
+std::string
+firstWord(const std::string &line)
+{
+    std::size_t b = line.find_first_not_of(' ');
+    if (b == std::string::npos)
+        return std::string();
+    std::size_t e = line.find(' ', b);
+    return line.substr(b, e == std::string::npos ? std::string::npos
+                                                 : e - b);
+}
+
+/**
+ * Run-length encode @p draws as "<npairs> c0 v0 c1 v1 ...". Runs
+ * are split on *bitwise* inequality — operator== would merge +0.0
+ * with -0.0 and change the parent's re-sum in the sign of zero.
+ */
+void
+appendRle(std::string &out, const std::vector<double> &draws)
+{
+    std::vector<std::pair<std::size_t, double>> runs;
+    for (double d : draws) {
+        std::uint64_t bits;
+        std::memcpy(&bits, &d, sizeof(bits));
+        if (!runs.empty()) {
+            std::uint64_t prev;
+            std::memcpy(&prev, &runs.back().second, sizeof(prev));
+            if (prev == bits) {
+                ++runs.back().first;
+                continue;
+            }
+        }
+        runs.emplace_back(1, d);
+    }
+    out += std::to_string(runs.size());
+    for (const auto &[count, value] : runs) {
+        out += ' ';
+        out += std::to_string(count);
+        out += ' ';
+        appendRoundTrip(out, value);
+    }
+}
+
+/** Decode appendRle output (the part after the command word). */
+void
+parseRle(const char *&p, std::vector<double> &out)
+{
+    std::size_t npairs =
+        static_cast<std::size_t>(parseU64(p, "rle pair count"));
+    for (std::size_t i = 0; i < npairs; ++i) {
+        auto count =
+            static_cast<std::size_t>(parseU64(p, "rle count"));
+        double value = parseDouble(p, "rle value");
+        out.insert(out.end(), count, value);
+    }
+}
+
+/**
+ * Draw sink handed to fastForwardCommit in a shard child: buffers
+ * one rack's per-tick upstream draws so they can be RLE-shipped to
+ * the parent, which re-sums them per tick in rack order — the same
+ * discipline (and class shape) as the in-process engine's recorder.
+ */
+class SpanDrawRecorder final : public PowerSource
+{
+  public:
+    const std::string &
+    name() const override
+    {
+        static const std::string n = "span-recorder";
+        return n;
+    }
+
+    double
+    availablePowerW(double) const override
+    {
+        return 0.0;
+    }
+
+    void
+    recordDraw(double, double watts, double) override
+    {
+        draws.push_back(watts);
+    }
+
+    std::vector<double> draws;
+};
+
+/** Per-reply timeout for parent-side gathers (seconds). */
+int
+shardTimeoutMs()
+{
+    if (const char *env = std::getenv("HEB_SHARD_TIMEOUT_S")) {
+        char *end = nullptr;
+        long s = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && s > 0)
+            return static_cast<int>(s) * 1000;
+        warn("ignoring HEB_SHARD_TIMEOUT_S='", env,
+             "' (want a positive integer)");
+    }
+    return 600 * 1000;
+}
+
+/** Lanes for a shard child's private pool. */
+std::size_t
+childJobs(std::size_t shard_count)
+{
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define HEB_TSAN_ACTIVE 1
+#endif
+#elif defined(__SANITIZE_THREAD__)
+#define HEB_TSAN_ACTIVE 1
+#endif
+#ifdef HEB_TSAN_ACTIVE
+    // TSan cannot start threads after a multi-threaded fork; the
+    // result is jobs-invariant, so serial children lose nothing.
+    (void)shard_count;
+    return std::size_t{1};
+#else
+    // An explicit override (--jobs / configureGlobal / HEB_JOBS)
+    // means per-shard width: tests pin it for determinism proofs,
+    // CLIs pass it through. Otherwise split the machine evenly.
+    std::size_t jobs = ThreadPool::configuredJobs();
+    if (jobs == 0 && std::getenv("HEB_JOBS") != nullptr)
+        jobs = ThreadPool::defaultJobs();
+    if (jobs == 0)
+        jobs = std::max<std::size_t>(
+            1, std::max<std::size_t>(
+                   1, std::thread::hardware_concurrency()) /
+                   std::max<std::size_t>(1, shard_count));
+    return jobs;
+#endif
+}
+
+// ---------------------------------------------------------------
+// Child side
+// ---------------------------------------------------------------
+
+struct CrashHook
+{
+    bool armed = false;
+    std::uint64_t afterTicks = 0;
+};
+
+/** Parse HEB_SHARD_TEST_CRASH="<shard>:<tick-commands>". */
+CrashHook
+crashHookFor(std::size_t shard_index)
+{
+    CrashHook hook;
+    const char *env = std::getenv("HEB_SHARD_TEST_CRASH");
+    if (!env)
+        return hook;
+    const char *colon = std::strchr(env, ':');
+    if (!colon)
+        return hook;
+    char *end = nullptr;
+    unsigned long shard = std::strtoul(env, &end, 10);
+    if (end != colon)
+        return hook;
+    unsigned long after = std::strtoul(colon + 1, &end, 10);
+    if (*end != '\0')
+        return hook;
+    if (shard == shard_index) {
+        hook.armed = true;
+        hook.afterTicks = after;
+    }
+    return hook;
+}
+
+/**
+ * Shard child command server: owns domains for racks
+ * [range.begin, range.end), answers the parent's lock-step
+ * commands until `finish` or EOF, then _exit()s (no atexit hooks —
+ * the parent owns every cross-process artifact).
+ */
+[[noreturn]] void
+shardChildServe(const SimConfig &config,
+                const FleetOptions &options,
+                const std::vector<RackSpec> &racks,
+                const fault::FaultPlan *shared_plan,
+                const CheckpointOptions &ckpt, ShardRange range,
+                std::size_t shard_index, std::size_t shard_count,
+                int cmd_fd, int reply_fd)
+{
+    // The fork copied hooks and handles that belong to the parent:
+    // the inherited pool's worker threads do not exist here, the
+    // emergency-checkpoint and trace-flush hooks would clobber the
+    // parent's files, and serving scrapes on the inherited metrics
+    // socket would steal them from the parent.
+    ThreadPool::resetGlobalAfterFork(childJobs(shard_count));
+    clearCheckpointOnFatal();
+    obs::clearTraceFlushOnAbort();
+    obs::MetricsHttpServer::closeInheritedAfterFork();
+
+    CrashHook crash = crashHookFor(shard_index);
+
+    const std::size_t k = range.size();
+    const double dt = config.tickSeconds;
+
+    // Same arena discipline as the in-process engine, scoped to
+    // this child's racks and pool width. Arena partitioning does
+    // not move results (batch stepping is bitwise-identical to
+    // scalar), so each shard choosing its own layout is exact.
+    const bool use_arenas = options.mode == FleetMode::Event &&
+                            !options.keepPerRackResults &&
+                            soaBatchingEnabled();
+    std::vector<std::unique_ptr<EsdSoaArena>> arenas;
+    if (use_arenas) {
+        std::size_t a = std::min(
+            k,
+            std::max<std::size_t>(1, ThreadPool::global().jobs()));
+        arenas.reserve(a);
+        for (std::size_t s = 0; s < a; ++s)
+            arenas.push_back(std::make_unique<EsdSoaArena>(true));
+    }
+
+    std::vector<std::unique_ptr<RackDomain>> domains;
+    domains.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) {
+        std::size_t r = range.begin + i;
+        const RackSpec &spec = racks[r];
+        EsdSoaArena *arena =
+            use_arenas ? arenas[i * arenas.size() / k].get()
+                       : nullptr;
+        domains.push_back(std::make_unique<RackDomain>(
+            config, *spec.workload, *spec.scheme, spec.name,
+            shared_plan, arena));
+        // Keep the global rack index as the trace track so a trace
+        // cut from any shard layout lines up with the fleet's.
+        domains.back()->setTraceTrack(
+            static_cast<std::uint16_t>(r));
+    }
+
+    std::vector<std::size_t> lidx(k);
+    std::iota(lidx.begin(), lidx.end(), std::size_t{0});
+    std::vector<SpanDrawRecorder> recorders(k);
+    std::vector<double> alloc(k, 0.0);
+    std::vector<double> alloc_ff(k, 0.0);
+    std::size_t last_span = 0;
+
+    LineReader in(cmd_fd);
+    std::string line, reply;
+    for (;;) {
+        if (in.readLine(line, -1) != ReadStatus::Ok)
+            _exit(0); // parent went away; nothing to salvage
+        const char *p = line.c_str();
+        std::string cmd = firstWord(line);
+        p += cmd.size();
+        reply.clear();
+
+        if (cmd == "need") {
+            double now = parseDouble(p, "need time");
+            std::vector<double> need =
+                parallelMap(lidx, [&](std::size_t i) {
+                    return rackArbitrationNeed(*domains[i], now);
+                });
+            reply = "need";
+            for (double v : need) {
+                reply += ' ';
+                appendRoundTrip(reply, v);
+            }
+        } else if (cmd == "tick") {
+            if (crash.armed && crash.afterTicks-- == 0)
+                raise(SIGKILL); // deliberate: crash-path testing
+            double now = parseDouble(p, "tick time");
+            for (std::size_t i = 0; i < k; ++i)
+                alloc[i] = parseDouble(p, "tick alloc");
+            std::vector<RackDomain::TickOutcome> outs =
+                parallelMap(lidx, [&](std::size_t i) {
+                    return domains[i]->tick(now, alloc[i]);
+                });
+            reply = "tick";
+            for (std::size_t i = 0; i < k; ++i) {
+                reply += ' ';
+                appendRoundTrip(reply, outs[i].sourceDrawW);
+            }
+            for (std::size_t i = 0; i < k; ++i) {
+                bool calm = !(outs[i].unservedW > 0.0 ||
+                              outs[i].demandW > alloc[i]);
+                reply += calm ? " 1" : " 0";
+            }
+        } else if (cmd == "horizon") {
+            double now = parseDouble(p, "horizon time");
+            reply = "horizon";
+            for (std::size_t i = 0; i < k; ++i) {
+                reply += ' ';
+                appendRoundTrip(reply,
+                                domains[i]->nextEventHorizon(now));
+            }
+        } else if (cmd == "check") {
+            last_span = static_cast<std::size_t>(
+                parseU64(p, "check span"));
+            for (std::size_t i = 0; i < k; ++i)
+                alloc_ff[i] = parseDouble(p, "check alloc");
+            std::vector<int> oks =
+                parallelMap(lidx, [&](std::size_t i) {
+                    return domains[i]->fastForwardCheck(
+                               last_span, alloc_ff[i])
+                               ? 1
+                               : 0;
+                });
+            bool all_ok = std::all_of(oks.begin(), oks.end(),
+                                      [](int ok) { return ok; });
+            reply = "check";
+            for (int ok : oks)
+                reply += ok ? " 1" : " 0";
+            // Idle flags are only meaningful after a successful
+            // check; zeros otherwise (the parent ANDs them
+            // fleet-wide before commanding a prestep).
+            for (std::size_t i = 0; i < k; ++i) {
+                bool idle = all_ok && !arenas.empty() &&
+                            domains[i]->banksIdleForSpan(
+                                alloc_ff[i]);
+                reply += idle ? " 1" : " 0";
+            }
+        } else if (cmd == "commit") {
+            bool prestep = parseU64(p, "commit prestep") != 0;
+            if (prestep)
+                for (auto &arena : arenas)
+                    arena->advanceQuiescentAll(last_span, dt);
+            for (std::size_t i = 0; i < k; ++i) {
+                recorders[i].draws.clear();
+                recorders[i].draws.reserve(last_span);
+            }
+            parallelMap(lidx, [&](std::size_t i) {
+                domains[i]->fastForwardCommit(last_span,
+                                              alloc_ff[i],
+                                              recorders[i],
+                                              prestep);
+                return 0;
+            });
+            reply = "commit";
+            if (!writeAll(reply_fd, reply + "\n"))
+                _exit(0);
+            for (std::size_t i = 0; i < k; ++i) {
+                std::string rle = "rle ";
+                appendRle(rle, recorders[i].draws);
+                rle += '\n';
+                if (!writeAll(reply_fd, rle))
+                    _exit(0);
+            }
+            continue;
+        } else if (cmd == "ckpt") {
+            auto at_tick = parseU64(p, "ckpt tick");
+            bool ok = true;
+            // Serial by design: checkpointSave syncs bank lanes
+            // out of the shared arenas, which must not race.
+            for (std::size_t i = 0; i < k; ++i) {
+                CheckpointWriter w;
+                w.putString("shard.rack",
+                            racks[range.begin + i].name);
+                domains[i]->checkpointSave(w, "rack.");
+                ok = writeCheckpointFile(
+                         fleetShardCheckpointPath(
+                             ckpt.dir, at_tick, range.begin + i),
+                         w.payload()) &&
+                     ok;
+            }
+            reply = ok ? "ckpt 1" : "ckpt 0";
+        } else if (cmd == "restore") {
+            auto at_tick = parseU64(p, "restore tick");
+            bool ok = true;
+            for (std::size_t i = 0; i < k && ok; ++i) {
+                std::string spath = fleetShardCheckpointPath(
+                    ckpt.dir, at_tick, range.begin + i);
+                std::string payload, error;
+                CheckpointReader reader;
+                if (!readCheckpointFile(spath, payload, error) ||
+                    !reader.parse(payload, error)) {
+                    warn("shard ", shard_index, ": cannot restore ",
+                         spath, ": ", error);
+                    ok = false;
+                } else {
+                    domains[i]->checkpointLoad(reader, "rack.");
+                }
+            }
+            reply = ok ? "restore 1" : "restore 0";
+        } else if (cmd == "finish") {
+            for (std::size_t i = 0; i < k; ++i) {
+                std::size_t r = range.begin + i;
+                SimResult rr;
+                rr.schemeName = racks[r].scheme->name();
+                rr.workloadName = racks[r].workload->name();
+                rr.workloadPeakClass =
+                    racks[r].workload->peakClass();
+                domains[i]->finalize(rr);
+                CheckpointWriter w;
+                saveSimResult(w, "result.", rr);
+                std::string frame =
+                    "result " +
+                    std::to_string(w.payload().size()) + "\n";
+                frame += w.payload();
+                if (!writeAll(reply_fd, frame))
+                    _exit(0);
+            }
+            std::string stats = "stats ";
+            stats += std::to_string(peakRssBytes());
+            stats += '\n';
+            if (!writeAll(reply_fd, stats))
+                _exit(0);
+            _exit(0);
+        } else {
+            fatal("fleet shard ", shard_index,
+                  ": unknown command '", cmd, "'");
+        }
+
+        reply += '\n';
+        if (!writeAll(reply_fd, reply))
+            _exit(0);
+    }
+}
+
+// ---------------------------------------------------------------
+// Parent side
+// ---------------------------------------------------------------
+
+/** Parent-held handle to one shard child. */
+struct ShardProc
+{
+    ShardRange range;
+    pid_t pid = -1;
+    int cmdFd = -1;   //!< parent writes commands here
+    int replyFd = -1; //!< parent reads replies here
+    LineReader reader;
+    std::string lastCmd = "(startup)";
+};
+
+void
+closeFd(int &fd)
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+/** Kill and reap every still-running child. */
+void
+teardownShards(std::vector<ShardProc> &shards)
+{
+    for (ShardProc &s : shards) {
+        closeFd(s.cmdFd);
+        closeFd(s.replyFd);
+        if (s.pid > 0)
+            ::kill(s.pid, SIGKILL);
+    }
+    for (ShardProc &s : shards) {
+        if (s.pid > 0) {
+            int status = 0;
+            ::waitpid(s.pid, &status, 0);
+            s.pid = -1;
+        }
+    }
+}
+
+/**
+ * Diagnose shard @p victim after a failed send/gather, tear down
+ * the rest of the fleet and fatal() naming the shard's racks and
+ * the command in flight — a crashed child must read as "rack X's
+ * shard died", never as a hang or a garbled aggregate.
+ */
+[[noreturn]] void
+shardFailure(std::vector<ShardProc> &shards, std::size_t victim,
+             const std::vector<RackSpec> &racks, ReadStatus status)
+{
+    ShardProc &s = shards[victim];
+    std::string how;
+    if (status == ReadStatus::Timeout) {
+        how = "stopped responding";
+    } else {
+        // EOF means the child is dying, but the kernel closes its
+        // pipe ends *before* it becomes reapable — give the exit
+        // status a moment to land instead of misreporting a clean
+        // pipe closure for a signal death.
+        int wstatus = 0;
+        pid_t reaped = 0;
+        for (int spin = 0; spin < 200; ++spin) {
+            reaped = ::waitpid(s.pid, &wstatus, WNOHANG);
+            if (reaped != 0)
+                break;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+        }
+        if (reaped == s.pid) {
+            s.pid = -1;
+            if (WIFSIGNALED(wstatus))
+                how = std::string("was killed by signal ") +
+                      std::to_string(WTERMSIG(wstatus));
+            else
+                how = std::string("exited with status ") +
+                      std::to_string(WEXITSTATUS(wstatus));
+        } else {
+            how = "closed its pipe";
+        }
+    }
+    std::string cmd = s.lastCmd;
+    std::size_t b = s.range.begin;
+    std::size_t e = s.range.end;
+    teardownShards(shards);
+    fatal("fleet shard ", victim, " (racks ", b, "..", e - 1,
+          ": '", racks[b].name, "'..'", racks[e - 1].name, "') ",
+          how, " during '", cmd, "'");
+}
+
+/** Send one command line to every shard (fan-out, no replies). */
+void
+broadcast(std::vector<ShardProc> &shards,
+          const std::vector<RackSpec> &racks,
+          const std::string &word,
+          const std::vector<std::string> &lines)
+{
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+        shards[s].lastCmd = word;
+        if (!writeAll(shards[s].cmdFd, lines[s]))
+            shardFailure(shards, s, racks, ReadStatus::Eof);
+    }
+}
+
+/**
+ * Read one reply line from shard @p s, verify it echoes @p word,
+ * and return a cursor past the echo. The line is kept in @p line.
+ */
+const char *
+gatherLine(std::vector<ShardProc> &shards, std::size_t s,
+           const std::vector<RackSpec> &racks,
+           const std::string &word, std::string &line,
+           int timeout_ms)
+{
+    ReadStatus status =
+        shards[s].reader.readLine(line, timeout_ms);
+    if (status != ReadStatus::Ok)
+        shardFailure(shards, s, racks, status);
+    if (firstWord(line) != word)
+        fatal("fleet shard ", s, ": expected '", word,
+              "' reply, got '", firstWord(line), "'");
+    return line.c_str() + line.find(word) + word.size();
+}
+
+} // namespace
+
+std::size_t
+resolveShardCount(std::size_t requested, std::size_t racks)
+{
+    std::size_t shards = requested;
+    if (shards == 0)
+        shards = std::max<std::size_t>(
+            1, std::thread::hardware_concurrency());
+    return std::min(shards, std::max<std::size_t>(1, racks));
+}
+
+std::vector<ShardRange>
+planShards(std::size_t racks, std::size_t shards)
+{
+    if (shards == 0 || shards > racks)
+        panic("planShards: need 1 <= shards (", shards,
+              ") <= racks (", racks, ")");
+    std::vector<ShardRange> plan(shards);
+    std::size_t base = racks / shards;
+    std::size_t extra = racks % shards;
+    std::size_t begin = 0;
+    for (std::size_t s = 0; s < shards; ++s) {
+        std::size_t len = base + (s < extra ? 1 : 0);
+        plan[s] = ShardRange{begin, begin + len};
+        begin += len;
+    }
+    return plan;
+}
+
+FleetResult
+runShardedFleet(const SimConfig &config, double facility_budget_w,
+                const FleetOptions &options,
+                const std::vector<RackSpec> &racks,
+                const CheckpointOptions &ckpt,
+                std::size_t shard_count)
+{
+    const std::size_t n = racks.size();
+    if (shard_count < 2 || shard_count > n)
+        panic("runShardedFleet: bad shard count ", shard_count,
+              " for ", n, " racks");
+    if (options.health && options.healthSampleSeconds > 0.0)
+        warn("live health sampling is unavailable with --shards > "
+             "1 (domains live in child processes); finalize-time "
+             "folding still happens");
+
+    // Shared fault plan, generated once pre-fork: children inherit
+    // the pages copy-on-write and never regenerate.
+    fault::FaultPlan plan;
+    const fault::FaultPlan *shared_plan = nullptr;
+    if (config.faultInjection) {
+        plan = fault::FaultPlan::generate(config.faultPlan,
+                                          config.durationSeconds,
+                                          config.faultSeed);
+        shared_plan = &plan;
+    }
+
+    std::vector<ShardRange> ranges = planShards(n, shard_count);
+
+    // A child that dies mid-protocol must surface as EPIPE on the
+    // next send, not as a SIGPIPE that kills the parent.
+    struct sigaction ignore_pipe{};
+    ignore_pipe.sa_handler = SIG_IGN;
+    struct sigaction old_pipe{};
+    ::sigaction(SIGPIPE, &ignore_pipe, &old_pipe);
+
+    std::vector<ShardProc> shards(shard_count);
+    {
+        // All pipes exist before the first fork so each child can
+        // close every descriptor that is not its own pair.
+        std::vector<std::array<int, 2>> cmd_pipes(shard_count);
+        std::vector<std::array<int, 2>> reply_pipes(shard_count);
+        for (std::size_t s = 0; s < shard_count; ++s) {
+            if (::pipe(cmd_pipes[s].data()) != 0 ||
+                ::pipe(reply_pipes[s].data()) != 0)
+                fatal("fleet shards: pipe() failed: ",
+                      std::strerror(errno));
+        }
+        for (std::size_t s = 0; s < shard_count; ++s) {
+            pid_t pid = ::fork();
+            if (pid < 0)
+                fatal("fleet shards: fork() failed: ",
+                      std::strerror(errno));
+            if (pid == 0) {
+                ::sigaction(SIGPIPE, &old_pipe, nullptr);
+                for (std::size_t o = 0; o < shard_count; ++o) {
+                    ::close(cmd_pipes[o][1]);
+                    ::close(reply_pipes[o][0]);
+                    if (o != s) {
+                        ::close(cmd_pipes[o][0]);
+                        ::close(reply_pipes[o][1]);
+                    }
+                }
+                shardChildServe(config, options, racks,
+                                shared_plan, ckpt, ranges[s], s,
+                                shard_count, cmd_pipes[s][0],
+                                reply_pipes[s][1]);
+            }
+            shards[s].range = ranges[s];
+            shards[s].pid = pid;
+        }
+        for (std::size_t s = 0; s < shard_count; ++s) {
+            ::close(cmd_pipes[s][0]);
+            ::close(reply_pipes[s][1]);
+            shards[s].cmdFd = cmd_pipes[s][1];
+            shards[s].replyFd = reply_pipes[s][0];
+            shards[s].reader.attach(shards[s].replyFd);
+        }
+    }
+
+    const int timeout_ms = shardTimeoutMs();
+    const double dt = config.tickSeconds;
+    auto ticks =
+        static_cast<std::size_t>(config.durationSeconds / dt);
+    if (static_cast<double>(ticks) * dt < config.durationSeconds)
+        ++ticks;
+
+    FleetResult result;
+    FfDeclineCounters declines(racks);
+    std::vector<double> need(n, 0.0);
+    std::vector<double> alloc(n, 0.0);
+    std::vector<double> alloc_ff(n, 0.0);
+    std::vector<std::vector<double>> span_draws(n);
+    std::vector<int> calm_flags(n, 0);
+    std::vector<int> ok_flags(n, 0);
+    std::vector<int> idle_flags(n, 0);
+    std::string line;
+    std::vector<std::string> lines(shard_count);
+    double next_health = 0.0;
+    std::size_t tick_i = 0;
+
+    // The prestep condition must mirror the in-process engine: it
+    // only ever fires on the slim event path with batching on,
+    // which is exactly when every child built arenas.
+    const bool use_arenas = options.mode == FleetMode::Event &&
+                            !options.keepPerRackResults &&
+                            soaBatchingEnabled();
+
+    // ---- Command helpers over the shard fleet -------------------
+
+    auto cmd_need = [&](double t, std::vector<double> &out) {
+        for (std::size_t s = 0; s < shard_count; ++s) {
+            lines[s] = "need ";
+            appendRoundTrip(lines[s], t);
+            lines[s] += '\n';
+        }
+        broadcast(shards, racks, "need", lines);
+        for (std::size_t s = 0; s < shard_count; ++s) {
+            const char *p = gatherLine(shards, s, racks, "need",
+                                       line, timeout_ms);
+            for (std::size_t r = shards[s].range.begin;
+                 r < shards[s].range.end; ++r)
+                out[r] = parseDouble(p, "need reply");
+        }
+    };
+
+    auto cmd_tick = [&](double t, const std::vector<double> &a) {
+        for (std::size_t s = 0; s < shard_count; ++s) {
+            lines[s] = "tick ";
+            appendRoundTrip(lines[s], t);
+            for (std::size_t r = shards[s].range.begin;
+                 r < shards[s].range.end; ++r) {
+                lines[s] += ' ';
+                appendRoundTrip(lines[s], a[r]);
+            }
+            lines[s] += '\n';
+        }
+        broadcast(shards, racks, "tick", lines);
+        double facility_draw = 0.0;
+        for (std::size_t s = 0; s < shard_count; ++s) {
+            const char *p = gatherLine(shards, s, racks, "tick",
+                                       line, timeout_ms);
+            for (std::size_t r = shards[s].range.begin;
+                 r < shards[s].range.end; ++r)
+                need[r] = parseDouble(p, "tick draw");
+            for (std::size_t r = shards[s].range.begin;
+                 r < shards[s].range.end; ++r)
+                calm_flags[r] =
+                    static_cast<int>(parseU64(p, "tick calm"));
+        }
+        // Re-sum in rack order: shard ranges are contiguous and
+        // ordered, so this is the dense loop's exact FP sequence.
+        for (std::size_t r = 0; r < n; ++r)
+            facility_draw += need[r];
+        result.facilityPeakDrawW =
+            std::max(result.facilityPeakDrawW, facility_draw);
+    };
+
+    auto cmd_horizon = [&](double t, double &horizon,
+                           std::size_t &horizon_rack) {
+        for (std::size_t s = 0; s < shard_count; ++s) {
+            lines[s] = "horizon ";
+            appendRoundTrip(lines[s], t);
+            lines[s] += '\n';
+        }
+        broadcast(shards, racks, "horizon", lines);
+        horizon = std::numeric_limits<double>::infinity();
+        horizon_rack = 0;
+        for (std::size_t s = 0; s < shard_count; ++s) {
+            const char *p = gatherLine(shards, s, racks, "horizon",
+                                       line, timeout_ms);
+            for (std::size_t r = shards[s].range.begin;
+                 r < shards[s].range.end; ++r) {
+                double h = parseDouble(p, "horizon reply");
+                if (h < horizon) {
+                    horizon = h;
+                    horizon_rack = r;
+                }
+            }
+        }
+    };
+
+    auto cmd_check = [&](std::size_t span,
+                         const std::vector<double> &a) {
+        for (std::size_t s = 0; s < shard_count; ++s) {
+            lines[s] = "check " + std::to_string(span);
+            for (std::size_t r = shards[s].range.begin;
+                 r < shards[s].range.end; ++r) {
+                lines[s] += ' ';
+                appendRoundTrip(lines[s], a[r]);
+            }
+            lines[s] += '\n';
+        }
+        broadcast(shards, racks, "check", lines);
+        for (std::size_t s = 0; s < shard_count; ++s) {
+            const char *p = gatherLine(shards, s, racks, "check",
+                                       line, timeout_ms);
+            for (std::size_t r = shards[s].range.begin;
+                 r < shards[s].range.end; ++r)
+                ok_flags[r] =
+                    static_cast<int>(parseU64(p, "check ok"));
+            for (std::size_t r = shards[s].range.begin;
+                 r < shards[s].range.end; ++r)
+                idle_flags[r] =
+                    static_cast<int>(parseU64(p, "check idle"));
+        }
+    };
+
+    auto cmd_commit = [&](std::size_t span, bool prestep) {
+        for (std::size_t s = 0; s < shard_count; ++s)
+            lines[s] =
+                std::string("commit ") + (prestep ? "1" : "0") +
+                "\n";
+        broadcast(shards, racks, "commit", lines);
+        for (std::size_t s = 0; s < shard_count; ++s) {
+            gatherLine(shards, s, racks, "commit", line,
+                       timeout_ms);
+            for (std::size_t r = shards[s].range.begin;
+                 r < shards[s].range.end; ++r) {
+                const char *p = gatherLine(shards, s, racks, "rle",
+                                           line, timeout_ms);
+                span_draws[r].clear();
+                span_draws[r].reserve(span);
+                parseRle(p, span_draws[r]);
+                if (span_draws[r].size() != span)
+                    fatal("fleet shard ", s, ": rack ", r,
+                          " returned ", span_draws[r].size(),
+                          " span draws, expected ", span);
+            }
+        }
+    };
+
+    auto cmd_simple = [&](const std::string &word,
+                          const std::string &arg,
+                          std::vector<int> &acks) {
+        for (std::size_t s = 0; s < shard_count; ++s)
+            lines[s] = word + " " + arg + "\n";
+        broadcast(shards, racks, word, lines);
+        for (std::size_t s = 0; s < shard_count; ++s) {
+            const char *p = gatherLine(shards, s, racks, word,
+                                       line, timeout_ms);
+            acks[s] = static_cast<int>(parseU64(p, "ack"));
+        }
+    };
+
+    // ---- Checkpoint manifest (same layout as in-process) --------
+
+    auto manifest_payload = [&](std::uint64_t at_tick) {
+        CheckpointWriter w;
+        w.putDouble("meta.duration_s", config.durationSeconds);
+        w.putDouble("meta.tick_s", config.tickSeconds);
+        w.putDouble("meta.slot_s", config.slotSeconds);
+        w.putU64("meta.seed", config.seed);
+        w.putU64("meta.fault_seed", config.faultSeed);
+        w.putU64("meta.servers", config.numServers);
+        w.putDouble("meta.facility_budget_w", facility_budget_w);
+        w.putString("meta.policy",
+                    budgetPolicyName(options.policy));
+        w.putString("meta.mode", fleetModeName(options.mode));
+        w.putBool("meta.faults", config.faultInjection);
+        w.putU64("meta.racks", n);
+        for (std::size_t r = 0; r < n; ++r) {
+            std::string pfx = "meta.rack." + std::to_string(r);
+            w.putString(pfx + ".name", racks[r].name);
+            w.putString(pfx + ".scheme", racks[r].scheme->name());
+            w.putString(pfx + ".workload",
+                        racks[r].workload->name());
+        }
+        w.putU64("fleet.tick", at_tick);
+        w.putDouble("fleet.peak_draw_w", result.facilityPeakDrawW);
+        w.putU64("fleet.dense_ticks", result.denseTicks);
+        w.putU64("fleet.macro_spans", result.macroSpans);
+        w.putU64("fleet.macro_span_ticks", result.macroSpanTicks);
+        w.putU64("fleet.shard_kernel_spans",
+                 result.shardKernelSpans);
+        w.putU64("fleet.ff_not_calm_ticks", result.ffNotCalmTicks);
+        w.putU64("fleet.ff_horizon_declines",
+                 result.ffHorizonDeclines);
+        w.putU64("fleet.ff_probe_declines",
+                 result.ffProbeDeclines);
+        for (std::size_t b = 0; b < kFfDeclineHistBins; ++b)
+            w.putU64("fleet.ff_hist." + std::to_string(b),
+                     result.ffDeclinedSpanHist[b]);
+        w.putDouble("fleet.next_health", next_health);
+        return w.payload();
+    };
+
+    auto write_fleet_checkpoint = [&](std::uint64_t at_tick) {
+        std::vector<int> acks(shard_count, 0);
+        cmd_simple("ckpt", std::to_string(at_tick), acks);
+        bool ok = std::all_of(acks.begin(), acks.end(),
+                              [](int a) { return a != 0; });
+        if (ok)
+            writeCheckpointFile(
+                checkpointFilePath(ckpt.dir, "fleet", at_tick),
+                manifest_payload(at_tick));
+        else
+            warn("fleet checkpoint at tick ", at_tick,
+                 ": shard write failed; manifest withheld");
+    };
+
+    // ---- Resume -------------------------------------------------
+    // The scan and guards are the in-process engine's; the parent
+    // pre-validates every shard file itself (read + parse + rack
+    // check) so a torn set falls back with the children untouched,
+    // then commands the children to load their own racks.
+
+    if (ckpt.resume) {
+        bool restored = false;
+        for (std::uint64_t t :
+             listCheckpointTicks(ckpt.dir, "fleet")) {
+            std::string mpath =
+                checkpointFilePath(ckpt.dir, "fleet", t);
+            std::string payload, error;
+            if (!readCheckpointFile(mpath, payload, error)) {
+                warn("skipping ", mpath, ": ", error);
+                continue;
+            }
+            CheckpointReader m;
+            if (!m.parse(payload, error)) {
+                warn("skipping ", mpath, ": ", error);
+                continue;
+            }
+            auto guard = [&](bool ok_field, const char *field) {
+                if (!ok_field) {
+                    teardownShards(shards);
+                    fatal("checkpoint ", mpath,
+                          " was written under a different ",
+                          field, "; refusing to resume");
+                }
+            };
+            guard(m.getDouble("meta.duration_s") ==
+                      config.durationSeconds,
+                  "duration");
+            guard(m.getDouble("meta.tick_s") ==
+                      config.tickSeconds,
+                  "tick length");
+            guard(m.getDouble("meta.slot_s") ==
+                      config.slotSeconds,
+                  "slot length");
+            guard(m.getU64("meta.seed") == config.seed, "seed");
+            guard(m.getU64("meta.fault_seed") ==
+                      config.faultSeed,
+                  "fault seed");
+            guard(m.getU64("meta.servers") == config.numServers,
+                  "server count");
+            guard(m.getDouble("meta.facility_budget_w") ==
+                      facility_budget_w,
+                  "facility budget");
+            guard(m.getString("meta.policy") ==
+                      budgetPolicyName(options.policy),
+                  "budget policy");
+            guard(m.getString("meta.mode") ==
+                      fleetModeName(options.mode),
+                  "fleet mode");
+            guard(m.getBool("meta.faults") ==
+                      config.faultInjection,
+                  "fault-injection setting");
+            guard(m.getU64("meta.racks") == n, "rack count");
+            for (std::size_t r = 0; r < n; ++r) {
+                std::string pfx = "meta.rack." + std::to_string(r);
+                guard(m.getString(pfx + ".name") == racks[r].name,
+                      "rack roster");
+                guard(m.getString(pfx + ".scheme") ==
+                          racks[r].scheme->name(),
+                      "rack scheme");
+                guard(m.getString(pfx + ".workload") ==
+                          racks[r].workload->name(),
+                      "rack workload");
+            }
+
+            bool all_ok = true;
+            for (std::size_t r = 0; r < n && all_ok; ++r) {
+                std::string spath =
+                    fleetShardCheckpointPath(ckpt.dir, t, r);
+                std::string sp;
+                CheckpointReader sr;
+                if (!readCheckpointFile(spath, sp, error) ||
+                    !sr.parse(sp, error)) {
+                    warn("skipping checkpoint at tick ", t,
+                         ": shard ", spath, ": ", error);
+                    all_ok = false;
+                } else if (sr.getString("shard.rack") !=
+                           racks[r].name) {
+                    teardownShards(shards);
+                    fatal("checkpoint shard ", spath,
+                          " belongs to rack '",
+                          sr.getString("shard.rack"),
+                          "', expected '", racks[r].name, "'");
+                }
+            }
+            if (!all_ok)
+                continue;
+
+            std::vector<int> acks(shard_count, 0);
+            cmd_simple("restore", std::to_string(t), acks);
+            for (std::size_t s = 0; s < shard_count; ++s)
+                if (!acks[s]) {
+                    teardownShards(shards);
+                    fatal("fleet shard ", s,
+                          " failed to restore checkpoint at "
+                          "tick ",
+                          t, " after it validated; aborting");
+                }
+
+            tick_i = static_cast<std::size_t>(
+                m.getU64("fleet.tick"));
+            result.facilityPeakDrawW =
+                m.getDouble("fleet.peak_draw_w");
+            result.denseTicks = m.getU64("fleet.dense_ticks");
+            result.macroSpans = m.getU64("fleet.macro_spans");
+            result.macroSpanTicks =
+                m.getU64("fleet.macro_span_ticks");
+            result.shardKernelSpans =
+                m.getU64("fleet.shard_kernel_spans");
+            if (m.has("fleet.ff_not_calm_ticks")) {
+                result.ffNotCalmTicks =
+                    m.getU64("fleet.ff_not_calm_ticks");
+                result.ffHorizonDeclines =
+                    m.getU64("fleet.ff_horizon_declines");
+                result.ffProbeDeclines =
+                    m.getU64("fleet.ff_probe_declines");
+                for (std::size_t b = 0; b < kFfDeclineHistBins;
+                     ++b)
+                    result.ffDeclinedSpanHist[b] = m.getU64(
+                        "fleet.ff_hist." + std::to_string(b));
+            }
+            next_health = m.getDouble("fleet.next_health");
+            inform("resumed fleet from ", mpath, " at tick ",
+                   tick_i, " (t=",
+                   static_cast<double>(tick_i) * dt, " s, ",
+                   shard_count, " shards)");
+            restored = true;
+            break;
+        }
+        if (!restored)
+            warn("no valid fleet checkpoint under ", ckpt.dir,
+                 "; starting from t=0");
+    }
+
+    std::uint64_t ckpt_seq = 0;
+    if (ckpt.everySimSeconds > 0.0)
+        ckpt_seq = static_cast<std::uint64_t>(
+            static_cast<double>(tick_i) * dt /
+            ckpt.everySimSeconds);
+
+    // ---- Main loop: the in-process engine's decision sequence,
+    // with the per-rack work commanded over the wire --------------
+
+    while (tick_i < ticks) {
+        double now = static_cast<double>(tick_i) * dt;
+
+        if (ckpt.everySimSeconds > 0.0 &&
+            now >= static_cast<double>(ckpt_seq + 1) *
+                       ckpt.everySimSeconds) {
+            ++ckpt_seq;
+            write_fleet_checkpoint(tick_i);
+        }
+
+        cmd_need(now, need);
+        arbitrateFleetBudget(options.policy, facility_budget_w,
+                             need, alloc);
+        cmd_tick(now, alloc);
+
+        ++tick_i;
+        ++result.denseTicks;
+
+        if (tick_i >= ticks)
+            continue;
+        bool calm = true;
+        for (std::size_t r = 0; r < n; ++r) {
+            if (!calm_flags[r]) {
+                calm = false;
+                declines.noteNotCalm(r);
+            }
+        }
+        if (!calm) {
+            ++result.ffNotCalmTicks;
+            continue;
+        }
+
+        double horizon;
+        std::size_t horizon_rack;
+        cmd_horizon(now, horizon, horizon_rack);
+        double t1 = static_cast<double>(tick_i) * dt;
+        if (horizon <= t1) {
+            ++result.ffHorizonDeclines;
+            declines.noteHorizon(horizon_rack);
+            continue;
+        }
+
+        std::size_t span;
+        if (std::isinf(horizon)) {
+            span = ticks - tick_i;
+        } else {
+            std::size_t last = lastTickBefore(horizon, dt);
+            if (last < tick_i) {
+                ++result.ffHorizonDeclines;
+                declines.noteHorizon(horizon_rack);
+                continue;
+            }
+            span = std::min(last - tick_i + 1, ticks - tick_i);
+        }
+
+        cmd_need(t1, need);
+        arbitrateFleetBudget(options.policy, facility_budget_w,
+                             need, alloc_ff);
+        cmd_check(span, alloc_ff);
+        bool all_ok = true;
+        for (std::size_t r = 0; r < n; ++r)
+            all_ok = all_ok && ok_flags[r] != 0;
+        if (!all_ok) {
+            ++result.ffProbeDeclines;
+            ++result.ffDeclinedSpanHist[ffDeclineHistBin(span)];
+            for (std::size_t r = 0; r < n; ++r)
+                if (!ok_flags[r])
+                    declines.noteProbe(r);
+            continue;
+        }
+
+        bool prestep = use_arenas;
+        for (std::size_t r = 0; r < n && prestep; ++r)
+            prestep = idle_flags[r] != 0;
+        if (prestep)
+            ++result.shardKernelSpans;
+
+        cmd_commit(span, prestep);
+
+        // Facility peak: re-sum each span tick in rack order — the
+        // same addition order as the dense accumulation.
+        for (std::size_t j = 0; j < span; ++j) {
+            double fd = 0.0;
+            for (std::size_t r = 0; r < n; ++r)
+                fd += span_draws[r][j];
+            result.facilityPeakDrawW =
+                std::max(result.facilityPeakDrawW, fd);
+        }
+
+        tick_i += span;
+        ++result.macroSpans;
+        result.macroSpanTicks += span;
+    }
+
+    // ---- Finish: gather per-rack results and shard stats --------
+
+    FleetHealthAggregator *health = options.health;
+    if (health) {
+        std::vector<std::string> rack_names;
+        std::vector<std::string> scheme_names;
+        for (const RackSpec &spec : racks) {
+            rack_names.push_back(spec.name);
+            scheme_names.push_back(spec.scheme->name());
+        }
+        health->beginRun(rack_names, scheme_names,
+                         config.numServers);
+    }
+
+    std::vector<SimResult> finals(n);
+    result.shardPeakRssBytes.assign(shard_count, 0);
+    {
+        std::vector<std::string> finish_lines(shard_count,
+                                              "finish\n");
+        broadcast(shards, racks, "finish", finish_lines);
+        for (std::size_t s = 0; s < shard_count; ++s) {
+            for (std::size_t r = shards[s].range.begin;
+                 r < shards[s].range.end; ++r) {
+                const char *p = gatherLine(shards, s, racks,
+                                           "result", line,
+                                           timeout_ms);
+                auto bytes = static_cast<std::size_t>(
+                    parseU64(p, "result size"));
+                std::string payload;
+                ReadStatus status = shards[s].reader.readExact(
+                    payload, bytes, timeout_ms);
+                if (status != ReadStatus::Ok)
+                    shardFailure(shards, s, racks, status);
+                CheckpointReader reader;
+                std::string error;
+                if (!reader.parse(payload, error))
+                    fatal("fleet shard ", s, ": rack ", r,
+                          " result payload: ", error);
+                loadSimResult(reader, "result.", finals[r]);
+            }
+            const char *p = gatherLine(shards, s, racks, "stats",
+                                       line, timeout_ms);
+            result.shardPeakRssBytes[s] =
+                parseU64(p, "stats maxrss");
+        }
+    }
+
+    // Orderly teardown before aggregation: children exit after
+    // `finish`, so reap them now and fold results knowing every
+    // shard completed.
+    for (ShardProc &s : shards) {
+        closeFd(s.cmdFd);
+        closeFd(s.replyFd);
+    }
+    for (ShardProc &s : shards) {
+        int status = 0;
+        ::waitpid(s.pid, &status, 0);
+        s.pid = -1;
+    }
+    ::sigaction(SIGPIPE, &old_pipe, nullptr);
+
+    if (obs::metricsOn()) {
+        obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+        reg.gauge("fleet.shard_count")
+            .set(static_cast<double>(shard_count));
+        for (std::size_t s = 0; s < shard_count; ++s) {
+            obs::MetricLabels labels = {
+                {"shard", std::to_string(s)}};
+            reg.gauge("fleet.shard_racks", labels)
+                .set(static_cast<double>(ranges[s].size()));
+            reg.gauge("fleet.shard_maxrss_bytes", labels)
+                .set(static_cast<double>(
+                    result.shardPeakRssBytes[s]));
+        }
+    }
+
+    // Aggregation in rack order — bit-for-bit the in-process
+    // finalize loop, fed by the deserialized results.
+    double eff_weighted = 0.0;
+    double eff_unweighted = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+        SimResult &rr = finals[r];
+        result.totalDowntimeSeconds += rr.downtimeSeconds;
+        result.totalUnservedWh += rr.ledger.unservedWh;
+        double served = rr.ledger.servedWh();
+        result.totalServedWh += served;
+        eff_weighted += rr.energyEfficiency * served;
+        eff_unweighted += rr.energyEfficiency;
+        if (health)
+            health->foldRack(r, rr);
+        if (options.keepPerRackResults)
+            result.racks.push_back(std::move(rr));
+    }
+    result.meanEfficiencyUnweighted =
+        eff_unweighted / static_cast<double>(n);
+    result.meanEfficiency =
+        result.totalServedWh > 0.0
+            ? eff_weighted / result.totalServedWh
+            : result.meanEfficiencyUnweighted;
+    if (health)
+        health->recordEngineTotals(result);
+    return result;
+}
+
+} // namespace heb

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Multi-process scale-out for FleetSimulator (DESIGN.md §15).
+ *
+ * The single-process fleet engine saturates one address space: the
+ * shared ThreadPool tops out at core count and a 100k-server run's
+ * working set and allocator contention dominate past ~1k racks. The
+ * sharded runner fork()s N children, each owning a contiguous rack
+ * range with its own ThreadPool and SoA arenas, while the parent
+ * stays the single arbiter: every span the children ship per-rack
+ * demand/draw vectors up and receive per-rack allocations back, so
+ * the global allocation remains a pure function of all rack demands
+ * — evaluated in the parent with the exact FP sequence of the
+ * in-process engine — and the final FleetResult is byte-identical
+ * at %.17g regardless of --shards x --jobs.
+ *
+ * Wire protocol: line-oriented ASCII over two pipes per child,
+ * doubles in the util/format round-trip-exact (%.17g) encoding.
+ * The parent drives lock-step commands (need / tick / horizon /
+ * check / commit / ckpt / restore / finish); children are pure
+ * command servers holding the domain state. Final per-rack
+ * SimResults come back framed through the checkpoint key=value
+ * codec (saveSimResult), the same serialization the checkpoint
+ * files use.
+ *
+ * Per-tick span draws are run-length encoded on the wire: a calm
+ * macro-span draws a constant (often zero) facility load per rack,
+ * so the dominant message collapses from span-length doubles to one
+ * (count, value) pair while staying exact for varying spans.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/checkpoint.h"
+#include "sim/fleet.h"
+
+namespace heb {
+
+/** Contiguous rack range [begin, end) owned by one shard. */
+struct ShardRange
+{
+    std::size_t begin = 0;
+    std::size_t end = 0;
+
+    std::size_t size() const { return end - begin; }
+};
+
+/**
+ * Effective shard count for @p requested on @p racks racks:
+ * 0 (auto) becomes one shard per core; any request is clamped to
+ * the rack count (a shard without racks would idle). Returns 1 for
+ * a single rack — the caller falls back to the in-process engine.
+ */
+std::size_t resolveShardCount(std::size_t requested,
+                              std::size_t racks);
+
+/**
+ * Partition @p racks into @p shards contiguous ranges whose sizes
+ * differ by at most one (the first racks % shards ranges get the
+ * extra rack). Contiguity preserves the rack-order invariants the
+ * exactness argument rests on: needs and draws are re-assembled in
+ * rack order by concatenating shard vectors in shard order.
+ */
+std::vector<ShardRange> planShards(std::size_t racks,
+                                   std::size_t shards);
+
+/**
+ * Run @p racks under the fork()-based sharded engine with
+ * @p shard_count children (>= 2; resolveShardCount is the caller's
+ * job). Blocks until the fleet completes; a child that crashes,
+ * exits early or stops responding (HEB_SHARD_TIMEOUT_S, default
+ * 600 s per reply) tears down the remaining children and fatal()s
+ * with a diagnostic naming the shard's rack range and last command.
+ *
+ * Checkpoints are the per-rack shard files + manifest of the
+ * in-process engine (children write their racks' files; the parent
+ * writes the manifest last), so a run checkpointed under one
+ * --shards count resumes under any other, including 1.
+ */
+FleetResult runShardedFleet(const SimConfig &config,
+                            double facility_budget_w,
+                            const FleetOptions &options,
+                            const std::vector<RackSpec> &racks,
+                            const CheckpointOptions &ckpt,
+                            std::size_t shard_count);
+
+} // namespace heb

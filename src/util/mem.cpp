@@ -1,0 +1,17 @@
+#include "util/mem.h"
+
+#include <sys/resource.h>
+
+namespace heb {
+
+std::uint64_t
+peakRssBytes()
+{
+    struct rusage ru {};
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+    // Linux reports ru_maxrss in kilobytes.
+    return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024u;
+}
+
+} // namespace heb

@@ -128,4 +128,25 @@ ThreadPool::configureGlobal(std::size_t jobs)
     globalPoolSlot().reset();
 }
 
+std::size_t
+ThreadPool::configuredJobs()
+{
+    std::lock_guard<std::mutex> lock(globalPoolMutex());
+    return globalJobsOverride();
+}
+
+void
+ThreadPool::resetGlobalAfterFork(std::size_t jobs)
+{
+    // Single-threaded child: the parent's mutex state is undefined
+    // here only if the parent forked mid-lock, which the shard
+    // runner never does (it forks from its control thread with no
+    // pool work in flight). Do not lock anyway — nobody contends.
+    //
+    // release(), not reset(): ~ThreadPool joins workers_, and those
+    // threads died in the fork. Leak the husk.
+    (void)globalPoolSlot().release();
+    globalJobsOverride() = jobs;
+}
+
 } // namespace heb

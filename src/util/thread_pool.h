@@ -166,6 +166,20 @@ class ThreadPool
      */
     static void configureGlobal(std::size_t jobs);
 
+    /** The configureGlobal override in force (0 = none). */
+    static std::size_t configuredJobs();
+
+    /**
+     * Re-arm the global pool in a fork() child. The worker threads
+     * of an inherited pool do not exist in the child, so joining
+     * them (as configureGlobal would) hangs forever; instead the
+     * stale pool object is abandoned — deliberately leaked, its
+     * threads are not ours to join — and the next global() builds a
+     * fresh pool of @p jobs lanes. Call immediately after fork(),
+     * before any global-pool use, from the child's only thread.
+     */
+    static void resetGlobalAfterFork(std::size_t jobs);
+
   private:
     /** Completion state shared by one map() batch. */
     struct Batch

@@ -1,0 +1,351 @@
+/**
+ * @file
+ * Multi-process sharded fleet engine tests: planner properties, the
+ * byte-identity witness across --shards counts (full and slim, with
+ * faults, across per-shard job counts), checkpoint resume across
+ * differing shard counts in both directions, the decline
+ * instrumentation, and the crash diagnostic (a SIGKILLed child must
+ * name its shard's racks, not hang).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/schemes.h"
+#include "sim/experiment.h"
+#include "sim/fleet.h"
+#include "sim/fleet_shard.h"
+#include "util/thread_pool.h"
+#include "workload/workload_profiles.h"
+
+namespace heb {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string
+freshDir(const std::string &tag)
+{
+    fs::path dir =
+        fs::path(::testing::TempDir()) / ("heb_shard_" + tag);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir.string();
+}
+
+/** Calm phase-structured profile (see fleet_test.cpp). */
+ProfileParams
+calmProfile(const std::string &name, double high_util)
+{
+    ProfileParams p;
+    p.name = name;
+    p.peakClass = PeakClass::Large;
+    p.highUtil = high_util;
+    p.lowUtil = 0.05;
+    p.highPhaseS = 900.0;
+    p.lowPhaseS = 4500.0;
+    p.jitter = 0.0;
+    p.diurnalDepth = 0.0;
+    p.serverStagger = 0.0;
+    return p;
+}
+
+/**
+ * A fleet wide enough that every shard layout under test (2, 3, 4
+ * shards) gets multiple racks, with faults on so the all-or-nothing
+ * span logic and the wire protocol see declined probes too.
+ */
+struct ShardRig
+{
+    /**
+     * @param contended  Oversubscribe the facility during high-
+     *                   phase collisions so the fast-forward
+     *                   decline counters see real traffic. The
+     *                   default calm rig keeps headroom everywhere
+     *                   so bank-idle macro spans (and the batch
+     *                   kernel) engage instead.
+     */
+    explicit ShardRig(bool slim, double hours = 4.0,
+                      bool contended = false)
+    {
+        cfg.durationSeconds = hours * 3600.0;
+        cfg.faultInjection = true;
+        cfg.faultPlan.atsFailuresPerDay = 0.0;
+        // Frequent long converter trips (see soa_equivalence_test):
+        // with the buffer stage down a rack is bank-idle, so whole-
+        // fleet idle spans arise and the batch kernel engages; the
+        // trip edges also shorten horizons, so the decline counters
+        // see real traffic.
+        cfg.faultPlan.converterTripsPerDay = 48.0;
+        cfg.faultPlan.converterRestartSeconds = 1800.0;
+        if (slim)
+            cfg.recordSeries = false;
+        for (std::size_t i = 0; i < 6; ++i) {
+            double util =
+                contended
+                    ? 0.30 + 0.15 * static_cast<double>(i % 4)
+                    : 0.10 + 0.05 * static_cast<double>(i % 4);
+            workloads.push_back(
+                std::make_unique<SyntheticWorkload>(
+                    calmProfile("S" + std::to_string(i), util),
+                    i + 1));
+            schemes.push_back(makeScheme(SchemeKind::HebD));
+            specs.push_back(RackSpec{"rack" + std::to_string(i),
+                                     workloads[i].get(),
+                                     schemes[i].get()});
+        }
+        // Contended: between the all-low fleet demand and the
+        // overlap of two high phases, so high-phase collisions
+        // oversubscribe the facility while low phases leave
+        // headroom for macro spans.
+        budget = (contended ? 205.0 : 260.0) *
+                 static_cast<double>(specs.size());
+    }
+
+    SimConfig cfg;
+    double budget = 0.0;
+    std::vector<std::unique_ptr<SyntheticWorkload>> workloads;
+    std::vector<std::unique_ptr<ManagementScheme>> schemes;
+    std::vector<RackSpec> specs;
+};
+
+std::string
+runJson(ShardRig &rig, std::size_t shards, bool slim,
+        FleetResult *out = nullptr,
+        const CheckpointOptions &ckpt = {})
+{
+    FleetOptions options{BudgetPolicy::Proportional,
+                         FleetMode::Event, !slim};
+    options.shards = shards;
+    FleetSimulator fleet(rig.cfg, rig.budget, options);
+    FleetResult r = fleet.run(rig.specs, ckpt);
+    std::string json = fleetResultToJson(r);
+    if (out)
+        *out = std::move(r);
+    return json;
+}
+
+TEST(ShardPlanner, ContiguousBalancedRanges)
+{
+    for (std::size_t racks : {2u, 5u, 7u, 64u}) {
+        for (std::size_t shards = 1; shards <= racks; ++shards) {
+            std::vector<ShardRange> plan =
+                planShards(racks, shards);
+            ASSERT_EQ(plan.size(), shards);
+            EXPECT_EQ(plan.front().begin, 0u);
+            EXPECT_EQ(plan.back().end, racks);
+            std::size_t min_sz = racks, max_sz = 0;
+            for (std::size_t s = 0; s < shards; ++s) {
+                if (s) {
+                    EXPECT_EQ(plan[s].begin, plan[s - 1].end)
+                        << "gap before shard " << s;
+                }
+                EXPECT_GT(plan[s].size(), 0u);
+                min_sz = std::min(min_sz, plan[s].size());
+                max_sz = std::max(max_sz, plan[s].size());
+            }
+            EXPECT_LE(max_sz - min_sz, 1u)
+                << racks << " racks / " << shards << " shards";
+        }
+    }
+}
+
+TEST(ShardPlanner, ResolveShardCount)
+{
+    EXPECT_EQ(resolveShardCount(1, 100), 1u);
+    EXPECT_EQ(resolveShardCount(4, 100), 4u);
+    // Clamped to the rack count; a single rack is never sharded.
+    EXPECT_EQ(resolveShardCount(8, 3), 3u);
+    EXPECT_EQ(resolveShardCount(8, 1), 1u);
+    EXPECT_EQ(resolveShardCount(0, 1), 1u);
+    // Auto is at least one and never exceeds the rack count.
+    std::size_t auto_n = resolveShardCount(0, 4);
+    EXPECT_GE(auto_n, 1u);
+    EXPECT_LE(auto_n, 4u);
+}
+
+TEST(ShardFleet, DenseEngineRefusesShards)
+{
+    FleetOptions options{BudgetPolicy::Static, FleetMode::Dense,
+                         true};
+    options.shards = 2;
+    EXPECT_EXIT(options.validate(), testing::ExitedWithCode(1),
+                "sharding needs the event engine");
+}
+
+/**
+ * The headline witness: the full %.17g fleet result document —
+ * physics, engine counters, decline instrumentation and per-rack
+ * results — is byte-identical across shard counts, including a
+ * count that does not divide the rack count evenly.
+ */
+TEST(ShardFleet, ResultByteIdenticalAcrossShardCounts)
+{
+    ShardRig rig1(false);
+    std::string one = runJson(rig1, 1, false);
+    for (std::size_t shards : {2u, 4u}) {
+        ShardRig rign(false);
+        EXPECT_EQ(runJson(rign, shards, false), one)
+            << shards << " shards diverged from in-process";
+    }
+}
+
+TEST(ShardFleet, SlimPathIdenticalAndBatchKernelEngages)
+{
+    ShardRig rig1(true);
+    FleetResult in_proc;
+    std::string one = runJson(rig1, 1, true, &in_proc);
+
+    ShardRig rig3(true);
+    FleetResult sharded;
+    EXPECT_EQ(runJson(rig3, 3, true, &sharded), one);
+
+    // The slim event path runs the SoA batch kernels; the sharded
+    // engine must engage them in the children exactly as often.
+    EXPECT_GT(in_proc.shardKernelSpans, 0ul);
+    EXPECT_EQ(sharded.shardKernelSpans, in_proc.shardKernelSpans);
+
+    // Shard children report their peak RSS; in-process runs don't.
+    EXPECT_TRUE(in_proc.shardPeakRssBytes.empty());
+    ASSERT_EQ(sharded.shardPeakRssBytes.size(), 3u);
+    for (std::uint64_t rss : sharded.shardPeakRssBytes)
+        EXPECT_GT(rss, 0u);
+}
+
+TEST(ShardFleet, PerShardJobCountDoesNotChangeResults)
+{
+    // configuredJobs() is inherited by the children as their pool
+    // width, so pinning it exercises sharding x threading.
+    ThreadPool::configureGlobal(1);
+    ShardRig rig1(true);
+    std::string serial = runJson(rig1, 2, true);
+    ThreadPool::configureGlobal(3);
+    ShardRig rig3(true);
+    std::string pooled = runJson(rig3, 2, true);
+    ThreadPool::configureGlobal(0);
+    EXPECT_EQ(serial, pooled);
+}
+
+TEST(ShardFleet, DeclineCountersMatchInProcessEngine)
+{
+    ShardRig rig1(false, 4.0, true);
+    FleetResult in_proc;
+    runJson(rig1, 1, false, &in_proc);
+    ShardRig rig2(false, 4.0, true);
+    FleetResult sharded;
+    runJson(rig2, 2, false, &sharded);
+
+    // The faulty rig declines spans; the counters are part of the
+    // byte-identity contract, not best-effort statistics.
+    EXPECT_GT(in_proc.ffNotCalmTicks + in_proc.ffHorizonDeclines +
+                  in_proc.ffProbeDeclines,
+              0ul);
+    EXPECT_EQ(sharded.ffNotCalmTicks, in_proc.ffNotCalmTicks);
+    EXPECT_EQ(sharded.ffHorizonDeclines,
+              in_proc.ffHorizonDeclines);
+    EXPECT_EQ(sharded.ffProbeDeclines, in_proc.ffProbeDeclines);
+    ASSERT_EQ(sharded.ffDeclinedSpanHist.size(),
+              kFfDeclineHistBins);
+    for (std::size_t b = 0; b < kFfDeclineHistBins; ++b)
+        EXPECT_EQ(sharded.ffDeclinedSpanHist[b],
+                  in_proc.ffDeclinedSpanHist[b])
+            << "hist bin " << b;
+    // Probe declines populate the histogram.
+    unsigned long hist_total = 0;
+    for (unsigned long c : in_proc.ffDeclinedSpanHist)
+        hist_total += c;
+    EXPECT_EQ(hist_total, in_proc.ffProbeDeclines);
+}
+
+TEST(ShardFleet, FfDeclineFieldsInResultJson)
+{
+    ShardRig rig(true, 2.0);
+    std::string json = runJson(rig, 2, true);
+    EXPECT_NE(json.find("\"ff_not_calm_ticks\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"ff_horizon_declines\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"ff_probe_declines\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"ff_declined_span_hist\""),
+              std::string::npos);
+}
+
+/**
+ * Kill-and-resume across *differing* shard counts, both directions:
+ * checkpoint under 3 shards, resume under 2 and in-process (and the
+ * reverse), all byte-identical to the uninterrupted run. The shard
+ * files are per rack, so the layout that wrote them is irrelevant.
+ */
+TEST(ShardFleet, ResumeAcrossDifferentShardCounts)
+{
+    ShardRig ref_rig(true);
+    const std::string reference = runJson(ref_rig, 1, true);
+
+    auto checkpoint_then_resume = [&](std::size_t write_shards,
+                                      std::size_t resume_shards,
+                                      const std::string &tag) {
+        CheckpointOptions every;
+        every.everySimSeconds = ref_rig.cfg.durationSeconds / 3.0;
+        every.dir = freshDir(tag);
+        ShardRig write_rig(true);
+        EXPECT_EQ(runJson(write_rig, write_shards, true, nullptr,
+                          every),
+                  reference)
+            << "checkpointing under " << write_shards
+            << " shards perturbed the run";
+
+        // "Kill" between the 1/3 and 2/3 snapshots: drop the newest
+        // manifest + shard files, resume from the survivor.
+        std::uint64_t newest = 0;
+        for (std::uint64_t t :
+             listCheckpointTicks(every.dir, "fleet"))
+            newest = std::max(newest, t);
+        ASSERT_GT(newest, 0u);
+        fs::remove(checkpointFilePath(every.dir, "fleet", newest));
+        for (std::size_t r = 0; r < write_rig.specs.size(); ++r)
+            fs::remove(
+                fleetShardCheckpointPath(every.dir, newest, r));
+
+        CheckpointOptions resume;
+        resume.dir = every.dir;
+        resume.resume = true;
+        ShardRig resume_rig(true);
+        EXPECT_EQ(runJson(resume_rig, resume_shards, true, nullptr,
+                          resume),
+                  reference)
+            << tag << ": resume under " << resume_shards
+            << " shards diverged";
+    };
+
+    checkpoint_then_resume(3, 2, "w3r2");
+    checkpoint_then_resume(3, 1, "w3r1");
+    checkpoint_then_resume(1, 3, "w1r3");
+}
+
+TEST(ShardFleetDeath, CrashedChildNamesItsRacks)
+{
+    // Quiesce the global pool first: configureGlobal joins any
+    // workers earlier tests spawned, so the death test's fork
+    // starts from (nearly) one thread.
+    ThreadPool::configureGlobal(1);
+    // Shard 1 of 3 owns racks 2..3; killing it after a few ticks
+    // must produce a prompt diagnostic naming shard, racks and the
+    // in-flight command — never a hang on a dead pipe.
+    EXPECT_EXIT(
+        {
+            setenv("HEB_SHARD_TEST_CRASH", "1:3", 1);
+            ShardRig rig(true, 1.0);
+            runJson(rig, 3, true);
+        },
+        testing::ExitedWithCode(1),
+        "fleet shard 1 .*rack2.*killed by signal 9 during 'tick'");
+    ThreadPool::configureGlobal(0);
+}
+
+} // namespace
+} // namespace heb

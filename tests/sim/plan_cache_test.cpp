@@ -1,0 +1,97 @@
+/**
+ * @file
+ * SharedPlanCache under concurrent interning: many ThreadPool
+ * workers requesting overlapping keys must build each plan exactly
+ * once, hand every requester the same instance, and keep the
+ * hit/miss counters consistent with the request count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "sim/plan_cache.h"
+#include "util/thread_pool.h"
+
+namespace heb {
+namespace {
+
+TEST(PlanCache, ConcurrentWorkloadInterningBuildsOncePerKey)
+{
+    constexpr std::size_t kRequests = 64;
+    constexpr std::uint64_t kSeeds = 4;
+
+    ThreadPool::configureGlobal(8);
+    SharedPlanCache cache;
+    std::vector<std::size_t> idx(kRequests);
+    std::iota(idx.begin(), idx.end(), std::size_t{0});
+    std::vector<std::shared_ptr<const SyntheticWorkload>> got =
+        parallelMap(idx, [&](std::size_t i) {
+            return cache.workload("TS", i % kSeeds);
+        });
+    ThreadPool::configureGlobal(0);
+
+    // One generation per key: every same-key requester got the
+    // exact same instance, so there are kSeeds distinct plans.
+    std::set<const SyntheticWorkload *> distinct;
+    for (std::size_t i = 0; i < kRequests; ++i) {
+        ASSERT_TRUE(got[i]);
+        EXPECT_EQ(got[i].get(), got[i % kSeeds].get())
+            << "request " << i << " got a different instance";
+        distinct.insert(got[i].get());
+    }
+    EXPECT_EQ(distinct.size(), kSeeds);
+    EXPECT_EQ(cache.size(), kSeeds);
+
+    // Counter consistency: every request is a hit or a miss, and
+    // concurrent misses on one key count once per *build*, so the
+    // miss count is exactly the key count.
+    EXPECT_EQ(cache.misses(), kSeeds);
+    EXPECT_EQ(cache.hits() + cache.misses(), kRequests);
+}
+
+TEST(PlanCache, ConcurrentSolarTraceInterning)
+{
+    constexpr std::size_t kRequests = 32;
+    SolarParams params;
+    params.ratedPowerW = 500.0;
+
+    ThreadPool::configureGlobal(8);
+    SharedPlanCache cache;
+    std::vector<std::size_t> idx(kRequests);
+    std::iota(idx.begin(), idx.end(), std::size_t{0});
+    std::vector<std::shared_ptr<const TimeSeries>> got =
+        parallelMap(idx, [&](std::size_t i) {
+            // Two distinct grids interleaved.
+            double step = (i % 2) ? 1.0 : 2.0;
+            return cache.solarTrace(params, 3600.0, step, 42);
+        });
+    ThreadPool::configureGlobal(0);
+
+    std::set<const TimeSeries *> distinct;
+    for (const auto &p : got) {
+        ASSERT_TRUE(p);
+        distinct.insert(p.get());
+    }
+    EXPECT_EQ(distinct.size(), 2u);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_EQ(cache.hits(), kRequests - 2u);
+
+    // Interleaved requests landed on the right grid.
+    EXPECT_EQ(got[1]->stepSeconds(), 1.0);
+    EXPECT_EQ(got[2]->stepSeconds(), 2.0);
+    EXPECT_EQ(got[0].get(), got[2].get());
+    EXPECT_EQ(got[1].get(), got[3].get());
+
+    // clear() drops entries and zeroes the counters.
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.hits() + cache.misses(), 0u);
+}
+
+} // namespace
+} // namespace heb
